@@ -1,0 +1,255 @@
+//! Pattern classification: the vocabulary the paper introduces for talking
+//! about queries across languages — FIO vs. FOI aggregation (§2.5),
+//! aggregate roles (value vs. test, §4), and overall query shape.
+
+use arc_core::ast::{AggFunc, Collection};
+use arc_core::binder::{AggRole, Binder, BoundInfo};
+
+/// How an aggregate relates grouping to its consumer (paper §2.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggPattern {
+    /// **From the inside out**: grouping and aggregation happen inside a
+    /// scope on grouped keys; results flow outward (SQL `GROUP BY`,
+    /// extended relational algebra, Eq (3)).
+    Fio,
+    /// **From the outside in**: a per-outer-tuple correlated scope with
+    /// `γ∅` computes the aggregate (Klug, Hella et al., Soufflé, Eq (7)).
+    Foi,
+    /// A global aggregate over the whole input (uncorrelated `γ∅`).
+    Global,
+}
+
+/// One classified aggregate occurrence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassifiedAggregate {
+    /// The function.
+    pub func: AggFunc,
+    /// FIO / FOI / global.
+    pub pattern: AggPattern,
+    /// Value (assignment) or test (comparison) use — the distinction that
+    /// *names* the count bug.
+    pub role: AggRole,
+    /// The predicate, rendered.
+    pub predicate: String,
+}
+
+/// Overall query-shape classes (coarse, for reports and workload tables).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryShape {
+    /// Select–project–join only.
+    Conjunctive,
+    /// Adds negation/disjunction (first-order / relationally complete).
+    FirstOrder,
+    /// Uses grouping/aggregation.
+    Aggregating,
+}
+
+/// A classification report for one collection.
+#[derive(Debug, Clone)]
+pub struct Classification {
+    /// Aggregates with their patterns.
+    pub aggregates: Vec<ClassifiedAggregate>,
+    /// Coarse shape.
+    pub shape: QueryShape,
+    /// Number of correlated (outer-referencing) collections.
+    pub correlated_collections: usize,
+    /// Relation-occurrence signature (how many logical copies of each
+    /// base relation — the paper's Fig 6 vs Fig 7/8 distinction).
+    pub relation_occurrences: Vec<(String, usize)>,
+    /// Maximum scope depth.
+    pub max_depth: usize,
+}
+
+/// Classify a collection (open-world binding).
+pub fn classify(c: &Collection) -> Classification {
+    let info = Binder::new().bind_collection(c);
+    classify_bound(&info)
+}
+
+/// Classify from an existing binder product.
+pub fn classify_bound(info: &BoundInfo) -> Classification {
+    let aggregates = info
+        .aggregates
+        .iter()
+        .map(|a| {
+            let pattern = if a.grouping_keys > 0 {
+                AggPattern::Fio
+            } else if info.is_correlated(a.collection) || a.outer_refs {
+                // Correlated γ∅ scope: either a nested collection
+                // referencing an outer variable (Fig 5c) or an aggregation
+                // predicate that reaches outside its scope (Eq (27)).
+                AggPattern::Foi
+            } else {
+                AggPattern::Global
+            };
+            ClassifiedAggregate {
+                func: a.func,
+                pattern,
+                role: a.role,
+                predicate: a.predicate.clone(),
+            }
+        })
+        .collect::<Vec<_>>();
+
+    let shape = if !aggregates.is_empty() || info.grouping_scope_count > 0 {
+        QueryShape::Aggregating
+    } else if info.negation_count > 0
+        || info
+            .predicates
+            .iter()
+            .any(|p| p.under_negation)
+    {
+        QueryShape::FirstOrder
+    } else {
+        QueryShape::Conjunctive
+    };
+
+    let mut correlated: Vec<usize> = info.correlations.iter().map(|c| c.inner).collect();
+    correlated.sort_unstable();
+    correlated.dedup();
+
+    Classification {
+        aggregates,
+        shape,
+        correlated_collections: correlated.len(),
+        relation_occurrences: info
+            .relation_occurrences
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect(),
+        max_depth: info.max_depth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arc_core::dsl::*;
+
+    #[test]
+    fn eq3_is_fio() {
+        let q = collection(
+            "Q",
+            &["A", "sm"],
+            quant(
+                &[bind("r", "R")],
+                group(&[("r", "A")]),
+                None,
+                and([
+                    assign("Q", "A", col("r", "A")),
+                    assign_agg("Q", "sm", sum(col("r", "B"))),
+                ]),
+            ),
+        );
+        let cls = classify(&q);
+        assert_eq!(cls.aggregates.len(), 1);
+        assert_eq!(cls.aggregates[0].pattern, AggPattern::Fio);
+        assert_eq!(cls.aggregates[0].role, AggRole::Assignment);
+        assert_eq!(cls.shape, QueryShape::Aggregating);
+    }
+
+    #[test]
+    fn eq7_is_foi() {
+        let x = collection(
+            "X",
+            &["sm"],
+            quant(
+                &[bind("r2", "R")],
+                group_all(),
+                None,
+                and([
+                    eq(col("r2", "A"), col("r", "A")),
+                    assign_agg("X", "sm", sum(col("r2", "B"))),
+                ]),
+            ),
+        );
+        let q = collection(
+            "Q",
+            &["A", "sm"],
+            exists(
+                &[bind("r", "R"), bind_coll("x", x)],
+                and([
+                    assign("Q", "A", col("r", "A")),
+                    assign("Q", "sm", col("x", "sm")),
+                ]),
+            ),
+        );
+        let cls = classify(&q);
+        assert_eq!(cls.aggregates.len(), 1);
+        assert_eq!(cls.aggregates[0].pattern, AggPattern::Foi);
+        // The relation signature records two logical copies of R.
+        assert_eq!(
+            cls.relation_occurrences,
+            vec![("R".to_string(), 2)]
+        );
+    }
+
+    #[test]
+    fn global_aggregate_detected() {
+        let q = collection(
+            "Q",
+            &["c"],
+            quant(
+                &[bind("r", "R")],
+                group_all(),
+                None,
+                and([assign_agg("Q", "c", count(col("r", "A")))]),
+            ),
+        );
+        let cls = classify(&q);
+        assert_eq!(cls.aggregates[0].pattern, AggPattern::Global);
+    }
+
+    #[test]
+    fn count_bug_aggregate_is_a_test() {
+        // Eq (27): the aggregate is used as a comparison — the paper's
+        // diagnostic vocabulary for the count bug.
+        let q = collection(
+            "Q",
+            &["id"],
+            exists(
+                &[bind("r", "R")],
+                and([
+                    assign("Q", "id", col("r", "id")),
+                    quant(
+                        &[bind("s", "S")],
+                        group_all(),
+                        None,
+                        and([
+                            eq(col("r", "id"), col("s", "id")),
+                            eq(col("r", "q"), count(col("s", "d"))),
+                        ]),
+                    ),
+                ]),
+            ),
+        );
+        let cls = classify(&q);
+        assert_eq!(cls.aggregates[0].role, AggRole::Comparison);
+    }
+
+    #[test]
+    fn shapes() {
+        let conj = collection(
+            "Q",
+            &["A"],
+            exists(&[bind("r", "R")], and([assign("Q", "A", col("r", "A"))])),
+        );
+        assert_eq!(classify(&conj).shape, QueryShape::Conjunctive);
+
+        let fo = collection(
+            "Q",
+            &["A"],
+            exists(
+                &[bind("r", "R")],
+                and([
+                    assign("Q", "A", col("r", "A")),
+                    not(exists(
+                        &[bind("s", "S")],
+                        and([eq(col("s", "A"), col("r", "A"))]),
+                    )),
+                ]),
+            ),
+        );
+        assert_eq!(classify(&fo).shape, QueryShape::FirstOrder);
+    }
+}

@@ -1,0 +1,235 @@
+//! Workload generators: random instances (for equivalence testing and
+//! benches) and random conjunctive queries (for similarity benchmarks).
+
+use arc_core::ast::{Collection, Formula};
+use arc_core::dsl as d;
+use arc_core::value::Value;
+use arc_engine::{Catalog, Relation};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+/// Shape of one random relation.
+#[derive(Debug, Clone)]
+pub struct RelationSpec {
+    /// Relation name.
+    pub name: String,
+    /// Attribute names.
+    pub attrs: Vec<String>,
+    /// Row-count range.
+    pub rows: Range<usize>,
+    /// Integer value domain (small domains force duplicates and joins).
+    pub domain: Range<i64>,
+    /// Probability of a `NULL` per cell.
+    pub null_rate: f64,
+}
+
+/// Shape of a random instance.
+#[derive(Debug, Clone, Default)]
+pub struct InstanceSpec {
+    /// Relations to generate.
+    pub relations: Vec<RelationSpec>,
+}
+
+impl InstanceSpec {
+    /// A two-relation integer spec used by many tests:
+    /// `R(A,B)`, `S(B,C)`, small domain, no nulls.
+    pub fn rs() -> Self {
+        InstanceSpec {
+            relations: vec![
+                RelationSpec {
+                    name: "R".into(),
+                    attrs: vec!["A".into(), "B".into()],
+                    rows: 0..8,
+                    domain: 0..5,
+                    null_rate: 0.0,
+                },
+                RelationSpec {
+                    name: "S".into(),
+                    attrs: vec!["B".into(), "C".into()],
+                    rows: 0..8,
+                    domain: 0..5,
+                    null_rate: 0.0,
+                },
+            ],
+        }
+    }
+
+    /// Like [`InstanceSpec::rs`] but with nulls (for 3VL tests).
+    pub fn rs_with_nulls(rate: f64) -> Self {
+        let mut s = Self::rs();
+        for r in &mut s.relations {
+            r.null_rate = rate;
+        }
+        s
+    }
+}
+
+/// Draw one random catalog.
+pub fn random_catalog(spec: &InstanceSpec, rng: &mut StdRng) -> Catalog {
+    let mut catalog = Catalog::with_standard_externals();
+    for rs in &spec.relations {
+        let n = rng.gen_range(rs.rows.clone());
+        let attrs: Vec<&str> = rs.attrs.iter().map(|s| s.as_str()).collect();
+        let mut rel = Relation::new(rs.name.clone(), &attrs);
+        for _ in 0..n {
+            let row: Vec<Value> = (0..rs.attrs.len())
+                .map(|_| {
+                    if rs.null_rate > 0.0 && rng.gen_bool(rs.null_rate) {
+                        Value::Null
+                    } else {
+                        Value::Int(rng.gen_range(rs.domain.clone()))
+                    }
+                })
+                .collect();
+            rel.push(row);
+        }
+        catalog.add(rel);
+    }
+    catalog
+}
+
+/// Generate a random conjunctive query over the spec's relations: `joins`
+/// bindings chained by equality on random attributes, with a projection of
+/// the first binding's first attribute and `selections` constant filters.
+pub fn random_conjunctive_query(
+    spec: &InstanceSpec,
+    joins: usize,
+    selections: usize,
+    seed: u64,
+) -> Collection {
+    let mut rng = StdRng::seed_from_u64(seed);
+    assert!(!spec.relations.is_empty());
+    let mut bindings = Vec::new();
+    let mut preds: Vec<Formula> = Vec::new();
+    let mut prev: Option<(String, String)> = None; // (var, attr)
+    for i in 0..joins.max(1) {
+        let rs = &spec.relations[rng.gen_range(0..spec.relations.len())];
+        let var = format!("t{i}");
+        bindings.push(d::bind(&var, &rs.name));
+        let attr = rs.attrs[rng.gen_range(0..rs.attrs.len())].clone();
+        if let Some((pv, pa)) = prev.take() {
+            preds.push(d::eq(d::col(&pv, &pa), d::col(&var, &attr)));
+        }
+        prev = Some((var, attr));
+    }
+    for _ in 0..selections {
+        let i = rng.gen_range(0..bindings.len());
+        let rs_name = match &bindings[i].source {
+            arc_core::ast::BindingSource::Named(n) => n.clone(),
+            _ => unreachable!("generator emits named bindings"),
+        };
+        let rs = spec
+            .relations
+            .iter()
+            .find(|r| r.name == rs_name)
+            .expect("spec relation");
+        let attr = rs.attrs[rng.gen_range(0..rs.attrs.len())].clone();
+        let v = rng.gen_range(rs.domain.clone());
+        preds.push(d::le(d::col(&bindings[i].var, &attr), d::int(v)));
+    }
+    // Project the first binding's first attribute.
+    let first_var = bindings[0].var.clone();
+    let first_attr = match &bindings[0].source {
+        arc_core::ast::BindingSource::Named(n) => spec
+            .relations
+            .iter()
+            .find(|r| &r.name == n)
+            .expect("spec relation")
+            .attrs[0]
+            .clone(),
+        _ => unreachable!(),
+    };
+    preds.insert(0, d::assign("Q", "A", d::col(&first_var, &first_attr)));
+    d::collection("Q", &["A"], d::exists(&bindings, d::and(preds)))
+}
+
+/// A parent-relation instance for recursion benchmarks: a chain of
+/// `depth` nodes plus `extra` random edges.
+pub fn chain_catalog(depth: usize, extra: usize, seed: u64) -> Catalog {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rel = Relation::new("P", &["s", "t"]);
+    for i in 0..depth {
+        rel.push(vec![Value::Int(i as i64), Value::Int(i as i64 + 1)]);
+    }
+    for _ in 0..extra {
+        let a = rng.gen_range(0..depth as i64 + 1);
+        let b = rng.gen_range(0..depth as i64 + 1);
+        rel.push(vec![Value::Int(a), Value::Int(b)]);
+    }
+    Catalog::new().with(rel)
+}
+
+/// A sparse random matrix in `(row, col, val)` form (Fig 20 workloads).
+pub fn sparse_matrix(name: &str, n: usize, density: f64, seed: u64) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rel = Relation::new(name, &["row", "col", "val"]);
+    for i in 0..n {
+        for j in 0..n {
+            if rng.gen_bool(density) {
+                rel.push(vec![
+                    Value::Int(i as i64),
+                    Value::Int(j as i64),
+                    Value::Int(rng.gen_range(1..10)),
+                ]);
+            }
+        }
+    }
+    rel
+}
+
+/// The paper's `Likes(drinker, beer)` generator for the unique-set query:
+/// `drinkers` drinkers, each liking a random subset of `beers` beers.
+pub fn likes_catalog(drinkers: usize, beers: usize, seed: u64) -> Catalog {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rel = Relation::new("L", &["d", "b"]);
+    for d in 0..drinkers {
+        for b in 0..beers {
+            if rng.gen_bool(0.5) {
+                rel.push(vec![
+                    Value::str(format!("d{d}")),
+                    Value::Int(b as i64),
+                ]);
+            }
+        }
+    }
+    Catalog::new().with(rel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arc_core::binder::Binder;
+
+    #[test]
+    fn random_catalog_respects_spec() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let c = random_catalog(&InstanceSpec::rs(), &mut rng);
+        let r = c.relation("R").unwrap();
+        assert!(r.len() < 8);
+        assert_eq!(r.schema, vec!["A", "B"]);
+    }
+
+    #[test]
+    fn random_queries_bind() {
+        for seed in 0..20 {
+            let q = random_conjunctive_query(&InstanceSpec::rs(), 3, 2, seed);
+            let info = Binder::new().bind_collection(&q);
+            assert!(info.is_valid(), "seed {seed}: {:?}", info.diagnostics);
+        }
+    }
+
+    #[test]
+    fn chain_catalog_shape() {
+        let c = chain_catalog(10, 3, 1);
+        assert_eq!(c.relation("P").unwrap().len(), 13);
+    }
+
+    #[test]
+    fn sparse_matrix_density() {
+        let m = sparse_matrix("A", 10, 1.0, 1);
+        assert_eq!(m.len(), 100);
+        let m = sparse_matrix("A", 10, 0.0, 1);
+        assert!(m.is_empty());
+    }
+}

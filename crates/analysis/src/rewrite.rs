@@ -1,0 +1,711 @@
+//! Pattern rewrites — the transformations the paper discusses, made
+//! executable so their validity conditions can be *tested* rather than
+//! asserted:
+//!
+//! * [`unnest`] — flatten positive nested existential scopes (§2.7: valid
+//!   under set semantics, changes multiplicities under bag semantics);
+//! * [`fio_to_foi`] — turn a grouped FIO scope (Eq (3)) into the
+//!   correlated-γ∅ FOI pattern (Eq (7)); valid under set semantics; makes
+//!   FIO queries expressible in FOI-only languages (Soufflé, Rel);
+//! * [`reify_arith`] — replace arithmetic scalars with external-relation
+//!   bindings (§2.13.1, Eq (19) → Eq (20));
+//! * [`decorrelate`] — the count-bug transformation (§3.2): the naive
+//!   rewrite (Eq (28), *incorrect* on empty groups) and the corrected
+//!   left-join rewrite (Eq (29)).
+
+use arc_core::ast::*;
+
+// ---------------------------------------------------------------------------
+// Unnesting (§2.7)
+// ---------------------------------------------------------------------------
+
+/// Merge positive, annotation-free nested existential scopes into their
+/// parent scope, recursively. Under set semantics the result is equivalent;
+/// under bag semantics it multiplies multiplicities (the paper's semijoin
+/// example) — use `arc-analysis::equiv` to observe both.
+pub fn unnest(c: &Collection) -> Collection {
+    Collection {
+        head: c.head.clone(),
+        body: unnest_formula(c.body.clone()),
+    }
+}
+
+fn unnest_formula(f: Formula) -> Formula {
+    match f {
+        Formula::Quant(q) => {
+            let mut q = *q;
+            q.body = unnest_formula(q.body);
+            if q.grouping.is_some() || q.join.is_some() {
+                return Formula::Quant(Box::new(q));
+            }
+            // Pull up mergeable child quants.
+            let mut bindings = q.bindings;
+            let mut conjuncts: Vec<Formula> = Vec::new();
+            let mut changed = false;
+            for part in q.body.conjuncts() {
+                match part {
+                    Formula::Quant(inner)
+                        if inner.grouping.is_none() && inner.join.is_none() =>
+                    {
+                        bindings.extend(inner.bindings.clone());
+                        conjuncts.extend(inner.body.conjuncts().into_iter().cloned());
+                        changed = true;
+                    }
+                    other => conjuncts.push(other.clone()),
+                }
+            }
+            let merged = Formula::Quant(Box::new(Quant {
+                bindings,
+                grouping: None,
+                join: None,
+                body: Formula::And(conjuncts),
+            }));
+            if changed {
+                unnest_formula(merged)
+            } else {
+                merged
+            }
+        }
+        Formula::And(fs) => Formula::And(fs.into_iter().map(unnest_formula).collect()),
+        Formula::Or(fs) => Formula::Or(fs.into_iter().map(unnest_formula).collect()),
+        Formula::Not(inner) => Formula::Not(Box::new(unnest_formula(*inner))),
+        Formula::Pred(p) => Formula::Pred(p),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FIO → FOI (§2.5)
+// ---------------------------------------------------------------------------
+
+/// Rewrite a top-level FIO grouped scope into the FOI pattern: an outer
+/// scope over the same bindings plus a correlated nested `γ∅` collection
+/// per the paper's Eq (3) → Eq (7). Valid under set semantics (FIO groups
+/// exist only for surviving rows; the outer filters are replicated to
+/// preserve that). Returns `None` when the collection is not a single
+/// FIO-grouped scope.
+pub fn fio_to_foi(c: &Collection) -> Option<Collection> {
+    let q = match &c.body {
+        Formula::Quant(q) if matches!(&q.grouping, Some(g) if !g.keys.is_empty()) => q,
+        _ => return None,
+    };
+    if q.join.is_some() {
+        return None;
+    }
+    let keys = &q.grouping.as_ref().expect("checked").keys;
+
+    // Partition the conjunction.
+    let mut filters: Vec<Formula> = Vec::new();
+    let mut key_assigns: Vec<(String, AttrRef)> = Vec::new(); // head attr → key
+    let mut agg_assigns: Vec<(String, AggCall)> = Vec::new();
+    for part in q.body.conjuncts() {
+        match part {
+            Formula::Pred(Predicate::Cmp {
+                left: Scalar::Attr(h),
+                op: CmpOp::Eq,
+                right,
+            }) if h.var == c.head.relation => match right {
+                Scalar::Agg(call) => agg_assigns.push((h.attr.clone(), (**call).clone())),
+                Scalar::Attr(a) if keys.contains(a) => {
+                    key_assigns.push((h.attr.clone(), a.clone()))
+                }
+                _ => return None,
+            },
+            Formula::Pred(_) => filters.push(part.clone()),
+            _ => return None, // nested scopes: out of the simple FIO shape
+        }
+    }
+    if agg_assigns.is_empty() {
+        return None;
+    }
+
+    // Inner collection: renamed copies of the bindings, γ∅, filters +
+    // key-correlations + one aggregation assignment per aggregate.
+    let rename = |v: &str| format!("{v}_i");
+    let inner_bindings: Vec<Binding> = q
+        .bindings
+        .iter()
+        .map(|b| match &b.source {
+            BindingSource::Named(n) => Binding::named(rename(&b.var), n.clone()),
+            BindingSource::Collection(_) => Binding::named(rename(&b.var), "?unsupported"),
+        })
+        .collect();
+    if q.bindings
+        .iter()
+        .any(|b| matches!(b.source, BindingSource::Collection(_)))
+    {
+        return None;
+    }
+    let mut inner_conjuncts: Vec<Formula> = filters
+        .iter()
+        .map(|f| rename_vars_formula(f.clone(), &rename))
+        .collect();
+    for k in keys {
+        inner_conjuncts.push(Formula::Pred(Predicate::Cmp {
+            left: Scalar::Attr(AttrRef::new(rename(&k.var), k.attr.clone())),
+            op: CmpOp::Eq,
+            right: Scalar::Attr(k.clone()),
+        }));
+    }
+    let inner_name = "X".to_string();
+    let mut inner_attrs = Vec::new();
+    for (attr, call) in &agg_assigns {
+        inner_attrs.push(attr.clone());
+        let renamed_call = AggCall {
+            func: call.func,
+            arg: match &call.arg {
+                AggArg::Expr(e) => AggArg::Expr(rename_vars_scalar(e.clone(), &rename)),
+                AggArg::Star => AggArg::Star,
+            },
+            distinct: call.distinct,
+        };
+        inner_conjuncts.push(Formula::Pred(Predicate::Cmp {
+            left: Scalar::Attr(AttrRef::new(inner_name.clone(), attr.clone())),
+            op: CmpOp::Eq,
+            right: Scalar::Agg(Box::new(renamed_call)),
+        }));
+    }
+    let inner = Collection {
+        head: Head {
+            relation: inner_name,
+            attrs: inner_attrs,
+        },
+        body: Formula::Quant(Box::new(Quant {
+            bindings: inner_bindings,
+            grouping: Some(Grouping::empty()),
+            join: None,
+            body: Formula::And(inner_conjuncts),
+        })),
+    };
+
+    // Outer scope: original bindings + filters + the nested binding.
+    let mut outer_bindings = q.bindings.clone();
+    outer_bindings.push(Binding::nested("x", inner));
+    let mut outer_conjuncts = filters;
+    for (attr, key) in &key_assigns {
+        outer_conjuncts.push(Formula::Pred(Predicate::Cmp {
+            left: Scalar::Attr(AttrRef::new(c.head.relation.clone(), attr.clone())),
+            op: CmpOp::Eq,
+            right: Scalar::Attr(key.clone()),
+        }));
+    }
+    for (attr, _) in &agg_assigns {
+        outer_conjuncts.push(Formula::Pred(Predicate::Cmp {
+            left: Scalar::Attr(AttrRef::new(c.head.relation.clone(), attr.clone())),
+            op: CmpOp::Eq,
+            right: Scalar::Attr(AttrRef::new("x", attr.clone())),
+        }));
+    }
+    Some(Collection {
+        head: c.head.clone(),
+        body: Formula::Quant(Box::new(Quant {
+            bindings: outer_bindings,
+            grouping: None,
+            join: None,
+            body: Formula::And(outer_conjuncts),
+        })),
+    })
+}
+
+fn rename_vars_formula(f: Formula, rename: &impl Fn(&str) -> String) -> Formula {
+    match f {
+        Formula::Pred(Predicate::Cmp { left, op, right }) => Formula::Pred(Predicate::Cmp {
+            left: rename_vars_scalar(left, rename),
+            op,
+            right: rename_vars_scalar(right, rename),
+        }),
+        Formula::Pred(Predicate::IsNull { expr, negated }) => Formula::Pred(Predicate::IsNull {
+            expr: rename_vars_scalar(expr, rename),
+            negated,
+        }),
+        other => other, // nested formulas excluded by the caller's shape check
+    }
+}
+
+fn rename_vars_scalar(s: Scalar, rename: &impl Fn(&str) -> String) -> Scalar {
+    match s {
+        Scalar::Attr(a) => Scalar::Attr(AttrRef::new(rename(&a.var), a.attr)),
+        Scalar::Const(v) => Scalar::Const(v),
+        Scalar::Agg(call) => Scalar::Agg(Box::new(AggCall {
+            func: call.func,
+            arg: match call.arg {
+                AggArg::Expr(e) => AggArg::Expr(rename_vars_scalar(e, rename)),
+                AggArg::Star => AggArg::Star,
+            },
+            distinct: call.distinct,
+        })),
+        Scalar::Arith { op, left, right } => Scalar::Arith {
+            op,
+            left: Box::new(rename_vars_scalar(*left, rename)),
+            right: Box::new(rename_vars_scalar(*right, rename)),
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reification of arithmetic (§2.13.1)
+// ---------------------------------------------------------------------------
+
+/// Replace arithmetic scalars with bindings to the standard external
+/// relations (`Add`, `Minus`, `*`, `Div`), turning Eq (19) into Eq (20).
+/// The resulting query evaluates identically via access patterns.
+pub fn reify_arith(c: &Collection) -> Collection {
+    Collection {
+        head: c.head.clone(),
+        body: reify_formula(c.body.clone(), &mut 0),
+    }
+}
+
+fn reify_formula(f: Formula, counter: &mut usize) -> Formula {
+    match f {
+        Formula::Quant(q) => {
+            let mut q = *q;
+            q.body = reify_formula(q.body, counter);
+            // Collect new bindings/preds from predicates directly in this
+            // scope's conjunction.
+            let mut new_bindings: Vec<Binding> = Vec::new();
+            let mut new_preds: Vec<Formula> = Vec::new();
+            let conjuncts: Vec<Formula> = q
+                .body
+                .conjuncts()
+                .into_iter()
+                .cloned()
+                .map(|part| match part {
+                    Formula::Pred(Predicate::Cmp { left, op, right }) => {
+                        let l = reify_scalar(left, &mut new_bindings, &mut new_preds, counter);
+                        let r = reify_scalar(right, &mut new_bindings, &mut new_preds, counter);
+                        Formula::Pred(Predicate::Cmp {
+                            left: l,
+                            op,
+                            right: r,
+                        })
+                    }
+                    other => other,
+                })
+                .collect();
+            q.bindings.extend(new_bindings);
+            let mut all = conjuncts;
+            all.extend(new_preds);
+            q.body = Formula::And(all);
+            Formula::Quant(Box::new(q))
+        }
+        Formula::And(fs) => Formula::And(fs.into_iter().map(|s| reify_formula(s, counter)).collect()),
+        Formula::Or(fs) => Formula::Or(fs.into_iter().map(|s| reify_formula(s, counter)).collect()),
+        Formula::Not(inner) => Formula::Not(Box::new(reify_formula(*inner, counter))),
+        Formula::Pred(p) => Formula::Pred(p),
+    }
+}
+
+fn reify_scalar(
+    s: Scalar,
+    bindings: &mut Vec<Binding>,
+    preds: &mut Vec<Formula>,
+    counter: &mut usize,
+) -> Scalar {
+    match s {
+        Scalar::Arith { op, left, right } => {
+            let l = reify_scalar(*left, bindings, preds, counter);
+            let r = reify_scalar(*right, bindings, preds, counter);
+            *counter += 1;
+            let var = format!("f{counter}");
+            let (ext, a1, a2, out) = match op {
+                ArithOp::Add => ("Add", "left", "right", "out"),
+                ArithOp::Sub => ("Minus", "left", "right", "out"),
+                ArithOp::Mul => ("*", "$1", "$2", "out"),
+                ArithOp::Div => ("Div", "left", "right", "out"),
+            };
+            bindings.push(Binding::named(var.clone(), ext));
+            preds.push(Formula::Pred(Predicate::Cmp {
+                left: Scalar::Attr(AttrRef::new(var.clone(), a1)),
+                op: CmpOp::Eq,
+                right: l,
+            }));
+            preds.push(Formula::Pred(Predicate::Cmp {
+                left: Scalar::Attr(AttrRef::new(var.clone(), a2)),
+                op: CmpOp::Eq,
+                right: r,
+            }));
+            Scalar::Attr(AttrRef::new(var, out))
+        }
+        // Aggregate arguments keep arithmetic inline: their scope is the
+        // grouping scope, reification would move the computation out of it.
+        Scalar::Agg(call) => Scalar::Agg(call),
+        other => other,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Count-bug decorrelation (§3.2)
+// ---------------------------------------------------------------------------
+
+/// Which decorrelation to produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decorrelation {
+    /// Eq (28): group the inner relation and join — the **count bug**
+    /// (loses outer tuples with empty groups).
+    NaiveIncorrect,
+    /// Eq (29): group over a LEFT JOIN from the outer relation — correct
+    /// when the outer correlation attribute is a key (paper footnote 12).
+    LeftJoinCorrect,
+}
+
+/// Decorrelate the Eq (27) shape: an outer scope `∃r∈R[… ∧ ∃s∈S, γ∅
+/// [r.k = s.k ∧ e(r) cmp agg(s.x)]]`. Returns `None` when the collection
+/// does not match the shape.
+pub fn decorrelate(c: &Collection, style: Decorrelation) -> Option<Collection> {
+    let outer = match &c.body {
+        Formula::Quant(q) if q.grouping.is_none() && q.join.is_none() => q,
+        _ => return None,
+    };
+    // Find the correlated grouped boolean scope.
+    let mut nested: Option<&Quant> = None;
+    let mut rest: Vec<Formula> = Vec::new();
+    for part in outer.body.conjuncts() {
+        match part {
+            Formula::Quant(q)
+                if matches!(&q.grouping, Some(g) if g.keys.is_empty())
+                    && q.bindings.len() == 1
+                    && nested.is_none() =>
+            {
+                nested = Some(q)
+            }
+            other => rest.push(other.clone()),
+        }
+    }
+    let nested = nested?;
+    let (inner_var, inner_rel) = match &nested.bindings[0].source {
+        BindingSource::Named(n) => (nested.bindings[0].var.clone(), n.clone()),
+        _ => return None,
+    };
+
+    // Inside: one correlation equality and one aggregate comparison.
+    let mut corr: Option<(AttrRef, AttrRef)> = None; // (inner, outer)
+    let mut agg_cmp: Option<(Scalar, CmpOp, AggCall)> = None;
+    for part in nested.body.conjuncts() {
+        match part {
+            Formula::Pred(Predicate::Cmp {
+                left: Scalar::Attr(a),
+                op: CmpOp::Eq,
+                right: Scalar::Attr(b),
+            }) if !part.conjuncts().is_empty() && corr.is_none() && !a_has_agg(part) => {
+                let (inner_ref, outer_ref) = if a.var == inner_var {
+                    (a.clone(), b.clone())
+                } else if b.var == inner_var {
+                    (b.clone(), a.clone())
+                } else {
+                    return None;
+                };
+                corr = Some((inner_ref, outer_ref));
+            }
+            Formula::Pred(Predicate::Cmp { left, op, right }) => match (left, right) {
+                (Scalar::Agg(call), probe) => {
+                    agg_cmp = Some((probe.clone(), op.flipped(), (**call).clone()))
+                }
+                (probe, Scalar::Agg(call)) => {
+                    agg_cmp = Some((probe.clone(), *op, (**call).clone()))
+                }
+                _ => return None,
+            },
+            _ => return None,
+        }
+    }
+    let (corr_inner, corr_outer) = corr?;
+    let (probe, op, agg) = agg_cmp?;
+
+    // The outer relation the correlation points at (for the LEFT JOIN fix).
+    let outer_rel = outer.bindings.iter().find(|b| b.var == corr_outer.var)?;
+    let outer_rel_name = match &outer_rel.source {
+        BindingSource::Named(n) => n.clone(),
+        _ => return None,
+    };
+
+    let x_name = "X".to_string();
+    let nested_coll = match style {
+        Decorrelation::NaiveIncorrect => Collection {
+            head: Head::new(&x_name, &["k", "ct"]),
+            body: Formula::Quant(Box::new(Quant {
+                bindings: vec![Binding::named(inner_var.clone(), inner_rel)],
+                grouping: Some(Grouping::by(vec![corr_inner.clone()])),
+                join: None,
+                body: Formula::And(vec![
+                    Formula::Pred(Predicate::Cmp {
+                        left: Scalar::Attr(AttrRef::new(x_name.clone(), "k")),
+                        op: CmpOp::Eq,
+                        right: Scalar::Attr(corr_inner.clone()),
+                    }),
+                    Formula::Pred(Predicate::Cmp {
+                        left: Scalar::Attr(AttrRef::new(x_name.clone(), "ct")),
+                        op: CmpOp::Eq,
+                        right: Scalar::Agg(Box::new(agg.clone())),
+                    }),
+                ]),
+            })),
+        },
+        Decorrelation::LeftJoinCorrect => {
+            let r2 = "r2".to_string();
+            Collection {
+                head: Head::new(&x_name, &["k", "ct"]),
+                body: Formula::Quant(Box::new(Quant {
+                    bindings: vec![
+                        Binding::named(r2.clone(), outer_rel_name),
+                        Binding::named(inner_var.clone(), inner_rel),
+                    ],
+                    grouping: Some(Grouping::by(vec![AttrRef::new(
+                        r2.clone(),
+                        corr_outer.attr.clone(),
+                    )])),
+                    join: Some(JoinTree::Left(
+                        Box::new(JoinTree::Var(r2.clone())),
+                        Box::new(JoinTree::Var(inner_var.clone())),
+                    )),
+                    body: Formula::And(vec![
+                        Formula::Pred(Predicate::Cmp {
+                            left: Scalar::Attr(AttrRef::new(x_name.clone(), "k")),
+                            op: CmpOp::Eq,
+                            right: Scalar::Attr(AttrRef::new(r2.clone(), corr_outer.attr.clone())),
+                        }),
+                        Formula::Pred(Predicate::Cmp {
+                            left: Scalar::Attr(AttrRef::new(x_name.clone(), "ct")),
+                            op: CmpOp::Eq,
+                            right: Scalar::Agg(Box::new(agg.clone())),
+                        }),
+                        Formula::Pred(Predicate::Cmp {
+                            left: Scalar::Attr(AttrRef::new(r2, corr_outer.attr.clone())),
+                            op: CmpOp::Eq,
+                            right: Scalar::Attr(corr_inner.clone()),
+                        }),
+                    ]),
+                })),
+            }
+        }
+    };
+
+    let mut bindings = outer.bindings.clone();
+    bindings.push(Binding::nested("x", nested_coll));
+    let mut conjuncts = rest;
+    conjuncts.push(Formula::Pred(Predicate::Cmp {
+        left: Scalar::Attr(corr_outer),
+        op: CmpOp::Eq,
+        right: Scalar::Attr(AttrRef::new("x", "k")),
+    }));
+    conjuncts.push(Formula::Pred(Predicate::Cmp {
+        left: probe,
+        op,
+        right: Scalar::Attr(AttrRef::new("x", "ct")),
+    }));
+    Some(Collection {
+        head: c.head.clone(),
+        body: Formula::Quant(Box::new(Quant {
+            bindings,
+            grouping: None,
+            join: None,
+            body: Formula::And(conjuncts),
+        })),
+    })
+}
+
+fn a_has_agg(f: &Formula) -> bool {
+    match f {
+        Formula::Pred(p) => p.has_aggregate(),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arc_core::conventions::Conventions;
+    use arc_core::dsl::*;
+    use arc_engine::{Catalog, Engine, Relation};
+
+    #[test]
+    fn unnest_merges_positive_scopes() {
+        let nested = collection(
+            "Q",
+            &["A"],
+            exists(
+                &[bind("r", "R")],
+                and([exists(
+                    &[bind("s", "S")],
+                    and([
+                        assign("Q", "A", col("r", "A")),
+                        eq(col("r", "B"), col("s", "B")),
+                    ]),
+                )]),
+            ),
+        );
+        let flat = unnest(&nested);
+        match &flat.body {
+            Formula::Quant(q) => assert_eq!(q.bindings.len(), 2),
+            other => panic!("expected flat quant, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unnest_preserves_negation_scopes() {
+        let q = collection(
+            "Q",
+            &["A"],
+            exists(
+                &[bind("r", "R")],
+                and([
+                    assign("Q", "A", col("r", "A")),
+                    not(exists(
+                        &[bind("s", "S")],
+                        and([eq(col("s", "B"), col("r", "B"))]),
+                    )),
+                ]),
+            ),
+        );
+        let flat = unnest(&q);
+        match &flat.body {
+            Formula::Quant(quant) => {
+                assert_eq!(quant.bindings.len(), 1, "negated scope must not merge");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fio_to_foi_preserves_results_under_set_semantics() {
+        let fio = collection(
+            "Q",
+            &["A", "sm"],
+            quant(
+                &[bind("r", "R")],
+                group(&[("r", "A")]),
+                None,
+                and([
+                    assign("Q", "A", col("r", "A")),
+                    assign_agg("Q", "sm", sum(col("r", "B"))),
+                ]),
+            ),
+        );
+        let foi = fio_to_foi(&fio).expect("rewrite applies");
+        let catalog = Catalog::new().with(Relation::from_ints(
+            "R",
+            &["A", "B"],
+            &[&[1, 10], &[1, 20], &[2, 5]],
+        ));
+        let engine = Engine::new(&catalog, Conventions::set());
+        let a = engine.eval_collection(&fio).unwrap();
+        let b = engine.eval_collection(&foi).unwrap();
+        assert!(a.set_eq(&b), "{a}\nvs\n{b}");
+        // And it now renders to Datalog-style FOI: nested collection + γ∅.
+        let sig = arc_core::pattern::signature(&foi);
+        assert_eq!(sig.features.get("group:0"), Some(&1));
+        assert_eq!(sig.features.get("nested-collection"), Some(&1));
+    }
+
+    #[test]
+    fn fio_to_foi_with_filters() {
+        let fio = collection(
+            "Q",
+            &["A", "sm"],
+            quant(
+                &[bind("r", "R")],
+                group(&[("r", "A")]),
+                None,
+                and([
+                    gt(col("r", "B"), int(5)),
+                    assign("Q", "A", col("r", "A")),
+                    assign_agg("Q", "sm", sum(col("r", "B"))),
+                ]),
+            ),
+        );
+        let foi = fio_to_foi(&fio).expect("rewrite applies");
+        let catalog = Catalog::new().with(Relation::from_ints(
+            "R",
+            &["A", "B"],
+            &[&[1, 10], &[1, 3], &[2, 5], &[3, 9]],
+        ));
+        let engine = Engine::new(&catalog, Conventions::set());
+        let a = engine.eval_collection(&fio).unwrap();
+        let b = engine.eval_collection(&foi).unwrap();
+        assert!(a.set_eq(&b), "{a}\nvs\n{b}");
+    }
+
+    #[test]
+    fn reify_arith_matches_inline_evaluation() {
+        // Eq (19) vs Eq (20).
+        let inline = collection(
+            "Q",
+            &["A"],
+            exists(
+                &[bind("r", "R"), bind("s", "S"), bind("t", "T")],
+                and([
+                    assign("Q", "A", col("r", "A")),
+                    gt(sub(col("r", "B"), col("s", "B")), col("t", "B")),
+                ]),
+            ),
+        );
+        let reified = reify_arith(&inline);
+        let sig = arc_core::pattern::signature(&reified);
+        assert_eq!(sig.features.get("rel:Minus"), Some(&1));
+
+        let catalog = Catalog::with_standard_externals()
+            .with(Relation::from_ints("R", &["A", "B"], &[&[1, 10], &[2, 5]]))
+            .with(Relation::from_ints("S", &["B"], &[&[3]]))
+            .with(Relation::from_ints("T", &["B"], &[&[5]]));
+        let engine = Engine::new(&catalog, Conventions::set());
+        let a = engine.eval_collection(&inline).unwrap();
+        let b = engine.eval_collection(&reified).unwrap();
+        assert!(a.set_eq(&b), "{a}\nvs\n{b}");
+    }
+
+    fn count_bug_v1() -> Collection {
+        collection(
+            "Q",
+            &["id"],
+            exists(
+                &[bind("r", "R")],
+                and([
+                    assign("Q", "id", col("r", "id")),
+                    quant(
+                        &[bind("s", "S")],
+                        group_all(),
+                        None,
+                        and([
+                            eq(col("s", "id"), col("r", "id")),
+                            eq(col("r", "q"), count(col("s", "d"))),
+                        ]),
+                    ),
+                ]),
+            ),
+        )
+    }
+
+    #[test]
+    fn decorrelation_reproduces_the_count_bug() {
+        let v1 = count_bug_v1();
+        let v2 = decorrelate(&v1, Decorrelation::NaiveIncorrect).expect("shape matches");
+        let v3 = decorrelate(&v1, Decorrelation::LeftJoinCorrect).expect("shape matches");
+
+        let catalog = Catalog::new()
+            .with(Relation::from_ints("R", &["id", "q"], &[&[9, 0]]))
+            .with(Relation::from_ints("S", &["id", "d"], &[]));
+        let engine = Engine::new(&catalog, Conventions::sql());
+        let r1 = engine.eval_collection(&v1).unwrap();
+        let r2 = engine.eval_collection(&v2).unwrap();
+        let r3 = engine.eval_collection(&v3).unwrap();
+        assert_eq!(r1.len(), 1, "v1 returns 9");
+        assert!(r2.is_empty(), "v2 exhibits the count bug");
+        assert!(r1.bag_eq(&r3), "v3 is the correct decorrelation");
+    }
+
+    #[test]
+    fn decorrelation_agrees_when_groups_are_never_empty() {
+        let v1 = count_bug_v1();
+        let v2 = decorrelate(&v1, Decorrelation::NaiveIncorrect).unwrap();
+        let catalog = Catalog::new()
+            .with(Relation::from_ints("R", &["id", "q"], &[&[1, 2], &[2, 1]]))
+            .with(Relation::from_ints(
+                "S",
+                &["id", "d"],
+                &[&[1, 10], &[1, 11], &[2, 20]],
+            ));
+        let engine = Engine::new(&catalog, Conventions::sql());
+        let r1 = engine.eval_collection(&v1).unwrap();
+        let r2 = engine.eval_collection(&v2).unwrap();
+        assert!(r1.bag_eq(&r2));
+    }
+}

@@ -1,0 +1,110 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **naive vs. semi-naive** fixpoint (the engine's one performance
+//!   feature) over growing transitive-closure chains;
+//! * **FIO vs. FOI** evaluation cost (the FOI pattern re-scans the inner
+//!   relation per outer tuple — the asymptotic price of Klug-style
+//!   per-aggregate scopes);
+//! * **inline vs. reified arithmetic** (access-pattern dispatch overhead);
+//! * **set vs. bag** semantics (deduplication cost at collection
+//!   boundaries).
+
+use arc_bench::fixtures as fx;
+use arc_core::conventions::Conventions;
+use arc_engine::{Engine, FixpointStrategy};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+}
+
+fn naive_vs_semi_naive(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_fixpoint");
+    let program = fx::eq16();
+    for depth in [16usize, 32, 64] {
+        let catalog = arc_analysis::chain_catalog(depth, 0, 3);
+        g.bench_with_input(BenchmarkId::new("naive", depth), &depth, |b, _| {
+            let engine = Engine::new(&catalog, Conventions::set());
+            b.iter(|| {
+                black_box(
+                    engine
+                        .eval_program_with(&program, FixpointStrategy::Naive)
+                        .unwrap()
+                        .defined["A"]
+                        .len(),
+                )
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("semi_naive", depth), &depth, |b, _| {
+            let engine = Engine::new(&catalog, Conventions::set());
+            b.iter(|| {
+                black_box(
+                    engine
+                        .eval_program_with(&program, FixpointStrategy::SemiNaive)
+                        .unwrap()
+                        .defined["A"]
+                        .len(),
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+fn fio_vs_foi_cost(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_fio_foi");
+    let fio = fx::eq3();
+    let foi = fx::eq7();
+    let rewritten = arc_analysis::fio_to_foi(&fio).expect("rewrite applies");
+    for n in [64usize, 192] {
+        let catalog = fx::grouped_catalog(n, 8);
+        for (name, q) in [("fio", &fio), ("foi", &foi), ("fio_to_foi", &rewritten)] {
+            g.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                let engine = Engine::new(&catalog, Conventions::set());
+                b.iter(|| black_box(engine.eval_collection(q).unwrap().len()));
+            });
+        }
+    }
+    g.finish();
+}
+
+fn inline_vs_reified(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_reify");
+    let inline = fx::eq19();
+    let reified = arc_analysis::reify_arith(&inline);
+    let catalog = fx::fig15_catalog();
+    g.bench_function("inline_arith", |b| {
+        let engine = Engine::new(&catalog, Conventions::set());
+        b.iter(|| black_box(engine.eval_collection(&inline).unwrap().len()));
+    });
+    g.bench_function("reified_external", |b| {
+        let engine = Engine::new(&catalog, Conventions::set());
+        b.iter(|| black_box(engine.eval_collection(&reified).unwrap().len()));
+    });
+    g.finish();
+}
+
+fn set_vs_bag(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_set_bag");
+    let q = fx::eq1();
+    let catalog = fx::rs_catalog(512);
+    for (name, conv) in [("set", Conventions::set()), ("bag", Conventions::sql())] {
+        g.bench_function(name, |b| {
+            let engine = Engine::new(&catalog, conv);
+            b.iter(|| black_box(engine.eval_collection(&q).unwrap().len()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = ablation;
+    config = configured();
+    targets = naive_vs_semi_naive, fio_vs_foi_cost, inline_vs_reified, set_vs_bag
+}
+criterion_main!(ablation);

@@ -1,0 +1,321 @@
+//! One Criterion group per paper figure: each benchmark evaluates the
+//! figure's query (or query family) on a scaled version of its instance,
+//! so the harness both regenerates the figure's result and measures the
+//! conceptual-evaluation cost of its pattern.
+
+use arc_bench::fixtures as fx;
+use arc_core::conventions::Conventions;
+use arc_engine::{Catalog, Engine, Relation};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+}
+
+fn fig02_trc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig02_trc");
+    let q = fx::eq1();
+    for n in [64usize, 256, 1024] {
+        let catalog = fx::rs_catalog(n);
+        g.bench_with_input(BenchmarkId::new("eq1_eval", n), &n, |b, _| {
+            let engine = Engine::new(&catalog, Conventions::set());
+            b.iter(|| black_box(engine.eval_collection(&q).unwrap().len()));
+        });
+    }
+    g.finish();
+}
+
+fn fig03_lateral(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig03_lateral");
+    let q = fx::eq2();
+    for n in [16usize, 64, 128] {
+        let mut x = Relation::new("X", &["A"]);
+        let mut y = Relation::new("Y", &["A"]);
+        for i in 0..n {
+            x.push(vec![(i as i64).into()]);
+            y.push(vec![(i as i64).into()]);
+        }
+        let catalog = Catalog::new().with(x).with(y);
+        g.bench_with_input(BenchmarkId::new("eq2_eval", n), &n, |b, _| {
+            let engine = Engine::new(&catalog, Conventions::set());
+            b.iter(|| black_box(engine.eval_collection(&q).unwrap().len()));
+        });
+    }
+    g.finish();
+}
+
+fn fig04_fio_fig05_foi(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig04_05_fio_vs_foi");
+    let fio = fx::eq3();
+    let foi = fx::eq7();
+    for n in [64usize, 256] {
+        let catalog = fx::grouped_catalog(n, 8);
+        g.bench_with_input(BenchmarkId::new("fio_eq3", n), &n, |b, _| {
+            let engine = Engine::new(&catalog, Conventions::set());
+            b.iter(|| black_box(engine.eval_collection(&fio).unwrap().len()));
+        });
+        g.bench_with_input(BenchmarkId::new("foi_eq7", n), &n, |b, _| {
+            let engine = Engine::new(&catalog, Conventions::set());
+            b.iter(|| black_box(engine.eval_collection(&foi).unwrap().len()));
+        });
+    }
+    g.finish();
+}
+
+fn fig06_08_multi_aggregates(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig06_08_multi_aggregates");
+    for (name, q) in [
+        ("eq8_one_scope", fx::eq8()),
+        ("eq10_hella", fx::eq10()),
+        ("eq12_rel", fx::eq12()),
+    ] {
+        let catalog = fx::dept_catalog(60, 6);
+        g.bench_function(name, |b| {
+            let engine = Engine::new(&catalog, Conventions::set());
+            b.iter(|| black_box(engine.eval_collection(&q).unwrap().len()));
+        });
+    }
+    g.finish();
+}
+
+fn fig09_sentences(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig09_sentences");
+    let e13 = fx::eq13();
+    let e14 = fx::eq14();
+    let catalog = fx::count_bug_catalog(false);
+    g.bench_function("eq13", |b| {
+        let engine = Engine::new(&catalog, Conventions::sql());
+        b.iter(|| black_box(engine.eval_sentence(&e13).unwrap()));
+    });
+    g.bench_function("eq14", |b| {
+        let engine = Engine::new(&catalog, Conventions::sql());
+        b.iter(|| black_box(engine.eval_sentence(&e14).unwrap()));
+    });
+    g.finish();
+}
+
+fn fig10_recursion(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_recursion");
+    let program = fx::eq16();
+    for depth in [16usize, 48] {
+        let catalog = arc_analysis::chain_catalog(depth, 4, 7);
+        g.bench_with_input(BenchmarkId::new("semi_naive", depth), &depth, |b, _| {
+            let engine = Engine::new(&catalog, Conventions::set());
+            b.iter(|| {
+                black_box(
+                    engine
+                        .eval_program_with(&program, arc_engine::FixpointStrategy::SemiNaive)
+                        .unwrap()
+                        .defined["A"]
+                        .len(),
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+fn fig11_not_in(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_not_in");
+    let q = fx::eq17();
+    for n in [64usize, 256] {
+        let mut r = Relation::new("R", &["A"]);
+        let mut s = Relation::new("S", &["A"]);
+        for i in 0..n {
+            r.push(vec![(i as i64).into()]);
+            if i % 2 == 0 {
+                s.push(vec![(i as i64).into()]);
+            }
+        }
+        let catalog = Catalog::new().with(r).with(s);
+        g.bench_with_input(BenchmarkId::new("eq17_eval", n), &n, |b, _| {
+            let engine = Engine::new(&catalog, Conventions::sql());
+            b.iter(|| black_box(engine.eval_collection(&q).unwrap().len()));
+        });
+    }
+    g.finish();
+}
+
+fn fig12_outer_join(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_outer_join");
+    let q = fx::eq18();
+    for n in [32usize, 128] {
+        let mut r = Relation::new("R", &["m", "y", "h"]);
+        let mut s = Relation::new("S", &["y", "n", "q"]);
+        for i in 0..n {
+            r.push(vec![
+                (i as i64).into(),
+                (i as i64).into(),
+                (if i % 2 == 0 { 11i64 } else { 99 }).into(),
+            ]);
+            if i % 3 == 0 {
+                s.push(vec![(i as i64).into(), (i as i64).into(), 0i64.into()]);
+            }
+        }
+        let catalog = Catalog::new().with(r).with(s);
+        g.bench_with_input(BenchmarkId::new("eq18_eval", n), &n, |b, _| {
+            let engine = Engine::new(&catalog, Conventions::sql());
+            b.iter(|| black_box(engine.eval_collection(&q).unwrap().len()));
+        });
+    }
+    g.finish();
+}
+
+fn fig13_head_aggregates(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13_head_aggregates");
+    let schemas = fx::fig13_catalog(true).schema_map();
+    let lateral = arc_sql::sql_to_arc(
+        "select R.A, X.sm from R join lateral \
+         (select sum(S.B) sm from S where S.A < R.A) X on true",
+        &schemas,
+    )
+    .unwrap();
+    let leftjoin = arc_sql::sql_to_arc(
+        "select R.A, sum(S.B) sm from R left join S on S.A < R.A group by R.A",
+        &schemas,
+    )
+    .unwrap();
+    for n in [32usize, 96] {
+        let mut r = Relation::new("R", &["A"]);
+        let mut s = Relation::new("S", &["A", "B"]);
+        for i in 0..n {
+            r.push(vec![((i % (n / 2)) as i64).into()]); // duplicates
+            s.push(vec![(i as i64).into(), (i as i64).into()]);
+        }
+        let catalog = Catalog::new().with(r).with(s);
+        g.bench_with_input(BenchmarkId::new("lateral", n), &n, |b, _| {
+            let engine = Engine::new(&catalog, Conventions::sql());
+            b.iter(|| black_box(engine.eval_collection(&lateral).unwrap().len()));
+        });
+        g.bench_with_input(BenchmarkId::new("left_join_group_by", n), &n, |b, _| {
+            let engine = Engine::new(&catalog, Conventions::sql());
+            b.iter(|| black_box(engine.eval_collection(&leftjoin).unwrap().len()));
+        });
+    }
+    g.finish();
+}
+
+fn fig15_externals(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig15_externals");
+    for (name, q) in [
+        ("eq19_inline", fx::eq19()),
+        ("eq20_reified", fx::eq20()),
+        ("eq21_two_externals", fx::eq21()),
+    ] {
+        let mut catalog = Catalog::with_standard_externals();
+        let mut r = Relation::new("R", &["A", "B"]);
+        let mut s = Relation::new("S", &["B"]);
+        let mut t = Relation::new("T", &["B"]);
+        for i in 0..48i64 {
+            r.push(vec![i.into(), (i * 3 % 17).into()]);
+            if i < 12 {
+                s.push(vec![(i % 7).into()]);
+                t.push(vec![(i % 5).into()]);
+            }
+        }
+        catalog.add(r);
+        catalog.add(s);
+        catalog.add(t);
+        g.bench_function(name, |b| {
+            let engine = Engine::new(&catalog, Conventions::set());
+            b.iter(|| black_box(engine.eval_collection(&q).unwrap().len()));
+        });
+    }
+    g.finish();
+}
+
+fn fig16_unique_set(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig16_unique_set");
+    let direct = fx::eq22();
+    let modular = fx::eq24_program();
+    for drinkers in [6usize, 10] {
+        let catalog = arc_analysis::likes_catalog(drinkers, 4, 11);
+        g.bench_with_input(
+            BenchmarkId::new("eq22_direct", drinkers),
+            &drinkers,
+            |b, _| {
+                let engine = Engine::new(&catalog, Conventions::set());
+                b.iter(|| black_box(engine.eval_collection(&direct).unwrap().len()));
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("eq24_abstract_subset", drinkers),
+            &drinkers,
+            |b, _| {
+                let engine = Engine::new(&catalog, Conventions::set());
+                b.iter(|| black_box(engine.eval_program(&modular).unwrap().query.unwrap().len()));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn fig20_matmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig20_matmul");
+    let q = fx::eq26();
+    for n in [8usize, 16] {
+        let catalog = Catalog::with_standard_externals()
+            .with(arc_analysis::sparse_matrix("A", n, 0.4, 1))
+            .with(arc_analysis::sparse_matrix("B", n, 0.4, 2));
+        g.bench_with_input(BenchmarkId::new("eq26_eval", n), &n, |b, _| {
+            let engine = Engine::new(&catalog, Conventions::set());
+            b.iter(|| black_box(engine.eval_collection(&q).unwrap().len()));
+        });
+    }
+    g.finish();
+}
+
+fn fig21_count_bug(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig21_count_bug");
+    for (name, q) in [
+        ("eq27_v1", fx::eq27()),
+        ("eq28_v2", fx::eq28()),
+        ("eq29_v3", fx::eq29()),
+    ] {
+        let mut r = Relation::new("R", &["id", "q"]);
+        let mut s = Relation::new("S", &["id", "d"]);
+        for i in 0..64i64 {
+            r.push(vec![i.into(), (i % 4).into()]);
+            if i % 3 != 0 {
+                s.push(vec![i.into(), (i * 7).into()]);
+            }
+        }
+        let catalog = Catalog::new().with(r).with(s);
+        g.bench_function(name, |b| {
+            let engine = Engine::new(&catalog, Conventions::sql());
+            b.iter(|| black_box(engine.eval_collection(&q).unwrap().len()));
+        });
+    }
+    g.finish();
+}
+
+fn conventions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("conventions");
+    let q = fx::eq15();
+    let catalog = fx::eq15_catalog();
+    for (name, conv) in [
+        ("souffle_zero", Conventions::souffle()),
+        ("sql_null", Conventions::sql()),
+    ] {
+        g.bench_function(name, |b| {
+            let engine = Engine::new(&catalog, conv);
+            b.iter(|| black_box(engine.eval_collection(&q).unwrap().len()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = figures;
+    config = configured();
+    targets = fig02_trc, fig03_lateral, fig04_fio_fig05_foi, fig06_08_multi_aggregates,
+        fig09_sentences, fig10_recursion, fig11_not_in, fig12_outer_join,
+        fig13_head_aggregates, fig15_externals, fig16_unique_set, fig20_matmul,
+        fig21_count_bug, conventions
+}
+criterion_main!(figures);

@@ -1,0 +1,115 @@
+//! Modality/translation benches: the costs of the machine-facing pipeline
+//! the paper proposes for NL2SQL systems — parse, validate, render to
+//! SQL/ALT/higraph, compute pattern signatures and similarities.
+
+use arc_bench::fixtures as fx;
+use arc_core::binder::Binder;
+use arc_core::conventions::Conventions;
+use arc_core::pattern::signature;
+use arc_higraph::{build_collection, render_svg};
+use arc_parser::{parse_collection, print_collection};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+}
+
+fn parse_print(c: &mut Criterion) {
+    let mut g = c.benchmark_group("translation_parse_print");
+    let src = print_collection(&fx::eq10()); // the largest fixture
+    g.bench_function("parse_eq10", |b| {
+        b.iter(|| black_box(parse_collection(&src).unwrap()));
+    });
+    let q = fx::eq10();
+    g.bench_function("print_eq10", |b| {
+        b.iter(|| black_box(print_collection(&q)));
+    });
+    g.bench_function("alt_json_round_trip", |b| {
+        b.iter(|| {
+            let json = arc_core::alt::to_json(&q);
+            black_box(arc_core::alt::from_json(&json).unwrap())
+        });
+    });
+    g.finish();
+}
+
+fn bind_validate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("translation_bind");
+    let q = fx::eq22(); // deepest nesting
+    g.bench_function("bind_eq22", |b| {
+        let binder = Binder::new();
+        b.iter(|| black_box(binder.bind_collection(&q).is_valid()));
+    });
+    g.finish();
+}
+
+fn sql_round_trip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("translation_sql");
+    let schemas = fx::dept_paper_catalog().schema_map();
+    let sql = "select R.dept, avg(S.sal) av from R, S \
+               where R.empl = S.empl group by R.dept having sum(S.sal) > 100";
+    g.bench_function("lower_fig6a", |b| {
+        b.iter(|| black_box(arc_sql::sql_to_arc(sql, &schemas).unwrap()));
+    });
+    let arc = arc_sql::sql_to_arc(sql, &schemas).unwrap();
+    g.bench_function("render_fig6a", |b| {
+        b.iter(|| black_box(arc_sql::arc_to_sql(&arc, &Conventions::sql()).unwrap()));
+    });
+    g.finish();
+}
+
+fn datalog_lowering(c: &mut Criterion) {
+    let mut g = c.benchmark_group("translation_datalog");
+    let src = ".decl R(a: number, b: number)\n\
+               .decl Q(a: number, s: number)\n\
+               Q(a, sum b : {R(a, b)}) :- R(a, _).\n";
+    g.bench_function("parse_and_lower_eq6", |b| {
+        b.iter(|| {
+            let p = arc_datalog::parse_datalog(src).unwrap();
+            black_box(arc_datalog::lower_program(&p).unwrap())
+        });
+    });
+    g.finish();
+}
+
+fn pattern_and_similarity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("translation_pattern");
+    let a = fx::eq8();
+    let b_ = fx::eq10();
+    g.bench_function("signature_eq10", |bch| {
+        bch.iter(|| black_box(signature(&b_).canon.len()));
+    });
+    g.bench_function("feature_similarity_eq8_eq10", |bch| {
+        bch.iter(|| black_box(arc_analysis::collection_feature_similarity(&a, &b_)));
+    });
+    g.bench_function("structural_similarity_eq8_eq10", |bch| {
+        bch.iter(|| black_box(arc_analysis::structural_similarity(&a, &b_)));
+    });
+    g.finish();
+}
+
+fn higraph_rendering(c: &mut Criterion) {
+    let mut g = c.benchmark_group("translation_higraph");
+    let q = fx::eq22();
+    g.bench_function("build_eq22", |b| {
+        b.iter(|| black_box(build_collection(&q).nodes.len()));
+    });
+    let hg = build_collection(&q);
+    g.bench_function("svg_eq22", |b| {
+        b.iter(|| black_box(render_svg(&hg).len()));
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = translation;
+    config = configured();
+    targets = parse_print, bind_validate, sql_round_trip, datalog_lowering,
+        pattern_and_similarity, higraph_rendering
+}
+criterion_main!(translation);

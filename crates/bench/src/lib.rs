@@ -1,0 +1,7 @@
+//! Shared fixtures for the benchmark suite and the experiments binary:
+//! every paper figure's queries and instances, constructed once, reused by
+//! `benches/*` and `src/bin/experiments.rs`.
+
+#![warn(missing_docs)]
+
+pub mod fixtures;

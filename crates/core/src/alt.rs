@@ -1,0 +1,312 @@
+//! The **Abstract Language Tree (ALT)** text modality.
+//!
+//! Renders a collection in exactly the tree style of the paper's figures
+//! (Fig 2a, 4b, 5c, 6b, 10a, 13d, 21g–i):
+//!
+//! ```text
+//! COLLECTION
+//! ├─ HEAD: Q(A,sm)
+//! └─ QUANTIFIER ∃
+//!    ├─ BINDING: r ∈ R
+//!    ├─ GROUPING: r.A
+//!    └─ AND ∧
+//!       ├─ PREDICATE: Q.A = r.A
+//!       └─ PREDICATE: Q.sm = sum(r.B)
+//! ```
+//!
+//! Because ARC's AST *is* its ALT, this is a direct structural rendering,
+//! not a lowering. The JSON form (via serde on the AST types) serves as the
+//! machine-interchange format the paper proposes for NL2SQL pipelines.
+
+use crate::ast::*;
+
+/// A generic labelled tree, the rendering intermediate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeNode {
+    /// Node label as shown in the figure.
+    pub label: String,
+    /// Children in display order.
+    pub children: Vec<TreeNode>,
+}
+
+impl TreeNode {
+    /// Leaf constructor.
+    pub fn leaf(label: impl Into<String>) -> Self {
+        TreeNode {
+            label: label.into(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Inner-node constructor.
+    pub fn node(label: impl Into<String>, children: Vec<TreeNode>) -> Self {
+        TreeNode {
+            label: label.into(),
+            children,
+        }
+    }
+
+    /// Total number of nodes.
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(|c| c.size()).sum::<usize>()
+    }
+}
+
+/// Build the ALT for a collection.
+pub fn collection_tree(c: &Collection) -> TreeNode {
+    let mut children = vec![TreeNode::leaf(format!("HEAD: {}", c.head))];
+    children.push(formula_tree(&c.body));
+    TreeNode::node("COLLECTION", children)
+}
+
+/// Build the ALT for a sentence (a formula without a head, Fig 9).
+pub fn sentence_tree(f: &Formula) -> TreeNode {
+    TreeNode::node("SENTENCE", vec![formula_tree(f)])
+}
+
+/// Build the ALT for a formula.
+pub fn formula_tree(f: &Formula) -> TreeNode {
+    match f {
+        Formula::Quant(q) => quant_tree(q),
+        Formula::And(fs) => TreeNode::node("AND ∧", fs.iter().map(formula_tree).collect()),
+        Formula::Or(fs) => TreeNode::node("OR ∨", fs.iter().map(formula_tree).collect()),
+        Formula::Not(inner) => TreeNode::node("NOT ¬", vec![formula_tree(inner)]),
+        Formula::Pred(p) => TreeNode::leaf(format!("PREDICATE: {p}")),
+    }
+}
+
+fn quant_tree(q: &Quant) -> TreeNode {
+    let mut children = Vec::with_capacity(q.bindings.len() + 3);
+    for b in &q.bindings {
+        match &b.source {
+            BindingSource::Named(rel) => {
+                children.push(TreeNode::leaf(format!("BINDING: {} ∈ {}", b.var, rel)));
+            }
+            BindingSource::Collection(c) => {
+                children.push(TreeNode::node(
+                    format!("BINDING: {} ∈", b.var),
+                    vec![collection_tree(c)],
+                ));
+            }
+        }
+    }
+    if let Some(g) = &q.grouping {
+        if g.keys.is_empty() {
+            children.push(TreeNode::leaf("GROUPING: ∅"));
+        } else {
+            let keys: Vec<String> = g.keys.iter().map(|k| k.to_string()).collect();
+            children.push(TreeNode::leaf(format!("GROUPING: {}", keys.join(", "))));
+        }
+    }
+    if let Some(j) = &q.join {
+        children.push(TreeNode::leaf(format!("JOIN: {j}")));
+    }
+    children.push(formula_tree(&q.body));
+    TreeNode::node("QUANTIFIER ∃", children)
+}
+
+/// Render a tree with box-drawing connectors, matching the paper's layout.
+pub fn render_tree(t: &TreeNode) -> String {
+    let mut out = String::new();
+    out.push_str(&t.label);
+    out.push('\n');
+    render_children(&t.children, "", &mut out);
+    out
+}
+
+fn render_children(children: &[TreeNode], prefix: &str, out: &mut String) {
+    for (i, child) in children.iter().enumerate() {
+        let last = i + 1 == children.len();
+        let (connector, extension) = if last {
+            ("└─ ", "   ")
+        } else {
+            ("├─ ", "│  ")
+        };
+        out.push_str(prefix);
+        out.push_str(connector);
+        out.push_str(&child.label);
+        out.push('\n');
+        let child_prefix = format!("{prefix}{extension}");
+        render_children(&child.children, &child_prefix, out);
+    }
+}
+
+/// Render a collection's ALT to text (the paper's machine-facing modality
+/// shown human-readably).
+pub fn render_collection(c: &Collection) -> String {
+    render_tree(&collection_tree(c))
+}
+
+/// Render a sentence's ALT to text.
+pub fn render_sentence(f: &Formula) -> String {
+    render_tree(&sentence_tree(f))
+}
+
+/// Serialize a collection's ALT to pretty JSON (the machine-interchange
+/// form for NL2SQL intermediate targets, §4/§5).
+pub fn to_json(c: &Collection) -> String {
+    serde_json::to_string_pretty(c).expect("AST serialization cannot fail")
+}
+
+/// Deserialize a collection from its JSON ALT.
+pub fn from_json(s: &str) -> Result<Collection, serde_json::Error> {
+    serde_json::from_str(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::*;
+
+    /// Eq (1) / Fig 2a.
+    fn eq1() -> Collection {
+        collection(
+            "Q",
+            &["A"],
+            exists(
+                &[bind("r", "R"), bind("s", "S")],
+                and([
+                    assign("Q", "A", col("r", "A")),
+                    eq(col("r", "B"), col("s", "B")),
+                    eq(col("s", "C"), int(0)),
+                ]),
+            ),
+        )
+    }
+
+    #[test]
+    fn fig2a_alt_rendering_matches_paper_layout() {
+        let rendered = render_collection(&eq1());
+        let expected = "\
+COLLECTION
+├─ HEAD: Q(A)
+└─ QUANTIFIER ∃
+   ├─ BINDING: r ∈ R
+   ├─ BINDING: s ∈ S
+   └─ AND ∧
+      ├─ PREDICATE: Q.A = r.A
+      ├─ PREDICATE: r.B = s.B
+      └─ PREDICATE: s.C = 0
+";
+        assert_eq!(rendered, expected);
+    }
+
+    #[test]
+    fn fig4b_grouping_rendered() {
+        let q = collection(
+            "Q",
+            &["A", "sm"],
+            quant(
+                &[bind("r", "R")],
+                group(&[("r", "A")]),
+                None,
+                and([
+                    assign("Q", "A", col("r", "A")),
+                    assign_agg("Q", "sm", sum(col("r", "B"))),
+                ]),
+            ),
+        );
+        let rendered = render_collection(&q);
+        assert!(rendered.contains("GROUPING: r.A"));
+        assert!(rendered.contains("PREDICATE: Q.sm = sum(r.B)"));
+    }
+
+    #[test]
+    fn nested_collection_binding_renders_as_subtree() {
+        // Fig 5c shape.
+        let inner = collection(
+            "X",
+            &["sm"],
+            quant(
+                &[bind("r2", "R")],
+                group_all(),
+                None,
+                and([
+                    eq(col("r2", "A"), col("r", "A")),
+                    assign_agg("X", "sm", sum(col("r2", "B"))),
+                ]),
+            ),
+        );
+        let q = collection(
+            "Q",
+            &["A", "sm"],
+            exists(
+                &[bind("r", "R"), bind_coll("x", inner)],
+                and([
+                    assign("Q", "A", col("r", "A")),
+                    assign("Q", "sm", col("x", "sm")),
+                ]),
+            ),
+        );
+        let rendered = render_collection(&q);
+        assert!(rendered.contains("BINDING: x ∈"));
+        assert!(rendered.contains("GROUPING: ∅"));
+        assert!(rendered.contains("│     ├─ HEAD: X(sm)"));
+    }
+
+    #[test]
+    fn fig21i_join_annotation_rendered() {
+        let inner = collection(
+            "X",
+            &["id", "ct"],
+            quant(
+                &[bind("r2", "R"), bind("s", "S")],
+                group(&[("r2", "id")]),
+                Some(jleft(jvar("r2"), jvar("s"))),
+                and([
+                    assign("X", "id", col("r2", "id")),
+                    assign_agg("X", "ct", count(col("s", "d"))),
+                    eq(col("r2", "id"), col("s", "id")),
+                ]),
+            ),
+        );
+        let rendered = render_collection(&collection(
+            "Q",
+            &["id"],
+            exists(
+                &[bind("r", "R"), bind_coll("x", inner)],
+                and([
+                    assign("Q", "id", col("r", "id")),
+                    eq(col("r", "id"), col("x", "id")),
+                    eq(col("r", "q"), col("x", "ct")),
+                ]),
+            ),
+        ));
+        assert!(rendered.contains("JOIN: left(r2, s)"));
+        assert!(rendered.contains("GROUPING: r2.id"));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let q = eq1();
+        let json = to_json(&q);
+        let back = from_json(&json).unwrap();
+        assert_eq!(q, back);
+    }
+
+    #[test]
+    fn sentence_rendering() {
+        let s = exists(
+            &[bind("r", "R")],
+            and([quant(
+                &[bind("s", "S")],
+                group_all(),
+                None,
+                and([
+                    eq(col("r", "id"), col("s", "id")),
+                    le(col("r", "q"), count(col("s", "d"))),
+                ]),
+            )]),
+        );
+        let rendered = render_sentence(&s);
+        assert!(rendered.starts_with("SENTENCE\n"));
+        assert!(rendered.contains("PREDICATE: r.q <= count(s.d)"));
+    }
+
+    #[test]
+    fn tree_size_counts_nodes() {
+        let t = collection_tree(&eq1());
+        // COLLECTION + HEAD + QUANT + 2 BINDINGS + AND + 3 PREDICATES = 9
+        assert_eq!(t.size(), 9);
+    }
+}

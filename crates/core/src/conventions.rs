@@ -1,0 +1,149 @@
+//! Language **conventions** (paper §2.6, §2.7): orthogonal, environment-level
+//! semantic parameters under which a query's relational core is interpreted.
+//!
+//! The central claim of the paper is that these switches affect observable
+//! *results* but never the *relational pattern* of a query. The engine takes
+//! a [`Conventions`] value; the pattern extractor in `arc-analysis` never
+//! looks at one. A property test in `crates/tests` pins this orthogonality.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Set vs. bag (multiset) interpretation of collections (§2.7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Semantics {
+    /// Every relation is a set; output tuples are deduplicated.
+    #[default]
+    Set,
+    /// Relations are bags; multiplicities follow the conceptual evaluation
+    /// strategy (nested existentials behave like semijoins, §2.7).
+    Bag,
+}
+
+/// What `sum`/`avg`/`min`/`max` return on an empty group (§2.6).
+/// `count` is always 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum EmptyAgg {
+    /// SQL: `NULL`.
+    #[default]
+    Null,
+    /// Soufflé: 0 for `sum` (and we extend the spirit to 0 for `avg`;
+    /// `min`/`max` stay `NULL`-less only in systems without nulls, so under
+    /// this convention an empty `min`/`max` group produces no derivable
+    /// value and the predicate simply fails).
+    Zero,
+}
+
+/// Two- vs. three-valued predicate logic (§2.10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum NullLogic {
+    /// SQL: comparisons with `NULL` are `UNKNOWN`; `WHERE` keeps only `TRUE`.
+    #[default]
+    ThreeValued,
+    /// Two-valued logic: `UNKNOWN` collapses to `FALSE` at every predicate
+    /// (the rewrite of Fig 11 shows SQL's `NOT IN` is expressible here).
+    TwoValued,
+}
+
+/// A full convention profile. Named presets model the systems the paper
+/// compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct Conventions {
+    /// Set or bag semantics.
+    pub semantics: Semantics,
+    /// Aggregates over empty input.
+    pub empty_agg: EmptyAgg,
+    /// Predicate logic for nulls.
+    pub null_logic: NullLogic,
+}
+
+impl Conventions {
+    /// Classical TRC / textbook calculus: sets, SQL-style empty aggregates,
+    /// three-valued nulls. This is also `Conventions::default()`.
+    pub fn set() -> Self {
+        Conventions::default()
+    }
+
+    /// SQL: bag semantics, `NULL` on empty aggregates, three-valued logic.
+    pub fn sql() -> Self {
+        Conventions {
+            semantics: Semantics::Bag,
+            empty_agg: EmptyAgg::Null,
+            null_logic: NullLogic::ThreeValued,
+        }
+    }
+
+    /// Soufflé: set semantics, `sum ∅ = 0`, no nulls (two-valued logic).
+    pub fn souffle() -> Self {
+        Conventions {
+            semantics: Semantics::Set,
+            empty_agg: EmptyAgg::Zero,
+            null_logic: NullLogic::TwoValued,
+        }
+    }
+
+    /// Flip just the collection semantics.
+    pub fn with_semantics(mut self, semantics: Semantics) -> Self {
+        self.semantics = semantics;
+        self
+    }
+
+    /// Flip just the empty-aggregate behaviour.
+    pub fn with_empty_agg(mut self, empty_agg: EmptyAgg) -> Self {
+        self.empty_agg = empty_agg;
+        self
+    }
+
+    /// Flip just the null logic.
+    pub fn with_null_logic(mut self, null_logic: NullLogic) -> Self {
+        self.null_logic = null_logic;
+        self
+    }
+}
+
+impl fmt::Display for Conventions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{{{}, empty-agg={}, {}}}",
+            match self.semantics {
+                Semantics::Set => "set",
+                Semantics::Bag => "bag",
+            },
+            match self.empty_agg {
+                EmptyAgg::Null => "null",
+                EmptyAgg::Zero => "zero",
+            },
+            match self.null_logic {
+                NullLogic::ThreeValued => "3VL",
+                NullLogic::TwoValued => "2VL",
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper() {
+        assert_eq!(Conventions::sql().semantics, Semantics::Bag);
+        assert_eq!(Conventions::sql().empty_agg, EmptyAgg::Null);
+        assert_eq!(Conventions::souffle().empty_agg, EmptyAgg::Zero);
+        assert_eq!(Conventions::souffle().null_logic, NullLogic::TwoValued);
+        assert_eq!(Conventions::set().semantics, Semantics::Set);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(Conventions::sql().to_string(), "{bag, empty-agg=null, 3VL}");
+    }
+
+    #[test]
+    fn builders_flip_single_axes() {
+        let c = Conventions::set().with_semantics(Semantics::Bag);
+        assert_eq!(c.empty_agg, EmptyAgg::Null);
+        assert_eq!(c.semantics, Semantics::Bag);
+    }
+}

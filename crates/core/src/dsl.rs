@@ -1,0 +1,351 @@
+//! A small construction DSL for writing ARC queries in Rust.
+//!
+//! Every figure in the paper is transcribed somewhere in this workspace;
+//! the DSL keeps those transcriptions close to the comprehension syntax.
+//! Example — the paper's Eq (3), a grouped aggregate in the FIO pattern:
+//!
+//! ```
+//! use arc_core::dsl::*;
+//!
+//! // {Q(A,sm) | ∃r∈R, γ r.A [Q.A = r.A ∧ Q.sm = sum(r.B)]}
+//! let q = collection(
+//!     "Q",
+//!     &["A", "sm"],
+//!     quant(
+//!         &[bind("r", "R")],
+//!         group(&[("r", "A")]),
+//!         None,
+//!         and([assign("Q", "A", col("r", "A")), assign_agg("Q", "sm", sum(col("r", "B")))]),
+//!     ),
+//! );
+//! assert_eq!(q.head.relation, "Q");
+//! ```
+
+use crate::ast::*;
+use crate::value::Value;
+
+/// `{ head(attrs…) | body }`.
+pub fn collection(head: &str, attrs: &[&str], body: Formula) -> Collection {
+    Collection {
+        head: Head::new(head, attrs),
+        body,
+    }
+}
+
+/// A definition (intensional relation) from a collection.
+pub fn define(collection: Collection) -> Definition {
+    Definition { collection }
+}
+
+/// `∃ bindings [body]` — plain existential scope.
+pub fn exists(bindings: &[Binding], body: Formula) -> Formula {
+    quant(bindings, None, None, body)
+}
+
+/// Full quantifier constructor with optional grouping and join annotation.
+pub fn quant(
+    bindings: &[Binding],
+    grouping: Option<Grouping>,
+    join: Option<JoinTree>,
+    body: Formula,
+) -> Formula {
+    Formula::Quant(Box::new(Quant {
+        bindings: bindings.to_vec(),
+        grouping,
+        join,
+        body,
+    }))
+}
+
+/// `r ∈ R`.
+pub fn bind(var: &str, relation: &str) -> Binding {
+    Binding::named(var, relation)
+}
+
+/// `x ∈ { … }` (nested comprehension).
+pub fn bind_coll(var: &str, collection: Collection) -> Binding {
+    Binding::nested(var, collection)
+}
+
+/// `γ keys…` from `(var, attr)` pairs.
+pub fn group(keys: &[(&str, &str)]) -> Option<Grouping> {
+    Some(Grouping::by(
+        keys.iter().map(|(v, a)| AttrRef::new(*v, *a)).collect(),
+    ))
+}
+
+/// `γ∅`: aggregate over the entire join ("group by true").
+pub fn group_all() -> Option<Grouping> {
+    Some(Grouping::empty())
+}
+
+/// Conjunction.
+pub fn and(fs: impl IntoIterator<Item = Formula>) -> Formula {
+    Formula::And(fs.into_iter().collect())
+}
+
+/// Disjunction.
+pub fn or(fs: impl IntoIterator<Item = Formula>) -> Formula {
+    Formula::Or(fs.into_iter().collect())
+}
+
+/// Negation.
+pub fn not(f: Formula) -> Formula {
+    Formula::Not(Box::new(f))
+}
+
+/// `var.attr` as a scalar.
+pub fn col(var: &str, attr: &str) -> Scalar {
+    Scalar::Attr(AttrRef::new(var, attr))
+}
+
+/// Integer constant.
+pub fn int(v: i64) -> Scalar {
+    Scalar::Const(Value::Int(v))
+}
+
+/// Float constant.
+pub fn flt(v: f64) -> Scalar {
+    Scalar::Const(Value::Float(v))
+}
+
+/// String constant.
+pub fn text(v: &str) -> Scalar {
+    Scalar::Const(Value::str(v))
+}
+
+/// `NULL` constant.
+pub fn null() -> Scalar {
+    Scalar::Const(Value::Null)
+}
+
+/// Comparison predicate as a formula leaf.
+pub fn cmp(left: Scalar, op: CmpOp, right: Scalar) -> Formula {
+    Formula::Pred(Predicate::Cmp { left, op, right })
+}
+
+/// `l = r`.
+pub fn eq(left: Scalar, right: Scalar) -> Formula {
+    cmp(left, CmpOp::Eq, right)
+}
+
+/// `l <> r`.
+pub fn ne(left: Scalar, right: Scalar) -> Formula {
+    cmp(left, CmpOp::Ne, right)
+}
+
+/// `l < r`.
+pub fn lt(left: Scalar, right: Scalar) -> Formula {
+    cmp(left, CmpOp::Lt, right)
+}
+
+/// `l <= r`.
+pub fn le(left: Scalar, right: Scalar) -> Formula {
+    cmp(left, CmpOp::Le, right)
+}
+
+/// `l > r`.
+pub fn gt(left: Scalar, right: Scalar) -> Formula {
+    cmp(left, CmpOp::Gt, right)
+}
+
+/// `l >= r`.
+pub fn ge(left: Scalar, right: Scalar) -> Formula {
+    cmp(left, CmpOp::Ge, right)
+}
+
+/// Assignment predicate `Head.attr = expr` (a `Cmp` whose left side names
+/// the head; the binder recognises the role).
+pub fn assign(head: &str, attr: &str, expr: Scalar) -> Formula {
+    eq(col(head, attr), expr)
+}
+
+/// Aggregation-assignment predicate `Head.attr = agg(…)`.
+pub fn assign_agg(head: &str, attr: &str, agg: Scalar) -> Formula {
+    eq(col(head, attr), agg)
+}
+
+/// `expr IS NULL`.
+pub fn is_null(expr: Scalar) -> Formula {
+    Formula::Pred(Predicate::IsNull {
+        expr,
+        negated: false,
+    })
+}
+
+/// `expr IS NOT NULL`.
+pub fn is_not_null(expr: Scalar) -> Formula {
+    Formula::Pred(Predicate::IsNull {
+        expr,
+        negated: true,
+    })
+}
+
+fn agg(func: AggFunc, arg: Scalar) -> Scalar {
+    Scalar::Agg(Box::new(AggCall {
+        func,
+        arg: AggArg::Expr(arg),
+        distinct: false,
+    }))
+}
+
+/// `sum(expr)`.
+pub fn sum(arg: Scalar) -> Scalar {
+    agg(AggFunc::Sum, arg)
+}
+
+/// `count(expr)`.
+pub fn count(arg: Scalar) -> Scalar {
+    agg(AggFunc::Count, arg)
+}
+
+/// `count(*)`.
+pub fn count_star() -> Scalar {
+    Scalar::Agg(Box::new(AggCall {
+        func: AggFunc::Count,
+        arg: AggArg::Star,
+        distinct: false,
+    }))
+}
+
+/// `avg(expr)`.
+pub fn avg(arg: Scalar) -> Scalar {
+    agg(AggFunc::Avg, arg)
+}
+
+/// `min(expr)`.
+pub fn min(arg: Scalar) -> Scalar {
+    agg(AggFunc::Min, arg)
+}
+
+/// `max(expr)`.
+pub fn max(arg: Scalar) -> Scalar {
+    agg(AggFunc::Max, arg)
+}
+
+/// Distinct aggregate, e.g. `countdistinct` (§2.5).
+pub fn agg_distinct(func: AggFunc, arg: Scalar) -> Scalar {
+    Scalar::Agg(Box::new(AggCall {
+        func,
+        arg: AggArg::Expr(arg),
+        distinct: true,
+    }))
+}
+
+/// Arithmetic scalar `l op r`.
+pub fn arith(op: ArithOp, left: Scalar, right: Scalar) -> Scalar {
+    Scalar::Arith {
+        op,
+        left: Box::new(left),
+        right: Box::new(right),
+    }
+}
+
+/// `l + r`.
+pub fn add(l: Scalar, r: Scalar) -> Scalar {
+    arith(ArithOp::Add, l, r)
+}
+
+/// `l - r`.
+pub fn sub(l: Scalar, r: Scalar) -> Scalar {
+    arith(ArithOp::Sub, l, r)
+}
+
+/// `l * r`.
+pub fn mul(l: Scalar, r: Scalar) -> Scalar {
+    arith(ArithOp::Mul, l, r)
+}
+
+/// `l / r`.
+pub fn div(l: Scalar, r: Scalar) -> Scalar {
+    arith(ArithOp::Div, l, r)
+}
+
+/// Join-annotation leaf for a variable.
+pub fn jvar(v: &str) -> JoinTree {
+    JoinTree::Var(v.to_string())
+}
+
+/// Join-annotation literal leaf (singleton relation).
+pub fn jlit(v: impl Into<Value>) -> JoinTree {
+    JoinTree::Lit(v.into())
+}
+
+/// `inner(…)`.
+pub fn jinner(children: impl IntoIterator<Item = JoinTree>) -> JoinTree {
+    JoinTree::Inner(children.into_iter().collect())
+}
+
+/// `left(l, r)`.
+pub fn jleft(l: JoinTree, r: JoinTree) -> JoinTree {
+    JoinTree::Left(Box::new(l), Box::new(r))
+}
+
+/// `full(l, r)`.
+pub fn jfull(l: JoinTree, r: JoinTree) -> JoinTree {
+    JoinTree::Full(Box::new(l), Box::new(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq1_paper_query_builds() {
+        // Eq (1): {Q(A) | ∃r∈R, s∈S [Q.A=r.A ∧ r.B=s.B ∧ s.C=0]}
+        let q = collection(
+            "Q",
+            &["A"],
+            exists(
+                &[bind("r", "R"), bind("s", "S")],
+                and([
+                    assign("Q", "A", col("r", "A")),
+                    eq(col("r", "B"), col("s", "B")),
+                    eq(col("s", "C"), int(0)),
+                ]),
+            ),
+        );
+        assert_eq!(q.head.to_string(), "Q(A)");
+        match &q.body {
+            Formula::Quant(quant) => {
+                assert_eq!(quant.bindings.len(), 2);
+                assert!(quant.grouping.is_none());
+            }
+            _ => panic!("expected quantifier body"),
+        }
+    }
+
+    #[test]
+    fn nested_binding_builds_lateral_shape() {
+        // Eq (2): nesting in the body = lateral join.
+        let inner = collection(
+            "Z",
+            &["B"],
+            exists(
+                &[bind("y", "Y")],
+                and([
+                    assign("Z", "B", col("y", "A")),
+                    lt(col("x", "A"), col("y", "A")),
+                ]),
+            ),
+        );
+        let q = collection(
+            "Q",
+            &["A", "B"],
+            exists(
+                &[bind("x", "X"), bind_coll("z", inner)],
+                and([
+                    assign("Q", "A", col("x", "A")),
+                    assign("Q", "B", col("z", "B")),
+                ]),
+            ),
+        );
+        match &q.body {
+            Formula::Quant(quant) => match &quant.bindings[1].source {
+                BindingSource::Collection(c) => assert_eq!(c.head.relation, "Z"),
+                _ => panic!("expected nested collection"),
+            },
+            _ => panic!("expected quantifier"),
+        }
+    }
+}

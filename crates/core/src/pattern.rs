@@ -1,0 +1,552 @@
+//! **Relational patterns** (paper §1): "a language-agnostic description of
+//! how data is transformed from input to output".
+//!
+//! A [`PatternSignature`] is a canonical, convention-free fingerprint of a
+//! query's relational composition. Two queries have the same signature iff
+//! they compose their inputs the same way — the paper's notion of
+//! *pattern-preserving* representation. The signature deliberately ignores
+//! everything §2.6/§2.7 classifies as a convention (set vs. bag, null
+//! handling, empty-aggregate initialization), which a property test pins.
+//!
+//! The companion crate `arc-analysis` builds similarity metrics and
+//! FIO/FOI classification on top of these signatures.
+
+use crate::ast::*;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A canonical pattern fingerprint.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PatternSignature {
+    /// Canonical S-expression of the pattern: variables α-renamed in
+    /// pre-order, conjuncts/disjuncts sorted, constants abstracted to type
+    /// tags. Equal strings ⇒ equal patterns (up to binding order for
+    /// repeated same-source bindings).
+    pub canon: String,
+    /// Feature multiset: relation occurrences, scopes, groupings, aggregate
+    /// roles, negations, correlations, join-annotation kinds, nesting.
+    pub features: BTreeMap<String, usize>,
+}
+
+impl PatternSignature {
+    /// Total feature mass (used for normalized similarity in analysis).
+    pub fn mass(&self) -> usize {
+        self.features.values().sum()
+    }
+}
+
+impl fmt::Display for PatternSignature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.canon)?;
+        for (k, v) in &self.features {
+            writeln!(f, "  {k} × {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Compute the pattern signature of a collection.
+pub fn signature(c: &Collection) -> PatternSignature {
+    let c = c.normalized();
+    let mut cx = Canon::default();
+    let canon = cx.collection(&c);
+    PatternSignature {
+        canon,
+        features: cx.features,
+    }
+}
+
+/// Compute the pattern signature of a sentence (headless formula).
+pub fn sentence_signature(f: &Formula) -> PatternSignature {
+    let f = f.normalized();
+    let mut cx = Canon::default();
+    let canon = cx.formula(&f);
+    PatternSignature {
+        canon: format!("(sentence {canon})"),
+        features: cx.features,
+    }
+}
+
+/// Compute the pattern signature of a whole program: definitions are part
+/// of the pattern (the paper's Fig 18/19 variant differs from Fig 17
+/// exactly by its defined relation).
+pub fn program_signature(p: &Program) -> PatternSignature {
+    let mut cx = Canon::default();
+    let mut parts: Vec<String> = Vec::new();
+    for def in &p.definitions {
+        let normalized = def.collection.normalized();
+        let s = cx.collection(&normalized);
+        parts.push(format!("(def {} {})", def.name(), s));
+    }
+    if let Some(q) = &p.query {
+        let normalized = q.normalized();
+        parts.push(cx.collection(&normalized));
+    }
+    PatternSignature {
+        canon: format!("(program {})", parts.join(" ")),
+        features: cx.features,
+    }
+}
+
+#[derive(Default)]
+struct Canon {
+    features: BTreeMap<String, usize>,
+    /// Visible variable renamings (stack of (original, canonical)).
+    renames: Vec<(String, String)>,
+    /// Head renamings (stack of (original, canonical)).
+    heads: Vec<(String, String)>,
+    var_counter: usize,
+    head_counter: usize,
+    depth: usize,
+}
+
+impl Canon {
+    fn feat(&mut self, name: impl Into<String>) {
+        *self.features.entry(name.into()).or_insert(0) += 1;
+    }
+
+    fn collection(&mut self, c: &Collection) -> String {
+        self.feat("collection");
+        let hname = format!("h{}", self.head_counter);
+        self.head_counter += 1;
+        self.heads.push((c.head.relation.clone(), hname.clone()));
+        self.depth += 1;
+        let body = self.formula(&c.body);
+        self.depth -= 1;
+        self.heads.pop();
+        // Attribute names are part of the pattern interface; keep them but
+        // in declaration order under the canonical head name.
+        format!("(coll {hname}({}) {body})", c.head.attrs.join(","))
+    }
+
+    fn formula(&mut self, f: &Formula) -> String {
+        match f {
+            Formula::Quant(q) => self.quant(q),
+            Formula::And(fs) => {
+                let mut parts: Vec<String> = fs.iter().map(|s| self.formula(s)).collect();
+                parts.sort();
+                format!("(and {})", parts.join(" "))
+            }
+            Formula::Or(fs) => {
+                self.feat("or");
+                let mut parts: Vec<String> = fs.iter().map(|s| self.formula(s)).collect();
+                parts.sort();
+                format!("(or {})", parts.join(" "))
+            }
+            Formula::Not(inner) => {
+                self.feat("neg");
+                format!("(not {})", self.formula(inner))
+            }
+            Formula::Pred(p) => self.pred(p),
+        }
+    }
+
+    fn quant(&mut self, q: &Quant) -> String {
+        self.feat("scope");
+        self.feat(format!("scope-depth:{}", self.depth));
+        let base = self.renames.len();
+
+        // Canonicalize binding order: stable-sort named bindings by source
+        // relation; nested collections sort after named ones by head name.
+        let mut order: Vec<usize> = (0..q.bindings.len()).collect();
+        order.sort_by_key(|&i| match &q.bindings[i].source {
+            BindingSource::Named(rel) => (0, rel.clone()),
+            BindingSource::Collection(c) => (1, c.head.relation.clone()),
+        });
+
+        let mut bind_parts = Vec::with_capacity(q.bindings.len());
+        for &i in &order {
+            let b = &q.bindings[i];
+            let canonical = format!("v{}", self.var_counter);
+            self.var_counter += 1;
+            let part = match &b.source {
+                BindingSource::Named(rel) => {
+                    self.feat(format!("rel:{rel}"));
+                    format!("({canonical} {rel})")
+                }
+                BindingSource::Collection(c) => {
+                    self.feat("nested-collection");
+                    self.depth += 1;
+                    let sub = self.collection(c);
+                    self.depth -= 1;
+                    format!("({canonical} {sub})")
+                }
+            };
+            self.renames.push((b.var.clone(), canonical));
+            bind_parts.push(part);
+        }
+
+        let grouping = match &q.grouping {
+            None => String::new(),
+            Some(g) if g.keys.is_empty() => {
+                self.feat("group:0");
+                " (group)".to_string()
+            }
+            Some(g) => {
+                self.feat(format!("group:{}", g.keys.len()));
+                let mut keys: Vec<String> = g.keys.iter().map(|k| self.attr(k)).collect();
+                keys.sort();
+                format!(" (group {})", keys.join(" "))
+            }
+        };
+
+        let join = match &q.join {
+            None => String::new(),
+            Some(jt) => {
+                self.join_features(jt);
+                format!(" (join {})", self.join_tree(jt))
+            }
+        };
+
+        let body = self.formula(&q.body);
+        self.renames.truncate(base);
+        format!("(exists ({}){grouping}{join} {body})", bind_parts.join(" "))
+    }
+
+    fn join_features(&mut self, jt: &JoinTree) {
+        match jt {
+            JoinTree::Var(_) | JoinTree::Lit(_) => {}
+            JoinTree::Inner(children) => {
+                for c in children {
+                    self.join_features(c);
+                }
+            }
+            JoinTree::Left(l, r) => {
+                self.feat("join:left");
+                self.join_features(l);
+                self.join_features(r);
+            }
+            JoinTree::Full(l, r) => {
+                self.feat("join:full");
+                self.join_features(l);
+                self.join_features(r);
+            }
+        }
+    }
+
+    fn join_tree(&mut self, jt: &JoinTree) -> String {
+        match jt {
+            JoinTree::Var(v) => self.rename(v),
+            JoinTree::Lit(v) => format!("lit:{}", v.type_name()),
+            JoinTree::Inner(children) => {
+                let parts: Vec<String> = children.iter().map(|c| self.join_tree(c)).collect();
+                format!("(inner {})", parts.join(" "))
+            }
+            JoinTree::Left(l, r) => {
+                format!("(left {} {})", self.join_tree(l), self.join_tree(r))
+            }
+            JoinTree::Full(l, r) => {
+                format!("(full {} {})", self.join_tree(l), self.join_tree(r))
+            }
+        }
+    }
+
+    fn rename(&self, var: &str) -> String {
+        if let Some((_, canonical)) = self.renames.iter().rev().find(|(v, _)| v == var) {
+            return canonical.clone();
+        }
+        if let Some((_, canonical)) = self.heads.iter().rev().find(|(h, _)| h == var) {
+            return canonical.clone();
+        }
+        // Unbound (binder reports this); keep the name for debuggability.
+        format!("?{var}")
+    }
+
+    fn attr(&mut self, a: &AttrRef) -> String {
+        format!("{}.{}", self.rename(&a.var), a.attr)
+    }
+
+    fn pred(&mut self, p: &Predicate) -> String {
+        match p {
+            Predicate::Cmp { left, op, right } => {
+                let l = self.scalar(left);
+                let r = self.scalar(right);
+                // Order-normalize symmetric operators; flip the rest so the
+                // lexicographically smaller operand comes first.
+                let (l, op, r) = match op {
+                    CmpOp::Eq | CmpOp::Ne => {
+                        if l <= r {
+                            (l, *op, r)
+                        } else {
+                            (r, *op, l)
+                        }
+                    }
+                    _ => {
+                        if l <= r {
+                            (l, *op, r)
+                        } else {
+                            (r, op.flipped(), l)
+                        }
+                    }
+                };
+                format!("(cmp {} {l} {r})", op.symbol())
+            }
+            Predicate::IsNull { expr, negated } => {
+                let e = self.scalar(expr);
+                if *negated {
+                    format!("(is-not-null {e})")
+                } else {
+                    format!("(is-null {e})")
+                }
+            }
+        }
+    }
+
+    fn scalar(&mut self, s: &Scalar) -> String {
+        match s {
+            Scalar::Attr(a) => self.attr(a),
+            // Constants are abstracted to their type: the relational pattern
+            // of `s.C = 0` and `s.C = 42` is the same selection shape.
+            Scalar::Const(v) => format!("const:{}", v.type_name()),
+            Scalar::Agg(call) => {
+                let role = "agg"; // assignment/comparison role comes from context in analysis
+                let d = if call.distinct { ":distinct" } else { "" };
+                self.feat(format!("agg:{}{}", call.func.name(), d));
+                match &call.arg {
+                    AggArg::Expr(e) => {
+                        let inner = self.scalar(e);
+                        format!("({role} {}{d} {inner})", call.func.name())
+                    }
+                    AggArg::Star => format!("({role} {}{d} *)", call.func.name()),
+                }
+            }
+            Scalar::Arith { op, left, right } => {
+                self.feat(format!("arith:{}", op.symbol()));
+                let l = self.scalar(left);
+                let r = self.scalar(right);
+                match op {
+                    // Commutative: order-normalize.
+                    ArithOp::Add | ArithOp::Mul => {
+                        let (l, r) = if l <= r { (l, r) } else { (r, l) };
+                        format!("({} {l} {r})", op.symbol())
+                    }
+                    _ => format!("({} {l} {r})", op.symbol()),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::*;
+
+    fn eq1() -> Collection {
+        collection(
+            "Q",
+            &["A"],
+            exists(
+                &[bind("r", "R"), bind("s", "S")],
+                and([
+                    assign("Q", "A", col("r", "A")),
+                    eq(col("r", "B"), col("s", "B")),
+                    eq(col("s", "C"), int(0)),
+                ]),
+            ),
+        )
+    }
+
+    #[test]
+    fn alpha_renaming_ignores_variable_names() {
+        let a = eq1();
+        let b = collection(
+            "Out", // head name also canonicalized
+            &["A"],
+            exists(
+                &[bind("x", "R"), bind("y", "S")],
+                and([
+                    assign("Out", "A", col("x", "A")),
+                    eq(col("x", "B"), col("y", "B")),
+                    eq(col("y", "C"), int(0)),
+                ]),
+            ),
+        );
+        assert_eq!(signature(&a).canon, signature(&b).canon);
+    }
+
+    #[test]
+    fn conjunct_order_is_irrelevant() {
+        let a = eq1();
+        let b = collection(
+            "Q",
+            &["A"],
+            exists(
+                &[bind("r", "R"), bind("s", "S")],
+                and([
+                    eq(col("s", "C"), int(0)),
+                    eq(col("r", "B"), col("s", "B")),
+                    assign("Q", "A", col("r", "A")),
+                ]),
+            ),
+        );
+        assert_eq!(signature(&a).canon, signature(&b).canon);
+    }
+
+    #[test]
+    fn constants_abstracted_to_types() {
+        let a = eq1();
+        let b = collection(
+            "Q",
+            &["A"],
+            exists(
+                &[bind("r", "R"), bind("s", "S")],
+                and([
+                    assign("Q", "A", col("r", "A")),
+                    eq(col("r", "B"), col("s", "B")),
+                    eq(col("s", "C"), int(42)),
+                ]),
+            ),
+        );
+        assert_eq!(signature(&a).canon, signature(&b).canon);
+    }
+
+    #[test]
+    fn binding_order_normalized_across_sources() {
+        let a = eq1();
+        let b = collection(
+            "Q",
+            &["A"],
+            exists(
+                &[bind("s", "S"), bind("r", "R")], // swapped
+                and([
+                    assign("Q", "A", col("r", "A")),
+                    eq(col("r", "B"), col("s", "B")),
+                    eq(col("s", "C"), int(0)),
+                ]),
+            ),
+        );
+        assert_eq!(signature(&a).canon, signature(&b).canon);
+    }
+
+    #[test]
+    fn relation_multiplicity_distinguishes_fig6_from_fig7() {
+        // Fig 6 (one scope, R and S once) vs. Fig 7/Eq (10) (R,S thrice).
+        let fig6_feats = {
+            let q = collection(
+                "X",
+                &["dept", "av", "sm"],
+                quant(
+                    &[bind("r", "R"), bind("s", "S")],
+                    group(&[("r", "dept")]),
+                    None,
+                    and([
+                        eq(col("r", "empl"), col("s", "empl")),
+                        assign("X", "dept", col("r", "dept")),
+                        assign_agg("X", "av", avg(col("s", "sal"))),
+                        assign_agg("X", "sm", sum(col("s", "sal"))),
+                    ]),
+                ),
+            );
+            signature(&q).features
+        };
+        assert_eq!(fig6_feats.get("rel:R"), Some(&1));
+        assert_eq!(fig6_feats.get("rel:S"), Some(&1));
+        assert_eq!(fig6_feats.get("agg:avg"), Some(&1));
+        assert_eq!(fig6_feats.get("agg:sum"), Some(&1));
+    }
+
+    #[test]
+    fn grouping_and_negation_appear_in_features() {
+        let q = collection(
+            "Q",
+            &["A"],
+            exists(
+                &[bind("r", "R")],
+                and([
+                    assign("Q", "A", col("r", "A")),
+                    not(exists(
+                        &[bind("s", "S")],
+                        and([eq(col("s", "B"), col("r", "B"))]),
+                    )),
+                ]),
+            ),
+        );
+        let sig = signature(&q);
+        assert_eq!(sig.features.get("neg"), Some(&1));
+        assert_eq!(sig.features.get("scope"), Some(&2));
+    }
+
+    #[test]
+    fn flipped_comparisons_normalize() {
+        let a = collection(
+            "Q",
+            &["A"],
+            exists(
+                &[bind("r", "R")],
+                and([assign("Q", "A", col("r", "A")), lt(col("r", "B"), int(5))]),
+            ),
+        );
+        let b = collection(
+            "Q",
+            &["A"],
+            exists(
+                &[bind("r", "R")],
+                and([assign("Q", "A", col("r", "A")), gt(int(5), col("r", "B"))]),
+            ),
+        );
+        assert_eq!(signature(&a).canon, signature(&b).canon);
+    }
+
+    #[test]
+    fn sentence_and_program_signatures() {
+        let s = exists(&[bind("r", "R")], and([eq(col("r", "A"), int(1))]));
+        let sig = sentence_signature(&s);
+        assert!(sig.canon.starts_with("(sentence"));
+
+        let p = Program::query(eq1());
+        let psig = program_signature(&p);
+        assert!(psig.canon.starts_with("(program"));
+    }
+
+    #[test]
+    fn different_patterns_differ() {
+        // Fig 21: version 1 (nested test) vs version 2 (group-then-join).
+        let v1 = collection(
+            "Q",
+            &["id"],
+            exists(
+                &[bind("r", "R")],
+                and([
+                    assign("Q", "id", col("r", "id")),
+                    quant(
+                        &[bind("s", "S")],
+                        group_all(),
+                        None,
+                        and([
+                            eq(col("r", "id"), col("s", "id")),
+                            eq(col("r", "q"), count(col("s", "d"))),
+                        ]),
+                    ),
+                ]),
+            ),
+        );
+        let x = collection(
+            "X",
+            &["id", "ct"],
+            quant(
+                &[bind("s", "S")],
+                group(&[("s", "id")]),
+                None,
+                and([
+                    assign("X", "id", col("s", "id")),
+                    assign_agg("X", "ct", count(col("s", "d"))),
+                ]),
+            ),
+        );
+        let v2 = collection(
+            "Q",
+            &["id"],
+            exists(
+                &[bind("r", "R"), bind_coll("x", x)],
+                and([
+                    assign("Q", "id", col("r", "id")),
+                    eq(col("r", "id"), col("x", "id")),
+                    eq(col("r", "q"), col("x", "ct")),
+                ]),
+            ),
+        );
+        assert_ne!(signature(&v1).canon, signature(&v2).canon);
+    }
+}

@@ -1,0 +1,121 @@
+//! AST for the Datalog/Soufflé subset.
+//!
+//! Covers the constructs the paper quotes: facts, rules, negated atoms,
+//! comparisons, recursion (Eq (16)'s two-rule ancestor program), and
+//! Soufflé-style aggregates — both the body form
+//! `sm = sum b : {S(a,b), a < ak}` of Eq (15) and the head form
+//! `Q(a, sum b : {R(a,b)})` of Eq (6). Schemas come from `.decl`
+//! directives (Datalog is positional; the ARC lowering needs the named
+//! perspective, §2.1 footnote 3).
+
+use arc_core::ast::{AggFunc, CmpOp};
+use arc_core::value::Value;
+
+/// A Datalog program: declarations + rules.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DatalogProgram {
+    /// Relation declarations (`.decl R(a: number, b: number)`).
+    pub decls: Vec<Decl>,
+    /// Rules and facts, in source order.
+    pub rules: Vec<Rule>,
+}
+
+impl DatalogProgram {
+    /// The declaration of a relation, if any.
+    pub fn decl(&self, name: &str) -> Option<&Decl> {
+        self.decls.iter().find(|d| d.name == name)
+    }
+
+    /// Names of intensional relations (appearing in rule heads).
+    pub fn idb_names(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for r in &self.rules {
+            if !out.contains(&r.head.name) {
+                out.push(r.head.name.clone());
+            }
+        }
+        out
+    }
+}
+
+/// A relation declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decl {
+    /// Relation name.
+    pub name: String,
+    /// Attribute names, in positional order (types are parsed and dropped —
+    /// the engine is dynamically typed).
+    pub attrs: Vec<String>,
+}
+
+/// A rule `head :- body.` (facts have an empty body).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// The head atom.
+    pub head: Atom,
+    /// Body literals (conjunctive).
+    pub body: Vec<Literal>,
+}
+
+/// An atom `R(t₁, …, tₖ)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Atom {
+    /// Relation name.
+    pub name: String,
+    /// Argument terms, positional.
+    pub args: Vec<Term>,
+}
+
+/// A term.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Term {
+    /// A variable.
+    Var(String),
+    /// A constant.
+    Const(Value),
+    /// The anonymous variable `_`.
+    Underscore,
+    /// A Soufflé aggregate term `sum v : { body }` (head position, Eq (6)).
+    Agg(AggTerm),
+}
+
+/// A Soufflé aggregate: function, aggregated variable, and the aggregate
+/// body (its own scope: "you cannot export information from within the body
+/// of an aggregate" — Soufflé docs, quoted in §2.5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggTerm {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// The aggregated variable (`None` for `count : {…}`).
+    pub var: Option<String>,
+    /// The aggregate body.
+    pub body: Vec<Literal>,
+}
+
+/// A body literal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// `R(…)` or `!R(…)`.
+    Atom {
+        /// The atom.
+        atom: Atom,
+        /// Negated (`!`).
+        negated: bool,
+    },
+    /// `t₁ op t₂`.
+    Cmp {
+        /// Left term (variable or constant).
+        left: Term,
+        /// Operator.
+        op: CmpOp,
+        /// Right term.
+        right: Term,
+    },
+    /// `v = sum b : { … }` — aggregate assignment (Eq (15)).
+    AggAssign {
+        /// The variable receiving the aggregate value.
+        var: String,
+        /// The aggregate.
+        agg: AggTerm,
+    },
+}

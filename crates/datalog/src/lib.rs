@@ -1,0 +1,238 @@
+//! # arc-datalog — the Datalog/Soufflé modality of ARC
+//!
+//! A front-end for the Datalog dialect the paper quotes (Soufflé syntax,
+//! §2.5/§2.6/§2.9): rules, negation, recursion, and Soufflé aggregates in
+//! body (`sm = sum b : {S(a,b), a < ak}`, Eq (15)) and head
+//! (`Q(a, sum b : {R(a,b)})`, Eq (6)) position.
+//!
+//! Lowering makes the paper's observations mechanical:
+//!
+//! * positional atoms become named-perspective bindings with explicit
+//!   assignment predicates (§2.1);
+//! * multiple rules per head become one definition with a disjunctive body
+//!   (§2.9, Eq (16));
+//! * Soufflé aggregates become the **FOI pattern** — one correlated `γ∅`
+//!   scope per aggregate (§2.5, Fig 5);
+//! * Soufflé conventions are [`Conventions::souffle`]: set semantics,
+//!   `sum ∅ = 0`, two-valued logic (§2.6).
+//!
+//! ```
+//! use arc_datalog::{parse_datalog, lower_program};
+//!
+//! // Paper Eq (16): ancestor.
+//! let program = parse_datalog(
+//!     ".decl P(s: number, t: number)\n\
+//!      .decl A(s: number, t: number)\n\
+//!      A(x, y) :- P(x, y).\n\
+//!      A(x, y) :- P(x, z), A(z, y).\n",
+//! ).unwrap();
+//! let arc = lower_program(&program).unwrap();
+//! assert_eq!(arc.definitions.len(), 1); // two rules, ONE definition (∨)
+//! ```
+//!
+//! [`Conventions::souffle`]: arc_core::conventions::Conventions::souffle
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod lower;
+pub mod parser;
+pub mod render;
+
+pub use ast::{AggTerm, Atom, DatalogProgram, Decl, Literal, Rule, Term};
+pub use lower::{lower_program, DatalogLowerError};
+pub use parser::{parse_datalog, DatalogParseError};
+pub use render::{render_collection, render_program, DatalogRenderError};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arc_core::conventions::Conventions;
+    use arc_core::value::Value;
+    use arc_engine::{Catalog, Engine, Relation};
+
+    fn ints(name: &str, schema: &[&str], rows: &[&[i64]]) -> Relation {
+        Relation::from_ints(name, schema, rows)
+    }
+
+    #[test]
+    fn eq16_ancestor_evaluates_via_fixpoint() {
+        let program = parse_datalog(
+            ".decl P(s: number, t: number)\n\
+             .decl A(s: number, t: number)\n\
+             A(x, y) :- P(x, y).\n\
+             A(x, y) :- P(x, z), A(z, y).\n",
+        )
+        .unwrap();
+        let arc = lower_program(&program).unwrap();
+        let catalog =
+            Catalog::new().with(ints("P", &["s", "t"], &[&[1, 2], &[2, 3], &[3, 4]]));
+        let out = Engine::new(&catalog, Conventions::souffle())
+            .eval_program(&arc)
+            .unwrap();
+        assert_eq!(out.defined["A"].len(), 6);
+    }
+
+    #[test]
+    fn eq15_sum_over_empty_is_zero_under_souffle() {
+        // Q(ak, sm) :- R(ak, _), sm = sum b : {S(a, b), a < ak}.
+        // On R = {(1,2)}, S = ∅: Soufflé derives Q(1, 0).
+        let program = parse_datalog(
+            ".decl R(a: number, b: number)\n\
+             .decl S(a: number, b: number)\n\
+             .decl Q(ak: number, sm: number)\n\
+             Q(ak, sm) :- R(ak, _), sm = sum b : {S(a, b), a < ak}.\n",
+        )
+        .unwrap();
+        let arc = lower_program(&program).unwrap();
+        let catalog = Catalog::new()
+            .with(ints("R", &["a", "b"], &[&[1, 2]]))
+            .with(ints("S", &["a", "b"], &[]));
+        let out = Engine::new(&catalog, Conventions::souffle())
+            .eval_program(&arc)
+            .unwrap();
+        let q = &out.defined["Q"];
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.rows[0], vec![Value::Int(1), Value::Int(0)]);
+
+        // The same pattern under SQL conventions yields (1, NULL) —
+        // the paper's §2.6 "conventions, not languages" point.
+        let sql_out = Engine::new(&catalog, Conventions::sql().with_semantics(
+            arc_core::conventions::Semantics::Set,
+        ))
+        .eval_program(&arc)
+        .unwrap();
+        assert_eq!(sql_out.defined["Q"].rows[0][1], Value::Null);
+    }
+
+    #[test]
+    fn eq6_head_aggregate_foi() {
+        // Q(a, sum b : {R(a, b)}) :- R(a, _).
+        let program = parse_datalog(
+            ".decl R(a: number, b: number)\n\
+             .decl Q(a: number, s: number)\n\
+             Q(a, sum b : {R(a, b)}) :- R(a, _).\n",
+        )
+        .unwrap();
+        let arc = lower_program(&program).unwrap();
+        let catalog = Catalog::new().with(ints(
+            "R",
+            &["a", "b"],
+            &[&[1, 10], &[1, 20], &[2, 5]],
+        ));
+        let out = Engine::new(&catalog, Conventions::souffle())
+            .eval_program(&arc)
+            .unwrap();
+        let q = &out.defined["Q"];
+        assert_eq!(q.sorted_rows(), vec![
+            vec![Value::Int(1), Value::Int(30)],
+            vec![Value::Int(2), Value::Int(5)],
+        ]);
+    }
+
+    #[test]
+    fn negation_lowers_and_runs() {
+        let program = parse_datalog(
+            ".decl R(x: number)\n\
+             .decl S(x: number)\n\
+             .decl Q(x: number)\n\
+             Q(x) :- R(x), !S(x).\n",
+        )
+        .unwrap();
+        let arc = lower_program(&program).unwrap();
+        let catalog = Catalog::new()
+            .with(ints("R", &["x"], &[&[1], &[2]]))
+            .with(ints("S", &["x"], &[&[1]]));
+        let out = Engine::new(&catalog, Conventions::souffle())
+            .eval_program(&arc)
+            .unwrap();
+        assert_eq!(out.defined["Q"].sorted_rows(), vec![vec![Value::Int(2)]]);
+    }
+
+    #[test]
+    fn facts_become_constant_disjuncts() {
+        let program = parse_datalog(
+            ".decl R(x: number)\n\
+             R(1).\n\
+             R(2).\n",
+        )
+        .unwrap();
+        let arc = lower_program(&program).unwrap();
+        let catalog = Catalog::new();
+        let out = Engine::new(&catalog, Conventions::souffle())
+            .eval_program(&arc)
+            .unwrap();
+        assert_eq!(out.defined["R"].len(), 2);
+    }
+
+    #[test]
+    fn foi_signature_differs_from_fio() {
+        // The lowered Soufflé aggregate must carry the FOI pattern: a
+        // nested collection + γ∅ + correlation — NOT the FIO single-scope
+        // pattern of Eq (3).
+        let program = parse_datalog(
+            ".decl R(a: number, b: number)\n\
+             .decl Q(a: number, s: number)\n\
+             Q(a, sum b : {R(a, b)}) :- R(a, _).\n",
+        )
+        .unwrap();
+        let arc = lower_program(&program).unwrap();
+        let sig = arc_core::pattern::signature(&arc.definitions[0].collection);
+        assert_eq!(sig.features.get("nested-collection"), Some(&1));
+        assert_eq!(sig.features.get("group:0"), Some(&1));
+        assert_eq!(sig.features.get("rel:R"), Some(&2), "two logical copies of R");
+    }
+
+    #[test]
+    fn round_trip_conjunctive_rule() {
+        let src = ".decl R(a: number, b: number)\n\
+                   .decl S(b: number, c: number)\n\
+                   .decl Q(a: number)\n\
+                   Q(x) :- R(x, y), S(y, z), z > 0.\n";
+        let program = parse_datalog(src).unwrap();
+        let arc = lower_program(&program).unwrap();
+        let mut schemas = arc_core::binder::SchemaMap::new();
+        schemas.insert("R".into(), vec!["a".into(), "b".into()]);
+        schemas.insert("S".into(), vec!["b".into(), "c".into()]);
+        let rendered = render_program(&arc, &schemas).unwrap();
+        // The rendered text reparses and lowers to the same pattern.
+        let reparsed = parse_datalog(&rendered)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{rendered}"));
+        let arc2 = lower_program(&reparsed).unwrap();
+        let s1 = arc_core::pattern::program_signature(&arc);
+        let s2 = arc_core::pattern::program_signature(&arc2);
+        assert_eq!(s1.canon, s2.canon, "rendered:\n{rendered}");
+    }
+
+    #[test]
+    fn unbound_head_variable_rejected() {
+        let program = parse_datalog(
+            ".decl R(x: number)\n\
+             .decl Q(x: number, y: number)\n\
+             Q(x, y) :- R(x).\n",
+        )
+        .unwrap();
+        let err = lower_program(&program).unwrap_err();
+        assert!(matches!(err, DatalogLowerError::UnboundVariable(v) if v == "y"));
+    }
+
+    #[test]
+    fn fio_collection_rejected_by_renderer() {
+        use arc_core::dsl::*;
+        let fio = collection(
+            "Q",
+            &["A", "sm"],
+            quant(
+                &[bind("r", "R")],
+                group(&[("r", "A")]),
+                None,
+                and([
+                    assign("Q", "A", col("r", "A")),
+                    assign_agg("Q", "sm", sum(col("r", "B"))),
+                ]),
+            ),
+        );
+        let err = render_collection(&fio).unwrap_err();
+        assert!(matches!(err, DatalogRenderError::Unsupported(_)));
+    }
+}

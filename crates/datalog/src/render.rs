@@ -1,0 +1,478 @@
+//! ARC → Datalog rendering, for the Datalog-expressible fragment:
+//! conjunctive disjuncts with negated single-atom scopes, comparisons, and
+//! FOI aggregates (`γ∅` nested collections). FIO-grouped collections are
+//! *not* expressible in Soufflé's pattern vocabulary — that asymmetry is
+//! exactly the paper's point in §2.5 — and produce an error (convert with
+//! `arc-analysis`'s `fio_to_foi` rewrite first).
+
+use arc_core::ast::*;
+use arc_core::binder::SchemaMap;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Rendering error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatalogRenderError {
+    /// A construct with no Datalog counterpart (FIO grouping, outer joins…).
+    Unsupported(String),
+}
+
+impl fmt::Display for DatalogRenderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatalogRenderError::Unsupported(m) => write!(f, "cannot render to Datalog: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DatalogRenderError {}
+
+/// Render an ARC program (definitions + optional query) as Datalog rules
+/// with `.decl` directives. `schemas` provides the attribute order for the
+/// base (EDB) relations; defined relations use their head order.
+pub fn render_program(p: &Program, schemas: &SchemaMap) -> Result<String, DatalogRenderError> {
+    let mut rx = Renderer::new(schemas);
+    for def in &p.definitions {
+        rx.defined
+            .insert(def.name().to_string(), def.collection.head.attrs.clone());
+    }
+    let mut rules: Vec<String> = Vec::new();
+    for def in &p.definitions {
+        rx.collection_into(&def.collection, &mut rules)?;
+    }
+    if let Some(q) = &p.query {
+        rx.defined
+            .insert(q.head.relation.clone(), q.head.attrs.clone());
+        rx.collection_into(q, &mut rules)?;
+    }
+    let mut out = String::new();
+    let mut declared: Vec<&String> = rx.used.iter().collect();
+    declared.sort();
+    for name in declared {
+        let attrs = rx.attrs_for(name);
+        let cols: Vec<String> = attrs.iter().map(|a| format!("{a}: symbol")).collect();
+        out.push_str(&format!(".decl {name}({})\n", cols.join(", ")));
+    }
+    for r in rules {
+        out.push_str(&r);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Render a single collection as Datalog rules (one per disjunct),
+/// with attribute order from `schemas` for base relations.
+pub fn render_collection_with(
+    c: &Collection,
+    schemas: &SchemaMap,
+) -> Result<String, DatalogRenderError> {
+    let mut rx = Renderer::new(schemas);
+    rx.defined
+        .insert(c.head.relation.clone(), c.head.attrs.clone());
+    let mut rules = Vec::new();
+    rx.collection_into(c, &mut rules)?;
+    Ok(rules.join("\n") + "\n")
+}
+
+/// [`render_collection_with`] without schema information (attribute order
+/// falls back to lexicographic).
+pub fn render_collection(c: &Collection) -> Result<String, DatalogRenderError> {
+    render_collection_with(c, &SchemaMap::new())
+}
+
+struct Renderer<'s> {
+    schemas: &'s SchemaMap,
+    defined: HashMap<String, Vec<String>>,
+    /// Relations referenced anywhere (for `.decl` emission).
+    used: std::collections::HashSet<String>,
+}
+
+impl<'s> Renderer<'s> {
+    fn new(schemas: &'s SchemaMap) -> Self {
+        Renderer {
+            schemas,
+            defined: HashMap::new(),
+            used: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Attribute order for a relation: definition head, then schema map;
+    /// an empty vec means "unknown" (the atom renderer then falls back to
+    /// the lexicographic order of mentioned attributes).
+    fn attrs_for(&self, name: &str) -> Vec<String> {
+        if let Some(a) = self.defined.get(name) {
+            return a.clone();
+        }
+        self.schemas.get(name).cloned().unwrap_or_default()
+    }
+
+    fn collection_into(
+        &mut self,
+        c: &Collection,
+        rules: &mut Vec<String>,
+    ) -> Result<(), DatalogRenderError> {
+        self.used.insert(c.head.relation.clone());
+        let normalized = c.normalized();
+        let branches = match &normalized.body {
+            Formula::Or(fs) => fs.clone(),
+            other => vec![other.clone()],
+        };
+        for branch in &branches {
+            rules.push(self.branch(branch, &normalized.head)?);
+        }
+        Ok(())
+    }
+}
+
+/// Name generator over equivalence classes of attribute positions.
+struct Classes {
+    /// `(var, attr)` → Datalog variable name.
+    names: HashMap<(String, String), String>,
+    counter: usize,
+}
+
+impl Classes {
+    fn new() -> Self {
+        Classes {
+            names: HashMap::new(),
+            counter: 0,
+        }
+    }
+
+    fn name_of(&mut self, var: &str, attr: &str) -> String {
+        if let Some(n) = self.names.get(&(var.to_string(), attr.to_string())) {
+            return n.clone();
+        }
+        self.counter += 1;
+        let n = format!("v{}", self.counter);
+        self.names
+            .insert((var.to_string(), attr.to_string()), n.clone());
+        n
+    }
+
+    fn alias(&mut self, a: &AttrRef, b: &AttrRef) {
+        let name = self.name_of(&a.var, &a.attr);
+        self.names
+            .insert((b.var.clone(), b.attr.clone()), name);
+    }
+}
+
+impl Renderer<'_> {
+    fn branch(&mut self, f: &Formula, head: &Head) -> Result<String, DatalogRenderError> {
+    let quant = match f {
+        Formula::Quant(q) => q,
+        other => {
+            return Err(DatalogRenderError::Unsupported(format!(
+                "non-quantified disjunct `{other:?}`"
+            )))
+        }
+    };
+    if quant.grouping.is_some() {
+        return Err(DatalogRenderError::Unsupported(
+            "FIO grouping scope (Soufflé aggregates are FOI; rewrite first)".into(),
+        ));
+    }
+    if quant.join.is_some() {
+        return Err(DatalogRenderError::Unsupported("join annotations".into()));
+    }
+
+    let mut classes = Classes::new();
+    let mut head_args: HashMap<String, String> = HashMap::new(); // attr → term
+    let mut body_literals: Vec<String> = Vec::new();
+    let mut pending: Vec<&Formula> = Vec::new();
+
+    // First pass: equality predicates merge classes; assignments map head
+    // attrs; everything else is deferred.
+    for conjunct in quant.body.conjuncts() {
+        match conjunct {
+            Formula::Pred(Predicate::Cmp {
+                left: Scalar::Attr(a),
+                op: CmpOp::Eq,
+                right: Scalar::Attr(b),
+            }) => {
+                if a.var == head.relation {
+                    head_args.insert(a.attr.clone(), classes.name_of(&b.var, &b.attr));
+                } else if b.var == head.relation {
+                    head_args.insert(b.attr.clone(), classes.name_of(&a.var, &a.attr));
+                } else {
+                    classes.alias(a, b);
+                }
+            }
+            Formula::Pred(Predicate::Cmp {
+                left: Scalar::Attr(a),
+                op: CmpOp::Eq,
+                right: Scalar::Const(c),
+            })
+            | Formula::Pred(Predicate::Cmp {
+                left: Scalar::Const(c),
+                op: CmpOp::Eq,
+                right: Scalar::Attr(a),
+            }) if a.var == head.relation => {
+                head_args.insert(a.attr.clone(), datalog_const(c));
+            }
+            other => pending.push(other),
+        }
+    }
+
+    // Bindings become body atoms (named bindings) or aggregate assignments
+    // (γ∅ nested collections).
+    for b in &quant.bindings {
+        match &b.source {
+            BindingSource::Named(rel) => {
+                // Attribute order comes from the class map usage; we render
+                // positionally by collecting the attrs actually referenced.
+                // Datalog requires full positional args: we need the schema.
+                // Use the attrs seen on this variable, sorted by first use —
+                // callers with real schemas should prefer `render_program`
+                // over hand-rolled atoms. For fidelity we render with
+                // attr=value named-ish syntax unavailable in Soufflé, so we
+                // use the binder-visible order: the order attrs appear.
+                body_literals.push(self.atom(rel, &b.var, &quant.body, &mut classes));
+            }
+            BindingSource::Collection(c) => {
+                body_literals.push(self.foi_aggregate(c, &b.var, &mut classes)?);
+            }
+        }
+    }
+
+    // Remaining predicates: comparisons and negations.
+    for conjunct in pending {
+        match conjunct {
+            Formula::Pred(Predicate::Cmp { left, op, right }) => {
+                let l = scalar_term(left, &mut classes)?;
+                let r = scalar_term(right, &mut classes)?;
+                body_literals.push(format!("{l} {} {r}", datalog_op(*op)));
+            }
+            Formula::Pred(Predicate::IsNull { .. }) => {
+                return Err(DatalogRenderError::Unsupported(
+                    "IS NULL (Soufflé has no nulls — a convention, §2.6)".into(),
+                ))
+            }
+            Formula::Not(inner) => match &**inner {
+                Formula::Quant(nq)
+                    if nq.bindings.len() == 1 && nq.grouping.is_none() && nq.join.is_none() =>
+                {
+                    let nb = &nq.bindings[0];
+                    let rel = match &nb.source {
+                        BindingSource::Named(r) => r,
+                        BindingSource::Collection(_) => {
+                            return Err(DatalogRenderError::Unsupported(
+                                "negated nested collection".into(),
+                            ))
+                        }
+                    };
+                    // Alias the negated atom's positions to outer classes.
+                    for sub in nq.body.conjuncts() {
+                        if let Formula::Pred(Predicate::Cmp {
+                            left: Scalar::Attr(a),
+                            op: CmpOp::Eq,
+                            right: Scalar::Attr(b),
+                        }) = sub
+                        {
+                            classes.alias(b, a);
+                        }
+                    }
+                    body_literals.push(format!(
+                        "!{}",
+                        self.atom(rel, &nb.var, &nq.body, &mut classes)
+                    ));
+                }
+                _ => {
+                    return Err(DatalogRenderError::Unsupported(
+                        "negation over a non-atomic scope".into(),
+                    ))
+                }
+            },
+            other => {
+                return Err(DatalogRenderError::Unsupported(format!(
+                    "body construct `{other:?}`"
+                )))
+            }
+        }
+    }
+
+    // Assemble the head.
+    let args: Vec<String> = head
+        .attrs
+        .iter()
+        .map(|a| head_args.get(a).cloned().unwrap_or_else(|| "_".to_string()))
+        .collect();
+    let head_str = format!("{}({})", head.relation, args.join(", "));
+    if body_literals.is_empty() {
+        Ok(format!("{head_str}."))
+    } else {
+        Ok(format!("{head_str} :- {}.", body_literals.join(", ")))
+    }
+    }
+}
+
+impl Renderer<'_> {
+    /// Render a positive atom positionally: schema order when known,
+    /// otherwise the lexicographic order of the mentioned attributes.
+    fn atom(&mut self, rel: &str, var: &str, body: &Formula, classes: &mut Classes) -> String {
+        self.used.insert(rel.to_string());
+        let mut attrs = self.attrs_for(rel);
+        if attrs.is_empty() {
+            collect_var_attrs(body, var, &mut attrs);
+            attrs.sort();
+        }
+        let args: Vec<String> = attrs.iter().map(|a| classes.name_of(var, a)).collect();
+        format!("{rel}({})", args.join(", "))
+    }
+}
+
+fn collect_var_attrs(f: &Formula, var: &str, out: &mut Vec<String>) {
+    match f {
+        Formula::Pred(p) => {
+            let mut push_scalar = |s: &Scalar| {
+                for r in s.attr_refs() {
+                    if r.var == var && !out.contains(&r.attr) {
+                        out.push(r.attr.clone());
+                    }
+                }
+            };
+            match p {
+                Predicate::Cmp { left, right, .. } => {
+                    push_scalar(left);
+                    push_scalar(right);
+                }
+                Predicate::IsNull { expr, .. } => push_scalar(expr),
+            }
+        }
+        Formula::And(fs) | Formula::Or(fs) => {
+            for sub in fs {
+                collect_var_attrs(sub, var, out);
+            }
+        }
+        Formula::Not(inner) => collect_var_attrs(inner, var, out),
+        Formula::Quant(q) => collect_var_attrs(&q.body, var, out),
+    }
+}
+
+impl Renderer<'_> {
+    /// Render a `γ∅` nested collection binding as a Soufflé aggregate
+    /// assignment `x = func arg : { … }`.
+    fn foi_aggregate(
+        &mut self,
+        c: &Collection,
+        var: &str,
+        classes: &mut Classes,
+    ) -> Result<String, DatalogRenderError> {
+    let q = match &c.body {
+        Formula::Quant(q) if matches!(&q.grouping, Some(g) if g.keys.is_empty()) => q,
+        _ => {
+            return Err(DatalogRenderError::Unsupported(
+                "nested collection that is not a γ∅ aggregate scope".into(),
+            ))
+        }
+    };
+    if c.head.attrs.len() != 1 {
+        return Err(DatalogRenderError::Unsupported(
+            "aggregate collection with more than one output".into(),
+        ));
+    }
+    let out_attr = &c.head.attrs[0];
+
+    let mut agg_call: Option<&AggCall> = None;
+    let mut inner_literals: Vec<String> = Vec::new();
+    // Alias equalities first.
+    for conjunct in q.body.conjuncts() {
+        if let Formula::Pred(Predicate::Cmp {
+            left: Scalar::Attr(a),
+            op: CmpOp::Eq,
+            right: Scalar::Attr(b),
+        }) = conjunct
+        {
+            if a.var != c.head.relation && b.var != c.head.relation {
+                classes.alias(b, a);
+            }
+        }
+    }
+    for conjunct in q.body.conjuncts() {
+        match conjunct {
+            Formula::Pred(Predicate::Cmp {
+                left: Scalar::Attr(a),
+                op: CmpOp::Eq,
+                right: Scalar::Agg(call),
+            }) if a.var == c.head.relation && &a.attr == out_attr => {
+                agg_call = Some(call);
+            }
+            Formula::Pred(Predicate::Cmp {
+                left: Scalar::Attr(a),
+                op,
+                right,
+            }) if a.var != c.head.relation && *op != CmpOp::Eq => {
+                let l = classes.name_of(&a.var, &a.attr);
+                let r = scalar_term(right, classes)?;
+                inner_literals.push(format!("{l} {} {r}", datalog_op(*op)));
+            }
+            _ => {}
+        }
+    }
+    for b in &q.bindings {
+        match &b.source {
+            BindingSource::Named(rel) => {
+                inner_literals.insert(0, self.atom(rel, &b.var, &q.body, classes));
+            }
+            BindingSource::Collection(_) => {
+                return Err(DatalogRenderError::Unsupported(
+                    "nested collection inside an aggregate scope".into(),
+                ))
+            }
+        }
+    }
+    let call = agg_call.ok_or_else(|| {
+        DatalogRenderError::Unsupported("aggregate scope without aggregation predicate".into())
+    })?;
+    let func = match call.func {
+        AggFunc::Sum => "sum",
+        AggFunc::Count => "count",
+        AggFunc::Avg => "mean",
+        AggFunc::Min => "min",
+        AggFunc::Max => "max",
+    };
+    let arg = match &call.arg {
+        AggArg::Expr(Scalar::Attr(a)) => format!("{func} {}", classes.name_of(&a.var, &a.attr)),
+        AggArg::Star => func.to_string(),
+        _ => {
+            return Err(DatalogRenderError::Unsupported(
+                "aggregate over a computed expression".into(),
+            ))
+        }
+    };
+    let result = classes.name_of(var, out_attr);
+    Ok(format!(
+        "{result} = {arg} : {{{}}}",
+        inner_literals.join(", ")
+    ))
+    }
+}
+
+fn scalar_term(s: &Scalar, classes: &mut Classes) -> Result<String, DatalogRenderError> {
+    match s {
+        Scalar::Attr(a) => Ok(classes.name_of(&a.var, &a.attr)),
+        Scalar::Const(v) => Ok(datalog_const(v)),
+        _ => Err(DatalogRenderError::Unsupported(
+            "computed scalar in Datalog position".into(),
+        )),
+    }
+}
+
+fn datalog_const(v: &arc_core::value::Value) -> String {
+    use arc_core::value::Value;
+    match v {
+        Value::Str(s) => format!("\"{s}\""),
+        other => other.to_string(),
+    }
+}
+
+fn datalog_op(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Eq => "=",
+        CmpOp::Ne => "!=",
+        CmpOp::Lt => "<",
+        CmpOp::Le => "<=",
+        CmpOp::Gt => ">",
+        CmpOp::Ge => ">=",
+    }
+}

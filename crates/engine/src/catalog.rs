@@ -1,0 +1,114 @@
+//! The catalog: base relations + external relations.
+//!
+//! Mirrors the paper's Fig 14 taxonomy: **base relations** are extensional
+//! (stored here); **intensional relations** come from [`Program`]
+//! definitions and are materialized by the engine; **external relations**
+//! (§2.13.1) live here with their access patterns; **abstract relations**
+//! (§2.13.2) are definitions the engine checks in context rather than
+//! materializes.
+//!
+//! [`Program`]: arc_core::ast::Program
+
+use crate::external::{standard_externals, ExternalRelation};
+use crate::relation::Relation;
+use arc_core::binder::SchemaMap;
+use std::collections::HashMap;
+
+/// A database: named base relations plus external relations.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    relations: HashMap<String, Relation>,
+    externals: HashMap<String, ExternalRelation>,
+}
+
+impl Catalog {
+    /// An empty catalog (no externals).
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// A catalog preloaded with the standard external relations
+    /// (`Minus`, `Add`, `*`, `Div`, `Bigger`, `>`, `Concat`).
+    pub fn with_standard_externals() -> Self {
+        Catalog {
+            relations: HashMap::new(),
+            externals: standard_externals(),
+        }
+    }
+
+    /// Insert (or replace) a base relation, keyed by its name.
+    pub fn add(&mut self, relation: Relation) -> &mut Self {
+        self.relations.insert(relation.name.clone(), relation);
+        self
+    }
+
+    /// Builder-style [`Catalog::add`].
+    pub fn with(mut self, relation: Relation) -> Self {
+        self.add(relation);
+        self
+    }
+
+    /// Insert (or replace) an external relation.
+    pub fn add_external(&mut self, ext: ExternalRelation) -> &mut Self {
+        self.externals.insert(ext.name.clone(), ext);
+        self
+    }
+
+    /// Look up a base relation.
+    pub fn relation(&self, name: &str) -> Option<&Relation> {
+        self.relations.get(name)
+    }
+
+    /// Look up an external relation.
+    pub fn external(&self, name: &str) -> Option<&ExternalRelation> {
+        self.externals.get(name)
+    }
+
+    /// Iterate base relations (unordered).
+    pub fn relations(&self) -> impl Iterator<Item = &Relation> {
+        self.relations.values()
+    }
+
+    /// Schema map over base + external relations, for the closed-world
+    /// [`Binder`](arc_core::binder::Binder).
+    pub fn schema_map(&self) -> SchemaMap {
+        let mut m = SchemaMap::new();
+        for r in self.relations.values() {
+            m.insert(r.name.clone(), r.schema.clone());
+        }
+        for e in self.externals.values() {
+            m.insert(e.name.clone(), e.schema.clone());
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut c = Catalog::new();
+        c.add(Relation::from_ints("R", &["A"], &[&[1]]));
+        assert_eq!(c.relation("R").unwrap().len(), 1);
+        assert!(c.relation("S").is_none());
+    }
+
+    #[test]
+    fn standard_externals_present() {
+        let c = Catalog::with_standard_externals();
+        assert!(c.external("Minus").is_some());
+        assert!(c.external("*").is_some());
+        assert!(c.external("Bigger").is_some());
+    }
+
+    #[test]
+    fn schema_map_covers_both_kinds() {
+        let c = Catalog::with_standard_externals()
+            .with(Relation::from_ints("R", &["A", "B"], &[]));
+        let m = c.schema_map();
+        assert_eq!(m["R"], vec!["A".to_string(), "B".to_string()]);
+        assert_eq!(m["Minus"], vec!["left", "right", "out"]);
+    }
+}

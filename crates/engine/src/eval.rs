@@ -1,0 +1,1580 @@
+//! The evaluator: ARC's **conceptual evaluation strategy** (paper §2.3).
+//!
+//! Collections are evaluated by nested-loop enumeration of quantifier
+//! bindings — exactly the `for x in X: for y in Y: if …: yield …` strategy
+//! the paper uses to define the semantics — extended with:
+//!
+//! * grouping scopes with **multiple aggregates over one scope** (§2.5, the
+//!   FIO pattern) and `γ∅` ("group by true") producing exactly one group;
+//! * correlated (lateral) nested collections (§2.4);
+//! * outer-join annotations over the binding list (§2.11), where the ON
+//!   condition of a `left`/`full` node absorbs the body predicates that
+//!   touch its right/either side (literal leaves absorb predicates that
+//!   compare against their constant);
+//! * external relations solved through access patterns (§2.13.1);
+//! * abstract relations checked in context (§2.13.2);
+//! * nested-existential **semijoin multiplicity** under bag semantics
+//!   (§2.7): head tuples emitted from inside a nested scope are
+//!   deduplicated per enclosing environment;
+//! * the [`Conventions`] switches — none of which change the code path
+//!   through the relational structure, only value-level behaviour.
+
+use crate::catalog::Catalog;
+use crate::error::{EvalError, Result};
+use crate::external::ExternalRelation;
+use crate::relation::{Relation, Tuple};
+use arc_core::ast::*;
+use arc_core::conventions::{Conventions, EmptyAgg, NullLogic, Semantics};
+use arc_core::value::{Key, Truth, Value};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------------
+// Environments
+// ---------------------------------------------------------------------------
+
+/// One bound range variable: its name, attribute names, and current tuple.
+#[derive(Debug, Clone)]
+pub(crate) struct Frame {
+    var: Rc<str>,
+    attrs: Rc<Vec<String>>,
+    tuple: Tuple,
+}
+
+/// A stack of frames; lookup walks innermost-first (lexical scoping).
+#[derive(Debug, Default, Clone)]
+pub(crate) struct Env {
+    frames: Vec<Frame>,
+}
+
+impl Env {
+    fn push(&mut self, var: Rc<str>, attrs: Rc<Vec<String>>, tuple: Tuple) {
+        self.frames.push(Frame { var, attrs, tuple });
+    }
+
+    fn pop(&mut self) {
+        self.frames.pop();
+    }
+
+    fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    fn truncate(&mut self, n: usize) {
+        self.frames.truncate(n);
+    }
+
+    fn lookup(&self, var: &str, attr: &str) -> Result<Value> {
+        for f in self.frames.iter().rev() {
+            if &*f.var == var {
+                let idx = f
+                    .attrs
+                    .iter()
+                    .position(|a| a == attr)
+                    .ok_or_else(|| EvalError::UnknownAttribute {
+                        var: var.to_string(),
+                        attr: attr.to_string(),
+                    })?;
+                return Ok(f.tuple[idx].clone());
+            }
+        }
+        Err(EvalError::UnboundVariable(var.to_string()))
+    }
+
+    fn has_var(&self, var: &str) -> bool {
+        self.frames.iter().any(|f| &*f.var == var)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public interface
+// ---------------------------------------------------------------------------
+
+/// The evaluation engine: a catalog plus a convention profile.
+pub struct Engine<'c> {
+    pub(crate) catalog: &'c Catalog,
+    /// The convention profile queries are interpreted under (§2.6/§2.7).
+    pub conventions: Conventions,
+}
+
+impl<'c> Engine<'c> {
+    /// Create an engine over a catalog with the given conventions.
+    pub fn new(catalog: &'c Catalog, conventions: Conventions) -> Self {
+        Engine {
+            catalog,
+            conventions,
+        }
+    }
+
+    /// Evaluate a standalone query collection (no definitions).
+    pub fn eval_collection(&self, c: &Collection) -> Result<Relation> {
+        let ctx = Ctx {
+            catalog: self.catalog,
+            conv: self.conventions,
+            defined: &HashMap::new(),
+            abstracts: &HashMap::new(),
+        };
+        ctx.collection_relation(c, &mut Env::default())
+    }
+
+    /// Evaluate a boolean sentence (paper Fig 9).
+    pub fn eval_sentence(&self, f: &Formula) -> Result<Truth> {
+        let ctx = Ctx {
+            catalog: self.catalog,
+            conv: self.conventions,
+            defined: &HashMap::new(),
+            abstracts: &HashMap::new(),
+        };
+        ctx.formula_truth(f, &mut Env::default())
+    }
+
+    /// Evaluate a collection with pre-materialized definitions and abstract
+    /// relations in scope (used by the fixpoint driver).
+    pub(crate) fn eval_with(
+        &self,
+        c: &Collection,
+        defined: &HashMap<String, Relation>,
+        abstracts: &HashMap<String, Collection>,
+    ) -> Result<Relation> {
+        let ctx = Ctx {
+            catalog: self.catalog,
+            conv: self.conventions,
+            defined,
+            abstracts,
+        };
+        ctx.collection_relation(c, &mut Env::default())
+    }
+
+    /// Evaluate a sentence with definitions in scope.
+    pub(crate) fn eval_sentence_with(
+        &self,
+        f: &Formula,
+        defined: &HashMap<String, Relation>,
+        abstracts: &HashMap<String, Collection>,
+    ) -> Result<Truth> {
+        let ctx = Ctx {
+            catalog: self.catalog,
+            conv: self.conventions,
+            defined,
+            abstracts,
+        };
+        ctx.formula_truth(f, &mut Env::default())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation context
+// ---------------------------------------------------------------------------
+
+pub(crate) struct Ctx<'a> {
+    pub(crate) catalog: &'a Catalog,
+    pub(crate) conv: Conventions,
+    /// Materialized intensional relations (views/CTEs/fixpoint results).
+    pub(crate) defined: &'a HashMap<String, Relation>,
+    /// Abstract relations: checked in context, never materialized.
+    pub(crate) abstracts: &'a HashMap<String, Collection>,
+}
+
+/// Partial head tuple: per-attribute assigned value.
+type Partial = Vec<Option<Value>>;
+
+struct HeadCtx<'h> {
+    name: &'h str,
+    attrs: &'h [String],
+}
+
+/// The body of a quantifier, partitioned by predicate role (the engine-side
+/// mirror of the binder's classification).
+struct Parts<'f> {
+    /// Plain predicates: filters (no aggregate, not a head assignment).
+    filters: Vec<&'f Predicate>,
+    /// Non-aggregating head assignments `(attr, expr)`.
+    assigns: Vec<(&'f str, &'f Scalar)>,
+    /// Aggregating head assignments (need a grouping scope).
+    agg_assigns: Vec<(&'f str, &'f Scalar)>,
+    /// Aggregating non-assignment predicates (per-group tests).
+    agg_tests: Vec<&'f Predicate>,
+    /// Boolean subformulas without scope-level aggregates (pre-group).
+    pre_bool: Vec<&'f Formula>,
+    /// Boolean subformulas containing scope-level aggregates (per-group).
+    post_bool: Vec<&'f Formula>,
+    /// Subformulas carrying positive head assignments (the emission spine).
+    spines: Vec<&'f Formula>,
+}
+
+fn partition<'f>(body: &'f Formula, head: &str) -> Parts<'f> {
+    let mut parts = Parts {
+        filters: Vec::new(),
+        assigns: Vec::new(),
+        agg_assigns: Vec::new(),
+        agg_tests: Vec::new(),
+        pre_bool: Vec::new(),
+        post_bool: Vec::new(),
+        spines: Vec::new(),
+    };
+    for conjunct in body.conjuncts() {
+        match conjunct {
+            Formula::Pred(p) => {
+                if let Some((attr, expr)) = head_assignment(p, head) {
+                    if expr.has_aggregate() {
+                        parts.agg_assigns.push((attr, expr));
+                    } else {
+                        parts.assigns.push((attr, expr));
+                    }
+                } else if p.has_aggregate() {
+                    parts.agg_tests.push(p);
+                } else {
+                    parts.filters.push(p);
+                }
+            }
+            sub => {
+                if has_head_assignment(sub, head) {
+                    parts.spines.push(sub);
+                } else if has_direct_aggregate(sub) {
+                    parts.post_bool.push(sub);
+                } else {
+                    parts.pre_bool.push(sub);
+                }
+            }
+        }
+    }
+    parts
+}
+
+/// `Head.attr = expr` (either orientation) with a bare head side.
+fn head_assignment<'f>(p: &'f Predicate, head: &str) -> Option<(&'f str, &'f Scalar)> {
+    if let Predicate::Cmp {
+        left,
+        op: CmpOp::Eq,
+        right,
+    } = p
+    {
+        fn is_head<'s>(s: &'s Scalar, head: &str) -> Option<&'s str> {
+            match s {
+                Scalar::Attr(a) if a.var == head => Some(a.attr.as_str()),
+                _ => None,
+            }
+        }
+        match (is_head(left, head), is_head(right, head)) {
+            (Some(attr), None) => return Some((attr, right)),
+            (None, Some(attr)) => return Some((attr, left)),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Does `f` contain a *positive* head assignment for `head` (not under
+/// negation, not inside a nested collection)?
+fn has_head_assignment(f: &Formula, head: &str) -> bool {
+    match f {
+        Formula::Pred(p) => head_assignment(p, head).is_some(),
+        Formula::And(fs) | Formula::Or(fs) => fs.iter().any(|s| has_head_assignment(s, head)),
+        Formula::Not(_) => false,
+        Formula::Quant(q) => has_head_assignment(&q.body, head),
+    }
+}
+
+/// Does `f` contain an aggregate belonging to the *current* scope (i.e. in
+/// a predicate not nested under another quantifier)?
+fn has_direct_aggregate(f: &Formula) -> bool {
+    match f {
+        Formula::Pred(p) => p.has_aggregate(),
+        Formula::And(fs) | Formula::Or(fs) => fs.iter().any(has_direct_aggregate),
+        Formula::Not(inner) => has_direct_aggregate(inner),
+        Formula::Quant(_) => false,
+    }
+}
+
+impl<'a> Ctx<'a> {
+    // -- Collections --------------------------------------------------------
+
+    /// Evaluate a collection to a relation (applying the set-semantics
+    /// deduplication convention at the collection boundary).
+    pub(crate) fn collection_relation(&self, c: &Collection, env: &mut Env) -> Result<Relation> {
+        let tuples = self.collection_tuples(c, env)?;
+        let mut rel = Relation::new(c.head.relation.clone(), &[]);
+        rel.schema = c.head.attrs.clone();
+        rel.rows = tuples;
+        Ok(match self.conv.semantics {
+            Semantics::Set => rel.deduped(),
+            Semantics::Bag => rel,
+        })
+    }
+
+    fn collection_tuples(&self, c: &Collection, env: &mut Env) -> Result<Vec<Tuple>> {
+        let head = HeadCtx {
+            name: &c.head.relation,
+            attrs: &c.head.attrs,
+        };
+        let mut out = Vec::new();
+        let partial: Partial = vec![None; c.head.attrs.len()];
+        self.emit_branch(&c.body, &head, &partial, env, &mut out)?;
+        Ok(out)
+    }
+
+    fn emit_branch(
+        &self,
+        f: &Formula,
+        head: &HeadCtx<'_>,
+        partial: &Partial,
+        env: &mut Env,
+        out: &mut Vec<Tuple>,
+    ) -> Result<()> {
+        match f {
+            Formula::Or(branches) => {
+                for b in branches {
+                    self.emit_branch(b, head, partial, env, out)?;
+                }
+                Ok(())
+            }
+            Formula::Quant(q) => self.emit_quant(
+                &q.bindings,
+                q.grouping.as_ref(),
+                q.join.as_ref(),
+                &q.body,
+                head,
+                partial,
+                env,
+                out,
+            ),
+            other => self.emit_quant(&[], None, None, other, head, partial, env, out),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn emit_quant(
+        &self,
+        bindings: &[Binding],
+        grouping: Option<&Grouping>,
+        join: Option<&JoinTree>,
+        body: &Formula,
+        head: &HeadCtx<'_>,
+        partial: &Partial,
+        env: &mut Env,
+        out: &mut Vec<Tuple>,
+    ) -> Result<()> {
+        let parts = partition(body, head.name);
+        match grouping {
+            None => {
+                if let Some(p) = parts.agg_tests.first() {
+                    return Err(EvalError::AggregateOutsideGrouping(p.to_string()));
+                }
+                if let Some((attr, _)) = parts.agg_assigns.first() {
+                    return Err(EvalError::AggregateOutsideGrouping(format!(
+                        "{}.{attr}",
+                        head.name
+                    )));
+                }
+                if !parts.post_bool.is_empty() {
+                    return Err(EvalError::AggregateOutsideGrouping(
+                        "aggregate under a connective".to_string(),
+                    ));
+                }
+                if parts.spines.len() > 1 {
+                    return Err(EvalError::MultipleSpines);
+                }
+                self.enumerate(bindings, join, &parts.filters, env, &mut |ctx, env| {
+                    for b in &parts.pre_bool {
+                        if !ctx.formula_truth(b, env)?.is_true() {
+                            return Ok(true);
+                        }
+                    }
+                    let mut p2 = partial.clone();
+                    let mut consistent = true;
+                    for (attr, expr) in &parts.assigns {
+                        let v = ctx.scalar(expr, env)?;
+                        if !set_partial(&mut p2, head, attr, v)? {
+                            consistent = false;
+                            break;
+                        }
+                    }
+                    if !consistent {
+                        return Ok(true);
+                    }
+                    if let Some(spine) = parts.spines.first() {
+                        // Nested existential: emissions collapse per
+                        // environment (semijoin multiplicity, §2.7).
+                        let mut sub = Vec::new();
+                        ctx.emit_branch(spine, head, &p2, env, &mut sub)?;
+                        dedupe_in_place(&mut sub);
+                        out.extend(sub);
+                    } else {
+                        out.push(complete(&p2, head)?);
+                    }
+                    Ok(true)
+                })
+            }
+            Some(g) => {
+                if !parts.spines.is_empty() {
+                    return Err(EvalError::SpineUnderGrouping);
+                }
+                // Materialize surviving local environments, grouped by key.
+                let base = env.len();
+                let mut groups: BTreeMap<Vec<Key>, Vec<Vec<Frame>>> = BTreeMap::new();
+                self.enumerate(bindings, join, &parts.filters, env, &mut |ctx, env| {
+                    for b in &parts.pre_bool {
+                        if !ctx.formula_truth(b, env)?.is_true() {
+                            return Ok(true);
+                        }
+                    }
+                    let mut key = Vec::with_capacity(g.keys.len());
+                    for k in &g.keys {
+                        key.push(env.lookup(&k.var, &k.attr)?.key());
+                    }
+                    groups
+                        .entry(key)
+                        .or_default()
+                        .push(env.frames[base..].to_vec());
+                    Ok(true)
+                })?;
+                // γ∅: exactly one group, even over an empty join (§2.5 —
+                // "there is just one group", like SQL's aggregate query
+                // without GROUP BY).
+                if g.keys.is_empty() && groups.is_empty() {
+                    groups.insert(Vec::new(), Vec::new());
+                }
+                for members in groups.values() {
+                    // Representative environment: outer frames plus the
+                    // first member's local frames (grouping keys are
+                    // constant within a group).
+                    let repr: Option<&Vec<Frame>> = members.first();
+                    if let Some(frames) = repr {
+                        for f in frames {
+                            env.push(f.var.clone(), f.attrs.clone(), f.tuple.clone());
+                        }
+                    }
+                    let verdict = self.group_verdict(&parts, members, env);
+                    let emitted = match verdict {
+                        Ok(true) => {
+                            let mut p2 = partial.clone();
+                            let mut ok = true;
+                            for (attr, expr) in &parts.assigns {
+                                let v = self.scalar(expr, env)?;
+                                if !set_partial(&mut p2, head, attr, v)? {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                            if ok {
+                                for (attr, expr) in &parts.agg_assigns {
+                                    let v = self.group_scalar(expr, members, env)?;
+                                    if !set_partial(&mut p2, head, attr, v)? {
+                                        ok = false;
+                                        break;
+                                    }
+                                }
+                            }
+                            if ok {
+                                Some(complete(&p2, head)?)
+                            } else {
+                                None
+                            }
+                        }
+                        Ok(false) => None,
+                        Err(e) => {
+                            env.truncate(base);
+                            return Err(e);
+                        }
+                    };
+                    env.truncate(base);
+                    if let Some(t) = emitted {
+                        out.push(t);
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Evaluate the per-group tests (aggregation comparisons + boolean
+    /// subformulas containing scope-level aggregates).
+    fn group_verdict(
+        &self,
+        parts: &Parts<'_>,
+        members: &[Vec<Frame>],
+        env: &mut Env,
+    ) -> Result<bool> {
+        let mut t = Truth::True;
+        for p in &parts.agg_tests {
+            t = t.and(self.group_pred(p, members, env)?);
+            if t == Truth::False {
+                return Ok(false);
+            }
+        }
+        for f in &parts.post_bool {
+            t = t.and(self.group_formula(f, members, env)?);
+            if t == Truth::False {
+                return Ok(false);
+            }
+        }
+        Ok(t.is_true())
+    }
+
+    fn group_formula(&self, f: &Formula, members: &[Vec<Frame>], env: &mut Env) -> Result<Truth> {
+        match f {
+            Formula::Pred(p) => self.group_pred(p, members, env),
+            Formula::And(fs) => {
+                let mut t = Truth::True;
+                for sub in fs {
+                    t = t.and(self.group_formula(sub, members, env)?);
+                }
+                Ok(t)
+            }
+            Formula::Or(fs) => {
+                let mut t = Truth::False;
+                for sub in fs {
+                    t = t.or(self.group_formula(sub, members, env)?);
+                }
+                Ok(t)
+            }
+            Formula::Not(inner) => Ok(self.group_formula(inner, members, env)?.not()),
+            Formula::Quant(_) => self.formula_truth(f, env),
+        }
+    }
+
+    fn group_pred(&self, p: &Predicate, members: &[Vec<Frame>], env: &mut Env) -> Result<Truth> {
+        match p {
+            Predicate::Cmp { left, op, right } => {
+                let l = self.group_scalar(left, members, env)?;
+                let r = self.group_scalar(right, members, env)?;
+                Ok(self.compare(&l, *op, &r))
+            }
+            Predicate::IsNull { expr, negated } => {
+                let v = self.group_scalar(expr, members, env)?;
+                Ok(Truth::from_bool(v.is_null() != *negated))
+            }
+        }
+    }
+
+    /// Evaluate a scalar in group context: aggregates accumulate over the
+    /// group members; everything else evaluates against the representative
+    /// environment.
+    fn group_scalar(&self, s: &Scalar, members: &[Vec<Frame>], env: &mut Env) -> Result<Value> {
+        match s {
+            Scalar::Agg(call) => self.accumulate(call, members, env),
+            Scalar::Attr(_) | Scalar::Const(_) => self.scalar(s, env),
+            Scalar::Arith { op, left, right } => {
+                let l = self.group_scalar(left, members, env)?;
+                let r = self.group_scalar(right, members, env)?;
+                Ok(arith(*op, &l, &r))
+            }
+        }
+    }
+
+    /// Accumulate one aggregate over the group (SQL semantics: `NULL`
+    /// inputs are skipped; `count(*)` counts rows; the empty-group value is
+    /// the [`EmptyAgg`] convention for `sum`/`avg`, always 0 for `count`,
+    /// `NULL` for `min`/`max`).
+    fn accumulate(&self, call: &AggCall, members: &[Vec<Frame>], env: &mut Env) -> Result<Value> {
+        let base = env.len();
+        let mut values: Vec<Value> = Vec::with_capacity(members.len());
+        for member in members {
+            // Swap in this member's local frames (replacing the
+            // representative's) so per-tuple expressions see the member.
+            env.truncate(base - members.first().map(|m| m.len()).unwrap_or(0));
+            for f in member {
+                env.push(f.var.clone(), f.attrs.clone(), f.tuple.clone());
+            }
+            match &call.arg {
+                AggArg::Star => values.push(Value::Int(1)),
+                AggArg::Expr(e) => {
+                    let v = self.scalar(e, env)?;
+                    if !v.is_null() {
+                        values.push(v);
+                    }
+                }
+            }
+        }
+        // Restore the representative frames.
+        if let Some(first) = members.first() {
+            env.truncate(base - first.len());
+            for f in first {
+                env.push(f.var.clone(), f.attrs.clone(), f.tuple.clone());
+            }
+        }
+        if call.distinct {
+            let mut seen: HashSet<Key> = HashSet::with_capacity(values.len());
+            values.retain(|v| seen.insert(v.key()));
+        }
+        Ok(self.fold_aggregate(call.func, &values))
+    }
+
+    fn fold_aggregate(&self, func: AggFunc, values: &[Value]) -> Value {
+        let empty_numeric = || match self.conv.empty_agg {
+            EmptyAgg::Null => Value::Null,
+            EmptyAgg::Zero => Value::Int(0),
+        };
+        match func {
+            AggFunc::Count => Value::Int(values.len() as i64),
+            AggFunc::Sum => {
+                if values.is_empty() {
+                    return empty_numeric();
+                }
+                fold_sum(values)
+            }
+            AggFunc::Avg => {
+                if values.is_empty() {
+                    return empty_numeric();
+                }
+                let sum = fold_sum(values);
+                match sum.as_f64() {
+                    Some(s) => Value::Float(s / values.len() as f64),
+                    None => Value::Null,
+                }
+            }
+            AggFunc::Min => values
+                .iter()
+                .cloned()
+                .reduce(|a, b| match a.compare(&b) {
+                    Some(std::cmp::Ordering::Greater) => b,
+                    _ => a,
+                })
+                .unwrap_or(Value::Null),
+            AggFunc::Max => values
+                .iter()
+                .cloned()
+                .reduce(|a, b| match a.compare(&b) {
+                    Some(std::cmp::Ordering::Less) => b,
+                    _ => a,
+                })
+                .unwrap_or(Value::Null),
+        }
+    }
+
+    // -- Boolean formula evaluation -----------------------------------------
+
+    /// Evaluate a formula as a truth value (sentences, negation scopes,
+    /// nested existentials).
+    pub(crate) fn formula_truth(&self, f: &Formula, env: &mut Env) -> Result<Truth> {
+        match f {
+            Formula::Pred(p) => self.pred_truth(p, env),
+            Formula::And(fs) => {
+                let mut t = Truth::True;
+                for sub in fs {
+                    t = t.and(self.formula_truth(sub, env)?);
+                    if t == Truth::False {
+                        break;
+                    }
+                }
+                Ok(t)
+            }
+            Formula::Or(fs) => {
+                let mut t = Truth::False;
+                for sub in fs {
+                    t = t.or(self.formula_truth(sub, env)?);
+                    if t == Truth::True {
+                        break;
+                    }
+                }
+                Ok(t)
+            }
+            Formula::Not(inner) => Ok(self.formula_truth(inner, env)?.not()),
+            Formula::Quant(q) => self.quant_truth(q, env),
+        }
+    }
+
+    /// Existential truth of a quantifier scope: does any binding
+    /// environment (or, for grouping scopes, any group) satisfy the body?
+    fn quant_truth(&self, q: &Quant, env: &mut Env) -> Result<Truth> {
+        // The head name "\u{0}" cannot occur, so nothing classifies as an
+        // assignment.
+        let parts = partition(&q.body, "\u{0}");
+        match &q.grouping {
+            None => {
+                if let Some(p) = parts.agg_tests.first() {
+                    return Err(EvalError::AggregateOutsideGrouping(p.to_string()));
+                }
+                let mut found = false;
+                self.enumerate(
+                    &q.bindings,
+                    q.join.as_ref(),
+                    &parts.filters,
+                    env,
+                    &mut |ctx, env| {
+                        for b in &parts.pre_bool {
+                            if !ctx.formula_truth(b, env)?.is_true() {
+                                return Ok(true);
+                            }
+                        }
+                        found = true;
+                        Ok(false) // stop early
+                    },
+                )?;
+                Ok(Truth::from_bool(found))
+            }
+            Some(g) => {
+                let base = env.len();
+                let mut groups: BTreeMap<Vec<Key>, Vec<Vec<Frame>>> = BTreeMap::new();
+                self.enumerate(
+                    &q.bindings,
+                    q.join.as_ref(),
+                    &parts.filters,
+                    env,
+                    &mut |ctx, env| {
+                        for b in &parts.pre_bool {
+                            if !ctx.formula_truth(b, env)?.is_true() {
+                                return Ok(true);
+                            }
+                        }
+                        let mut key = Vec::with_capacity(g.keys.len());
+                        for k in &g.keys {
+                            key.push(env.lookup(&k.var, &k.attr)?.key());
+                        }
+                        groups
+                            .entry(key)
+                            .or_default()
+                            .push(env.frames[base..].to_vec());
+                        Ok(true)
+                    },
+                )?;
+                if g.keys.is_empty() && groups.is_empty() {
+                    groups.insert(Vec::new(), Vec::new());
+                }
+                for members in groups.values() {
+                    if let Some(frames) = members.first() {
+                        for f in frames {
+                            env.push(f.var.clone(), f.attrs.clone(), f.tuple.clone());
+                        }
+                    }
+                    let verdict = self.group_verdict(&parts, members, env);
+                    env.truncate(base);
+                    if verdict? {
+                        return Ok(Truth::True);
+                    }
+                }
+                Ok(Truth::False)
+            }
+        }
+    }
+
+    fn pred_truth(&self, p: &Predicate, env: &mut Env) -> Result<Truth> {
+        match p {
+            Predicate::Cmp { left, op, right } => {
+                let l = self.scalar(left, env)?;
+                let r = self.scalar(right, env)?;
+                Ok(self.compare(&l, *op, &r))
+            }
+            Predicate::IsNull { expr, negated } => {
+                let v = self.scalar(expr, env)?;
+                Ok(Truth::from_bool(v.is_null() != *negated))
+            }
+        }
+    }
+
+    fn compare(&self, l: &Value, op: CmpOp, r: &Value) -> Truth {
+        let t = if l.is_null() || r.is_null() {
+            Truth::Unknown
+        } else {
+            match l.compare(r) {
+                Some(ord) => Truth::from_bool(match op {
+                    CmpOp::Eq => ord == std::cmp::Ordering::Equal,
+                    CmpOp::Ne => ord != std::cmp::Ordering::Equal,
+                    CmpOp::Lt => ord == std::cmp::Ordering::Less,
+                    CmpOp::Le => ord != std::cmp::Ordering::Greater,
+                    CmpOp::Gt => ord == std::cmp::Ordering::Greater,
+                    CmpOp::Ge => ord != std::cmp::Ordering::Less,
+                }),
+                // Incomparable (heterogeneous) values: only equality-family
+                // operators have a defined answer.
+                None => match op {
+                    CmpOp::Eq => Truth::False,
+                    CmpOp::Ne => Truth::True,
+                    _ => Truth::Unknown,
+                },
+            }
+        };
+        match self.conv.null_logic {
+            NullLogic::ThreeValued => t,
+            NullLogic::TwoValued => {
+                if t == Truth::Unknown {
+                    Truth::False
+                } else {
+                    t
+                }
+            }
+        }
+    }
+
+    /// Evaluate a scalar in tuple context (no aggregates).
+    fn scalar(&self, s: &Scalar, env: &mut Env) -> Result<Value> {
+        match s {
+            Scalar::Attr(a) => env.lookup(&a.var, &a.attr),
+            Scalar::Const(v) => Ok(v.clone()),
+            Scalar::Agg(call) => Err(EvalError::AggregateOutsideGrouping(call.to_string())),
+            Scalar::Arith { op, left, right } => {
+                let l = self.scalar(left, env)?;
+                let r = self.scalar(right, env)?;
+                Ok(arith(*op, &l, &r))
+            }
+        }
+    }
+
+    // -- Binding enumeration -------------------------------------------------
+
+    /// Enumerate all binding environments of a quantifier, applying the
+    /// filter predicates, and invoke `cb` for each survivor. `cb` returns
+    /// `Ok(false)` to stop early (existential short-circuit).
+    fn enumerate(
+        &self,
+        bindings: &[Binding],
+        join: Option<&JoinTree>,
+        filters: &[&Predicate],
+        env: &mut Env,
+        cb: &mut dyn FnMut(&Ctx<'a>, &mut Env) -> Result<bool>,
+    ) -> Result<()> {
+        if let Some(tree) = join {
+            if tree.has_outer() {
+                return self.enumerate_join(bindings, tree, filters, env, cb);
+            }
+            // A pure-inner annotation is semantically the default join.
+        }
+        let order = self.order_bindings(bindings, filters, env)?;
+        self.enumerate_rec(&order, 0, filters, env, cb).map(|_| ())
+    }
+
+    /// Recursive nested-loop enumeration; returns false when stopped early.
+    fn enumerate_rec(
+        &self,
+        order: &[Ordered<'_>],
+        i: usize,
+        filters: &[&Predicate],
+        env: &mut Env,
+        cb: &mut dyn FnMut(&Ctx<'a>, &mut Env) -> Result<bool>,
+    ) -> Result<bool> {
+        if i == order.len() {
+            // All bound: apply filters, then the callback.
+            for p in filters {
+                if !self.pred_truth(p, env)?.is_true() {
+                    return Ok(true);
+                }
+            }
+            return cb(self, env);
+        }
+        let ob = &order[i];
+        match &ob.source {
+            Src::Rows(rel) => {
+                let attrs = Rc::new(rel.schema.clone());
+                for row in &rel.rows {
+                    env.push(ob.var.clone(), attrs.clone(), row.clone());
+                    let cont = self.enumerate_rec(order, i + 1, filters, env, cb)?;
+                    env.pop();
+                    if !cont {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            Src::Nested(c) => {
+                // Lateral: evaluate the nested collection per environment.
+                let rel = self.collection_relation(c, env)?;
+                let attrs = Rc::new(rel.schema.clone());
+                for row in rel.rows {
+                    env.push(ob.var.clone(), attrs.clone(), row);
+                    let cont = self.enumerate_rec(order, i + 1, filters, env, cb)?;
+                    env.pop();
+                    if !cont {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            Src::External { ext, pattern, inputs } => {
+                let mut vals = Vec::with_capacity(inputs.len());
+                let mut null_input = false;
+                for e in inputs {
+                    let v = self.scalar(e, env)?;
+                    if v.is_null() {
+                        null_input = true;
+                        break;
+                    }
+                    vals.push(v);
+                }
+                if null_input {
+                    return Ok(true); // no tuples relate to NULL operands
+                }
+                let attrs = Rc::new(ext.schema.clone());
+                for tuple in (pattern.complete)(&vals) {
+                    env.push(ob.var.clone(), attrs.clone(), tuple);
+                    let cont = self.enumerate_rec(order, i + 1, filters, env, cb)?;
+                    env.pop();
+                    if !cont {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            Src::Abstract { def, inputs } => {
+                // Determine the full candidate tuple, then check membership
+                // by evaluating the abstract definition's body with the
+                // head fixed (§2.13.2).
+                let mut tuple = Vec::with_capacity(inputs.len());
+                let mut null_input = false;
+                for e in inputs {
+                    let v = self.scalar(e, env)?;
+                    if v.is_null() {
+                        null_input = true;
+                        break;
+                    }
+                    tuple.push(v);
+                }
+                if null_input {
+                    return Ok(true);
+                }
+                let head_attrs = Rc::new(def.head.attrs.clone());
+                let head_var: Rc<str> = Rc::from(def.head.relation.as_str());
+                env.push(head_var, head_attrs.clone(), tuple.clone());
+                let holds = self.formula_truth(&def.body, env)?;
+                env.pop();
+                if holds.is_true() {
+                    env.push(ob.var.clone(), head_attrs, tuple);
+                    let cont = self.enumerate_rec(order, i + 1, filters, env, cb)?;
+                    env.pop();
+                    if !cont {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+        }
+    }
+
+    /// Order bindings so that external/abstract relations come after the
+    /// bindings that determine their inputs, and laterally-dependent nested
+    /// collections after their referenced siblings.
+    fn order_bindings<'b>(
+        &'b self,
+        bindings: &'b [Binding],
+        filters: &[&'b Predicate],
+        env: &Env,
+    ) -> Result<Vec<Ordered<'b>>> {
+        let mut remaining: Vec<&Binding> = bindings.iter().collect();
+        let mut available: Vec<String> = Vec::new();
+        let mut out: Vec<Ordered<'b>> = Vec::with_capacity(bindings.len());
+
+        // Equality predicates usable to determine external/abstract inputs.
+        let equalities: Vec<(&AttrRef, &Scalar)> = filters
+            .iter()
+            .flat_map(|p| equality_pair(p))
+            .collect();
+
+        let resolvable = |expr: &Scalar, available: &[String], env: &Env| -> bool {
+            expr.attr_refs()
+                .iter()
+                .all(|r| available.iter().any(|v| v == &r.var) || env.has_var(&r.var))
+        };
+
+        while !remaining.is_empty() {
+            let mut placed = None;
+            'scan: for (idx, b) in remaining.iter().enumerate() {
+                match &b.source {
+                    BindingSource::Named(name) => {
+                        if let Some(rel) = self.defined.get(name) {
+                            placed = Some((idx, Src::Rows(rel)));
+                            break 'scan;
+                        }
+                        if let Some(rel) = self.catalog.relation(name) {
+                            placed = Some((idx, Src::Rows(rel)));
+                            break 'scan;
+                        }
+                        if let Some(def) = self.abstracts.get(name) {
+                            // All attributes must be determined.
+                            let mut inputs = Vec::with_capacity(def.head.attrs.len());
+                            for attr in &def.head.attrs {
+                                let found = equalities.iter().find(|(a, e)| {
+                                    a.var == b.var
+                                        && &a.attr == attr
+                                        && resolvable(e, &available, env)
+                                });
+                                match found {
+                                    Some((_, e)) => inputs.push((*e).clone()),
+                                    None => continue 'scan,
+                                }
+                            }
+                            placed = Some((idx, Src::Abstract { def, inputs }));
+                            break 'scan;
+                        }
+                        if let Some(ext) = self.catalog.external(name) {
+                            for pattern in &ext.patterns {
+                                let mut inputs = Vec::with_capacity(pattern.bound.len());
+                                let mut ok = true;
+                                for &pos in &pattern.bound {
+                                    let attr = &ext.schema[pos];
+                                    let found = equalities.iter().find(|(a, e)| {
+                                        a.var == b.var
+                                            && &a.attr == attr
+                                            && resolvable(e, &available, env)
+                                    });
+                                    match found {
+                                        Some((_, e)) => inputs.push((*e).clone()),
+                                        None => {
+                                            ok = false;
+                                            break;
+                                        }
+                                    }
+                                }
+                                if ok {
+                                    placed = Some((
+                                        idx,
+                                        Src::External {
+                                            ext,
+                                            pattern,
+                                            inputs,
+                                        },
+                                    ));
+                                    break 'scan;
+                                }
+                            }
+                            continue 'scan;
+                        }
+                        return Err(EvalError::UnknownRelation(name.clone()));
+                    }
+                    BindingSource::Collection(c) => {
+                        // Nested collections may reference earlier siblings
+                        // (lateral); place once free variables are bound.
+                        let free = free_vars(c);
+                        let ready = free
+                            .iter()
+                            .all(|v| available.iter().any(|a| a == v) || env.has_var(v));
+                        if ready {
+                            placed = Some((idx, Src::Nested(c)));
+                            break 'scan;
+                        }
+                    }
+                }
+            }
+            match placed {
+                Some((idx, source)) => {
+                    let b = remaining.remove(idx);
+                    available.push(b.var.clone());
+                    out.push(Ordered {
+                        var: Rc::from(b.var.as_str()),
+                        source,
+                    });
+                }
+                None => {
+                    // Report the most informative error.
+                    let b = remaining[0];
+                    return Err(match &b.source {
+                        BindingSource::Named(name) if self.catalog.external(name).is_some() => {
+                            EvalError::NoAccessPath {
+                                relation: name.clone(),
+                                var: b.var.clone(),
+                            }
+                        }
+                        BindingSource::Named(name) if self.abstracts.contains_key(name) => {
+                            EvalError::AbstractUnderdetermined {
+                                relation: name.clone(),
+                                var: b.var.clone(),
+                            }
+                        }
+                        BindingSource::Named(name) => EvalError::UnknownRelation(name.clone()),
+                        BindingSource::Collection(c) => EvalError::UnboundVariable(
+                            free_vars(c).into_iter().next().unwrap_or_default(),
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    // -- Outer-join enumeration (§2.11) --------------------------------------
+
+    fn enumerate_join(
+        &self,
+        bindings: &[Binding],
+        tree: &JoinTree,
+        filters: &[&Predicate],
+        env: &mut Env,
+        cb: &mut dyn FnMut(&Ctx<'a>, &mut Env) -> Result<bool>,
+    ) -> Result<()> {
+        // The annotation must cover exactly the bound variables.
+        let tree_vars: HashSet<&str> = tree.vars().into_iter().collect();
+        if tree_vars.len() != bindings.len()
+            || !bindings.iter().all(|b| tree_vars.contains(b.var.as_str()))
+        {
+            return Err(EvalError::JoinTreeMismatch);
+        }
+        let by_var: HashMap<&str, &Binding> =
+            bindings.iter().map(|b| (b.var.as_str(), b)).collect();
+        let mut consumed: HashSet<usize> = HashSet::new();
+        let joined = self.eval_join_node(tree, &by_var, filters, &mut consumed, env)?;
+        let base = env.len();
+        for row in joined.rows {
+            for f in &row {
+                env.push(f.var.clone(), f.attrs.clone(), f.tuple.clone());
+            }
+            // Remaining (non-consumed) filters apply as WHERE.
+            let mut pass = true;
+            for (i, p) in filters.iter().enumerate() {
+                if consumed.contains(&i) {
+                    continue;
+                }
+                if !self.pred_truth(p, env)?.is_true() {
+                    pass = false;
+                    break;
+                }
+            }
+            let cont = if pass { cb(self, env)? } else { true };
+            env.truncate(base);
+            if !cont {
+                return Ok(());
+            }
+        }
+        Ok(())
+    }
+
+    fn eval_join_node(
+        &self,
+        node: &JoinTree,
+        by_var: &HashMap<&str, &Binding>,
+        filters: &[&Predicate],
+        consumed: &mut HashSet<usize>,
+        env: &mut Env,
+    ) -> Result<Joined> {
+        match node {
+            JoinTree::Var(v) => {
+                let binding = by_var
+                    .get(v.as_str())
+                    .ok_or(EvalError::JoinTreeMismatch)?;
+                let rel: Relation = match &binding.source {
+                    BindingSource::Named(name) => {
+                        if let Some(r) = self.defined.get(name) {
+                            r.clone()
+                        } else if let Some(r) = self.catalog.relation(name) {
+                            r.clone()
+                        } else if self.catalog.external(name).is_some() {
+                            return Err(EvalError::ExternalInJoinTree { var: v.clone() });
+                        } else {
+                            return Err(EvalError::UnknownRelation(name.clone()));
+                        }
+                    }
+                    BindingSource::Collection(c) => self.collection_relation(c, env)?,
+                };
+                let var: Rc<str> = Rc::from(v.as_str());
+                let attrs = Rc::new(rel.schema.clone());
+                Ok(Joined {
+                    rows: rel
+                        .rows
+                        .into_iter()
+                        .map(|t| {
+                            vec![Frame {
+                                var: var.clone(),
+                                attrs: attrs.clone(),
+                                tuple: t,
+                            }]
+                        })
+                        .collect(),
+                    vars: vec![(var, attrs)],
+                    lits: Vec::new(),
+                })
+            }
+            JoinTree::Lit(v) => Ok(Joined {
+                rows: vec![Vec::new()],
+                vars: Vec::new(),
+                lits: vec![v.clone()],
+            }),
+            JoinTree::Inner(children) => {
+                let mut acc = Joined {
+                    rows: vec![Vec::new()],
+                    vars: Vec::new(),
+                    lits: Vec::new(),
+                };
+                for c in children {
+                    let next = self.eval_join_node(c, by_var, filters, consumed, env)?;
+                    let mut rows = Vec::with_capacity(acc.rows.len() * next.rows.len().max(1));
+                    for a in &acc.rows {
+                        for b in &next.rows {
+                            let mut row = a.clone();
+                            row.extend(b.iter().cloned());
+                            rows.push(row);
+                        }
+                    }
+                    acc.rows = rows;
+                    acc.vars.extend(next.vars);
+                    acc.lits.extend(next.lits);
+                }
+                Ok(acc)
+            }
+            JoinTree::Left(l, r) => {
+                let left = self.eval_join_node(l, by_var, filters, consumed, env)?;
+                let right = self.eval_join_node(r, by_var, filters, consumed, env)?;
+                let on = self.select_on_preds(&left, &right, filters, consumed, env);
+                let mut rows = Vec::new();
+                for lrow in &left.rows {
+                    let mut matched = false;
+                    for rrow in &right.rows {
+                        if self.on_match(lrow, rrow, &on, env)? {
+                            matched = true;
+                            let mut row = lrow.clone();
+                            row.extend(rrow.iter().cloned());
+                            rows.push(row);
+                        }
+                    }
+                    if !matched {
+                        let mut row = lrow.clone();
+                        row.extend(null_frames(&right.vars));
+                        rows.push(row);
+                    }
+                }
+                Ok(Joined {
+                    rows,
+                    vars: [left.vars, right.vars].concat(),
+                    lits: [left.lits, right.lits].concat(),
+                })
+            }
+            JoinTree::Full(l, r) => {
+                let left = self.eval_join_node(l, by_var, filters, consumed, env)?;
+                let right = self.eval_join_node(r, by_var, filters, consumed, env)?;
+                let on = self.select_on_preds(&left, &right, filters, consumed, env);
+                let mut rows = Vec::new();
+                let mut right_matched = vec![false; right.rows.len()];
+                for lrow in &left.rows {
+                    let mut matched = false;
+                    for (j, rrow) in right.rows.iter().enumerate() {
+                        if self.on_match(lrow, rrow, &on, env)? {
+                            matched = true;
+                            right_matched[j] = true;
+                            let mut row = lrow.clone();
+                            row.extend(rrow.iter().cloned());
+                            rows.push(row);
+                        }
+                    }
+                    if !matched {
+                        let mut row = lrow.clone();
+                        row.extend(null_frames(&right.vars));
+                        rows.push(row);
+                    }
+                }
+                for (j, rrow) in right.rows.iter().enumerate() {
+                    if !right_matched[j] {
+                        let mut row = null_frames(&left.vars);
+                        row.extend(rrow.iter().cloned());
+                        rows.push(row);
+                    }
+                }
+                Ok(Joined {
+                    rows,
+                    vars: [left.vars, right.vars].concat(),
+                    lits: [left.lits, right.lits].concat(),
+                })
+            }
+        }
+    }
+
+    /// Select the ON predicates for an outer node: body predicates whose
+    /// variables are covered by the two sides (plus the outer environment)
+    /// and that either touch the right side's variables or compare against
+    /// one of the right side's literal leaves (paper Fig 12's
+    /// `inner(11, s)` pattern).
+    fn select_on_preds<'f>(
+        &self,
+        left: &Joined,
+        right: &Joined,
+        filters: &[&'f Predicate],
+        consumed: &mut HashSet<usize>,
+        env: &Env,
+    ) -> Vec<&'f Predicate> {
+        let left_vars: HashSet<&str> = left.vars.iter().map(|(v, _)| &**v).collect();
+        let right_vars: HashSet<&str> = right.vars.iter().map(|(v, _)| &**v).collect();
+        let mut on = Vec::new();
+        for (i, p) in filters.iter().enumerate() {
+            if consumed.contains(&i) {
+                continue;
+            }
+            let vars = pred_vars(p);
+            let covered = vars.iter().all(|v| {
+                left_vars.contains(v.as_str())
+                    || right_vars.contains(v.as_str())
+                    || env.has_var(v)
+            });
+            if !covered {
+                continue;
+            }
+            let touches_right = vars.iter().any(|v| right_vars.contains(v.as_str()));
+            let touches_lit = !right.lits.is_empty()
+                && pred_consts(p).iter().any(|c| right.lits.contains(c));
+            if touches_right || touches_lit {
+                consumed.insert(i);
+                on.push(*p);
+            }
+        }
+        on
+    }
+
+    fn on_match(
+        &self,
+        lrow: &[Frame],
+        rrow: &[Frame],
+        on: &[&Predicate],
+        env: &mut Env,
+    ) -> Result<bool> {
+        let base = env.len();
+        for f in lrow.iter().chain(rrow.iter()) {
+            env.push(f.var.clone(), f.attrs.clone(), f.tuple.clone());
+        }
+        let mut ok = true;
+        for p in on {
+            if !self.pred_truth(p, env)?.is_true() {
+                ok = false;
+                break;
+            }
+        }
+        env.truncate(base);
+        Ok(ok)
+    }
+}
+
+/// Intermediate result of join-tree evaluation.
+struct Joined {
+    rows: Vec<Vec<Frame>>,
+    vars: Vec<(Rc<str>, Rc<Vec<String>>)>,
+    lits: Vec<Value>,
+}
+
+fn null_frames(vars: &[(Rc<str>, Rc<Vec<String>>)]) -> Vec<Frame> {
+    vars.iter()
+        .map(|(var, attrs)| Frame {
+            var: var.clone(),
+            attrs: attrs.clone(),
+            tuple: vec![Value::Null; attrs.len()],
+        })
+        .collect()
+}
+
+enum Src<'b> {
+    Rows(&'b Relation),
+    Nested(&'b Collection),
+    External {
+        ext: &'b ExternalRelation,
+        pattern: &'b crate::external::AccessPattern,
+        inputs: Vec<Scalar>,
+    },
+    Abstract {
+        def: &'b Collection,
+        inputs: Vec<Scalar>,
+    },
+}
+
+struct Ordered<'b> {
+    var: Rc<str>,
+    source: Src<'b>,
+}
+
+/// Extract `(attr-ref, other-side)` pairs from an equality predicate, in
+/// both orientations.
+fn equality_pair(p: &Predicate) -> Vec<(&AttrRef, &Scalar)> {
+    let mut out = Vec::new();
+    if let Predicate::Cmp {
+        left,
+        op: CmpOp::Eq,
+        right,
+    } = p
+    {
+        if let Scalar::Attr(a) = left {
+            out.push((a, right));
+        }
+        if let Scalar::Attr(a) = right {
+            out.push((a, left));
+        }
+    }
+    out
+}
+
+/// Variables referenced by a predicate.
+fn pred_vars(p: &Predicate) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut push_scalar = |s: &Scalar| {
+        for r in s.attr_refs() {
+            out.push(r.var.clone());
+        }
+    };
+    match p {
+        Predicate::Cmp { left, right, .. } => {
+            push_scalar(left);
+            push_scalar(right);
+        }
+        Predicate::IsNull { expr, .. } => push_scalar(expr),
+    }
+    out
+}
+
+/// Constants appearing in a predicate (for literal-leaf ON association).
+fn pred_consts(p: &Predicate) -> Vec<Value> {
+    fn walk(s: &Scalar, out: &mut Vec<Value>) {
+        match s {
+            Scalar::Const(v) => out.push(v.clone()),
+            Scalar::Attr(_) => {}
+            Scalar::Agg(call) => {
+                if let AggArg::Expr(e) = &call.arg {
+                    walk(e, out);
+                }
+            }
+            Scalar::Arith { left, right, .. } => {
+                walk(left, out);
+                walk(right, out);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    match p {
+        Predicate::Cmp { left, right, .. } => {
+            walk(left, &mut out);
+            walk(right, &mut out);
+        }
+        Predicate::IsNull { expr, .. } => walk(expr, &mut out),
+    }
+    out
+}
+
+/// Free variables of a collection: referenced variables that no internal
+/// binding (or the collection's own head) declares.
+pub(crate) fn free_vars(c: &Collection) -> Vec<String> {
+    let mut bound: Vec<String> = vec![c.head.relation.clone()];
+    let mut free = Vec::new();
+    collect_free(&c.body, &mut bound, &mut free);
+    free
+}
+
+fn collect_free(f: &Formula, bound: &mut Vec<String>, free: &mut Vec<String>) {
+    match f {
+        Formula::Quant(q) => {
+            let base = bound.len();
+            for b in &q.bindings {
+                if let BindingSource::Collection(c) = &b.source {
+                    // The nested collection sees current bound vars.
+                    let mut inner_bound = bound.clone();
+                    inner_bound.push(c.head.relation.clone());
+                    collect_free(&c.body, &mut inner_bound, free);
+                }
+                bound.push(b.var.clone());
+            }
+            collect_free(&q.body, bound, free);
+            bound.truncate(base);
+        }
+        Formula::And(fs) | Formula::Or(fs) => {
+            for sub in fs {
+                collect_free(sub, bound, free);
+            }
+        }
+        Formula::Not(inner) => collect_free(inner, bound, free),
+        Formula::Pred(p) => {
+            let mut push_scalar = |s: &Scalar| {
+                for r in s.attr_refs() {
+                    if !bound.iter().any(|b| b == &r.var) && !free.contains(&r.var) {
+                        free.push(r.var.clone());
+                    }
+                }
+            };
+            match p {
+                Predicate::Cmp { left, right, .. } => {
+                    push_scalar(left);
+                    push_scalar(right);
+                }
+                Predicate::IsNull { expr, .. } => push_scalar(expr),
+            }
+        }
+    }
+}
+
+/// Null-propagating arithmetic; integer ops stay integral, `Div` follows
+/// SQL integer division for integer operands, division by zero yields
+/// `NULL` (documented deviation: SQL raises an error; an error value would
+/// poison whole-query evaluation for a single bad tuple).
+fn arith(op: ArithOp, l: &Value, r: &Value) -> Value {
+    if l.is_null() || r.is_null() {
+        return Value::Null;
+    }
+    if let (Value::Int(a), Value::Int(b)) = (l, r) {
+        return match op {
+            ArithOp::Add => Value::Int(a.wrapping_add(*b)),
+            ArithOp::Sub => Value::Int(a.wrapping_sub(*b)),
+            ArithOp::Mul => Value::Int(a.wrapping_mul(*b)),
+            ArithOp::Div => {
+                if *b == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(a.wrapping_div(*b))
+                }
+            }
+        };
+    }
+    match (l.as_f64(), r.as_f64()) {
+        (Some(a), Some(b)) => match op {
+            ArithOp::Add => Value::Float(a + b),
+            ArithOp::Sub => Value::Float(a - b),
+            ArithOp::Mul => Value::Float(a * b),
+            ArithOp::Div => {
+                if b == 0.0 {
+                    Value::Null
+                } else {
+                    Value::Float(a / b)
+                }
+            }
+        },
+        _ => Value::Null,
+    }
+}
+
+fn fold_sum(values: &[Value]) -> Value {
+    let all_int = values.iter().all(|v| matches!(v, Value::Int(_)));
+    if all_int {
+        Value::Int(values.iter().filter_map(|v| v.as_i64()).sum())
+    } else {
+        match values
+            .iter()
+            .map(|v| v.as_f64())
+            .collect::<Option<Vec<f64>>>()
+        {
+            Some(fs) => Value::Float(fs.iter().sum()),
+            None => Value::Null,
+        }
+    }
+}
+
+/// Record an assignment into the partial head tuple. Returns `false` when
+/// a conflicting value was already assigned (the row then fails, since both
+/// equalities cannot hold).
+fn set_partial(partial: &mut Partial, head: &HeadCtx<'_>, attr: &str, v: Value) -> Result<bool> {
+    let idx = head
+        .attrs
+        .iter()
+        .position(|a| a == attr)
+        .ok_or_else(|| EvalError::UnknownAttribute {
+            var: head.name.to_string(),
+            attr: attr.to_string(),
+        })?;
+    match &partial[idx] {
+        Some(existing) => {
+            // NULL = NULL assignments agree only structurally; two
+            // assignments must produce the same key to both hold.
+            Ok(existing.key() == v.key())
+        }
+        None => {
+            partial[idx] = Some(v);
+            Ok(true)
+        }
+    }
+}
+
+fn complete(partial: &Partial, head: &HeadCtx<'_>) -> Result<Tuple> {
+    let mut out = Vec::with_capacity(partial.len());
+    for (i, slot) in partial.iter().enumerate() {
+        match slot {
+            Some(v) => out.push(v.clone()),
+            None => {
+                return Err(EvalError::MissingAssignment {
+                    collection: head.name.to_string(),
+                    attr: head.attrs[i].clone(),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn dedupe_in_place(rows: &mut Vec<Tuple>) {
+    let mut seen: HashSet<Vec<Key>> = HashSet::with_capacity(rows.len());
+    rows.retain(|r| seen.insert(Relation::row_key(r)));
+}

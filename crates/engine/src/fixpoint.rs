@@ -1,0 +1,472 @@
+//! Program evaluation: definitions, stratification, and least-fixed-point
+//! recursion (paper §2.9).
+//!
+//! ARC expresses recursion as a single definition whose disjuncts reference
+//! the defined relation itself (Eq (16)). The engine:
+//!
+//! 1. classifies definitions into *intensional* (safe — materialized) and
+//!    *abstract* (§2.13.2 — checked in context, never materialized);
+//! 2. builds the dependency graph and its strongly connected components;
+//! 3. evaluates SCCs in topological order; recursive SCCs are solved with a
+//!    least fixed point — either **naive** iteration or **semi-naive**
+//!    differentiation (one delta-substituted variant per recursive binding
+//!    occurrence), selectable for the ablation benchmark;
+//! 4. rejects non-stratifiable programs (recursion through negation or
+//!    aggregation) and recursion under bag semantics.
+
+use crate::error::{EvalError, Result};
+use crate::eval::Engine;
+use crate::relation::Relation;
+use arc_core::ast::*;
+use arc_core::binder::Binder;
+use arc_core::conventions::Semantics;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Fixpoint iteration cap (each iteration must add at least one tuple, so
+/// this bounds derivable-set growth, not wall-clock time).
+const MAX_ITERATIONS: usize = 1_000_000;
+
+/// How recursive SCCs are iterated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FixpointStrategy {
+    /// Re-derive everything each round (the textbook definition).
+    Naive,
+    /// Differentiate on the per-round delta (one variant per recursive
+    /// binding occurrence); asymptotically avoids re-deriving old facts.
+    #[default]
+    SemiNaive,
+}
+
+/// The result of evaluating a [`Program`].
+#[derive(Debug, Clone)]
+pub struct ProgramOutput {
+    /// Materialized intensional relations, by name.
+    pub defined: BTreeMap<String, Relation>,
+    /// The query result, when the program has a query.
+    pub query: Option<Relation>,
+}
+
+impl Engine<'_> {
+    /// Evaluate a program with the default (semi-naive) strategy.
+    pub fn eval_program(&self, p: &Program) -> Result<ProgramOutput> {
+        self.eval_program_with(p, FixpointStrategy::default())
+    }
+
+    /// Evaluate a program with an explicit fixpoint strategy.
+    pub fn eval_program_with(
+        &self,
+        p: &Program,
+        strategy: FixpointStrategy,
+    ) -> Result<ProgramOutput> {
+        let (defined, abstracts) = self.materialize_definitions(p, strategy)?;
+        let query = match &p.query {
+            Some(q) => Some(self.eval_with(q, &defined, &abstracts)?),
+            None => None,
+        };
+        Ok(ProgramOutput {
+            defined: defined.into_iter().collect(),
+            query,
+        })
+    }
+
+    /// Evaluate a boolean sentence in the context of a program's
+    /// definitions.
+    pub fn eval_sentence_in(
+        &self,
+        p: &Program,
+        f: &Formula,
+    ) -> Result<arc_core::value::Truth> {
+        let (defined, abstracts) = self.materialize_definitions(p, FixpointStrategy::default())?;
+        self.eval_sentence_with(f, &defined, &abstracts)
+    }
+
+    fn materialize_definitions(
+        &self,
+        p: &Program,
+        strategy: FixpointStrategy,
+    ) -> Result<(HashMap<String, Relation>, HashMap<String, Collection>)> {
+        // Classify abstract definitions via the binder (open world: the
+        // catalog may hold relations the binder does not know about).
+        let bound = Binder::new().bind_program(p);
+        let abstract_names: HashSet<&str> = bound
+            .abstract_collections
+            .iter()
+            .map(|s| s.as_str())
+            .collect();
+
+        let mut abstracts: HashMap<String, Collection> = HashMap::new();
+        let mut safe: Vec<&Definition> = Vec::new();
+        for def in &p.definitions {
+            if abstract_names.contains(def.name()) {
+                abstracts.insert(def.name().to_string(), def.collection.clone());
+            } else {
+                safe.push(def);
+            }
+        }
+
+        // Dependency graph over safe definitions. References routed through
+        // abstract relations inherit the abstract body's own references.
+        let def_index: HashMap<&str, usize> =
+            safe.iter().enumerate().map(|(i, d)| (d.name(), i)).collect();
+        let mut deps: Vec<HashSet<usize>> = vec![HashSet::new(); safe.len()];
+        for (i, def) in safe.iter().enumerate() {
+            let mut names = Vec::new();
+            collect_sources(&def.collection, &mut names);
+            let mut seen_abstract: HashSet<String> = HashSet::new();
+            let mut queue = names;
+            while let Some(name) = queue.pop() {
+                if let Some(&j) = def_index.get(name.as_str()) {
+                    deps[i].insert(j);
+                } else if let Some(a) = abstracts.get(&name) {
+                    if seen_abstract.insert(name) {
+                        collect_sources(a, &mut queue);
+                    }
+                }
+            }
+        }
+
+        // Strongly connected components (Tarjan), emitted in reverse
+        // topological order, then processed in topological order.
+        let sccs = tarjan(&deps);
+
+        let mut defined: HashMap<String, Relation> = HashMap::new();
+        for scc in sccs.into_iter().rev() {
+            let recursive =
+                scc.len() > 1 || (scc.len() == 1 && deps[scc[0]].contains(&scc[0]));
+            if !recursive {
+                let def = safe[scc[0]];
+                let rel = self.eval_with(&def.collection, &defined, &abstracts)?;
+                defined.insert(def.name().to_string(), rel);
+                continue;
+            }
+            self.solve_recursive_scc(&scc, &safe, &mut defined, &abstracts, strategy)?;
+        }
+        Ok((defined, abstracts))
+    }
+
+    fn solve_recursive_scc(
+        &self,
+        scc: &[usize],
+        safe: &[&Definition],
+        defined: &mut HashMap<String, Relation>,
+        abstracts: &HashMap<String, Collection>,
+        strategy: FixpointStrategy,
+    ) -> Result<()> {
+        let member_names: HashSet<String> =
+            scc.iter().map(|&i| safe[i].name().to_string()).collect();
+        let first_name = safe[scc[0]].name().to_string();
+
+        if self.conventions.semantics == Semantics::Bag {
+            return Err(EvalError::RecursionUnderBag {
+                relation: first_name,
+            });
+        }
+        for &i in scc {
+            if uses_nonmonotonically(&safe[i].collection, &member_names) {
+                return Err(EvalError::NotStratifiable {
+                    relation: safe[i].name().to_string(),
+                });
+            }
+        }
+
+        // Seed every member with an empty relation of the right schema.
+        for &i in scc {
+            let def = safe[i];
+            let mut rel = Relation::new(def.name().to_string(), &[]);
+            rel.schema = def.collection.head.attrs.clone();
+            defined.insert(def.name().to_string(), rel);
+        }
+
+        match strategy {
+            FixpointStrategy::Naive => {
+                for iteration in 0.. {
+                    if iteration >= MAX_ITERATIONS {
+                        return Err(EvalError::FixpointLimit {
+                            relation: first_name,
+                            iterations: MAX_ITERATIONS,
+                        });
+                    }
+                    let mut changed = false;
+                    for &i in scc {
+                        let def = safe[i];
+                        let new = self
+                            .eval_with(&def.collection, defined, abstracts)?
+                            .union(&defined[def.name()])
+                            .deduped();
+                        if new.len() != defined[def.name()].len() {
+                            changed = true;
+                        }
+                        defined.insert(def.name().to_string(), new);
+                    }
+                    if !changed {
+                        break;
+                    }
+                }
+            }
+            FixpointStrategy::SemiNaive => {
+                // Round 0: full rules against empty members seed the totals.
+                let mut deltas: HashMap<String, Relation> = HashMap::new();
+                for &i in scc {
+                    let def = safe[i];
+                    let seed = self.eval_with(&def.collection, defined, abstracts)?.deduped();
+                    deltas.insert(def.name().to_string(), seed.clone());
+                    defined.insert(def.name().to_string(), seed);
+                }
+                // Delta-variant collections: one per recursive occurrence.
+                let variants: HashMap<usize, Vec<Collection>> = scc
+                    .iter()
+                    .map(|&i| (i, delta_variants(&safe[i].collection, &member_names)))
+                    .collect();
+
+                for iteration in 0.. {
+                    if iteration >= MAX_ITERATIONS {
+                        return Err(EvalError::FixpointLimit {
+                            relation: first_name,
+                            iterations: MAX_ITERATIONS,
+                        });
+                    }
+                    if deltas.values().all(|d| d.is_empty()) {
+                        break;
+                    }
+                    // Expose deltas under their reserved names.
+                    for (name, delta) in &deltas {
+                        defined.insert(delta_name(name), delta.clone());
+                    }
+                    let mut new_deltas: HashMap<String, Relation> = HashMap::new();
+                    for &i in scc {
+                        let def = safe[i];
+                        let mut fresh = Relation::new(def.name().to_string(), &[]);
+                        fresh.schema = def.collection.head.attrs.clone();
+                        for variant in &variants[&i] {
+                            let rows = self.eval_with(variant, defined, abstracts)?;
+                            fresh = fresh.union(&rows);
+                        }
+                        let fresh = fresh.deduped().minus_set(&defined[def.name()]);
+                        new_deltas.insert(def.name().to_string(), fresh);
+                    }
+                    for (name, delta) in &new_deltas {
+                        let total = defined[name].union(delta);
+                        defined.insert(name.clone(), total);
+                    }
+                    deltas = new_deltas;
+                }
+                for name in &member_names {
+                    defined.remove(&delta_name(name));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Reserved delta-relation name (cannot collide with user names, which are
+/// parsed identifiers).
+fn delta_name(name: &str) -> String {
+    format!("@delta:{name}")
+}
+
+/// All named binding sources of a collection, recursively.
+fn collect_sources(c: &Collection, out: &mut Vec<String>) {
+    fn walk(f: &Formula, out: &mut Vec<String>) {
+        match f {
+            Formula::Quant(q) => {
+                for b in &q.bindings {
+                    match &b.source {
+                        BindingSource::Named(n) => out.push(n.clone()),
+                        BindingSource::Collection(c) => collect_sources(c, out),
+                    }
+                }
+                walk(&q.body, out);
+            }
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().for_each(|s| walk(s, out)),
+            Formula::Not(inner) => walk(inner, out),
+            Formula::Pred(_) => {}
+        }
+    }
+    walk(&c.body, out);
+}
+
+/// Does the collection reference any of `names` under negation or inside a
+/// grouping scope (non-monotonic use → not stratifiable)?
+fn uses_nonmonotonically(c: &Collection, names: &HashSet<String>) -> bool {
+    fn walk(f: &Formula, names: &HashSet<String>, neg: bool, grouped: bool) -> bool {
+        match f {
+            Formula::Quant(q) => {
+                let grouped = grouped || q.grouping.is_some();
+                for b in &q.bindings {
+                    match &b.source {
+                        BindingSource::Named(n) => {
+                            if names.contains(n) && (neg || grouped) {
+                                return true;
+                            }
+                        }
+                        BindingSource::Collection(c) => {
+                            if walk(&c.body, names, neg, grouped) {
+                                return true;
+                            }
+                        }
+                    }
+                }
+                walk(&q.body, names, neg, grouped)
+            }
+            Formula::And(fs) | Formula::Or(fs) => {
+                fs.iter().any(|s| walk(s, names, neg, grouped))
+            }
+            Formula::Not(inner) => walk(inner, names, true, grouped),
+            Formula::Pred(_) => false,
+        }
+    }
+    walk(&c.body, names, false, false)
+}
+
+/// Build the semi-naive delta variants of a collection: one clone per
+/// binding occurrence whose source is a recursive relation, with that
+/// occurrence's source renamed to its delta relation.
+fn delta_variants(c: &Collection, names: &HashSet<String>) -> Vec<Collection> {
+    let total = count_occurrences(c, names);
+    (0..total)
+        .map(|target| {
+            let mut clone = c.clone();
+            let mut counter = 0usize;
+            substitute(&mut clone, names, target, &mut counter);
+            clone
+        })
+        .collect()
+}
+
+fn count_occurrences(c: &Collection, names: &HashSet<String>) -> usize {
+    fn walk(f: &Formula, names: &HashSet<String>) -> usize {
+        match f {
+            Formula::Quant(q) => {
+                let mut n = 0;
+                for b in &q.bindings {
+                    match &b.source {
+                        BindingSource::Named(name) if names.contains(name) => n += 1,
+                        BindingSource::Collection(c) => n += count_occurrences(c, names),
+                        _ => {}
+                    }
+                }
+                n + walk(&q.body, names)
+            }
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().map(|s| walk(s, names)).sum(),
+            Formula::Not(inner) => walk(inner, names),
+            Formula::Pred(_) => 0,
+        }
+    }
+    walk(&c.body, names)
+}
+
+fn substitute(c: &mut Collection, names: &HashSet<String>, target: usize, counter: &mut usize) {
+    fn walk(f: &mut Formula, names: &HashSet<String>, target: usize, counter: &mut usize) {
+        match f {
+            Formula::Quant(q) => {
+                for b in &mut q.bindings {
+                    match &mut b.source {
+                        BindingSource::Named(name) if names.contains(name.as_str()) => {
+                            if *counter == target {
+                                *name = delta_name(name);
+                            }
+                            *counter += 1;
+                        }
+                        BindingSource::Collection(c) => substitute(c, names, target, counter),
+                        _ => {}
+                    }
+                }
+                walk(&mut q.body, names, target, counter);
+            }
+            Formula::And(fs) | Formula::Or(fs) => {
+                for sub in fs {
+                    walk(sub, names, target, counter);
+                }
+            }
+            Formula::Not(inner) => walk(inner, names, target, counter),
+            Formula::Pred(_) => {}
+        }
+    }
+    walk(&mut c.body, names, target, counter);
+}
+
+/// Tarjan's strongly connected components; returns SCCs in reverse
+/// topological order (standard Tarjan emission order).
+fn tarjan(deps: &[HashSet<usize>]) -> Vec<Vec<usize>> {
+    struct State<'d> {
+        deps: &'d [HashSet<usize>],
+        index: Vec<Option<usize>>,
+        low: Vec<usize>,
+        on_stack: Vec<bool>,
+        stack: Vec<usize>,
+        next: usize,
+        out: Vec<Vec<usize>>,
+    }
+    fn strongconnect(s: &mut State<'_>, v: usize) {
+        s.index[v] = Some(s.next);
+        s.low[v] = s.next;
+        s.next += 1;
+        s.stack.push(v);
+        s.on_stack[v] = true;
+        let succ: Vec<usize> = s.deps[v].iter().copied().collect();
+        for w in succ {
+            if s.index[w].is_none() {
+                strongconnect(s, w);
+                s.low[v] = s.low[v].min(s.low[w]);
+            } else if s.on_stack[w] {
+                s.low[v] = s.low[v].min(s.index[w].expect("indexed"));
+            }
+        }
+        if s.low[v] == s.index[v].expect("indexed") {
+            let mut scc = Vec::new();
+            loop {
+                let w = s.stack.pop().expect("stack non-empty");
+                s.on_stack[w] = false;
+                scc.push(w);
+                if w == v {
+                    break;
+                }
+            }
+            s.out.push(scc);
+        }
+    }
+    let n = deps.len();
+    let mut s = State {
+        deps,
+        index: vec![None; n],
+        low: vec![0; n],
+        on_stack: vec![false; n],
+        stack: Vec::new(),
+        next: 0,
+        out: Vec::new(),
+    };
+    for v in 0..n {
+        if s.index[v].is_none() {
+            strongconnect(&mut s, v);
+        }
+    }
+    s.out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tarjan_orders_components() {
+        // 0 → 1 → 2, 2 → 1 (cycle {1,2}).
+        let deps = vec![
+            HashSet::from([1]),
+            HashSet::from([2]),
+            HashSet::from([1]),
+        ];
+        let sccs = tarjan(&deps);
+        assert_eq!(sccs.len(), 2);
+        // Reverse topological: {1,2} first, then {0}.
+        let mut first = sccs[0].clone();
+        first.sort_unstable();
+        assert_eq!(first, vec![1, 2]);
+        assert_eq!(sccs[1], vec![0]);
+    }
+
+    #[test]
+    fn delta_name_is_reserved() {
+        assert_eq!(delta_name("A"), "@delta:A");
+    }
+}

@@ -1,0 +1,263 @@
+//! In-memory relations: named schemas over bags of tuples.
+//!
+//! A [`Relation`] is always stored as a *bag* (a `Vec` of tuples); whether it
+//! is interpreted as a set is a [convention](arc_core::conventions) applied
+//! by the engine at collection boundaries, never baked into the data
+//! structure — mirroring the paper's §2.7.
+
+use arc_core::value::{Key, Value};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A tuple: values aligned with the owning relation's schema.
+pub type Tuple = Vec<Value>;
+
+/// A named relation: schema (attribute names, in order) + rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relation {
+    /// Relation name (display only; the catalog key is authoritative).
+    pub name: String,
+    /// Attribute names in column order.
+    pub schema: Vec<String>,
+    /// The rows, as a bag.
+    pub rows: Vec<Tuple>,
+}
+
+impl Relation {
+    /// An empty relation with the given name and schema.
+    pub fn new(name: impl Into<String>, schema: &[&str]) -> Self {
+        Relation {
+            name: name.into(),
+            schema: schema.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Build a relation from rows of values convertible to [`Value`].
+    ///
+    /// ```
+    /// use arc_engine::relation::Relation;
+    /// let r = Relation::from_rows("R", &["A", "B"], vec![vec![1.into(), 2.into()]]);
+    /// assert_eq!(r.len(), 1);
+    /// ```
+    pub fn from_rows(name: impl Into<String>, schema: &[&str], rows: Vec<Tuple>) -> Self {
+        let mut rel = Relation::new(name, schema);
+        for row in rows {
+            rel.push(row);
+        }
+        rel
+    }
+
+    /// Convenience constructor from integer rows (most paper instances).
+    pub fn from_ints(name: impl Into<String>, schema: &[&str], rows: &[&[i64]]) -> Self {
+        let mut rel = Relation::new(name, schema);
+        for row in rows {
+            rel.push(row.iter().map(|v| Value::Int(*v)).collect());
+        }
+        rel
+    }
+
+    /// Number of rows (bag cardinality).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the relation has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Column arity.
+    pub fn arity(&self) -> usize {
+        self.schema.len()
+    }
+
+    /// Append one row, checking arity.
+    ///
+    /// # Panics
+    /// Panics when the row arity does not match the schema; tuples are
+    /// produced by the engine, so a mismatch is an internal logic error.
+    pub fn push(&mut self, row: Tuple) {
+        assert_eq!(
+            row.len(),
+            self.schema.len(),
+            "arity mismatch inserting into {}",
+            self.name
+        );
+        self.rows.push(row);
+    }
+
+    /// Index of an attribute.
+    pub fn attr_index(&self, attr: &str) -> Option<usize> {
+        self.schema.iter().position(|a| a == attr)
+    }
+
+    /// Canonical key view of a row (for hashing/grouping/sorting).
+    pub fn row_key(row: &[Value]) -> Vec<Key> {
+        row.iter().map(Value::key).collect()
+    }
+
+    /// Deduplicated copy (first occurrence order preserved).
+    pub fn deduped(&self) -> Relation {
+        let mut seen: HashMap<Vec<Key>, ()> = HashMap::with_capacity(self.rows.len());
+        let mut out = Relation::new(self.name.clone(), &[]);
+        out.schema = self.schema.clone();
+        for row in &self.rows {
+            if seen.insert(Relation::row_key(row), ()).is_none() {
+                out.rows.push(row.clone());
+            }
+        }
+        out
+    }
+
+    /// Rows sorted by canonical key (deterministic output order).
+    pub fn sorted_rows(&self) -> Vec<Tuple> {
+        let mut rows = self.rows.clone();
+        rows.sort_by_key(|r| Relation::row_key(r));
+        rows
+    }
+
+    /// Multiset of rows as key → multiplicity.
+    pub fn bag(&self) -> HashMap<Vec<Key>, usize> {
+        let mut m = HashMap::with_capacity(self.rows.len());
+        for row in &self.rows {
+            *m.entry(Relation::row_key(row)).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Bag equality: same rows with same multiplicities (order-insensitive).
+    pub fn bag_eq(&self, other: &Relation) -> bool {
+        self.rows.len() == other.rows.len() && self.bag() == other.bag()
+    }
+
+    /// Set equality: same distinct rows (multiplicities ignored).
+    pub fn set_eq(&self, other: &Relation) -> bool {
+        let a: std::collections::HashSet<Vec<Key>> =
+            self.rows.iter().map(|r| Relation::row_key(r)).collect();
+        let b: std::collections::HashSet<Vec<Key>> =
+            other.rows.iter().map(|r| Relation::row_key(r)).collect();
+        a == b
+    }
+
+    /// Bag union (concatenation).
+    pub fn union(&self, other: &Relation) -> Relation {
+        let mut out = self.clone();
+        out.rows.extend(other.rows.iter().cloned());
+        out
+    }
+
+    /// Rows of `self` not present in `other` (set difference by key).
+    pub fn minus_set(&self, other: &Relation) -> Relation {
+        let other_keys: std::collections::HashSet<Vec<Key>> =
+            other.rows.iter().map(|r| Relation::row_key(r)).collect();
+        let mut out = Relation::new(self.name.clone(), &[]);
+        out.schema = self.schema.clone();
+        for row in &self.rows {
+            if !other_keys.contains(&Relation::row_key(row)) {
+                out.rows.push(row.clone());
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Relation {
+    /// Render as an aligned text table (used by examples and EXPERIMENTS.md).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.schema.iter().map(|s| s.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .sorted_rows()
+            .iter()
+            .map(|row| row.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        writeln!(f, "{}:", self.name)?;
+        let header: Vec<String> = self
+            .schema
+            .iter()
+            .enumerate()
+            .map(|(i, s)| format!("{s:width$}", width = widths[i]))
+            .collect();
+        writeln!(f, "  {}", header.join(" | "))?;
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        writeln!(f, "  {}", rule.join("-+-"))?;
+        for row in &rendered {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:width$}", width = widths[i]))
+                .collect();
+            writeln!(f, "  {}", cells.join(" | "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(rows: &[&[i64]]) -> Relation {
+        Relation::from_ints("R", &["A", "B"], rows)
+    }
+
+    #[test]
+    fn dedup_preserves_first_occurrence_order() {
+        let rel = r(&[&[1, 2], &[3, 4], &[1, 2]]);
+        let d = rel.deduped();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.rows[0], vec![Value::Int(1), Value::Int(2)]);
+    }
+
+    #[test]
+    fn bag_and_set_equality_differ() {
+        let a = r(&[&[1, 2], &[1, 2]]);
+        let b = r(&[&[1, 2]]);
+        assert!(!a.bag_eq(&b));
+        assert!(a.set_eq(&b));
+    }
+
+    #[test]
+    fn nulls_group_in_keys() {
+        let mut rel = Relation::new("R", &["A"]);
+        rel.push(vec![Value::Null]);
+        rel.push(vec![Value::Null]);
+        assert_eq!(rel.deduped().len(), 1);
+    }
+
+    #[test]
+    fn minus_set_removes_matches() {
+        let a = r(&[&[1, 2], &[3, 4]]);
+        let b = r(&[&[1, 2]]);
+        let d = a.minus_set(&b);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.rows[0], vec![Value::Int(3), Value::Int(4)]);
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let rel = r(&[&[1, 2]]);
+        let s = rel.to_string();
+        assert!(s.contains("A | B"));
+        assert!(s.contains("1 | 2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut rel = Relation::new("R", &["A", "B"]);
+        rel.push(vec![Value::Int(1)]);
+    }
+
+    #[test]
+    fn sorted_rows_are_deterministic() {
+        let a = r(&[&[3, 4], &[1, 2]]);
+        let b = r(&[&[1, 2], &[3, 4]]);
+        assert_eq!(a.sorted_rows(), b.sorted_rows());
+    }
+}

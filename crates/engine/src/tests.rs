@@ -1,0 +1,1490 @@
+//! Engine unit tests: every semantic claim of the paper, checked on the
+//! paper's own instances (larger randomized checks live in the
+//! workspace-level integration tests and `arc-analysis`).
+
+use crate::{Catalog, Engine, EvalError, FixpointStrategy, Relation};
+use arc_core::conventions::Conventions;
+use arc_core::dsl::*;
+use arc_core::value::{Truth, Value};
+use arc_core::{Collection, Program};
+
+fn ints(name: &str, schema: &[&str], rows: &[&[i64]]) -> Relation {
+    Relation::from_ints(name, schema, rows)
+}
+
+fn sorted(rel: &Relation) -> Vec<Vec<Value>> {
+    rel.sorted_rows()
+}
+
+fn row(vals: &[i64]) -> Vec<Value> {
+    vals.iter().map(|v| Value::Int(*v)).collect()
+}
+
+// ---------------------------------------------------------------------------
+// §2.1 — Eq (1): the running TRC example
+// ---------------------------------------------------------------------------
+
+fn eq1() -> Collection {
+    collection(
+        "Q",
+        &["A"],
+        exists(
+            &[bind("r", "R"), bind("s", "S")],
+            and([
+                assign("Q", "A", col("r", "A")),
+                eq(col("r", "B"), col("s", "B")),
+                eq(col("s", "C"), int(0)),
+            ]),
+        ),
+    )
+}
+
+#[test]
+fn eq1_join_and_selection() {
+    let catalog = Catalog::new()
+        .with(ints("R", &["A", "B"], &[&[1, 10], &[2, 20], &[3, 30]]))
+        .with(ints("S", &["B", "C"], &[&[10, 0], &[20, 1], &[30, 0]]));
+    let out = Engine::new(&catalog, Conventions::set())
+        .eval_collection(&eq1())
+        .unwrap();
+    assert_eq!(sorted(&out), vec![row(&[1]), row(&[3])]);
+}
+
+#[test]
+fn constant_singleton_collection() {
+    // A "virtual unary table" (§2.11): {L(v) | L.v = 11}.
+    let c = collection("L", &["v"], assign("L", "v", int(11)));
+    let catalog = Catalog::new();
+    let out = Engine::new(&catalog, Conventions::set())
+        .eval_collection(&c)
+        .unwrap();
+    assert_eq!(sorted(&out), vec![row(&[11])]);
+}
+
+// ---------------------------------------------------------------------------
+// §2.4 — Eq (2): orthogonal nesting = lateral join
+// ---------------------------------------------------------------------------
+
+#[test]
+fn eq2_lateral_nesting() {
+    // {Q(A,B) | ∃x∈X, z∈{Z(B) | ∃y∈Y[Z.B=y.A ∧ x.A<y.A]} [Q.A=x.A ∧ Q.B=z.B]}
+    let inner = collection(
+        "Z",
+        &["B"],
+        exists(
+            &[bind("y", "Y")],
+            and([
+                assign("Z", "B", col("y", "A")),
+                lt(col("x", "A"), col("y", "A")),
+            ]),
+        ),
+    );
+    let q = collection(
+        "Q",
+        &["A", "B"],
+        exists(
+            &[bind("x", "X"), bind_coll("z", inner)],
+            and([
+                assign("Q", "A", col("x", "A")),
+                assign("Q", "B", col("z", "B")),
+            ]),
+        ),
+    );
+    let catalog = Catalog::new()
+        .with(ints("X", &["A"], &[&[1], &[2]]))
+        .with(ints("Y", &["A"], &[&[2], &[3]]));
+    let out = Engine::new(&catalog, Conventions::set())
+        .eval_collection(&q)
+        .unwrap();
+    assert_eq!(
+        sorted(&out),
+        vec![row(&[1, 2]), row(&[1, 3]), row(&[2, 3])]
+    );
+}
+
+#[test]
+fn lateral_sibling_reference_in_same_quantifier() {
+    // Fig 5c shape: the nested collection references a sibling binding.
+    let q = foi_query();
+    let catalog = Catalog::new().with(ints("R", &["A", "B"], &[&[1, 10], &[1, 20], &[2, 5]]));
+    let out = Engine::new(&catalog, Conventions::set())
+        .eval_collection(&q)
+        .unwrap();
+    assert_eq!(sorted(&out), vec![row(&[1, 30]), row(&[2, 5])]);
+}
+
+// ---------------------------------------------------------------------------
+// §2.5 — grouping and aggregates: FIO (Eq 3) vs FOI (Eq 7)
+// ---------------------------------------------------------------------------
+
+fn fio_query() -> Collection {
+    // Eq (3): {Q(A,sm) | ∃r∈R, γ r.A [Q.A=r.A ∧ Q.sm=sum(r.B)]}
+    collection(
+        "Q",
+        &["A", "sm"],
+        quant(
+            &[bind("r", "R")],
+            group(&[("r", "A")]),
+            None,
+            and([
+                assign("Q", "A", col("r", "A")),
+                assign_agg("Q", "sm", sum(col("r", "B"))),
+            ]),
+        ),
+    )
+}
+
+fn foi_query() -> Collection {
+    // Eq (7): {Q(A,sm) | ∃r∈R, x∈{X(sm) | ∃r2∈R, γ∅ [r2.A=r.A ∧ X.sm=sum(r2.B)]}
+    //                     [Q.A=r.A ∧ Q.sm=x.sm]}
+    let x = collection(
+        "X",
+        &["sm"],
+        quant(
+            &[bind("r2", "R")],
+            group_all(),
+            None,
+            and([
+                eq(col("r2", "A"), col("r", "A")),
+                assign_agg("X", "sm", sum(col("r2", "B"))),
+            ]),
+        ),
+    );
+    collection(
+        "Q",
+        &["A", "sm"],
+        exists(
+            &[bind("r", "R"), bind_coll("x", x)],
+            and([
+                assign("Q", "A", col("r", "A")),
+                assign("Q", "sm", col("x", "sm")),
+            ]),
+        ),
+    )
+}
+
+#[test]
+fn fio_grouped_sum() {
+    let catalog = Catalog::new().with(ints("R", &["A", "B"], &[&[1, 10], &[1, 20], &[2, 5]]));
+    let out = Engine::new(&catalog, Conventions::sql())
+        .eval_collection(&fio_query())
+        .unwrap();
+    assert_eq!(sorted(&out), vec![row(&[1, 30]), row(&[2, 5])]);
+}
+
+#[test]
+fn fio_and_foi_agree_on_sets() {
+    // Fig 5's point: the FOI pattern computes the same answer as FIO
+    // (under set semantics / DISTINCT).
+    let catalog = Catalog::new().with(ints(
+        "R",
+        &["A", "B"],
+        &[&[1, 10], &[1, 20], &[2, 5], &[3, 7], &[3, 8]],
+    ));
+    let engine = Engine::new(&catalog, Conventions::set());
+    let fio = engine.eval_collection(&fio_query()).unwrap();
+    let foi = engine.eval_collection(&foi_query()).unwrap();
+    assert!(fio.set_eq(&foi));
+}
+
+#[test]
+fn empty_gamma_produces_one_group_over_empty_join() {
+    // SQL: SELECT count(*) FROM empty → one row with 0. γ∅ likewise (§2.5).
+    let q = collection(
+        "Q",
+        &["c"],
+        quant(
+            &[bind("r", "R")],
+            group_all(),
+            None,
+            and([assign_agg("Q", "c", count(col("r", "A")))]),
+        ),
+    );
+    let catalog = Catalog::new().with(ints("R", &["A"], &[]));
+    let out = Engine::new(&catalog, Conventions::sql())
+        .eval_collection(&q)
+        .unwrap();
+    assert_eq!(sorted(&out), vec![row(&[0])]);
+}
+
+#[test]
+fn keyed_grouping_over_empty_input_produces_no_groups() {
+    let catalog = Catalog::new().with(ints("R", &["A", "B"], &[]));
+    let out = Engine::new(&catalog, Conventions::sql())
+        .eval_collection(&fio_query())
+        .unwrap();
+    assert!(out.is_empty());
+}
+
+#[test]
+fn multiple_aggregates_share_one_scope() {
+    // Fig 6 / Eq (8): average salary per department paying total > 100.
+    let x = collection(
+        "X",
+        &["dept", "av", "sm"],
+        quant(
+            &[bind("r", "R"), bind("s", "S")],
+            group(&[("r", "dept")]),
+            None,
+            and([
+                eq(col("r", "empl"), col("s", "empl")),
+                assign("X", "dept", col("r", "dept")),
+                assign_agg("X", "av", avg(col("s", "sal"))),
+                assign_agg("X", "sm", sum(col("s", "sal"))),
+            ]),
+        ),
+    );
+    let q = collection(
+        "Q",
+        &["dept", "av"],
+        exists(
+            &[bind_coll("x", x)],
+            and([
+                assign("Q", "dept", col("x", "dept")),
+                assign("Q", "av", col("x", "av")),
+                gt(col("x", "sm"), int(100)),
+            ]),
+        ),
+    );
+    // d1: empl 1 (50) + empl 2 (60) → sum 110 > 100, avg 55.
+    // d2: empl 3 (40) → sum 40, filtered by HAVING.
+    let catalog = Catalog::new()
+        .with(ints("R", &["empl", "dept"], &[&[1, 1], &[2, 1], &[3, 2]]))
+        .with(ints("S", &["empl", "sal"], &[&[1, 50], &[2, 60], &[3, 40]]));
+    let out = Engine::new(&catalog, Conventions::sql())
+        .eval_collection(&q)
+        .unwrap();
+    assert_eq!(out.len(), 1);
+    assert_eq!(out.rows[0][0], Value::Int(1));
+    assert_eq!(out.rows[0][1], Value::Float(55.0));
+}
+
+#[test]
+fn hella_pattern_eq10_same_answer() {
+    // Eq (10): per-aggregate scopes (Klug/Hella), FOI — same rows as Eq (8).
+    let x = collection(
+        "X",
+        &["av"],
+        quant(
+            &[bind("r1", "R"), bind("s1", "S")],
+            group(&[("r1", "dept")]),
+            None,
+            and([
+                eq(col("r1", "dept"), col("r3", "dept")),
+                eq(col("r1", "empl"), col("s1", "empl")),
+                assign_agg("X", "av", avg(col("s1", "sal"))),
+            ]),
+        ),
+    );
+    let y = collection(
+        "Y",
+        &["sm"],
+        quant(
+            &[bind("r2", "R"), bind("s2", "S")],
+            group(&[("r2", "dept")]),
+            None,
+            and([
+                eq(col("r2", "dept"), col("r3", "dept")),
+                eq(col("r2", "empl"), col("s2", "empl")),
+                assign_agg("Y", "sm", sum(col("s2", "sal"))),
+            ]),
+        ),
+    );
+    let q = collection(
+        "Q",
+        &["dept", "av"],
+        exists(
+            &[
+                bind("r3", "R"),
+                bind("s3", "S"),
+                bind_coll("x", x),
+                bind_coll("y", y),
+            ],
+            and([
+                assign("Q", "dept", col("r3", "dept")),
+                assign("Q", "av", col("x", "av")),
+                eq(col("r3", "empl"), col("s3", "empl")),
+                gt(col("y", "sm"), int(100)),
+            ]),
+        ),
+    );
+    let catalog = Catalog::new()
+        .with(ints("R", &["empl", "dept"], &[&[1, 1], &[2, 1], &[3, 2]]))
+        .with(ints("S", &["empl", "sal"], &[&[1, 50], &[2, 60], &[3, 40]]));
+    let out = Engine::new(&catalog, Conventions::set())
+        .eval_collection(&q)
+        .unwrap();
+    assert_eq!(out.len(), 1);
+    assert_eq!(out.rows[0][0], Value::Int(1));
+    assert_eq!(out.rows[0][1], Value::Float(55.0));
+}
+
+#[test]
+fn distinct_aggregate_deduplicates_inputs() {
+    let q = collection(
+        "Q",
+        &["c", "cd"],
+        quant(
+            &[bind("r", "R")],
+            group_all(),
+            None,
+            and([
+                assign_agg("Q", "c", count(col("r", "B"))),
+                assign_agg("Q", "cd", agg_distinct(arc_core::ast::AggFunc::Count, col("r", "B"))),
+            ]),
+        ),
+    );
+    let catalog = Catalog::new().with(ints("R", &["A", "B"], &[&[1, 7], &[2, 7], &[3, 8]]));
+    let out = Engine::new(&catalog, Conventions::sql())
+        .eval_collection(&q)
+        .unwrap();
+    assert_eq!(sorted(&out), vec![row(&[3, 2])]);
+}
+
+#[test]
+fn min_max_and_avg() {
+    let q = collection(
+        "Q",
+        &["mn", "mx", "av"],
+        quant(
+            &[bind("r", "R")],
+            group_all(),
+            None,
+            and([
+                assign_agg("Q", "mn", min(col("r", "A"))),
+                assign_agg("Q", "mx", max(col("r", "A"))),
+                assign_agg("Q", "av", avg(col("r", "A"))),
+            ]),
+        ),
+    );
+    let catalog = Catalog::new().with(ints("R", &["A"], &[&[2], &[4], &[9]]));
+    let out = Engine::new(&catalog, Conventions::sql())
+        .eval_collection(&q)
+        .unwrap();
+    assert_eq!(out.rows[0][0], Value::Int(2));
+    assert_eq!(out.rows[0][1], Value::Int(9));
+    assert_eq!(out.rows[0][2], Value::Float(5.0));
+}
+
+#[test]
+fn aggregates_skip_nulls() {
+    // SQL semantics: NULL inputs are ignored; count(*) counts rows.
+    let q = collection(
+        "Q",
+        &["c", "cs", "sm"],
+        quant(
+            &[bind("r", "R")],
+            group_all(),
+            None,
+            and([
+                assign_agg("Q", "c", count(col("r", "A"))),
+                assign_agg("Q", "cs", count_star()),
+                assign_agg("Q", "sm", sum(col("r", "A"))),
+            ]),
+        ),
+    );
+    let mut r = Relation::new("R", &["A"]);
+    r.push(vec![Value::Int(5)]);
+    r.push(vec![Value::Null]);
+    let catalog = Catalog::new().with(r);
+    let out = Engine::new(&catalog, Conventions::sql())
+        .eval_collection(&q)
+        .unwrap();
+    assert_eq!(sorted(&out), vec![row(&[1, 2, 5])]);
+}
+
+// ---------------------------------------------------------------------------
+// §2.6 — conventions: Eq (15), sum over empty
+// ---------------------------------------------------------------------------
+
+fn eq15_query() -> Collection {
+    // Soufflé: Q(ak, sm) :- R(ak, _), sm = sum b : {S(a, b), a < ak}.
+    let x = collection(
+        "X",
+        &["sm"],
+        quant(
+            &[bind("s", "S")],
+            group_all(),
+            None,
+            and([
+                lt(col("s", "A"), col("r", "A")),
+                assign_agg("X", "sm", sum(col("s", "B"))),
+            ]),
+        ),
+    );
+    collection(
+        "Q",
+        &["ak", "sm"],
+        exists(
+            &[bind("r", "R"), bind_coll("x", x)],
+            and([
+                assign("Q", "ak", col("r", "A")),
+                assign("Q", "sm", col("x", "sm")),
+            ]),
+        ),
+    )
+}
+
+#[test]
+fn eq15_souffle_derives_zero_sql_derives_null() {
+    let catalog = Catalog::new()
+        .with(ints("R", &["A", "B"], &[&[1, 2]]))
+        .with(ints("S", &["A", "B"], &[]));
+
+    let souffle = Engine::new(&catalog, Conventions::souffle())
+        .eval_collection(&eq15_query())
+        .unwrap();
+    assert_eq!(sorted(&souffle), vec![row(&[1, 0])]);
+
+    let sql = Engine::new(&catalog, Conventions::sql())
+        .eval_collection(&eq15_query())
+        .unwrap();
+    assert_eq!(sql.len(), 1);
+    assert_eq!(sql.rows[0][0], Value::Int(1));
+    assert_eq!(sql.rows[0][1], Value::Null);
+}
+
+// ---------------------------------------------------------------------------
+// §2.7 — set vs. bag: nesting/unnesting, deduplication
+// ---------------------------------------------------------------------------
+
+fn nested_semijoin() -> Collection {
+    collection(
+        "Q",
+        &["A"],
+        exists(
+            &[bind("r", "R")],
+            and([exists(
+                &[bind("s", "S")],
+                and([
+                    assign("Q", "A", col("r", "A")),
+                    eq(col("r", "B"), col("s", "B")),
+                ]),
+            )]),
+        ),
+    )
+}
+
+fn unnested_join() -> Collection {
+    collection(
+        "Q",
+        &["A"],
+        exists(
+            &[bind("r", "R"), bind("s", "S")],
+            and([
+                assign("Q", "A", col("r", "A")),
+                eq(col("r", "B"), col("s", "B")),
+            ]),
+        ),
+    )
+}
+
+#[test]
+fn unnesting_valid_under_set_semantics() {
+    let catalog = Catalog::new()
+        .with(ints("R", &["A", "B"], &[&[1, 7]]))
+        .with(ints("S", &["B"], &[&[7], &[7]]));
+    let engine = Engine::new(&catalog, Conventions::set());
+    let nested = engine.eval_collection(&nested_semijoin()).unwrap();
+    let unnested = engine.eval_collection(&unnested_join()).unwrap();
+    assert!(nested.bag_eq(&unnested));
+    assert_eq!(nested.len(), 1);
+}
+
+#[test]
+fn unnesting_invalid_under_bag_semantics() {
+    // The nested form is a semijoin (once per r); the unnested form
+    // multiplies by matching S rows (§2.7).
+    let catalog = Catalog::new()
+        .with(ints("R", &["A", "B"], &[&[1, 7]]))
+        .with(ints("S", &["B"], &[&[7], &[7]]));
+    let engine = Engine::new(&catalog, Conventions::sql());
+    let nested = engine.eval_collection(&nested_semijoin()).unwrap();
+    let unnested = engine.eval_collection(&unnested_join()).unwrap();
+    assert_eq!(nested.len(), 1);
+    assert_eq!(unnested.len(), 2);
+}
+
+#[test]
+fn deduplication_is_grouping_on_all_attrs() {
+    // {Q(A,B) | ∃r∈R, γ r.A,r.B [Q.A=r.A ∧ Q.B=r.B]} = DISTINCT (§2.7).
+    let q = collection(
+        "Q",
+        &["A", "B"],
+        quant(
+            &[bind("r", "R")],
+            group(&[("r", "A"), ("r", "B")]),
+            None,
+            and([
+                assign("Q", "A", col("r", "A")),
+                assign("Q", "B", col("r", "B")),
+            ]),
+        ),
+    );
+    let catalog =
+        Catalog::new().with(ints("R", &["A", "B"], &[&[1, 2], &[1, 2], &[3, 4]]));
+    let out = Engine::new(&catalog, Conventions::sql())
+        .eval_collection(&q)
+        .unwrap();
+    assert_eq!(sorted(&out), vec![row(&[1, 2]), row(&[3, 4])]);
+}
+
+// ---------------------------------------------------------------------------
+// §2.8/§2.9 — disjunction, union, recursion
+// ---------------------------------------------------------------------------
+
+fn ancestor_program() -> Program {
+    // Eq (16).
+    let anc = collection(
+        "A",
+        &["s", "t"],
+        or([
+            exists(
+                &[bind("p", "P")],
+                and([
+                    assign("A", "s", col("p", "s")),
+                    assign("A", "t", col("p", "t")),
+                ]),
+            ),
+            exists(
+                &[bind("p", "P"), bind("a2", "A")],
+                and([
+                    assign("A", "s", col("p", "s")),
+                    eq(col("p", "t"), col("a2", "s")),
+                    assign("A", "t", col("a2", "t")),
+                ]),
+            ),
+        ]),
+    );
+    Program::default().with_definition(define(anc))
+}
+
+#[test]
+fn recursion_transitive_closure() {
+    // Chain 1→2→3→4.
+    let catalog = Catalog::new().with(ints("P", &["s", "t"], &[&[1, 2], &[2, 3], &[3, 4]]));
+    let engine = Engine::new(&catalog, Conventions::set());
+    let out = engine.eval_program(&ancestor_program()).unwrap();
+    let anc = &out.defined["A"];
+    assert_eq!(anc.len(), 6); // (1,2)(1,3)(1,4)(2,3)(2,4)(3,4)
+}
+
+#[test]
+fn naive_and_semi_naive_agree() {
+    let mut rows: Vec<Vec<i64>> = Vec::new();
+    for i in 0..30 {
+        rows.push(vec![i, i + 1]);
+    }
+    rows.push(vec![5, 0]); // introduce a cycle
+    let rows_ref: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
+    let catalog = Catalog::new().with(ints("P", &["s", "t"], &rows_ref));
+    let engine = Engine::new(&catalog, Conventions::set());
+    let naive = engine
+        .eval_program_with(&ancestor_program(), FixpointStrategy::Naive)
+        .unwrap();
+    let semi = engine
+        .eval_program_with(&ancestor_program(), FixpointStrategy::SemiNaive)
+        .unwrap();
+    assert!(naive.defined["A"].set_eq(&semi.defined["A"]));
+    assert!(!naive.defined["A"].is_empty());
+}
+
+#[test]
+fn recursion_under_bag_rejected() {
+    let catalog = Catalog::new().with(ints("P", &["s", "t"], &[&[1, 2]]));
+    let engine = Engine::new(&catalog, Conventions::sql());
+    let err = engine.eval_program(&ancestor_program()).unwrap_err();
+    assert!(matches!(err, EvalError::RecursionUnderBag { .. }));
+}
+
+#[test]
+fn recursion_through_negation_rejected() {
+    // A(s,t) :- P(s,t), ¬A(t,s) — not stratifiable.
+    let bad = collection(
+        "A",
+        &["s", "t"],
+        exists(
+            &[bind("p", "P")],
+            and([
+                assign("A", "s", col("p", "s")),
+                assign("A", "t", col("p", "t")),
+                not(exists(
+                    &[bind("a2", "A")],
+                    and([
+                        eq(col("a2", "s"), col("p", "t")),
+                        eq(col("a2", "t"), col("p", "s")),
+                    ]),
+                )),
+            ]),
+        ),
+    );
+    let catalog = Catalog::new().with(ints("P", &["s", "t"], &[&[1, 2]]));
+    let engine = Engine::new(&catalog, Conventions::set());
+    let err = engine
+        .eval_program(&Program::default().with_definition(define(bad)))
+        .unwrap_err();
+    assert!(matches!(err, EvalError::NotStratifiable { .. }));
+}
+
+#[test]
+fn stratified_negation_through_definitions_works() {
+    // D1 = P; query uses ¬D1 — different stratum, fine.
+    let d1 = collection(
+        "D",
+        &["s"],
+        exists(&[bind("p", "P")], and([assign("D", "s", col("p", "s"))])),
+    );
+    let q = collection(
+        "Q",
+        &["s"],
+        exists(
+            &[bind("u", "U")],
+            and([
+                assign("Q", "s", col("u", "s")),
+                not(exists(
+                    &[bind("d", "D")],
+                    and([eq(col("d", "s"), col("u", "s"))]),
+                )),
+            ]),
+        ),
+    );
+    let catalog = Catalog::new()
+        .with(ints("P", &["s", "t"], &[&[1, 2]]))
+        .with(ints("U", &["s"], &[&[1], &[9]]));
+    let mut p = Program::default().with_definition(define(d1));
+    p.query = Some(q);
+    let out = Engine::new(&catalog, Conventions::set())
+        .eval_program(&p)
+        .unwrap();
+    assert_eq!(sorted(out.query.as_ref().unwrap()), vec![row(&[9])]);
+}
+
+// ---------------------------------------------------------------------------
+// §2.10 — null values and NOT IN (Eq 17)
+// ---------------------------------------------------------------------------
+
+fn not_in_query() -> Collection {
+    collection(
+        "Q",
+        &["A"],
+        exists(
+            &[bind("r", "R")],
+            and([
+                assign("Q", "A", col("r", "A")),
+                not(exists(
+                    &[bind("s", "S")],
+                    or([
+                        eq(col("s", "A"), col("r", "A")),
+                        is_null(col("s", "A")),
+                        is_null(col("r", "A")),
+                    ]),
+                )),
+            ]),
+        ),
+    )
+}
+
+#[test]
+fn not_in_with_null_in_s_returns_empty() {
+    let mut s = Relation::new("S", &["A"]);
+    s.push(vec![Value::Int(1)]);
+    s.push(vec![Value::Null]);
+    let catalog = Catalog::new()
+        .with(ints("R", &["A"], &[&[1], &[3]]))
+        .with(s);
+    let out = Engine::new(&catalog, Conventions::sql())
+        .eval_collection(&not_in_query())
+        .unwrap();
+    assert!(out.is_empty());
+}
+
+#[test]
+fn not_in_without_nulls_behaves_as_difference() {
+    let catalog = Catalog::new()
+        .with(ints("R", &["A"], &[&[1], &[3]]))
+        .with(ints("S", &["A"], &[&[1]]));
+    let out = Engine::new(&catalog, Conventions::sql())
+        .eval_collection(&not_in_query())
+        .unwrap();
+    assert_eq!(sorted(&out), vec![row(&[3])]);
+}
+
+// ---------------------------------------------------------------------------
+// §2.11 — outer joins (Eq 18 / Fig 12)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fig12_left_join_with_literal_leaf() {
+    // {Q(m,n) | ∃r∈R, s∈S, left(r, inner(11, s))
+    //           [Q.m=r.m ∧ Q.n=s.n ∧ r.y=s.y ∧ r.h=11]}
+    let q = collection(
+        "Q",
+        &["m", "n"],
+        quant(
+            &[bind("r", "R"), bind("s", "S")],
+            None,
+            Some(jleft(jvar("r"), jinner([jlit(11i64), jvar("s")]))),
+            and([
+                assign("Q", "m", col("r", "m")),
+                assign("Q", "n", col("s", "n")),
+                eq(col("r", "y"), col("s", "y")),
+                eq(col("r", "h"), int(11)),
+            ]),
+        ),
+    );
+    let catalog = Catalog::new()
+        .with(ints("R", &["m", "y", "h"], &[&[1, 10, 11], &[2, 20, 99]]))
+        .with(ints("S", &["y", "n", "q"], &[&[10, 5, 0], &[30, 6, 0]]));
+    let out = Engine::new(&catalog, Conventions::sql())
+        .eval_collection(&q)
+        .unwrap();
+    let rows = sorted(&out);
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0], vec![Value::Int(1), Value::Int(5)]);
+    assert_eq!(rows[1], vec![Value::Int(2), Value::Null]);
+}
+
+#[test]
+fn full_outer_join_pads_both_sides() {
+    let q = collection(
+        "Q",
+        &["a", "b"],
+        quant(
+            &[bind("r", "R"), bind("s", "S")],
+            None,
+            Some(jfull(jvar("r"), jvar("s"))),
+            and([
+                assign("Q", "a", col("r", "A")),
+                assign("Q", "b", col("s", "B")),
+                eq(col("r", "A"), col("s", "B")),
+            ]),
+        ),
+    );
+    let catalog = Catalog::new()
+        .with(ints("R", &["A"], &[&[1], &[2]]))
+        .with(ints("S", &["B"], &[&[2], &[3]]));
+    let out = Engine::new(&catalog, Conventions::sql())
+        .eval_collection(&q)
+        .unwrap();
+    let rows = sorted(&out);
+    // (1, null), (2, 2), (null, 3) — Null sorts first.
+    assert_eq!(rows.len(), 3);
+    assert_eq!(rows[0], vec![Value::Null, Value::Int(3)]);
+    assert_eq!(rows[1], vec![Value::Int(1), Value::Null]);
+    assert_eq!(rows[2], vec![Value::Int(2), Value::Int(2)]);
+}
+
+// ---------------------------------------------------------------------------
+// §2.12 / Fig 13 — head aggregates: lateral is right, LEFT JOIN+GROUP BY
+// is wrong under duplicates
+// ---------------------------------------------------------------------------
+
+fn fig13_lateral() -> Collection {
+    // Fig 13b/13d: sum of S.B where S.A < R.A, once per R tuple.
+    let x = collection(
+        "X",
+        &["sm"],
+        quant(
+            &[bind("s", "S")],
+            group_all(),
+            None,
+            and([
+                lt(col("s", "A"), col("r", "A")),
+                assign_agg("X", "sm", sum(col("s", "B"))),
+            ]),
+        ),
+    );
+    collection(
+        "Q",
+        &["A", "sm"],
+        exists(
+            &[bind("r", "R"), bind_coll("x", x)],
+            and([
+                assign("Q", "A", col("r", "A")),
+                assign("Q", "sm", col("x", "sm")),
+            ]),
+        ),
+    )
+}
+
+fn fig13_left_join_group_by() -> Collection {
+    // Fig 13c: groups collapse duplicate R.A values — the counterexample.
+    collection(
+        "Q",
+        &["A", "sm"],
+        quant(
+            &[bind("r", "R"), bind("s", "S")],
+            group(&[("r", "A")]),
+            Some(jleft(jvar("r"), jvar("s"))),
+            and([
+                assign("Q", "A", col("r", "A")),
+                assign_agg("Q", "sm", sum(col("s", "B"))),
+                lt(col("s", "A"), col("r", "A")),
+            ]),
+        ),
+    )
+}
+
+#[test]
+fn fig13_rewrites_agree_without_duplicates() {
+    let catalog = Catalog::new()
+        .with(ints("R", &["A"], &[&[3], &[5]]))
+        .with(ints("S", &["A", "B"], &[&[1, 10], &[2, 20], &[4, 40]]));
+    let engine = Engine::new(&catalog, Conventions::sql());
+    let lateral = engine.eval_collection(&fig13_lateral()).unwrap();
+    let leftjoin = engine.eval_collection(&fig13_left_join_group_by()).unwrap();
+    assert!(lateral.bag_eq(&leftjoin));
+    assert_eq!(sorted(&lateral), vec![row(&[3, 30]), row(&[5, 70])]);
+}
+
+#[test]
+fn fig13_left_join_group_by_wrong_under_duplicates() {
+    let catalog = Catalog::new()
+        .with(ints("R", &["A"], &[&[3], &[3], &[5]])) // duplicate 3
+        .with(ints("S", &["A", "B"], &[&[1, 10], &[2, 20], &[4, 40]]));
+    let engine = Engine::new(&catalog, Conventions::sql());
+    let lateral = engine.eval_collection(&fig13_lateral()).unwrap();
+    let leftjoin = engine.eval_collection(&fig13_left_join_group_by()).unwrap();
+    // Lateral: once per tuple of R → (3,30) ×2, (5,70).
+    assert_eq!(
+        sorted(&lateral),
+        vec![row(&[3, 30]), row(&[3, 30]), row(&[5, 70])]
+    );
+    // LEFT JOIN + GROUP BY: duplicates collapse AND the sum doubles.
+    assert_eq!(sorted(&leftjoin), vec![row(&[3, 60]), row(&[5, 70])]);
+    assert!(!lateral.bag_eq(&leftjoin));
+}
+
+// ---------------------------------------------------------------------------
+// Fig 9 — boolean sentences (Eqs 13, 14)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sentences_with_aggregation_comparisons() {
+    let catalog = Catalog::new()
+        .with(ints("R", &["id", "q"], &[&[1, 2]]))
+        .with(ints("S", &["id", "d"], &[&[1, 5], &[1, 6]]));
+    let engine = Engine::new(&catalog, Conventions::sql());
+
+    // (13): ∃r∈R[∃s∈S, γ∅ [r.id=s.id ∧ r.q ≤ count(s.d)]]
+    let e13 = exists(
+        &[bind("r", "R")],
+        and([quant(
+            &[bind("s", "S")],
+            group_all(),
+            None,
+            and([
+                eq(col("r", "id"), col("s", "id")),
+                le(col("r", "q"), count(col("s", "d"))),
+            ]),
+        )]),
+    );
+    assert_eq!(engine.eval_sentence(&e13).unwrap(), Truth::True);
+
+    // (14): ¬∃r∈R[∃s∈S, γ∅ [r.id=s.id ∧ r.q > count(s.d)]]
+    let e14 = not(exists(
+        &[bind("r", "R")],
+        and([quant(
+            &[bind("s", "S")],
+            group_all(),
+            None,
+            and([
+                eq(col("r", "id"), col("s", "id")),
+                gt(col("r", "q"), count(col("s", "d"))),
+            ]),
+        )]),
+    ));
+    assert_eq!(engine.eval_sentence(&e14).unwrap(), Truth::True);
+
+    // Flip the instance: r.q = 3 > count = 2.
+    let catalog2 = Catalog::new()
+        .with(ints("R", &["id", "q"], &[&[1, 3]]))
+        .with(ints("S", &["id", "d"], &[&[1, 5], &[1, 6]]));
+    let engine2 = Engine::new(&catalog2, Conventions::sql());
+    assert_eq!(engine2.eval_sentence(&e13).unwrap(), Truth::False);
+    assert_eq!(engine2.eval_sentence(&e14).unwrap(), Truth::False);
+}
+
+// ---------------------------------------------------------------------------
+// §3.2 — the count bug (Eqs 27–29)
+// ---------------------------------------------------------------------------
+
+fn count_bug_v1() -> Collection {
+    collection(
+        "Q",
+        &["id"],
+        exists(
+            &[bind("r", "R")],
+            and([
+                assign("Q", "id", col("r", "id")),
+                quant(
+                    &[bind("s", "S")],
+                    group_all(),
+                    None,
+                    and([
+                        eq(col("r", "id"), col("s", "id")),
+                        eq(col("r", "q"), count(col("s", "d"))),
+                    ]),
+                ),
+            ]),
+        ),
+    )
+}
+
+fn count_bug_v2() -> Collection {
+    let x = collection(
+        "X",
+        &["id", "ct"],
+        quant(
+            &[bind("s", "S")],
+            group(&[("s", "id")]),
+            None,
+            and([
+                assign("X", "id", col("s", "id")),
+                assign_agg("X", "ct", count(col("s", "d"))),
+            ]),
+        ),
+    );
+    collection(
+        "Q",
+        &["id"],
+        exists(
+            &[bind("r", "R"), bind_coll("x", x)],
+            and([
+                assign("Q", "id", col("r", "id")),
+                eq(col("r", "id"), col("x", "id")),
+                eq(col("r", "q"), col("x", "ct")),
+            ]),
+        ),
+    )
+}
+
+fn count_bug_v3() -> Collection {
+    let x = collection(
+        "X",
+        &["id", "ct"],
+        quant(
+            &[bind("r2", "R"), bind("s", "S")],
+            group(&[("r2", "id")]),
+            Some(jleft(jvar("r2"), jvar("s"))),
+            and([
+                assign("X", "id", col("r2", "id")),
+                assign_agg("X", "ct", count(col("s", "d"))),
+                eq(col("r2", "id"), col("s", "id")),
+            ]),
+        ),
+    );
+    collection(
+        "Q",
+        &["id"],
+        exists(
+            &[bind("r", "R"), bind_coll("x", x)],
+            and([
+                assign("Q", "id", col("r", "id")),
+                eq(col("r", "id"), col("x", "id")),
+                eq(col("r", "q"), col("x", "ct")),
+            ]),
+        ),
+    )
+}
+
+#[test]
+fn count_bug_on_paper_instance() {
+    // R(9, 0), S empty: v1 returns 9; v2 returns nothing; v3 returns 9.
+    let catalog = Catalog::new()
+        .with(ints("R", &["id", "q"], &[&[9, 0]]))
+        .with(ints("S", &["id", "d"], &[]));
+    let engine = Engine::new(&catalog, Conventions::sql());
+    let v1 = engine.eval_collection(&count_bug_v1()).unwrap();
+    let v2 = engine.eval_collection(&count_bug_v2()).unwrap();
+    let v3 = engine.eval_collection(&count_bug_v3()).unwrap();
+    assert_eq!(sorted(&v1), vec![row(&[9])]);
+    assert!(v2.is_empty());
+    assert_eq!(sorted(&v3), vec![row(&[9])]);
+}
+
+#[test]
+fn count_bug_versions_agree_when_every_id_has_rows() {
+    let catalog = Catalog::new()
+        .with(ints("R", &["id", "q"], &[&[1, 2], &[2, 1]]))
+        .with(ints("S", &["id", "d"], &[&[1, 10], &[1, 11], &[2, 20]]));
+    let engine = Engine::new(&catalog, Conventions::sql());
+    let v1 = engine.eval_collection(&count_bug_v1()).unwrap();
+    let v2 = engine.eval_collection(&count_bug_v2()).unwrap();
+    let v3 = engine.eval_collection(&count_bug_v3()).unwrap();
+    assert!(v1.bag_eq(&v2));
+    assert!(v1.bag_eq(&v3));
+    assert_eq!(sorted(&v1), vec![row(&[1]), row(&[2])]);
+}
+
+// ---------------------------------------------------------------------------
+// §2.13.1 — external relations (Eqs 19–21, Fig 15)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn eq19_arithmetic_inline() {
+    // {Q(A) | ∃r∈R,s∈S,t∈T [Q.A=r.A ∧ r.B - s.B > t.B]}
+    let q = collection(
+        "Q",
+        &["A"],
+        exists(
+            &[bind("r", "R"), bind("s", "S"), bind("t", "T")],
+            and([
+                assign("Q", "A", col("r", "A")),
+                gt(sub(col("r", "B"), col("s", "B")), col("t", "B")),
+            ]),
+        ),
+    );
+    let catalog = Catalog::new()
+        .with(ints("R", &["A", "B"], &[&[1, 10], &[2, 5]]))
+        .with(ints("S", &["B"], &[&[3]]))
+        .with(ints("T", &["B"], &[&[5]]));
+    let out = Engine::new(&catalog, Conventions::set())
+        .eval_collection(&q)
+        .unwrap();
+    assert_eq!(sorted(&out), vec![row(&[1])]);
+}
+
+#[test]
+fn eq20_reified_minus() {
+    // {Q(A) | ∃r,s,t, f∈Minus [Q.A=r.A ∧ f.left=r.B ∧ f.right=s.B ∧ f.out>t.B]}
+    let q = collection(
+        "Q",
+        &["A"],
+        exists(
+            &[
+                bind("r", "R"),
+                bind("s", "S"),
+                bind("t", "T"),
+                bind("f", "Minus"),
+            ],
+            and([
+                assign("Q", "A", col("r", "A")),
+                eq(col("f", "left"), col("r", "B")),
+                eq(col("f", "right"), col("s", "B")),
+                gt(col("f", "out"), col("t", "B")),
+            ]),
+        ),
+    );
+    let catalog = Catalog::with_standard_externals()
+        .with(ints("R", &["A", "B"], &[&[1, 10], &[2, 5]]))
+        .with(ints("S", &["B"], &[&[3]]))
+        .with(ints("T", &["B"], &[&[5]]));
+    let out = Engine::new(&catalog, Conventions::set())
+        .eval_collection(&q)
+        .unwrap();
+    assert_eq!(sorted(&out), vec![row(&[1])]);
+}
+
+#[test]
+fn eq21_equijoin_between_externals() {
+    // Minus joined with Bigger: "-".out = ">".left (Fig 15e).
+    let q = collection(
+        "Q",
+        &["A"],
+        exists(
+            &[
+                bind("r", "R"),
+                bind("s", "S"),
+                bind("t", "T"),
+                bind("f", "Minus"),
+                bind("g", "Bigger"),
+            ],
+            and([
+                assign("Q", "A", col("r", "A")),
+                eq(col("f", "left"), col("r", "B")),
+                eq(col("f", "right"), col("s", "B")),
+                eq(col("f", "out"), col("g", "left")),
+                eq(col("g", "right"), col("t", "B")),
+            ]),
+        ),
+    );
+    let catalog = Catalog::with_standard_externals()
+        .with(ints("R", &["A", "B"], &[&[1, 10], &[2, 5]]))
+        .with(ints("S", &["B"], &[&[3]]))
+        .with(ints("T", &["B"], &[&[5]]));
+    let out = Engine::new(&catalog, Conventions::set())
+        .eval_collection(&q)
+        .unwrap();
+    assert_eq!(sorted(&out), vec![row(&[1])]);
+}
+
+#[test]
+fn backward_access_pattern_solves_operands() {
+    // Add(x, 3, 5): the (right, out)-bound pattern computes left = 2.
+    let q = collection(
+        "Q",
+        &["x"],
+        exists(
+            &[bind("f", "Add")],
+            and([
+                eq(col("f", "right"), int(3)),
+                eq(col("f", "out"), int(5)),
+                assign("Q", "x", col("f", "left")),
+            ]),
+        ),
+    );
+    let catalog = Catalog::with_standard_externals();
+    let out = Engine::new(&catalog, Conventions::set())
+        .eval_collection(&q)
+        .unwrap();
+    assert_eq!(sorted(&out), vec![row(&[2])]);
+}
+
+#[test]
+fn no_access_path_is_reported() {
+    // Minus with only one operand bound: unsolvable.
+    let q = collection(
+        "Q",
+        &["x"],
+        exists(
+            &[bind("f", "Minus")],
+            and([
+                eq(col("f", "left"), int(3)),
+                assign("Q", "x", col("f", "out")),
+            ]),
+        ),
+    );
+    let catalog = Catalog::with_standard_externals();
+    let err = Engine::new(&catalog, Conventions::set())
+        .eval_collection(&q)
+        .unwrap_err();
+    assert!(matches!(err, EvalError::NoAccessPath { .. }));
+}
+
+// ---------------------------------------------------------------------------
+// §3.1 — matrix multiplication (Eq 26, Fig 20)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn matrix_multiplication_via_external_star() {
+    let q = collection(
+        "C",
+        &["row", "col", "val"],
+        quant(
+            &[bind("a", "A"), bind("b", "B"), bind("f", "*")],
+            group(&[("a", "row"), ("b", "col")]),
+            None,
+            and([
+                assign("C", "row", col("a", "row")),
+                assign("C", "col", col("b", "col")),
+                eq(col("a", "col"), col("b", "row")),
+                assign_agg("C", "val", sum(col("f", "out"))),
+                eq(col("f", "$1"), col("a", "val")),
+                eq(col("f", "$2"), col("b", "val")),
+            ]),
+        ),
+    );
+    // A = [[1,2],[3,4]], B = [[5,6],[7,8]] → C = [[19,22],[43,50]].
+    let catalog = Catalog::with_standard_externals()
+        .with(ints(
+            "A",
+            &["row", "col", "val"],
+            &[&[0, 0, 1], &[0, 1, 2], &[1, 0, 3], &[1, 1, 4]],
+        ))
+        .with(ints(
+            "B",
+            &["row", "col", "val"],
+            &[&[0, 0, 5], &[0, 1, 6], &[1, 0, 7], &[1, 1, 8]],
+        ));
+    let out = Engine::new(&catalog, Conventions::set())
+        .eval_collection(&q)
+        .unwrap();
+    assert_eq!(
+        sorted(&out),
+        vec![
+            row(&[0, 0, 19]),
+            row(&[0, 1, 22]),
+            row(&[1, 0, 43]),
+            row(&[1, 1, 50]),
+        ]
+    );
+}
+
+// ---------------------------------------------------------------------------
+// §2.13.2 — abstract relations (Eqs 22–24, Figs 16–19)
+// ---------------------------------------------------------------------------
+
+fn likes_catalog() -> Catalog {
+    // a likes {1,2}; b likes {1}; c likes {1,2} → only b's set is unique.
+    let mut l = Relation::new("L", &["d", "b"]);
+    for (d, b) in [("a", 1), ("a", 2), ("b", 1), ("c", 1), ("c", 2)] {
+        l.push(vec![Value::str(d), Value::Int(b)]);
+    }
+    Catalog::new().with(l)
+}
+
+fn unique_set_direct() -> Collection {
+    // Eq (22), the relationally complete formulation.
+    collection(
+        "Q",
+        &["d"],
+        exists(
+            &[bind("l1", "L")],
+            and([
+                assign("Q", "d", col("l1", "d")),
+                not(exists(
+                    &[bind("l2", "L")],
+                    and([
+                        ne(col("l2", "d"), col("l1", "d")),
+                        not(exists(
+                            &[bind("l3", "L")],
+                            and([
+                                eq(col("l3", "d"), col("l2", "d")),
+                                not(exists(
+                                    &[bind("l4", "L")],
+                                    and([
+                                        eq(col("l4", "b"), col("l3", "b")),
+                                        eq(col("l4", "d"), col("l1", "d")),
+                                    ]),
+                                )),
+                            ]),
+                        )),
+                        not(exists(
+                            &[bind("l5", "L")],
+                            and([
+                                eq(col("l5", "d"), col("l1", "d")),
+                                not(exists(
+                                    &[bind("l6", "L")],
+                                    and([
+                                        eq(col("l6", "d"), col("l2", "d")),
+                                        eq(col("l6", "b"), col("l5", "b")),
+                                    ]),
+                                )),
+                            ]),
+                        )),
+                    ]),
+                )),
+            ]),
+        ),
+    )
+}
+
+fn unique_set_with_abstract_subset() -> Program {
+    // Eq (23): abstract Subset(left, right).
+    let subset = collection(
+        "Subset",
+        &["left", "right"],
+        not(exists(
+            &[bind("l3", "L")],
+            and([
+                eq(col("l3", "d"), col("Subset", "left")),
+                not(exists(
+                    &[bind("l4", "L")],
+                    and([
+                        eq(col("l4", "b"), col("l3", "b")),
+                        eq(col("l4", "d"), col("Subset", "right")),
+                    ]),
+                )),
+            ]),
+        )),
+    );
+    // Eq (24): the query modularized through Subset.
+    let q = collection(
+        "Q",
+        &["d"],
+        exists(
+            &[bind("l1", "L")],
+            and([
+                assign("Q", "d", col("l1", "d")),
+                not(exists(
+                    &[
+                        bind("l2", "L"),
+                        bind("s1", "Subset"),
+                        bind("s2", "Subset"),
+                    ],
+                    and([
+                        ne(col("l2", "d"), col("l1", "d")),
+                        eq(col("s1", "left"), col("l1", "d")),
+                        eq(col("s1", "right"), col("l2", "d")),
+                        eq(col("s2", "left"), col("l2", "d")),
+                        eq(col("s2", "right"), col("l1", "d")),
+                    ]),
+                )),
+            ]),
+        ),
+    );
+    let mut p = Program::default().with_definition(define(subset));
+    p.query = Some(q);
+    p
+}
+
+#[test]
+fn unique_set_query_direct() {
+    let catalog = likes_catalog();
+    let out = Engine::new(&catalog, Conventions::set())
+        .eval_collection(&unique_set_direct())
+        .unwrap();
+    assert_eq!(out.len(), 1);
+    assert_eq!(out.rows[0][0], Value::str("b"));
+}
+
+#[test]
+fn unique_set_query_via_abstract_subset_matches_direct() {
+    let catalog = likes_catalog();
+    let engine = Engine::new(&catalog, Conventions::set());
+    let direct = engine.eval_collection(&unique_set_direct()).unwrap();
+    let modular = engine
+        .eval_program(&unique_set_with_abstract_subset())
+        .unwrap();
+    assert!(direct.set_eq(modular.query.as_ref().unwrap()));
+}
+
+#[test]
+fn abstract_relation_underdetermined_is_reported() {
+    // Using Subset without equating both attributes.
+    let subset = collection(
+        "Subset",
+        &["left", "right"],
+        not(exists(
+            &[bind("l3", "L")],
+            and([
+                eq(col("l3", "d"), col("Subset", "left")),
+                not(exists(
+                    &[bind("l4", "L")],
+                    and([
+                        eq(col("l4", "b"), col("l3", "b")),
+                        eq(col("l4", "d"), col("Subset", "right")),
+                    ]),
+                )),
+            ]),
+        )),
+    );
+    let q = collection(
+        "Q",
+        &["d"],
+        exists(
+            &[bind("l1", "L"), bind("s1", "Subset")],
+            and([
+                assign("Q", "d", col("l1", "d")),
+                eq(col("s1", "left"), col("l1", "d")),
+                // s1.right never determined
+            ]),
+        ),
+    );
+    let mut p = Program::default().with_definition(define(subset));
+    p.query = Some(q);
+    let catalog = likes_catalog();
+    let err = Engine::new(&catalog, Conventions::set())
+        .eval_program(&p)
+        .unwrap_err();
+    assert!(matches!(err, EvalError::AbstractUnderdetermined { .. }));
+}
+
+// ---------------------------------------------------------------------------
+// Error behaviour
+// ---------------------------------------------------------------------------
+
+#[test]
+fn unknown_relation_error() {
+    let q = collection(
+        "Q",
+        &["A"],
+        exists(&[bind("r", "Nope")], and([assign("Q", "A", col("r", "A"))])),
+    );
+    let catalog = Catalog::new();
+    let err = Engine::new(&catalog, Conventions::set())
+        .eval_collection(&q)
+        .unwrap_err();
+    assert_eq!(err, EvalError::UnknownRelation("Nope".to_string()));
+}
+
+#[test]
+fn aggregate_without_grouping_error() {
+    let q = collection(
+        "Q",
+        &["s"],
+        exists(
+            &[bind("r", "R")],
+            and([assign_agg("Q", "s", sum(col("r", "A")))]),
+        ),
+    );
+    let catalog = Catalog::new().with(ints("R", &["A"], &[&[1]]));
+    let err = Engine::new(&catalog, Conventions::set())
+        .eval_collection(&q)
+        .unwrap_err();
+    assert!(matches!(err, EvalError::AggregateOutsideGrouping(_)));
+}
+
+#[test]
+fn missing_assignment_error() {
+    let q = collection(
+        "Q",
+        &["A", "B"],
+        exists(&[bind("r", "R")], and([assign("Q", "A", col("r", "A"))])),
+    );
+    let catalog = Catalog::new().with(ints("R", &["A"], &[&[1]]));
+    let err = Engine::new(&catalog, Conventions::set())
+        .eval_collection(&q)
+        .unwrap_err();
+    assert!(matches!(err, EvalError::MissingAssignment { .. }));
+}
+
+#[test]
+fn conflicting_assignments_filter_rows() {
+    // Q.A = r.A ∧ Q.A = r.B keeps only rows with r.A = r.B.
+    let q = collection(
+        "Q",
+        &["A"],
+        exists(
+            &[bind("r", "R")],
+            and([
+                assign("Q", "A", col("r", "A")),
+                assign("Q", "A", col("r", "B")),
+            ]),
+        ),
+    );
+    let catalog = Catalog::new().with(ints("R", &["A", "B"], &[&[1, 1], &[1, 2]]));
+    let out = Engine::new(&catalog, Conventions::set())
+        .eval_collection(&q)
+        .unwrap();
+    assert_eq!(sorted(&out), vec![row(&[1])]);
+}
+
+#[test]
+fn disjunctive_union_bag_vs_set() {
+    let q = collection(
+        "Q",
+        &["A"],
+        or([
+            exists(&[bind("r", "R")], and([assign("Q", "A", col("r", "A"))])),
+            exists(&[bind("s", "S")], and([assign("Q", "A", col("s", "A"))])),
+        ]),
+    );
+    let catalog = Catalog::new()
+        .with(ints("R", &["A"], &[&[1]]))
+        .with(ints("S", &["A"], &[&[1], &[2]]));
+    let set = Engine::new(&catalog, Conventions::set())
+        .eval_collection(&q)
+        .unwrap();
+    assert_eq!(sorted(&set), vec![row(&[1]), row(&[2])]);
+    let bag = Engine::new(&catalog, Conventions::sql())
+        .eval_collection(&q)
+        .unwrap();
+    assert_eq!(bag.len(), 3); // UNION ALL
+}
+
+#[test]
+fn arithmetic_with_nulls_and_division() {
+    // r.B / r.C > 1 with C = 0 → NULL → row filtered, not an error.
+    let q = collection(
+        "Q",
+        &["A"],
+        exists(
+            &[bind("r", "R")],
+            and([
+                assign("Q", "A", col("r", "A")),
+                gt(div(col("r", "B"), col("r", "C")), int(1)),
+            ]),
+        ),
+    );
+    let catalog = Catalog::new().with(ints(
+        "R",
+        &["A", "B", "C"],
+        &[&[1, 10, 2], &[2, 10, 0], &[3, 1, 2]],
+    ));
+    let out = Engine::new(&catalog, Conventions::sql())
+        .eval_collection(&q)
+        .unwrap();
+    assert_eq!(sorted(&out), vec![row(&[1])]);
+}

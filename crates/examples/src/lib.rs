@@ -1,0 +1,12 @@
+//! Host crate for the workspace's runnable examples (sources live in the
+//! top-level `/examples` directory). Run them with, e.g.:
+//!
+//! ```text
+//! cargo run --example quickstart
+//! cargo run --example count_bug
+//! cargo run --example rosetta_stone
+//! cargo run --example nl2sql_validation
+//! cargo run --example matrix_multiplication
+//! ```
+
+#![warn(missing_docs)]

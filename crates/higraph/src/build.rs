@@ -1,0 +1,379 @@
+//! ALT → higraph construction (the paper's Fig 2a → Fig 2b step).
+//!
+//! Scopes represented as *nodes* in the ALT become *regions*; attribute
+//! references become edges between attribute cells (§2.2). Table nodes
+//! accumulate exactly the attribute cells the query mentions — like the
+//! paper's diagrams, which show only the attributes that participate.
+
+use crate::model::*;
+use arc_core::ast::*;
+
+/// Build the higraph of a query collection.
+pub fn build_collection(c: &Collection) -> Higraph {
+    let mut b = Builder::new();
+    let canvas = b.hg.canvas();
+    b.collection(c, canvas);
+    b.hg
+}
+
+/// Build the higraph of a boolean sentence (Fig 9b/9d).
+pub fn build_sentence(f: &Formula) -> Higraph {
+    let mut b = Builder::new();
+    let canvas = b.hg.canvas();
+    b.formula(f, canvas);
+    b.hg
+}
+
+struct Builder {
+    hg: Higraph,
+    /// Visible range variables: (var, table node).
+    vars: Vec<(String, NodeId)>,
+    /// Visible heads: (head name, head-table node).
+    heads: Vec<(String, NodeId)>,
+}
+
+impl Builder {
+    fn new() -> Self {
+        Builder {
+            hg: Higraph::new(),
+            vars: Vec::new(),
+            heads: Vec::new(),
+        }
+    }
+
+    fn collection(&mut self, c: &Collection, parent: NodeId) -> NodeId {
+        // One collection region per disjunct, like the paper's Fig 10b
+        // (recursion drawn as two side-by-side diagrams).
+        let disjuncts: Vec<&Formula> = match &c.body {
+            Formula::Or(fs) if !fs.is_empty() => fs.iter().collect(),
+            other => vec![other],
+        };
+        let mut first_region = 0;
+        for (i, branch) in disjuncts.iter().enumerate() {
+            let region = self.hg.add_node(
+                parent,
+                NodeKind::Collection {
+                    name: c.head.relation.clone(),
+                },
+            );
+            if i == 0 {
+                first_region = region;
+            }
+            let head_table = self.hg.add_node(
+                region,
+                NodeKind::Table {
+                    relation: c.head.relation.clone(),
+                    var: String::new(),
+                    attrs: c
+                        .head
+                        .attrs
+                        .iter()
+                        .map(|a| AttrCell {
+                            attr: a.clone(),
+                            grouped: false,
+                        })
+                        .collect(),
+                    is_head: true,
+                },
+            );
+            self.heads.push((c.head.relation.clone(), head_table));
+            self.formula(branch, region);
+            self.heads.pop();
+        }
+        first_region
+    }
+
+    fn formula(&mut self, f: &Formula, region: NodeId) {
+        match f {
+            Formula::Quant(q) => self.quant(q, region),
+            Formula::And(fs) => {
+                for sub in fs {
+                    self.formula(sub, region);
+                }
+            }
+            Formula::Or(fs) => {
+                // Nested disjunction: one sibling region per branch
+                // (simplified vs. the anchor-relation treatment of [28]).
+                for sub in fs {
+                    let branch = self.hg.add_node(region, NodeKind::Scope { grouping: false });
+                    self.formula(sub, branch);
+                }
+            }
+            Formula::Not(inner) => {
+                let neg = self.hg.add_node(region, NodeKind::Negation);
+                self.formula(inner, neg);
+            }
+            Formula::Pred(p) => self.predicate(p, region),
+        }
+    }
+
+    fn quant(&mut self, q: &Quant, region: NodeId) {
+        let scope = self.hg.add_node(
+            region,
+            NodeKind::Scope {
+                grouping: q.grouping.is_some(),
+            },
+        );
+        let base = self.vars.len();
+        for b in &q.bindings {
+            match &b.source {
+                BindingSource::Named(rel) => {
+                    let table = self.hg.add_node(
+                        scope,
+                        NodeKind::Table {
+                            relation: rel.clone(),
+                            var: b.var.clone(),
+                            attrs: Vec::new(),
+                            is_head: false,
+                        },
+                    );
+                    self.vars.push((b.var.clone(), table));
+                }
+                BindingSource::Collection(c) => {
+                    // The nested collection's head table is the variable's
+                    // anchor (Fig 5c: edges leave X's cells); it "exists on
+                    // the Canvas as an independent topological entity".
+                    let sub_region = self.collection(c, scope);
+                    let head_table = self.hg.nodes[sub_region]
+                        .children
+                        .first()
+                        .copied()
+                        .expect("collection region has a head table");
+                    self.vars.push((b.var.clone(), head_table));
+                }
+            }
+        }
+        // Grouping keys: shade the cells (Fig 4b).
+        if let Some(g) = &q.grouping {
+            for key in &g.keys {
+                if let Some(table) = self.lookup_var(&key.var) {
+                    self.ensure_cell(table, &key.attr, true);
+                }
+            }
+        }
+        // Outer-join optionality markers (Fig 12's empty circle).
+        if let Some(jt) = &q.join {
+            self.join_markers(jt);
+        }
+        self.formula(&q.body, scope);
+        self.vars.truncate(base);
+    }
+
+    fn join_markers(&mut self, jt: &JoinTree) {
+        match jt {
+            JoinTree::Var(_) | JoinTree::Lit(_) | JoinTree::Inner(_) => {
+                if let JoinTree::Inner(children) = jt {
+                    for c in children {
+                        self.join_markers(c);
+                    }
+                }
+            }
+            JoinTree::Left(l, r) => {
+                self.mark_optional(l, r, false);
+                self.join_markers(l);
+                self.join_markers(r);
+            }
+            JoinTree::Full(l, r) => {
+                self.mark_optional(l, r, true);
+                self.join_markers(l);
+                self.join_markers(r);
+            }
+        }
+    }
+
+    fn mark_optional(&mut self, l: &JoinTree, r: &JoinTree, both: bool) {
+        let anchor = l.vars().first().and_then(|v| self.lookup_var(v));
+        let optional: Vec<NodeId> = r
+            .vars()
+            .iter()
+            .filter_map(|v| self.lookup_var(v))
+            .collect();
+        if let Some(a) = anchor {
+            for t in optional {
+                self.hg.add_edge(
+                    Port { node: a, attr: None },
+                    Port {
+                        node: t,
+                        attr: None,
+                    },
+                    EdgeKind::OuterOptional,
+                );
+            }
+            if both {
+                // Full join: the left side is optional too; mark it from
+                // the first right var.
+                if let Some(rv) = r.vars().first().and_then(|v| self.lookup_var(v)) {
+                    for v in l.vars() {
+                        if let Some(t) = self.lookup_var(v) {
+                            self.hg.add_edge(
+                                Port {
+                                    node: rv,
+                                    attr: None,
+                                },
+                                Port { node: t, attr: None },
+                                EdgeKind::OuterOptional,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn lookup_var(&self, var: &str) -> Option<NodeId> {
+        self.vars
+            .iter()
+            .rev()
+            .find(|(v, _)| v == var)
+            .map(|(_, id)| *id)
+    }
+
+    fn lookup_head(&self, name: &str) -> Option<NodeId> {
+        self.heads
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, id)| *id)
+    }
+
+    fn ensure_cell(&mut self, table: NodeId, attr: &str, grouped: bool) {
+        if let NodeKind::Table { attrs, .. } = &mut self.hg.nodes[table].kind {
+            match attrs.iter_mut().find(|c| c.attr == attr) {
+                Some(cell) => cell.grouped |= grouped,
+                None => attrs.push(AttrCell {
+                    attr: attr.to_string(),
+                    grouped,
+                }),
+            }
+        }
+    }
+
+    /// Resolve a scalar to an edge port, materializing constants and
+    /// composite expressions as nodes in `region`.
+    fn port(&mut self, s: &Scalar, region: NodeId) -> Port {
+        match s {
+            Scalar::Attr(a) => {
+                if let Some(table) = self.lookup_var(&a.var) {
+                    self.ensure_cell(table, &a.attr, false);
+                    return Port {
+                        node: table,
+                        attr: Some(a.attr.clone()),
+                    };
+                }
+                if let Some(head) = self.lookup_head(&a.var) {
+                    return Port {
+                        node: head,
+                        attr: Some(a.attr.clone()),
+                    };
+                }
+                // Unbound (binder reports it); anchor at a constant node.
+                let node = self.hg.add_node(
+                    region,
+                    NodeKind::Const {
+                        value: arc_core::value::Value::str(format!("?{a}")),
+                    },
+                );
+                Port { node, attr: None }
+            }
+            Scalar::Const(v) => {
+                let node = self.hg.add_node(region, NodeKind::Const { value: v.clone() });
+                Port { node, attr: None }
+            }
+            Scalar::Agg(_) | Scalar::Arith { .. } => {
+                // Composite operand: rendered as an expression label node
+                // (arithmetic can alternatively be reified into external
+                // relations, §2.13.1, which yields pure attribute edges).
+                let node = self.hg.add_node(
+                    region,
+                    NodeKind::Const {
+                        value: arc_core::value::Value::str(s.to_string()),
+                    },
+                );
+                Port { node, attr: None }
+            }
+        }
+    }
+
+    fn predicate(&mut self, p: &Predicate, region: NodeId) {
+        match p {
+            Predicate::Cmp { left, op, right } => {
+                // Assignment? (bare head ref on one side)
+                let head_of = |s: &Scalar, b: &Builder| -> Option<Port> {
+                    if let Scalar::Attr(a) = s {
+                        if b.lookup_var(&a.var).is_none() {
+                            if let Some(h) = b.lookup_head(&a.var) {
+                                return Some(Port {
+                                    node: h,
+                                    attr: Some(a.attr.clone()),
+                                });
+                            }
+                        }
+                    }
+                    None
+                };
+                let (target, value) = match (head_of(left, self), head_of(right, self)) {
+                    (Some(t), None) if *op == CmpOp::Eq => (Some(t), right),
+                    (None, Some(t)) if *op == CmpOp::Eq => (Some(t), left),
+                    _ => (None, left),
+                };
+                if let Some(target) = target {
+                    // Assignment edge; aggregates get their function label.
+                    match value {
+                        Scalar::Agg(call) => {
+                            let from = match &call.arg {
+                                AggArg::Expr(e) => self.port(e, region),
+                                AggArg::Star => self.port(
+                                    &Scalar::Const(arc_core::value::Value::str("*")),
+                                    region,
+                                ),
+                            };
+                            self.hg.add_edge(
+                                from,
+                                target,
+                                EdgeKind::Aggregation {
+                                    func: call.func.name().to_string(),
+                                    assignment: true,
+                                },
+                            );
+                        }
+                        other => {
+                            let from = self.port(other, region);
+                            self.hg.add_edge(from, target, EdgeKind::Assignment);
+                        }
+                    }
+                    return;
+                }
+                // Comparison; aggregation comparisons keep the function.
+                match (left, right) {
+                    (Scalar::Agg(call), other) | (other, Scalar::Agg(call)) => {
+                        let from = match &call.arg {
+                            AggArg::Expr(e) => self.port(e, region),
+                            AggArg::Star => self
+                                .port(&Scalar::Const(arc_core::value::Value::str("*")), region),
+                        };
+                        let to = self.port(other, region);
+                        self.hg.add_edge(
+                            from,
+                            to,
+                            EdgeKind::Aggregation {
+                                func: call.func.name().to_string(),
+                                assignment: false,
+                            },
+                        );
+                    }
+                    _ => {
+                        let from = self.port(left, region);
+                        let to = self.port(right, region);
+                        self.hg.add_edge(from, to, EdgeKind::Comparison(*op));
+                    }
+                }
+            }
+            Predicate::IsNull { expr, negated } => {
+                let from = self.port(expr, region);
+                let to = self.port(&Scalar::Const(arc_core::value::Value::Null), region);
+                let op = if *negated { CmpOp::Ne } else { CmpOp::Eq };
+                self.hg.add_edge(from, to, EdgeKind::Comparison(op));
+            }
+        }
+    }
+}

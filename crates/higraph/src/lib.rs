@@ -1,0 +1,245 @@
+//! # arc-higraph — the diagrammatic modality of ARC
+//!
+//! The paper's third modality (§2.2): the linked ALT rendered as a
+//! **higraph** — nested regions for scopes, cross edges for predicates —
+//! in the style of Relational Diagrams (Figs 2b, 4b, 5c, 9, 12, 20, 21d–f).
+//!
+//! Three renderers share one [`model::Higraph`]:
+//! * [`render::render_outline`] — a textual scope outline + edge list;
+//! * [`render::render_dot`] — Graphviz with scopes as clusters;
+//! * [`render::render_svg`] — a self-contained SVG with the paper's visual
+//!   vocabulary (double-lined grouping scopes, gray grouping keys, dashed
+//!   negation scopes, decorated assignment edges, labelled aggregation
+//!   edges, outer-join optionality markers).
+//!
+//! ```
+//! use arc_core::dsl::*;
+//! use arc_higraph::{build_collection, render_outline, render_svg};
+//!
+//! // Paper Eq (3) / Fig 4b.
+//! let q = collection(
+//!     "Q",
+//!     &["A", "sm"],
+//!     quant(
+//!         &[bind("r", "R")],
+//!         group(&[("r", "A")]),
+//!         None,
+//!         and([
+//!             assign("Q", "A", col("r", "A")),
+//!             assign_agg("Q", "sm", sum(col("r", "B"))),
+//!         ]),
+//!     ),
+//! );
+//! let hg = build_collection(&q);
+//! let outline = render_outline(&hg);
+//! assert!(outline.contains("scope ∃ (grouping)"));
+//! assert!(outline.contains("A▒")); // shaded grouping key
+//! assert!(render_svg(&hg).starts_with("<svg"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod model;
+pub mod render;
+
+pub use build::{build_collection, build_sentence};
+pub use model::{AttrCell, Edge, EdgeKind, Higraph, Node, NodeId, NodeKind, Port};
+pub use render::{render_dot, render_outline, render_svg};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arc_core::dsl::*;
+    use arc_parser::parse_collection;
+
+    /// Eq (1) / Fig 2b.
+    fn eq1() -> arc_core::Collection {
+        parse_collection("{Q(A) | ∃r ∈ R, s ∈ S [Q.A = r.A ∧ r.B = s.B ∧ s.C = 0]}").unwrap()
+    }
+
+    #[test]
+    fn fig2b_structure() {
+        let hg = build_collection(&eq1());
+        // Head table + two bound tables.
+        assert_eq!(
+            hg.count_nodes(|k| matches!(k, NodeKind::Table { .. })),
+            3
+        );
+        // One assignment, one join comparison, one constant selection.
+        assert_eq!(hg.count_edges(|k| matches!(k, EdgeKind::Assignment)), 1);
+        assert_eq!(
+            hg.count_edges(|k| matches!(k, EdgeKind::Comparison(_))),
+            2
+        );
+        // One existential scope region.
+        assert_eq!(
+            hg.count_nodes(|k| matches!(k, NodeKind::Scope { .. })),
+            1
+        );
+    }
+
+    #[test]
+    fn fig4b_grouping_scope_and_shaded_key() {
+        let q = parse_collection(
+            "{Q(A,sm) | ∃r ∈ R, γ r.A [Q.A = r.A ∧ Q.sm = sum(r.B)]}",
+        )
+        .unwrap();
+        let hg = build_collection(&q);
+        assert_eq!(
+            hg.count_nodes(|k| matches!(k, NodeKind::Scope { grouping: true })),
+            1
+        );
+        let shaded = hg.count_nodes(|k| {
+            matches!(k, NodeKind::Table { attrs, .. } if attrs.iter().any(|c| c.grouped))
+        });
+        assert_eq!(shaded, 1);
+        assert_eq!(
+            hg.count_edges(
+                |k| matches!(k, EdgeKind::Aggregation { func, assignment: true } if func == "sum")
+            ),
+            1
+        );
+    }
+
+    #[test]
+    fn fig5c_nested_collection_region() {
+        let q = parse_collection(
+            "{Q(A,sm) | ∃r ∈ R, x ∈ {X(sm) | ∃r2 ∈ R, γ ∅ [r2.A = r.A ∧ X.sm = sum(r2.B)]} \
+             [Q.A = r.A ∧ Q.sm = x.sm]}",
+        )
+        .unwrap();
+        let hg = build_collection(&q);
+        // Outer collection + nested collection regions.
+        assert_eq!(
+            hg.count_nodes(|k| matches!(k, NodeKind::Collection { .. })),
+            2
+        );
+        // The FOI correlation edge r2.A = r.A crosses regions.
+        assert!(hg.count_edges(|k| matches!(k, EdgeKind::Comparison(_))) >= 1);
+    }
+
+    #[test]
+    fn unique_set_has_four_negation_scopes() {
+        // Eq (22)'s pattern: ¬(… ¬(… ¬(…)) ∧ ¬(… ¬(…))) — 5 negations.
+        let q = parse_collection(
+            "{Q(d) | ∃l1 ∈ L [Q.d = l1.d ∧ ¬(∃l2 ∈ L [l2.d <> l1.d ∧ \
+             ¬(∃l3 ∈ L [l3.d = l2.d ∧ ¬(∃l4 ∈ L [l4.b = l3.b ∧ l4.d = l1.d])]) ∧ \
+             ¬(∃l5 ∈ L [l5.d = l1.d ∧ ¬(∃l6 ∈ L [l6.d = l2.d ∧ l6.b = l5.b])])])]}",
+        )
+        .unwrap();
+        let hg = build_collection(&q);
+        assert_eq!(hg.count_nodes(|k| matches!(k, NodeKind::Negation)), 5);
+        // Negation scopes nest: maximum depth reflects the containment.
+        let max_depth = hg
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Negation))
+            .map(|n| hg.depth(n.id))
+            .max()
+            .unwrap();
+        assert!(max_depth >= 5, "nested negation depth {max_depth}");
+    }
+
+    #[test]
+    fn fig10b_recursion_renders_one_region_per_disjunct() {
+        let q = parse_collection(
+            "{A(s,t) | ∃p ∈ P [A.s = p.s ∧ A.t = p.t] ∨ \
+             ∃p ∈ P, a2 ∈ A [A.s = p.s ∧ p.t = a2.s ∧ A.t = a2.t]}",
+        )
+        .unwrap();
+        let hg = build_collection(&q);
+        assert_eq!(
+            hg.count_nodes(|k| matches!(k, NodeKind::Collection { .. })),
+            2,
+            "two side-by-side diagrams like Fig 10b"
+        );
+    }
+
+    #[test]
+    fn fig12_outer_join_marker() {
+        let q = parse_collection(
+            "{Q(m,n) | ∃r ∈ R, s ∈ S, left(r, inner(11, s)) \
+             [Q.m = r.m ∧ Q.n = s.n ∧ r.y = s.y ∧ r.h = 11]}",
+        )
+        .unwrap();
+        let hg = build_collection(&q);
+        assert_eq!(
+            hg.count_edges(|k| matches!(k, EdgeKind::OuterOptional)),
+            1
+        );
+    }
+
+    #[test]
+    fn sentence_higraph_builds() {
+        let s = exists(
+            &[bind("r", "R")],
+            and([quant(
+                &[bind("s", "S")],
+                group_all(),
+                None,
+                and([
+                    eq(col("r", "id"), col("s", "id")),
+                    le(col("r", "q"), count(col("s", "d"))),
+                ]),
+            )]),
+        );
+        let hg = build_sentence(&s);
+        assert_eq!(
+            hg.count_nodes(|k| matches!(k, NodeKind::Scope { grouping: true })),
+            1
+        );
+        assert_eq!(
+            hg.count_edges(
+                |k| matches!(k, EdgeKind::Aggregation { assignment: false, .. })
+            ),
+            1
+        );
+    }
+
+    #[test]
+    fn renderers_produce_wellformed_output() {
+        let hg = build_collection(&eq1());
+        let dot = render_dot(&hg);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("subgraph cluster_"));
+        assert!(dot.trim_end().ends_with('}'));
+
+        let svg = render_svg(&hg);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.matches("<rect").count() >= 3);
+
+        let outline = render_outline(&hg);
+        assert!(outline.contains("[canvas]"));
+        assert!(outline.contains("head table Q"));
+        assert!(outline.contains("edges:"));
+    }
+
+    #[test]
+    fn edges_match_predicate_count() {
+        // Losslessness proxy: every predicate of the body produces exactly
+        // one edge (assignments, comparisons, aggregations).
+        let q = eq1();
+        let hg = build_collection(&q);
+        assert_eq!(hg.edges.len(), 3);
+    }
+
+    #[test]
+    fn table_cells_cover_referenced_attrs() {
+        let hg = build_collection(&eq1());
+        let r_table = hg
+            .nodes
+            .iter()
+            .find_map(|n| match &n.kind {
+                NodeKind::Table { relation, attrs, is_head: false, .. } if relation == "R" => {
+                    Some(attrs.clone())
+                }
+                _ => None,
+            })
+            .unwrap();
+        let names: Vec<&str> = r_table.iter().map(|c| c.attr.as_str()).collect();
+        assert!(names.contains(&"A"));
+        assert!(names.contains(&"B"));
+    }
+}

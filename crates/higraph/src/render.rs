@@ -1,0 +1,444 @@
+//! Higraph renderers: a textual **outline** (scopes as indentation, edges
+//! as a cross-reference list), **Graphviz DOT** (scopes as clusters), and a
+//! self-contained **SVG** (nested boxes, the closest to the paper's
+//! figures).
+
+use crate::model::*;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+// ---------------------------------------------------------------------------
+// Outline
+// ---------------------------------------------------------------------------
+
+/// Render a textual outline: regions as indentation, then the edge list.
+pub fn render_outline(hg: &Higraph) -> String {
+    let mut out = String::new();
+    outline_node(hg, hg.canvas(), 0, &mut out);
+    if !hg.edges.is_empty() {
+        out.push_str("edges:\n");
+        for e in &hg.edges {
+            let from = port_label(hg, &e.from);
+            let to = port_label(hg, &e.to);
+            let desc = match &e.kind {
+                EdgeKind::Comparison(op) => format!("{from} {} {to}", op.symbol()),
+                EdgeKind::Assignment => format!("{to} ⟵ {from}"),
+                EdgeKind::Aggregation { func, assignment } => {
+                    if *assignment {
+                        format!("{to} ⟵ {func}({from})")
+                    } else {
+                        format!("{func}({from}) tested against {to}")
+                    }
+                }
+                EdgeKind::OuterOptional => format!("{to} optional to {from}"),
+            };
+            let _ = writeln!(out, "  {desc}");
+        }
+    }
+    out
+}
+
+fn outline_node(hg: &Higraph, id: NodeId, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    match &hg.nodes[id].kind {
+        NodeKind::Canvas => {
+            let _ = writeln!(out, "{pad}[canvas]");
+        }
+        NodeKind::Collection { name } => {
+            let shown = if name.is_empty() { "(anonymous)" } else { name };
+            let _ = writeln!(out, "{pad}collection {shown}");
+        }
+        NodeKind::Scope { grouping } => {
+            let marker = if *grouping { "scope ∃ (grouping)" } else { "scope ∃" };
+            let _ = writeln!(out, "{pad}{marker}");
+        }
+        NodeKind::Negation => {
+            let _ = writeln!(out, "{pad}¬ scope");
+        }
+        NodeKind::Table {
+            relation,
+            var,
+            attrs,
+            is_head,
+        } => {
+            let cells: Vec<String> = attrs
+                .iter()
+                .map(|c| {
+                    if c.grouped {
+                        format!("{}▒", c.attr)
+                    } else {
+                        c.attr.clone()
+                    }
+                })
+                .collect();
+            let role = if *is_head { "head " } else { "" };
+            let alias = if var.is_empty() || var == relation {
+                String::new()
+            } else {
+                format!(" as {var}")
+            };
+            let _ = writeln!(out, "{pad}{role}table {relation}{alias} [{}]", cells.join(", "));
+        }
+        NodeKind::Const { value } => {
+            let _ = writeln!(out, "{pad}const {value}");
+        }
+    }
+    for child in &hg.nodes[id].children {
+        outline_node(hg, *child, depth + 1, out);
+    }
+}
+
+fn port_label(hg: &Higraph, p: &Port) -> String {
+    match &hg.nodes[p.node].kind {
+        NodeKind::Table { relation, var, .. } => {
+            let base = if var.is_empty() { relation } else { var };
+            match &p.attr {
+                Some(a) => format!("{base}.{a}"),
+                None => base.clone(),
+            }
+        }
+        NodeKind::Const { value } => value.to_string(),
+        _ => format!("#{}", p.node),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Graphviz DOT
+// ---------------------------------------------------------------------------
+
+/// Render Graphviz DOT with scopes as clusters; grouping scopes have bold
+/// borders, negation scopes dashed borders, grouped cells gray fill.
+pub fn render_dot(hg: &Higraph) -> String {
+    let mut out = String::from("digraph arc {\n  compound=true;\n  rankdir=LR;\n  node [shape=plaintext];\n");
+    for child in &hg.nodes[hg.canvas()].children {
+        dot_node(hg, *child, &mut out, 1);
+    }
+    for (i, e) in hg.edges.iter().enumerate() {
+        let from = dot_port(hg, &e.from);
+        let to = dot_port(hg, &e.to);
+        let (label, style) = match &e.kind {
+            EdgeKind::Comparison(op) => (op.symbol().to_string(), "solid"),
+            EdgeKind::Assignment => ("=".to_string(), "bold"),
+            EdgeKind::Aggregation { func, .. } => (func.clone(), "bold"),
+            EdgeKind::OuterOptional => ("○".to_string(), "dotted"),
+        };
+        let _ = writeln!(
+            out,
+            "  {from} -> {to} [label=\"{label}\", style={style}, id=\"e{i}\"];"
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn dot_node(hg: &Higraph, id: NodeId, out: &mut String, depth: usize) {
+    let pad = "  ".repeat(depth);
+    match &hg.nodes[id].kind {
+        NodeKind::Canvas => {}
+        NodeKind::Collection { name } => {
+            let _ = writeln!(out, "{pad}subgraph cluster_{id} {{");
+            let _ = writeln!(out, "{pad}  label=\"{name}\"; style=rounded;");
+            for c in &hg.nodes[id].children {
+                dot_node(hg, *c, out, depth + 1);
+            }
+            let _ = writeln!(out, "{pad}}}");
+        }
+        NodeKind::Scope { grouping } => {
+            let _ = writeln!(out, "{pad}subgraph cluster_{id} {{");
+            let style = if *grouping {
+                "penwidth=2; peripheries=2;"
+            } else {
+                "penwidth=1;"
+            };
+            let _ = writeln!(out, "{pad}  label=\"\"; {style}");
+            for c in &hg.nodes[id].children {
+                dot_node(hg, *c, out, depth + 1);
+            }
+            let _ = writeln!(out, "{pad}}}");
+        }
+        NodeKind::Negation => {
+            let _ = writeln!(out, "{pad}subgraph cluster_{id} {{");
+            let _ = writeln!(out, "{pad}  label=\"¬\"; style=dashed;");
+            for c in &hg.nodes[id].children {
+                dot_node(hg, *c, out, depth + 1);
+            }
+            let _ = writeln!(out, "{pad}}}");
+        }
+        NodeKind::Table {
+            relation,
+            var,
+            attrs,
+            is_head,
+        } => {
+            let title = if var.is_empty() || var == relation {
+                relation.clone()
+            } else {
+                format!("{relation} {var}")
+            };
+            let mut rows = format!(
+                "<tr><td bgcolor=\"{}\"><b>{}</b></td></tr>",
+                if *is_head { "#d0e0ff" } else { "#eeeeee" },
+                title
+            );
+            for cell in attrs {
+                let bg = if cell.grouped { " bgcolor=\"#cccccc\"" } else { "" };
+                let _ = write!(
+                    rows,
+                    "<tr><td port=\"{0}\"{bg}>{0}</td></tr>",
+                    cell.attr
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{pad}n{id} [label=<<table border=\"1\" cellborder=\"1\" cellspacing=\"0\">{rows}</table>>];"
+            );
+        }
+        NodeKind::Const { value } => {
+            let text = value.to_string().replace('"', "\\\"");
+            let _ = writeln!(out, "{pad}n{id} [shape=none, label=\"{text}\"];");
+        }
+    }
+}
+
+fn dot_port(hg: &Higraph, p: &Port) -> String {
+    match (&hg.nodes[p.node].kind, &p.attr) {
+        (NodeKind::Table { .. }, Some(a)) => format!("n{}:{}", p.node, a),
+        _ => format!("n{}", p.node),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SVG
+// ---------------------------------------------------------------------------
+
+const CELL_H: f64 = 22.0;
+const CELL_W: f64 = 92.0;
+const PAD: f64 = 14.0;
+
+struct Layout {
+    /// Node → (x, y, w, h).
+    boxes: HashMap<NodeId, (f64, f64, f64, f64)>,
+    /// (node, attr) → cell anchor point.
+    anchors: HashMap<(NodeId, String), (f64, f64)>,
+}
+
+/// Render a self-contained SVG: regions as nested rectangles (double
+/// strokes for grouping scopes, dashed for negation), tables as cell
+/// stacks with gray grouped cells, predicate edges as labelled lines.
+pub fn render_svg(hg: &Higraph) -> String {
+    let mut layout = Layout {
+        boxes: HashMap::new(),
+        anchors: HashMap::new(),
+    };
+    let (w, h) = measure(hg, hg.canvas(), &mut layout);
+    place(hg, hg.canvas(), PAD, PAD, &mut layout);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" font-family=\"sans-serif\" font-size=\"12\">",
+        w + 2.0 * PAD,
+        h + 2.0 * PAD
+    );
+    draw(hg, hg.canvas(), &layout, &mut out);
+    for e in &hg.edges {
+        let from = anchor_of(&layout, &e.from);
+        let to = anchor_of(&layout, &e.to);
+        if let (Some((x1, y1)), Some((x2, y2))) = (from, to) {
+            let (style, label) = match &e.kind {
+                EdgeKind::Comparison(op) => ("stroke=\"#333\"", op.symbol().to_string()),
+                EdgeKind::Assignment => ("stroke=\"#0044cc\" stroke-width=\"1.6\"", "=".into()),
+                EdgeKind::Aggregation { func, .. } => {
+                    ("stroke=\"#aa2200\" stroke-width=\"1.6\"", func.clone())
+                }
+                EdgeKind::OuterOptional => ("stroke=\"#888\" stroke-dasharray=\"3,3\"", "○".into()),
+            };
+            let _ = writeln!(
+                out,
+                "  <line x1=\"{x1:.0}\" y1=\"{y1:.0}\" x2=\"{x2:.0}\" y2=\"{y2:.0}\" {style}/>"
+            );
+            let (mx, my) = ((x1 + x2) / 2.0, (y1 + y2) / 2.0 - 3.0);
+            let label = xml_escape(&label);
+            let _ = writeln!(
+                out,
+                "  <text x=\"{mx:.0}\" y=\"{my:.0}\" text-anchor=\"middle\" fill=\"#555\">{label}</text>"
+            );
+        }
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+fn measure(hg: &Higraph, id: NodeId, layout: &mut Layout) -> (f64, f64) {
+    let node = &hg.nodes[id];
+    let (w, h) = match &node.kind {
+        NodeKind::Table { attrs, .. } => {
+            (CELL_W, CELL_H * (attrs.len() as f64 + 1.0))
+        }
+        NodeKind::Const { .. } => (CELL_W * 0.6, CELL_H),
+        _ => {
+            // Region: children laid out left-to-right.
+            let mut w = 0.0f64;
+            let mut h = 0.0f64;
+            for c in &node.children {
+                let (cw, ch) = measure(hg, *c, layout);
+                w += cw + PAD;
+                h = h.max(ch);
+            }
+            (w.max(CELL_W) + PAD, h + 2.0 * PAD + CELL_H * 0.6)
+        }
+    };
+    layout.boxes.insert(id, (0.0, 0.0, w, h));
+    (w, h)
+}
+
+fn place(hg: &Higraph, id: NodeId, x: f64, y: f64, layout: &mut Layout) {
+    let (_, _, w, h) = layout.boxes[&id];
+    layout.boxes.insert(id, (x, y, w, h));
+    let node = &hg.nodes[id];
+    match &node.kind {
+        NodeKind::Table { attrs, .. } => {
+            for (i, cell) in attrs.iter().enumerate() {
+                layout.anchors.insert(
+                    (id, cell.attr.clone()),
+                    (x + CELL_W / 2.0, y + CELL_H * (i as f64 + 1.5)),
+                );
+            }
+        }
+        NodeKind::Const { .. } => {
+            layout
+                .anchors
+                .insert((id, String::new()), (x + CELL_W * 0.3, y + CELL_H / 2.0));
+        }
+        _ => {
+            let mut cx = x + PAD;
+            for c in &node.children.clone() {
+                let (_, _, cw, _) = layout.boxes[c];
+                place(hg, *c, cx, y + PAD + CELL_H * 0.5, layout);
+                cx += cw + PAD;
+            }
+        }
+    }
+}
+
+fn draw(hg: &Higraph, id: NodeId, layout: &Layout, out: &mut String) {
+    let (x, y, w, h) = layout.boxes[&id];
+    let node = &hg.nodes[id];
+    match &node.kind {
+        NodeKind::Canvas => {}
+        NodeKind::Collection { name } => {
+            let _ = writeln!(
+                out,
+                "  <rect x=\"{x:.0}\" y=\"{y:.0}\" width=\"{w:.0}\" height=\"{h:.0}\" fill=\"none\" stroke=\"#99a\" rx=\"8\"/>"
+            );
+            let label = xml_escape(name);
+            let _ = writeln!(
+                out,
+                "  <text x=\"{:.0}\" y=\"{:.0}\" fill=\"#99a\">{label}</text>",
+                x + 4.0,
+                y + 12.0
+            );
+        }
+        NodeKind::Scope { grouping } => {
+            let _ = writeln!(
+                out,
+                "  <rect x=\"{x:.0}\" y=\"{y:.0}\" width=\"{w:.0}\" height=\"{h:.0}\" fill=\"none\" stroke=\"#333\"/>"
+            );
+            if *grouping {
+                // Double-lined boundary (Fig 4b).
+                let _ = writeln!(
+                    out,
+                    "  <rect x=\"{:.0}\" y=\"{:.0}\" width=\"{:.0}\" height=\"{:.0}\" fill=\"none\" stroke=\"#333\"/>",
+                    x + 3.0,
+                    y + 3.0,
+                    w - 6.0,
+                    h - 6.0
+                );
+            }
+        }
+        NodeKind::Negation => {
+            let _ = writeln!(
+                out,
+                "  <rect x=\"{x:.0}\" y=\"{y:.0}\" width=\"{w:.0}\" height=\"{h:.0}\" fill=\"none\" stroke=\"#a00\" stroke-dasharray=\"6,3\"/>"
+            );
+            let _ = writeln!(
+                out,
+                "  <text x=\"{:.0}\" y=\"{:.0}\" fill=\"#a00\">¬</text>",
+                x + 4.0,
+                y + 14.0
+            );
+        }
+        NodeKind::Table {
+            relation,
+            var,
+            attrs,
+            is_head,
+        } => {
+            let title_bg = if *is_head { "#d0e0ff" } else { "#eeeeee" };
+            let _ = writeln!(
+                out,
+                "  <rect x=\"{x:.0}\" y=\"{y:.0}\" width=\"{CELL_W:.0}\" height=\"{CELL_H:.0}\" fill=\"{title_bg}\" stroke=\"#333\"/>"
+            );
+            let title = if var.is_empty() || var == relation {
+                relation.clone()
+            } else {
+                format!("{relation} {var}")
+            };
+            let title = xml_escape(&title);
+            let _ = writeln!(
+                out,
+                "  <text x=\"{:.0}\" y=\"{:.0}\">{title}</text>",
+                x + 4.0,
+                y + CELL_H - 7.0
+            );
+            for (i, cell) in attrs.iter().enumerate() {
+                let cy = y + CELL_H * (i as f64 + 1.0);
+                let fill = if cell.grouped { "#cccccc" } else { "#ffffff" };
+                let _ = writeln!(
+                    out,
+                    "  <rect x=\"{x:.0}\" y=\"{cy:.0}\" width=\"{CELL_W:.0}\" height=\"{CELL_H:.0}\" fill=\"{fill}\" stroke=\"#333\"/>"
+                );
+                let label = xml_escape(&cell.attr);
+                let _ = writeln!(
+                    out,
+                    "  <text x=\"{:.0}\" y=\"{:.0}\">{label}</text>",
+                    x + 4.0,
+                    cy + CELL_H - 7.0
+                );
+            }
+        }
+        NodeKind::Const { value } => {
+            let label = xml_escape(&value.to_string());
+            let _ = writeln!(
+                out,
+                "  <text x=\"{x:.0}\" y=\"{:.0}\" fill=\"#333\">{label}</text>",
+                y + CELL_H - 7.0
+            );
+        }
+    }
+    for c in &node.children {
+        draw(hg, *c, layout, out);
+    }
+}
+
+fn anchor_of(layout: &Layout, p: &Port) -> Option<(f64, f64)> {
+    match &p.attr {
+        Some(a) => layout.anchors.get(&(p.node, a.clone())).copied(),
+        None => layout
+            .anchors
+            .get(&(p.node, String::new()))
+            .copied()
+            .or_else(|| {
+                layout
+                    .boxes
+                    .get(&p.node)
+                    .map(|(x, y, w, h)| (x + w / 2.0, y + h / 2.0))
+            }),
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}

@@ -1,0 +1,438 @@
+//! Tokenizer for the comprehension-syntax modality.
+//!
+//! Both the paper's Unicode notation (`∃`, `∈`, `∧`, `∨`, `¬`, `γ`, `∅`)
+//! and ASCII equivalents (`exists`, `in`, `and`, `or`, `not`, `group`,
+//! `()`) are accepted, so queries can be written in either style.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `|`
+    Bar,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `;`
+    Semicolon,
+    /// `∈` or keyword `in`
+    In,
+    /// `∃` or keyword `exists`
+    Exists,
+    /// `¬` or keyword `not`
+    Not,
+    /// `∧` or keyword `and`
+    And,
+    /// `∨` or keyword `or`
+    Or,
+    /// `γ` or keyword `group`
+    Gamma,
+    /// `∅`
+    Empty,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=` or `≤`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=` or `≥`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// An identifier (relation, variable, or attribute name). Identifiers
+    /// may be quoted with double quotes to include symbols (`"-"`, `"*"`,
+    /// `"$1"` — paper Fig 15).
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// A single-quoted string literal.
+    Str(String),
+    /// Keyword `is` (for `is null` / `is not null`).
+    Is,
+    /// Keyword `null`.
+    Null,
+    /// Keyword `distinct`.
+    Distinct,
+    /// Keyword `true`.
+    True,
+    /// Keyword `false`.
+    False,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Float(v) => write!(f, "{v}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            other => {
+                let s = match other {
+                    Token::LBrace => "{",
+                    Token::RBrace => "}",
+                    Token::LParen => "(",
+                    Token::RParen => ")",
+                    Token::LBracket => "[",
+                    Token::RBracket => "]",
+                    Token::Bar => "|",
+                    Token::Comma => ",",
+                    Token::Dot => ".",
+                    Token::Semicolon => ";",
+                    Token::In => "∈",
+                    Token::Exists => "∃",
+                    Token::Not => "¬",
+                    Token::And => "∧",
+                    Token::Or => "∨",
+                    Token::Gamma => "γ",
+                    Token::Empty => "∅",
+                    Token::Eq => "=",
+                    Token::Ne => "<>",
+                    Token::Lt => "<",
+                    Token::Le => "<=",
+                    Token::Gt => ">",
+                    Token::Ge => ">=",
+                    Token::Plus => "+",
+                    Token::Minus => "-",
+                    Token::Star => "*",
+                    Token::Slash => "/",
+                    Token::Is => "is",
+                    Token::Null => "null",
+                    Token::Distinct => "distinct",
+                    Token::True => "true",
+                    Token::False => "false",
+                    _ => unreachable!(),
+                };
+                write!(f, "{s}")
+            }
+        }
+    }
+}
+
+/// A token with its byte offset (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Byte offset in the source.
+    pub offset: usize,
+}
+
+/// Lexing error with position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Human-readable message.
+    pub message: String,
+    /// Byte offset in the source.
+    pub offset: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize a source string.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut out = Vec::new();
+    let chars: Vec<(usize, char)> = src.char_indices().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let (offset, c) = chars[i];
+        let mut push = |t: Token| out.push(Spanned { token: t, offset });
+        match c {
+            c if c.is_whitespace() => {}
+            '{' => push(Token::LBrace),
+            '}' => push(Token::RBrace),
+            '(' => push(Token::LParen),
+            ')' => push(Token::RParen),
+            '[' => push(Token::LBracket),
+            ']' => push(Token::RBracket),
+            '|' => push(Token::Bar),
+            ',' => push(Token::Comma),
+            '.' => push(Token::Dot),
+            ';' => push(Token::Semicolon),
+            '∈' => push(Token::In),
+            '∃' => push(Token::Exists),
+            '¬' => push(Token::Not),
+            '∧' => push(Token::And),
+            '∨' => push(Token::Or),
+            'γ' => push(Token::Gamma),
+            '∅' => push(Token::Empty),
+            '≤' => push(Token::Le),
+            '≥' => push(Token::Ge),
+            '≠' => push(Token::Ne),
+            '+' => push(Token::Plus),
+            '*' => push(Token::Star),
+            '/' => push(Token::Slash),
+            '=' => push(Token::Eq),
+            '<' => {
+                if matches!(chars.get(i + 1), Some((_, '='))) {
+                    push(Token::Le);
+                    i += 1;
+                } else if matches!(chars.get(i + 1), Some((_, '>'))) {
+                    push(Token::Ne);
+                    i += 1;
+                } else {
+                    push(Token::Lt);
+                }
+            }
+            '>' => {
+                if matches!(chars.get(i + 1), Some((_, '='))) {
+                    push(Token::Ge);
+                    i += 1;
+                } else {
+                    push(Token::Gt);
+                }
+            }
+            '!' => {
+                if matches!(chars.get(i + 1), Some((_, '='))) {
+                    push(Token::Ne);
+                    i += 1;
+                } else {
+                    return Err(LexError {
+                        message: "expected `!=`".to_string(),
+                        offset,
+                    });
+                }
+            }
+            '-' => {
+                // Comment `--` to end of line, else minus.
+                if matches!(chars.get(i + 1), Some((_, '-'))) {
+                    while i < chars.len() && chars[i].1 != '\n' {
+                        i += 1;
+                    }
+                } else {
+                    push(Token::Minus);
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                let mut j = i + 1;
+                let mut closed = false;
+                while j < chars.len() {
+                    if chars[j].1 == '\'' {
+                        closed = true;
+                        break;
+                    }
+                    s.push(chars[j].1);
+                    j += 1;
+                }
+                if !closed {
+                    return Err(LexError {
+                        message: "unterminated string literal".to_string(),
+                        offset,
+                    });
+                }
+                out.push(Spanned {
+                    token: Token::Str(s),
+                    offset,
+                });
+                i = j;
+            }
+            '"' => {
+                // Quoted identifier (external relation names like "-", "*").
+                let mut s = String::new();
+                let mut j = i + 1;
+                let mut closed = false;
+                while j < chars.len() {
+                    if chars[j].1 == '"' {
+                        closed = true;
+                        break;
+                    }
+                    s.push(chars[j].1);
+                    j += 1;
+                }
+                if !closed {
+                    return Err(LexError {
+                        message: "unterminated quoted identifier".to_string(),
+                        offset,
+                    });
+                }
+                out.push(Spanned {
+                    token: Token::Ident(s),
+                    offset,
+                });
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                let mut text = String::new();
+                let mut is_float = false;
+                while j < chars.len() {
+                    let ch = chars[j].1;
+                    if ch.is_ascii_digit() {
+                        text.push(ch);
+                        j += 1;
+                    } else if ch == '.'
+                        && !is_float
+                        && matches!(chars.get(j + 1), Some((_, d)) if d.is_ascii_digit())
+                    {
+                        is_float = true;
+                        text.push(ch);
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let token = if is_float {
+                    Token::Float(text.parse().map_err(|_| LexError {
+                        message: format!("bad float literal `{text}`"),
+                        offset,
+                    })?)
+                } else {
+                    Token::Int(text.parse().map_err(|_| LexError {
+                        message: format!("bad integer literal `{text}`"),
+                        offset,
+                    })?)
+                };
+                out.push(Spanned { token, offset });
+                i = j - 1;
+            }
+            c if c.is_alphabetic() || c == '_' || c == '$' || c == '#' || c == '@' => {
+                let mut j = i;
+                let mut text = String::new();
+                while j < chars.len() {
+                    let ch = chars[j].1;
+                    if ch.is_alphanumeric() || ch == '_' || ch == '$' || ch == '#' || ch == '@' {
+                        text.push(ch);
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let token = match text.to_ascii_lowercase().as_str() {
+                    "in" => Token::In,
+                    "exists" => Token::Exists,
+                    "not" => Token::Not,
+                    "and" => Token::And,
+                    "or" => Token::Or,
+                    "group" => Token::Gamma,
+                    "is" => Token::Is,
+                    "null" => Token::Null,
+                    "distinct" => Token::Distinct,
+                    "true" => Token::True,
+                    "false" => Token::False,
+                    _ => Token::Ident(text),
+                };
+                out.push(Spanned { token, offset });
+                i = j - 1;
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character `{other}`"),
+                    offset,
+                })
+            }
+        }
+        i += 1;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn unicode_and_ascii_forms_agree() {
+        let a = kinds("∃r ∈ R [¬ x ∧ y ∨ z]");
+        let b = kinds("exists r in R [not x and y or z]");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("= <> != < <= > >= ≤ ≥ ≠"),
+            vec![
+                Token::Eq,
+                Token::Ne,
+                Token::Ne,
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge,
+                Token::Le,
+                Token::Ge,
+                Token::Ne
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_strings() {
+        assert_eq!(
+            kinds("42 3.5 'hi'"),
+            vec![Token::Int(42), Token::Float(3.5), Token::Str("hi".into())]
+        );
+    }
+
+    #[test]
+    fn attr_ref_lexes_as_ident_dot_ident() {
+        assert_eq!(
+            kinds("r.A"),
+            vec![
+                Token::Ident("r".into()),
+                Token::Dot,
+                Token::Ident("A".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn quoted_identifiers_for_externals() {
+        assert_eq!(
+            kinds("f ∈ \"*\""),
+            vec![Token::Ident("f".into()), Token::In, Token::Ident("*".into())]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(kinds("a -- comment\n b"), kinds("a b"));
+    }
+
+    #[test]
+    fn dollar_identifiers() {
+        assert_eq!(kinds("$1"), vec![Token::Ident("$1".into())]);
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let err = lex("a ? b").unwrap_err();
+        assert_eq!(err.offset, 2);
+    }
+}

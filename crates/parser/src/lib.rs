@@ -1,0 +1,288 @@
+//! # arc-parser — the comprehension-syntax modality of ARC
+//!
+//! The textual modality of the Abstract Relational Calculus: a
+//! comprehension-style notation that strictly generalizes Tuple Relational
+//! Calculus (paper §2.1–§2.3). Accepts the paper's Unicode notation and an
+//! ASCII-keyword equivalent, prints back the Unicode form.
+//!
+//! ```
+//! use arc_parser::{parse_collection, print_collection};
+//!
+//! // Paper Eq (3) — grouped aggregate in the FIO pattern.
+//! let q = parse_collection(
+//!     "{Q(A,sm) | ∃r ∈ R, γ r.A [Q.A = r.A ∧ Q.sm = sum(r.B)]}",
+//! ).unwrap();
+//! assert_eq!(q.head.attrs, vec!["A", "sm"]);
+//!
+//! // ASCII spelling parses to the same AST.
+//! let ascii = parse_collection(
+//!     "{Q(A,sm) | exists r in R, group(r.A) [Q.A = r.A and Q.sm = sum(r.B)]}",
+//! ).unwrap();
+//! assert_eq!(q, ascii);
+//!
+//! // Printing is parse-stable.
+//! let printed = print_collection(&q);
+//! assert_eq!(parse_collection(&printed).unwrap(), q);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+
+pub use parser::{parse_collection, parse_program, parse_sentence, ParseError};
+pub use printer::{print_collection, print_formula, print_program};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arc_core::ast::*;
+    use arc_core::dsl::*;
+
+    /// Every numbered comprehension of the paper, as source text.
+    fn paper_equations() -> Vec<(&'static str, &'static str)> {
+        vec![
+            (
+                "eq1",
+                "{Q(A) | ∃r ∈ R, s ∈ S [Q.A = r.A ∧ r.B = s.B ∧ s.C = 0]}",
+            ),
+            (
+                "eq2",
+                "{Q(A,B) | ∃x ∈ X, z ∈ {Z(B) | ∃y ∈ Y [Z.B = y.A ∧ x.A < y.A]} [Q.A = x.A ∧ Q.B = z.B]}",
+            ),
+            (
+                "eq3",
+                "{Q(A,sm) | ∃r ∈ R, γ r.A [Q.A = r.A ∧ Q.sm = sum(r.B)]}",
+            ),
+            (
+                "eq7",
+                "{Q(A,sm) | ∃r ∈ R, x ∈ {X(sm) | ∃r2 ∈ R, γ ∅ [r2.A = r.A ∧ X.sm = sum(r2.B)]} [Q.A = r.A ∧ Q.sm = x.sm]}",
+            ),
+            (
+                "eq8",
+                "{Q(dept,av) | ∃x ∈ {X(dept,av,sm) | ∃r ∈ R, s ∈ S, γ r.dept \
+                 [X.dept = r.dept ∧ X.av = avg(s.sal) ∧ X.sm = sum(s.sal) ∧ r.empl = s.empl]} \
+                 [Q.dept = x.dept ∧ Q.av = x.av ∧ x.sm > 100]}",
+            ),
+            (
+                "eq16",
+                "{A(s,t) | ∃p ∈ P [A.s = p.s ∧ A.t = p.t] ∨ \
+                 ∃p ∈ P, a2 ∈ A [A.s = p.s ∧ p.t = a2.s ∧ A.t = a2.t]}",
+            ),
+            (
+                "eq17",
+                "{Q(A) | ∃r ∈ R [Q.A = r.A ∧ ¬(∃s ∈ S [s.A = r.A ∨ s.A is null ∨ r.A is null])]}",
+            ),
+            (
+                "eq18",
+                "{Q(m,n) | ∃r ∈ R, s ∈ S, left(r, inner(11, s)) \
+                 [Q.m = r.m ∧ Q.n = s.n ∧ r.y = s.y ∧ r.h = 11]}",
+            ),
+            (
+                "eq20",
+                "{Q(A) | ∃r ∈ R, s ∈ S, t ∈ T, f ∈ Minus \
+                 [Q.A = r.A ∧ f.left = r.B ∧ f.right = s.B ∧ f.out > t.B]}",
+            ),
+            (
+                "eq26",
+                "{C(row,col,val) | ∃a ∈ A, b ∈ B, f ∈ \"*\", γ a.row, b.col \
+                 [C.row = a.row ∧ C.col = b.col ∧ a.col = b.row ∧ \
+                  C.val = sum(f.out) ∧ f.$1 = a.val ∧ f.$2 = b.val]}",
+            ),
+            (
+                "eq27",
+                "{Q(id) | ∃r ∈ R [Q.id = r.id ∧ ∃s ∈ S, γ ∅ [r.id = s.id ∧ r.q = count(s.d)]]}",
+            ),
+            (
+                "eq29",
+                "{Q(id) | ∃r ∈ R, x ∈ {X(id,ct) | ∃s ∈ S, r2 ∈ R, γ r2.id, left(r2, s) \
+                 [X.id = r2.id ∧ X.ct = count(s.d) ∧ r2.id = s.id]} \
+                 [Q.id = r.id ∧ r.id = x.id ∧ r.q = x.ct]}",
+            ),
+        ]
+    }
+
+    #[test]
+    fn all_paper_equations_parse_and_round_trip() {
+        for (name, src) in paper_equations() {
+            let parsed = parse_collection(src)
+                .unwrap_or_else(|e| panic!("{name} failed to parse: {e}"));
+            let printed = print_collection(&parsed);
+            let reparsed = parse_collection(&printed)
+                .unwrap_or_else(|e| panic!("{name} failed to re-parse `{printed}`: {e}"));
+            assert_eq!(
+                parsed.normalized(),
+                reparsed.normalized(),
+                "{name} round-trip mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn eq1_parses_to_expected_ast() {
+        let src = "{Q(A) | ∃r ∈ R, s ∈ S [Q.A = r.A ∧ r.B = s.B ∧ s.C = 0]}";
+        let expected = collection(
+            "Q",
+            &["A"],
+            exists(
+                &[bind("r", "R"), bind("s", "S")],
+                and([
+                    assign("Q", "A", col("r", "A")),
+                    eq(col("r", "B"), col("s", "B")),
+                    eq(col("s", "C"), int(0)),
+                ]),
+            ),
+        );
+        assert_eq!(parse_collection(src).unwrap(), expected);
+    }
+
+    #[test]
+    fn sentences_parse() {
+        // Eq (13) and (14).
+        let e13 = parse_sentence(
+            "∃r ∈ R [∃s ∈ S, γ ∅ [r.id = s.id ∧ r.q <= count(s.d)]]",
+        )
+        .unwrap();
+        assert!(matches!(e13, Formula::Quant(_)));
+        let e14 = parse_sentence(
+            "¬∃r ∈ R [∃s ∈ S, γ ∅ [r.id = s.id ∧ r.q > count(s.d)]]",
+        )
+        .unwrap();
+        assert!(matches!(e14, Formula::Not(_)));
+    }
+
+    #[test]
+    fn program_with_definitions_and_query() {
+        let src = "\
+            {D(s) | ∃p ∈ P [D.s = p.s]};\n\
+            {Q(s) | ∃d ∈ D [Q.s = d.s]}";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.definitions.len(), 1);
+        assert_eq!(p.definitions[0].name(), "D");
+        assert!(p.query.is_some());
+
+        // Trailing semicolon: everything is a definition.
+        let defs_only = parse_program("{D(s) | ∃p ∈ P [D.s = p.s]};").unwrap();
+        assert_eq!(defs_only.definitions.len(), 1);
+        assert!(defs_only.query.is_none());
+    }
+
+    #[test]
+    fn parenthesized_formulas_and_scalars_disambiguate() {
+        let f = parse_sentence("(∃r ∈ R [r.A = 1]) ∧ (1 + 2) * 3 = 9").unwrap();
+        match f {
+            Formula::And(fs) => assert_eq!(fs.len(), 2),
+            other => panic!("expected And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn or_and_precedence() {
+        let f = parse_sentence("∃r ∈ R [r.A = 1 ∨ r.A = 2 ∧ r.B = 3]").unwrap();
+        // ∧ binds tighter: Or(a, And(b, c)).
+        if let Formula::Quant(q) = f {
+            match q.body {
+                Formula::Or(branches) => {
+                    assert_eq!(branches.len(), 2);
+                    assert!(matches!(branches[1], Formula::And(_)));
+                }
+                other => panic!("expected Or, got {other:?}"),
+            }
+        } else {
+            panic!("expected quantifier");
+        }
+    }
+
+    #[test]
+    fn distinct_aggregates_parse() {
+        let q = parse_collection(
+            "{Q(c) | ∃r ∈ R, γ ∅ [Q.c = count(distinct r.B)]}",
+        )
+        .unwrap();
+        let printed = print_collection(&q);
+        assert!(printed.contains("count(distinct r.B)"));
+        assert_eq!(parse_collection(&printed).unwrap(), q);
+    }
+
+    #[test]
+    fn count_star_parses() {
+        let q = parse_collection("{Q(c) | ∃r ∈ R, γ ∅ [Q.c = count(*)]}").unwrap();
+        let printed = print_collection(&q);
+        assert!(printed.contains("count(*)"));
+        assert_eq!(parse_collection(&printed).unwrap(), q);
+    }
+
+    #[test]
+    fn full_join_and_literals_round_trip() {
+        let src = "{Q(a,b) | ∃r ∈ R, s ∈ S, full(r, s) [Q.a = r.A ∧ Q.b = s.B ∧ r.A = s.B]}";
+        let q = parse_collection(src).unwrap();
+        assert!(matches!(
+            q.body,
+            Formula::Quant(ref qq) if matches!(qq.join, Some(JoinTree::Full(_, _)))
+        ));
+        let printed = print_collection(&q);
+        assert_eq!(parse_collection(&printed).unwrap(), q);
+    }
+
+    #[test]
+    fn error_messages_have_positions() {
+        let err = parse_collection("{Q(A) | ∃r ∈ R [Q.A = ]}").unwrap_err();
+        assert!(err.message.contains("expected scalar"));
+        assert!(err.offset > 0);
+
+        let err2 = parse_collection("{Q(A)").unwrap_err();
+        assert!(err2.message.contains("expected"));
+    }
+
+    #[test]
+    fn negative_literals_fold() {
+        let q = parse_collection("{Q(A) | ∃r ∈ R [Q.A = r.A ∧ r.B = -5]}").unwrap();
+        let printed = print_collection(&q);
+        assert!(printed.contains("-5"));
+        assert_eq!(parse_collection(&printed).unwrap(), q);
+    }
+
+    #[test]
+    fn true_false_literals() {
+        let f = parse_sentence("true").unwrap();
+        assert_eq!(f, Formula::And(Vec::new()));
+        let f = parse_sentence("false").unwrap();
+        assert_eq!(f, Formula::Or(Vec::new()));
+    }
+
+    #[test]
+    fn dsl_built_queries_print_and_reparse() {
+        // Eq (8) built with the DSL, printed, reparsed.
+        let x = collection(
+            "X",
+            &["dept", "av", "sm"],
+            quant(
+                &[bind("r", "R"), bind("s", "S")],
+                group(&[("r", "dept")]),
+                None,
+                and([
+                    eq(col("r", "empl"), col("s", "empl")),
+                    assign("X", "dept", col("r", "dept")),
+                    assign_agg("X", "av", avg(col("s", "sal"))),
+                    assign_agg("X", "sm", sum(col("s", "sal"))),
+                ]),
+            ),
+        );
+        let q = collection(
+            "Q",
+            &["dept", "av"],
+            exists(
+                &[bind_coll("x", x)],
+                and([
+                    assign("Q", "dept", col("x", "dept")),
+                    assign("Q", "av", col("x", "av")),
+                    gt(col("x", "sm"), int(100)),
+                ]),
+            ),
+        );
+        let printed = print_collection(&q);
+        let reparsed = parse_collection(&printed).unwrap();
+        assert_eq!(q.normalized(), reparsed.normalized());
+    }
+}

@@ -1,0 +1,150 @@
+//! Pretty-printer for the comprehension-syntax modality (the inverse of
+//! [`crate::parser`]): renders ARC in the paper's Unicode notation.
+//!
+//! Round-trip guarantee: `parse(print(c))` equals `c.normalized()` — the
+//! connective tree is flattened (a presentational, not relational,
+//! property; see [`Formula::normalized`]).
+
+use arc_core::ast::*;
+
+/// Render a collection, e.g.
+/// `{Q(A,sm) | ∃r ∈ R, γ r.A [Q.A = r.A ∧ Q.sm = sum(r.B)]}`.
+pub fn print_collection(c: &Collection) -> String {
+    format!(
+        "{{{}({}) | {}}}",
+        quote_ident(&c.head.relation),
+        c.head.attrs.join(","),
+        print_formula(&c.body)
+    )
+}
+
+/// Render a sentence (headless formula).
+pub fn print_formula(f: &Formula) -> String {
+    print_f(f, Prec::Or)
+}
+
+/// Render a program: definitions then query, `;`-separated. A program
+/// without a query gets a trailing `;` (the parser's definition marker).
+pub fn print_program(p: &Program) -> String {
+    let mut parts: Vec<String> = p
+        .definitions
+        .iter()
+        .map(|d| print_collection(&d.collection))
+        .collect();
+    if let Some(q) = &p.query {
+        parts.push(print_collection(q));
+        parts.join(";\n")
+    } else {
+        let mut s = parts.join(";\n");
+        if !s.is_empty() {
+            s.push(';');
+        }
+        s
+    }
+}
+
+/// Precedence context for parenthesization.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Prec {
+    Or,
+    And,
+}
+
+fn print_f(f: &Formula, ctx: Prec) -> String {
+    match f {
+        Formula::Or(fs) => {
+            if fs.is_empty() {
+                return "false".to_string();
+            }
+            if fs.len() == 1 {
+                return print_f(&fs[0], ctx);
+            }
+            let body = fs
+                .iter()
+                .map(|s| print_f(s, Prec::Or))
+                .collect::<Vec<_>>()
+                .join(" ∨ ");
+            if ctx > Prec::Or && fs.len() > 1 {
+                format!("({body})")
+            } else {
+                body
+            }
+        }
+        Formula::And(fs) => {
+            if fs.is_empty() {
+                return "true".to_string();
+            }
+            if fs.len() == 1 {
+                return print_f(&fs[0], ctx);
+            }
+            let body = fs
+                .iter()
+                .map(|s| print_f(s, Prec::And))
+                .collect::<Vec<_>>()
+                .join(" ∧ ");
+            if ctx > Prec::And && fs.len() > 1 {
+                format!("({body})")
+            } else {
+                body
+            }
+        }
+        Formula::Not(inner) => format!("¬({})", print_f(inner, Prec::Or)),
+        Formula::Quant(q) => print_quant(q),
+        Formula::Pred(p) => p.to_string(),
+    }
+}
+
+fn print_quant(q: &Quant) -> String {
+    let mut items: Vec<String> = q
+        .bindings
+        .iter()
+        .map(|b| match &b.source {
+            BindingSource::Named(rel) => format!("{} ∈ {}", b.var, quote_ident(rel)),
+            BindingSource::Collection(c) => format!("{} ∈ {}", b.var, print_collection(c)),
+        })
+        .collect();
+    if let Some(g) = &q.grouping {
+        if g.keys.is_empty() {
+            items.push("γ ∅".to_string());
+        } else {
+            let keys: Vec<String> = g.keys.iter().map(|k| k.to_string()).collect();
+            items.push(format!("γ {}", keys.join(", ")));
+        }
+    }
+    if let Some(j) = &q.join {
+        items.push(j.to_string());
+    }
+    format!("∃{} [{}]", items.join(", "), print_f(&q.body, Prec::Or))
+}
+
+/// Quote an identifier when it is not a plain name (external relations are
+/// called `"-"`, `"*"`, `">"` in the paper's Fig 15/20).
+fn quote_ident(name: &str) -> String {
+    let plain = !name.is_empty()
+        && name
+            .chars()
+            .next()
+            .map(|c| c.is_alphabetic() || c == '_')
+            .unwrap_or(false)
+        && name
+            .chars()
+            .all(|c| c.is_alphanumeric() || c == '_' || c == '$')
+        && !matches!(
+            name.to_ascii_lowercase().as_str(),
+            "in" | "exists"
+                | "not"
+                | "and"
+                | "or"
+                | "group"
+                | "is"
+                | "null"
+                | "distinct"
+                | "true"
+                | "false"
+        );
+    if plain {
+        name.to_string()
+    } else {
+        format!("\"{name}\"")
+    }
+}

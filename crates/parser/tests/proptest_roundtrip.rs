@@ -1,0 +1,169 @@
+//! Property test: `parse(print(c))` equals `c.normalized()` for randomly
+//! generated well-formed collections (workspace invariant #1).
+
+use arc_core::ast::*;
+use arc_core::value::Value;
+use arc_parser::{parse_collection, print_collection};
+use proptest::prelude::*;
+
+/// Plain identifiers that survive quoting/keyword rules.
+fn ident() -> impl Strategy<Value = String> {
+    prop::sample::select(vec!["r", "s", "t", "u", "v1", "v2", "w_x"])
+        .prop_map(|s| s.to_string())
+}
+
+fn rel_name() -> impl Strategy<Value = String> {
+    prop::sample::select(vec!["R", "S", "T", "Emp", "Dept", "*", "-", "Likes"])
+        .prop_map(|s| s.to_string())
+}
+
+fn attr_name() -> impl Strategy<Value = String> {
+    prop::sample::select(vec!["A", "B", "C", "id", "val", "$1"]).prop_map(|s| s.to_string())
+}
+
+fn value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i32>().prop_map(|v| Value::Int(v as i64)),
+        (-1000i32..1000).prop_map(|v| Value::Float(v as f64 / 8.0)),
+        "[a-z]{0,6}".prop_map(Value::Str),
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+    ]
+}
+
+fn attr_ref() -> impl Strategy<Value = AttrRef> {
+    (ident(), attr_name()).prop_map(|(var, attr)| AttrRef { var, attr })
+}
+
+fn scalar(depth: u32) -> BoxedStrategy<Scalar> {
+    let leaf = prop_oneof![
+        attr_ref().prop_map(Scalar::Attr),
+        value().prop_map(Scalar::Const),
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let sub = scalar(depth - 1);
+    let arith = (
+        prop::sample::select(vec![ArithOp::Add, ArithOp::Sub, ArithOp::Mul, ArithOp::Div]),
+        sub.clone(),
+        sub.clone(),
+    )
+        .prop_map(|(op, l, r)| Scalar::Arith {
+            op,
+            left: Box::new(l),
+            right: Box::new(r),
+        });
+    let agg = (
+        prop::sample::select(vec![
+            AggFunc::Sum,
+            AggFunc::Count,
+            AggFunc::Avg,
+            AggFunc::Min,
+            AggFunc::Max,
+        ]),
+        sub,
+        any::<bool>(),
+    )
+        .prop_map(|(func, arg, distinct)| {
+            Scalar::Agg(Box::new(AggCall {
+                func,
+                arg: AggArg::Expr(arg),
+                distinct,
+            }))
+        });
+    prop_oneof![4 => leaf, 2 => arith, 1 => agg].boxed()
+}
+
+fn predicate(depth: u32) -> BoxedStrategy<Predicate> {
+    let cmp = (
+        scalar(depth),
+        prop::sample::select(vec![
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ]),
+        scalar(depth),
+    )
+        .prop_map(|(left, op, right)| Predicate::Cmp { left, op, right });
+    let is_null = (scalar(depth), any::<bool>())
+        .prop_map(|(expr, negated)| Predicate::IsNull { expr, negated });
+    prop_oneof![4 => cmp, 1 => is_null].boxed()
+}
+
+fn formula(depth: u32) -> BoxedStrategy<Formula> {
+    let leaf = predicate(1).prop_map(Formula::Pred);
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let sub = formula(depth - 1);
+    let quant = (
+        prop::collection::vec((ident(), rel_name()), 1..3),
+        prop::option::of(prop::collection::vec(attr_ref(), 0..2)),
+        sub.clone(),
+    )
+        .prop_map(|(binds, grouping, body)| {
+            Formula::Quant(Box::new(Quant {
+                bindings: binds
+                    .into_iter()
+                    .map(|(var, rel)| Binding::named(var, rel))
+                    .collect(),
+                grouping: grouping.map(|keys| Grouping { keys }),
+                join: None,
+                body,
+            }))
+        });
+    prop_oneof![
+        3 => leaf,
+        2 => quant,
+        2 => prop::collection::vec(sub.clone(), 1..3).prop_map(Formula::And),
+        1 => prop::collection::vec(sub.clone(), 1..3).prop_map(Formula::Or),
+        1 => sub.prop_map(|f| Formula::Not(Box::new(f))),
+    ]
+    .boxed()
+}
+
+fn collection() -> impl Strategy<Value = Collection> {
+    (
+        prop::sample::select(vec!["Q", "Out", "X"]),
+        prop::collection::vec(attr_name(), 1..3),
+        formula(3),
+    )
+        .prop_map(|(name, attrs, body)| Collection {
+            head: Head {
+                relation: name.to_string(),
+                attrs,
+            },
+            body,
+        })
+}
+
+/// Strings that the single-quote literal syntax cannot represent.
+fn has_unprintable_string(c: &Collection) -> bool {
+    let printed = print_collection(c);
+    printed.contains('\'') && !printed.matches('\'').count().is_multiple_of(2)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn print_parse_round_trip(c in collection()) {
+        prop_assume!(!has_unprintable_string(&c));
+        let printed = print_collection(&c);
+        let reparsed = parse_collection(&printed)
+            .unwrap_or_else(|e| panic!("failed to reparse `{printed}`: {e}"));
+        prop_assert_eq!(reparsed.normalized(), c.normalized());
+    }
+
+    #[test]
+    fn printing_is_stable(c in collection()) {
+        prop_assume!(!has_unprintable_string(&c));
+        let once = print_collection(&c);
+        let twice = print_collection(&parse_collection(&once).unwrap());
+        prop_assert_eq!(once, twice);
+    }
+}

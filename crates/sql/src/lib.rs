@@ -1,0 +1,112 @@
+//! # arc-sql — the SQL modality of ARC
+//!
+//! The `SQL ↔ ARC` translator the paper announces as its systems next step
+//! (§5): a parser for the SQL subset that covers every query printed in the
+//! paper, a lowering into ARC that applies the paper's own normalizations
+//! (scalar subqueries → laterals §2.12, `NOT IN` → null-guarded
+//! `NOT EXISTS` Fig 11, `DISTINCT`/`UNION` → dedup-by-grouping §2.7, outer
+//! joins → join annotations §2.11), and a renderer from ARC back to SQL.
+//!
+//! ```
+//! use arc_core::binder::SchemaMap;
+//! use arc_core::Conventions;
+//! use arc_sql::{arc_to_sql, sql_to_arc};
+//!
+//! let mut schemas = SchemaMap::new();
+//! schemas.insert("R".into(), vec!["A".into(), "B".into()]);
+//!
+//! // Paper Fig 4a → Eq (3).
+//! let arc = sql_to_arc("select R.A, sum(R.B) sm from R group by R.A", &schemas).unwrap();
+//! assert_eq!(arc.head.attrs, vec!["A", "sm"]);
+//!
+//! // …and back to SQL.
+//! let sql = arc_to_sql(&arc, &Conventions::sql()).unwrap();
+//! assert!(sql.contains("group by"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod lower;
+pub mod parser;
+pub mod render;
+
+pub use ast::{BinOp, JoinKind, Select, SelectItem, SqlExpr, SqlQuery, TableRef};
+pub use lower::{lower_query, LowerError};
+pub use parser::{parse_sql, SqlParseError};
+pub use render::{render_collection, render_sentence, RenderError};
+
+use arc_core::ast::Collection;
+use arc_core::binder::SchemaMap;
+use arc_core::conventions::Conventions;
+use std::fmt;
+
+/// End-to-end error for [`sql_to_arc`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Parsing failed.
+    Parse(SqlParseError),
+    /// Lowering failed.
+    Lower(LowerError),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Parse(e) => write!(f, "{e}"),
+            SqlError::Lower(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// Parse SQL text and lower it to an ARC collection (head named `Q`).
+pub fn sql_to_arc(sql: &str, schemas: &SchemaMap) -> Result<Collection, SqlError> {
+    let parsed = parse_sql(sql).map_err(SqlError::Parse)?;
+    lower_query(&parsed, schemas).map_err(SqlError::Lower)
+}
+
+/// Render an ARC collection to SQL text under the given conventions.
+pub fn arc_to_sql(c: &Collection, conv: &Conventions) -> Result<String, RenderError> {
+    render_collection(c, conv)
+}
+
+/// Reserved words of the SQL subset (shared between parser and renderer).
+pub(crate) fn parser_reserved(word: &str) -> bool {
+    matches!(
+        word.to_ascii_lowercase().as_str(),
+        "select"
+            | "distinct"
+            | "from"
+            | "where"
+            | "group"
+            | "by"
+            | "having"
+            | "union"
+            | "all"
+            | "as"
+            | "join"
+            | "inner"
+            | "left"
+            | "full"
+            | "cross"
+            | "outer"
+            | "lateral"
+            | "on"
+            | "and"
+            | "or"
+            | "not"
+            | "exists"
+            | "in"
+            | "is"
+            | "null"
+            | "true"
+            | "false"
+            | "sum"
+            | "count"
+            | "avg"
+            | "min"
+            | "max"
+    )
+}

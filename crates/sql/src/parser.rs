@@ -1,0 +1,781 @@
+//! Hand-written lexer and recursive-descent parser for the SQL subset.
+
+use crate::ast::*;
+use arc_core::value::Value;
+use std::fmt;
+
+/// Parse error with byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlParseError {
+    /// Human-readable message.
+    pub message: String,
+    /// Byte offset in the source.
+    pub offset: usize,
+}
+
+impl fmt::Display for SqlParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SQL parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for SqlParseError {}
+
+/// Parse one SQL query (an optional trailing `;` is accepted).
+pub fn parse_sql(src: &str) -> Result<SqlQuery, SqlParseError> {
+    let mut p = Parser::new(src)?;
+    let q = p.query()?;
+    p.eat_sym(";");
+    if !p.at_eof() {
+        return Err(p.err(format!(
+            "unexpected trailing input `{}`",
+            p.peek_text().unwrap_or_default()
+        )));
+    }
+    Ok(q)
+}
+
+// -- Lexer -------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    /// Keyword or identifier (lower-cased keywords matched contextually).
+    Word(String),
+    /// Quoted identifier `"..."`.
+    Quoted(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Sym(&'static str),
+}
+
+#[derive(Debug, Clone)]
+struct Sp {
+    tok: Tok,
+    offset: usize,
+}
+
+fn sql_lex(src: &str) -> Result<Vec<Sp>, SqlParseError> {
+    let chars: Vec<(usize, char)> = src.char_indices().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let (offset, c) = chars[i];
+        match c {
+            c if c.is_whitespace() => {}
+            '-' if matches!(chars.get(i + 1), Some((_, '-'))) => {
+                while i < chars.len() && chars[i].1 != '\n' {
+                    i += 1;
+                }
+            }
+            '(' | ')' | ',' | '.' | ';' | '+' | '*' | '/' | '-' | '=' => {
+                let s = match c {
+                    '(' => "(",
+                    ')' => ")",
+                    ',' => ",",
+                    '.' => ".",
+                    ';' => ";",
+                    '+' => "+",
+                    '*' => "*",
+                    '/' => "/",
+                    '-' => "-",
+                    _ => "=",
+                };
+                out.push(Sp {
+                    tok: Tok::Sym(s),
+                    offset,
+                });
+            }
+            '<' => {
+                let (s, skip) = match chars.get(i + 1) {
+                    Some((_, '=')) => ("<=", 1),
+                    Some((_, '>')) => ("<>", 1),
+                    _ => ("<", 0),
+                };
+                out.push(Sp {
+                    tok: Tok::Sym(s),
+                    offset,
+                });
+                i += skip;
+            }
+            '>' => {
+                let (s, skip) = match chars.get(i + 1) {
+                    Some((_, '=')) => (">=", 1),
+                    _ => (">", 0),
+                };
+                out.push(Sp {
+                    tok: Tok::Sym(s),
+                    offset,
+                });
+                i += skip;
+            }
+            '!' if matches!(chars.get(i + 1), Some((_, '='))) => {
+                out.push(Sp {
+                    tok: Tok::Sym("<>"),
+                    offset,
+                });
+                i += 1;
+            }
+            '\'' => {
+                let mut s = String::new();
+                let mut j = i + 1;
+                let mut closed = false;
+                while j < chars.len() {
+                    if chars[j].1 == '\'' {
+                        closed = true;
+                        break;
+                    }
+                    s.push(chars[j].1);
+                    j += 1;
+                }
+                if !closed {
+                    return Err(SqlParseError {
+                        message: "unterminated string".to_string(),
+                        offset,
+                    });
+                }
+                out.push(Sp {
+                    tok: Tok::Str(s),
+                    offset,
+                });
+                i = j;
+            }
+            '"' => {
+                let mut s = String::new();
+                let mut j = i + 1;
+                let mut closed = false;
+                while j < chars.len() {
+                    if chars[j].1 == '"' {
+                        closed = true;
+                        break;
+                    }
+                    s.push(chars[j].1);
+                    j += 1;
+                }
+                if !closed {
+                    return Err(SqlParseError {
+                        message: "unterminated quoted identifier".to_string(),
+                        offset,
+                    });
+                }
+                out.push(Sp {
+                    tok: Tok::Quoted(s),
+                    offset,
+                });
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let mut text = String::new();
+                let mut j = i;
+                let mut is_float = false;
+                while j < chars.len() {
+                    let ch = chars[j].1;
+                    if ch.is_ascii_digit() {
+                        text.push(ch);
+                        j += 1;
+                    } else if ch == '.'
+                        && !is_float
+                        && matches!(chars.get(j + 1), Some((_, d)) if d.is_ascii_digit())
+                    {
+                        is_float = true;
+                        text.push(ch);
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let tok = if is_float {
+                    Tok::Float(text.parse().unwrap_or(0.0))
+                } else {
+                    Tok::Int(text.parse().map_err(|_| SqlParseError {
+                        message: format!("bad integer `{text}`"),
+                        offset,
+                    })?)
+                };
+                out.push(Sp { tok, offset });
+                i = j - 1;
+            }
+            c if c.is_alphabetic() || c == '_' || c == '$' => {
+                let mut text = String::new();
+                let mut j = i;
+                while j < chars.len() {
+                    let ch = chars[j].1;
+                    if ch.is_alphanumeric() || ch == '_' || ch == '$' {
+                        text.push(ch);
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Sp {
+                    tok: Tok::Word(text),
+                    offset,
+                });
+                i = j - 1;
+            }
+            other => {
+                return Err(SqlParseError {
+                    message: format!("unexpected character `{other}`"),
+                    offset,
+                })
+            }
+        }
+        i += 1;
+    }
+    Ok(out)
+}
+
+// -- Parser ------------------------------------------------------------------
+
+struct Parser {
+    toks: Vec<Sp>,
+    pos: usize,
+    src_len: usize,
+}
+
+impl Parser {
+    fn new(src: &str) -> Result<Self, SqlParseError> {
+        Ok(Parser {
+            toks: sql_lex(src)?,
+            pos: 0,
+            src_len: src.len(),
+        })
+    }
+
+    fn at_eof(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn offset(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .map(|s| s.offset)
+            .unwrap_or(self.src_len)
+    }
+
+    fn err(&self, message: String) -> SqlParseError {
+        SqlParseError {
+            message,
+            offset: self.offset(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn peek_at(&self, n: usize) -> Option<&Tok> {
+        self.toks.get(self.pos + n).map(|s| &s.tok)
+    }
+
+    fn peek_text(&self) -> Option<String> {
+        self.peek().map(|t| match t {
+            Tok::Word(w) => w.clone(),
+            Tok::Quoted(q) => format!("\"{q}\""),
+            Tok::Int(v) => v.to_string(),
+            Tok::Float(v) => v.to_string(),
+            Tok::Str(s) => format!("'{s}'"),
+            Tok::Sym(s) => s.to_string(),
+        })
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Word(w)) if w.eq_ignore_ascii_case(kw))
+    }
+
+    fn peek_kw_at(&self, n: usize, kw: &str) -> bool {
+        matches!(self.peek_at(n), Some(Tok::Word(w)) if w.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), SqlParseError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected `{kw}`, found `{}`",
+                self.peek_text().unwrap_or_else(|| "end of input".into())
+            )))
+        }
+    }
+
+    fn peek_sym(&self) -> Option<&'static str> {
+        match self.peek() {
+            Some(Tok::Sym(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn eat_sym(&mut self, sym: &str) -> bool {
+        if self.peek_sym() == Some(sym) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, sym: &str) -> Result<(), SqlParseError> {
+        if self.eat_sym(sym) {
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected `{sym}`, found `{}`",
+                self.peek_text().unwrap_or_else(|| "end of input".into())
+            )))
+        }
+    }
+
+    /// An identifier that is not one of the clause keywords.
+    fn ident(&mut self) -> Result<String, SqlParseError> {
+        match self.peek() {
+            Some(Tok::Word(w)) if !is_reserved(w) => {
+                let w = w.clone();
+                self.pos += 1;
+                Ok(w)
+            }
+            Some(Tok::Quoted(q)) => {
+                let q = q.clone();
+                self.pos += 1;
+                Ok(q)
+            }
+            _ => Err(self.err(format!(
+                "expected identifier, found `{}`",
+                self.peek_text().unwrap_or_else(|| "end of input".into())
+            ))),
+        }
+    }
+
+    fn query(&mut self) -> Result<SqlQuery, SqlParseError> {
+        let left = SqlQuery::Select(self.select()?);
+        if self.eat_kw("union") {
+            let all = self.eat_kw("all");
+            let right = self.query()?;
+            return Ok(SqlQuery::Union {
+                left: Box::new(left),
+                right: Box::new(right),
+                all,
+            });
+        }
+        Ok(left)
+    }
+
+    fn select(&mut self) -> Result<Select, SqlParseError> {
+        self.expect_kw("select")?;
+        let distinct = self.eat_kw("distinct");
+        let mut items = Vec::new();
+        loop {
+            let expr = self.expr()?;
+            let explicit_as = self.eat_kw("as");
+            let alias = if explicit_as
+                || matches!(self.peek(), Some(Tok::Word(w)) if !is_reserved(w))
+            {
+                Some(self.ident()?)
+            } else {
+                None
+            };
+            items.push(SelectItem { expr, alias });
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        let mut from = Vec::new();
+        if self.eat_kw("from") {
+            loop {
+                from.push(self.table_ref()?);
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+        }
+        let where_clause = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            loop {
+                // `group by ()` / `group by true` = γ∅.
+                if self.eat_sym("(") {
+                    self.expect_sym(")")?;
+                } else if self.eat_kw("true") {
+                    // explicit single group
+                } else {
+                    group_by.push(self.expr()?);
+                }
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+        }
+        let having = if self.eat_kw("having") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Select {
+            distinct,
+            items,
+            from,
+            where_clause,
+            group_by,
+            having,
+        })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef, SqlParseError> {
+        let mut left = self.table_primary()?;
+        loop {
+            let kind = if self.peek_kw("join") {
+                self.pos += 1;
+                JoinKind::Inner
+            } else if self.peek_kw("inner") && self.peek_kw_at(1, "join") {
+                self.pos += 2;
+                JoinKind::Inner
+            } else if self.peek_kw("left") {
+                self.pos += 1;
+                self.eat_kw("outer");
+                self.expect_kw("join")?;
+                JoinKind::Left
+            } else if self.peek_kw("full") {
+                self.pos += 1;
+                self.eat_kw("outer");
+                self.expect_kw("join")?;
+                JoinKind::Full
+            } else if self.peek_kw("cross") {
+                self.pos += 1;
+                self.expect_kw("join")?;
+                JoinKind::Cross
+            } else {
+                break;
+            };
+            let right = self.table_primary()?;
+            let on = if self.eat_kw("on") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            left = TableRef::Join {
+                left: Box::new(left),
+                right: Box::new(right),
+                kind,
+                on,
+            };
+        }
+        Ok(left)
+    }
+
+    fn table_primary(&mut self) -> Result<TableRef, SqlParseError> {
+        let lateral = self.eat_kw("lateral");
+        if self.peek_sym() == Some("(") {
+            if self.peek_kw_at(1, "select") {
+                self.pos += 1;
+                let query = self.query()?;
+                self.expect_sym(")")?;
+                self.eat_kw("as");
+                let alias = self.ident()?;
+                return Ok(TableRef::Subquery {
+                    query: Box::new(query),
+                    alias,
+                    lateral,
+                });
+            }
+            // Parenthesized join tree.
+            self.pos += 1;
+            let inner = self.table_ref()?;
+            self.expect_sym(")")?;
+            return Ok(inner);
+        }
+        if lateral {
+            return Err(self.err("LATERAL must be followed by a subquery".to_string()));
+        }
+        let name = self.ident()?;
+        let explicit_as = self.eat_kw("as");
+        let alias = if explicit_as
+            || matches!(self.peek(), Some(Tok::Word(w)) if !is_reserved(w))
+        {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(TableRef::Table { name, alias })
+    }
+
+    // -- Expressions (precedence climbing) ------------------------------------
+
+    fn expr(&mut self) -> Result<SqlExpr, SqlParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<SqlExpr, SqlParseError> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("or") {
+            let right = self.and_expr()?;
+            left = SqlExpr::Binary {
+                op: BinOp::Or,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<SqlExpr, SqlParseError> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw("and") {
+            let right = self.not_expr()?;
+            left = SqlExpr::Binary {
+                op: BinOp::And,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<SqlExpr, SqlParseError> {
+        if self.peek_kw("not") && !self.peek_kw_at(1, "exists") {
+            self.pos += 1;
+            return Ok(SqlExpr::Not(Box::new(self.not_expr()?)));
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<SqlExpr, SqlParseError> {
+        // (NOT) EXISTS.
+        if self.peek_kw("exists") || (self.peek_kw("not") && self.peek_kw_at(1, "exists")) {
+            let negated = self.eat_kw("not");
+            self.expect_kw("exists")?;
+            self.expect_sym("(")?;
+            let query = self.query()?;
+            self.expect_sym(")")?;
+            return Ok(SqlExpr::Exists {
+                query: Box::new(query),
+                negated,
+            });
+        }
+        let left = self.add_expr()?;
+        // IS [NOT] NULL.
+        if self.eat_kw("is") {
+            let negated = self.eat_kw("not");
+            self.expect_kw("null")?;
+            return Ok(SqlExpr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+        // [NOT] IN (subquery).
+        if self.peek_kw("in") || (self.peek_kw("not") && self.peek_kw_at(1, "in")) {
+            let negated = self.eat_kw("not");
+            self.expect_kw("in")?;
+            self.expect_sym("(")?;
+            let query = self.query()?;
+            self.expect_sym(")")?;
+            return Ok(SqlExpr::InSubquery {
+                expr: Box::new(left),
+                query: Box::new(query),
+                negated,
+            });
+        }
+        let op = match self.peek_sym() {
+            Some("=") => BinOp::Eq,
+            Some("<>") => BinOp::Ne,
+            Some("<") => BinOp::Lt,
+            Some("<=") => BinOp::Le,
+            Some(">") => BinOp::Gt,
+            Some(">=") => BinOp::Ge,
+            _ => return Ok(left),
+        };
+        self.pos += 1;
+        let right = self.add_expr()?;
+        Ok(SqlExpr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        })
+    }
+
+    fn add_expr(&mut self) -> Result<SqlExpr, SqlParseError> {
+        let mut left = self.mul_expr()?;
+        loop {
+            let op = match self.peek_sym() {
+                Some("+") => BinOp::Add,
+                Some("-") => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.mul_expr()?;
+            left = SqlExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn mul_expr(&mut self) -> Result<SqlExpr, SqlParseError> {
+        let mut left = self.atom()?;
+        loop {
+            let op = match self.peek_sym() {
+                Some("*") => BinOp::Mul,
+                Some("/") => BinOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.atom()?;
+            left = SqlExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn atom(&mut self) -> Result<SqlExpr, SqlParseError> {
+        match self.peek().cloned() {
+            Some(Tok::Sym("-")) => {
+                self.pos += 1;
+                match self.atom()? {
+                    SqlExpr::Literal(Value::Int(v)) => Ok(SqlExpr::Literal(Value::Int(-v))),
+                    SqlExpr::Literal(Value::Float(v)) => Ok(SqlExpr::Literal(Value::Float(-v))),
+                    other => Ok(SqlExpr::Binary {
+                        op: BinOp::Sub,
+                        left: Box::new(SqlExpr::Literal(Value::Int(0))),
+                        right: Box::new(other),
+                    }),
+                }
+            }
+            Some(Tok::Int(v)) => {
+                self.pos += 1;
+                Ok(SqlExpr::Literal(Value::Int(v)))
+            }
+            Some(Tok::Float(v)) => {
+                self.pos += 1;
+                Ok(SqlExpr::Literal(Value::Float(v)))
+            }
+            Some(Tok::Str(s)) => {
+                self.pos += 1;
+                Ok(SqlExpr::Literal(Value::Str(s)))
+            }
+            Some(Tok::Sym("(")) => {
+                // Scalar subquery or parenthesized expression.
+                if self.peek_kw_at(1, "select") {
+                    self.pos += 1;
+                    let q = self.query()?;
+                    self.expect_sym(")")?;
+                    return Ok(SqlExpr::ScalarSubquery(Box::new(q)));
+                }
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect_sym(")")?;
+                Ok(e)
+            }
+            Some(Tok::Word(w)) => {
+                let lower = w.to_ascii_lowercase();
+                if lower == "null" {
+                    self.pos += 1;
+                    return Ok(SqlExpr::Literal(Value::Null));
+                }
+                if lower == "true" {
+                    self.pos += 1;
+                    return Ok(SqlExpr::Literal(Value::Bool(true)));
+                }
+                if lower == "false" {
+                    self.pos += 1;
+                    return Ok(SqlExpr::Literal(Value::Bool(false)));
+                }
+                if matches!(lower.as_str(), "sum" | "count" | "avg" | "min" | "max")
+                    && self.peek_at(1) == Some(&Tok::Sym("("))
+                {
+                    self.pos += 2;
+                    let distinct = self.eat_kw("distinct");
+                    let arg = if self.eat_sym("*") {
+                        None
+                    } else {
+                        Some(Box::new(self.expr()?))
+                    };
+                    self.expect_sym(")")?;
+                    return Ok(SqlExpr::Agg {
+                        func: lower,
+                        arg,
+                        distinct,
+                    });
+                }
+                // Column reference: ident or ident.ident.
+                let first = self.ident()?;
+                if self.eat_sym(".") {
+                    let column = self.ident()?;
+                    Ok(SqlExpr::Column {
+                        table: Some(first),
+                        column,
+                    })
+                } else {
+                    Ok(SqlExpr::Column {
+                        table: None,
+                        column: first,
+                    })
+                }
+            }
+            Some(Tok::Quoted(_)) => {
+                let first = self.ident()?;
+                self.expect_sym(".")?;
+                let column = self.ident()?;
+                Ok(SqlExpr::Column {
+                    table: Some(first),
+                    column,
+                })
+            }
+            other => Err(self.err(format!(
+                "expected expression, found `{}`",
+                other
+                    .map(|t| format!("{t:?}"))
+                    .unwrap_or_else(|| "end of input".into())
+            ))),
+        }
+    }
+}
+
+fn is_reserved(word: &str) -> bool {
+    matches!(
+        word.to_ascii_lowercase().as_str(),
+        "select"
+            | "distinct"
+            | "from"
+            | "where"
+            | "group"
+            | "by"
+            | "having"
+            | "union"
+            | "all"
+            | "as"
+            | "join"
+            | "inner"
+            | "left"
+            | "full"
+            | "cross"
+            | "outer"
+            | "lateral"
+            | "on"
+            | "and"
+            | "or"
+            | "not"
+            | "exists"
+            | "in"
+            | "is"
+            | "null"
+            | "true"
+            | "false"
+    )
+}

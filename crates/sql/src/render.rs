@@ -1,0 +1,576 @@
+//! ARC → SQL rendering (the other half of the paper's §5 translator).
+//!
+//! Renders a collection as a SELECT block per disjunct (UNION/UNION ALL
+//! across disjuncts, per the active semantics convention), with:
+//!
+//! * assignment predicates → the SELECT list;
+//! * named bindings → FROM items, nested collections → `JOIN LATERAL … ON
+//!   true` (§2.4/§2.12);
+//! * grouping scopes → GROUP BY, aggregation tests → HAVING;
+//! * join annotations → JOIN syntax, re-deriving each outer node's ON
+//!   condition with the same predicate-association rule the engine uses
+//!   (predicates that touch the right side, or compare against a literal
+//!   leaf of the right side — Fig 12);
+//! * negated/positive nested quantifiers → `NOT EXISTS` / `EXISTS`
+//!   subqueries (Fig 17 style);
+//! * boolean sentences → `SELECT EXISTS(…)` (Fig 9).
+//!
+//! The output stays within the subset `crate::parser` accepts, so
+//! `lower(render(q))` round-trips (tested by execution equivalence).
+
+use arc_core::ast::*;
+use arc_core::conventions::{Conventions, Semantics};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Rendering error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // field names are self-describing
+pub enum RenderError {
+    /// A head attribute has no assignment in some disjunct.
+    MissingAssignment { attr: String },
+    /// The collection uses a feature with no SQL counterpart in the subset.
+    Unsupported(String),
+}
+
+impl fmt::Display for RenderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RenderError::MissingAssignment { attr } => {
+                write!(f, "no assignment for head attribute `{attr}`")
+            }
+            RenderError::Unsupported(msg) => write!(f, "cannot render to SQL: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RenderError {}
+
+/// Render a collection to SQL under the given conventions (set semantics ⇒
+/// `SELECT DISTINCT` + `UNION`; bag ⇒ plain + `UNION ALL`).
+pub fn render_collection(c: &Collection, conv: &Conventions) -> Result<String, RenderError> {
+    let distinct = conv.semantics == Semantics::Set;
+    let mut blocks = Vec::new();
+    for branch in disjuncts(&c.body) {
+        blocks.push(render_branch(branch, &c.head, distinct)?);
+    }
+    let sep = if distinct { "\nunion\n" } else { "\nunion all\n" };
+    Ok(blocks.join(sep))
+}
+
+/// Render a boolean sentence as `SELECT <boolean>` (Fig 9's
+/// `select [not] exists (…)` shape).
+pub fn render_sentence(f: &Formula, _conv: &Conventions) -> Result<String, RenderError> {
+    Ok(format!("select {}", bool_expr(f)?))
+}
+
+fn disjuncts(f: &Formula) -> Vec<&Formula> {
+    match f {
+        Formula::Or(fs) if !fs.is_empty() => fs.iter().flat_map(disjuncts).collect(),
+        other => vec![other],
+    }
+}
+
+fn render_branch(f: &Formula, head: &Head, distinct: bool) -> Result<String, RenderError> {
+    let (bindings, grouping, join, body): (&[Binding], Option<&Grouping>, Option<&JoinTree>, &Formula) =
+        match f {
+            Formula::Quant(q) => (&q.bindings, q.grouping.as_ref(), q.join.as_ref(), &q.body),
+            other => (&[], None, None, other),
+        };
+    let parts = classify(body, &head.relation);
+    if !parts.spines.is_empty() {
+        return Err(RenderError::Unsupported(
+            "assignment-bearing nested scopes (unnest before rendering)".into(),
+        ));
+    }
+
+    // SELECT list, in head-attribute order.
+    let mut select_items = Vec::with_capacity(head.attrs.len());
+    for attr in &head.attrs {
+        let expr = parts
+            .assigns
+            .iter()
+            .find(|(a, _)| a == attr)
+            .map(|(_, e)| *e)
+            .ok_or_else(|| RenderError::MissingAssignment { attr: attr.clone() })?;
+        select_items.push(format!("{} as {}", scalar(expr)?, quote(attr)));
+    }
+    let distinct_kw = if distinct { "distinct " } else { "" };
+
+    let (from_sql, where_from_join) = render_from(&parts, bindings, join)?;
+
+    let mut where_parts: Vec<String> = Vec::new();
+    for (i, p) in parts.filters.iter().enumerate() {
+        if where_from_join.contains(&i) {
+            continue;
+        }
+        where_parts.push(pred(p)?);
+    }
+    for b in &parts.pre_bool {
+        where_parts.push(bool_expr(b)?);
+    }
+
+    let mut sql = format!("select {distinct_kw}{}", select_items.join(", "));
+    if !from_sql.is_empty() {
+        sql.push_str(&format!("\nfrom {from_sql}"));
+    }
+    if !where_parts.is_empty() {
+        sql.push_str(&format!("\nwhere {}", where_parts.join(" and ")));
+    }
+    match grouping {
+        Some(g) if !g.keys.is_empty() => {
+            let keys: Vec<String> = g.keys.iter().map(attr_sql).collect();
+            sql.push_str(&format!("\ngroup by {}", keys.join(", ")));
+        }
+        Some(_) if !parts.has_aggregate() => {
+            // γ∅ without aggregates still needs an explicit single group.
+            sql.push_str("\ngroup by true");
+        }
+        _ => {}
+    }
+    let mut having_parts: Vec<String> = Vec::new();
+    for p in &parts.agg_tests {
+        having_parts.push(pred(p)?);
+    }
+    for b in &parts.post_bool {
+        having_parts.push(bool_expr(b)?);
+    }
+    if !having_parts.is_empty() {
+        sql.push_str(&format!("\nhaving {}", having_parts.join(" and ")));
+    }
+    Ok(sql)
+}
+
+/// Render the FROM clause; returns the SQL plus the indices of filter
+/// predicates consumed as ON conditions of outer joins.
+fn render_from(
+    parts: &Parts<'_>,
+    bindings: &[Binding],
+    join: Option<&JoinTree>,
+) -> Result<(String, HashSet<usize>), RenderError> {
+    let mut consumed = HashSet::new();
+    match join {
+        Some(tree) if tree.has_outer() => {
+            let by_var: std::collections::HashMap<&str, &Binding> =
+                bindings.iter().map(|b| (b.var.as_str(), b)).collect();
+            let mut lit_counter = 0usize;
+            let sql = join_tree_sql(tree, &by_var, parts, &mut consumed, &mut lit_counter)?;
+            Ok((sql, consumed))
+        }
+        _ => {
+            // Chain: first item plain, named sources via CROSS JOIN, nested
+            // collections via JOIN LATERAL ON true.
+            let mut out = String::new();
+            for (i, b) in bindings.iter().enumerate() {
+                match &b.source {
+                    BindingSource::Named(rel) => {
+                        if i == 0 {
+                            out.push_str(&format!("{} {}", quote(rel), quote(&b.var)));
+                        } else {
+                            out.push_str(&format!(" cross join {} {}", quote(rel), quote(&b.var)));
+                        }
+                    }
+                    BindingSource::Collection(c) => {
+                        let sub = render_collection_inline(c)?;
+                        if i == 0 {
+                            out.push_str(&format!("lateral ({sub}) as {}", quote(&b.var)));
+                        } else {
+                            out.push_str(&format!(
+                                " join lateral ({sub}) as {} on true",
+                                quote(&b.var)
+                            ));
+                        }
+                    }
+                }
+            }
+            Ok((out, consumed))
+        }
+    }
+}
+
+fn render_collection_inline(c: &Collection) -> Result<String, RenderError> {
+    // Nested collections render under bag semantics; the outer context's
+    // semantics convention applies at the boundary anyway.
+    render_collection(c, &Conventions::sql()).map(|s| s.replace('\n', " "))
+}
+
+fn join_tree_sql(
+    tree: &JoinTree,
+    by_var: &std::collections::HashMap<&str, &Binding>,
+    parts: &Parts<'_>,
+    consumed: &mut HashSet<usize>,
+    lit_counter: &mut usize,
+) -> Result<String, RenderError> {
+    match tree {
+        JoinTree::Var(v) => {
+            let b = by_var
+                .get(v.as_str())
+                .ok_or_else(|| RenderError::Unsupported(format!("join var `{v}` unbound")))?;
+            match &b.source {
+                BindingSource::Named(rel) => Ok(format!("{} {}", quote(rel), quote(v))),
+                BindingSource::Collection(c) => {
+                    let sub = render_collection_inline(c)?;
+                    Ok(format!("lateral ({sub}) as {}", quote(v)))
+                }
+            }
+        }
+        JoinTree::Lit(val) => {
+            *lit_counter += 1;
+            Ok(format!("(select {val} as v) as lit{lit_counter}"))
+        }
+        JoinTree::Inner(children) => {
+            let rendered: Result<Vec<String>, RenderError> = children
+                .iter()
+                .map(|c| join_tree_sql(c, by_var, parts, consumed, lit_counter))
+                .collect();
+            Ok(rendered?.join(" cross join "))
+        }
+        JoinTree::Left(l, r) | JoinTree::Full(l, r) => {
+            let kw = if matches!(tree, JoinTree::Left(..)) {
+                "left join"
+            } else {
+                "full join"
+            };
+            let lsql = join_tree_sql(l, by_var, parts, consumed, lit_counter)?;
+            let rsql = join_tree_sql(r, by_var, parts, consumed, lit_counter)?;
+            let on = select_on(l, r, parts, consumed)?;
+            let on_sql = if on.is_empty() {
+                "true".to_string()
+            } else {
+                on.join(" and ")
+            };
+            // Parenthesize composite right sides.
+            let rsql = if matches!(**r, JoinTree::Inner(_) | JoinTree::Left(..) | JoinTree::Full(..))
+            {
+                format!("({rsql})")
+            } else {
+                rsql
+            };
+            Ok(format!("{lsql} {kw} {rsql} on {on_sql}"))
+        }
+    }
+}
+
+/// The engine's ON-association rule, mirrored for rendering: a filter is an
+/// ON condition of this outer node when its variables are covered by both
+/// sides and it touches the right side (or compares against a right-side
+/// literal leaf).
+fn select_on(
+    l: &JoinTree,
+    r: &JoinTree,
+    parts: &Parts<'_>,
+    consumed: &mut HashSet<usize>,
+) -> Result<Vec<String>, RenderError> {
+    let lvars: HashSet<&str> = l.vars().into_iter().collect();
+    let rvars: HashSet<&str> = r.vars().into_iter().collect();
+    let rlits = collect_lits(r);
+    let mut out = Vec::new();
+    for (i, p) in parts.filters.iter().enumerate() {
+        if consumed.contains(&i) {
+            continue;
+        }
+        let vars = pred_vars(p);
+        let covered = vars
+            .iter()
+            .all(|v| lvars.contains(v.as_str()) || rvars.contains(v.as_str()));
+        if !covered {
+            continue;
+        }
+        let touches_right = vars.iter().any(|v| rvars.contains(v.as_str()));
+        let touches_lit = !rlits.is_empty()
+            && pred_consts(p).iter().any(|c| rlits.contains(c));
+        if touches_right || touches_lit {
+            consumed.insert(i);
+            out.push(pred(p)?);
+        }
+    }
+    Ok(out)
+}
+
+fn pred_vars(p: &Predicate) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut push_scalar = |s: &Scalar| {
+        for r in s.attr_refs() {
+            out.push(r.var.clone());
+        }
+    };
+    match p {
+        Predicate::Cmp { left, right, .. } => {
+            push_scalar(left);
+            push_scalar(right);
+        }
+        Predicate::IsNull { expr, .. } => push_scalar(expr),
+    }
+    out
+}
+
+fn pred_consts(p: &Predicate) -> Vec<arc_core::value::Value> {
+    fn walk(s: &Scalar, out: &mut Vec<arc_core::value::Value>) {
+        match s {
+            Scalar::Const(v) => out.push(v.clone()),
+            Scalar::Attr(_) => {}
+            Scalar::Agg(call) => {
+                if let AggArg::Expr(e) = &call.arg {
+                    walk(e, out);
+                }
+            }
+            Scalar::Arith { left, right, .. } => {
+                walk(left, out);
+                walk(right, out);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    match p {
+        Predicate::Cmp { left, right, .. } => {
+            walk(left, &mut out);
+            walk(right, &mut out);
+        }
+        Predicate::IsNull { expr, .. } => walk(expr, &mut out),
+    }
+    out
+}
+
+fn collect_lits(t: &JoinTree) -> Vec<arc_core::value::Value> {
+    match t {
+        JoinTree::Var(_) => Vec::new(),
+        JoinTree::Lit(v) => vec![v.clone()],
+        JoinTree::Inner(children) => children.iter().flat_map(collect_lits).collect(),
+        JoinTree::Left(l, r) | JoinTree::Full(l, r) => {
+            let mut out = collect_lits(l);
+            out.extend(collect_lits(r));
+            out
+        }
+    }
+}
+
+// -- Body classification (rendering mirror of the engine's partition) --------
+
+struct Parts<'f> {
+    filters: Vec<&'f Predicate>,
+    assigns: Vec<(String, &'f Scalar)>,
+    agg_tests: Vec<&'f Predicate>,
+    pre_bool: Vec<&'f Formula>,
+    post_bool: Vec<&'f Formula>,
+    spines: Vec<&'f Formula>,
+}
+
+impl Parts<'_> {
+    fn has_aggregate(&self) -> bool {
+        self.assigns.iter().any(|(_, e)| e.has_aggregate())
+            || !self.agg_tests.is_empty()
+            || !self.post_bool.is_empty()
+    }
+}
+
+fn classify<'f>(body: &'f Formula, head: &str) -> Parts<'f> {
+    let mut parts = Parts {
+        filters: Vec::new(),
+        assigns: Vec::new(),
+        agg_tests: Vec::new(),
+        pre_bool: Vec::new(),
+        post_bool: Vec::new(),
+        spines: Vec::new(),
+    };
+    for conjunct in body.conjuncts() {
+        match conjunct {
+            Formula::Pred(p) => {
+                if let Some((attr, expr)) = head_assignment(p, head) {
+                    parts.assigns.push((attr.to_string(), expr));
+                } else if p.has_aggregate() {
+                    parts.agg_tests.push(p);
+                } else {
+                    parts.filters.push(p);
+                }
+            }
+            sub => {
+                if has_head_assignment(sub, head) {
+                    parts.spines.push(sub);
+                } else if has_direct_aggregate(sub) {
+                    parts.post_bool.push(sub);
+                } else {
+                    parts.pre_bool.push(sub);
+                }
+            }
+        }
+    }
+    parts
+}
+
+fn head_assignment<'f>(p: &'f Predicate, head: &str) -> Option<(&'f str, &'f Scalar)> {
+    if let Predicate::Cmp {
+        left,
+        op: CmpOp::Eq,
+        right,
+    } = p
+    {
+        let is_head = |s: &'f Scalar| -> Option<&'f str> {
+            match s {
+                Scalar::Attr(a) if a.var == head => Some(a.attr.as_str()),
+                _ => None,
+            }
+        };
+        match (is_head(left), is_head(right)) {
+            (Some(attr), None) => return Some((attr, right)),
+            (None, Some(attr)) => return Some((attr, left)),
+            _ => {}
+        }
+    }
+    None
+}
+
+fn has_head_assignment(f: &Formula, head: &str) -> bool {
+    match f {
+        Formula::Pred(p) => head_assignment(p, head).is_some(),
+        Formula::And(fs) | Formula::Or(fs) => fs.iter().any(|s| has_head_assignment(s, head)),
+        Formula::Not(_) => false,
+        Formula::Quant(q) => has_head_assignment(&q.body, head),
+    }
+}
+
+fn has_direct_aggregate(f: &Formula) -> bool {
+    match f {
+        Formula::Pred(p) => p.has_aggregate(),
+        Formula::And(fs) | Formula::Or(fs) => fs.iter().any(has_direct_aggregate),
+        Formula::Not(inner) => has_direct_aggregate(inner),
+        Formula::Quant(_) => false,
+    }
+}
+
+// -- Expression rendering -----------------------------------------------------
+
+fn bool_expr(f: &Formula) -> Result<String, RenderError> {
+    match f {
+        Formula::Pred(p) => pred(p),
+        Formula::And(fs) => {
+            if fs.is_empty() {
+                return Ok("true".to_string());
+            }
+            let parts: Result<Vec<String>, _> = fs.iter().map(bool_expr).collect();
+            Ok(format!("({})", parts?.join(" and ")))
+        }
+        Formula::Or(fs) => {
+            if fs.is_empty() {
+                return Ok("false".to_string());
+            }
+            let parts: Result<Vec<String>, _> = fs.iter().map(bool_expr).collect();
+            Ok(format!("({})", parts?.join(" or ")))
+        }
+        Formula::Not(inner) => match &**inner {
+            Formula::Quant(q) => Ok(format!("not exists ({})", exists_block(q)?)),
+            other => Ok(format!("not {}", bool_expr(other)?)),
+        },
+        Formula::Quant(q) => Ok(format!("exists ({})", exists_block(q)?)),
+    }
+}
+
+/// Render a boolean quantifier as `select 1 from … where … [group by …]
+/// [having …]`.
+fn exists_block(q: &Quant) -> Result<String, RenderError> {
+    let parts = classify(&q.body, "\u{0}");
+    let (from_sql, consumed) = render_from(&parts, &q.bindings, q.join.as_ref())?;
+    let mut sql = "select 1".to_string();
+    if !from_sql.is_empty() {
+        sql.push_str(&format!(" from {from_sql}"));
+    }
+    let mut where_parts = Vec::new();
+    for (i, p) in parts.filters.iter().enumerate() {
+        if consumed.contains(&i) {
+            continue;
+        }
+        where_parts.push(pred(p)?);
+    }
+    for b in &parts.pre_bool {
+        where_parts.push(bool_expr(b)?);
+    }
+    if !where_parts.is_empty() {
+        sql.push_str(&format!(" where {}", where_parts.join(" and ")));
+    }
+    if let Some(g) = &q.grouping {
+        if !g.keys.is_empty() {
+            let keys: Vec<String> = g.keys.iter().map(attr_sql).collect();
+            sql.push_str(&format!(" group by {}", keys.join(", ")));
+        }
+    }
+    let mut having = Vec::new();
+    for p in &parts.agg_tests {
+        having.push(pred(p)?);
+    }
+    for b in &parts.post_bool {
+        having.push(bool_expr(b)?);
+    }
+    if !having.is_empty() {
+        sql.push_str(&format!(" having {}", having.join(" and ")));
+    }
+    Ok(sql)
+}
+
+fn pred(p: &Predicate) -> Result<String, RenderError> {
+    match p {
+        Predicate::Cmp { left, op, right } => Ok(format!(
+            "{} {} {}",
+            scalar(left)?,
+            op.symbol(),
+            scalar(right)?
+        )),
+        Predicate::IsNull { expr, negated } => Ok(format!(
+            "{} is {}null",
+            scalar(expr)?,
+            if *negated { "not " } else { "" }
+        )),
+    }
+}
+
+fn scalar(s: &Scalar) -> Result<String, RenderError> {
+    match s {
+        Scalar::Attr(a) => Ok(attr_sql(a)),
+        Scalar::Const(v) => Ok(v.to_string()),
+        Scalar::Agg(call) => {
+            let d = if call.distinct { "distinct " } else { "" };
+            match &call.arg {
+                AggArg::Expr(e) => Ok(format!("{}({d}{})", call.func.name(), scalar(e)?)),
+                AggArg::Star => Ok(format!("{}({d}*)", call.func.name())),
+            }
+        }
+        Scalar::Arith { op, left, right } => {
+            let l = scalar(left)?;
+            let r = scalar(right)?;
+            let wrap = |s: String, sub: &Scalar| -> String {
+                if matches!(sub, Scalar::Arith { .. }) {
+                    format!("({s})")
+                } else {
+                    s
+                }
+            };
+            Ok(format!(
+                "{} {} {}",
+                wrap(l, left),
+                op.symbol(),
+                wrap(r, right)
+            ))
+        }
+    }
+}
+
+fn attr_sql(a: &AttrRef) -> String {
+    format!("{}.{}", quote(&a.var), quote(&a.attr))
+}
+
+/// Quote identifiers that are not plain SQL names.
+fn quote(name: &str) -> String {
+    let plain = !name.is_empty()
+        && name
+            .chars()
+            .next()
+            .map(|c| c.is_alphabetic() || c == '_')
+            .unwrap_or(false)
+        && name
+            .chars()
+            .all(|c| c.is_alphanumeric() || c == '_' || c == '$')
+        && !crate::parser_reserved(name);
+    if plain {
+        name.to_string()
+    } else {
+        format!("\"{name}\"")
+    }
+}

@@ -1,0 +1,413 @@
+//! End-to-end tests: every SQL query printed in the paper is parsed,
+//! lowered to ARC, executed by the engine, and checked against the figure's
+//! claim. Round-trips (`lower ∘ render`) are verified by execution
+//! equivalence.
+
+use arc_core::binder::{Binder, SchemaMap};
+use arc_core::conventions::Conventions;
+use arc_core::pattern::signature;
+use arc_core::value::Value;
+use arc_engine::{Catalog, Engine, Relation};
+use arc_sql::{arc_to_sql, sql_to_arc};
+
+fn schemas_of(catalog: &Catalog) -> SchemaMap {
+    catalog.schema_map()
+}
+
+fn run(catalog: &Catalog, sql: &str, conv: Conventions) -> Relation {
+    let arc = sql_to_arc(sql, &schemas_of(catalog)).unwrap_or_else(|e| panic!("lower: {e}\n{sql}"));
+    let bound = Binder::with_schemas(schemas_of(catalog)).bind_collection(&arc);
+    assert!(
+        bound.is_valid(),
+        "binder rejected lowered query: {:?}\n{sql}",
+        bound.diagnostics
+    );
+    Engine::new(catalog, conv)
+        .eval_collection(&arc)
+        .unwrap_or_else(|e| panic!("eval: {e}\n{sql}"))
+}
+
+fn round_trip(catalog: &Catalog, sql: &str, conv: Conventions) {
+    let arc = sql_to_arc(sql, &schemas_of(catalog)).unwrap();
+    let rendered = arc_to_sql(&arc, &conv).unwrap_or_else(|e| panic!("render: {e}"));
+    let arc2 = sql_to_arc(&rendered, &schemas_of(catalog))
+        .unwrap_or_else(|e| panic!("re-lower failed: {e}\nrendered SQL:\n{rendered}"));
+    let engine = Engine::new(catalog, conv);
+    let a = engine.eval_collection(&arc).unwrap();
+    let b = engine
+        .eval_collection(&arc2)
+        .unwrap_or_else(|e| panic!("re-eval: {e}\nrendered SQL:\n{rendered}"));
+    assert!(
+        a.bag_eq(&b),
+        "round-trip changed results\noriginal SQL:\n{sql}\nrendered SQL:\n{rendered}\n{a}\nvs\n{b}"
+    );
+}
+
+fn ints(name: &str, schema: &[&str], rows: &[&[i64]]) -> Relation {
+    Relation::from_ints(name, schema, rows)
+}
+
+fn row(vals: &[i64]) -> Vec<Value> {
+    vals.iter().map(|v| Value::Int(*v)).collect()
+}
+
+// ---------------------------------------------------------------------------
+
+fn r_ab() -> Catalog {
+    Catalog::new().with(ints("R", &["A", "B"], &[&[1, 10], &[1, 20], &[2, 5]]))
+}
+
+#[test]
+fn fig4a_grouped_aggregate() {
+    let out = run(
+        &r_ab(),
+        "select R.A, sum(R.B) sm from R group by R.A",
+        Conventions::sql(),
+    );
+    assert_eq!(out.sorted_rows(), vec![row(&[1, 30]), row(&[2, 5])]);
+}
+
+#[test]
+fn fig5a_scalar_subquery_equals_fig5b_lateral() {
+    let catalog = r_ab();
+    let a = run(
+        &catalog,
+        "select distinct R.A, (select sum(R2.B) from R R2 where R2.A = R.A) sm from R",
+        Conventions::sql(),
+    );
+    let b = run(
+        &catalog,
+        "select distinct R.A, X.sm from R join lateral \
+         (select sum(R2.B) sm from R R2 where R2.A = R.A) X on true",
+        Conventions::sql(),
+    );
+    assert!(a.bag_eq(&b), "{a}\nvs\n{b}");
+    assert_eq!(a.sorted_rows(), vec![row(&[1, 30]), row(&[2, 5])]);
+}
+
+#[test]
+fn fig3a_lateral_join() {
+    let catalog = Catalog::new()
+        .with(ints("X", &["A"], &[&[1], &[2]]))
+        .with(ints("Y", &["A"], &[&[2], &[3]]));
+    let out = run(
+        &catalog,
+        "select x.A, z.B from X as x join lateral \
+         (select y.A as B from Y as y where x.A < y.A) as z on true",
+        Conventions::sql(),
+    );
+    assert_eq!(
+        out.sorted_rows(),
+        vec![row(&[1, 2]), row(&[1, 3]), row(&[2, 3])]
+    );
+}
+
+fn dept_catalog() -> Catalog {
+    Catalog::new()
+        .with(ints("R", &["empl", "dept"], &[&[1, 1], &[2, 1], &[3, 2]]))
+        .with(ints("S", &["empl", "sal"], &[&[1, 50], &[2, 60], &[3, 40]]))
+}
+
+#[test]
+fn fig6a_multiple_aggregates_with_having() {
+    let out = run(
+        &dept_catalog(),
+        "select R.dept, avg(S.sal) av from R, S \
+         where R.empl = S.empl group by R.dept having sum(S.sal) > 100",
+        Conventions::sql(),
+    );
+    assert_eq!(out.len(), 1);
+    assert_eq!(out.rows[0][0], Value::Int(1));
+    assert_eq!(out.rows[0][1], Value::Float(55.0));
+}
+
+#[test]
+fn fig11a_not_in_with_nulls() {
+    let mut s = Relation::new("S", &["A"]);
+    s.push(vec![Value::Int(1)]);
+    s.push(vec![Value::Null]);
+    let catalog = Catalog::new()
+        .with(ints("R", &["A"], &[&[1], &[3]]))
+        .with(s);
+    let not_in = run(
+        &catalog,
+        "select R.A from R where R.A not in (select S.A from S)",
+        Conventions::sql(),
+    );
+    assert!(not_in.is_empty(), "NOT IN with NULLs must be empty: {not_in}");
+
+    // Fig 11b: the explicit NOT EXISTS formulation is pattern-identical.
+    let guarded = sql_to_arc(
+        "select R.A from R where not exists \
+         (select 1 from S where S.A = R.A or S.A is null or R.A is null)",
+        &schemas_of(&catalog),
+    )
+    .unwrap();
+    let lowered_not_in = sql_to_arc(
+        "select R.A from R where R.A not in (select S.A from S)",
+        &schemas_of(&catalog),
+    )
+    .unwrap();
+    assert_eq!(
+        signature(&lowered_not_in).canon,
+        signature(&guarded).canon,
+        "NOT IN must lower to the Fig 11b pattern"
+    );
+}
+
+#[test]
+fn fig12_left_outer_join_with_condition() {
+    let catalog = Catalog::new()
+        .with(ints("R", &["m", "y", "h"], &[&[1, 10, 11], &[2, 20, 99]]))
+        .with(ints("S", &["y", "n", "q"], &[&[10, 5, 0], &[30, 6, 0]]));
+    let out = run(
+        &catalog,
+        "select r.m, s.n from R r left outer join S s on (r.h = 11 and r.y = s.y)",
+        Conventions::sql(),
+    );
+    let rows = out.sorted_rows();
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0], vec![Value::Int(1), Value::Int(5)]);
+    assert_eq!(rows[1], vec![Value::Int(2), Value::Null]);
+}
+
+fn fig13_catalog(dup: bool) -> Catalog {
+    let r: &[&[i64]] = if dup {
+        &[&[3], &[3], &[5]]
+    } else {
+        &[&[3], &[5]]
+    };
+    Catalog::new()
+        .with(ints("R", &["A"], r))
+        .with(ints("S", &["A", "B"], &[&[1, 10], &[2, 20], &[4, 40]]))
+}
+
+#[test]
+fn fig13_scalar_equals_lateral_even_with_duplicates() {
+    for dup in [false, true] {
+        let catalog = fig13_catalog(dup);
+        let scalar = run(
+            &catalog,
+            "select R.A, (select sum(S.B) sm from S where S.A < R.A) from R",
+            Conventions::sql(),
+        );
+        let lateral = run(
+            &catalog,
+            "select R.A, X.sm from R join lateral \
+             (select sum(S.B) sm from S where S.A < R.A) X on true",
+            Conventions::sql(),
+        );
+        assert!(scalar.bag_eq(&lateral), "dup={dup}\n{scalar}\nvs\n{lateral}");
+    }
+}
+
+#[test]
+fn fig13c_left_join_group_by_is_wrong_under_duplicates() {
+    let catalog = fig13_catalog(true);
+    let lateral = run(
+        &catalog,
+        "select R.A, X.sm from R join lateral \
+         (select sum(S.B) sm from S where S.A < R.A) X on true",
+        Conventions::sql(),
+    );
+    let leftjoin = run(
+        &catalog,
+        "select R.A, sum(S.B) sm from R left join S on S.A < R.A group by R.A",
+        Conventions::sql(),
+    );
+    assert!(!lateral.bag_eq(&leftjoin));
+    assert_eq!(leftjoin.sorted_rows(), vec![row(&[3, 60]), row(&[5, 70])]);
+    assert_eq!(
+        lateral.sorted_rows(),
+        vec![row(&[3, 30]), row(&[3, 30]), row(&[5, 70])]
+    );
+}
+
+fn count_bug_catalog() -> Catalog {
+    Catalog::new()
+        .with(ints("R", &["id", "q"], &[&[9, 0]]))
+        .with(ints("S", &["id", "d"], &[]))
+}
+
+#[test]
+fn fig21_count_bug_sql_versions() {
+    let catalog = count_bug_catalog();
+    let v1 = run(
+        &catalog,
+        "select R.id from R where R.q = (select count(S.d) from S where S.id = R.id)",
+        Conventions::sql(),
+    );
+    assert_eq!(v1.sorted_rows(), vec![row(&[9])]);
+
+    let v2 = run(
+        &catalog,
+        "select R.id from R, (select S.id, count(S.d) as ct from S group by S.id) as X \
+         where R.q = X.ct and R.id = X.id",
+        Conventions::sql(),
+    );
+    assert!(v2.is_empty(), "version 2 exhibits the count bug");
+
+    let v3 = run(
+        &catalog,
+        "select R.id from R, (select R2.id, count(S.d) as ct from R R2 left join S \
+         on R2.id = S.id group by R2.id) as X where R.q = X.ct and R.id = X.id",
+        Conventions::sql(),
+    );
+    assert_eq!(v3.sorted_rows(), vec![row(&[9])]);
+}
+
+#[test]
+fn fig15a_arithmetic_predicates() {
+    let catalog = Catalog::new()
+        .with(ints("R", &["A", "B"], &[&[1, 10], &[2, 5]]))
+        .with(ints("S", &["B"], &[&[3]]))
+        .with(ints("T", &["B"], &[&[5]]));
+    let out = run(
+        &catalog,
+        "select R.A from R, S, T where R.B - S.B > T.B",
+        Conventions::sql(),
+    );
+    assert_eq!(out.sorted_rows(), vec![row(&[1])]);
+}
+
+#[test]
+fn fig17_unique_set_query() {
+    let mut l = Relation::new("Likes", &["drinker", "beer"]);
+    for (d, b) in [("a", 1), ("a", 2), ("b", 1), ("c", 1), ("c", 2)] {
+        l.push(vec![Value::str(d), Value::Int(b)]);
+    }
+    let catalog = Catalog::new().with(l);
+    let out = run(
+        &catalog,
+        "select distinct L1.drinker from Likes L1 where not exists \
+         (select 1 from Likes L2 where L1.drinker <> L2.drinker \
+          and not exists (select 1 from Likes L3 where L3.drinker = L2.drinker \
+            and not exists (select 1 from Likes L4 where L4.drinker = L1.drinker \
+              and L4.beer = L3.beer)) \
+          and not exists (select 1 from Likes L5 where L5.drinker = L1.drinker \
+            and not exists (select 1 from Likes L6 where L6.drinker = L2.drinker \
+              and L6.beer = L5.beer)))",
+        Conventions::sql(),
+    );
+    assert_eq!(out.len(), 1);
+    assert_eq!(out.rows[0][0], Value::str("b"));
+}
+
+#[test]
+fn union_vs_union_all() {
+    let catalog = Catalog::new()
+        .with(ints("R", &["A"], &[&[1]]))
+        .with(ints("S", &["A"], &[&[1], &[2]]));
+    let all = run(
+        &catalog,
+        "select R.A from R union all select S.A from S",
+        Conventions::sql(),
+    );
+    assert_eq!(all.len(), 3);
+    let distinct = run(
+        &catalog,
+        "select R.A from R union select S.A from S",
+        Conventions::sql(),
+    );
+    assert_eq!(distinct.sorted_rows(), vec![row(&[1]), row(&[2])]);
+}
+
+#[test]
+fn select_distinct_deduplicates() {
+    let catalog = Catalog::new().with(ints("R", &["A", "B"], &[&[1, 2], &[1, 2], &[3, 4]]));
+    let out = run(&catalog, "select distinct R.A, R.B from R", Conventions::sql());
+    assert_eq!(out.sorted_rows(), vec![row(&[1, 2]), row(&[3, 4])]);
+}
+
+#[test]
+fn unqualified_columns_resolve() {
+    let catalog = dept_catalog();
+    let out = run(
+        &catalog,
+        "select dept, sal from R, S where R.empl = S.empl and sal > 55",
+        Conventions::sql(),
+    );
+    assert_eq!(out.sorted_rows(), vec![row(&[1, 60])]);
+}
+
+#[test]
+fn ambiguous_column_rejected() {
+    let catalog = Catalog::new()
+        .with(ints("R", &["A"], &[&[1]]))
+        .with(ints("S", &["A"], &[&[1]]));
+    let err = sql_to_arc("select A from R, S", &schemas_of(&catalog)).unwrap_err();
+    assert!(err.to_string().contains("ambiguous"));
+}
+
+#[test]
+fn in_subquery_positive() {
+    let catalog = Catalog::new()
+        .with(ints("R", &["A"], &[&[1], &[3]]))
+        .with(ints("S", &["A"], &[&[1]]));
+    let out = run(
+        &catalog,
+        "select R.A from R where R.A in (select S.A from S)",
+        Conventions::sql(),
+    );
+    assert_eq!(out.sorted_rows(), vec![row(&[1])]);
+}
+
+#[test]
+fn exists_with_aggregate_item_is_true_on_empty_input() {
+    // SQL quirk: EXISTS(SELECT count(*) FROM empty) is TRUE — the aggregate
+    // query always produces one row. The lowering preserves this via γ∅.
+    let catalog = Catalog::new()
+        .with(ints("R", &["A"], &[&[7]]))
+        .with(ints("S", &["A"], &[]));
+    let out = run(
+        &catalog,
+        "select R.A from R where exists (select count(S.A) from S)",
+        Conventions::sql(),
+    );
+    assert_eq!(out.sorted_rows(), vec![row(&[7])]);
+}
+
+// ---------------------------------------------------------------------------
+// Round-trips: lower ∘ render preserves results.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn round_trips_preserve_execution() {
+    let catalog = r_ab();
+    for sql in [
+        "select R.A, sum(R.B) sm from R group by R.A",
+        "select R.A, R.B from R where R.B > 5",
+        "select distinct R.A from R",
+        "select R.A from R union all select R.B from R",
+        "select R.A from R where R.A in (select R2.B from R R2)",
+        "select R.A from R where not exists (select 1 from R R2 where R2.B < R.B)",
+        "select R.A, X.sm from R join lateral \
+         (select sum(R2.B) sm from R R2 where R2.A = R.A) X on true",
+    ] {
+        round_trip(&catalog, sql, Conventions::sql());
+    }
+}
+
+#[test]
+fn round_trip_outer_join() {
+    let catalog = Catalog::new()
+        .with(ints("R", &["m", "y", "h"], &[&[1, 10, 11], &[2, 20, 99]]))
+        .with(ints("S", &["y", "n", "q"], &[&[10, 5, 0], &[30, 6, 0]]));
+    round_trip(
+        &catalog,
+        "select r.m, s.n from R r left outer join S s on (r.h = 11 and r.y = s.y)",
+        Conventions::sql(),
+    );
+}
+
+#[test]
+fn round_trip_count_bug_versions() {
+    let catalog = count_bug_catalog();
+    for sql in [
+        "select R.id from R where R.q = (select count(S.d) from S where S.id = R.id)",
+        "select R.id from R, (select S.id, count(S.d) as ct from S group by S.id) as X \
+         where R.q = X.ct and R.id = X.id",
+    ] {
+        round_trip(&catalog, sql, Conventions::sql());
+    }
+}

@@ -1,0 +1,2 @@
+//! Host crate for the workspace-level integration tests in `/tests`.
+#![warn(missing_docs)]

@@ -1,0 +1,59 @@
+//! Matrix multiplication in ARC (paper §3.1, Fig 20, Eq (26)).
+//!
+//! Rel's `def MatrixMult[i,j]: sum[[k]: A[i,k]*B[k,j]]` becomes, in the
+//! named perspective, a single grouped scope joining sparse matrices
+//! `A(row,col,val)`, `B(row,col,val)` with the reified multiplication
+//! external `*($1, $2, out)` and summing per `(a.row, b.col)` group.
+//!
+//! ```text
+//! cargo run --example matrix_multiplication
+//! ```
+
+use arc_analysis::sparse_matrix;
+use arc_core::Conventions;
+use arc_engine::{Catalog, Engine};
+use arc_parser::{parse_collection, print_collection};
+
+fn main() {
+    // Eq (26), verbatim in the comprehension syntax.
+    let matmul = parse_collection(
+        "{C(row,col,val) | ∃a ∈ A, b ∈ B, f ∈ \"*\", γ a.row, b.col \
+         [C.row = a.row ∧ C.col = b.col ∧ a.col = b.row ∧ \
+          C.val = sum(f.out) ∧ f.$1 = a.val ∧ f.$2 = b.val]}",
+    )
+    .expect("parses");
+    println!("ARC (Eq 26):\n  {}\n", print_collection(&matmul));
+
+    // Small dense example: A = [[1,2],[3,4]], B = [[5,6],[7,8]].
+    let catalog = Catalog::with_standard_externals()
+        .with(arc_engine::Relation::from_ints(
+            "A",
+            &["row", "col", "val"],
+            &[&[0, 0, 1], &[0, 1, 2], &[1, 0, 3], &[1, 1, 4]],
+        ))
+        .with(arc_engine::Relation::from_ints(
+            "B",
+            &["row", "col", "val"],
+            &[&[0, 0, 5], &[0, 1, 6], &[1, 0, 7], &[1, 1, 8]],
+        ));
+    let c = Engine::new(&catalog, Conventions::set())
+        .eval_collection(&matmul)
+        .expect("evaluates");
+    println!("A·B =\n{c}");
+
+    // Sparse scaling: the same query, unchanged, on generated matrices.
+    for n in [8usize, 16, 24] {
+        let catalog = Catalog::with_standard_externals()
+            .with(sparse_matrix("A", n, 0.3, 1))
+            .with(sparse_matrix("B", n, 0.3, 2));
+        let start = std::time::Instant::now();
+        let c = Engine::new(&catalog, Conventions::set())
+            .eval_collection(&matmul)
+            .expect("evaluates");
+        println!(
+            "{n:2}×{n:<2} sparse (30% fill): {:4} output cells in {:?}",
+            c.len(),
+            start.elapsed()
+        );
+    }
+}

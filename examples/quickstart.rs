@@ -1,0 +1,64 @@
+//! Quickstart: one query, three modalities, one evaluation.
+//!
+//! Walks the paper's running example (Eq (1) / Fig 2): parse the
+//! comprehension syntax, validate it with the binder, show the ALT and the
+//! higraph outline, translate to SQL, and evaluate it.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use arc_core::binder::Binder;
+use arc_core::pattern::signature;
+use arc_core::Conventions;
+use arc_engine::{Catalog, Engine, Relation};
+use arc_higraph::{build_collection, render_outline};
+use arc_parser::{parse_collection, print_collection};
+use arc_sql::arc_to_sql;
+
+fn main() {
+    // 1. The comprehension-syntax modality (paper Eq (1)).
+    let source = "{Q(A) | ∃r ∈ R, s ∈ S [Q.A = r.A ∧ r.B = s.B ∧ s.C = 0]}";
+    let query = parse_collection(source).expect("parses");
+    println!("comprehension syntax:\n  {}\n", print_collection(&query));
+
+    // 2. Validate: the linking step (name resolution, scopes, roles).
+    let info = Binder::new().bind_collection(&query);
+    assert!(info.is_valid(), "diagnostics: {:?}", info.diagnostics);
+    println!(
+        "binder: {} scope(s), {} predicate(s), valid ✓\n",
+        info.scope_count,
+        info.predicates.len()
+    );
+
+    // 3. The machine-facing ALT modality (Fig 2a).
+    println!("ALT modality:\n{}", arc_core::alt::render_collection(&query));
+
+    // 4. The diagrammatic higraph modality (Fig 2b), as a text outline.
+    let hg = build_collection(&query);
+    println!("higraph modality:\n{}", render_outline(&hg));
+
+    // 5. The SQL modality.
+    let sql = arc_to_sql(&query, &Conventions::set()).expect("renders");
+    println!("SQL modality:\n{sql}\n");
+
+    // 6. The relational pattern — the unit of cross-language comparison.
+    println!("pattern signature:\n{}", signature(&query));
+
+    // 7. Evaluate on an instance.
+    let catalog = Catalog::new()
+        .with(Relation::from_ints(
+            "R",
+            &["A", "B"],
+            &[&[1, 10], &[2, 20], &[3, 30]],
+        ))
+        .with(Relation::from_ints(
+            "S",
+            &["B", "C"],
+            &[&[10, 0], &[20, 1], &[30, 0]],
+        ));
+    let result = Engine::new(&catalog, Conventions::set())
+        .eval_collection(&query)
+        .expect("evaluates");
+    println!("result:\n{result}");
+}
