@@ -93,12 +93,7 @@ pub fn classify_bound(info: &BoundInfo) -> Classification {
 
     let shape = if !aggregates.is_empty() || info.grouping_scope_count > 0 {
         QueryShape::Aggregating
-    } else if info.negation_count > 0
-        || info
-            .predicates
-            .iter()
-            .any(|p| p.under_negation)
-    {
+    } else if info.negation_count > 0 || info.predicates.iter().any(|p| p.under_negation) {
         QueryShape::FirstOrder
     } else {
         QueryShape::Conjunctive
@@ -178,10 +173,7 @@ mod tests {
         assert_eq!(cls.aggregates.len(), 1);
         assert_eq!(cls.aggregates[0].pattern, AggPattern::Foi);
         // The relation signature records two logical copies of R.
-        assert_eq!(
-            cls.relation_occurrences,
-            vec![("R".to_string(), 2)]
-        );
+        assert_eq!(cls.relation_occurrences, vec![("R".to_string(), 2)]);
     }
 
     #[test]

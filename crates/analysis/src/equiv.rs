@@ -155,27 +155,13 @@ mod tests {
 
     #[test]
     fn unnesting_equivalent_under_set_semantics() {
-        let v = random_equivalence(
-            &nested(),
-            &unnested(),
-            &spec(),
-            Conventions::set(),
-            60,
-            7,
-        );
+        let v = random_equivalence(&nested(), &unnested(), &spec(), Conventions::set(), 60, 7);
         assert!(!v.distinguished(), "{v:?}");
     }
 
     #[test]
     fn unnesting_distinguished_under_bag_semantics() {
-        let v = random_equivalence(
-            &nested(),
-            &unnested(),
-            &spec(),
-            Conventions::sql(),
-            200,
-            7,
-        );
+        let v = random_equivalence(&nested(), &unnested(), &spec(), Conventions::sql(), 200, 7);
         assert!(v.distinguished(), "bag semantics must separate the two");
         if let Verdict::Distinguished(cx) = v {
             assert!(cx.left.len() != cx.right.len());

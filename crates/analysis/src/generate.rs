@@ -186,10 +186,7 @@ pub fn likes_catalog(drinkers: usize, beers: usize, seed: u64) -> Catalog {
     for d in 0..drinkers {
         for b in 0..beers {
             if rng.gen_bool(0.5) {
-                rel.push(vec![
-                    Value::str(format!("d{d}")),
-                    Value::Int(b as i64),
-                ]);
+                rel.push(vec![Value::str(format!("d{d}")), Value::Int(b as i64)]);
             }
         }
     }

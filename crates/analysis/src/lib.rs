@@ -37,6 +37,5 @@ pub use generate::{
 pub use intent::{intent_report, IntentReport};
 pub use rewrite::{decorrelate, fio_to_foi, reify_arith, unnest, Decorrelation};
 pub use similarity::{
-    collection_feature_similarity, feature_similarity, structural_similarity,
-    tree_edit_distance,
+    collection_feature_similarity, feature_similarity, structural_similarity, tree_edit_distance,
 };

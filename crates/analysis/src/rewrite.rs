@@ -44,9 +44,7 @@ fn unnest_formula(f: Formula) -> Formula {
             let mut changed = false;
             for part in q.body.conjuncts() {
                 match part {
-                    Formula::Quant(inner)
-                        if inner.grouping.is_none() && inner.join.is_none() =>
-                    {
+                    Formula::Quant(inner) if inner.grouping.is_none() && inner.join.is_none() => {
                         bindings.extend(inner.bindings.clone());
                         conjuncts.extend(inner.body.conjuncts().into_iter().cloned());
                         changed = true;
@@ -288,7 +286,9 @@ fn reify_formula(f: Formula, counter: &mut usize) -> Formula {
             q.body = Formula::And(all);
             Formula::Quant(Box::new(q))
         }
-        Formula::And(fs) => Formula::And(fs.into_iter().map(|s| reify_formula(s, counter)).collect()),
+        Formula::And(fs) => {
+            Formula::And(fs.into_iter().map(|s| reify_formula(s, counter)).collect())
+        }
         Formula::Or(fs) => Formula::Or(fs.into_iter().map(|s| reify_formula(s, counter)).collect()),
         Formula::Not(inner) => Formula::Not(Box::new(reify_formula(*inner, counter))),
         Formula::Pred(p) => Formula::Pred(p),

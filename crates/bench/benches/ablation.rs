@@ -1,7 +1,9 @@
 //! Ablation benches for the design choices DESIGN.md calls out:
 //!
-//! * **naive vs. semi-naive** fixpoint (the engine's one performance
-//!   feature) over growing transitive-closure chains;
+//! * **nested-loop vs. hash-join** evaluation strategy on growing
+//!   equi-join workloads (the strategy seam's reason to exist);
+//! * **naive vs. semi-naive** fixpoint over growing transitive-closure
+//!   chains;
 //! * **FIO vs. FOI** evaluation cost (the FOI pattern re-scans the inner
 //!   relation per outer tuple — the asymptotic price of Klug-style
 //!   per-aggregate scopes);
@@ -11,7 +13,7 @@
 
 use arc_bench::fixtures as fx;
 use arc_core::conventions::Conventions;
-use arc_engine::{Engine, FixpointStrategy};
+use arc_engine::{Engine, EvalStrategy, FixpointStrategy};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
@@ -21,6 +23,27 @@ fn configured() -> Criterion {
         .sample_size(10)
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_millis(600))
+}
+
+/// Eq (1)'s equi-join (R ⋈ S on B, filtered) over growing instances: the
+/// nested loop is O(|R|·|S|), the hash join O(|R|+|S|). This is the
+/// headline number recorded in `BENCH_eval.json`.
+fn nested_loop_vs_hash_join(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_join_strategy");
+    let q = fx::eq1();
+    for n in [64usize, 256, 1024] {
+        let catalog = fx::rs_catalog(n);
+        for (name, strategy) in [
+            ("nested_loop", EvalStrategy::NestedLoop),
+            ("hash_join", EvalStrategy::HashJoin),
+        ] {
+            g.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                let engine = Engine::new(&catalog, Conventions::sql()).with_strategy(strategy);
+                b.iter(|| black_box(engine.eval_collection(&q).unwrap().len()));
+            });
+        }
+    }
+    g.finish();
 }
 
 fn naive_vs_semi_naive(c: &mut Criterion) {
@@ -105,6 +128,6 @@ fn set_vs_bag(c: &mut Criterion) {
 criterion_group! {
     name = ablation;
     config = configured();
-    targets = naive_vs_semi_naive, fio_vs_foi_cost, inline_vs_reified, set_vs_bag
+    targets = nested_loop_vs_hash_join, naive_vs_semi_naive, fio_vs_foi_cost, inline_vs_reified, set_vs_bag
 }
 criterion_main!(ablation);

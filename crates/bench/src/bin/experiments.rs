@@ -24,7 +24,8 @@ struct Report {
 
 impl Report {
     fn add(&mut self, id: &str, claim: &str, measured: String, ok: bool) {
-        self.rows.push((id.to_string(), claim.to_string(), measured, ok));
+        self.rows
+            .push((id.to_string(), claim.to_string(), measured, ok));
     }
 }
 
@@ -80,7 +81,9 @@ fn main() {
         let sql_text = "select x.A, z.B from X as x join lateral \
                         (select y.A as B from Y as y where x.A < y.A) as z on true";
         let lowered = arc_sql::sql_to_arc(sql_text, &catalog.schema_map()).unwrap();
-        let out2 = Engine::new(&catalog, sql).eval_collection(&lowered).unwrap();
+        let out2 = Engine::new(&catalog, sql)
+            .eval_collection(&lowered)
+            .unwrap();
         rep.add(
             "Fig 3 / Eq (2)",
             "Nested comprehension ≡ SQL lateral join",
@@ -150,7 +153,11 @@ fn main() {
         // q=5 > count=0 violates the constraint (14).
         let catalog = arc_engine::Catalog::new()
             .with(Relation::from_ints("R", &["id", "q"], &[&[1, 2], &[2, 5]]))
-            .with(Relation::from_ints("S", &["id", "d"], &[&[1, 10], &[1, 11]]));
+            .with(Relation::from_ints(
+                "S",
+                &["id", "d"],
+                &[&[1, 10], &[1, 11]],
+            ));
         let engine = Engine::new(&catalog, sql);
         let t13 = engine.eval_sentence(&fx::eq13()).unwrap();
         let t14 = engine.eval_sentence(&fx::eq14()).unwrap();
@@ -200,7 +207,9 @@ fn main() {
         let catalog = arc_engine::Catalog::new()
             .with(Relation::from_ints("R", &["A"], &[&[1], &[3]]))
             .with(s);
-        let guarded = Engine::new(&catalog, sql).eval_collection(&fx::eq17()).unwrap();
+        let guarded = Engine::new(&catalog, sql)
+            .eval_collection(&fx::eq17())
+            .unwrap();
         let not_in = arc_sql::sql_to_arc(
             "select R.A from R where R.A not in (select S.A from S)",
             &catalog.schema_map(),
@@ -218,7 +227,9 @@ fn main() {
     // ---- Fig 12 / Eq (18) -----------------------------------------------------
     {
         let catalog = fx::fig12_catalog();
-        let out = Engine::new(&catalog, sql).eval_collection(&fx::eq18()).unwrap();
+        let out = Engine::new(&catalog, sql)
+            .eval_collection(&fx::eq18())
+            .unwrap();
         rep.add(
             "Fig 12 / Eq (18)",
             "left(r, inner(11, s)) keeps non-matching R rows null-padded: (1,5) and (2,null)",
@@ -319,7 +330,9 @@ fn main() {
                 &["row", "col", "val"],
                 &[&[0, 0, 5], &[0, 1, 6], &[1, 0, 7], &[1, 1, 8]],
             ));
-        let out = Engine::new(&catalog, set).eval_collection(&fx::eq26()).unwrap();
+        let out = Engine::new(&catalog, set)
+            .eval_collection(&fx::eq26())
+            .unwrap();
         rep.add(
             "Fig 20 / Eq (26)",
             "Matrix multiplication via external `*` and grouped sum: [[19,22],[43,50]]",
@@ -349,7 +362,9 @@ fn main() {
         let souffle = Engine::new(&catalog, Conventions::souffle())
             .eval_collection(&fx::eq15())
             .unwrap();
-        let sql_out = Engine::new(&catalog, sql).eval_collection(&fx::eq15()).unwrap();
+        let sql_out = Engine::new(&catalog, sql)
+            .eval_collection(&fx::eq15())
+            .unwrap();
         let same_pattern = signature(&fx::eq15()).canon == signature(&fx::eq15()).canon;
         rep.add(
             "§2.6 / Eq (15)",

@@ -33,15 +33,19 @@ pub fn eq3() -> Collection {
 
 /// Eq (7): the same aggregate in the FOI pattern (Fig 5).
 pub fn eq7() -> Collection {
-    q("{Q(A,sm) | ∃r ∈ R, x ∈ {X(sm) | ∃r2 ∈ R, γ ∅ [r2.A = r.A ∧ X.sm = sum(r2.B)]} \
-       [Q.A = r.A ∧ Q.sm = x.sm]}")
+    q(
+        "{Q(A,sm) | ∃r ∈ R, x ∈ {X(sm) | ∃r2 ∈ R, γ ∅ [r2.A = r.A ∧ X.sm = sum(r2.B)]} \
+       [Q.A = r.A ∧ Q.sm = x.sm]}",
+    )
 }
 
 /// Eq (8): multiple aggregates in one scope + HAVING (Fig 6).
 pub fn eq8() -> Collection {
-    q("{Q(dept,av) | ∃x ∈ {X(dept,av,sm) | ∃r ∈ R, s ∈ S, γ r.dept \
+    q(
+        "{Q(dept,av) | ∃x ∈ {X(dept,av,sm) | ∃r ∈ R, s ∈ S, γ r.dept \
        [X.dept = r.dept ∧ X.av = avg(s.sal) ∧ X.sm = sum(s.sal) ∧ r.empl = s.empl]} \
-       [Q.dept = x.dept ∧ Q.av = x.av ∧ x.sm > 100]}")
+       [Q.dept = x.dept ∧ Q.av = x.av ∧ x.sm > 100]}",
+    )
 }
 
 /// Eq (10): the Hella et al. pattern — separate scope per aggregate (Fig 7).
@@ -56,11 +60,13 @@ pub fn eq10() -> Collection {
 
 /// Eq (12): the Rel pattern — FOI with per-aggregate scopes (Fig 8).
 pub fn eq12() -> Collection {
-    q("{Q(dept,av) | ∃x ∈ {X(dept,av) | ∃r1 ∈ R, s1 ∈ S, γ r1.dept \
+    q(
+        "{Q(dept,av) | ∃x ∈ {X(dept,av) | ∃r1 ∈ R, s1 ∈ S, γ r1.dept \
             [X.dept = r1.dept ∧ r1.empl = s1.empl ∧ X.av = avg(s1.sal)]}, \
        y ∈ {Y(dept,sm) | ∃r2 ∈ R, s2 ∈ S, γ r2.dept \
             [Y.dept = r2.dept ∧ r2.empl = s2.empl ∧ Y.sm = sum(s2.sal)]} \
-       [Q.dept = x.dept ∧ Q.av = x.av ∧ x.dept = y.dept ∧ y.sm > 100]}")
+       [Q.dept = x.dept ∧ Q.av = x.av ∧ x.dept = y.dept ∧ y.sm > 100]}",
+    )
 }
 
 /// Eq (13): boolean sentence with an aggregation comparison (Fig 9b).
@@ -120,20 +126,24 @@ pub fn eq22() -> Collection {
 pub fn eq24_program() -> Program {
     let subset = q("{Subset(left,right) | ¬(∃l3 ∈ L [l3.d = Subset.left ∧ \
                     ¬(∃l4 ∈ L [l4.b = l3.b ∧ l4.d = Subset.right])])}");
-    let query = q("{Q(d) | ∃l1 ∈ L [Q.d = l1.d ∧ ¬(∃l2 ∈ L, s1 ∈ Subset, s2 ∈ Subset \
+    let query = q(
+        "{Q(d) | ∃l1 ∈ L [Q.d = l1.d ∧ ¬(∃l2 ∈ L, s1 ∈ Subset, s2 ∈ Subset \
                    [l2.d <> l1.d ∧ s1.left = l1.d ∧ s1.right = l2.d ∧ \
-                    s2.left = l2.d ∧ s2.right = l1.d])]}");
-    let mut p = Program::default()
-        .with_definition(arc_core::ast::Definition { collection: subset });
+                    s2.left = l2.d ∧ s2.right = l1.d])]}",
+    );
+    let mut p =
+        Program::default().with_definition(arc_core::ast::Definition { collection: subset });
     p.query = Some(query);
     p
 }
 
 /// Eq (26): matrix multiplication over the `*` external (Fig 20).
 pub fn eq26() -> Collection {
-    q("{C(row,col,val) | ∃a ∈ A, b ∈ B, f ∈ \"*\", γ a.row, b.col \
+    q(
+        "{C(row,col,val) | ∃a ∈ A, b ∈ B, f ∈ \"*\", γ a.row, b.col \
        [C.row = a.row ∧ C.col = b.col ∧ a.col = b.row ∧ \
-        C.val = sum(f.out) ∧ f.$1 = a.val ∧ f.$2 = b.val]}")
+        C.val = sum(f.out) ∧ f.$1 = a.val ∧ f.$2 = b.val]}",
+    )
 }
 
 /// Eq (27): count bug version 1 (Fig 21 left).
@@ -143,21 +153,27 @@ pub fn eq27() -> Collection {
 
 /// Eq (28): count bug version 2 — the bug (Fig 21 middle).
 pub fn eq28() -> Collection {
-    q("{Q(id) | ∃r ∈ R, x ∈ {X(id,ct) | ∃s ∈ S, γ s.id [X.id = s.id ∧ X.ct = count(s.d)]} \
-       [Q.id = r.id ∧ r.id = x.id ∧ r.q = x.ct]}")
+    q(
+        "{Q(id) | ∃r ∈ R, x ∈ {X(id,ct) | ∃s ∈ S, γ s.id [X.id = s.id ∧ X.ct = count(s.d)]} \
+       [Q.id = r.id ∧ r.id = x.id ∧ r.q = x.ct]}",
+    )
 }
 
 /// Eq (29): count bug version 3 — the fix (Fig 21 right).
 pub fn eq29() -> Collection {
-    q("{Q(id) | ∃r ∈ R, x ∈ {X(id,ct) | ∃s ∈ S, r2 ∈ R, γ r2.id, left(r2, s) \
+    q(
+        "{Q(id) | ∃r ∈ R, x ∈ {X(id,ct) | ∃s ∈ S, r2 ∈ R, γ r2.id, left(r2, s) \
        [X.id = r2.id ∧ X.ct = count(s.d) ∧ r2.id = s.id]} \
-       [Q.id = r.id ∧ r.id = x.id ∧ r.q = x.ct]}")
+       [Q.id = r.id ∧ r.id = x.id ∧ r.q = x.ct]}",
+    )
 }
 
 /// Eq (15)'s FOI sum with a correlated filter (§2.6 conventions example).
 pub fn eq15() -> Collection {
-    q("{Q(ak,sm) | ∃r ∈ R, x ∈ {X(sm) | ∃s ∈ S, γ ∅ [s.A < r.A ∧ X.sm = sum(s.B)]} \
-       [Q.ak = r.A ∧ Q.sm = x.sm]}")
+    q(
+        "{Q(ak,sm) | ∃r ∈ R, x ∈ {X(sm) | ∃s ∈ S, γ ∅ [s.A < r.A ∧ X.sm = sum(s.B)]} \
+       [Q.ak = r.A ∧ Q.sm = x.sm]}",
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -256,7 +272,11 @@ pub fn fig15_catalog() -> Catalog {
 
 /// Fig 13's duplicate-sensitive instance.
 pub fn fig13_catalog(dup: bool) -> Catalog {
-    let r: &[&[i64]] = if dup { &[&[3], &[3], &[5]] } else { &[&[3], &[5]] };
+    let r: &[&[i64]] = if dup {
+        &[&[3], &[3], &[5]]
+    } else {
+        &[&[3], &[5]]
+    };
     Catalog::new()
         .with(Relation::from_ints("R", &["A"], r))
         .with(Relation::from_ints(

@@ -15,8 +15,9 @@
 //! ```
 //!
 //! Because ARC's AST *is* its ALT, this is a direct structural rendering,
-//! not a lowering. The JSON form (via serde on the AST types) serves as the
-//! machine-interchange format the paper proposes for NL2SQL pipelines.
+//! not a lowering. The JSON form (the [`crate::json`] wire format) serves
+//! as the machine-interchange format the paper proposes for NL2SQL
+//! pipelines.
 
 use crate::ast::*;
 
@@ -143,14 +144,15 @@ pub fn render_sentence(f: &Formula) -> String {
 }
 
 /// Serialize a collection's ALT to pretty JSON (the machine-interchange
-/// form for NL2SQL intermediate targets, §4/§5).
+/// form for NL2SQL intermediate targets, §4/§5). The wire format is
+/// defined by [`crate::json`].
 pub fn to_json(c: &Collection) -> String {
-    serde_json::to_string_pretty(c).expect("AST serialization cannot fail")
+    crate::json::to_json(c)
 }
 
 /// Deserialize a collection from its JSON ALT.
-pub fn from_json(s: &str) -> Result<Collection, serde_json::Error> {
-    serde_json::from_str(s)
+pub fn from_json(s: &str) -> Result<Collection, crate::json::JsonError> {
+    crate::json::from_json(s)
 }
 
 #[cfg(test)]

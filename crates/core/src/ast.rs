@@ -25,13 +25,12 @@
 //!   (§2.3, §2.12).
 
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A program: an ordered list of relation [`Definition`]s (views, CTEs,
 /// intensional relations — possibly mutually recursive) plus an optional
 /// final query collection.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Program {
     /// Defined (intensional) relations, in declaration order.
     pub definitions: Vec<Definition>,
@@ -59,7 +58,7 @@ impl Program {
 /// head. Definitions may reference earlier definitions and — for recursion
 /// (§2.9) — themselves or later ones; the engine stratifies and solves with
 /// a least fixed point.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Definition {
     /// The collection whose head names the defined relation.
     pub collection: Collection,
@@ -75,7 +74,7 @@ impl Definition {
 /// A collection comprehension `{ Head | Body }` — the paper's `COLLECTION`
 /// node. Under set semantics it denotes a set of head tuples; under bag
 /// semantics a bag (§2.7 — a convention, not part of the syntax).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Collection {
     /// The output relation: name + attribute list.
     pub head: Head,
@@ -86,7 +85,7 @@ pub struct Collection {
 
 /// The head `Q(A, B, …)` of a collection. Head attributes receive values
 /// only through assignment predicates in the body.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Head {
     /// The output relation name (`Q`, `X`, …). Nested collections may leave
     /// it unnamed in diagrams, but the calculus always names it.
@@ -107,7 +106,7 @@ impl Head {
 
 /// A body formula. `Pred` leaves are predicates; inner nodes are the logical
 /// connectives and quantifier scopes.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Formula {
     /// An existential quantifier scope with bindings (and optionally a
     /// grouping operator and/or join annotation).
@@ -211,7 +210,7 @@ impl Collection {
 ///
 /// The paper's `QUANTIFIER ∃` ALT node, whose children are `BINDING`s, an
 /// optional `GROUPING`, an optional `JOIN`, and the body formula.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Quant {
     /// Range-variable bindings introduced by this quantifier.
     pub bindings: Vec<Binding>,
@@ -226,7 +225,7 @@ pub struct Quant {
 
 /// A range-variable binding `r ∈ R` (named source) or `x ∈ { … }` (nested
 /// collection — the lateral-join pattern of §2.4).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Binding {
     /// The range variable name.
     pub var: String,
@@ -253,7 +252,7 @@ impl Binding {
 }
 
 /// The source of a binding.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BindingSource {
     /// A base, defined, or external relation referenced by name.
     Named(String),
@@ -264,7 +263,7 @@ pub enum BindingSource {
 
 /// The grouping operator `γ keys…`. An empty key list is the explicit `γ∅`
 /// of the paper ("group by true"): a single group over the whole join.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Grouping {
     /// Grouping-key attributes (possibly empty = `γ∅`).
     pub keys: Vec<AttrRef>,
@@ -288,7 +287,7 @@ impl Grouping {
 /// singleton virtual relation containing exactly that value (paper Fig 12:
 /// `left(r, inner(11, s))`); it participates in join conditions through the
 /// implicit attribute `v` of an auto-generated variable.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum JoinTree {
     /// A bound variable.
     Var(String),
@@ -342,7 +341,7 @@ impl JoinTree {
 /// side), *comparison predicates*, and *aggregation predicates* (an
 /// aggregate appears as an operand). These are **roles**, not syntax: the
 /// binder classifies each `Cmp` occurrence (see [`crate::binder`]).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 #[allow(missing_docs)] // variants/fields are self-describing
 pub enum Predicate {
     /// `left op right`.
@@ -367,7 +366,7 @@ impl Predicate {
 }
 
 /// Comparison operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)] // variants/fields are self-describing
 pub enum CmpOp {
     Eq,
@@ -408,7 +407,7 @@ impl CmpOp {
 /// arithmetic. Arithmetic may alternatively be *reified* into external
 /// relations (§2.13.1, Eqs (19)–(21)); both forms are supported and the
 /// `reify` rewrite in `arc-analysis` converts between them.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Scalar {
     /// `var.attr`.
     Attr(AttrRef),
@@ -464,7 +463,7 @@ impl Scalar {
 }
 
 /// An attribute reference `var.attr` in the named perspective.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct AttrRef {
     /// Range variable (or head relation name, for assignment predicates).
     pub var: String,
@@ -483,7 +482,7 @@ impl AttrRef {
 }
 
 /// An aggregate call `func([distinct] arg)`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AggCall {
     /// The aggregate function.
     pub func: AggFunc,
@@ -494,7 +493,7 @@ pub struct AggCall {
 }
 
 /// Argument of an aggregate.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AggArg {
     /// An expression evaluated per tuple of the group.
     Expr(Scalar),
@@ -505,7 +504,7 @@ pub enum AggArg {
 /// Aggregate functions. The initialization on empty input is a *convention*
 /// (§2.6): SQL returns `NULL` for `sum/avg/min/max`, Soufflé returns 0 for
 /// `sum`; `count` is 0 in both.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)] // variants/fields are self-describing
 pub enum AggFunc {
     Count,
@@ -529,7 +528,7 @@ impl AggFunc {
 }
 
 /// Arithmetic operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)] // variants/fields are self-describing
 pub enum ArithOp {
     Add,
@@ -699,7 +698,7 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let c = Collection {
             head: Head::new("Q", &["A"]),
             body: Formula::Quant(Box::new(Quant {
@@ -713,8 +712,8 @@ mod tests {
                 }),
             })),
         };
-        let json = serde_json::to_string(&c).unwrap();
-        let back: Collection = serde_json::from_str(&json).unwrap();
+        let json = crate::json::to_json_compact(&c);
+        let back: Collection = crate::json::from_json(&json).unwrap();
         assert_eq!(c, back);
     }
 }

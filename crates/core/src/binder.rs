@@ -986,10 +986,7 @@ mod tests {
         let q = collection(
             "Q",
             &["A"],
-            exists(
-                &[bind("r", "Nope")],
-                and([assign("Q", "A", col("r", "A"))]),
-            ),
+            exists(&[bind("r", "Nope")], and([assign("Q", "A", col("r", "A"))])),
         );
         let info = Binder::with_schemas(schemas()).bind_collection(&q);
         assert!(info
@@ -1035,7 +1032,10 @@ mod tests {
         let q = collection(
             "Q",
             &["s"],
-            exists(&[bind("r", "R")], and([assign_agg("Q", "s", sum(col("r", "B")))])),
+            exists(
+                &[bind("r", "R")],
+                and([assign_agg("Q", "s", sum(col("r", "B")))]),
+            ),
         );
         let info = Binder::new().bind_collection(&q);
         assert!(info
@@ -1255,7 +1255,11 @@ mod tests {
             query: None,
         };
         let info = Binder::new().bind_program(&program);
-        assert!(info.is_valid(), "abstract is a warning: {:?}", info.diagnostics);
+        assert!(
+            info.is_valid(),
+            "abstract is a warning: {:?}",
+            info.diagnostics
+        );
         assert_eq!(info.abstract_collections, vec!["S".to_string()]);
     }
 

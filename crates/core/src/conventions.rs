@@ -6,11 +6,10 @@
 //! a [`Conventions`] value; the pattern extractor in `arc-analysis` never
 //! looks at one. A property test in `crates/tests` pins this orthogonality.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Set vs. bag (multiset) interpretation of collections (§2.7).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Semantics {
     /// Every relation is a set; output tuples are deduplicated.
     #[default]
@@ -22,7 +21,7 @@ pub enum Semantics {
 
 /// What `sum`/`avg`/`min`/`max` return on an empty group (§2.6).
 /// `count` is always 0.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum EmptyAgg {
     /// SQL: `NULL`.
     #[default]
@@ -35,7 +34,7 @@ pub enum EmptyAgg {
 }
 
 /// Two- vs. three-valued predicate logic (§2.10).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum NullLogic {
     /// SQL: comparisons with `NULL` are `UNKNOWN`; `WHERE` keeps only `TRUE`.
     #[default]
@@ -47,7 +46,7 @@ pub enum NullLogic {
 
 /// A full convention profile. Named presets model the systems the paper
 /// compares.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Conventions {
     /// Set or bag semantics.
     pub semantics: Semantics,

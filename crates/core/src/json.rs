@@ -1,0 +1,1082 @@
+//! JSON interchange for the ALT (Abstract Language Tree).
+//!
+//! The paper proposes the ALT as a machine-interchange target for NL2SQL
+//! pipelines (§4/§5). This module defines that wire format explicitly: a
+//! small JSON document model ([`Json`]), a parser and printer, and a codec
+//! between [`Collection`] trees and their JSON form.
+//!
+//! The encoding mirrors the AST one-to-one and is externally tagged for
+//! enums (`{"Quant": {...}}`, `{"Pred": {...}}`), so a reader can
+//! dispatch on the single key. Scalar [`Value`]s encode as native JSON
+//! where unambiguous (`null`, booleans, integers, strings) and as a
+//! `{"float": x}` wrapper for floats, keeping the `Int`/`Float` distinction
+//! through round-trips.
+//!
+//! ```
+//! use arc_core::dsl::*;
+//! use arc_core::json;
+//!
+//! let q = collection(
+//!     "Q",
+//!     &["A"],
+//!     exists(&[bind("r", "R")], and([assign("Q", "A", col("r", "A"))])),
+//! );
+//! let wire = json::to_json(&q);
+//! let back = json::from_json(&wire).unwrap();
+//! assert_eq!(q, back);
+//! ```
+
+use crate::ast::*;
+use crate::value::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+
+// ---------------------------------------------------------------------------
+// Document model
+// ---------------------------------------------------------------------------
+
+/// A JSON document. Object keys are kept sorted (`BTreeMap`) so printed
+/// output is canonical — two equal trees always print identically.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number without fractional part, within `i64`.
+    Int(i64),
+    /// Any other number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Build an object from key/value pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Single-key object — the externally-tagged enum encoding.
+    pub fn tag(name: &'static str, value: Json) -> Json {
+        Json::obj([(name, value)])
+    }
+
+    fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Printing
+// ---------------------------------------------------------------------------
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn print_number(f: f64, out: &mut String) {
+    if f.is_finite() {
+        if f.fract() == 0.0 {
+            // Keep a fractional marker so floats re-parse as floats.
+            // (Rust's float Display never emits exponents, so `{:.1}` is a
+            // plain digit string for any finite magnitude.)
+            out.push_str(&format!("{f:.1}"));
+        } else {
+            out.push_str(&format!("{f}"));
+        }
+    } else {
+        // JSON has no Inf/NaN literals; encode as tagged strings.
+        escape_into(&f.to_string(), out);
+    }
+}
+
+fn print_into(j: &Json, indent: usize, pretty: bool, out: &mut String) {
+    let (nl, pad, pad_in) = if pretty {
+        ("\n", "  ".repeat(indent), "  ".repeat(indent + 1))
+    } else {
+        ("", String::new(), String::new())
+    };
+    match j {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Int(i) => out.push_str(&i.to_string()),
+        Json::Float(f) => print_number(*f, out),
+        Json::Str(s) => escape_into(s, out),
+        Json::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad_in);
+                print_into(item, indent + 1, pretty, out);
+            }
+            out.push_str(nl);
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Json::Obj(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, v)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad_in);
+                escape_into(k, out);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                print_into(v, indent + 1, pretty, out);
+            }
+            out.push_str(nl);
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        print_into(self, 0, f.alternate(), &mut s);
+        f.write_str(&s)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// A JSON parse/decode error with byte offset (parse) or path context
+/// (decode).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset in the input where the problem was detected, when known.
+    pub offset: Option<usize>,
+}
+
+impl JsonError {
+    fn at(offset: usize, message: impl Into<String>) -> Self {
+        JsonError {
+            message: message.into(),
+            offset: Some(offset),
+        }
+    }
+
+    fn decode(message: impl Into<String>) -> Self {
+        JsonError {
+            message: message.into(),
+            offset: None,
+        }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.offset {
+            Some(o) => write!(f, "{} (at byte {o})", self.message),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Maximum container nesting the parser accepts. External documents past
+/// this depth get a [`JsonError`] instead of recursing toward a stack
+/// overflow (the wire format is fed by external NL2SQL generators, so the
+/// parser must be total on adversarial input).
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'s> {
+    bytes: &'s [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl<'s> Parser<'s> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(JsonError::at(self.pos, format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(JsonError::at(
+                self.pos,
+                format!("nesting deeper than {MAX_DEPTH} levels"),
+            ));
+        }
+        self.depth += 1;
+        let v = self.value_inner();
+        self.depth -= 1;
+        v
+    }
+
+    fn value_inner(&mut self) -> Result<Json, JsonError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.keyword("null", Json::Null),
+            Some(b't') => self.keyword("true", Json::Bool(true)),
+            Some(b'f') => self.keyword("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => Err(JsonError::at(
+                self.pos,
+                format!("unexpected byte `{}`", b as char),
+            )),
+            None => Err(JsonError::at(self.pos, "unexpected end of input")),
+        }
+    }
+
+    fn keyword(&mut self, kw: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(value)
+        } else {
+            Err(JsonError::at(self.pos, format!("expected `{kw}`")))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(JsonError::at(self.pos, "unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(JsonError::at(self.pos, "unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| JsonError::at(self.pos, "truncated \\u escape"))?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| JsonError::at(self.pos, "invalid \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs: only the BMP is produced by
+                            // the printer; accept pairs from other writers.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                if self.bytes.get(self.pos) == Some(&b'\\')
+                                    && self.bytes.get(self.pos + 1) == Some(&b'u')
+                                {
+                                    let hex2 = self
+                                        .bytes
+                                        .get(self.pos + 2..self.pos + 6)
+                                        .and_then(|h| std::str::from_utf8(h).ok())
+                                        .ok_or_else(|| {
+                                            JsonError::at(self.pos, "truncated surrogate")
+                                        })?;
+                                    let lo = u32::from_str_radix(hex2, 16).map_err(|_| {
+                                        JsonError::at(self.pos, "invalid surrogate")
+                                    })?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(JsonError::at(
+                                            self.pos,
+                                            "high surrogate not followed by a low surrogate",
+                                        ));
+                                    }
+                                    self.pos += 6;
+                                    0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00)
+                                } else {
+                                    return Err(JsonError::at(self.pos, "lone surrogate"));
+                                }
+                            } else {
+                                cp
+                            };
+                            out.push(
+                                char::from_u32(c)
+                                    .ok_or_else(|| JsonError::at(self.pos, "invalid code point"))?,
+                            );
+                        }
+                        other => {
+                            return Err(JsonError::at(
+                                self.pos,
+                                format!("invalid escape `\\{}`", other as char),
+                            ))
+                        }
+                    }
+                }
+                _ => {
+                    // Re-scan from the byte we consumed to keep UTF-8 intact.
+                    let start = self.pos - 1;
+                    let rest = &self.bytes[start..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| JsonError::at(start, "invalid UTF-8"))?;
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos = start + c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| JsonError::at(start, "invalid number"))?;
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Json::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Float)
+            .map_err(|_| JsonError::at(start, format!("invalid number `{text}`")))
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(JsonError::at(self.pos, "expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(JsonError::at(self.pos, "expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+/// Parse a JSON document.
+pub fn parse(input: &str) -> Result<Json, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(JsonError::at(p.pos, "trailing input after document"));
+    }
+    Ok(v)
+}
+
+// ---------------------------------------------------------------------------
+// AST encoding
+// ---------------------------------------------------------------------------
+
+fn value_json(v: &Value) -> Json {
+    match v {
+        Value::Null => Json::Null,
+        Value::Bool(b) => Json::Bool(*b),
+        Value::Int(i) => Json::Int(*i),
+        Value::Float(f) => Json::tag("float", Json::Float(*f)),
+        Value::Str(s) => Json::str(s.clone()),
+    }
+}
+
+fn scalar_json(s: &Scalar) -> Json {
+    match s {
+        Scalar::Attr(a) => Json::tag("Attr", attr_ref_json(a)),
+        Scalar::Const(v) => Json::tag("Const", value_json(v)),
+        Scalar::Agg(call) => Json::tag("Agg", agg_call_json(call)),
+        Scalar::Arith { op, left, right } => Json::tag(
+            "Arith",
+            Json::obj([
+                ("op", Json::str(format!("{op:?}"))),
+                ("left", scalar_json(left)),
+                ("right", scalar_json(right)),
+            ]),
+        ),
+    }
+}
+
+fn attr_ref_json(a: &AttrRef) -> Json {
+    Json::obj([
+        ("var", Json::str(a.var.clone())),
+        ("attr", Json::str(a.attr.clone())),
+    ])
+}
+
+fn agg_call_json(call: &AggCall) -> Json {
+    let arg = match &call.arg {
+        AggArg::Expr(e) => Json::tag("Expr", scalar_json(e)),
+        AggArg::Star => Json::str("Star"),
+    };
+    Json::obj([
+        ("func", Json::str(format!("{:?}", call.func))),
+        ("arg", arg),
+        ("distinct", Json::Bool(call.distinct)),
+    ])
+}
+
+fn predicate_json(p: &Predicate) -> Json {
+    match p {
+        Predicate::Cmp { left, op, right } => Json::tag(
+            "Cmp",
+            Json::obj([
+                ("left", scalar_json(left)),
+                ("op", Json::str(format!("{op:?}"))),
+                ("right", scalar_json(right)),
+            ]),
+        ),
+        Predicate::IsNull { expr, negated } => Json::tag(
+            "IsNull",
+            Json::obj([
+                ("expr", scalar_json(expr)),
+                ("negated", Json::Bool(*negated)),
+            ]),
+        ),
+    }
+}
+
+fn join_tree_json(j: &JoinTree) -> Json {
+    match j {
+        JoinTree::Var(v) => Json::tag("Var", Json::str(v.clone())),
+        JoinTree::Lit(v) => Json::tag("Lit", value_json(v)),
+        JoinTree::Inner(children) => Json::tag(
+            "Inner",
+            Json::Arr(children.iter().map(join_tree_json).collect()),
+        ),
+        JoinTree::Left(l, r) => Json::tag(
+            "Left",
+            Json::Arr(vec![join_tree_json(l), join_tree_json(r)]),
+        ),
+        JoinTree::Full(l, r) => Json::tag(
+            "Full",
+            Json::Arr(vec![join_tree_json(l), join_tree_json(r)]),
+        ),
+    }
+}
+
+fn formula_json(f: &Formula) -> Json {
+    match f {
+        Formula::Quant(q) => Json::tag("Quant", quant_json(q)),
+        Formula::And(fs) => Json::tag("And", Json::Arr(fs.iter().map(formula_json).collect())),
+        Formula::Or(fs) => Json::tag("Or", Json::Arr(fs.iter().map(formula_json).collect())),
+        Formula::Not(inner) => Json::tag("Not", formula_json(inner)),
+        Formula::Pred(p) => Json::tag("Pred", predicate_json(p)),
+    }
+}
+
+fn quant_json(q: &Quant) -> Json {
+    Json::obj([
+        (
+            "bindings",
+            Json::Arr(q.bindings.iter().map(binding_json).collect()),
+        ),
+        (
+            "grouping",
+            match &q.grouping {
+                None => Json::Null,
+                Some(g) => Json::obj([(
+                    "keys",
+                    Json::Arr(g.keys.iter().map(attr_ref_json).collect()),
+                )]),
+            },
+        ),
+        (
+            "join",
+            match &q.join {
+                None => Json::Null,
+                Some(j) => join_tree_json(j),
+            },
+        ),
+        ("body", formula_json(&q.body)),
+    ])
+}
+
+fn binding_json(b: &Binding) -> Json {
+    let source = match &b.source {
+        BindingSource::Named(n) => Json::tag("Named", Json::str(n.clone())),
+        BindingSource::Collection(c) => Json::tag("Collection", collection_json(c)),
+    };
+    Json::obj([("var", Json::str(b.var.clone())), ("source", source)])
+}
+
+fn head_json(h: &Head) -> Json {
+    Json::obj([
+        ("relation", Json::str(h.relation.clone())),
+        (
+            "attrs",
+            Json::Arr(h.attrs.iter().map(|a| Json::str(a.clone())).collect()),
+        ),
+    ])
+}
+
+/// Encode a collection as a [`Json`] document.
+pub fn collection_json(c: &Collection) -> Json {
+    Json::obj([
+        ("head", head_json(&c.head)),
+        ("body", formula_json(&c.body)),
+    ])
+}
+
+/// Serialize a collection to pretty-printed JSON.
+pub fn to_json(c: &Collection) -> String {
+    format!("{:#}", collection_json(c))
+}
+
+/// Serialize a collection to compact JSON.
+pub fn to_json_compact(c: &Collection) -> String {
+    collection_json(c).to_string()
+}
+
+// ---------------------------------------------------------------------------
+// AST decoding
+// ---------------------------------------------------------------------------
+
+fn dec_err(what: &str, got: &Json) -> JsonError {
+    JsonError::decode(format!("expected {what}, got `{got}`"))
+}
+
+fn as_obj<'j>(j: &'j Json, what: &str) -> Result<&'j BTreeMap<String, Json>, JsonError> {
+    match j {
+        Json::Obj(m) => Ok(m),
+        other => Err(dec_err(what, other)),
+    }
+}
+
+fn as_arr<'j>(j: &'j Json, what: &str) -> Result<&'j [Json], JsonError> {
+    match j {
+        Json::Arr(items) => Ok(items),
+        other => Err(dec_err(what, other)),
+    }
+}
+
+fn as_str<'j>(j: &'j Json, what: &str) -> Result<&'j str, JsonError> {
+    match j {
+        Json::Str(s) => Ok(s),
+        other => Err(dec_err(what, other)),
+    }
+}
+
+fn as_bool(j: &Json, what: &str) -> Result<bool, JsonError> {
+    match j {
+        Json::Bool(b) => Ok(*b),
+        other => Err(dec_err(what, other)),
+    }
+}
+
+fn field<'j>(m: &'j BTreeMap<String, Json>, name: &str, what: &str) -> Result<&'j Json, JsonError> {
+    m.get(name)
+        .ok_or_else(|| JsonError::decode(format!("{what}: missing field `{name}`")))
+}
+
+fn single_tag<'j>(j: &'j Json, what: &str) -> Result<(&'j str, &'j Json), JsonError> {
+    let m = as_obj(j, what)?;
+    if m.len() != 1 {
+        return Err(JsonError::decode(format!(
+            "{what}: expected a single-key tagged object, got {} keys",
+            m.len()
+        )));
+    }
+    let (k, v) = m.iter().next().expect("len checked");
+    Ok((k.as_str(), v))
+}
+
+fn value_from(j: &Json) -> Result<Value, JsonError> {
+    match j {
+        Json::Null => Ok(Value::Null),
+        Json::Bool(b) => Ok(Value::Bool(*b)),
+        Json::Int(i) => Ok(Value::Int(*i)),
+        Json::Str(s) => Ok(Value::Str(s.clone())),
+        Json::Float(f) => Ok(Value::Float(*f)),
+        Json::Obj(m) if m.len() == 1 && m.contains_key("float") => match &m["float"] {
+            Json::Float(f) => Ok(Value::Float(*f)),
+            Json::Int(i) => Ok(Value::Float(*i as f64)),
+            Json::Str(s) => s
+                .parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| JsonError::decode(format!("invalid float literal `{s}`"))),
+            other => Err(dec_err("float", other)),
+        },
+        other => Err(dec_err("value", other)),
+    }
+}
+
+fn attr_ref_from(j: &Json) -> Result<AttrRef, JsonError> {
+    let m = as_obj(j, "attr-ref")?;
+    Ok(AttrRef {
+        var: as_str(field(m, "var", "attr-ref")?, "attr-ref var")?.to_string(),
+        attr: as_str(field(m, "attr", "attr-ref")?, "attr-ref attr")?.to_string(),
+    })
+}
+
+fn scalar_from(j: &Json) -> Result<Scalar, JsonError> {
+    let (tag, body) = single_tag(j, "scalar")?;
+    match tag {
+        "Attr" => Ok(Scalar::Attr(attr_ref_from(body)?)),
+        "Const" => Ok(Scalar::Const(value_from(body)?)),
+        "Agg" => Ok(Scalar::Agg(Box::new(agg_call_from(body)?))),
+        "Arith" => {
+            let m = as_obj(body, "arith")?;
+            Ok(Scalar::Arith {
+                op: arith_op_from(field(m, "op", "arith")?)?,
+                left: Box::new(scalar_from(field(m, "left", "arith")?)?),
+                right: Box::new(scalar_from(field(m, "right", "arith")?)?),
+            })
+        }
+        other => Err(JsonError::decode(format!("unknown scalar tag `{other}`"))),
+    }
+}
+
+fn agg_call_from(j: &Json) -> Result<AggCall, JsonError> {
+    let m = as_obj(j, "agg-call")?;
+    let func = match as_str(field(m, "func", "agg-call")?, "agg func")? {
+        "Count" => AggFunc::Count,
+        "Sum" => AggFunc::Sum,
+        "Avg" => AggFunc::Avg,
+        "Min" => AggFunc::Min,
+        "Max" => AggFunc::Max,
+        other => return Err(JsonError::decode(format!("unknown aggregate `{other}`"))),
+    };
+    let arg = match field(m, "arg", "agg-call")? {
+        Json::Str(s) if s == "Star" => AggArg::Star,
+        tagged => {
+            let (tag, body) = single_tag(tagged, "agg arg")?;
+            if tag != "Expr" {
+                return Err(JsonError::decode(format!("unknown agg arg tag `{tag}`")));
+            }
+            AggArg::Expr(scalar_from(body)?)
+        }
+    };
+    Ok(AggCall {
+        func,
+        arg,
+        distinct: as_bool(field(m, "distinct", "agg-call")?, "distinct")?,
+    })
+}
+
+fn cmp_op_from(j: &Json) -> Result<CmpOp, JsonError> {
+    match as_str(j, "cmp op")? {
+        "Eq" => Ok(CmpOp::Eq),
+        "Ne" => Ok(CmpOp::Ne),
+        "Lt" => Ok(CmpOp::Lt),
+        "Le" => Ok(CmpOp::Le),
+        "Gt" => Ok(CmpOp::Gt),
+        "Ge" => Ok(CmpOp::Ge),
+        other => Err(JsonError::decode(format!("unknown cmp op `{other}`"))),
+    }
+}
+
+fn arith_op_from(j: &Json) -> Result<ArithOp, JsonError> {
+    match as_str(j, "arith op")? {
+        "Add" => Ok(ArithOp::Add),
+        "Sub" => Ok(ArithOp::Sub),
+        "Mul" => Ok(ArithOp::Mul),
+        "Div" => Ok(ArithOp::Div),
+        other => Err(JsonError::decode(format!("unknown arith op `{other}`"))),
+    }
+}
+
+fn predicate_from(j: &Json) -> Result<Predicate, JsonError> {
+    let (tag, body) = single_tag(j, "predicate")?;
+    match tag {
+        "Cmp" => {
+            let m = as_obj(body, "cmp")?;
+            Ok(Predicate::Cmp {
+                left: scalar_from(field(m, "left", "cmp")?)?,
+                op: cmp_op_from(field(m, "op", "cmp")?)?,
+                right: scalar_from(field(m, "right", "cmp")?)?,
+            })
+        }
+        "IsNull" => {
+            let m = as_obj(body, "is-null")?;
+            Ok(Predicate::IsNull {
+                expr: scalar_from(field(m, "expr", "is-null")?)?,
+                negated: as_bool(field(m, "negated", "is-null")?, "negated")?,
+            })
+        }
+        other => Err(JsonError::decode(format!(
+            "unknown predicate tag `{other}`"
+        ))),
+    }
+}
+
+fn join_tree_from(j: &Json) -> Result<JoinTree, JsonError> {
+    let (tag, body) = single_tag(j, "join tree")?;
+    match tag {
+        "Var" => Ok(JoinTree::Var(as_str(body, "join var")?.to_string())),
+        "Lit" => Ok(JoinTree::Lit(value_from(body)?)),
+        "Inner" => Ok(JoinTree::Inner(
+            as_arr(body, "inner children")?
+                .iter()
+                .map(join_tree_from)
+                .collect::<Result<_, _>>()?,
+        )),
+        "Left" | "Full" => {
+            let items = as_arr(body, "outer children")?;
+            if items.len() != 2 {
+                return Err(JsonError::decode(format!(
+                    "outer join `{tag}` needs exactly 2 children, got {}",
+                    items.len()
+                )));
+            }
+            let l = Box::new(join_tree_from(&items[0])?);
+            let r = Box::new(join_tree_from(&items[1])?);
+            Ok(if tag == "Left" {
+                JoinTree::Left(l, r)
+            } else {
+                JoinTree::Full(l, r)
+            })
+        }
+        other => Err(JsonError::decode(format!("unknown join tag `{other}`"))),
+    }
+}
+
+fn formula_from(j: &Json) -> Result<Formula, JsonError> {
+    let (tag, body) = single_tag(j, "formula")?;
+    match tag {
+        "Quant" => Ok(Formula::Quant(Box::new(quant_from(body)?))),
+        "And" => Ok(Formula::And(
+            as_arr(body, "and")?
+                .iter()
+                .map(formula_from)
+                .collect::<Result<_, _>>()?,
+        )),
+        "Or" => Ok(Formula::Or(
+            as_arr(body, "or")?
+                .iter()
+                .map(formula_from)
+                .collect::<Result<_, _>>()?,
+        )),
+        "Not" => Ok(Formula::Not(Box::new(formula_from(body)?))),
+        "Pred" => Ok(Formula::Pred(predicate_from(body)?)),
+        other => Err(JsonError::decode(format!("unknown formula tag `{other}`"))),
+    }
+}
+
+fn quant_from(j: &Json) -> Result<Quant, JsonError> {
+    let m = as_obj(j, "quant")?;
+    let bindings = as_arr(field(m, "bindings", "quant")?, "bindings")?
+        .iter()
+        .map(binding_from)
+        .collect::<Result<_, _>>()?;
+    let grouping = match field(m, "grouping", "quant")? {
+        Json::Null => None,
+        g => {
+            let gm = as_obj(g, "grouping")?;
+            Some(Grouping {
+                keys: as_arr(field(gm, "keys", "grouping")?, "keys")?
+                    .iter()
+                    .map(attr_ref_from)
+                    .collect::<Result<_, _>>()?,
+            })
+        }
+    };
+    let join = match field(m, "join", "quant")? {
+        Json::Null => None,
+        j => Some(join_tree_from(j)?),
+    };
+    Ok(Quant {
+        bindings,
+        grouping,
+        join,
+        body: formula_from(field(m, "body", "quant")?)?,
+    })
+}
+
+fn binding_from(j: &Json) -> Result<Binding, JsonError> {
+    let m = as_obj(j, "binding")?;
+    let (tag, body) = single_tag(field(m, "source", "binding")?, "binding source")?;
+    let source = match tag {
+        "Named" => BindingSource::Named(as_str(body, "relation name")?.to_string()),
+        "Collection" => BindingSource::Collection(Box::new(collection_from(body)?)),
+        other => {
+            return Err(JsonError::decode(format!(
+                "unknown binding source tag `{other}`"
+            )))
+        }
+    };
+    Ok(Binding {
+        var: as_str(field(m, "var", "binding")?, "binding var")?.to_string(),
+        source,
+    })
+}
+
+fn head_from(j: &Json) -> Result<Head, JsonError> {
+    let m = as_obj(j, "head")?;
+    Ok(Head {
+        relation: as_str(field(m, "relation", "head")?, "head relation")?.to_string(),
+        attrs: as_arr(field(m, "attrs", "head")?, "head attrs")?
+            .iter()
+            .map(|a| Ok(as_str(a, "head attr")?.to_string()))
+            .collect::<Result<_, JsonError>>()?,
+    })
+}
+
+/// Decode a collection from a parsed [`Json`] document.
+pub fn collection_from(j: &Json) -> Result<Collection, JsonError> {
+    let m = as_obj(j, "collection")?;
+    Ok(Collection {
+        head: head_from(field(m, "head", "collection")?)?,
+        body: formula_from(field(m, "body", "collection")?)?,
+    })
+}
+
+/// Deserialize a collection from its JSON text.
+pub fn from_json(s: &str) -> Result<Collection, JsonError> {
+    collection_from(&parse(s)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::*;
+
+    #[test]
+    fn document_round_trips() {
+        let doc = Json::obj([
+            (
+                "a",
+                Json::Arr(vec![Json::Int(1), Json::Float(2.5), Json::Null]),
+            ),
+            ("b", Json::str("x \"quoted\"\n")),
+            ("c", Json::Bool(true)),
+            ("d", Json::Obj(BTreeMap::new())),
+        ]);
+        for text in [doc.to_string(), format!("{doc:#}")] {
+            assert_eq!(parse(&text).unwrap(), doc, "failed on `{text}`");
+        }
+    }
+
+    #[test]
+    fn numbers_keep_their_kind() {
+        assert_eq!(parse("3").unwrap(), Json::Int(3));
+        assert_eq!(parse("-3").unwrap(), Json::Int(-3));
+        assert_eq!(parse("3.0").unwrap(), Json::Float(3.0));
+        assert_eq!(parse("1e3").unwrap(), Json::Float(1000.0));
+    }
+
+    #[test]
+    fn parse_errors_carry_offsets() {
+        let err = parse("{\"a\": }").unwrap_err();
+        assert!(err.offset.is_some());
+        assert!(parse("[1, 2").is_err());
+        assert!(parse("[1] trailing").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing_the_stack() {
+        // Adversarial input must yield JsonError, never a stack overflow.
+        let bomb = "[".repeat(100_000);
+        let err = parse(&bomb).unwrap_err();
+        assert!(err.message.contains("nesting"), "{err}");
+        // Depth just under the limit still parses.
+        let deep = format!("{}1{}", "[".repeat(120), "]".repeat(120));
+        assert!(parse(&deep).is_ok());
+    }
+
+    #[test]
+    fn malformed_surrogate_pairs_error_instead_of_panicking() {
+        // High surrogate followed by a non-low-surrogate escape must be a
+        // parse error, not a u32 underflow.
+        assert!(parse("\"\\ud800\\u0041\"").is_err());
+        assert!(parse("\"\\ud800\"").is_err()); // lone high surrogate
+        assert!(parse("\"\\ud800\\ud801\"").is_err()); // high + high
+                                                       // A well-formed pair still decodes.
+        assert_eq!(
+            parse("\"\\ud83d\\ude00\"").unwrap(),
+            Json::Str("😀".to_string())
+        );
+    }
+
+    #[test]
+    fn huge_integral_floats_keep_their_kind() {
+        // |f| >= 1e15 must still print with a fractional marker so the
+        // Int/Float distinction survives the documented round-trip.
+        let doc = Json::Float(1e15);
+        assert_eq!(parse(&doc.to_string()).unwrap(), doc);
+        let doc = Json::Float(-1e300);
+        assert_eq!(parse(&doc.to_string()).unwrap(), doc);
+    }
+
+    #[test]
+    fn value_float_int_distinction_survives() {
+        let c = collection(
+            "Q",
+            &["A"],
+            exists(
+                &[bind("r", "R")],
+                and([
+                    assign("Q", "A", col("r", "A")),
+                    eq(col("r", "B"), Scalar::Const(Value::Float(1.0))),
+                    le(col("r", "C"), int(1)),
+                ]),
+            ),
+        );
+        let back = from_json(&to_json(&c)).unwrap();
+        // Structural equality distinguishes Int(1) from Float(1.0) fields
+        // only through the tagged encoding; assert the exact AST matches.
+        assert_eq!(c, back);
+        let printed = to_json(&back);
+        assert!(printed.contains("\"float\""));
+    }
+
+    #[test]
+    fn all_ast_features_round_trip() {
+        let inner = collection(
+            "X",
+            &["id", "ct"],
+            quant(
+                &[bind("r2", "R"), bind("s", "S")],
+                group(&[("r2", "id")]),
+                Some(jleft(jvar("r2"), jinner([jlit(Value::Int(11)), jvar("s")]))),
+                and([
+                    assign("X", "id", col("r2", "id")),
+                    assign_agg("X", "ct", count_star()),
+                    eq(col("r2", "id"), col("s", "id")),
+                ]),
+            ),
+        );
+        let q = collection(
+            "Q",
+            &["id"],
+            exists(
+                &[bind("r", "R"), bind_coll("x", inner)],
+                and([
+                    assign("Q", "id", col("r", "id")),
+                    or([
+                        eq(col("r", "id"), col("x", "id")),
+                        not(is_null(col("x", "ct"))),
+                    ]),
+                    le(
+                        mul(col("r", "q"), int(2)),
+                        agg_distinct(AggFunc::Sum, col("x", "ct")),
+                    ),
+                ]),
+            ),
+        );
+        let wire = to_json(&q);
+        let back = from_json(&wire).unwrap();
+        assert_eq!(q, back);
+        // Compact and pretty forms decode identically.
+        assert_eq!(from_json(&to_json_compact(&q)).unwrap(), back);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_trees() {
+        assert!(from_json("{\"head\": {}}").is_err());
+        assert!(from_json(
+            "{\"head\": {\"relation\": \"Q\", \"attrs\": []}, \"body\": {\"Bogus\": 1}}"
+        )
+        .is_err());
+    }
+}

@@ -62,6 +62,7 @@ pub mod ast;
 pub mod binder;
 pub mod conventions;
 pub mod dsl;
+pub mod json;
 pub mod pattern;
 pub mod value;
 

@@ -12,12 +12,11 @@
 //! FIO/FOI classification on top of these signatures.
 
 use crate::ast::*;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// A canonical pattern fingerprint.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PatternSignature {
     /// Canonical S-expression of the pattern: variables α-renamed in
     /// pre-order, conjuncts/disjuncts sorted, constants abstracted to type

@@ -6,7 +6,6 @@
 //! logic (Soufflé has no nulls). [`Value`] is the dynamically-typed scalar
 //! domain and [`Truth`] the three-valued logic lattice.
 
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 
@@ -15,7 +14,7 @@ use std::fmt;
 /// The domain is deliberately small: the paper's examples use integers,
 /// floats (averages), strings (drinkers and beers), booleans (sentences) and
 /// `NULL`. Mixed `Int`/`Float` comparisons coerce to `f64`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Value {
     /// SQL `NULL`: absence of a value. Comparisons involving `Null` yield
     /// [`Truth::Unknown`] under three-valued logic.
@@ -115,7 +114,10 @@ impl Value {
             Value::Int(i) => Key::Int(*i),
             Value::Float(f) => {
                 // Normalize integral floats so that 1.0 groups with 1.
-                if f.fract() == 0.0 && f.is_finite() && *f >= i64::MIN as f64 && *f <= i64::MAX as f64
+                if f.fract() == 0.0
+                    && f.is_finite()
+                    && *f >= i64::MIN as f64
+                    && *f <= i64::MAX as f64
                 {
                     Key::Int(*f as i64)
                 } else if f.is_nan() {
@@ -196,7 +198,7 @@ impl From<String> for Value {
 /// `Ord` sorts `Null` first, then booleans, numbers, strings — the order is
 /// arbitrary but total and stable, which is all grouping and deterministic
 /// output ordering need.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[allow(missing_docs)] // variants/fields are self-describing
 pub enum Key {
     Null,
@@ -207,7 +209,7 @@ pub enum Key {
 }
 
 /// Three-valued logic (Kleene), as used by SQL (paper §2.10).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)] // variants/fields are self-describing
 pub enum Truth {
     True,

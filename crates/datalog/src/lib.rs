@@ -65,8 +65,7 @@ mod tests {
         )
         .unwrap();
         let arc = lower_program(&program).unwrap();
-        let catalog =
-            Catalog::new().with(ints("P", &["s", "t"], &[&[1, 2], &[2, 3], &[3, 4]]));
+        let catalog = Catalog::new().with(ints("P", &["s", "t"], &[&[1, 2], &[2, 3], &[3, 4]]));
         let out = Engine::new(&catalog, Conventions::souffle())
             .eval_program(&arc)
             .unwrap();
@@ -97,9 +96,10 @@ mod tests {
 
         // The same pattern under SQL conventions yields (1, NULL) —
         // the paper's §2.6 "conventions, not languages" point.
-        let sql_out = Engine::new(&catalog, Conventions::sql().with_semantics(
-            arc_core::conventions::Semantics::Set,
-        ))
+        let sql_out = Engine::new(
+            &catalog,
+            Conventions::sql().with_semantics(arc_core::conventions::Semantics::Set),
+        )
         .eval_program(&arc)
         .unwrap();
         assert_eq!(sql_out.defined["Q"].rows[0][1], Value::Null);
@@ -115,19 +115,18 @@ mod tests {
         )
         .unwrap();
         let arc = lower_program(&program).unwrap();
-        let catalog = Catalog::new().with(ints(
-            "R",
-            &["a", "b"],
-            &[&[1, 10], &[1, 20], &[2, 5]],
-        ));
+        let catalog = Catalog::new().with(ints("R", &["a", "b"], &[&[1, 10], &[1, 20], &[2, 5]]));
         let out = Engine::new(&catalog, Conventions::souffle())
             .eval_program(&arc)
             .unwrap();
         let q = &out.defined["Q"];
-        assert_eq!(q.sorted_rows(), vec![
-            vec![Value::Int(1), Value::Int(30)],
-            vec![Value::Int(2), Value::Int(5)],
-        ]);
+        assert_eq!(
+            q.sorted_rows(),
+            vec![
+                vec![Value::Int(1), Value::Int(30)],
+                vec![Value::Int(2), Value::Int(5)],
+            ]
+        );
     }
 
     #[test]
@@ -180,7 +179,11 @@ mod tests {
         let sig = arc_core::pattern::signature(&arc.definitions[0].collection);
         assert_eq!(sig.features.get("nested-collection"), Some(&1));
         assert_eq!(sig.features.get("group:0"), Some(&1));
-        assert_eq!(sig.features.get("rel:R"), Some(&2), "two logical copies of R");
+        assert_eq!(
+            sig.features.get("rel:R"),
+            Some(&2),
+            "two logical copies of R"
+        );
     }
 
     #[test]
@@ -196,8 +199,8 @@ mod tests {
         schemas.insert("S".into(), vec!["b".into(), "c".into()]);
         let rendered = render_program(&arc, &schemas).unwrap();
         // The rendered text reparses and lowers to the same pattern.
-        let reparsed = parse_datalog(&rendered)
-            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{rendered}"));
+        let reparsed =
+            parse_datalog(&rendered).unwrap_or_else(|e| panic!("reparse failed: {e}\n{rendered}"));
         let arc2 = lower_program(&reparsed).unwrap();
         let s1 = arc_core::pattern::program_signature(&arc);
         let s2 = arc_core::pattern::program_signature(&arc2);

@@ -21,7 +21,11 @@ pub enum DatalogLowerError {
     /// An atom references a relation with no `.decl` (and no derivable arity).
     MissingDecl(String),
     /// Atom arity does not match its declaration.
-    ArityMismatch { relation: String, expected: usize, found: usize },
+    ArityMismatch {
+        relation: String,
+        expected: usize,
+        found: usize,
+    },
     /// A head or comparison variable is never bound by a positive atom.
     UnboundVariable(String),
     /// Constructs outside the subset.
@@ -36,7 +40,10 @@ impl fmt::Display for DatalogLowerError {
                 relation,
                 expected,
                 found,
-            } => write!(f, "`{relation}` declared with {expected} attributes, used with {found}"),
+            } => write!(
+                f,
+                "`{relation}` declared with {expected} attributes, used with {found}"
+            ),
             DatalogLowerError::UnboundVariable(v) => {
                 write!(f, "variable `{v}` is not bound by a positive atom")
             }
@@ -65,8 +72,14 @@ pub fn lower_program(p: &DatalogProgram) -> Result<arc::Program, DatalogLowerErr
     }
     let mut out = arc::Program::default();
     for (name, mut disjuncts) in by_head {
-        let attrs = lw.attrs_of(&name, p.rules.iter().find(|r| r.head.name == name)
-            .map(|r| r.head.args.len()).unwrap_or(0))?;
+        let attrs = lw.attrs_of(
+            &name,
+            p.rules
+                .iter()
+                .find(|r| r.head.name == name)
+                .map(|r| r.head.args.len())
+                .unwrap_or(0),
+        )?;
         let body = if disjuncts.len() == 1 {
             disjuncts.pop().expect("len 1")
         } else {
@@ -218,7 +231,8 @@ impl<'p> Lowerer<'p> {
             });
         }
         let var = self.fresh("r");
-        cx.bindings.push(Binding::named(var.clone(), atom.name.clone()));
+        cx.bindings
+            .push(Binding::named(var.clone(), atom.name.clone()));
         for (i, term) in atom.args.iter().enumerate() {
             let here = AttrRef::new(var.clone(), attrs[i].clone());
             match term {
@@ -324,11 +338,7 @@ impl<'p> Lowerer<'p> {
         let mut correlated: Vec<(AttrRef, AttrRef)> = inner
             .var_map
             .iter()
-            .filter_map(|(v, here)| {
-                cx.var_map
-                    .get(v)
-                    .map(|outer| (here.clone(), outer.clone()))
-            })
+            .filter_map(|(v, here)| cx.var_map.get(v).map(|outer| (here.clone(), outer.clone())))
             .collect();
         correlated.sort(); // deterministic output order
         for (here, outer) in &correlated {

@@ -330,13 +330,15 @@ impl<'s> P<'s> {
                 }
                 let text = String::from_utf8_lossy(&self.src[start..self.pos]).to_string();
                 if is_float {
-                    Ok(Term::Const(Value::Float(text.parse().map_err(|_| {
-                        self.err(format!("bad float `{text}`"))
-                    })?)))
+                    Ok(Term::Const(Value::Float(
+                        text.parse()
+                            .map_err(|_| self.err(format!("bad float `{text}`")))?,
+                    )))
                 } else {
-                    Ok(Term::Const(Value::Int(text.parse().map_err(|_| {
-                        self.err(format!("bad integer `{text}`"))
-                    })?)))
+                    Ok(Term::Const(Value::Int(
+                        text.parse()
+                            .map_err(|_| self.err(format!("bad integer `{text}`")))?,
+                    )))
                 }
             }
             _ => Ok(Term::Var(self.ident()?)),

@@ -152,157 +152,156 @@ impl Classes {
 
     fn alias(&mut self, a: &AttrRef, b: &AttrRef) {
         let name = self.name_of(&a.var, &a.attr);
-        self.names
-            .insert((b.var.clone(), b.attr.clone()), name);
+        self.names.insert((b.var.clone(), b.attr.clone()), name);
     }
 }
 
 impl Renderer<'_> {
     fn branch(&mut self, f: &Formula, head: &Head) -> Result<String, DatalogRenderError> {
-    let quant = match f {
-        Formula::Quant(q) => q,
-        other => {
-            return Err(DatalogRenderError::Unsupported(format!(
-                "non-quantified disjunct `{other:?}`"
-            )))
-        }
-    };
-    if quant.grouping.is_some() {
-        return Err(DatalogRenderError::Unsupported(
-            "FIO grouping scope (Soufflé aggregates are FOI; rewrite first)".into(),
-        ));
-    }
-    if quant.join.is_some() {
-        return Err(DatalogRenderError::Unsupported("join annotations".into()));
-    }
-
-    let mut classes = Classes::new();
-    let mut head_args: HashMap<String, String> = HashMap::new(); // attr → term
-    let mut body_literals: Vec<String> = Vec::new();
-    let mut pending: Vec<&Formula> = Vec::new();
-
-    // First pass: equality predicates merge classes; assignments map head
-    // attrs; everything else is deferred.
-    for conjunct in quant.body.conjuncts() {
-        match conjunct {
-            Formula::Pred(Predicate::Cmp {
-                left: Scalar::Attr(a),
-                op: CmpOp::Eq,
-                right: Scalar::Attr(b),
-            }) => {
-                if a.var == head.relation {
-                    head_args.insert(a.attr.clone(), classes.name_of(&b.var, &b.attr));
-                } else if b.var == head.relation {
-                    head_args.insert(b.attr.clone(), classes.name_of(&a.var, &a.attr));
-                } else {
-                    classes.alias(a, b);
-                }
-            }
-            Formula::Pred(Predicate::Cmp {
-                left: Scalar::Attr(a),
-                op: CmpOp::Eq,
-                right: Scalar::Const(c),
-            })
-            | Formula::Pred(Predicate::Cmp {
-                left: Scalar::Const(c),
-                op: CmpOp::Eq,
-                right: Scalar::Attr(a),
-            }) if a.var == head.relation => {
-                head_args.insert(a.attr.clone(), datalog_const(c));
-            }
-            other => pending.push(other),
-        }
-    }
-
-    // Bindings become body atoms (named bindings) or aggregate assignments
-    // (γ∅ nested collections).
-    for b in &quant.bindings {
-        match &b.source {
-            BindingSource::Named(rel) => {
-                // Attribute order comes from the class map usage; we render
-                // positionally by collecting the attrs actually referenced.
-                // Datalog requires full positional args: we need the schema.
-                // Use the attrs seen on this variable, sorted by first use —
-                // callers with real schemas should prefer `render_program`
-                // over hand-rolled atoms. For fidelity we render with
-                // attr=value named-ish syntax unavailable in Soufflé, so we
-                // use the binder-visible order: the order attrs appear.
-                body_literals.push(self.atom(rel, &b.var, &quant.body, &mut classes));
-            }
-            BindingSource::Collection(c) => {
-                body_literals.push(self.foi_aggregate(c, &b.var, &mut classes)?);
-            }
-        }
-    }
-
-    // Remaining predicates: comparisons and negations.
-    for conjunct in pending {
-        match conjunct {
-            Formula::Pred(Predicate::Cmp { left, op, right }) => {
-                let l = scalar_term(left, &mut classes)?;
-                let r = scalar_term(right, &mut classes)?;
-                body_literals.push(format!("{l} {} {r}", datalog_op(*op)));
-            }
-            Formula::Pred(Predicate::IsNull { .. }) => {
-                return Err(DatalogRenderError::Unsupported(
-                    "IS NULL (Soufflé has no nulls — a convention, §2.6)".into(),
-                ))
-            }
-            Formula::Not(inner) => match &**inner {
-                Formula::Quant(nq)
-                    if nq.bindings.len() == 1 && nq.grouping.is_none() && nq.join.is_none() =>
-                {
-                    let nb = &nq.bindings[0];
-                    let rel = match &nb.source {
-                        BindingSource::Named(r) => r,
-                        BindingSource::Collection(_) => {
-                            return Err(DatalogRenderError::Unsupported(
-                                "negated nested collection".into(),
-                            ))
-                        }
-                    };
-                    // Alias the negated atom's positions to outer classes.
-                    for sub in nq.body.conjuncts() {
-                        if let Formula::Pred(Predicate::Cmp {
-                            left: Scalar::Attr(a),
-                            op: CmpOp::Eq,
-                            right: Scalar::Attr(b),
-                        }) = sub
-                        {
-                            classes.alias(b, a);
-                        }
-                    }
-                    body_literals.push(format!(
-                        "!{}",
-                        self.atom(rel, &nb.var, &nq.body, &mut classes)
-                    ));
-                }
-                _ => {
-                    return Err(DatalogRenderError::Unsupported(
-                        "negation over a non-atomic scope".into(),
-                    ))
-                }
-            },
+        let quant = match f {
+            Formula::Quant(q) => q,
             other => {
                 return Err(DatalogRenderError::Unsupported(format!(
-                    "body construct `{other:?}`"
+                    "non-quantified disjunct `{other:?}`"
                 )))
             }
+        };
+        if quant.grouping.is_some() {
+            return Err(DatalogRenderError::Unsupported(
+                "FIO grouping scope (Soufflé aggregates are FOI; rewrite first)".into(),
+            ));
         }
-    }
+        if quant.join.is_some() {
+            return Err(DatalogRenderError::Unsupported("join annotations".into()));
+        }
 
-    // Assemble the head.
-    let args: Vec<String> = head
-        .attrs
-        .iter()
-        .map(|a| head_args.get(a).cloned().unwrap_or_else(|| "_".to_string()))
-        .collect();
-    let head_str = format!("{}({})", head.relation, args.join(", "));
-    if body_literals.is_empty() {
-        Ok(format!("{head_str}."))
-    } else {
-        Ok(format!("{head_str} :- {}.", body_literals.join(", ")))
-    }
+        let mut classes = Classes::new();
+        let mut head_args: HashMap<String, String> = HashMap::new(); // attr → term
+        let mut body_literals: Vec<String> = Vec::new();
+        let mut pending: Vec<&Formula> = Vec::new();
+
+        // First pass: equality predicates merge classes; assignments map head
+        // attrs; everything else is deferred.
+        for conjunct in quant.body.conjuncts() {
+            match conjunct {
+                Formula::Pred(Predicate::Cmp {
+                    left: Scalar::Attr(a),
+                    op: CmpOp::Eq,
+                    right: Scalar::Attr(b),
+                }) => {
+                    if a.var == head.relation {
+                        head_args.insert(a.attr.clone(), classes.name_of(&b.var, &b.attr));
+                    } else if b.var == head.relation {
+                        head_args.insert(b.attr.clone(), classes.name_of(&a.var, &a.attr));
+                    } else {
+                        classes.alias(a, b);
+                    }
+                }
+                Formula::Pred(Predicate::Cmp {
+                    left: Scalar::Attr(a),
+                    op: CmpOp::Eq,
+                    right: Scalar::Const(c),
+                })
+                | Formula::Pred(Predicate::Cmp {
+                    left: Scalar::Const(c),
+                    op: CmpOp::Eq,
+                    right: Scalar::Attr(a),
+                }) if a.var == head.relation => {
+                    head_args.insert(a.attr.clone(), datalog_const(c));
+                }
+                other => pending.push(other),
+            }
+        }
+
+        // Bindings become body atoms (named bindings) or aggregate assignments
+        // (γ∅ nested collections).
+        for b in &quant.bindings {
+            match &b.source {
+                BindingSource::Named(rel) => {
+                    // Attribute order comes from the class map usage; we render
+                    // positionally by collecting the attrs actually referenced.
+                    // Datalog requires full positional args: we need the schema.
+                    // Use the attrs seen on this variable, sorted by first use —
+                    // callers with real schemas should prefer `render_program`
+                    // over hand-rolled atoms. For fidelity we render with
+                    // attr=value named-ish syntax unavailable in Soufflé, so we
+                    // use the binder-visible order: the order attrs appear.
+                    body_literals.push(self.atom(rel, &b.var, &quant.body, &mut classes));
+                }
+                BindingSource::Collection(c) => {
+                    body_literals.push(self.foi_aggregate(c, &b.var, &mut classes)?);
+                }
+            }
+        }
+
+        // Remaining predicates: comparisons and negations.
+        for conjunct in pending {
+            match conjunct {
+                Formula::Pred(Predicate::Cmp { left, op, right }) => {
+                    let l = scalar_term(left, &mut classes)?;
+                    let r = scalar_term(right, &mut classes)?;
+                    body_literals.push(format!("{l} {} {r}", datalog_op(*op)));
+                }
+                Formula::Pred(Predicate::IsNull { .. }) => {
+                    return Err(DatalogRenderError::Unsupported(
+                        "IS NULL (Soufflé has no nulls — a convention, §2.6)".into(),
+                    ))
+                }
+                Formula::Not(inner) => match &**inner {
+                    Formula::Quant(nq)
+                        if nq.bindings.len() == 1 && nq.grouping.is_none() && nq.join.is_none() =>
+                    {
+                        let nb = &nq.bindings[0];
+                        let rel = match &nb.source {
+                            BindingSource::Named(r) => r,
+                            BindingSource::Collection(_) => {
+                                return Err(DatalogRenderError::Unsupported(
+                                    "negated nested collection".into(),
+                                ))
+                            }
+                        };
+                        // Alias the negated atom's positions to outer classes.
+                        for sub in nq.body.conjuncts() {
+                            if let Formula::Pred(Predicate::Cmp {
+                                left: Scalar::Attr(a),
+                                op: CmpOp::Eq,
+                                right: Scalar::Attr(b),
+                            }) = sub
+                            {
+                                classes.alias(b, a);
+                            }
+                        }
+                        body_literals.push(format!(
+                            "!{}",
+                            self.atom(rel, &nb.var, &nq.body, &mut classes)
+                        ));
+                    }
+                    _ => {
+                        return Err(DatalogRenderError::Unsupported(
+                            "negation over a non-atomic scope".into(),
+                        ))
+                    }
+                },
+                other => {
+                    return Err(DatalogRenderError::Unsupported(format!(
+                        "body construct `{other:?}`"
+                    )))
+                }
+            }
+        }
+
+        // Assemble the head.
+        let args: Vec<String> = head
+            .attrs
+            .iter()
+            .map(|a| head_args.get(a).cloned().unwrap_or_else(|| "_".to_string()))
+            .collect();
+        let head_str = format!("{}({})", head.relation, args.join(", "));
+        if body_literals.is_empty() {
+            Ok(format!("{head_str}."))
+        } else {
+            Ok(format!("{head_str} :- {}.", body_literals.join(", ")))
+        }
     }
 }
 
@@ -358,93 +357,93 @@ impl Renderer<'_> {
         var: &str,
         classes: &mut Classes,
     ) -> Result<String, DatalogRenderError> {
-    let q = match &c.body {
-        Formula::Quant(q) if matches!(&q.grouping, Some(g) if g.keys.is_empty()) => q,
-        _ => {
-            return Err(DatalogRenderError::Unsupported(
-                "nested collection that is not a γ∅ aggregate scope".into(),
-            ))
-        }
-    };
-    if c.head.attrs.len() != 1 {
-        return Err(DatalogRenderError::Unsupported(
-            "aggregate collection with more than one output".into(),
-        ));
-    }
-    let out_attr = &c.head.attrs[0];
-
-    let mut agg_call: Option<&AggCall> = None;
-    let mut inner_literals: Vec<String> = Vec::new();
-    // Alias equalities first.
-    for conjunct in q.body.conjuncts() {
-        if let Formula::Pred(Predicate::Cmp {
-            left: Scalar::Attr(a),
-            op: CmpOp::Eq,
-            right: Scalar::Attr(b),
-        }) = conjunct
-        {
-            if a.var != c.head.relation && b.var != c.head.relation {
-                classes.alias(b, a);
-            }
-        }
-    }
-    for conjunct in q.body.conjuncts() {
-        match conjunct {
-            Formula::Pred(Predicate::Cmp {
-                left: Scalar::Attr(a),
-                op: CmpOp::Eq,
-                right: Scalar::Agg(call),
-            }) if a.var == c.head.relation && &a.attr == out_attr => {
-                agg_call = Some(call);
-            }
-            Formula::Pred(Predicate::Cmp {
-                left: Scalar::Attr(a),
-                op,
-                right,
-            }) if a.var != c.head.relation && *op != CmpOp::Eq => {
-                let l = classes.name_of(&a.var, &a.attr);
-                let r = scalar_term(right, classes)?;
-                inner_literals.push(format!("{l} {} {r}", datalog_op(*op)));
-            }
-            _ => {}
-        }
-    }
-    for b in &q.bindings {
-        match &b.source {
-            BindingSource::Named(rel) => {
-                inner_literals.insert(0, self.atom(rel, &b.var, &q.body, classes));
-            }
-            BindingSource::Collection(_) => {
+        let q = match &c.body {
+            Formula::Quant(q) if matches!(&q.grouping, Some(g) if g.keys.is_empty()) => q,
+            _ => {
                 return Err(DatalogRenderError::Unsupported(
-                    "nested collection inside an aggregate scope".into(),
+                    "nested collection that is not a γ∅ aggregate scope".into(),
                 ))
             }
-        }
-    }
-    let call = agg_call.ok_or_else(|| {
-        DatalogRenderError::Unsupported("aggregate scope without aggregation predicate".into())
-    })?;
-    let func = match call.func {
-        AggFunc::Sum => "sum",
-        AggFunc::Count => "count",
-        AggFunc::Avg => "mean",
-        AggFunc::Min => "min",
-        AggFunc::Max => "max",
-    };
-    let arg = match &call.arg {
-        AggArg::Expr(Scalar::Attr(a)) => format!("{func} {}", classes.name_of(&a.var, &a.attr)),
-        AggArg::Star => func.to_string(),
-        _ => {
+        };
+        if c.head.attrs.len() != 1 {
             return Err(DatalogRenderError::Unsupported(
-                "aggregate over a computed expression".into(),
-            ))
+                "aggregate collection with more than one output".into(),
+            ));
         }
-    };
-    let result = classes.name_of(var, out_attr);
-    Ok(format!(
-        "{result} = {arg} : {{{}}}",
-        inner_literals.join(", ")
-    ))
+        let out_attr = &c.head.attrs[0];
+
+        let mut agg_call: Option<&AggCall> = None;
+        let mut inner_literals: Vec<String> = Vec::new();
+        // Alias equalities first.
+        for conjunct in q.body.conjuncts() {
+            if let Formula::Pred(Predicate::Cmp {
+                left: Scalar::Attr(a),
+                op: CmpOp::Eq,
+                right: Scalar::Attr(b),
+            }) = conjunct
+            {
+                if a.var != c.head.relation && b.var != c.head.relation {
+                    classes.alias(b, a);
+                }
+            }
+        }
+        for conjunct in q.body.conjuncts() {
+            match conjunct {
+                Formula::Pred(Predicate::Cmp {
+                    left: Scalar::Attr(a),
+                    op: CmpOp::Eq,
+                    right: Scalar::Agg(call),
+                }) if a.var == c.head.relation && &a.attr == out_attr => {
+                    agg_call = Some(call);
+                }
+                Formula::Pred(Predicate::Cmp {
+                    left: Scalar::Attr(a),
+                    op,
+                    right,
+                }) if a.var != c.head.relation && *op != CmpOp::Eq => {
+                    let l = classes.name_of(&a.var, &a.attr);
+                    let r = scalar_term(right, classes)?;
+                    inner_literals.push(format!("{l} {} {r}", datalog_op(*op)));
+                }
+                _ => {}
+            }
+        }
+        for b in &q.bindings {
+            match &b.source {
+                BindingSource::Named(rel) => {
+                    inner_literals.insert(0, self.atom(rel, &b.var, &q.body, classes));
+                }
+                BindingSource::Collection(_) => {
+                    return Err(DatalogRenderError::Unsupported(
+                        "nested collection inside an aggregate scope".into(),
+                    ))
+                }
+            }
+        }
+        let call = agg_call.ok_or_else(|| {
+            DatalogRenderError::Unsupported("aggregate scope without aggregation predicate".into())
+        })?;
+        let func = match call.func {
+            AggFunc::Sum => "sum",
+            AggFunc::Count => "count",
+            AggFunc::Avg => "mean",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        };
+        let arg = match &call.arg {
+            AggArg::Expr(Scalar::Attr(a)) => format!("{func} {}", classes.name_of(&a.var, &a.attr)),
+            AggArg::Star => func.to_string(),
+            _ => {
+                return Err(DatalogRenderError::Unsupported(
+                    "aggregate over a computed expression".into(),
+                ))
+            }
+        };
+        let result = classes.name_of(var, out_attr);
+        Ok(format!(
+            "{result} = {arg} : {{{}}}",
+            inner_literals.join(", ")
+        ))
     }
 }
 

@@ -105,8 +105,7 @@ mod tests {
 
     #[test]
     fn schema_map_covers_both_kinds() {
-        let c = Catalog::with_standard_externals()
-            .with(Relation::from_ints("R", &["A", "B"], &[]));
+        let c = Catalog::with_standard_externals().with(Relation::from_ints("R", &["A", "B"], &[]));
         let m = c.schema_map();
         assert_eq!(m["R"], vec!["A".to_string(), "B".to_string()]);
         assert_eq!(m["Minus"], vec!["left", "right", "out"]);

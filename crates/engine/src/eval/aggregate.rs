@@ -1,0 +1,187 @@
+//! Aggregation over grouping scopes: accumulating aggregates across group
+//! members and evaluating per-group tests (§2.5, §2.6).
+
+use super::env::{Env, Frame};
+use super::partition::Parts;
+use super::scalar::{arith, fold_sum};
+use super::Ctx;
+use crate::error::Result;
+use arc_core::ast::*;
+use arc_core::conventions::EmptyAgg;
+use arc_core::value::{Key, Truth, Value};
+use std::collections::HashSet;
+
+/// Evaluate the per-group tests (aggregation comparisons + boolean
+/// subformulas containing scope-level aggregates).
+pub(crate) fn group_verdict(
+    ctx: &Ctx<'_>,
+    parts: &Parts<'_>,
+    members: &[Vec<Frame>],
+    env: &mut Env,
+) -> Result<bool> {
+    let mut t = Truth::True;
+    for p in &parts.agg_tests {
+        t = t.and(group_pred(ctx, p, members, env)?);
+        if t == Truth::False {
+            return Ok(false);
+        }
+    }
+    for f in &parts.post_bool {
+        t = t.and(group_formula(ctx, f, members, env)?);
+        if t == Truth::False {
+            return Ok(false);
+        }
+    }
+    Ok(t.is_true())
+}
+
+fn group_formula(
+    ctx: &Ctx<'_>,
+    f: &Formula,
+    members: &[Vec<Frame>],
+    env: &mut Env,
+) -> Result<Truth> {
+    match f {
+        Formula::Pred(p) => group_pred(ctx, p, members, env),
+        Formula::And(fs) => {
+            let mut t = Truth::True;
+            for sub in fs {
+                t = t.and(group_formula(ctx, sub, members, env)?);
+            }
+            Ok(t)
+        }
+        Formula::Or(fs) => {
+            let mut t = Truth::False;
+            for sub in fs {
+                t = t.or(group_formula(ctx, sub, members, env)?);
+            }
+            Ok(t)
+        }
+        Formula::Not(inner) => Ok(group_formula(ctx, inner, members, env)?.not()),
+        Formula::Quant(_) => ctx.formula_truth(f, env),
+    }
+}
+
+fn group_pred(
+    ctx: &Ctx<'_>,
+    p: &Predicate,
+    members: &[Vec<Frame>],
+    env: &mut Env,
+) -> Result<Truth> {
+    match p {
+        Predicate::Cmp { left, op, right } => {
+            let l = group_scalar(ctx, left, members, env)?;
+            let r = group_scalar(ctx, right, members, env)?;
+            Ok(ctx.compare(&l, *op, &r))
+        }
+        Predicate::IsNull { expr, negated } => {
+            let v = group_scalar(ctx, expr, members, env)?;
+            Ok(Truth::from_bool(v.is_null() != *negated))
+        }
+    }
+}
+
+/// Evaluate a scalar in group context: aggregates accumulate over the
+/// group members; everything else evaluates against the representative
+/// environment.
+pub(crate) fn group_scalar(
+    ctx: &Ctx<'_>,
+    s: &Scalar,
+    members: &[Vec<Frame>],
+    env: &mut Env,
+) -> Result<Value> {
+    match s {
+        Scalar::Agg(call) => accumulate(ctx, call, members, env),
+        Scalar::Attr(_) | Scalar::Const(_) => ctx.scalar(s, env),
+        Scalar::Arith { op, left, right } => {
+            let l = group_scalar(ctx, left, members, env)?;
+            let r = group_scalar(ctx, right, members, env)?;
+            Ok(arith(*op, &l, &r))
+        }
+    }
+}
+
+/// Accumulate one aggregate over the group (SQL semantics: `NULL` inputs
+/// are skipped; `count(*)` counts rows; the empty-group value is the
+/// [`EmptyAgg`] convention for `sum`/`avg`, always 0 for `count`, `NULL`
+/// for `min`/`max`).
+fn accumulate(
+    ctx: &Ctx<'_>,
+    call: &AggCall,
+    members: &[Vec<Frame>],
+    env: &mut Env,
+) -> Result<Value> {
+    let base = env.len();
+    let mut values: Vec<Value> = Vec::with_capacity(members.len());
+    for member in members {
+        // Swap in this member's local frames (replacing the
+        // representative's) so per-tuple expressions see the member.
+        env.truncate(base - members.first().map(|m| m.len()).unwrap_or(0));
+        for f in member {
+            env.push(f.var.clone(), f.attrs.clone(), f.tuple.clone());
+        }
+        match &call.arg {
+            AggArg::Star => values.push(Value::Int(1)),
+            AggArg::Expr(e) => {
+                let v = ctx.scalar(e, env)?;
+                if !v.is_null() {
+                    values.push(v);
+                }
+            }
+        }
+    }
+    // Restore the representative frames.
+    if let Some(first) = members.first() {
+        env.truncate(base - first.len());
+        for f in first {
+            env.push(f.var.clone(), f.attrs.clone(), f.tuple.clone());
+        }
+    }
+    if call.distinct {
+        let mut seen: HashSet<Key> = HashSet::with_capacity(values.len());
+        values.retain(|v| seen.insert(v.key()));
+    }
+    Ok(fold_aggregate(ctx, call.func, &values))
+}
+
+fn fold_aggregate(ctx: &Ctx<'_>, func: AggFunc, values: &[Value]) -> Value {
+    let empty_numeric = || match ctx.conv.empty_agg {
+        EmptyAgg::Null => Value::Null,
+        EmptyAgg::Zero => Value::Int(0),
+    };
+    match func {
+        AggFunc::Count => Value::Int(values.len() as i64),
+        AggFunc::Sum => {
+            if values.is_empty() {
+                return empty_numeric();
+            }
+            fold_sum(values)
+        }
+        AggFunc::Avg => {
+            if values.is_empty() {
+                return empty_numeric();
+            }
+            let sum = fold_sum(values);
+            match sum.as_f64() {
+                Some(s) => Value::Float(s / values.len() as f64),
+                None => Value::Null,
+            }
+        }
+        AggFunc::Min => values
+            .iter()
+            .cloned()
+            .reduce(|a, b| match a.compare(&b) {
+                Some(std::cmp::Ordering::Greater) => b,
+                _ => a,
+            })
+            .unwrap_or(Value::Null),
+        AggFunc::Max => values
+            .iter()
+            .cloned()
+            .reduce(|a, b| match a.compare(&b) {
+                Some(std::cmp::Ordering::Less) => b,
+                _ => a,
+            })
+            .unwrap_or(Value::Null),
+    }
+}

@@ -1,0 +1,57 @@
+//! Runtime environments: the stack of bound range variables.
+
+use crate::error::{EvalError, Result};
+use crate::relation::Tuple;
+use arc_core::value::Value;
+use std::rc::Rc;
+
+/// One bound range variable: its name, attribute names, and current tuple.
+#[derive(Debug, Clone)]
+pub(crate) struct Frame {
+    pub(crate) var: Rc<str>,
+    pub(crate) attrs: Rc<Vec<String>>,
+    pub(crate) tuple: Tuple,
+}
+
+/// A stack of frames; lookup walks innermost-first (lexical scoping).
+#[derive(Debug, Default, Clone)]
+pub(crate) struct Env {
+    pub(crate) frames: Vec<Frame>,
+}
+
+impl Env {
+    pub(crate) fn push(&mut self, var: Rc<str>, attrs: Rc<Vec<String>>, tuple: Tuple) {
+        self.frames.push(Frame { var, attrs, tuple });
+    }
+
+    pub(crate) fn pop(&mut self) {
+        self.frames.pop();
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    pub(crate) fn truncate(&mut self, n: usize) {
+        self.frames.truncate(n);
+    }
+
+    pub(crate) fn lookup(&self, var: &str, attr: &str) -> Result<Value> {
+        for f in self.frames.iter().rev() {
+            if &*f.var == var {
+                let idx = f.attrs.iter().position(|a| a == attr).ok_or_else(|| {
+                    EvalError::UnknownAttribute {
+                        var: var.to_string(),
+                        attr: attr.to_string(),
+                    }
+                })?;
+                return Ok(f.tuple[idx].clone());
+            }
+        }
+        Err(EvalError::UnboundVariable(var.to_string()))
+    }
+
+    pub(crate) fn has_var(&self, var: &str) -> bool {
+        self.frames.iter().any(|f| &*f.var == var)
+    }
+}

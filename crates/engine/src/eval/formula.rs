@@ -1,0 +1,126 @@
+//! Boolean formula evaluation: sentences, negation scopes, and nested
+//! existentials, including existential grouping scopes.
+
+use super::aggregate;
+use super::env::{Env, Frame};
+use super::partition::partition;
+use super::Ctx;
+use crate::error::{EvalError, Result};
+use arc_core::ast::*;
+use arc_core::value::{Key, Truth};
+use std::collections::BTreeMap;
+
+impl Ctx<'_> {
+    /// Evaluate a formula as a truth value (sentences, negation scopes,
+    /// nested existentials).
+    pub(crate) fn formula_truth(&self, f: &Formula, env: &mut Env) -> Result<Truth> {
+        match f {
+            Formula::Pred(p) => self.pred_truth(p, env),
+            Formula::And(fs) => {
+                let mut t = Truth::True;
+                for sub in fs {
+                    t = t.and(self.formula_truth(sub, env)?);
+                    if t == Truth::False {
+                        break;
+                    }
+                }
+                Ok(t)
+            }
+            Formula::Or(fs) => {
+                let mut t = Truth::False;
+                for sub in fs {
+                    t = t.or(self.formula_truth(sub, env)?);
+                    if t == Truth::True {
+                        break;
+                    }
+                }
+                Ok(t)
+            }
+            Formula::Not(inner) => Ok(self.formula_truth(inner, env)?.not()),
+            Formula::Quant(q) => self.quant_truth(q, env),
+        }
+    }
+
+    /// Existential truth of a quantifier scope: does any binding
+    /// environment (or, for grouping scopes, any group) satisfy the body?
+    fn quant_truth(&self, q: &Quant, env: &mut Env) -> Result<Truth> {
+        // The head name "\u{0}" cannot occur, so nothing classifies as an
+        // assignment.
+        let parts = partition(&q.body, "\u{0}");
+        match &q.grouping {
+            None => {
+                if let Some(p) = parts.agg_tests.first() {
+                    return Err(EvalError::AggregateOutsideGrouping(p.to_string()));
+                }
+                if !parts.post_bool.is_empty() {
+                    // Mirror the collection path (`emit_existential`): an
+                    // aggregate under a connective needs a grouping scope;
+                    // silently ignoring it would make the quantifier
+                    // degenerate to a non-emptiness check.
+                    return Err(EvalError::AggregateOutsideGrouping(
+                        "aggregate under a connective".to_string(),
+                    ));
+                }
+                let mut found = false;
+                self.enumerate(
+                    &q.bindings,
+                    q.join.as_ref(),
+                    &parts.filters,
+                    env,
+                    &mut |ctx, env| {
+                        for b in &parts.pre_bool {
+                            if !ctx.formula_truth(b, env)?.is_true() {
+                                return Ok(true);
+                            }
+                        }
+                        found = true;
+                        Ok(false) // stop early
+                    },
+                )?;
+                Ok(Truth::from_bool(found))
+            }
+            Some(g) => {
+                let base = env.len();
+                let mut groups: BTreeMap<Vec<Key>, Vec<Vec<Frame>>> = BTreeMap::new();
+                self.enumerate(
+                    &q.bindings,
+                    q.join.as_ref(),
+                    &parts.filters,
+                    env,
+                    &mut |ctx, env| {
+                        for b in &parts.pre_bool {
+                            if !ctx.formula_truth(b, env)?.is_true() {
+                                return Ok(true);
+                            }
+                        }
+                        let mut key = Vec::with_capacity(g.keys.len());
+                        for k in &g.keys {
+                            key.push(env.lookup(&k.var, &k.attr)?.key());
+                        }
+                        groups
+                            .entry(key)
+                            .or_default()
+                            .push(env.frames[base..].to_vec());
+                        Ok(true)
+                    },
+                )?;
+                if g.keys.is_empty() && groups.is_empty() {
+                    groups.insert(Vec::new(), Vec::new());
+                }
+                for members in groups.values() {
+                    if let Some(frames) = members.first() {
+                        for f in frames {
+                            env.push(f.var.clone(), f.attrs.clone(), f.tuple.clone());
+                        }
+                    }
+                    let verdict = aggregate::group_verdict(self, &parts, members, env);
+                    env.truncate(base);
+                    if verdict? {
+                        return Ok(Truth::True);
+                    }
+                }
+                Ok(Truth::False)
+            }
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Outer-join annotation trees (§2.11): `left`/`full` nodes over the
+//! binding list, with ON-condition absorption of body predicates.
+//!
+//! Outer joins always run on the materialized nested-loop path — the ON
+//! absorption logic depends on seeing whole sides at once, and outer
+//! workloads in the paper are small. Extending [`super::EvalStrategy`]
+//! coverage to outer nodes is future work.
+
+use super::env::{Env, Frame};
+use super::partition::{pred_consts, pred_vars};
+use super::Ctx;
+use crate::error::{EvalError, Result};
+use crate::relation::Relation;
+use arc_core::ast::*;
+use arc_core::value::Value;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+/// Intermediate result of join-tree evaluation.
+pub(crate) struct Joined {
+    rows: Vec<Vec<Frame>>,
+    vars: Vec<(Rc<str>, Rc<Vec<String>>)>,
+    lits: Vec<Value>,
+}
+
+fn null_frames(vars: &[(Rc<str>, Rc<Vec<String>>)]) -> Vec<Frame> {
+    vars.iter()
+        .map(|(var, attrs)| Frame {
+            var: var.clone(),
+            attrs: attrs.clone(),
+            tuple: vec![Value::Null; attrs.len()],
+        })
+        .collect()
+}
+
+impl<'a> Ctx<'a> {
+    pub(crate) fn enumerate_join(
+        &self,
+        bindings: &[Binding],
+        tree: &JoinTree,
+        filters: &[&Predicate],
+        env: &mut Env,
+        cb: &mut dyn FnMut(&Ctx<'a>, &mut Env) -> Result<bool>,
+    ) -> Result<()> {
+        // The annotation must cover exactly the bound variables.
+        let tree_vars: HashSet<&str> = tree.vars().into_iter().collect();
+        if tree_vars.len() != bindings.len()
+            || !bindings.iter().all(|b| tree_vars.contains(b.var.as_str()))
+        {
+            return Err(EvalError::JoinTreeMismatch);
+        }
+        let by_var: HashMap<&str, &Binding> =
+            bindings.iter().map(|b| (b.var.as_str(), b)).collect();
+        let mut consumed: HashSet<usize> = HashSet::new();
+        let joined = self.eval_join_node(tree, &by_var, filters, &mut consumed, env)?;
+        let base = env.len();
+        for row in joined.rows {
+            for f in &row {
+                env.push(f.var.clone(), f.attrs.clone(), f.tuple.clone());
+            }
+            // Remaining (non-consumed) filters apply as WHERE.
+            let mut pass = true;
+            for (i, p) in filters.iter().enumerate() {
+                if consumed.contains(&i) {
+                    continue;
+                }
+                if !self.pred_truth(p, env)?.is_true() {
+                    pass = false;
+                    break;
+                }
+            }
+            let cont = if pass { cb(self, env)? } else { true };
+            env.truncate(base);
+            if !cont {
+                return Ok(());
+            }
+        }
+        Ok(())
+    }
+
+    fn eval_join_node(
+        &self,
+        node: &JoinTree,
+        by_var: &HashMap<&str, &Binding>,
+        filters: &[&Predicate],
+        consumed: &mut HashSet<usize>,
+        env: &mut Env,
+    ) -> Result<Joined> {
+        match node {
+            JoinTree::Var(v) => {
+                let binding = by_var.get(v.as_str()).ok_or(EvalError::JoinTreeMismatch)?;
+                let rel: Relation = match &binding.source {
+                    BindingSource::Named(name) => {
+                        if let Some(r) = self.defined.get(name) {
+                            r.clone()
+                        } else if let Some(r) = self.catalog.relation(name) {
+                            r.clone()
+                        } else if self.catalog.external(name).is_some() {
+                            return Err(EvalError::ExternalInJoinTree { var: v.clone() });
+                        } else {
+                            return Err(EvalError::UnknownRelation(name.clone()));
+                        }
+                    }
+                    BindingSource::Collection(c) => self.collection_relation(c, env)?,
+                };
+                let var: Rc<str> = Rc::from(v.as_str());
+                let attrs = Rc::new(rel.schema.clone());
+                Ok(Joined {
+                    rows: rel
+                        .rows
+                        .into_iter()
+                        .map(|t| {
+                            vec![Frame {
+                                var: var.clone(),
+                                attrs: attrs.clone(),
+                                tuple: t,
+                            }]
+                        })
+                        .collect(),
+                    vars: vec![(var, attrs)],
+                    lits: Vec::new(),
+                })
+            }
+            JoinTree::Lit(v) => Ok(Joined {
+                rows: vec![Vec::new()],
+                vars: Vec::new(),
+                lits: vec![v.clone()],
+            }),
+            JoinTree::Inner(children) => {
+                let mut acc = Joined {
+                    rows: vec![Vec::new()],
+                    vars: Vec::new(),
+                    lits: Vec::new(),
+                };
+                for c in children {
+                    let next = self.eval_join_node(c, by_var, filters, consumed, env)?;
+                    let mut rows = Vec::with_capacity(acc.rows.len() * next.rows.len().max(1));
+                    for a in &acc.rows {
+                        for b in &next.rows {
+                            let mut row = a.clone();
+                            row.extend(b.iter().cloned());
+                            rows.push(row);
+                        }
+                    }
+                    acc.rows = rows;
+                    acc.vars.extend(next.vars);
+                    acc.lits.extend(next.lits);
+                }
+                Ok(acc)
+            }
+            JoinTree::Left(l, r) => {
+                let left = self.eval_join_node(l, by_var, filters, consumed, env)?;
+                let right = self.eval_join_node(r, by_var, filters, consumed, env)?;
+                let on = self.select_on_preds(&left, &right, filters, consumed, env);
+                let mut rows = Vec::new();
+                for lrow in &left.rows {
+                    let mut matched = false;
+                    for rrow in &right.rows {
+                        if self.on_match(lrow, rrow, &on, env)? {
+                            matched = true;
+                            let mut row = lrow.clone();
+                            row.extend(rrow.iter().cloned());
+                            rows.push(row);
+                        }
+                    }
+                    if !matched {
+                        let mut row = lrow.clone();
+                        row.extend(null_frames(&right.vars));
+                        rows.push(row);
+                    }
+                }
+                Ok(Joined {
+                    rows,
+                    vars: [left.vars, right.vars].concat(),
+                    lits: [left.lits, right.lits].concat(),
+                })
+            }
+            JoinTree::Full(l, r) => {
+                let left = self.eval_join_node(l, by_var, filters, consumed, env)?;
+                let right = self.eval_join_node(r, by_var, filters, consumed, env)?;
+                let on = self.select_on_preds(&left, &right, filters, consumed, env);
+                let mut rows = Vec::new();
+                let mut right_matched = vec![false; right.rows.len()];
+                for lrow in &left.rows {
+                    let mut matched = false;
+                    for (j, rrow) in right.rows.iter().enumerate() {
+                        if self.on_match(lrow, rrow, &on, env)? {
+                            matched = true;
+                            right_matched[j] = true;
+                            let mut row = lrow.clone();
+                            row.extend(rrow.iter().cloned());
+                            rows.push(row);
+                        }
+                    }
+                    if !matched {
+                        let mut row = lrow.clone();
+                        row.extend(null_frames(&right.vars));
+                        rows.push(row);
+                    }
+                }
+                for (j, rrow) in right.rows.iter().enumerate() {
+                    if !right_matched[j] {
+                        let mut row = null_frames(&left.vars);
+                        row.extend(rrow.iter().cloned());
+                        rows.push(row);
+                    }
+                }
+                Ok(Joined {
+                    rows,
+                    vars: [left.vars, right.vars].concat(),
+                    lits: [left.lits, right.lits].concat(),
+                })
+            }
+        }
+    }
+
+    /// Select the ON predicates for an outer node: body predicates whose
+    /// variables are covered by the two sides (plus the outer environment)
+    /// and that either touch the right side's variables or compare against
+    /// one of the right side's literal leaves (paper Fig 12's
+    /// `inner(11, s)` pattern).
+    fn select_on_preds<'f>(
+        &self,
+        left: &Joined,
+        right: &Joined,
+        filters: &[&'f Predicate],
+        consumed: &mut HashSet<usize>,
+        env: &Env,
+    ) -> Vec<&'f Predicate> {
+        let left_vars: HashSet<&str> = left.vars.iter().map(|(v, _)| &**v).collect();
+        let right_vars: HashSet<&str> = right.vars.iter().map(|(v, _)| &**v).collect();
+        let mut on = Vec::new();
+        for (i, p) in filters.iter().enumerate() {
+            if consumed.contains(&i) {
+                continue;
+            }
+            let vars = pred_vars(p);
+            let covered = vars.iter().all(|v| {
+                left_vars.contains(v.as_str()) || right_vars.contains(v.as_str()) || env.has_var(v)
+            });
+            if !covered {
+                continue;
+            }
+            let touches_right = vars.iter().any(|v| right_vars.contains(v.as_str()));
+            let touches_lit =
+                !right.lits.is_empty() && pred_consts(p).iter().any(|c| right.lits.contains(c));
+            if touches_right || touches_lit {
+                consumed.insert(i);
+                on.push(*p);
+            }
+        }
+        on
+    }
+
+    fn on_match(
+        &self,
+        lrow: &[Frame],
+        rrow: &[Frame],
+        on: &[&Predicate],
+        env: &mut Env,
+    ) -> Result<bool> {
+        let base = env.len();
+        for f in lrow.iter().chain(rrow.iter()) {
+            env.push(f.var.clone(), f.attrs.clone(), f.tuple.clone());
+        }
+        let mut ok = true;
+        for p in on {
+            if !self.pred_truth(p, env)?.is_true() {
+                ok = false;
+                break;
+            }
+        }
+        env.truncate(base);
+        Ok(ok)
+    }
+}

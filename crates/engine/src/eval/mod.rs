@@ -1,0 +1,166 @@
+//! The evaluator: ARC's executable semantics, as an operator pipeline.
+//!
+//! Collections are evaluated by enumerating quantifier bindings — the
+//! `for x in X: for y in Y: if …: yield …` strategy the paper uses to
+//! *define* the semantics (§2.3) — extended with:
+//!
+//! * grouping scopes with **multiple aggregates over one scope** (§2.5, the
+//!   FIO pattern) and `γ∅` ("group by true") producing exactly one group;
+//! * correlated (lateral) nested collections (§2.4);
+//! * outer-join annotations over the binding list (§2.11), where the ON
+//!   condition of a `left`/`full` node absorbs the body predicates that
+//!   touch its right/either side (literal leaves absorb predicates that
+//!   compare against their constant);
+//! * external relations solved through access patterns (§2.13.1);
+//! * abstract relations checked in context (§2.13.2);
+//! * nested-existential **semijoin multiplicity** under bag semantics
+//!   (§2.7): head tuples emitted from inside a nested scope are
+//!   deduplicated per enclosing environment;
+//! * the [`Conventions`] switches — none of which change the code path
+//!   through the relational structure, only value-level behaviour.
+//!
+//! ## Pipeline layout
+//!
+//! The evaluator is split into focused stages, each a submodule:
+//!
+//! | module         | stage                                                     |
+//! |----------------|-----------------------------------------------------------|
+//! | [`env`]        | runtime environments (frames of bound range variables)    |
+//! | [`partition`]  | body analysis: predicate-role partitioning, free variables|
+//! | [`scalar`]     | scalar & predicate evaluation, comparisons, arithmetic    |
+//! | [`formula`]    | boolean formula / sentence evaluation                     |
+//! | [`quantifier`] | the binding loop: ordering, enumeration, join strategies  |
+//! | [`aggregate`]  | grouping scopes: accumulation, per-group verdicts         |
+//! | [`output`]     | output assembly: head-tuple construction and emission     |
+//! | [`join`]       | outer-join annotation trees (`left`/`full`, §2.11)        |
+//! | [`strategy`]   | the pluggable [`EvalStrategy`] seam                       |
+//!
+//! The **strategy seam** sits inside the binding loop: the paper-faithful
+//! [`EvalStrategy::NestedLoop`] reference enumerates cross products and
+//! filters, while [`EvalStrategy::HashJoin`] builds hash indexes on
+//! equi-join keys and probes them — producing the *same environments in
+//! the same order* (it only skips tuples the equality filters would reject
+//! anyway), so results are tuple-for-tuple identical to the reference.
+
+pub mod aggregate;
+pub mod env;
+pub mod formula;
+pub mod join;
+pub mod output;
+pub mod partition;
+pub mod quantifier;
+pub mod scalar;
+pub mod strategy;
+
+pub(crate) use env::Env;
+pub use strategy::EvalStrategy;
+
+use crate::catalog::Catalog;
+use crate::error::Result;
+use crate::relation::Relation;
+use arc_core::ast::{Collection, Formula};
+use arc_core::conventions::Conventions;
+use arc_core::value::Truth;
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// The evaluation engine: a catalog plus a convention profile plus an
+/// evaluation strategy.
+pub struct Engine<'c> {
+    pub(crate) catalog: &'c Catalog,
+    /// The convention profile queries are interpreted under (§2.6/§2.7).
+    pub conventions: Conventions,
+    /// How quantifier bindings are enumerated (identical results either
+    /// way; see [`EvalStrategy`]).
+    pub strategy: EvalStrategy,
+}
+
+impl<'c> Engine<'c> {
+    /// Create an engine over a catalog with the given conventions.
+    ///
+    /// The evaluation strategy defaults to [`EvalStrategy::from_env`], so
+    /// the full test suite can be re-run under the hash-join strategy by
+    /// setting `ARC_EVAL_STRATEGY=hash-join` without touching any call
+    /// site.
+    pub fn new(catalog: &'c Catalog, conventions: Conventions) -> Self {
+        Engine {
+            catalog,
+            conventions,
+            strategy: EvalStrategy::from_env(),
+        }
+    }
+
+    /// Override the evaluation strategy (builder style).
+    pub fn with_strategy(mut self, strategy: EvalStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    fn ctx<'a>(
+        &'a self,
+        defined: &'a HashMap<String, Relation>,
+        abstracts: &'a HashMap<String, Collection>,
+    ) -> Ctx<'a> {
+        Ctx {
+            catalog: self.catalog,
+            conv: self.conventions,
+            strategy: self.strategy,
+            defined,
+            abstracts,
+            join_indexes: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Evaluate a standalone query collection (no definitions).
+    pub fn eval_collection(&self, c: &Collection) -> Result<Relation> {
+        let (defined, abstracts) = (HashMap::new(), HashMap::new());
+        self.ctx(&defined, &abstracts)
+            .collection_relation(c, &mut Env::default())
+    }
+
+    /// Evaluate a boolean sentence (paper Fig 9).
+    pub fn eval_sentence(&self, f: &Formula) -> Result<Truth> {
+        let (defined, abstracts) = (HashMap::new(), HashMap::new());
+        self.ctx(&defined, &abstracts)
+            .formula_truth(f, &mut Env::default())
+    }
+
+    /// Evaluate a collection with pre-materialized definitions and abstract
+    /// relations in scope (used by the fixpoint driver).
+    pub(crate) fn eval_with(
+        &self,
+        c: &Collection,
+        defined: &HashMap<String, Relation>,
+        abstracts: &HashMap<String, Collection>,
+    ) -> Result<Relation> {
+        self.ctx(defined, abstracts)
+            .collection_relation(c, &mut Env::default())
+    }
+
+    /// Evaluate a sentence with definitions in scope.
+    pub(crate) fn eval_sentence_with(
+        &self,
+        f: &Formula,
+        defined: &HashMap<String, Relation>,
+        abstracts: &HashMap<String, Collection>,
+    ) -> Result<Truth> {
+        self.ctx(defined, abstracts)
+            .formula_truth(f, &mut Env::default())
+    }
+}
+
+/// The per-query evaluation context threaded through every pipeline stage.
+pub(crate) struct Ctx<'a> {
+    pub(crate) catalog: &'a Catalog,
+    pub(crate) conv: Conventions,
+    pub(crate) strategy: EvalStrategy,
+    /// Materialized intensional relations (views/CTEs/fixpoint results).
+    pub(crate) defined: &'a HashMap<String, Relation>,
+    /// Abstract relations: checked in context, never materialized.
+    pub(crate) abstracts: &'a HashMap<String, Collection>,
+    /// Per-query cache of equi-join hash indexes, keyed by relation
+    /// address + key columns (addresses are stable for the `Ctx` lifetime;
+    /// see `Ctx::join_index`). Correlated scopes re-enter `enumerate` once
+    /// per outer environment and reuse these instead of rebuilding.
+    pub(crate) join_indexes: quantifier::JoinIndexCache,
+}

@@ -1,0 +1,302 @@
+//! Output assembly: building head tuples from assignment predicates and
+//! emitting them through the (possibly disjunctive, possibly nested)
+//! emission spine.
+
+use super::aggregate;
+use super::env::{Env, Frame};
+use super::partition::{partition, Parts};
+use super::Ctx;
+use crate::error::{EvalError, Result};
+use crate::relation::{Relation, Tuple};
+use arc_core::ast::*;
+use arc_core::conventions::Semantics;
+use arc_core::value::{Key, Value};
+use std::collections::{BTreeMap, HashSet};
+
+/// Partial head tuple: per-attribute assigned value.
+pub(crate) type Partial = Vec<Option<Value>>;
+
+/// The output relation being assembled: name + attribute schema.
+pub(crate) struct HeadCtx<'h> {
+    pub(crate) name: &'h str,
+    pub(crate) attrs: &'h [String],
+}
+
+impl Ctx<'_> {
+    /// Evaluate a collection to a relation (applying the set-semantics
+    /// deduplication convention at the collection boundary).
+    pub(crate) fn collection_relation(&self, c: &Collection, env: &mut Env) -> Result<Relation> {
+        let tuples = self.collection_tuples(c, env)?;
+        let mut rel = Relation::new(c.head.relation.clone(), &[]);
+        rel.schema = c.head.attrs.clone();
+        rel.rows = tuples;
+        Ok(match self.conv.semantics {
+            Semantics::Set => rel.deduped(),
+            Semantics::Bag => rel,
+        })
+    }
+
+    fn collection_tuples(&self, c: &Collection, env: &mut Env) -> Result<Vec<Tuple>> {
+        let head = HeadCtx {
+            name: &c.head.relation,
+            attrs: &c.head.attrs,
+        };
+        let mut out = Vec::new();
+        let partial: Partial = vec![None; c.head.attrs.len()];
+        self.emit_branch(&c.body, &head, &partial, env, &mut out)?;
+        Ok(out)
+    }
+
+    pub(crate) fn emit_branch(
+        &self,
+        f: &Formula,
+        head: &HeadCtx<'_>,
+        partial: &Partial,
+        env: &mut Env,
+        out: &mut Vec<Tuple>,
+    ) -> Result<()> {
+        match f {
+            Formula::Or(branches) => {
+                for b in branches {
+                    self.emit_branch(b, head, partial, env, out)?;
+                }
+                Ok(())
+            }
+            Formula::Quant(q) => self.emit_quant(
+                &q.bindings,
+                q.grouping.as_ref(),
+                q.join.as_ref(),
+                &q.body,
+                head,
+                partial,
+                env,
+                out,
+            ),
+            other => self.emit_quant(&[], None, None, other, head, partial, env, out),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn emit_quant(
+        &self,
+        bindings: &[Binding],
+        grouping: Option<&Grouping>,
+        join: Option<&JoinTree>,
+        body: &Formula,
+        head: &HeadCtx<'_>,
+        partial: &Partial,
+        env: &mut Env,
+        out: &mut Vec<Tuple>,
+    ) -> Result<()> {
+        let parts = partition(body, head.name);
+        match grouping {
+            None => self.emit_existential(bindings, join, &parts, head, partial, env, out),
+            Some(g) => self.emit_grouped(bindings, join, g, &parts, head, partial, env, out),
+        }
+    }
+
+    /// Plain existential scope: each surviving environment contributes one
+    /// head tuple (or descends into the spine).
+    #[allow(clippy::too_many_arguments)]
+    fn emit_existential(
+        &self,
+        bindings: &[Binding],
+        join: Option<&JoinTree>,
+        parts: &Parts<'_>,
+        head: &HeadCtx<'_>,
+        partial: &Partial,
+        env: &mut Env,
+        out: &mut Vec<Tuple>,
+    ) -> Result<()> {
+        if let Some(p) = parts.agg_tests.first() {
+            return Err(EvalError::AggregateOutsideGrouping(p.to_string()));
+        }
+        if let Some((attr, _)) = parts.agg_assigns.first() {
+            return Err(EvalError::AggregateOutsideGrouping(format!(
+                "{}.{attr}",
+                head.name
+            )));
+        }
+        if !parts.post_bool.is_empty() {
+            return Err(EvalError::AggregateOutsideGrouping(
+                "aggregate under a connective".to_string(),
+            ));
+        }
+        if parts.spines.len() > 1 {
+            return Err(EvalError::MultipleSpines);
+        }
+        self.enumerate(bindings, join, &parts.filters, env, &mut |ctx, env| {
+            for b in &parts.pre_bool {
+                if !ctx.formula_truth(b, env)?.is_true() {
+                    return Ok(true);
+                }
+            }
+            let mut p2 = partial.clone();
+            let mut consistent = true;
+            for (attr, expr) in &parts.assigns {
+                let v = ctx.scalar(expr, env)?;
+                if !set_partial(&mut p2, head, attr, v)? {
+                    consistent = false;
+                    break;
+                }
+            }
+            if !consistent {
+                return Ok(true);
+            }
+            if let Some(spine) = parts.spines.first() {
+                // Nested existential: emissions collapse per
+                // environment (semijoin multiplicity, §2.7).
+                let mut sub = Vec::new();
+                ctx.emit_branch(spine, head, &p2, env, &mut sub)?;
+                dedupe_in_place(&mut sub);
+                out.extend(sub);
+            } else {
+                out.push(complete(&p2, head)?);
+            }
+            Ok(true)
+        })
+    }
+
+    /// Grouping scope: materialize surviving environments per key, then
+    /// emit one head tuple per passing group.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_grouped(
+        &self,
+        bindings: &[Binding],
+        join: Option<&JoinTree>,
+        g: &Grouping,
+        parts: &Parts<'_>,
+        head: &HeadCtx<'_>,
+        partial: &Partial,
+        env: &mut Env,
+        out: &mut Vec<Tuple>,
+    ) -> Result<()> {
+        if !parts.spines.is_empty() {
+            return Err(EvalError::SpineUnderGrouping);
+        }
+        // Materialize surviving local environments, grouped by key.
+        let base = env.len();
+        let mut groups: BTreeMap<Vec<Key>, Vec<Vec<Frame>>> = BTreeMap::new();
+        self.enumerate(bindings, join, &parts.filters, env, &mut |ctx, env| {
+            for b in &parts.pre_bool {
+                if !ctx.formula_truth(b, env)?.is_true() {
+                    return Ok(true);
+                }
+            }
+            let mut key = Vec::with_capacity(g.keys.len());
+            for k in &g.keys {
+                key.push(env.lookup(&k.var, &k.attr)?.key());
+            }
+            groups
+                .entry(key)
+                .or_default()
+                .push(env.frames[base..].to_vec());
+            Ok(true)
+        })?;
+        // γ∅: exactly one group, even over an empty join (§2.5 — "there is
+        // just one group", like SQL's aggregate query without GROUP BY).
+        if g.keys.is_empty() && groups.is_empty() {
+            groups.insert(Vec::new(), Vec::new());
+        }
+        for members in groups.values() {
+            // Representative environment: outer frames plus the first
+            // member's local frames (grouping keys are constant within a
+            // group).
+            let repr: Option<&Vec<Frame>> = members.first();
+            if let Some(frames) = repr {
+                for f in frames {
+                    env.push(f.var.clone(), f.attrs.clone(), f.tuple.clone());
+                }
+            }
+            let verdict = aggregate::group_verdict(self, parts, members, env);
+            let emitted = match verdict {
+                Ok(true) => {
+                    let mut p2 = partial.clone();
+                    let mut ok = true;
+                    for (attr, expr) in &parts.assigns {
+                        let v = self.scalar(expr, env)?;
+                        if !set_partial(&mut p2, head, attr, v)? {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        for (attr, expr) in &parts.agg_assigns {
+                            let v = aggregate::group_scalar(self, expr, members, env)?;
+                            if !set_partial(&mut p2, head, attr, v)? {
+                                ok = false;
+                                break;
+                            }
+                        }
+                    }
+                    if ok {
+                        Some(complete(&p2, head)?)
+                    } else {
+                        None
+                    }
+                }
+                Ok(false) => None,
+                Err(e) => {
+                    env.truncate(base);
+                    return Err(e);
+                }
+            };
+            env.truncate(base);
+            if let Some(t) = emitted {
+                out.push(t);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Record an assignment into the partial head tuple. Returns `false` when
+/// a conflicting value was already assigned (the row then fails, since both
+/// equalities cannot hold).
+pub(crate) fn set_partial(
+    partial: &mut Partial,
+    head: &HeadCtx<'_>,
+    attr: &str,
+    v: Value,
+) -> Result<bool> {
+    let idx =
+        head.attrs
+            .iter()
+            .position(|a| a == attr)
+            .ok_or_else(|| EvalError::UnknownAttribute {
+                var: head.name.to_string(),
+                attr: attr.to_string(),
+            })?;
+    match &partial[idx] {
+        Some(existing) => {
+            // NULL = NULL assignments agree only structurally; two
+            // assignments must produce the same key to both hold.
+            Ok(existing.key() == v.key())
+        }
+        None => {
+            partial[idx] = Some(v);
+            Ok(true)
+        }
+    }
+}
+
+pub(crate) fn complete(partial: &Partial, head: &HeadCtx<'_>) -> Result<Tuple> {
+    let mut out = Vec::with_capacity(partial.len());
+    for (i, slot) in partial.iter().enumerate() {
+        match slot {
+            Some(v) => out.push(v.clone()),
+            None => {
+                return Err(EvalError::MissingAssignment {
+                    collection: head.name.to_string(),
+                    attr: head.attrs[i].clone(),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+pub(crate) fn dedupe_in_place(rows: &mut Vec<Tuple>) {
+    let mut seen: HashSet<Vec<Key>> = HashSet::with_capacity(rows.len());
+    rows.retain(|r| seen.insert(Relation::row_key(r)));
+}

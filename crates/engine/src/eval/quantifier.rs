@@ -1,0 +1,532 @@
+//! The binding loop: ordering bindings, enumerating environments, and the
+//! pluggable join strategy.
+//!
+//! [`Ctx::enumerate`] drives a callback over every environment of a
+//! quantifier scope that survives the filter predicates. Ordering places
+//! external/abstract relations after the bindings that determine their
+//! inputs and lateral nested collections after their referenced siblings.
+//!
+//! Under [`EvalStrategy::HashJoin`](super::EvalStrategy::HashJoin) the
+//! ordering pass additionally attaches a [`HashPlan`] to every relation
+//! binding reachable through equality predicates from already-placed
+//! variables; enumeration then probes a hash index instead of scanning.
+//! The probe iterates matches in the relation's original row order and
+//! every filter is still re-checked at the leaf, so the callback sees
+//! exactly the environments the nested loop would produce, in the same
+//! order — the strategies are observably identical, only faster.
+
+use super::env::Env;
+use super::partition::{equality_pair, free_vars};
+use super::strategy::EvalStrategy;
+use super::Ctx;
+use crate::error::{EvalError, Result};
+use crate::external::{AccessPattern, ExternalRelation};
+use crate::relation::Relation;
+use arc_core::ast::*;
+use arc_core::value::{Key, Value};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Where one ordered binding draws its tuples from.
+pub(crate) enum Src<'b> {
+    /// A materialized relation (base, defined, or fixpoint result).
+    Rows(&'b Relation),
+    /// A correlated nested collection, evaluated per environment.
+    Nested(&'b Collection),
+    /// An external relation solved through an access pattern (§2.13.1).
+    External {
+        ext: &'b ExternalRelation,
+        pattern: &'b AccessPattern,
+        inputs: Vec<Scalar>,
+    },
+    /// An abstract relation checked in context (§2.13.2).
+    Abstract {
+        def: &'b Collection,
+        inputs: Vec<Scalar>,
+    },
+}
+
+/// Equi-join access plan for one relation binding: which columns form the
+/// hash key and which outer expressions produce the probe key.
+pub(crate) struct HashPlan<'b> {
+    /// Column indices (into the relation schema) of the join key.
+    key_cols: Vec<usize>,
+    /// Outer-side expressions, parallel to `key_cols`.
+    probe_exprs: Vec<&'b Scalar>,
+}
+
+/// A hash index over a relation: join key → row indices in original order.
+pub(crate) type HashIndex = HashMap<Vec<Key>, Vec<u32>>;
+
+/// The per-query index cache living on [`Ctx`], keyed by relation address
+/// plus key columns (see [`Ctx::join_index`] for why addresses are stable).
+pub(crate) type JoinIndexCache = std::cell::RefCell<HashMap<(usize, Vec<usize>), Rc<HashIndex>>>;
+
+/// A value's hash key for equi-join purposes, or `None` when the value can
+/// never satisfy an equality predicate (`NULL` compares as `Unknown`; a
+/// float `NaN` is incomparable even to itself), so indexing/probing with
+/// it must produce no matches.
+fn join_key(v: &Value) -> Option<Key> {
+    match v {
+        Value::Null => None,
+        Value::Float(f) if f.is_nan() => None,
+        // `Value::key()` normalizes integral floats to integer keys, so
+        // key equality coincides exactly with `compare(..) == Equal` for
+        // the remaining values.
+        other => Some(other.key()),
+    }
+}
+
+impl<'b> HashPlan<'b> {
+    fn build_index(&self, rel: &Relation) -> HashIndex {
+        let mut index: HashIndex = HashMap::with_capacity(rel.rows.len());
+        'rows: for (i, row) in rel.rows.iter().enumerate() {
+            let mut key = Vec::with_capacity(self.key_cols.len());
+            for &c in &self.key_cols {
+                match join_key(&row[c]) {
+                    Some(k) => key.push(k),
+                    None => continue 'rows,
+                }
+            }
+            index.entry(key).or_default().push(i as u32);
+        }
+        index
+    }
+
+    fn probe_key(&self, ctx: &Ctx<'_>, env: &mut Env) -> Result<Option<Vec<Key>>> {
+        let mut key = Vec::with_capacity(self.probe_exprs.len());
+        for e in &self.probe_exprs {
+            match join_key(&ctx.scalar(e, env)?) {
+                Some(k) => key.push(k),
+                None => return Ok(None),
+            }
+        }
+        Ok(Some(key))
+    }
+}
+
+/// One binding with a resolved source (and optional hash-join plan), in
+/// enumeration order.
+pub(crate) struct Ordered<'b> {
+    var: Rc<str>,
+    source: Src<'b>,
+    hash_plan: Option<HashPlan<'b>>,
+    /// The plan's index, memoized on first probe so the hot loop touches
+    /// neither the [`Ctx`]-level cache nor its heap-allocated key again.
+    index: std::cell::OnceCell<Rc<HashIndex>>,
+}
+
+/// The attribute schema an [`Ordered`] binding exposes to later probe
+/// expressions (needed for plan-time validation of attribute references).
+fn source_schema<'b>(src: &Src<'b>) -> &'b [String] {
+    match src {
+        Src::Rows(rel) => &rel.schema,
+        Src::Nested(c) => &c.head.attrs,
+        Src::External { ext, .. } => &ext.schema,
+        Src::Abstract { def, .. } => &def.head.attrs,
+    }
+}
+
+impl<'a> Ctx<'a> {
+    /// Enumerate all binding environments of a quantifier, applying the
+    /// filter predicates, and invoke `cb` for each survivor. `cb` returns
+    /// `Ok(false)` to stop early (existential short-circuit).
+    pub(crate) fn enumerate(
+        &self,
+        bindings: &[Binding],
+        join: Option<&JoinTree>,
+        filters: &[&Predicate],
+        env: &mut Env,
+        cb: &mut dyn FnMut(&Ctx<'a>, &mut Env) -> Result<bool>,
+    ) -> Result<()> {
+        if let Some(tree) = join {
+            if tree.has_outer() {
+                return self.enumerate_join(bindings, tree, filters, env, cb);
+            }
+            // A pure-inner annotation is semantically the default join.
+        }
+        let order = self.order_bindings(bindings, filters, env)?;
+        self.enumerate_rec(&order, 0, filters, env, cb).map(|_| ())
+    }
+
+    /// Build (or fetch from the per-query cache) the hash index for a plan
+    /// over a relation. The cache key is the relation's address plus the
+    /// key columns: relations are borrowed from the catalog or the
+    /// `defined` map, both immutable for the lifetime of the [`Ctx`], so
+    /// addresses are stable — and correlated scopes (one `enumerate` call
+    /// per outer environment) reuse the index instead of rebuilding it per
+    /// outer row.
+    fn join_index(&self, plan: &HashPlan<'_>, rel: &Relation) -> Rc<HashIndex> {
+        let key = (rel as *const Relation as usize, plan.key_cols.clone());
+        if let Some(index) = self.join_indexes.borrow().get(&key) {
+            return index.clone();
+        }
+        let index = Rc::new(plan.build_index(rel));
+        self.join_indexes.borrow_mut().insert(key, index.clone());
+        index
+    }
+
+    /// Recursive enumeration; returns false when stopped early. Each level
+    /// either scans its source (nested loop) or probes a lazily built hash
+    /// index (hash join) — the latter yields the same rows in the same
+    /// order, minus those an equality filter would reject.
+    fn enumerate_rec(
+        &self,
+        order: &[Ordered<'_>],
+        i: usize,
+        filters: &[&Predicate],
+        env: &mut Env,
+        cb: &mut dyn FnMut(&Ctx<'a>, &mut Env) -> Result<bool>,
+    ) -> Result<bool> {
+        if i == order.len() {
+            // All bound: apply filters, then the callback.
+            for p in filters {
+                if !self.pred_truth(p, env)?.is_true() {
+                    return Ok(true);
+                }
+            }
+            return cb(self, env);
+        }
+        let ob = &order[i];
+        match &ob.source {
+            Src::Rows(rel) => {
+                let attrs = Rc::new(rel.schema.clone());
+                if let Some(plan) = &ob.hash_plan {
+                    let Some(key) = plan.probe_key(self, env)? else {
+                        return Ok(true); // NULL/NaN probe: no row can match
+                    };
+                    let index = ob.index.get_or_init(|| self.join_index(plan, rel));
+                    if let Some(matches) = index.get(&key) {
+                        for &ridx in matches {
+                            let row = &rel.rows[ridx as usize];
+                            env.push(ob.var.clone(), attrs.clone(), row.clone());
+                            let cont = self.enumerate_rec(order, i + 1, filters, env, cb)?;
+                            env.pop();
+                            if !cont {
+                                return Ok(false);
+                            }
+                        }
+                    }
+                    return Ok(true);
+                }
+                for row in &rel.rows {
+                    env.push(ob.var.clone(), attrs.clone(), row.clone());
+                    let cont = self.enumerate_rec(order, i + 1, filters, env, cb)?;
+                    env.pop();
+                    if !cont {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            Src::Nested(c) => {
+                // Lateral: evaluate the nested collection per environment.
+                let rel = self.collection_relation(c, env)?;
+                let attrs = Rc::new(rel.schema.clone());
+                for row in rel.rows {
+                    env.push(ob.var.clone(), attrs.clone(), row);
+                    let cont = self.enumerate_rec(order, i + 1, filters, env, cb)?;
+                    env.pop();
+                    if !cont {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            Src::External {
+                ext,
+                pattern,
+                inputs,
+            } => {
+                let mut vals = Vec::with_capacity(inputs.len());
+                let mut null_input = false;
+                for e in inputs {
+                    let v = self.scalar(e, env)?;
+                    if v.is_null() {
+                        null_input = true;
+                        break;
+                    }
+                    vals.push(v);
+                }
+                if null_input {
+                    return Ok(true); // no tuples relate to NULL operands
+                }
+                let attrs = Rc::new(ext.schema.clone());
+                for tuple in (pattern.complete)(&vals) {
+                    env.push(ob.var.clone(), attrs.clone(), tuple);
+                    let cont = self.enumerate_rec(order, i + 1, filters, env, cb)?;
+                    env.pop();
+                    if !cont {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            Src::Abstract { def, inputs } => {
+                // Determine the full candidate tuple, then check membership
+                // by evaluating the abstract definition's body with the
+                // head fixed (§2.13.2).
+                let mut tuple = Vec::with_capacity(inputs.len());
+                let mut null_input = false;
+                for e in inputs {
+                    let v = self.scalar(e, env)?;
+                    if v.is_null() {
+                        null_input = true;
+                        break;
+                    }
+                    tuple.push(v);
+                }
+                if null_input {
+                    return Ok(true);
+                }
+                let head_attrs = Rc::new(def.head.attrs.clone());
+                let head_var: Rc<str> = Rc::from(def.head.relation.as_str());
+                env.push(head_var, head_attrs.clone(), tuple.clone());
+                let holds = self.formula_truth(&def.body, env)?;
+                env.pop();
+                if holds.is_true() {
+                    env.push(ob.var.clone(), head_attrs, tuple);
+                    let cont = self.enumerate_rec(order, i + 1, filters, env, cb)?;
+                    env.pop();
+                    if !cont {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+        }
+    }
+
+    /// Order bindings so that external/abstract relations come after the
+    /// bindings that determine their inputs, and laterally-dependent nested
+    /// collections after their referenced siblings. Under the hash-join
+    /// strategy, also attach an equi-join [`HashPlan`] where one applies.
+    fn order_bindings<'c>(
+        &'c self,
+        bindings: &'c [Binding],
+        filters: &[&'c Predicate],
+        env: &Env,
+    ) -> Result<Vec<Ordered<'c>>> {
+        let mut remaining: Vec<&Binding> = bindings.iter().collect();
+        let mut available: Vec<String> = Vec::new();
+        let mut out: Vec<Ordered<'c>> = Vec::with_capacity(bindings.len());
+
+        // Equality predicates usable to determine external/abstract inputs
+        // (and, under hash join, equi-join keys).
+        let equalities: Vec<(&AttrRef, &Scalar)> =
+            filters.iter().flat_map(|p| equality_pair(p)).collect();
+
+        // A variable is usable by an input/probe/lateral expression only
+        // once it is *placed*. A name declared by this quantifier but not
+        // yet placed must NOT fall back to a same-named outer variable:
+        // the local binding shadows it, and resolving through the outer
+        // one would silently evaluate against the wrong tuple.
+        let locals: std::collections::HashSet<&str> =
+            bindings.iter().map(|b| b.var.as_str()).collect();
+        let usable = |var: &str, available: &[String], env: &Env| -> bool {
+            available.iter().any(|v| v == var) || (!locals.contains(var) && env.has_var(var))
+        };
+        let resolvable = |expr: &Scalar, available: &[String], env: &Env| -> bool {
+            expr.attr_refs()
+                .iter()
+                .all(|r| usable(&r.var, available, env))
+        };
+
+        while !remaining.is_empty() {
+            let mut placed = None;
+            'scan: for (idx, b) in remaining.iter().enumerate() {
+                match &b.source {
+                    BindingSource::Named(name) => {
+                        if let Some(rel) = self.defined.get(name) {
+                            placed = Some((idx, Src::Rows(rel)));
+                            break 'scan;
+                        }
+                        if let Some(rel) = self.catalog.relation(name) {
+                            placed = Some((idx, Src::Rows(rel)));
+                            break 'scan;
+                        }
+                        if let Some(def) = self.abstracts.get(name) {
+                            // All attributes must be determined.
+                            let mut inputs = Vec::with_capacity(def.head.attrs.len());
+                            for attr in &def.head.attrs {
+                                let found = equalities.iter().find(|(a, e)| {
+                                    a.var == b.var
+                                        && &a.attr == attr
+                                        && resolvable(e, &available, env)
+                                });
+                                match found {
+                                    Some((_, e)) => inputs.push((*e).clone()),
+                                    None => continue 'scan,
+                                }
+                            }
+                            placed = Some((idx, Src::Abstract { def, inputs }));
+                            break 'scan;
+                        }
+                        if let Some(ext) = self.catalog.external(name) {
+                            for pattern in &ext.patterns {
+                                let mut inputs = Vec::with_capacity(pattern.bound.len());
+                                let mut ok = true;
+                                for &pos in &pattern.bound {
+                                    let attr = &ext.schema[pos];
+                                    let found = equalities.iter().find(|(a, e)| {
+                                        a.var == b.var
+                                            && &a.attr == attr
+                                            && resolvable(e, &available, env)
+                                    });
+                                    match found {
+                                        Some((_, e)) => inputs.push((*e).clone()),
+                                        None => {
+                                            ok = false;
+                                            break;
+                                        }
+                                    }
+                                }
+                                if ok {
+                                    placed = Some((
+                                        idx,
+                                        Src::External {
+                                            ext,
+                                            pattern,
+                                            inputs,
+                                        },
+                                    ));
+                                    break 'scan;
+                                }
+                            }
+                            continue 'scan;
+                        }
+                        return Err(EvalError::UnknownRelation(name.clone()));
+                    }
+                    BindingSource::Collection(c) => {
+                        // Nested collections may reference earlier siblings
+                        // (lateral); place once free variables are bound.
+                        let free = free_vars(c);
+                        let ready = free.iter().all(|v| usable(v, &available, env));
+                        if ready {
+                            placed = Some((idx, Src::Nested(c)));
+                            break 'scan;
+                        }
+                    }
+                }
+            }
+            match placed {
+                Some((idx, source)) => {
+                    let b = remaining.remove(idx);
+                    let hash_plan = match (&self.strategy, &source) {
+                        (EvalStrategy::HashJoin, Src::Rows(rel)) => {
+                            self.hash_plan(&b.var, rel, &equalities, &available, env, &usable, &out)
+                        }
+                        _ => None,
+                    };
+                    available.push(b.var.clone());
+                    out.push(Ordered {
+                        var: Rc::from(b.var.as_str()),
+                        source,
+                        hash_plan,
+                        index: std::cell::OnceCell::new(),
+                    });
+                }
+                None => {
+                    // Report the most informative error.
+                    let b = remaining[0];
+                    return Err(match &b.source {
+                        BindingSource::Named(name) if self.catalog.external(name).is_some() => {
+                            EvalError::NoAccessPath {
+                                relation: name.clone(),
+                                var: b.var.clone(),
+                            }
+                        }
+                        BindingSource::Named(name) if self.abstracts.contains_key(name) => {
+                            EvalError::AbstractUnderdetermined {
+                                relation: name.clone(),
+                                var: b.var.clone(),
+                            }
+                        }
+                        BindingSource::Named(name) => EvalError::UnknownRelation(name.clone()),
+                        BindingSource::Collection(c) => EvalError::UnboundVariable(
+                            free_vars(c).into_iter().next().unwrap_or_default(),
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Find the equi-join key for `var` over `rel`: every equality filter
+    /// `var.attr = expr` whose other side is computable from bindings
+    /// placed *before* `var` (or an outer variable that no local binding
+    /// shadows — see `usable` in `order_bindings`) and does not mention
+    /// `var` itself contributes one key column.
+    ///
+    /// Probe expressions are additionally validated attribute-by-attribute
+    /// against the schemas they will resolve to. Scalar evaluation errors
+    /// are data-independent (`UnknownAttribute` is the only one reachable
+    /// here), so rejecting an unresolvable expression *at plan time* keeps
+    /// the strategies observably identical on error paths too: the nested
+    /// loop surfaces such errors only if enumeration actually reaches the
+    /// offending filter, and the fallback scan reproduces exactly that.
+    #[allow(clippy::too_many_arguments)]
+    fn hash_plan<'c>(
+        &self,
+        var: &str,
+        rel: &Relation,
+        equalities: &[(&'c AttrRef, &'c Scalar)],
+        available: &[String],
+        env: &Env,
+        usable: &dyn Fn(&str, &[String], &Env) -> bool,
+        placed: &[Ordered<'c>],
+    ) -> Option<HashPlan<'c>> {
+        // Plan-time attribute resolution, mirroring runtime lookup order:
+        // placed bindings shadow the outer environment, innermost first.
+        let attr_resolves = |r: &AttrRef| -> bool {
+            for ob in placed.iter().rev() {
+                if *ob.var == r.var {
+                    return source_schema(&ob.source).contains(&r.attr);
+                }
+            }
+            for f in env.frames.iter().rev() {
+                if *f.var == r.var {
+                    return f.attrs.contains(&r.attr);
+                }
+            }
+            false
+        };
+        let mut key_cols = Vec::new();
+        let mut probe_exprs = Vec::new();
+        for (a, other) in equalities {
+            if a.var != var {
+                continue;
+            }
+            let Some(col) = rel.attr_index(&a.attr) else {
+                continue;
+            };
+            // Aggregates cannot appear in filters (partitioning routes
+            // them elsewhere), but guard anyway: probing must be a pure
+            // per-tuple evaluation.
+            if other.has_aggregate() {
+                continue;
+            }
+            let refs = other.attr_refs();
+            if refs.iter().any(|r| r.var == var) {
+                continue;
+            }
+            if !refs
+                .iter()
+                .all(|r| usable(&r.var, available, env) && attr_resolves(r))
+            {
+                continue;
+            }
+            key_cols.push(col);
+            probe_exprs.push(*other);
+        }
+        if key_cols.is_empty() {
+            None
+        } else {
+            Some(HashPlan {
+                key_cols,
+                probe_exprs,
+            })
+        }
+    }
+}

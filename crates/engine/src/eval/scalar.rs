@@ -1,0 +1,131 @@
+//! Scalar and predicate evaluation in tuple context: attribute lookup,
+//! comparisons under the active null convention, and arithmetic.
+
+use super::env::Env;
+use super::Ctx;
+use crate::error::{EvalError, Result};
+use arc_core::ast::*;
+use arc_core::conventions::NullLogic;
+use arc_core::value::{Truth, Value};
+
+impl Ctx<'_> {
+    /// Evaluate a scalar in tuple context (no aggregates).
+    pub(crate) fn scalar(&self, s: &Scalar, env: &mut Env) -> Result<Value> {
+        match s {
+            Scalar::Attr(a) => env.lookup(&a.var, &a.attr),
+            Scalar::Const(v) => Ok(v.clone()),
+            Scalar::Agg(call) => Err(EvalError::AggregateOutsideGrouping(call.to_string())),
+            Scalar::Arith { op, left, right } => {
+                let l = self.scalar(left, env)?;
+                let r = self.scalar(right, env)?;
+                Ok(arith(*op, &l, &r))
+            }
+        }
+    }
+
+    /// Evaluate a predicate leaf to a truth value.
+    pub(crate) fn pred_truth(&self, p: &Predicate, env: &mut Env) -> Result<Truth> {
+        match p {
+            Predicate::Cmp { left, op, right } => {
+                let l = self.scalar(left, env)?;
+                let r = self.scalar(right, env)?;
+                Ok(self.compare(&l, *op, &r))
+            }
+            Predicate::IsNull { expr, negated } => {
+                let v = self.scalar(expr, env)?;
+                Ok(Truth::from_bool(v.is_null() != *negated))
+            }
+        }
+    }
+
+    /// Compare two values under the active null-logic convention.
+    pub(crate) fn compare(&self, l: &Value, op: CmpOp, r: &Value) -> Truth {
+        let t = if l.is_null() || r.is_null() {
+            Truth::Unknown
+        } else {
+            match l.compare(r) {
+                Some(ord) => Truth::from_bool(match op {
+                    CmpOp::Eq => ord == std::cmp::Ordering::Equal,
+                    CmpOp::Ne => ord != std::cmp::Ordering::Equal,
+                    CmpOp::Lt => ord == std::cmp::Ordering::Less,
+                    CmpOp::Le => ord != std::cmp::Ordering::Greater,
+                    CmpOp::Gt => ord == std::cmp::Ordering::Greater,
+                    CmpOp::Ge => ord != std::cmp::Ordering::Less,
+                }),
+                // Incomparable (heterogeneous) values: only equality-family
+                // operators have a defined answer.
+                None => match op {
+                    CmpOp::Eq => Truth::False,
+                    CmpOp::Ne => Truth::True,
+                    _ => Truth::Unknown,
+                },
+            }
+        };
+        match self.conv.null_logic {
+            NullLogic::ThreeValued => t,
+            NullLogic::TwoValued => {
+                if t == Truth::Unknown {
+                    Truth::False
+                } else {
+                    t
+                }
+            }
+        }
+    }
+}
+
+/// Null-propagating arithmetic; integer ops stay integral, `Div` follows
+/// SQL integer division for integer operands, division by zero yields
+/// `NULL` (documented deviation: SQL raises an error; an error value would
+/// poison whole-query evaluation for a single bad tuple).
+pub(crate) fn arith(op: ArithOp, l: &Value, r: &Value) -> Value {
+    if l.is_null() || r.is_null() {
+        return Value::Null;
+    }
+    if let (Value::Int(a), Value::Int(b)) = (l, r) {
+        return match op {
+            ArithOp::Add => Value::Int(a.wrapping_add(*b)),
+            ArithOp::Sub => Value::Int(a.wrapping_sub(*b)),
+            ArithOp::Mul => Value::Int(a.wrapping_mul(*b)),
+            ArithOp::Div => {
+                if *b == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(a.wrapping_div(*b))
+                }
+            }
+        };
+    }
+    match (l.as_f64(), r.as_f64()) {
+        (Some(a), Some(b)) => match op {
+            ArithOp::Add => Value::Float(a + b),
+            ArithOp::Sub => Value::Float(a - b),
+            ArithOp::Mul => Value::Float(a * b),
+            ArithOp::Div => {
+                if b == 0.0 {
+                    Value::Null
+                } else {
+                    Value::Float(a / b)
+                }
+            }
+        },
+        _ => Value::Null,
+    }
+}
+
+/// Sum a slice of values: integral when all inputs are, float otherwise.
+pub(crate) fn fold_sum(values: &[Value]) -> Value {
+    let all_int = values.iter().all(|v| matches!(v, Value::Int(_)));
+    if all_int {
+        Value::Int(values.iter().filter_map(|v| v.as_i64()).sum())
+    } else {
+        match values
+            .iter()
+            .map(|v| v.as_f64())
+            .collect::<Option<Vec<f64>>>()
+        {
+            Some(fs) => Value::Float(fs.iter().sum()),
+            None => Value::Null,
+        }
+    }
+}

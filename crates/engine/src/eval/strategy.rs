@@ -1,0 +1,47 @@
+//! The pluggable evaluation-strategy seam.
+
+/// How the binding loop enumerates quantifier environments.
+///
+/// Both strategies implement the **same semantics** and, by construction,
+/// produce the same result rows *in the same order*: the hash-join
+/// strategy only skips environments that the equi-join filter predicates
+/// would reject anyway, and it re-checks every filter before emitting.
+/// The engine test suite is run under both (`ARC_EVAL_STRATEGY=hash-join
+/// cargo test -p arc-engine`), and `crates/bench/benches/ablation.rs`
+/// measures the gap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EvalStrategy {
+    /// The paper's conceptual strategy (§2.3): enumerate the cross product
+    /// of all bindings and filter. The reference semantics — kept simple
+    /// enough to *read as* the paper's definition.
+    #[default]
+    NestedLoop,
+    /// Build a hash index over each relation binding that is reachable
+    /// through equality predicates from already-bound variables, and probe
+    /// instead of scanning. Equi-join workloads drop from O(n·m) to
+    /// O(n+m); everything else transparently falls back to the nested
+    /// loop.
+    HashJoin,
+}
+
+impl EvalStrategy {
+    /// The workspace-wide default, overridable via the `ARC_EVAL_STRATEGY`
+    /// environment variable (`nested-loop` | `hash-join`). This is how the
+    /// entire existing test suite doubles as a strategy-equivalence suite.
+    ///
+    /// # Panics
+    /// Panics on an unrecognized value — a typo in the variable should
+    /// fail loudly, not silently benchmark the wrong engine.
+    pub fn from_env() -> Self {
+        match std::env::var("ARC_EVAL_STRATEGY") {
+            Err(_) => EvalStrategy::NestedLoop,
+            Ok(v) => match v.to_lowercase().replace('_', "-").as_str() {
+                "" | "nested-loop" | "nestedloop" => EvalStrategy::NestedLoop,
+                "hash-join" | "hashjoin" => EvalStrategy::HashJoin,
+                other => panic!(
+                    "unknown ARC_EVAL_STRATEGY `{other}` (expected `nested-loop` or `hash-join`)"
+                ),
+            },
+        }
+    }
+}

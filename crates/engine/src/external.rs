@@ -99,11 +99,7 @@ fn ternary_numeric(
 
 /// Apply a float-level op while preserving integer typing when both inputs
 /// are integers and the result is integral.
-fn numeric_binop(
-    a: &Value,
-    b: &Value,
-    f: impl Fn(f64, f64) -> Option<f64>,
-) -> Option<Value> {
+fn numeric_binop(a: &Value, b: &Value, f: impl Fn(f64, f64) -> Option<f64>) -> Option<Value> {
     let (x, y) = (a.as_f64()?, b.as_f64()?);
     let out = f(x, y)?;
     let both_int = matches!((a, b), (Value::Int(_), Value::Int(_)));

@@ -71,11 +71,7 @@ impl Engine<'_> {
 
     /// Evaluate a boolean sentence in the context of a program's
     /// definitions.
-    pub fn eval_sentence_in(
-        &self,
-        p: &Program,
-        f: &Formula,
-    ) -> Result<arc_core::value::Truth> {
+    pub fn eval_sentence_in(&self, p: &Program, f: &Formula) -> Result<arc_core::value::Truth> {
         let (defined, abstracts) = self.materialize_definitions(p, FixpointStrategy::default())?;
         self.eval_sentence_with(f, &defined, &abstracts)
     }
@@ -106,8 +102,11 @@ impl Engine<'_> {
 
         // Dependency graph over safe definitions. References routed through
         // abstract relations inherit the abstract body's own references.
-        let def_index: HashMap<&str, usize> =
-            safe.iter().enumerate().map(|(i, d)| (d.name(), i)).collect();
+        let def_index: HashMap<&str, usize> = safe
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (d.name(), i))
+            .collect();
         let mut deps: Vec<HashSet<usize>> = vec![HashSet::new(); safe.len()];
         for (i, def) in safe.iter().enumerate() {
             let mut names = Vec::new();
@@ -131,8 +130,7 @@ impl Engine<'_> {
 
         let mut defined: HashMap<String, Relation> = HashMap::new();
         for scc in sccs.into_iter().rev() {
-            let recursive =
-                scc.len() > 1 || (scc.len() == 1 && deps[scc[0]].contains(&scc[0]));
+            let recursive = scc.len() > 1 || (scc.len() == 1 && deps[scc[0]].contains(&scc[0]));
             if !recursive {
                 let def = safe[scc[0]];
                 let rel = self.eval_with(&def.collection, &defined, &abstracts)?;
@@ -208,7 +206,9 @@ impl Engine<'_> {
                 let mut deltas: HashMap<String, Relation> = HashMap::new();
                 for &i in scc {
                     let def = safe[i];
-                    let seed = self.eval_with(&def.collection, defined, abstracts)?.deduped();
+                    let seed = self
+                        .eval_with(&def.collection, defined, abstracts)?
+                        .deduped();
                     deltas.insert(def.name().to_string(), seed.clone());
                     defined.insert(def.name().to_string(), seed);
                 }
@@ -309,9 +309,7 @@ fn uses_nonmonotonically(c: &Collection, names: &HashSet<String>) -> bool {
                 }
                 walk(&q.body, names, neg, grouped)
             }
-            Formula::And(fs) | Formula::Or(fs) => {
-                fs.iter().any(|s| walk(s, names, neg, grouped))
-            }
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().any(|s| walk(s, names, neg, grouped)),
             Formula::Not(inner) => walk(inner, names, true, grouped),
             Formula::Pred(_) => false,
         }
@@ -451,11 +449,7 @@ mod tests {
     #[test]
     fn tarjan_orders_components() {
         // 0 → 1 → 2, 2 → 1 (cycle {1,2}).
-        let deps = vec![
-            HashSet::from([1]),
-            HashSet::from([2]),
-            HashSet::from([1]),
-        ];
+        let deps = vec![HashSet::from([1]), HashSet::from([2]), HashSet::from([1])];
         let sccs = tarjan(&deps);
         assert_eq!(sccs.len(), 2);
         // Reverse topological: {1,2} first, then {0}.

@@ -10,13 +10,16 @@
 //! equivalent under bag semantics while the LEFT JOIN + GROUP BY rewrite
 //! is not; Soufflé's `sum ∅ = 0` convention really flips Eq (15)'s result.
 //!
-//! It deliberately implements the paper's **conceptual evaluation strategy**
-//! (nested loops, §2.3) rather than an optimized plan: ARC is positioned as
-//! a reference language "in the opposite direction" of IRs, so fidelity
-//! beats speed. The one performance feature — semi-naive fixpoint
-//! ([`fixpoint::FixpointStrategy`]) — exists because the recursion figure
-//! needs a workable transitive closure and gives the benchmark suite a
-//! meaningful ablation.
+//! The **reference strategy** is the paper's conceptual evaluation
+//! (nested loops, §2.3): ARC is positioned as a reference language "in the
+//! opposite direction" of IRs, so fidelity beats speed. Faster strategies
+//! plug in *behind* that semantics through [`eval::EvalStrategy`]: the
+//! hash-join strategy produces tuple-for-tuple identical results (the
+//! whole engine test suite runs under both; `ARC_EVAL_STRATEGY=hash-join
+//! cargo test -p arc-engine`) while dropping equi-join workloads from
+//! O(n·m) to O(n+m). Recursion gets the same treatment on the fixpoint
+//! axis ([`fixpoint::FixpointStrategy`]: naive vs. semi-naive); the
+//! benchmark suite ablates both axes.
 //!
 //! ```
 //! use arc_core::dsl::*;
@@ -57,7 +60,7 @@ pub mod relation;
 
 pub use catalog::Catalog;
 pub use error::{EvalError, Result};
-pub use eval::Engine;
+pub use eval::{Engine, EvalStrategy};
 pub use external::{AccessPattern, ExternalRelation};
 pub use fixpoint::{FixpointStrategy, ProgramOutput};
 pub use relation::{Relation, Tuple};

@@ -96,10 +96,7 @@ fn eq2_lateral_nesting() {
     let out = Engine::new(&catalog, Conventions::set())
         .eval_collection(&q)
         .unwrap();
-    assert_eq!(
-        sorted(&out),
-        vec![row(&[1, 2]), row(&[1, 3]), row(&[2, 3])]
-    );
+    assert_eq!(sorted(&out), vec![row(&[1, 2]), row(&[1, 3]), row(&[2, 3])]);
 }
 
 #[test]
@@ -330,7 +327,11 @@ fn distinct_aggregate_deduplicates_inputs() {
             None,
             and([
                 assign_agg("Q", "c", count(col("r", "B"))),
-                assign_agg("Q", "cd", agg_distinct(arc_core::ast::AggFunc::Count, col("r", "B"))),
+                assign_agg(
+                    "Q",
+                    "cd",
+                    agg_distinct(arc_core::ast::AggFunc::Count, col("r", "B")),
+                ),
             ]),
         ),
     );
@@ -521,8 +522,7 @@ fn deduplication_is_grouping_on_all_attrs() {
             ]),
         ),
     );
-    let catalog =
-        Catalog::new().with(ints("R", &["A", "B"], &[&[1, 2], &[1, 2], &[3, 4]]));
+    let catalog = Catalog::new().with(ints("R", &["A", "B"], &[&[1, 2], &[1, 2], &[3, 4]]));
     let out = Engine::new(&catalog, Conventions::sql())
         .eval_collection(&q)
         .unwrap();
@@ -1288,11 +1288,7 @@ fn unique_set_with_abstract_subset() -> Program {
             and([
                 assign("Q", "d", col("l1", "d")),
                 not(exists(
-                    &[
-                        bind("l2", "L"),
-                        bind("s1", "Subset"),
-                        bind("s2", "Subset"),
-                    ],
+                    &[bind("l2", "L"), bind("s1", "Subset"), bind("s2", "Subset")],
                     and([
                         ne(col("l2", "d"), col("l1", "d")),
                         eq(col("s1", "left"), col("l1", "d")),
@@ -1451,9 +1447,10 @@ fn disjunctive_union_bag_vs_set() {
             exists(&[bind("s", "S")], and([assign("Q", "A", col("s", "A"))])),
         ]),
     );
-    let catalog = Catalog::new()
-        .with(ints("R", &["A"], &[&[1]]))
-        .with(ints("S", &["A"], &[&[1], &[2]]));
+    let catalog =
+        Catalog::new()
+            .with(ints("R", &["A"], &[&[1]]))
+            .with(ints("S", &["A"], &[&[1], &[2]]));
     let set = Engine::new(&catalog, Conventions::set())
         .eval_collection(&q)
         .unwrap();
@@ -1487,4 +1484,406 @@ fn arithmetic_with_nulls_and_division() {
         .eval_collection(&q)
         .unwrap();
     assert_eq!(sorted(&out), vec![row(&[1])]);
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation strategies: hash join must be observably identical to the
+// nested-loop reference — tuple for tuple, in emission order
+// ---------------------------------------------------------------------------
+
+mod strategy_equivalence {
+    use super::*;
+    use crate::EvalStrategy;
+
+    /// Evaluate under both strategies and assert *exact* equality of the
+    /// row vectors (not just bag equality): the hash-join probe iterates
+    /// matches in original row order, so even emission order must agree.
+    fn assert_strategies_identical(catalog: &Catalog, conv: Conventions, q: &Collection) {
+        let reference = Engine::new(catalog, conv)
+            .with_strategy(EvalStrategy::NestedLoop)
+            .eval_collection(q)
+            .unwrap();
+        let hashed = Engine::new(catalog, conv)
+            .with_strategy(EvalStrategy::HashJoin)
+            .eval_collection(q)
+            .unwrap();
+        assert_eq!(reference.schema, hashed.schema);
+        assert_eq!(
+            reference.rows, hashed.rows,
+            "strategies diverged on {q:?}\nnested-loop:\n{reference}\nhash-join:\n{hashed}"
+        );
+    }
+
+    fn join_catalog() -> Catalog {
+        Catalog::new()
+            .with(ints(
+                "R",
+                &["A", "B"],
+                &[&[1, 10], &[2, 20], &[2, 20], &[3, 30], &[4, 40]],
+            ))
+            .with(ints(
+                "S",
+                &["B", "C"],
+                &[&[20, 5], &[20, 6], &[30, 7], &[50, 8]],
+            ))
+    }
+
+    #[test]
+    fn equijoin_identical_under_all_conventions() {
+        let q = collection(
+            "Q",
+            &["A", "C"],
+            exists(
+                &[bind("r", "R"), bind("s", "S")],
+                and([
+                    assign("Q", "A", col("r", "A")),
+                    assign("Q", "C", col("s", "C")),
+                    eq(col("r", "B"), col("s", "B")),
+                ]),
+            ),
+        );
+        let catalog = join_catalog();
+        for conv in [
+            Conventions::sql(),
+            Conventions::set(),
+            Conventions::souffle(),
+        ] {
+            assert_strategies_identical(&catalog, conv, &q);
+        }
+    }
+
+    #[test]
+    fn hash_join_actually_joins_something() {
+        // Guard against the strategies agreeing vacuously on empty output.
+        let q = collection(
+            "Q",
+            &["A", "C"],
+            exists(
+                &[bind("r", "R"), bind("s", "S")],
+                and([
+                    assign("Q", "A", col("r", "A")),
+                    assign("Q", "C", col("s", "C")),
+                    eq(col("r", "B"), col("s", "B")),
+                ]),
+            ),
+        );
+        let out = Engine::new(&join_catalog(), Conventions::sql())
+            .with_strategy(EvalStrategy::HashJoin)
+            .eval_collection(&q)
+            .unwrap();
+        // R(2,20) ×2 matches S(20,5),S(20,6) → 4 rows; R(3,30)→S(30,7) → 1.
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn nulls_never_hash_match() {
+        let mut r = Relation::new("R", &["A", "B"]);
+        r.push(vec![Value::Int(1), Value::Null]);
+        r.push(vec![Value::Int(2), Value::Int(20)]);
+        let mut s = Relation::new("S", &["B", "C"]);
+        s.push(vec![Value::Null, Value::Int(9)]);
+        s.push(vec![Value::Int(20), Value::Int(5)]);
+        let catalog = Catalog::new().with(r).with(s);
+        let q = collection(
+            "Q",
+            &["A", "C"],
+            exists(
+                &[bind("r", "R"), bind("s", "S")],
+                and([
+                    assign("Q", "A", col("r", "A")),
+                    assign("Q", "C", col("s", "C")),
+                    eq(col("r", "B"), col("s", "B")),
+                ]),
+            ),
+        );
+        for conv in [Conventions::sql(), Conventions::souffle()] {
+            assert_strategies_identical(&catalog, conv, &q);
+        }
+        let out = Engine::new(&catalog, Conventions::sql())
+            .with_strategy(EvalStrategy::HashJoin)
+            .eval_collection(&q)
+            .unwrap();
+        assert_eq!(sorted(&out), vec![row(&[2, 5])]); // NULL = NULL is not a match
+    }
+
+    #[test]
+    fn mixed_int_float_keys_hash_match_like_compare() {
+        // 1 = 1.0 under the engine's comparison; the hash key
+        // normalization must agree (and 2 ≠ 2.5 must not match).
+        let mut r = Relation::new("R", &["A"]);
+        r.push(vec![Value::Int(1)]);
+        r.push(vec![Value::Int(2)]);
+        let mut s = Relation::new("S", &["A", "tag"]);
+        s.push(vec![Value::Float(1.0), Value::str("f1")]);
+        s.push(vec![Value::Float(2.5), Value::str("f25")]);
+        let catalog = Catalog::new().with(r).with(s);
+        let q = collection(
+            "Q",
+            &["A", "tag"],
+            exists(
+                &[bind("r", "R"), bind("s", "S")],
+                and([
+                    assign("Q", "A", col("r", "A")),
+                    assign("Q", "tag", col("s", "tag")),
+                    eq(col("r", "A"), col("s", "A")),
+                ]),
+            ),
+        );
+        assert_strategies_identical(&catalog, Conventions::sql(), &q);
+        let out = Engine::new(&catalog, Conventions::sql())
+            .with_strategy(EvalStrategy::HashJoin)
+            .eval_collection(&q)
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.rows[0][1], Value::str("f1"));
+    }
+
+    #[test]
+    fn nan_keys_never_hash_match() {
+        // NaN is incomparable even to itself: compare() returns None, so
+        // the nested loop rejects NaN = NaN; hashing must too (raw bit
+        // keys would wrongly match).
+        let mut r = Relation::new("R", &["A"]);
+        r.push(vec![Value::Float(f64::NAN)]);
+        r.push(vec![Value::Float(1.5)]);
+        let mut s = Relation::new("S", &["A"]);
+        s.push(vec![Value::Float(f64::NAN)]);
+        s.push(vec![Value::Float(1.5)]);
+        let catalog = Catalog::new().with(r).with(s);
+        let q = collection(
+            "Q",
+            &["A"],
+            exists(
+                &[bind("r", "R"), bind("s", "S")],
+                and([
+                    assign("Q", "A", col("r", "A")),
+                    eq(col("r", "A"), col("s", "A")),
+                ]),
+            ),
+        );
+        assert_strategies_identical(&catalog, Conventions::sql(), &q);
+        let out = Engine::new(&catalog, Conventions::sql())
+            .with_strategy(EvalStrategy::HashJoin)
+            .eval_collection(&q)
+            .unwrap();
+        assert_eq!(out.len(), 1); // only 1.5 = 1.5
+    }
+
+    #[test]
+    fn three_way_chain_join_identical() {
+        let catalog = Catalog::new()
+            .with(ints("R", &["A", "B"], &[&[1, 2], &[2, 3], &[3, 4]]))
+            .with(ints("S", &["B", "C"], &[&[2, 5], &[3, 6], &[9, 9]]))
+            .with(ints("T", &["C", "D"], &[&[5, 0], &[6, 1], &[6, 2]]));
+        let q = collection(
+            "Q",
+            &["A", "D"],
+            exists(
+                &[bind("r", "R"), bind("s", "S"), bind("t", "T")],
+                and([
+                    assign("Q", "A", col("r", "A")),
+                    assign("Q", "D", col("t", "D")),
+                    eq(col("r", "B"), col("s", "B")),
+                    eq(col("s", "C"), col("t", "C")),
+                ]),
+            ),
+        );
+        for conv in [Conventions::sql(), Conventions::set()] {
+            assert_strategies_identical(&catalog, conv, &q);
+        }
+    }
+
+    #[test]
+    fn non_equi_predicates_fall_back_and_agree() {
+        // `<` cannot be hashed; the plan must cover only the equality and
+        // the inequality must still filter at the leaf.
+        let q = collection(
+            "Q",
+            &["A", "C"],
+            exists(
+                &[bind("r", "R"), bind("s", "S")],
+                and([
+                    assign("Q", "A", col("r", "A")),
+                    assign("Q", "C", col("s", "C")),
+                    eq(col("r", "B"), col("s", "B")),
+                    lt(col("r", "A"), col("s", "C")),
+                ]),
+            ),
+        );
+        assert_strategies_identical(&join_catalog(), Conventions::sql(), &q);
+    }
+
+    #[test]
+    fn constant_key_probe_identical() {
+        // Selection by constant is a degenerate equi-join: key computable
+        // from the (empty) outer context.
+        let q = collection(
+            "Q",
+            &["A"],
+            exists(
+                &[bind("r", "R")],
+                and([assign("Q", "A", col("r", "A")), eq(col("r", "B"), int(20))]),
+            ),
+        );
+        assert_strategies_identical(&join_catalog(), Conventions::sql(), &q);
+    }
+
+    #[test]
+    fn grouped_aggregation_over_hash_join_identical() {
+        let q = collection(
+            "Q",
+            &["A", "ct"],
+            quant(
+                &[bind("r", "R"), bind("s", "S")],
+                group(&[("r", "A")]),
+                None,
+                and([
+                    assign("Q", "A", col("r", "A")),
+                    assign_agg("Q", "ct", count(col("s", "C"))),
+                    eq(col("r", "B"), col("s", "B")),
+                ]),
+            ),
+        );
+        for conv in [Conventions::sql(), Conventions::set()] {
+            assert_strategies_identical(&join_catalog(), conv, &q);
+        }
+    }
+
+    #[test]
+    fn correlated_nested_scope_probes_outer_vars() {
+        // NOT EXISTS-style correlated scope: the inner quantifier's
+        // equality references the outer row, so the hash plan keys on an
+        // outer-environment expression.
+        let q = collection(
+            "Q",
+            &["A"],
+            exists(
+                &[bind("r", "R")],
+                and([
+                    assign("Q", "A", col("r", "A")),
+                    not(exists(
+                        &[bind("s", "S")],
+                        and([eq(col("s", "B"), col("r", "B"))]),
+                    )),
+                ]),
+            ),
+        );
+        assert_strategies_identical(&join_catalog(), Conventions::sql(), &q);
+    }
+
+    #[test]
+    fn shadowed_variable_names_do_not_mislead_the_probe() {
+        // An inner scope rebinds `r`, shadowing the outer `r ∈ R`. The
+        // probe key for `s` must NOT be computed from the outer `r` (the
+        // sibling `r ∈ R2` shadows it); the plan must be dropped so the
+        // leaf filter sees the inner binding, exactly like the reference.
+        let catalog = Catalog::new()
+            .with(ints("R", &["A"], &[&[1]]))
+            .with(ints("R2", &["A"], &[&[2]]))
+            .with(ints("S", &["B"], &[&[2]]));
+        let q = collection(
+            "Q",
+            &["A"],
+            exists(
+                &[bind("r", "R")],
+                and([
+                    assign("Q", "A", col("r", "A")),
+                    exists(
+                        &[bind("s", "S"), bind("r", "R2")],
+                        and([eq(col("s", "B"), col("r", "A"))]),
+                    ),
+                ]),
+            ),
+        );
+        assert_strategies_identical(&catalog, Conventions::sql(), &q);
+        let out = Engine::new(&catalog, Conventions::sql())
+            .with_strategy(EvalStrategy::HashJoin)
+            .eval_collection(&q)
+            .unwrap();
+        // Inner r ∈ R2 has A=2 which matches S.B=2, so the outer row
+        // survives; probing with the outer r.A=1 would wrongly drop it.
+        assert_eq!(sorted(&out), vec![row(&[1])]);
+    }
+
+    #[test]
+    fn error_paths_are_identical_across_strategies() {
+        // A bad attribute reference in an equality filter must surface (or
+        // not surface) identically: the nested loop only errors when
+        // enumeration actually reaches the filter, so the hash planner
+        // must not evaluate such an expression eagerly as a probe key.
+        let q = collection(
+            "Q",
+            &["A"],
+            exists(
+                &[bind("r", "R"), bind("s", "S")],
+                and([
+                    assign("Q", "A", col("r", "A")),
+                    eq(col("s", "B"), col("r", "NOPE")),
+                ]),
+            ),
+        );
+        // Case 1: S empty — the filter is never evaluated; both must be Ok.
+        let catalog = Catalog::new()
+            .with(ints("R", &["A"], &[&[1]]))
+            .with(Relation::new("S", &["B"]));
+        for strategy in [EvalStrategy::NestedLoop, EvalStrategy::HashJoin] {
+            let out = Engine::new(&catalog, Conventions::sql())
+                .with_strategy(strategy)
+                .eval_collection(&q)
+                .unwrap();
+            assert!(out.is_empty(), "{strategy:?}");
+        }
+        // Case 2: S non-empty — both must report the same error.
+        let catalog =
+            Catalog::new()
+                .with(ints("R", &["A"], &[&[1]]))
+                .with(ints("S", &["B"], &[&[2]]));
+        for strategy in [EvalStrategy::NestedLoop, EvalStrategy::HashJoin] {
+            let err = Engine::new(&catalog, Conventions::sql())
+                .with_strategy(strategy)
+                .eval_collection(&q)
+                .unwrap_err();
+            assert_eq!(
+                err,
+                EvalError::UnknownAttribute {
+                    var: "r".into(),
+                    attr: "NOPE".into()
+                },
+                "{strategy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn env_override_selects_strategy() {
+        // `Engine::new` consults ARC_EVAL_STRATEGY; `with_strategy` wins
+        // regardless. (The suite itself is run under both settings in CI.)
+        let catalog = join_catalog();
+        let e = Engine::new(&catalog, Conventions::sql());
+        assert_eq!(e.strategy, EvalStrategy::from_env());
+        let e = e.with_strategy(EvalStrategy::HashJoin);
+        assert_eq!(e.strategy, EvalStrategy::HashJoin);
+    }
+}
+
+#[test]
+fn sentence_aggregate_under_connective_errors_like_collections() {
+    // An aggregate under ∨ inside a non-grouping sentence scope must
+    // report AggregateOutsideGrouping, exactly as the collection path
+    // does — not silently degenerate to a non-emptiness check.
+    let s = exists(
+        &[bind("r", "R")],
+        and([or([
+            gt(sum(col("r", "A")), int(100)),
+            gt(sum(col("r", "A")), int(200)),
+        ])]),
+    );
+    let catalog = Catalog::new().with(ints("R", &["A"], &[&[1]]));
+    let err = Engine::new(&catalog, Conventions::set())
+        .eval_sentence(&s)
+        .unwrap_err();
+    assert!(
+        matches!(err, EvalError::AggregateOutsideGrouping(_)),
+        "got {err:?}"
+    );
 }

@@ -95,7 +95,9 @@ impl Builder {
                 // Nested disjunction: one sibling region per branch
                 // (simplified vs. the anchor-relation treatment of [28]).
                 for sub in fs {
-                    let branch = self.hg.add_node(region, NodeKind::Scope { grouping: false });
+                    let branch = self
+                        .hg
+                        .add_node(region, NodeKind::Scope { grouping: false });
                     self.formula(sub, branch);
                 }
             }
@@ -183,15 +185,14 @@ impl Builder {
 
     fn mark_optional(&mut self, l: &JoinTree, r: &JoinTree, both: bool) {
         let anchor = l.vars().first().and_then(|v| self.lookup_var(v));
-        let optional: Vec<NodeId> = r
-            .vars()
-            .iter()
-            .filter_map(|v| self.lookup_var(v))
-            .collect();
+        let optional: Vec<NodeId> = r.vars().iter().filter_map(|v| self.lookup_var(v)).collect();
         if let Some(a) = anchor {
             for t in optional {
                 self.hg.add_edge(
-                    Port { node: a, attr: None },
+                    Port {
+                        node: a,
+                        attr: None,
+                    },
                     Port {
                         node: t,
                         attr: None,
@@ -210,7 +211,10 @@ impl Builder {
                                     node: rv,
                                     attr: None,
                                 },
-                                Port { node: t, attr: None },
+                                Port {
+                                    node: t,
+                                    attr: None,
+                                },
                                 EdgeKind::OuterOptional,
                             );
                         }
@@ -276,7 +280,9 @@ impl Builder {
                 Port { node, attr: None }
             }
             Scalar::Const(v) => {
-                let node = self.hg.add_node(region, NodeKind::Const { value: v.clone() });
+                let node = self
+                    .hg
+                    .add_node(region, NodeKind::Const { value: v.clone() });
                 Port { node, attr: None }
             }
             Scalar::Agg(_) | Scalar::Arith { .. } => {
@@ -322,10 +328,8 @@ impl Builder {
                         Scalar::Agg(call) => {
                             let from = match &call.arg {
                                 AggArg::Expr(e) => self.port(e, region),
-                                AggArg::Star => self.port(
-                                    &Scalar::Const(arc_core::value::Value::str("*")),
-                                    region,
-                                ),
+                                AggArg::Star => self
+                                    .port(&Scalar::Const(arc_core::value::Value::str("*")), region),
                             };
                             self.hg.add_edge(
                                 from,
@@ -348,8 +352,9 @@ impl Builder {
                     (Scalar::Agg(call), other) | (other, Scalar::Agg(call)) => {
                         let from = match &call.arg {
                             AggArg::Expr(e) => self.port(e, region),
-                            AggArg::Star => self
-                                .port(&Scalar::Const(arc_core::value::Value::str("*")), region),
+                            AggArg::Star => {
+                                self.port(&Scalar::Const(arc_core::value::Value::str("*")), region)
+                            }
                         };
                         let to = self.port(other, region);
                         self.hg.add_edge(

@@ -62,37 +62,26 @@ mod tests {
     fn fig2b_structure() {
         let hg = build_collection(&eq1());
         // Head table + two bound tables.
-        assert_eq!(
-            hg.count_nodes(|k| matches!(k, NodeKind::Table { .. })),
-            3
-        );
+        assert_eq!(hg.count_nodes(|k| matches!(k, NodeKind::Table { .. })), 3);
         // One assignment, one join comparison, one constant selection.
         assert_eq!(hg.count_edges(|k| matches!(k, EdgeKind::Assignment)), 1);
-        assert_eq!(
-            hg.count_edges(|k| matches!(k, EdgeKind::Comparison(_))),
-            2
-        );
+        assert_eq!(hg.count_edges(|k| matches!(k, EdgeKind::Comparison(_))), 2);
         // One existential scope region.
-        assert_eq!(
-            hg.count_nodes(|k| matches!(k, NodeKind::Scope { .. })),
-            1
-        );
+        assert_eq!(hg.count_nodes(|k| matches!(k, NodeKind::Scope { .. })), 1);
     }
 
     #[test]
     fn fig4b_grouping_scope_and_shaded_key() {
-        let q = parse_collection(
-            "{Q(A,sm) | ∃r ∈ R, γ r.A [Q.A = r.A ∧ Q.sm = sum(r.B)]}",
-        )
-        .unwrap();
+        let q =
+            parse_collection("{Q(A,sm) | ∃r ∈ R, γ r.A [Q.A = r.A ∧ Q.sm = sum(r.B)]}").unwrap();
         let hg = build_collection(&q);
         assert_eq!(
             hg.count_nodes(|k| matches!(k, NodeKind::Scope { grouping: true })),
             1
         );
-        let shaded = hg.count_nodes(|k| {
-            matches!(k, NodeKind::Table { attrs, .. } if attrs.iter().any(|c| c.grouped))
-        });
+        let shaded = hg.count_nodes(
+            |k| matches!(k, NodeKind::Table { attrs, .. } if attrs.iter().any(|c| c.grouped)),
+        );
         assert_eq!(shaded, 1);
         assert_eq!(
             hg.count_edges(
@@ -164,10 +153,7 @@ mod tests {
         )
         .unwrap();
         let hg = build_collection(&q);
-        assert_eq!(
-            hg.count_edges(|k| matches!(k, EdgeKind::OuterOptional)),
-            1
-        );
+        assert_eq!(hg.count_edges(|k| matches!(k, EdgeKind::OuterOptional)), 1);
     }
 
     #[test]
@@ -190,9 +176,13 @@ mod tests {
             1
         );
         assert_eq!(
-            hg.count_edges(
-                |k| matches!(k, EdgeKind::Aggregation { assignment: false, .. })
-            ),
+            hg.count_edges(|k| matches!(
+                k,
+                EdgeKind::Aggregation {
+                    assignment: false,
+                    ..
+                }
+            )),
             1
         );
     }
@@ -232,9 +222,12 @@ mod tests {
             .nodes
             .iter()
             .find_map(|n| match &n.kind {
-                NodeKind::Table { relation, attrs, is_head: false, .. } if relation == "R" => {
-                    Some(attrs.clone())
-                }
+                NodeKind::Table {
+                    relation,
+                    attrs,
+                    is_head: false,
+                    ..
+                } if relation == "R" => Some(attrs.clone()),
                 _ => None,
             })
             .unwrap();

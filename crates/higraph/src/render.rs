@@ -49,7 +49,11 @@ fn outline_node(hg: &Higraph, id: NodeId, depth: usize, out: &mut String) {
             let _ = writeln!(out, "{pad}collection {shown}");
         }
         NodeKind::Scope { grouping } => {
-            let marker = if *grouping { "scope ∃ (grouping)" } else { "scope ∃" };
+            let marker = if *grouping {
+                "scope ∃ (grouping)"
+            } else {
+                "scope ∃"
+            };
             let _ = writeln!(out, "{pad}{marker}");
         }
         NodeKind::Negation => {
@@ -77,7 +81,11 @@ fn outline_node(hg: &Higraph, id: NodeId, depth: usize, out: &mut String) {
             } else {
                 format!(" as {var}")
             };
-            let _ = writeln!(out, "{pad}{role}table {relation}{alias} [{}]", cells.join(", "));
+            let _ = writeln!(
+                out,
+                "{pad}{role}table {relation}{alias} [{}]",
+                cells.join(", ")
+            );
         }
         NodeKind::Const { value } => {
             let _ = writeln!(out, "{pad}const {value}");
@@ -109,7 +117,8 @@ fn port_label(hg: &Higraph, p: &Port) -> String {
 /// Render Graphviz DOT with scopes as clusters; grouping scopes have bold
 /// borders, negation scopes dashed borders, grouped cells gray fill.
 pub fn render_dot(hg: &Higraph) -> String {
-    let mut out = String::from("digraph arc {\n  compound=true;\n  rankdir=LR;\n  node [shape=plaintext];\n");
+    let mut out =
+        String::from("digraph arc {\n  compound=true;\n  rankdir=LR;\n  node [shape=plaintext];\n");
     for child in &hg.nodes[hg.canvas()].children {
         dot_node(hg, *child, &mut out, 1);
     }
@@ -181,12 +190,12 @@ fn dot_node(hg: &Higraph, id: NodeId, out: &mut String, depth: usize) {
                 title
             );
             for cell in attrs {
-                let bg = if cell.grouped { " bgcolor=\"#cccccc\"" } else { "" };
-                let _ = write!(
-                    rows,
-                    "<tr><td port=\"{0}\"{bg}>{0}</td></tr>",
-                    cell.attr
-                );
+                let bg = if cell.grouped {
+                    " bgcolor=\"#cccccc\""
+                } else {
+                    ""
+                };
+                let _ = write!(rows, "<tr><td port=\"{0}\"{bg}>{0}</td></tr>", cell.attr);
             }
             let _ = writeln!(
                 out,
@@ -272,9 +281,7 @@ pub fn render_svg(hg: &Higraph) -> String {
 fn measure(hg: &Higraph, id: NodeId, layout: &mut Layout) -> (f64, f64) {
     let node = &hg.nodes[id];
     let (w, h) = match &node.kind {
-        NodeKind::Table { attrs, .. } => {
-            (CELL_W, CELL_H * (attrs.len() as f64 + 1.0))
-        }
+        NodeKind::Table { attrs, .. } => (CELL_W, CELL_H * (attrs.len() as f64 + 1.0)),
         NodeKind::Const { .. } => (CELL_W * 0.6, CELL_H),
         _ => {
             // Region: children laid out left-to-right.

@@ -416,7 +416,11 @@ mod tests {
     fn quoted_identifiers_for_externals() {
         assert_eq!(
             kinds("f ∈ \"*\""),
-            vec![Token::Ident("f".into()), Token::In, Token::Ident("*".into())]
+            vec![
+                Token::Ident("f".into()),
+                Token::In,
+                Token::Ident("*".into())
+            ]
         );
     }
 

@@ -106,8 +106,8 @@ mod tests {
     #[test]
     fn all_paper_equations_parse_and_round_trip() {
         for (name, src) in paper_equations() {
-            let parsed = parse_collection(src)
-                .unwrap_or_else(|e| panic!("{name} failed to parse: {e}"));
+            let parsed =
+                parse_collection(src).unwrap_or_else(|e| panic!("{name} failed to parse: {e}"));
             let printed = print_collection(&parsed);
             let reparsed = parse_collection(&printed)
                 .unwrap_or_else(|e| panic!("{name} failed to re-parse `{printed}`: {e}"));
@@ -140,15 +140,9 @@ mod tests {
     #[test]
     fn sentences_parse() {
         // Eq (13) and (14).
-        let e13 = parse_sentence(
-            "∃r ∈ R [∃s ∈ S, γ ∅ [r.id = s.id ∧ r.q <= count(s.d)]]",
-        )
-        .unwrap();
+        let e13 = parse_sentence("∃r ∈ R [∃s ∈ S, γ ∅ [r.id = s.id ∧ r.q <= count(s.d)]]").unwrap();
         assert!(matches!(e13, Formula::Quant(_)));
-        let e14 = parse_sentence(
-            "¬∃r ∈ R [∃s ∈ S, γ ∅ [r.id = s.id ∧ r.q > count(s.d)]]",
-        )
-        .unwrap();
+        let e14 = parse_sentence("¬∃r ∈ R [∃s ∈ S, γ ∅ [r.id = s.id ∧ r.q > count(s.d)]]").unwrap();
         assert!(matches!(e14, Formula::Not(_)));
     }
 
@@ -196,10 +190,7 @@ mod tests {
 
     #[test]
     fn distinct_aggregates_parse() {
-        let q = parse_collection(
-            "{Q(c) | ∃r ∈ R, γ ∅ [Q.c = count(distinct r.B)]}",
-        )
-        .unwrap();
+        let q = parse_collection("{Q(c) | ∃r ∈ R, γ ∅ [Q.c = count(distinct r.B)]}").unwrap();
         let printed = print_collection(&q);
         assert!(printed.contains("count(distinct r.B)"));
         assert_eq!(parse_collection(&printed).unwrap(), q);

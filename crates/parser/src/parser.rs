@@ -222,10 +222,7 @@ impl Parser {
         let body = self.formula()?;
         self.expect(&Token::RBrace)?;
         Ok(Collection {
-            head: Head {
-                relation,
-                attrs,
-            },
+            head: Head { relation, attrs },
             body,
         })
     }
@@ -433,8 +430,14 @@ impl Parser {
                 self.join_tree()
             }
             Some(Token::Ident(_)) => Ok(JoinTree::Var(self.ident("join variable")?)),
-            Some(Token::Int(_) | Token::Float(_) | Token::Str(_) | Token::Null | Token::True
-            | Token::False) => {
+            Some(
+                Token::Int(_)
+                | Token::Float(_)
+                | Token::Str(_)
+                | Token::Null
+                | Token::True
+                | Token::False,
+            ) => {
                 let v = self.literal()?;
                 Ok(JoinTree::Lit(v))
             }
@@ -530,8 +533,14 @@ impl Parser {
                     }),
                 }
             }
-            Some(Token::Int(_) | Token::Float(_) | Token::Str(_) | Token::Null | Token::True
-            | Token::False) => Ok(Scalar::Const(self.literal()?)),
+            Some(
+                Token::Int(_)
+                | Token::Float(_)
+                | Token::Str(_)
+                | Token::Null
+                | Token::True
+                | Token::False,
+            ) => Ok(Scalar::Const(self.literal()?)),
             Some(Token::LParen) => {
                 self.bump();
                 let s = self.scalar()?;

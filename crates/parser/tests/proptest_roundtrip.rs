@@ -8,8 +8,7 @@ use proptest::prelude::*;
 
 /// Plain identifiers that survive quoting/keyword rules.
 fn ident() -> impl Strategy<Value = String> {
-    prop::sample::select(vec!["r", "s", "t", "u", "v1", "v2", "w_x"])
-        .prop_map(|s| s.to_string())
+    prop::sample::select(vec!["r", "s", "t", "u", "v1", "v2", "w_x"]).prop_map(|s| s.to_string())
 }
 
 fn rel_name() -> impl Strategy<Value = String> {

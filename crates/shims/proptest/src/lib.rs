@@ -1,0 +1,167 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! This workspace builds with no access to crates.io, so the subset of the
+//! proptest API the repo's property tests use is vendored here:
+//!
+//! * the [`Strategy`](strategy::Strategy) trait with `prop_map`/`boxed`,
+//!   [`BoxedStrategy`](strategy::BoxedStrategy), weighted unions, tuple
+//!   strategies, ranges, `Just`, and `any::<T>()`;
+//! * `prop::sample::select`, `prop::collection::vec`, `prop::option::of`,
+//!   and a minimal `[set]{m,n}` string-pattern strategy;
+//! * the [`proptest!`] macro with `#![proptest_config(..)]`, plus
+//!   [`prop_assert!`], [`prop_assert_eq!`], and [`prop_assume!`].
+//!
+//! The one deliberate simplification: **no shrinking**. A failing case
+//! reports its case number and the deterministic seed, which is enough to
+//! replay under a debugger. Generation is seeded per test from the test
+//! name, so failures are reproducible run-over-run.
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod option;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Arbitrary};
+
+/// The prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Namespaced combinator modules (`prop::sample::select`, …).
+    pub mod prop {
+        pub use crate::{collection, option, sample};
+    }
+}
+
+/// Build a strategy choosing among several alternatives, optionally
+/// weighted (`prop_oneof![3 => a, 1 => b]`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Property-test entry point. Each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running `body` over `config.cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body!{
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                $crate::test_runner::run_cases(
+                    &__config,
+                    concat!(module_path!(), "::", stringify!($name)),
+                    |__rng| {
+                        $(
+                            let $arg =
+                                $crate::strategy::Strategy::generate(&($strat), __rng);
+                        )*
+                        let __case = move ||
+                            -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                            $body
+                            Ok(())
+                        };
+                        __case()
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Assert within a property-test body; failures report the generating case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion within a property-test body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Inequality assertion within a property-test body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+/// Discard the current case (counts as a rejection, not a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}

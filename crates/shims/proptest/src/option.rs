@@ -1,0 +1,26 @@
+//! `prop::option`: optional values.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// `Option<T>` strategy: `Some` three times out of four (upstream defaults
+/// to 90% `Some`; the exact ratio is immaterial to the repo's tests).
+#[derive(Clone)]
+pub struct OptionStrategy<S>(S);
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.gen_range(0..4u32) == 0 {
+            None
+        } else {
+            Some(self.0.generate(rng))
+        }
+    }
+}
+
+/// `prop::option::of`: wrap an element strategy into an `Option` strategy.
+pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+    OptionStrategy(element)
+}

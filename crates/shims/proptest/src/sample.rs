@@ -1,0 +1,22 @@
+//! `prop::sample`: choosing from explicit candidate lists.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Uniform choice from a fixed candidate vector.
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone>(Vec<T>);
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0[rng.gen_range(0..self.0.len())].clone()
+    }
+}
+
+/// `prop::sample::select`: pick uniformly from `candidates`.
+pub fn select<T: Clone>(candidates: Vec<T>) -> Select<T> {
+    assert!(!candidates.is_empty(), "select: empty candidate list");
+    Select(candidates)
+}

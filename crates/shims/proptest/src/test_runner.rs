@@ -1,0 +1,113 @@
+//! Case-running machinery behind the `proptest!` macro.
+
+pub use rand::rngs::StdRng as TestRng;
+use rand::SeedableRng;
+
+/// Configuration for a property test.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` accepted cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed: skip the case without counting it as run.
+    Reject,
+    /// A `prop_assert!` failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Construct a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Stable seed derived from the test path (FNV-1a), so each test has its
+/// own deterministic stream reproducible across runs and platforms.
+fn seed_for(test_path: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in test_path.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Run up to `config.cases` accepted cases, panicking on the first failure
+/// with enough context to replay (test path + case index).
+pub fn run_cases<F>(config: &ProptestConfig, test_path: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::seed_from_u64(seed_for(test_path));
+    let mut accepted: u32 = 0;
+    let mut rejected: u64 = 0;
+    let max_rejects = (config.cases as u64).max(1) * 20;
+    let mut case_index: u64 = 0;
+    while accepted < config.cases {
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                if rejected > max_rejects {
+                    panic!(
+                        "{test_path}: too many prop_assume! rejections \
+                         ({rejected} rejects for {accepted} accepted cases)"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{test_path}: property failed at case #{case_index}\n{msg}");
+            }
+        }
+        case_index += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_configured_number_of_cases() {
+        let mut n = 0;
+        run_cases(&ProptestConfig::with_cases(17), "t", |_| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failure_panics_with_context() {
+        run_cases(&ProptestConfig::with_cases(4), "t", |_| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "too many prop_assume! rejections")]
+    fn runaway_rejection_is_detected() {
+        run_cases(&ProptestConfig::with_cases(4), "t", |_| {
+            Err(TestCaseError::Reject)
+        });
+    }
+}

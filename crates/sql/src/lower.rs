@@ -321,9 +321,8 @@ impl<'s> Lowerer<'s> {
                                 r.vars().iter().map(|v| v.to_string()).collect();
                             for conjunct in lowered.conjuncts() {
                                 if let Formula::Pred(p) = conjunct {
-                                    let touches_right = pred_attr_vars(p)
-                                        .iter()
-                                        .any(|v| rvars.contains(v));
+                                    let touches_right =
+                                        pred_attr_vars(p).iter().any(|v| rvars.contains(v));
                                     if !touches_right {
                                         match first_const(p) {
                                             Some(c) => {
@@ -402,10 +401,7 @@ impl<'s> Lowerer<'s> {
 
     /// Lower a scalar subquery to a single-attribute collection; returns it
     /// with its output attribute name.
-    fn scalar_collection(
-        &mut self,
-        q: &SqlQuery,
-    ) -> Result<(arc::Collection, String), LowerError> {
+    fn scalar_collection(&mut self, q: &SqlQuery) -> Result<(arc::Collection, String), LowerError> {
         let head_name = self.fresh("X");
         let c = self.query(q, &head_name, None)?;
         if c.head.attrs.len() != 1 {
@@ -736,9 +732,7 @@ fn rename_head(f: Formula, old: &str, new: Option<&str>) -> Formula {
     let Some(new) = new else { return f };
     fn scalar(s: arc::Scalar, old: &str, new: &str) -> arc::Scalar {
         match s {
-            arc::Scalar::Attr(a) if a.var == old => {
-                arc::Scalar::Attr(AttrRef::new(new, a.attr))
-            }
+            arc::Scalar::Attr(a) if a.var == old => arc::Scalar::Attr(AttrRef::new(new, a.attr)),
             arc::Scalar::Arith { op, left, right } => arc::Scalar::Arith {
                 op,
                 left: Box::new(scalar(*left, old, new)),
@@ -749,17 +743,13 @@ fn rename_head(f: Formula, old: &str, new: Option<&str>) -> Formula {
     }
     fn walk(f: Formula, old: &str, new: &str) -> Formula {
         match f {
-            Formula::Pred(Predicate::Cmp { left, op, right }) => {
-                Formula::Pred(Predicate::Cmp {
-                    left: scalar(left, old, new),
-                    op,
-                    right: scalar(right, old, new),
-                })
-            }
+            Formula::Pred(Predicate::Cmp { left, op, right }) => Formula::Pred(Predicate::Cmp {
+                left: scalar(left, old, new),
+                op,
+                right: scalar(right, old, new),
+            }),
             Formula::Pred(p) => Formula::Pred(p),
-            Formula::And(fs) => {
-                Formula::And(fs.into_iter().map(|s| walk(s, old, new)).collect())
-            }
+            Formula::And(fs) => Formula::And(fs.into_iter().map(|s| walk(s, old, new)).collect()),
             Formula::Or(fs) => Formula::Or(fs.into_iter().map(|s| walk(s, old, new)).collect()),
             Formula::Not(inner) => Formula::Not(Box::new(walk(*inner, old, new))),
             Formula::Quant(q) => Formula::Quant(Box::new(arc::Quant {
@@ -772,7 +762,6 @@ fn rename_head(f: Formula, old: &str, new: Option<&str>) -> Formula {
     }
     walk(f, old, new)
 }
-
 
 /// Variables referenced by a predicate's attribute references.
 fn pred_attr_vars(p: &Predicate) -> Vec<String> {

@@ -15,7 +15,11 @@ pub struct SqlParseError {
 
 impl fmt::Display for SqlParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "SQL parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "SQL parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -375,13 +379,12 @@ impl Parser {
         loop {
             let expr = self.expr()?;
             let explicit_as = self.eat_kw("as");
-            let alias = if explicit_as
-                || matches!(self.peek(), Some(Tok::Word(w)) if !is_reserved(w))
-            {
-                Some(self.ident()?)
-            } else {
-                None
-            };
+            let alias =
+                if explicit_as || matches!(self.peek(), Some(Tok::Word(w)) if !is_reserved(w)) {
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
             items.push(SelectItem { expr, alias });
             if !self.eat_sym(",") {
                 break;
@@ -501,9 +504,7 @@ impl Parser {
         }
         let name = self.ident()?;
         let explicit_as = self.eat_kw("as");
-        let alias = if explicit_as
-            || matches!(self.peek(), Some(Tok::Word(w)) if !is_reserved(w))
-        {
+        let alias = if explicit_as || matches!(self.peek(), Some(Tok::Word(w)) if !is_reserved(w)) {
             Some(self.ident()?)
         } else {
             None

@@ -54,7 +54,11 @@ pub fn render_collection(c: &Collection, conv: &Conventions) -> Result<String, R
     for branch in disjuncts(&c.body) {
         blocks.push(render_branch(branch, &c.head, distinct)?);
     }
-    let sep = if distinct { "\nunion\n" } else { "\nunion all\n" };
+    let sep = if distinct {
+        "\nunion\n"
+    } else {
+        "\nunion all\n"
+    };
     Ok(blocks.join(sep))
 }
 
@@ -72,11 +76,15 @@ fn disjuncts(f: &Formula) -> Vec<&Formula> {
 }
 
 fn render_branch(f: &Formula, head: &Head, distinct: bool) -> Result<String, RenderError> {
-    let (bindings, grouping, join, body): (&[Binding], Option<&Grouping>, Option<&JoinTree>, &Formula) =
-        match f {
-            Formula::Quant(q) => (&q.bindings, q.grouping.as_ref(), q.join.as_ref(), &q.body),
-            other => (&[], None, None, other),
-        };
+    let (bindings, grouping, join, body): (
+        &[Binding],
+        Option<&Grouping>,
+        Option<&JoinTree>,
+        &Formula,
+    ) = match f {
+        Formula::Quant(q) => (&q.bindings, q.grouping.as_ref(), q.join.as_ref(), &q.body),
+        other => (&[], None, None, other),
+    };
     let parts = classify(body, &head.relation);
     if !parts.spines.is_empty() {
         return Err(RenderError::Unsupported(
@@ -240,8 +248,10 @@ fn join_tree_sql(
                 on.join(" and ")
             };
             // Parenthesize composite right sides.
-            let rsql = if matches!(**r, JoinTree::Inner(_) | JoinTree::Left(..) | JoinTree::Full(..))
-            {
+            let rsql = if matches!(
+                **r,
+                JoinTree::Inner(_) | JoinTree::Left(..) | JoinTree::Full(..)
+            ) {
                 format!("({rsql})")
             } else {
                 rsql
@@ -277,8 +287,7 @@ fn select_on(
             continue;
         }
         let touches_right = vars.iter().any(|v| rvars.contains(v.as_str()));
-        let touches_lit = !rlits.is_empty()
-            && pred_consts(p).iter().any(|c| rlits.contains(c));
+        let touches_lit = !rlits.is_empty() && pred_consts(p).iter().any(|c| rlits.contains(c));
         if touches_right || touches_lit {
             consumed.insert(i);
             out.push(pred(p)?);

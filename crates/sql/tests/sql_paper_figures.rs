@@ -134,7 +134,10 @@ fn fig11a_not_in_with_nulls() {
         "select R.A from R where R.A not in (select S.A from S)",
         Conventions::sql(),
     );
-    assert!(not_in.is_empty(), "NOT IN with NULLs must be empty: {not_in}");
+    assert!(
+        not_in.is_empty(),
+        "NOT IN with NULLs must be empty: {not_in}"
+    );
 
     // Fig 11b: the explicit NOT EXISTS formulation is pattern-identical.
     let guarded = sql_to_arc(
@@ -177,9 +180,11 @@ fn fig13_catalog(dup: bool) -> Catalog {
     } else {
         &[&[3], &[5]]
     };
-    Catalog::new()
-        .with(ints("R", &["A"], r))
-        .with(ints("S", &["A", "B"], &[&[1, 10], &[2, 20], &[4, 40]]))
+    Catalog::new().with(ints("R", &["A"], r)).with(ints(
+        "S",
+        &["A", "B"],
+        &[&[1, 10], &[2, 20], &[4, 40]],
+    ))
 }
 
 #[test]
@@ -197,7 +202,10 @@ fn fig13_scalar_equals_lateral_even_with_duplicates() {
              (select sum(S.B) sm from S where S.A < R.A) X on true",
             Conventions::sql(),
         );
-        assert!(scalar.bag_eq(&lateral), "dup={dup}\n{scalar}\nvs\n{lateral}");
+        assert!(
+            scalar.bag_eq(&lateral),
+            "dup={dup}\n{scalar}\nvs\n{lateral}"
+        );
     }
 }
 
@@ -295,9 +303,10 @@ fn fig17_unique_set_query() {
 
 #[test]
 fn union_vs_union_all() {
-    let catalog = Catalog::new()
-        .with(ints("R", &["A"], &[&[1]]))
-        .with(ints("S", &["A"], &[&[1], &[2]]));
+    let catalog =
+        Catalog::new()
+            .with(ints("R", &["A"], &[&[1]]))
+            .with(ints("S", &["A"], &[&[1], &[2]]));
     let all = run(
         &catalog,
         "select R.A from R union all select S.A from S",
@@ -315,7 +324,11 @@ fn union_vs_union_all() {
 #[test]
 fn select_distinct_deduplicates() {
     let catalog = Catalog::new().with(ints("R", &["A", "B"], &[&[1, 2], &[1, 2], &[3, 4]]));
-    let out = run(&catalog, "select distinct R.A, R.B from R", Conventions::sql());
+    let out = run(
+        &catalog,
+        "select distinct R.A, R.B from R",
+        Conventions::sql(),
+    );
     assert_eq!(out.sorted_rows(), vec![row(&[1, 2]), row(&[3, 4])]);
 }
 

@@ -33,15 +33,16 @@ fn main() {
                   on R2.id = S.id group by R2.id) as X where R.q = X.ct and R.id = X.id";
 
     println!("instance: R = {{(9, 0)}}, S = ∅\n");
-    for (name, sql) in [("version 1", v1_sql), ("version 2", v2_sql), ("version 3", v3_sql)] {
+    for (name, sql) in [
+        ("version 1", v1_sql),
+        ("version 2", v2_sql),
+        ("version 3", v3_sql),
+    ] {
         let arc = sql_to_arc(sql, &schemas).expect("lowers");
         let result = engine.eval_collection(&arc).expect("evaluates");
         println!("{name}:\n  {sql}");
         println!("  ALT pattern: {}", signature(&arc).canon);
-        println!(
-            "  result: {:?}\n",
-            result.sorted_rows()
-        );
+        println!("  result: {:?}\n", result.sorted_rows());
     }
 
     // The analysis crate reproduces both rewrites from version 1 directly
@@ -51,8 +52,14 @@ fn main() {
     let fixed = decorrelate(&v1, Decorrelation::LeftJoinCorrect).expect("shape matches");
     let r_naive = engine.eval_collection(&naive).unwrap();
     let r_fixed = engine.eval_collection(&fixed).unwrap();
-    println!("decorrelate(v1, NaiveIncorrect)  → {:?}  (the bug, = version 2)", r_naive.sorted_rows());
-    println!("decorrelate(v1, LeftJoinCorrect) → {:?}  (the fix, = version 3)", r_fixed.sorted_rows());
+    println!(
+        "decorrelate(v1, NaiveIncorrect)  → {:?}  (the bug, = version 2)",
+        r_naive.sorted_rows()
+    );
+    println!(
+        "decorrelate(v1, LeftJoinCorrect) → {:?}  (the fix, = version 3)",
+        r_fixed.sorted_rows()
+    );
 
     // The paper's diagnostic vocabulary: version 1's aggregate is a *test*.
     let cls = arc_analysis::classify(&v1);

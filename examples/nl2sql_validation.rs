@@ -18,12 +18,11 @@ use arc_engine::{Catalog, Engine, Relation};
 use arc_sql::{arc_to_sql, sql_to_arc};
 
 fn main() {
-    let catalog = Catalog::new()
-        .with(Relation::from_ints(
-            "Emp",
-            &["id", "dept", "sal"],
-            &[&[1, 1, 50], &[2, 1, 60], &[3, 2, 40]],
-        ));
+    let catalog = Catalog::new().with(Relation::from_ints(
+        "Emp",
+        &["id", "dept", "sal"],
+        &[&[1, 1, 50], &[2, 1, 60], &[3, 2, 40]],
+    ));
     let schemas = catalog.schema_map();
 
     // 1. "Machine-generated" intent: an ALT arriving as JSON. (This is the

@@ -32,7 +32,10 @@ fn main() {
     );
 
     // 3. The machine-facing ALT modality (Fig 2a).
-    println!("ALT modality:\n{}", arc_core::alt::render_collection(&query));
+    println!(
+        "ALT modality:\n{}",
+        arc_core::alt::render_collection(&query)
+    );
 
     // 4. The diagrammatic higraph modality (Fig 2b), as a text outline.
     let hg = build_collection(&query);

@@ -37,25 +37,19 @@ fn main() {
     let datalog = ".decl R(A: number, B: number)\n\
                    .decl Q(A: number, sm: number)\n\
                    Q(a, sum b : {R(a, b)}) :- R(a, _).\n";
-    let from_datalog_program = lower_program(&parse_datalog(datalog).expect("parses"))
-        .expect("lowers");
+    let from_datalog_program =
+        lower_program(&parse_datalog(datalog).expect("parses")).expect("lowers");
     let from_datalog = from_datalog_program.definitions[0].collection.clone();
 
     // --- Comprehension syntax (Eq (3)) ------------------------------------
-    let from_arc = parse_collection(
-        "{Q(A,sm) | ∃r ∈ R, γ r.A [Q.A = r.A ∧ Q.sm = sum(r.B)]}",
-    )
-    .expect("parses");
+    let from_arc = parse_collection("{Q(A,sm) | ∃r ∈ R, γ r.A [Q.A = r.A ∧ Q.sm = sum(r.B)]}")
+        .expect("parses");
 
     // All three compute the same relation (set semantics).
     let engine = Engine::new(&catalog, Conventions::set());
     let r_sql = engine.eval_collection(&from_sql).unwrap();
     let r_arc = engine.eval_collection(&from_arc).unwrap();
-    let r_dl = engine
-        .eval_program(&from_datalog_program)
-        .unwrap()
-        .defined["Q"]
-        .clone();
+    let r_dl = engine.eval_program(&from_datalog_program).unwrap().defined["Q"].clone();
     assert!(r_sql.set_eq(&r_arc) && r_arc.set_eq(&r_dl));
     println!("all three front-ends compute:\n{r_sql}");
 
@@ -73,9 +67,7 @@ fn main() {
             .first()
             .map(|a| format!("{:?}", a.pattern))
             .unwrap_or_else(|| "—".into());
-        println!(
-            "{name:24} aggregation pattern: {pattern:7}  logical copies of R: {copies}"
-        );
+        println!("{name:24} aggregation pattern: {pattern:7}  logical copies of R: {copies}");
         assert!(matches!(
             cls.aggregates[0].pattern,
             AggPattern::Fio | AggPattern::Foi

@@ -153,7 +153,15 @@ COLLECTION
 #[test]
 fn higraph_svg_and_dot_render_for_all_fixtures() {
     use arc_bench::fixtures as fx;
-    for c in [fx::eq1(), fx::eq3(), fx::eq8(), fx::eq18(), fx::eq22(), fx::eq26(), fx::eq29()] {
+    for c in [
+        fx::eq1(),
+        fx::eq3(),
+        fx::eq8(),
+        fx::eq18(),
+        fx::eq22(),
+        fx::eq26(),
+        fx::eq29(),
+    ] {
         let hg = arc_higraph::build_collection(&c);
         let svg = arc_higraph::render_svg(&hg);
         assert!(svg.starts_with("<svg") && svg.trim_end().ends_with("</svg>"));
