@@ -23,7 +23,12 @@ use arc_core::ast::*;
 /// parent scope, recursively. Under set semantics the result is equivalent;
 /// under bag semantics it multiplies multiplicities (the paper's semijoin
 /// example) — use `arc-analysis::equiv` to observe both.
+///
+/// Consults the plan layer's normalizer first, so connective shape
+/// (nested `And`s, singleton wrappers, double negations) never hides a
+/// mergeable scope from the pattern match.
 pub fn unnest(c: &Collection) -> Collection {
+    let c = arc_plan::normalize_collection(c);
     Collection {
         head: c.head.clone(),
         body: unnest_formula(c.body.clone()),
@@ -81,7 +86,11 @@ fn unnest_formula(f: Formula) -> Formula {
 /// exist only for surviving rows; the outer filters are replicated to
 /// preserve that). Returns `None` when the collection is not a single
 /// FIO-grouped scope.
+///
+/// The shape match runs over the plan-normalized form (flattened
+/// conjunctions), shared with the planner's lowering.
 pub fn fio_to_foi(c: &Collection) -> Option<Collection> {
+    let c = &arc_plan::normalize_collection(c);
     let q = match &c.body {
         Formula::Quant(q) if matches!(&q.grouping, Some(g) if !g.keys.is_empty()) => q,
         _ => return None,
@@ -350,8 +359,10 @@ pub enum Decorrelation {
 
 /// Decorrelate the Eq (27) shape: an outer scope `∃r∈R[… ∧ ∃s∈S, γ∅
 /// [r.k = s.k ∧ e(r) cmp agg(s.x)]]`. Returns `None` when the collection
-/// does not match the shape.
+/// does not match the shape (matching runs over the plan-normalized form,
+/// like the planner's lowering).
 pub fn decorrelate(c: &Collection, style: Decorrelation) -> Option<Collection> {
+    let c = &arc_plan::normalize_collection(c);
     let outer = match &c.body {
         Formula::Quant(q) if q.grouping.is_none() && q.join.is_none() => q,
         _ => return None,

@@ -40,6 +40,17 @@ pub enum EvalError {
     ExternalInJoinTree { var: String },
     /// A join annotation does not cover all bound variables.
     JoinTreeMismatch,
+    /// An engine configuration value (e.g. `ARC_EVAL_STRATEGY`) could not
+    /// be interpreted; surfaced on the first evaluation instead of
+    /// panicking mid-run.
+    Config(String),
+    /// The static planner (`EXPLAIN`) found no valid placement order for a
+    /// binding; evaluation maps the same condition onto the precise
+    /// source-kind error ([`EvalError::NoAccessPath`] & co.).
+    Unplannable {
+        /// The range variable of the stuck binding.
+        var: String,
+    },
     /// Internal invariant violation (a bug in the engine).
     Internal(String),
 }
@@ -90,6 +101,10 @@ impl fmt::Display for EvalError {
             ),
             EvalError::JoinTreeMismatch => {
                 write!(f, "join annotation does not cover the quantifier's bindings")
+            }
+            EvalError::Config(msg) => write!(f, "engine configuration error: {msg}"),
+            EvalError::Unplannable { var } => {
+                write!(f, "binding `{var}` cannot be placed in any join order")
             }
             EvalError::Internal(msg) => write!(f, "internal engine error: {msg}"),
         }

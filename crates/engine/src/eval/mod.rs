@@ -26,21 +26,26 @@
 //! | module         | stage                                                     |
 //! |----------------|-----------------------------------------------------------|
 //! | [`env`]        | runtime environments (frames of bound range variables)    |
-//! | [`partition`]  | body analysis: predicate-role partitioning, free variables|
+//! | [`partition`]  | body analysis (re-exported from [`arc_plan::analysis`])   |
 //! | [`scalar`]     | scalar & predicate evaluation, comparisons, arithmetic    |
 //! | [`formula`]    | boolean formula / sentence evaluation                     |
-//! | [`quantifier`] | the binding loop: ordering, enumeration, join strategies  |
+//! | [`quantifier`] | the binding loop: executes `arc-plan` scope plans         |
 //! | [`aggregate`]  | grouping scopes: accumulation, per-group verdicts         |
 //! | [`output`]     | output assembly: head-tuple construction and emission     |
 //! | [`join`]       | outer-join annotation trees (`left`/`full`, §2.11)        |
-//! | [`strategy`]   | the pluggable [`EvalStrategy`] seam                       |
+//! | [`strategy`]   | the [`EvalStrategy`] seam (planned vs. force-overrides)   |
 //!
-//! The **strategy seam** sits inside the binding loop: the paper-faithful
-//! [`EvalStrategy::NestedLoop`] reference enumerates cross products and
-//! filters, while [`EvalStrategy::HashJoin`] builds hash indexes on
-//! equi-join keys and probes them — producing the *same environments in
-//! the same order* (it only skips tuples the equality filters would reject
-//! anyway), so results are tuple-for-tuple identical to the reference.
+//! The **plan seam** sits inside the binding loop: every quantifier scope
+//! is described to [`arc_plan::plan_scope`] and the returned physical
+//! plan — binding order, per-step scan/hash-probe/external/abstract
+//! access, pushed-down filters — is executed by [`quantifier`]. Under the
+//! default [`EvalStrategy::Planned`] each join independently selects its
+//! algorithm and results are bag-identical to the paper's semantics; the
+//! [`EvalStrategy::NestedLoop`]/[`EvalStrategy::HashJoin`] force modes pin
+//! declaration order and leaf filters, producing the *same environments
+//! in the same order* as each other — tuple-for-tuple identical. The
+//! [`Engine::explain_collection`]/[`Engine::explain_program`] renderers
+//! (in [`crate::explain`]) show the plan a query would execute.
 
 pub mod aggregate;
 pub mod env;
@@ -70,18 +75,22 @@ pub struct Engine<'c> {
     pub(crate) catalog: &'c Catalog,
     /// The convention profile queries are interpreted under (§2.6/§2.7).
     pub conventions: Conventions,
-    /// How quantifier bindings are enumerated (identical results either
-    /// way; see [`EvalStrategy`]).
-    pub strategy: EvalStrategy,
+    /// How quantifier scopes are planned (see [`EvalStrategy`]). Stored as
+    /// a `Result` so a malformed environment override surfaces as a normal
+    /// engine error on the first evaluation instead of panicking at
+    /// construction.
+    strategy: std::result::Result<EvalStrategy, crate::error::EvalError>,
 }
 
 impl<'c> Engine<'c> {
     /// Create an engine over a catalog with the given conventions.
     ///
-    /// The evaluation strategy defaults to [`EvalStrategy::from_env`], so
-    /// the full test suite can be re-run under the hash-join strategy by
-    /// setting `ARC_EVAL_STRATEGY=hash-join` without touching any call
-    /// site.
+    /// The evaluation strategy defaults to [`EvalStrategy::from_env`]
+    /// ([`EvalStrategy::Planned`] when no override is set), so the full
+    /// test suite can be re-run under a forced strategy by setting
+    /// `ARC_EVAL_STRATEGY=hash-join` (or `nested-loop`) without touching
+    /// any call site. A malformed value is reported by the first
+    /// evaluation as [`EvalError::Config`](crate::error::EvalError::Config).
     pub fn new(catalog: &'c Catalog, conventions: Conventions) -> Self {
         Engine {
             catalog,
@@ -92,36 +101,54 @@ impl<'c> Engine<'c> {
 
     /// Override the evaluation strategy (builder style).
     pub fn with_strategy(mut self, strategy: EvalStrategy) -> Self {
-        self.strategy = strategy;
+        self.strategy = Ok(strategy);
         self
+    }
+
+    /// The strategy this engine evaluates under (an `Err` reproduces the
+    /// configuration problem every evaluation would report).
+    pub fn strategy(&self) -> Result<EvalStrategy> {
+        self.strategy.clone()
+    }
+
+    /// Inject a strategy-parse outcome (tests only: process environment
+    /// variables are racy under parallel tests, so the typo path is tested
+    /// by injection rather than by setting `ARC_EVAL_STRATEGY`).
+    #[cfg(test)]
+    pub(crate) fn set_strategy_result(
+        &mut self,
+        r: std::result::Result<EvalStrategy, crate::error::EvalError>,
+    ) {
+        self.strategy = r;
     }
 
     fn ctx<'a>(
         &'a self,
         defined: &'a HashMap<String, Relation>,
         abstracts: &'a HashMap<String, Collection>,
-    ) -> Ctx<'a> {
-        Ctx {
+    ) -> Result<Ctx<'a>> {
+        Ok(Ctx {
             catalog: self.catalog,
             conv: self.conventions,
-            strategy: self.strategy,
+            strategy: self.strategy.clone()?,
             defined,
             abstracts,
             join_indexes: RefCell::new(HashMap::new()),
-        }
+            distinct_estimates: RefCell::new(HashMap::new()),
+        })
     }
 
     /// Evaluate a standalone query collection (no definitions).
     pub fn eval_collection(&self, c: &Collection) -> Result<Relation> {
         let (defined, abstracts) = (HashMap::new(), HashMap::new());
-        self.ctx(&defined, &abstracts)
+        self.ctx(&defined, &abstracts)?
             .collection_relation(c, &mut Env::default())
     }
 
     /// Evaluate a boolean sentence (paper Fig 9).
     pub fn eval_sentence(&self, f: &Formula) -> Result<Truth> {
         let (defined, abstracts) = (HashMap::new(), HashMap::new());
-        self.ctx(&defined, &abstracts)
+        self.ctx(&defined, &abstracts)?
             .formula_truth(f, &mut Env::default())
     }
 
@@ -133,7 +160,7 @@ impl<'c> Engine<'c> {
         defined: &HashMap<String, Relation>,
         abstracts: &HashMap<String, Collection>,
     ) -> Result<Relation> {
-        self.ctx(defined, abstracts)
+        self.ctx(defined, abstracts)?
             .collection_relation(c, &mut Env::default())
     }
 
@@ -144,7 +171,7 @@ impl<'c> Engine<'c> {
         defined: &HashMap<String, Relation>,
         abstracts: &HashMap<String, Collection>,
     ) -> Result<Truth> {
-        self.ctx(defined, abstracts)
+        self.ctx(defined, abstracts)?
             .formula_truth(f, &mut Env::default())
     }
 }
@@ -163,4 +190,7 @@ pub(crate) struct Ctx<'a> {
     /// see `Ctx::join_index`). Correlated scopes re-enter `enumerate` once
     /// per outer environment and reuse these instead of rebuilding.
     pub(crate) join_indexes: quantifier::JoinIndexCache,
+    /// Per-query cache of distinct-key estimates (same keying scheme),
+    /// feeding the planner's greedy join ordering.
+    pub(crate) distinct_estimates: RefCell<HashMap<(usize, Vec<usize>), usize>>,
 }

@@ -1,31 +1,40 @@
-//! The binding loop: ordering bindings, enumerating environments, and the
-//! pluggable join strategy.
+//! The binding loop: executing the physical scope plan.
 //!
 //! [`Ctx::enumerate`] drives a callback over every environment of a
-//! quantifier scope that survives the filter predicates. Ordering places
-//! external/abstract relations after the bindings that determine their
-//! inputs and lateral nested collections after their referenced siblings.
+//! quantifier scope that survives the filter predicates. The *shape* of
+//! the enumeration — binding order, per-binding access path (scan vs.
+//! hash probe vs. external access pattern vs. abstract check vs. lateral),
+//! and where each filter runs — is no longer derived here: the scope is
+//! described to [`arc_plan::plan_scope`] and this module executes the
+//! [`ScopePlan`](arc_plan::ScopePlan) it returns.
 //!
-//! Under [`EvalStrategy::HashJoin`](super::EvalStrategy::HashJoin) the
-//! ordering pass additionally attaches a [`HashPlan`] to every relation
-//! binding reachable through equality predicates from already-placed
-//! variables; enumeration then probes a hash index instead of scanning.
-//! The probe iterates matches in the relation's original row order and
-//! every filter is still re-checked at the leaf, so the callback sees
-//! exactly the environments the nested loop would produce, in the same
-//! order — the strategies are observably identical, only faster.
+//! Under [`EvalStrategy::Planned`](super::EvalStrategy::Planned) the plan
+//! greedily orders joins by estimated cardinality, hash-probes every
+//! reachable equi-join, and pushes filters down to the step where their
+//! variables bind — results are bag-identical to the reference. Under the
+//! force overrides the plan pins declaration order and leaf filters, so
+//! the hash-join strategy remains *order-identical* to the nested loop:
+//! the probe iterates matches in the relation's original row order and
+//! every filter is still re-checked, so the callback sees exactly the
+//! environments the nested loop would produce, in the same order.
 
 use super::env::Env;
-use super::partition::{equality_pair, free_vars};
-use super::strategy::EvalStrategy;
 use super::Ctx;
 use crate::error::{EvalError, Result};
 use crate::external::{AccessPattern, ExternalRelation};
 use crate::relation::Relation;
 use arc_core::ast::*;
-use arc_core::value::{Key, Value};
+use arc_core::value::Key;
+use arc_plan::analysis::free_vars;
+use arc_plan::logical::other_side;
+use arc_plan::{
+    Access, BindingSpec, DistinctEstimator, OuterScope, PlanError, ScopeSpec, SourceSpec,
+};
 use std::collections::HashMap;
 use std::rc::Rc;
+
+/// Row-sample cap for the planner's distinct-key estimates.
+const DISTINCT_SAMPLE: usize = 256;
 
 /// Where one ordered binding draws its tuples from.
 pub(crate) enum Src<'b> {
@@ -62,33 +71,16 @@ pub(crate) type HashIndex = HashMap<Vec<Key>, Vec<u32>>;
 /// plus key columns (see [`Ctx::join_index`] for why addresses are stable).
 pub(crate) type JoinIndexCache = std::cell::RefCell<HashMap<(usize, Vec<usize>), Rc<HashIndex>>>;
 
-/// A value's hash key for equi-join purposes, or `None` when the value can
-/// never satisfy an equality predicate (`NULL` compares as `Unknown`; a
-/// float `NaN` is incomparable even to itself), so indexing/probing with
-/// it must produce no matches.
-fn join_key(v: &Value) -> Option<Key> {
-    match v {
-        Value::Null => None,
-        Value::Float(f) if f.is_nan() => None,
-        // `Value::key()` normalizes integral floats to integer keys, so
-        // key equality coincides exactly with `compare(..) == Equal` for
-        // the remaining values.
-        other => Some(other.key()),
-    }
-}
-
 impl<'b> HashPlan<'b> {
     fn build_index(&self, rel: &Relation) -> HashIndex {
         let mut index: HashIndex = HashMap::with_capacity(rel.rows.len());
-        'rows: for (i, row) in rel.rows.iter().enumerate() {
-            let mut key = Vec::with_capacity(self.key_cols.len());
-            for &c in &self.key_cols {
-                match join_key(&row[c]) {
-                    Some(k) => key.push(k),
-                    None => continue 'rows,
-                }
+        for (i, row) in rel.rows.iter().enumerate() {
+            // `Relation::key_for` is the single source of join-key
+            // semantics (NULL/NaN never match) — shared with the
+            // planner's distinct estimator.
+            if let Some(key) = Relation::key_for(row, &self.key_cols) {
+                index.entry(key).or_default().push(i as u32);
             }
-            index.entry(key).or_default().push(i as u32);
         }
         index
     }
@@ -96,7 +88,7 @@ impl<'b> HashPlan<'b> {
     fn probe_key(&self, ctx: &Ctx<'_>, env: &mut Env) -> Result<Option<Vec<Key>>> {
         let mut key = Vec::with_capacity(self.probe_exprs.len());
         for e in &self.probe_exprs {
-            match join_key(&ctx.scalar(e, env)?) {
+            match crate::relation::join_key(&ctx.scalar(e, env)?) {
                 Some(k) => key.push(k),
                 None => return Ok(None),
             }
@@ -105,25 +97,61 @@ impl<'b> HashPlan<'b> {
     }
 }
 
-/// One binding with a resolved source (and optional hash-join plan), in
-/// enumeration order.
+/// One planned step: a binding with a resolved source, its access path,
+/// and the filters pushed down to it — in execution order.
 pub(crate) struct Ordered<'b> {
     var: Rc<str>,
     source: Src<'b>,
     hash_plan: Option<HashPlan<'b>>,
+    /// Filters evaluated as soon as this step's variable binds (empty
+    /// under the force strategies, which keep everything at the leaf).
+    step_filters: Vec<&'b Predicate>,
     /// The plan's index, memoized on first probe so the hot loop touches
     /// neither the [`Ctx`]-level cache nor its heap-allocated key again.
     index: std::cell::OnceCell<Rc<HashIndex>>,
 }
 
-/// The attribute schema an [`Ordered`] binding exposes to later probe
-/// expressions (needed for plan-time validation of attribute references).
-fn source_schema<'b>(src: &Src<'b>) -> &'b [String] {
-    match src {
-        Src::Rows(rel) => &rel.schema,
-        Src::Nested(c) => &c.head.attrs,
-        Src::External { ext, .. } => &ext.schema,
-        Src::Abstract { def, .. } => &def.head.attrs,
+/// A resolved binding source plus its catalog name (for diagnostics).
+enum Resolved<'b> {
+    Rel(&'b Relation),
+    Ext(&'b ExternalRelation),
+    Abs(&'b Collection),
+    Nested(&'b Collection),
+}
+
+/// The runtime environment as the planner's outer scope.
+struct EnvOuter<'e>(&'e Env);
+
+impl OuterScope for EnvOuter<'_> {
+    fn attrs(&self, var: &str) -> Option<&[String]> {
+        self.0
+            .frames
+            .iter()
+            .rev()
+            .find(|f| &*f.var == var)
+            .map(|f| f.attrs.as_slice())
+    }
+}
+
+/// Live distinct-key statistics for the planner, backed by the per-query
+/// cache on [`Ctx`].
+struct CtxEstimator<'a, 'b> {
+    ctx: &'a Ctx<'a>,
+    resolved: &'b [Resolved<'a>],
+}
+
+impl DistinctEstimator for CtxEstimator<'_, '_> {
+    fn distinct(&self, binding: usize, cols: &[usize]) -> Option<usize> {
+        let Resolved::Rel(rel) = &self.resolved[binding] else {
+            return None;
+        };
+        let key = (*rel as *const Relation as usize, cols.to_vec());
+        if let Some(&d) = self.ctx.distinct_estimates.borrow().get(&key) {
+            return Some(d);
+        }
+        let d = rel.distinct_estimate(cols, DISTINCT_SAMPLE);
+        self.ctx.distinct_estimates.borrow_mut().insert(key, d);
+        Some(d)
     }
 }
 
@@ -145,8 +173,15 @@ impl<'a> Ctx<'a> {
             }
             // A pure-inner annotation is semantically the default join.
         }
-        let order = self.order_bindings(bindings, filters, env)?;
-        self.enumerate_rec(&order, 0, filters, env, cb).map(|_| ())
+        let (order, prelude, leaf) = self.plan_bindings(bindings, filters, env)?;
+        // Prelude filters touch only outer variables (or constants): one
+        // failing verdict empties the whole scope.
+        for p in &prelude {
+            if !self.pred_truth(p, env)?.is_true() {
+                return Ok(());
+            }
+        }
+        self.enumerate_rec(&order, 0, &leaf, env, cb).map(|_| ())
     }
 
     /// Build (or fetch from the per-query cache) the hash index for a plan
@@ -166,21 +201,38 @@ impl<'a> Ctx<'a> {
         index
     }
 
-    /// Recursive enumeration; returns false when stopped early. Each level
-    /// either scans its source (nested loop) or probes a lazily built hash
-    /// index (hash join) — the latter yields the same rows in the same
-    /// order, minus those an equality filter would reject.
+    /// Pushed-down filters of step `i`, then descend one level.
+    fn step_into(
+        &self,
+        order: &[Ordered<'_>],
+        i: usize,
+        leaf: &[&Predicate],
+        env: &mut Env,
+        cb: &mut dyn FnMut(&Ctx<'a>, &mut Env) -> Result<bool>,
+    ) -> Result<bool> {
+        for p in &order[i].step_filters {
+            if !self.pred_truth(p, env)?.is_true() {
+                return Ok(true); // this environment is filtered out
+            }
+        }
+        self.enumerate_rec(order, i + 1, leaf, env, cb)
+    }
+
+    /// Recursive plan execution; returns false when stopped early. Each
+    /// level enumerates its access path — scan, lazily built hash index,
+    /// external access pattern, abstract membership check, or lateral
+    /// evaluation — applies its pushed-down filters, and recurses.
     fn enumerate_rec(
         &self,
         order: &[Ordered<'_>],
         i: usize,
-        filters: &[&Predicate],
+        leaf: &[&Predicate],
         env: &mut Env,
         cb: &mut dyn FnMut(&Ctx<'a>, &mut Env) -> Result<bool>,
     ) -> Result<bool> {
         if i == order.len() {
-            // All bound: apply filters, then the callback.
-            for p in filters {
+            // All bound: apply the leaf filters, then the callback.
+            for p in leaf {
                 if !self.pred_truth(p, env)?.is_true() {
                     return Ok(true);
                 }
@@ -200,7 +252,7 @@ impl<'a> Ctx<'a> {
                         for &ridx in matches {
                             let row = &rel.rows[ridx as usize];
                             env.push(ob.var.clone(), attrs.clone(), row.clone());
-                            let cont = self.enumerate_rec(order, i + 1, filters, env, cb)?;
+                            let cont = self.step_into(order, i, leaf, env, cb)?;
                             env.pop();
                             if !cont {
                                 return Ok(false);
@@ -211,7 +263,7 @@ impl<'a> Ctx<'a> {
                 }
                 for row in &rel.rows {
                     env.push(ob.var.clone(), attrs.clone(), row.clone());
-                    let cont = self.enumerate_rec(order, i + 1, filters, env, cb)?;
+                    let cont = self.step_into(order, i, leaf, env, cb)?;
                     env.pop();
                     if !cont {
                         return Ok(false);
@@ -225,7 +277,7 @@ impl<'a> Ctx<'a> {
                 let attrs = Rc::new(rel.schema.clone());
                 for row in rel.rows {
                     env.push(ob.var.clone(), attrs.clone(), row);
-                    let cont = self.enumerate_rec(order, i + 1, filters, env, cb)?;
+                    let cont = self.step_into(order, i, leaf, env, cb)?;
                     env.pop();
                     if !cont {
                         return Ok(false);
@@ -254,7 +306,7 @@ impl<'a> Ctx<'a> {
                 let attrs = Rc::new(ext.schema.clone());
                 for tuple in (pattern.complete)(&vals) {
                     env.push(ob.var.clone(), attrs.clone(), tuple);
-                    let cont = self.enumerate_rec(order, i + 1, filters, env, cb)?;
+                    let cont = self.step_into(order, i, leaf, env, cb)?;
                     env.pop();
                     if !cont {
                         return Ok(false);
@@ -286,7 +338,7 @@ impl<'a> Ctx<'a> {
                 env.pop();
                 if holds.is_true() {
                     env.push(ob.var.clone(), head_attrs, tuple);
-                    let cont = self.enumerate_rec(order, i + 1, filters, env, cb)?;
+                    let cont = self.step_into(order, i, leaf, env, cb)?;
                     env.pop();
                     if !cont {
                         return Ok(false);
@@ -297,236 +349,172 @@ impl<'a> Ctx<'a> {
         }
     }
 
-    /// Order bindings so that external/abstract relations come after the
-    /// bindings that determine their inputs, and laterally-dependent nested
-    /// collections after their referenced siblings. Under the hash-join
-    /// strategy, also attach an equi-join [`HashPlan`] where one applies.
-    fn order_bindings<'c>(
+    /// Resolve binding sources, describe the scope to the planner, and
+    /// turn the returned [`arc_plan::ScopePlan`] into executable steps.
+    ///
+    /// Resolution order for named sources matches the pre-plan evaluator:
+    /// defined (materialized) relations shadow catalog relations, which
+    /// shadow abstract definitions, which shadow externals.
+    #[allow(clippy::type_complexity)]
+    fn plan_bindings<'c>(
         &'c self,
         bindings: &'c [Binding],
         filters: &[&'c Predicate],
         env: &Env,
-    ) -> Result<Vec<Ordered<'c>>> {
-        let mut remaining: Vec<&Binding> = bindings.iter().collect();
-        let mut available: Vec<String> = Vec::new();
-        let mut out: Vec<Ordered<'c>> = Vec::with_capacity(bindings.len());
-
-        // Equality predicates usable to determine external/abstract inputs
-        // (and, under hash join, equi-join keys).
-        let equalities: Vec<(&AttrRef, &Scalar)> =
-            filters.iter().flat_map(|p| equality_pair(p)).collect();
-
-        // A variable is usable by an input/probe/lateral expression only
-        // once it is *placed*. A name declared by this quantifier but not
-        // yet placed must NOT fall back to a same-named outer variable:
-        // the local binding shadows it, and resolving through the outer
-        // one would silently evaluate against the wrong tuple.
-        let locals: std::collections::HashSet<&str> =
-            bindings.iter().map(|b| b.var.as_str()).collect();
-        let usable = |var: &str, available: &[String], env: &Env| -> bool {
-            available.iter().any(|v| v == var) || (!locals.contains(var) && env.has_var(var))
-        };
-        let resolvable = |expr: &Scalar, available: &[String], env: &Env| -> bool {
-            expr.attr_refs()
-                .iter()
-                .all(|r| usable(&r.var, available, env))
-        };
-
-        while !remaining.is_empty() {
-            let mut placed = None;
-            'scan: for (idx, b) in remaining.iter().enumerate() {
-                match &b.source {
-                    BindingSource::Named(name) => {
-                        if let Some(rel) = self.defined.get(name) {
-                            placed = Some((idx, Src::Rows(rel)));
-                            break 'scan;
-                        }
-                        if let Some(rel) = self.catalog.relation(name) {
-                            placed = Some((idx, Src::Rows(rel)));
-                            break 'scan;
-                        }
-                        if let Some(def) = self.abstracts.get(name) {
-                            // All attributes must be determined.
-                            let mut inputs = Vec::with_capacity(def.head.attrs.len());
-                            for attr in &def.head.attrs {
-                                let found = equalities.iter().find(|(a, e)| {
-                                    a.var == b.var
-                                        && &a.attr == attr
-                                        && resolvable(e, &available, env)
-                                });
-                                match found {
-                                    Some((_, e)) => inputs.push((*e).clone()),
-                                    None => continue 'scan,
-                                }
-                            }
-                            placed = Some((idx, Src::Abstract { def, inputs }));
-                            break 'scan;
-                        }
-                        if let Some(ext) = self.catalog.external(name) {
-                            for pattern in &ext.patterns {
-                                let mut inputs = Vec::with_capacity(pattern.bound.len());
-                                let mut ok = true;
-                                for &pos in &pattern.bound {
-                                    let attr = &ext.schema[pos];
-                                    let found = equalities.iter().find(|(a, e)| {
-                                        a.var == b.var
-                                            && &a.attr == attr
-                                            && resolvable(e, &available, env)
-                                    });
-                                    match found {
-                                        Some((_, e)) => inputs.push((*e).clone()),
-                                        None => {
-                                            ok = false;
-                                            break;
-                                        }
-                                    }
-                                }
-                                if ok {
-                                    placed = Some((
-                                        idx,
-                                        Src::External {
-                                            ext,
-                                            pattern,
-                                            inputs,
-                                        },
-                                    ));
-                                    break 'scan;
-                                }
-                            }
-                            continue 'scan;
-                        }
+    ) -> Result<(Vec<Ordered<'c>>, Vec<&'c Predicate>, Vec<&'c Predicate>)> {
+        // 1. Resolve sources (declaration order; unknown names error here,
+        //    exactly as the pre-plan ordering loop did).
+        let mut resolved: Vec<Resolved<'c>> = Vec::with_capacity(bindings.len());
+        for b in bindings {
+            resolved.push(match &b.source {
+                BindingSource::Named(name) => {
+                    if let Some(rel) = self.defined.get(name) {
+                        Resolved::Rel(rel)
+                    } else if let Some(rel) = self.catalog.relation(name) {
+                        Resolved::Rel(rel)
+                    } else if let Some(def) = self.abstracts.get(name) {
+                        Resolved::Abs(def)
+                    } else if let Some(ext) = self.catalog.external(name) {
+                        Resolved::Ext(ext)
+                    } else {
                         return Err(EvalError::UnknownRelation(name.clone()));
                     }
-                    BindingSource::Collection(c) => {
-                        // Nested collections may reference earlier siblings
-                        // (lateral); place once free variables are bound.
-                        let free = free_vars(c);
-                        let ready = free.iter().all(|v| usable(v, &available, env));
-                        if ready {
-                            placed = Some((idx, Src::Nested(c)));
-                            break 'scan;
-                        }
+                }
+                BindingSource::Collection(c) => Resolved::Nested(c),
+            });
+        }
+
+        // 2. Describe the scope to the planner.
+        let frees: Vec<Vec<String>> = resolved
+            .iter()
+            .map(|r| match r {
+                Resolved::Nested(c) => free_vars(c),
+                _ => Vec::new(),
+            })
+            .collect();
+        let spec_bindings: Vec<BindingSpec<'_>> = bindings
+            .iter()
+            .zip(resolved.iter())
+            .zip(frees.iter())
+            .map(|((b, r), free)| BindingSpec {
+                var: &b.var,
+                source: match r {
+                    Resolved::Rel(rel) => SourceSpec::Relation {
+                        schema: &rel.schema,
+                        rows: Some(rel.rows.len()),
+                    },
+                    Resolved::Ext(ext) => SourceSpec::External {
+                        schema: &ext.schema,
+                        patterns: ext.patterns.iter().map(|p| p.bound.as_slice()).collect(),
+                    },
+                    Resolved::Abs(def) => SourceSpec::Abstract {
+                        attrs: &def.head.attrs,
+                    },
+                    Resolved::Nested(c) => SourceSpec::Nested {
+                        attrs: &c.head.attrs,
+                        free: free.clone(),
+                    },
+                },
+            })
+            .collect();
+        let outer = EnvOuter(env);
+        let estimator = CtxEstimator {
+            ctx: self,
+            resolved: &resolved,
+        };
+        let spec = ScopeSpec {
+            bindings: spec_bindings,
+            filters,
+            outer: &outer,
+            estimator: Some(&estimator),
+        };
+
+        // 3. Plan, mapping planner failures onto the precise source-kind
+        //    diagnostics.
+        let plan = arc_plan::plan_scope(&spec, self.strategy.plan_mode()).map_err(|e| {
+            let PlanError::Unplaceable { binding } = e;
+            let b = &bindings[binding];
+            match (&b.source, &resolved[binding]) {
+                (BindingSource::Named(name), Resolved::Ext(_)) => EvalError::NoAccessPath {
+                    relation: name.clone(),
+                    var: b.var.clone(),
+                },
+                (BindingSource::Named(name), Resolved::Abs(_)) => {
+                    EvalError::AbstractUnderdetermined {
+                        relation: name.clone(),
+                        var: b.var.clone(),
                     }
                 }
-            }
-            match placed {
-                Some((idx, source)) => {
-                    let b = remaining.remove(idx);
-                    let hash_plan = match (&self.strategy, &source) {
-                        (EvalStrategy::HashJoin, Src::Rows(rel)) => {
-                            self.hash_plan(&b.var, rel, &equalities, &available, env, &usable, &out)
-                        }
-                        _ => None,
-                    };
-                    available.push(b.var.clone());
-                    out.push(Ordered {
-                        var: Rc::from(b.var.as_str()),
-                        source,
-                        hash_plan,
-                        index: std::cell::OnceCell::new(),
-                    });
+                (_, Resolved::Nested(c)) => {
+                    EvalError::UnboundVariable(free_vars(c).into_iter().next().unwrap_or_default())
                 }
-                None => {
-                    // Report the most informative error.
-                    let b = remaining[0];
-                    return Err(match &b.source {
-                        BindingSource::Named(name) if self.catalog.external(name).is_some() => {
-                            EvalError::NoAccessPath {
-                                relation: name.clone(),
-                                var: b.var.clone(),
-                            }
-                        }
-                        BindingSource::Named(name) if self.abstracts.contains_key(name) => {
-                            EvalError::AbstractUnderdetermined {
-                                relation: name.clone(),
-                                var: b.var.clone(),
-                            }
-                        }
-                        BindingSource::Named(name) => EvalError::UnknownRelation(name.clone()),
-                        BindingSource::Collection(c) => EvalError::UnboundVariable(
-                            free_vars(c).into_iter().next().unwrap_or_default(),
-                        ),
-                    });
-                }
+                _ => EvalError::Internal(format!(
+                    "relation binding `{}` reported unplaceable",
+                    b.var
+                )),
             }
-        }
-        Ok(out)
-    }
+        })?;
 
-    /// Find the equi-join key for `var` over `rel`: every equality filter
-    /// `var.attr = expr` whose other side is computable from bindings
-    /// placed *before* `var` (or an outer variable that no local binding
-    /// shadows — see `usable` in `order_bindings`) and does not mention
-    /// `var` itself contributes one key column.
-    ///
-    /// Probe expressions are additionally validated attribute-by-attribute
-    /// against the schemas they will resolve to. Scalar evaluation errors
-    /// are data-independent (`UnknownAttribute` is the only one reachable
-    /// here), so rejecting an unresolvable expression *at plan time* keeps
-    /// the strategies observably identical on error paths too: the nested
-    /// loop surfaces such errors only if enumeration actually reaches the
-    /// offending filter, and the fallback scan reproduces exactly that.
-    #[allow(clippy::too_many_arguments)]
-    fn hash_plan<'c>(
-        &self,
-        var: &str,
-        rel: &Relation,
-        equalities: &[(&'c AttrRef, &'c Scalar)],
-        available: &[String],
-        env: &Env,
-        usable: &dyn Fn(&str, &[String], &Env) -> bool,
-        placed: &[Ordered<'c>],
-    ) -> Option<HashPlan<'c>> {
-        // Plan-time attribute resolution, mirroring runtime lookup order:
-        // placed bindings shadow the outer environment, innermost first.
-        let attr_resolves = |r: &AttrRef| -> bool {
-            for ob in placed.iter().rev() {
-                if *ob.var == r.var {
-                    return source_schema(&ob.source).contains(&r.attr);
-                }
-            }
-            for f in env.frames.iter().rev() {
-                if *f.var == r.var {
-                    return f.attrs.contains(&r.attr);
-                }
-            }
-            false
-        };
-        let mut key_cols = Vec::new();
-        let mut probe_exprs = Vec::new();
-        for (a, other) in equalities {
-            if a.var != var {
-                continue;
-            }
-            let Some(col) = rel.attr_index(&a.attr) else {
-                continue;
+        // 4. Materialize executable steps from the plan.
+        let mut order: Vec<Ordered<'c>> = Vec::with_capacity(plan.steps.len());
+        for step in &plan.steps {
+            let b = &bindings[step.binding];
+            let input_exprs = |inputs: &[arc_plan::EqInput]| -> Vec<Scalar> {
+                inputs
+                    .iter()
+                    .map(|e| other_side(filters[e.filter], e.attr_on_left).clone())
+                    .collect()
             };
-            // Aggregates cannot appear in filters (partitioning routes
-            // them elsewhere), but guard anyway: probing must be a pure
-            // per-tuple evaluation.
-            if other.has_aggregate() {
-                continue;
-            }
-            let refs = other.attr_refs();
-            if refs.iter().any(|r| r.var == var) {
-                continue;
-            }
-            if !refs
-                .iter()
-                .all(|r| usable(&r.var, available, env) && attr_resolves(r))
-            {
-                continue;
-            }
-            key_cols.push(col);
-            probe_exprs.push(*other);
+            let (source, hash_plan) = match (&resolved[step.binding], &step.access) {
+                (Resolved::Rel(rel), Access::Scan) => (Src::Rows(rel), None),
+                (Resolved::Rel(rel), Access::HashProbe { keys }) => {
+                    let key_cols = keys.iter().map(|k| k.col).collect();
+                    let probe_exprs = keys
+                        .iter()
+                        .map(|k| other_side(filters[k.eq.filter], k.eq.attr_on_left))
+                        .collect();
+                    (
+                        Src::Rows(rel),
+                        Some(HashPlan {
+                            key_cols,
+                            probe_exprs,
+                        }),
+                    )
+                }
+                (Resolved::Ext(ext), Access::External { pattern, inputs }) => (
+                    Src::External {
+                        ext,
+                        pattern: &ext.patterns[*pattern],
+                        inputs: input_exprs(inputs),
+                    },
+                    None,
+                ),
+                (Resolved::Abs(def), Access::Abstract { inputs }) => (
+                    Src::Abstract {
+                        def,
+                        inputs: input_exprs(inputs),
+                    },
+                    None,
+                ),
+                (Resolved::Nested(c), Access::Nested) => (Src::Nested(c), None),
+                (_, access) => {
+                    return Err(EvalError::Internal(format!(
+                        "planner chose {} for an incompatible source of `{}`",
+                        access.name(),
+                        b.var
+                    )))
+                }
+            };
+            order.push(Ordered {
+                var: Rc::from(b.var.as_str()),
+                source,
+                hash_plan,
+                step_filters: step.filters.iter().map(|&i| filters[i]).collect(),
+                index: std::cell::OnceCell::new(),
+            });
         }
-        if key_cols.is_empty() {
-            None
-        } else {
-            Some(HashPlan {
-                key_cols,
-                probe_exprs,
-            })
-        }
+        let prelude = plan.prelude_filters.iter().map(|&i| filters[i]).collect();
+        let leaf = plan.leaf_filters.iter().map(|&i| filters[i]).collect();
+        Ok((order, prelude, leaf))
     }
 }

@@ -1,47 +1,159 @@
-//! The pluggable evaluation-strategy seam.
+//! The evaluation-strategy seam: per-operator planning by default, with
+//! global force-overrides for the equivalence suite.
 
-/// How the binding loop enumerates quantifier environments.
+use crate::error::EvalError;
+use arc_plan::PlanMode;
+
+/// How quantifier scopes are planned and enumerated.
 ///
-/// Both strategies implement the **same semantics** and, by construction,
-/// produce the same result rows *in the same order*: the hash-join
-/// strategy only skips environments that the equi-join filter predicates
-/// would reject anyway, and it re-checks every filter before emitting.
-/// The engine test suite is run under both (`ARC_EVAL_STRATEGY=hash-join
-/// cargo test -p arc-engine`), and `crates/bench/benches/ablation.rs`
-/// measures the gap.
+/// [`EvalStrategy::Planned`] (the default) routes every scope through
+/// `arc-plan`: greedy join ordering by estimated cardinality, per-join
+/// hash/scan choice, predicate pushdown. Its results are **bag-identical**
+/// to the reference (join reordering changes enumeration order, never the
+/// multiset of rows).
+///
+/// The two force modes pin declaration order and leaf-only filters, so
+/// they produce the same result rows *in the same order* as each other:
+/// the hash-join strategy only skips environments that the equi-join
+/// filter predicates would reject anyway, and it re-checks every filter
+/// before emitting. The engine test suite is run under both
+/// (`ARC_EVAL_STRATEGY=hash-join cargo test`), and
+/// `crates/bench/benches/ablation.rs` measures the gap between all three.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum EvalStrategy {
-    /// The paper's conceptual strategy (§2.3): enumerate the cross product
-    /// of all bindings and filter. The reference semantics — kept simple
-    /// enough to *read as* the paper's definition.
+    /// Per-operator plan choice through `arc-plan` (the default).
     #[default]
+    Planned,
+    /// Force the paper's conceptual strategy everywhere (§2.3): enumerate
+    /// the cross product of all bindings in declaration order and filter
+    /// at the leaf. The reference semantics — kept simple enough to *read
+    /// as* the paper's definition.
     NestedLoop,
-    /// Build a hash index over each relation binding that is reachable
-    /// through equality predicates from already-bound variables, and probe
-    /// instead of scanning. Equi-join workloads drop from O(n·m) to
-    /// O(n+m); everything else transparently falls back to the nested
-    /// loop.
+    /// Force a hash probe on every relation binding reachable through
+    /// equality predicates from already-bound variables, keeping
+    /// declaration order. Equi-join workloads drop from O(n·m) to O(n+m);
+    /// everything else transparently falls back to the nested loop.
     HashJoin,
 }
 
 impl EvalStrategy {
-    /// The workspace-wide default, overridable via the `ARC_EVAL_STRATEGY`
-    /// environment variable (`nested-loop` | `hash-join`). This is how the
-    /// entire existing test suite doubles as a strategy-equivalence suite.
+    /// The workspace-wide default, overridable via two environment
+    /// variables:
     ///
-    /// # Panics
-    /// Panics on an unrecognized value — a typo in the variable should
-    /// fail loudly, not silently benchmark the wrong engine.
-    pub fn from_env() -> Self {
-        match std::env::var("ARC_EVAL_STRATEGY") {
-            Err(_) => EvalStrategy::NestedLoop,
-            Ok(v) => match v.to_lowercase().replace('_', "-").as_str() {
-                "" | "nested-loop" | "nestedloop" => EvalStrategy::NestedLoop,
-                "hash-join" | "hashjoin" => EvalStrategy::HashJoin,
-                other => panic!(
-                    "unknown ARC_EVAL_STRATEGY `{other}` (expected `nested-loop` or `hash-join`)"
-                ),
+    /// * `ARC_EVAL_STRATEGY` = `planned` | `nested-loop` | `hash-join` —
+    ///   force one strategy everywhere. This is how the entire existing
+    ///   test suite doubles as a strategy-equivalence suite.
+    /// * `ARC_PLAN` = `on` | `off` — escape hatch: `off` disables the
+    ///   planner (falling back to the nested-loop reference) without
+    ///   forcing a strategy explicitly. An explicit `ARC_EVAL_STRATEGY`
+    ///   wins over `ARC_PLAN`.
+    ///
+    /// An unrecognized value is a descriptive [`EvalError::Config`] — a
+    /// typo in the variable should fail as a normal engine error when
+    /// evaluation starts, not silently benchmark the wrong engine (and
+    /// not panic mid-run either).
+    pub fn from_env() -> Result<Self, EvalError> {
+        Self::parse(
+            std::env::var("ARC_EVAL_STRATEGY").ok().as_deref(),
+            std::env::var("ARC_PLAN").ok().as_deref(),
+        )
+        .map_err(EvalError::Config)
+    }
+
+    /// Pure core of [`EvalStrategy::from_env`]: interpret the two
+    /// environment values (unit-testable without touching process
+    /// environment, which is racy under parallel tests).
+    pub fn parse(strategy: Option<&str>, plan: Option<&str>) -> Result<Self, String> {
+        let planner_on = match plan.map(|v| v.to_lowercase().replace('_', "-")) {
+            None => true,
+            Some(v) => match v.as_str() {
+                "" | "on" | "1" | "true" | "auto" | "planned" => true,
+                "off" | "0" | "false" | "no" => false,
+                other => {
+                    return Err(format!(
+                        "unknown ARC_PLAN `{other}` (expected `on` or `off`)"
+                    ))
+                }
+            },
+        };
+        match strategy.map(|v| v.to_lowercase().replace('_', "-")) {
+            None => Ok(if planner_on {
+                EvalStrategy::Planned
+            } else {
+                EvalStrategy::NestedLoop
+            }),
+            Some(v) => match v.as_str() {
+                // An explicit strategy wins over ARC_PLAN.
+                "" | "planned" | "auto" => Ok(EvalStrategy::Planned),
+                "nested-loop" | "nestedloop" => Ok(EvalStrategy::NestedLoop),
+                "hash-join" | "hashjoin" => Ok(EvalStrategy::HashJoin),
+                other => Err(format!(
+                    "unknown ARC_EVAL_STRATEGY `{other}` (expected `planned`, `nested-loop`, or `hash-join`)"
+                )),
             },
         }
+    }
+
+    /// The planner mode this strategy maps onto.
+    pub fn plan_mode(self) -> PlanMode {
+        match self {
+            EvalStrategy::Planned => PlanMode::Auto,
+            EvalStrategy::NestedLoop => PlanMode::ForceNestedLoop,
+            EvalStrategy::HashJoin => PlanMode::ForceHashJoin,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_to_planned() {
+        assert_eq!(EvalStrategy::parse(None, None), Ok(EvalStrategy::Planned));
+        assert_eq!(EvalStrategy::default(), EvalStrategy::Planned);
+    }
+
+    #[test]
+    fn forces_parse() {
+        assert_eq!(
+            EvalStrategy::parse(Some("hash-join"), None),
+            Ok(EvalStrategy::HashJoin)
+        );
+        assert_eq!(
+            EvalStrategy::parse(Some("HASH_JOIN"), None),
+            Ok(EvalStrategy::HashJoin)
+        );
+        assert_eq!(
+            EvalStrategy::parse(Some("nested-loop"), None),
+            Ok(EvalStrategy::NestedLoop)
+        );
+        assert_eq!(
+            EvalStrategy::parse(Some("planned"), None),
+            Ok(EvalStrategy::Planned)
+        );
+    }
+
+    #[test]
+    fn plan_off_is_the_reference_escape_hatch() {
+        assert_eq!(
+            EvalStrategy::parse(None, Some("off")),
+            Ok(EvalStrategy::NestedLoop)
+        );
+        // An explicit strategy wins over ARC_PLAN.
+        assert_eq!(
+            EvalStrategy::parse(Some("hash-join"), Some("off")),
+            Ok(EvalStrategy::HashJoin)
+        );
+    }
+
+    #[test]
+    fn typos_are_descriptive_errors_not_panics() {
+        let err = EvalStrategy::parse(Some("hash-jion"), None).unwrap_err();
+        assert!(err.contains("hash-jion"), "{err}");
+        assert!(err.contains("ARC_EVAL_STRATEGY"), "{err}");
+        let err = EvalStrategy::parse(None, Some("offf")).unwrap_err();
+        assert!(err.contains("offf"), "{err}");
+        assert!(err.contains("ARC_PLAN"), "{err}");
     }
 }

@@ -1,0 +1,119 @@
+//! `EXPLAIN`: render the plan a query would execute under this engine.
+//!
+//! The engine resolves names against its catalog (and, for programs, the
+//! program's own definitions — classified into intensional vs. abstract by
+//! the binder, exactly as evaluation does) and hands `arc-plan` the same
+//! statistics the evaluator would use, minus live row counts for
+//! not-yet-materialized definitions. The output is the textual rendering
+//! of the [`arc_plan::PlanNode`] tree; a diagram backend can walk the same
+//! tree instead.
+
+use crate::catalog::Catalog;
+use crate::error::{EvalError, Result};
+use crate::eval::Engine;
+use arc_core::ast::{Collection, Program};
+use arc_core::binder::Binder;
+use arc_plan::{LowerError, ResolvedSource, SourceKind, SourceResolver};
+use std::collections::HashMap;
+
+/// Resolver over the engine's catalog plus a program's definitions,
+/// mirroring the evaluator's shadowing order exactly (see
+/// `Ctx::plan_bindings`): materialized definitions shadow catalog
+/// relations, which shadow abstract definitions, which shadow externals.
+struct CatalogResolver<'c> {
+    catalog: &'c Catalog,
+    defined: HashMap<String, Vec<String>>,
+    abstracts: HashMap<String, Vec<String>>,
+}
+
+impl SourceResolver for CatalogResolver<'_> {
+    fn resolve(&self, name: &str) -> Option<ResolvedSource> {
+        if let Some(attrs) = self.defined.get(name) {
+            return Some(ResolvedSource {
+                kind: SourceKind::Defined,
+                schema: attrs.clone(),
+                rows: None,
+                patterns: Vec::new(),
+            });
+        }
+        if let Some(rel) = self.catalog.relation(name) {
+            return Some(ResolvedSource {
+                kind: SourceKind::Base,
+                schema: rel.schema.clone(),
+                rows: Some(rel.rows.len()),
+                patterns: Vec::new(),
+            });
+        }
+        if let Some(attrs) = self.abstracts.get(name) {
+            return Some(ResolvedSource {
+                kind: SourceKind::Abstract,
+                schema: attrs.clone(),
+                rows: None,
+                patterns: Vec::new(),
+            });
+        }
+        if let Some(ext) = self.catalog.external(name) {
+            return Some(ResolvedSource {
+                kind: SourceKind::External,
+                schema: ext.schema.clone(),
+                rows: None,
+                patterns: ext.patterns.iter().map(|p| p.bound.clone()).collect(),
+            });
+        }
+        None
+    }
+}
+
+fn lower_err(e: LowerError) -> EvalError {
+    match e {
+        LowerError::UnknownRelation(n) => EvalError::UnknownRelation(n),
+        LowerError::Unplaceable { var } => EvalError::Unplannable { var },
+    }
+}
+
+impl Engine<'_> {
+    /// Render the physical plan of a standalone collection as text.
+    pub fn explain_collection(&self, c: &Collection) -> Result<String> {
+        let mode = self.strategy()?.plan_mode();
+        let resolver = CatalogResolver {
+            catalog: self.catalog,
+            defined: HashMap::new(),
+            abstracts: HashMap::new(),
+        };
+        let plan = arc_plan::lower_collection(c, &resolver, mode).map_err(lower_err)?;
+        Ok(arc_plan::render(&plan))
+    }
+
+    /// Render the physical plan of a whole program as text: definitions in
+    /// declaration order (mutually recursive groups fused into `fixpoint`
+    /// nodes), then the query.
+    pub fn explain_program(&self, p: &Program) -> Result<String> {
+        let mode = self.strategy()?.plan_mode();
+        // Classify abstract definitions via the binder, mirroring
+        // `materialize_definitions`.
+        let bound = Binder::new().bind_program(p);
+        let is_abstract =
+            |name: &str| -> bool { bound.abstract_collections.iter().any(|n| n == name) };
+        let abstracts: HashMap<String, Vec<String>> = p
+            .definitions
+            .iter()
+            .filter(|d| is_abstract(d.name()))
+            .map(|d| (d.name().to_string(), d.collection.head.attrs.clone()))
+            .collect();
+        // Non-abstract definitions materialize, so they shadow same-named
+        // catalog relations during evaluation — the resolver must agree.
+        let defined: HashMap<String, Vec<String>> = p
+            .definitions
+            .iter()
+            .filter(|d| !is_abstract(d.name()))
+            .map(|d| (d.name().to_string(), d.collection.head.attrs.clone()))
+            .collect();
+        let resolver = CatalogResolver {
+            catalog: self.catalog,
+            defined,
+            abstracts,
+        };
+        let plan = arc_plan::lower_program(p, &resolver, mode).map_err(lower_err)?;
+        Ok(arc_plan::render(&plan))
+    }
+}

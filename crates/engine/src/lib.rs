@@ -12,14 +12,18 @@
 //!
 //! The **reference strategy** is the paper's conceptual evaluation
 //! (nested loops, §2.3): ARC is positioned as a reference language "in the
-//! opposite direction" of IRs, so fidelity beats speed. Faster strategies
-//! plug in *behind* that semantics through [`eval::EvalStrategy`]: the
-//! hash-join strategy produces tuple-for-tuple identical results (the
-//! whole engine test suite runs under both; `ARC_EVAL_STRATEGY=hash-join
-//! cargo test -p arc-engine`) while dropping equi-join workloads from
-//! O(n·m) to O(n+m). Recursion gets the same treatment on the fixpoint
-//! axis ([`fixpoint::FixpointStrategy`]: naive vs. semi-naive); the
-//! benchmark suite ablates both axes.
+//! opposite direction" of IRs, so fidelity beats speed. Faster execution
+//! plugs in *behind* that semantics through the `arc-plan` layer: by
+//! default ([`eval::EvalStrategy::Planned`]) every quantifier scope is
+//! planned — greedy join ordering by estimated cardinality, per-join
+//! hash/scan choice, predicate pushdown — and equi-join workloads drop
+//! from O(n·m) to O(n+m) with no configuration. The
+//! `ARC_EVAL_STRATEGY=nested-loop|hash-join` force-overrides pin one
+//! strategy everywhere (the whole test suite runs under all three), and
+//! `Engine::explain_collection`/`Engine::explain_program` render the plan.
+//! Recursion gets the same treatment on the fixpoint axis
+//! ([`fixpoint::FixpointStrategy`]: naive vs. semi-naive); the benchmark
+//! suite ablates both axes.
 //!
 //! ```
 //! use arc_core::dsl::*;
@@ -54,6 +58,7 @@
 pub mod catalog;
 pub mod error;
 pub mod eval;
+pub mod explain;
 pub mod external;
 pub mod fixpoint;
 pub mod relation;

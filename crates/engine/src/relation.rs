@@ -97,6 +97,50 @@ impl Relation {
         row.iter().map(Value::key).collect()
     }
 
+    /// Equi-join key of a row over `cols`, or `None` when any selected
+    /// value can never satisfy an equality predicate (`NULL` compares as
+    /// `Unknown`; a float `NaN` is incomparable even to itself), so
+    /// indexing/probing with it must produce no matches.
+    ///
+    /// This is the **one** place join-key semantics live: the hash-join
+    /// executor builds its indexes with it and the planner's cardinality
+    /// estimator ([`Relation::distinct_estimate`]) counts with it, so the
+    /// two can never disagree on what "equal" means.
+    pub fn key_for(row: &[Value], cols: &[usize]) -> Option<Vec<Key>> {
+        let mut key = Vec::with_capacity(cols.len());
+        for &c in cols {
+            key.push(join_key(&row[c])?);
+        }
+        Some(key)
+    }
+
+    /// Estimated number of distinct equi-join keys on `cols`, from a
+    /// prefix sample of up to `sample` rows (linearly extrapolated when
+    /// the relation is larger). Feeds the planner's greedy join ordering;
+    /// a crude estimate is fine — it only has to rank join candidates.
+    pub fn distinct_estimate(&self, cols: &[usize], sample: usize) -> usize {
+        let n = self.rows.len();
+        if n == 0 {
+            return 0;
+        }
+        let take = n.min(sample.max(1));
+        let mut seen: std::collections::HashSet<Vec<Key>> =
+            std::collections::HashSet::with_capacity(take);
+        for row in self.rows.iter().take(take) {
+            if let Some(key) = Relation::key_for(row, cols) {
+                seen.insert(key);
+            }
+        }
+        let distinct = seen.len().max(1);
+        if take == n {
+            distinct
+        } else {
+            // Linear extrapolation: assumes key frequencies in the sample
+            // are representative.
+            (distinct * n / take).max(distinct)
+        }
+    }
+
     /// Deduplicated copy (first occurrence order preserved).
     pub fn deduped(&self) -> Relation {
         let mut seen: HashMap<Vec<Key>, ()> = HashMap::with_capacity(self.rows.len());
@@ -159,6 +203,18 @@ impl Relation {
             }
         }
         out
+    }
+}
+
+/// A value's hash key for equi-join purposes, or `None` when the value can
+/// never satisfy an equality predicate. `Value::key()` normalizes integral
+/// floats to integer keys, so key equality coincides exactly with
+/// `compare(..) == Equal` for the remaining values.
+pub fn join_key(v: &Value) -> Option<Key> {
+    match v {
+        Value::Null => None,
+        Value::Float(f) if f.is_nan() => None,
+        other => Some(other.key()),
     }
 }
 

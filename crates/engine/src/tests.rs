@@ -1856,13 +1856,308 @@ mod strategy_equivalence {
 
     #[test]
     fn env_override_selects_strategy() {
-        // `Engine::new` consults ARC_EVAL_STRATEGY; `with_strategy` wins
-        // regardless. (The suite itself is run under both settings in CI.)
+        // `Engine::new` consults ARC_EVAL_STRATEGY/ARC_PLAN; `with_strategy`
+        // wins regardless. (The suite itself is run under both settings in
+        // CI.)
         let catalog = join_catalog();
         let e = Engine::new(&catalog, Conventions::sql());
-        assert_eq!(e.strategy, EvalStrategy::from_env());
+        assert_eq!(e.strategy(), EvalStrategy::from_env());
         let e = e.with_strategy(EvalStrategy::HashJoin);
-        assert_eq!(e.strategy, EvalStrategy::HashJoin);
+        assert_eq!(e.strategy(), Ok(EvalStrategy::HashJoin));
+    }
+
+    #[test]
+    fn config_typo_surfaces_as_engine_error_not_panic() {
+        // A typo'd ARC_EVAL_STRATEGY must fail evaluation with a
+        // descriptive engine error (see `EvalStrategy::parse` for the pure
+        // parsing tests — process env vars are racy under parallel tests,
+        // so this test injects the parse failure directly).
+        let parsed = EvalStrategy::parse(Some("hash-jion"), None);
+        let msg = parsed.unwrap_err();
+        let catalog = join_catalog();
+        let mut engine = Engine::new(&catalog, Conventions::sql());
+        engine.set_strategy_result(Err(EvalError::Config(msg.clone())));
+        let q = collection(
+            "Q",
+            &["A"],
+            exists(&[bind("r", "R")], and([assign("Q", "A", col("r", "A"))])),
+        );
+        let err = engine.eval_collection(&q).unwrap_err();
+        assert_eq!(err, EvalError::Config(msg));
+        assert!(err.to_string().contains("hash-jion"), "{err}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The planned pipeline (arc-plan): per-operator strategy choice, join
+// reordering, predicate pushdown — bag-identical to the reference
+// ---------------------------------------------------------------------------
+
+mod planned_pipeline {
+    use super::*;
+    use crate::EvalStrategy;
+
+    /// Evaluate under the planned pipeline and the nested-loop reference
+    /// and assert bag equality (join reordering legitimately changes
+    /// enumeration order, so exact row-vector equality is not required —
+    /// the multiset is).
+    fn assert_planned_matches_reference(catalog: &Catalog, conv: Conventions, q: &Collection) {
+        let reference = Engine::new(catalog, conv)
+            .with_strategy(EvalStrategy::NestedLoop)
+            .eval_collection(q)
+            .unwrap();
+        let planned = Engine::new(catalog, conv)
+            .with_strategy(EvalStrategy::Planned)
+            .eval_collection(q)
+            .unwrap();
+        assert_eq!(reference.schema, planned.schema);
+        assert!(
+            reference.bag_eq(&planned),
+            "planned diverged on {q:?}\nreference:\n{reference}\nplanned:\n{planned}"
+        );
+    }
+
+    fn skew_catalog() -> Catalog {
+        // Deliberately skewed cardinalities so the greedy ordering must
+        // reorder (T ≪ S ≪ R) to behave differently from declaration
+        // order.
+        let mut r = Vec::new();
+        for i in 0..60i64 {
+            r.push(vec![Value::Int(i), Value::Int(i % 10)]);
+        }
+        let mut s = Vec::new();
+        for i in 0..12i64 {
+            s.push(vec![Value::Int(i % 10), Value::Int(i)]);
+        }
+        Catalog::new()
+            .with(Relation::from_rows("R", &["A", "B"], r))
+            .with(Relation::from_rows("S", &["B", "C"], s))
+            .with(ints("T", &["C", "D"], &[&[3, 0], &[5, 1]]))
+    }
+
+    #[test]
+    fn reordered_chain_join_is_bag_identical() {
+        let q = collection(
+            "Q",
+            &["A", "D"],
+            exists(
+                &[bind("r", "R"), bind("s", "S"), bind("t", "T")],
+                and([
+                    assign("Q", "A", col("r", "A")),
+                    assign("Q", "D", col("t", "D")),
+                    eq(col("r", "B"), col("s", "B")),
+                    eq(col("s", "C"), col("t", "C")),
+                ]),
+            ),
+        );
+        for conv in [
+            Conventions::sql(),
+            Conventions::set(),
+            Conventions::souffle(),
+        ] {
+            assert_planned_matches_reference(&skew_catalog(), conv, &q);
+        }
+    }
+
+    #[test]
+    fn planned_joins_auto_select_hash_without_env() {
+        // The acceptance criterion of the plan layer: equi-joins probe
+        // without any ARC_EVAL_STRATEGY override. Asserted through EXPLAIN
+        // (with_strategy keeps this test independent of the process env).
+        let catalog = skew_catalog();
+        let engine = Engine::new(&catalog, Conventions::sql()).with_strategy(EvalStrategy::Planned);
+        let q = collection(
+            "Q",
+            &["A"],
+            exists(
+                &[bind("r", "R"), bind("s", "S")],
+                and([
+                    assign("Q", "A", col("r", "A")),
+                    eq(col("r", "B"), col("s", "B")),
+                ]),
+            ),
+        );
+        let plan = engine.explain_collection(&q).unwrap();
+        assert!(plan.contains("hash-probe"), "{plan}");
+        // And the forced reference never does.
+        let reference = Engine::new(&catalog, Conventions::sql())
+            .with_strategy(EvalStrategy::NestedLoop)
+            .explain_collection(&q)
+            .unwrap();
+        assert!(!reference.contains("hash-probe"), "{reference}");
+        assert!(reference.contains("scan"), "{reference}");
+    }
+
+    #[test]
+    fn pushdown_filters_scopes_with_selections() {
+        // A selective constant filter lands on the scan step, not the
+        // leaf, and results match the reference.
+        let catalog = skew_catalog();
+        let q = collection(
+            "Q",
+            &["A", "C"],
+            exists(
+                &[bind("r", "R"), bind("s", "S")],
+                and([
+                    assign("Q", "A", col("r", "A")),
+                    assign("Q", "C", col("s", "C")),
+                    eq(col("r", "B"), col("s", "B")),
+                    lt(col("r", "A"), int(7)),
+                ]),
+            ),
+        );
+        assert_planned_matches_reference(&catalog, Conventions::sql(), &q);
+        let engine = Engine::new(&catalog, Conventions::sql()).with_strategy(EvalStrategy::Planned);
+        let plan = engine.explain_collection(&q).unwrap();
+        // The filter line must appear nested under a step, not as a
+        // residual.
+        assert!(plan.contains("filter: r.A < 7"), "{plan}");
+        assert!(!plan.contains("residual: r.A < 7"), "{plan}");
+    }
+
+    #[test]
+    fn correlated_grouped_and_negated_scopes_match_reference() {
+        let catalog = skew_catalog();
+        // Grouped aggregate over a join.
+        let grouped = collection(
+            "Q",
+            &["B", "ct"],
+            quant(
+                &[bind("r", "R"), bind("s", "S")],
+                group(&[("r", "B")]),
+                None,
+                and([
+                    assign("Q", "B", col("r", "B")),
+                    assign_agg("Q", "ct", count(col("s", "C"))),
+                    eq(col("r", "B"), col("s", "B")),
+                ]),
+            ),
+        );
+        // NOT EXISTS with a correlated probe.
+        let negated = collection(
+            "Q",
+            &["A"],
+            exists(
+                &[bind("r", "R")],
+                and([
+                    assign("Q", "A", col("r", "A")),
+                    not(exists(
+                        &[bind("s", "S")],
+                        and([eq(col("s", "B"), col("r", "B"))]),
+                    )),
+                ]),
+            ),
+        );
+        for q in [&grouped, &negated] {
+            for conv in [Conventions::sql(), Conventions::set()] {
+                assert_planned_matches_reference(&catalog, conv, q);
+            }
+        }
+    }
+
+    #[test]
+    fn planned_error_paths_match_reference() {
+        // The pushdown validator must leave unresolvable filters at the
+        // leaf so errors surface (or stay silent) exactly like the
+        // reference — same contract the hash-join strategy already obeys.
+        let q = collection(
+            "Q",
+            &["A"],
+            exists(
+                &[bind("r", "R"), bind("s", "S")],
+                and([
+                    assign("Q", "A", col("r", "A")),
+                    eq(col("s", "B"), col("r", "NOPE")),
+                ]),
+            ),
+        );
+        let empty_s = Catalog::new()
+            .with(ints("R", &["A"], &[&[1]]))
+            .with(Relation::new("S", &["B"]));
+        let out = Engine::new(&empty_s, Conventions::sql())
+            .with_strategy(EvalStrategy::Planned)
+            .eval_collection(&q)
+            .unwrap();
+        assert!(out.is_empty());
+        let full_s =
+            Catalog::new()
+                .with(ints("R", &["A"], &[&[1]]))
+                .with(ints("S", &["B"], &[&[2]]));
+        let err = Engine::new(&full_s, Conventions::sql())
+            .with_strategy(EvalStrategy::Planned)
+            .eval_collection(&q)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            EvalError::UnknownAttribute {
+                var: "r".into(),
+                attr: "NOPE".into()
+            }
+        );
+    }
+
+    #[test]
+    fn explain_resolves_definitions_before_catalog_like_evaluation() {
+        // A program definition named `R` shadows the same-named catalog
+        // relation during evaluation (`defined` is consulted first), so
+        // EXPLAIN must resolve it the same way: the definition's schema
+        // (attribute `X`), not the catalog's (attribute `A`).
+        let def = collection(
+            "R",
+            &["X"],
+            exists(&[bind("b", "Base")], and([assign("R", "X", col("b", "A"))])),
+        );
+        let mut program =
+            Program::default().with_definition(arc_core::ast::Definition { collection: def });
+        program.query = Some(collection(
+            "Q",
+            &["X"],
+            exists(&[bind("r", "R")], and([assign("Q", "X", col("r", "X"))])),
+        ));
+        let catalog = Catalog::new()
+            .with(ints("Base", &["A"], &[&[1]]))
+            .with(ints("R", &["A"], &[&[9]])); // shadowed by the definition
+        let engine = Engine::new(&catalog, Conventions::set()).with_strategy(EvalStrategy::Planned);
+        // Evaluation succeeds through the definition (catalog R has no X).
+        let out = engine.eval_program(&program).unwrap();
+        assert_eq!(sorted(out.query.as_ref().unwrap()), vec![row(&[1])]);
+        // EXPLAIN must not error and must plan the query over the defined
+        // relation (unknown rows → default estimate, not the catalog's 1).
+        let plan = engine.explain_program(&program).unwrap();
+        assert!(plan.contains("scan R as r (est 32)"), "{plan}");
+    }
+
+    #[test]
+    fn explain_renders_fixpoint_for_recursive_programs() {
+        let anc = collection(
+            "A",
+            &["s", "t"],
+            or([
+                exists(
+                    &[bind("p", "P")],
+                    and([
+                        assign("A", "s", col("p", "s")),
+                        assign("A", "t", col("p", "t")),
+                    ]),
+                ),
+                exists(
+                    &[bind("p", "P"), bind("a2", "A")],
+                    and([
+                        assign("A", "s", col("p", "s")),
+                        eq(col("p", "t"), col("a2", "s")),
+                        assign("A", "t", col("a2", "t")),
+                    ]),
+                ),
+            ]),
+        );
+        let program =
+            Program::default().with_definition(arc_core::ast::Definition { collection: anc });
+        let catalog = Catalog::new().with(ints("P", &["s", "t"], &[&[1, 2], &[2, 3]]));
+        let engine = Engine::new(&catalog, Conventions::set()).with_strategy(EvalStrategy::Planned);
+        let plan = engine.explain_program(&program).unwrap();
+        assert!(plan.contains("fixpoint [A]"), "{plan}");
+        assert!(plan.contains("union"), "{plan}");
+        assert!(plan.contains("hash-probe"), "{plan}");
     }
 }
 

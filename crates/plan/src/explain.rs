@@ -1,0 +1,119 @@
+//! Textual `EXPLAIN`: render a [`PlanNode`] tree as an indented operator
+//! listing.
+//!
+//! The format is deliberately plain and stable (golden-tested): one
+//! operator per line, two-space indentation per level, steps of a scope
+//! numbered in execution order. A future diagram backend (higraph) walks
+//! the same [`PlanNode`] tree instead of this renderer.
+
+use crate::query::PlanNode;
+use std::fmt::Write as _;
+
+/// Render a plan tree as indented text (trailing newline included).
+pub fn render(node: &PlanNode) -> String {
+    let mut out = String::new();
+    render_into(node, 0, &mut out);
+    out
+}
+
+fn line(out: &mut String, depth: usize, text: &str) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    out.push_str(text);
+    out.push('\n');
+}
+
+fn render_into(node: &PlanNode, depth: usize, out: &mut String) {
+    match node {
+        PlanNode::Program { definitions, query } => {
+            line(out, depth, "program");
+            for d in definitions {
+                render_into(d, depth + 1, out);
+            }
+            if let Some(q) = query {
+                line(out, depth + 1, "query");
+                render_into(q, depth + 2, out);
+            }
+        }
+        PlanNode::Fixpoint { relations, inputs } => {
+            line(out, depth, &format!("fixpoint [{}]", relations.join(", ")));
+            for i in inputs {
+                render_into(i, depth + 1, out);
+            }
+        }
+        PlanNode::Project { head, attrs, input } => {
+            line(out, depth, &format!("project {head}({})", attrs.join(", ")));
+            render_into(input, depth + 1, out);
+        }
+        PlanNode::Union { inputs } => {
+            line(out, depth, "union");
+            for i in inputs {
+                render_into(i, depth + 1, out);
+            }
+        }
+        PlanNode::Aggregate {
+            keys,
+            assigns,
+            tests,
+            input,
+        } => {
+            let keys = if keys.is_empty() {
+                "γ∅".to_string()
+            } else {
+                format!("γ {}", keys.join(", "))
+            };
+            line(out, depth, &format!("aggregate {keys}"));
+            for a in assigns {
+                line(out, depth + 1, &format!("agg: {a}"));
+            }
+            for t in tests {
+                line(out, depth + 1, &format!("having: {t}"));
+            }
+            render_into(input, depth + 1, out);
+        }
+        PlanNode::Scope {
+            steps,
+            prelude,
+            residual,
+            assigns,
+            children,
+        } => {
+            line(out, depth, "scope");
+            for p in prelude {
+                line(out, depth + 1, &format!("prelude: {p}"));
+            }
+            for (i, s) in steps.iter().enumerate() {
+                let mut text = format!("{}: {} {} as {}", i + 1, s.access, s.source, s.var);
+                let _ = write!(text, " (est {})", s.est);
+                line(out, depth + 1, &text);
+                for f in &s.pushed {
+                    line(out, depth + 2, &format!("filter: {f}"));
+                }
+            }
+            for r in residual {
+                line(out, depth + 1, &format!("residual: {r}"));
+            }
+            for a in assigns {
+                line(out, depth + 1, &format!("emit: {a}"));
+            }
+            for c in children {
+                line(out, depth + 1, &format!("[{}]", c.label));
+                render_into(&c.plan, depth + 2, out);
+            }
+        }
+        PlanNode::OuterJoin {
+            tree,
+            filters,
+            assigns,
+        } => {
+            line(out, depth, &format!("outer-join {tree} (materialized)"));
+            for f in filters {
+                line(out, depth + 1, &format!("filter: {f}"));
+            }
+            for a in assigns {
+                line(out, depth + 1, &format!("emit: {a}"));
+            }
+        }
+    }
+}

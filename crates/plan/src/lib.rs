@@ -1,0 +1,60 @@
+//! # arc-plan — logical/physical query plans for ARC
+//!
+//! The paper positions ARC as an *abstract* relational layer: many surface
+//! languages (SQL, Datalog, comprehension text, diagrams) lower into it,
+//! and engines consume it. This crate is the consuming seam: an explicit
+//! plan IR between the bound AST and the evaluator, so that optimization
+//! decisions are **per-operator plan choices** rather than global engine
+//! switches.
+//!
+//! ## Layers
+//!
+//! | module       | layer                                                       |
+//! |--------------|-------------------------------------------------------------|
+//! | [`analysis`] | scope-body analysis: predicate roles, free variables        |
+//! | [`scope`]    | planner inputs: abstract scope descriptions + statistics    |
+//! | [`logical`]  | logical passes: equality-predicate extraction               |
+//! | [`physical`] | physical plans: join ordering, access selection, pushdown   |
+//! | [`query`]    | whole-query plan trees (project/aggregate/scope/union/fixpoint) |
+//! | [`explain`]  | textual `EXPLAIN` rendering of plan trees                   |
+//! | [`normalize`]| structural normalization shared with `arc-analysis`         |
+//!
+//! ## The pipeline
+//!
+//! For every quantifier scope, [`physical::plan_scope`] runs:
+//! **equality extraction** → **greedy join ordering** (by estimated
+//! cardinality, honoring external/abstract/lateral placement constraints)
+//! → **per-operator access selection** (each join step independently picks
+//! a hash probe or a scan) → **predicate pushdown** (each filter runs at
+//! the earliest step where its variables are bound). The force modes
+//! ([`physical::PlanMode::ForceNestedLoop`]/[`ForceHashJoin`]) pin
+//! declaration order and leaf filters so the engine's strategy-equivalence
+//! suite keeps its tuple-for-tuple guarantee.
+//!
+//! [`ForceHashJoin`]: physical::PlanMode::ForceHashJoin
+//!
+//! The crate depends only on `arc-core`: the engine implements the small
+//! [`scope::OuterScope`] / [`scope::DistinctEstimator`] /
+//! [`query::SourceResolver`] traits to feed it live statistics, and
+//! `EXPLAIN` runs the same planner over catalog-level statistics.
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod explain;
+pub mod logical;
+pub mod normalize;
+pub mod physical;
+pub mod query;
+pub mod scope;
+
+pub use explain::render;
+pub use normalize::{normalize_collection, normalize_formula};
+pub use physical::{plan_scope, Access, EqInput, PlanMode, ProbeKey, ScopePlan, Step};
+pub use query::{
+    lower_collection, lower_program, LowerError, PlanNode, ResolvedSource, SourceKind,
+    SourceResolver,
+};
+pub use scope::{
+    BindingSpec, DistinctEstimator, NoOuter, OuterScope, PlanError, ScopeSpec, SourceSpec,
+};

@@ -1,0 +1,119 @@
+//! The logical side of scope planning: equality-predicate extraction and
+//! predicate classification.
+//!
+//! These are the analyses the optimizer passes consume: which filters are
+//! equi-join edges (and in which orientation), and which variables a
+//! predicate touches. They operate on the bound AST's predicate leaves —
+//! the planner never rewrites the AST itself, it only *indexes* into it,
+//! so the physical plan can refer back to predicates by position.
+
+use arc_core::ast::{AttrRef, CmpOp, Predicate, Scalar};
+
+/// One orientation of an equality filter `var.attr = expr`: the bound side
+/// is an attribute reference, the other side is an arbitrary scalar.
+///
+/// A predicate with attribute references on both sides yields two edges
+/// (one per orientation), mirroring the evaluator's `equality_pair`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EqEdge {
+    /// Index of the originating predicate in the scope's filter list.
+    pub filter: usize,
+    /// The bound-side variable.
+    pub var: String,
+    /// The bound-side attribute.
+    pub attr: String,
+    /// `true` when the bound attribute is the comparison's left operand
+    /// (the probe/input expression is then the right operand).
+    pub attr_on_left: bool,
+}
+
+/// Extract every equality edge from the scope's filters, in filter order
+/// (left orientation before right within one predicate). This is the
+/// **equality-predicate extraction pass**: the edges drive hash-probe key
+/// selection, external access-pattern inputs, and abstract-relation
+/// determination.
+pub fn extract_equalities(filters: &[&Predicate]) -> Vec<EqEdge> {
+    let mut out = Vec::new();
+    for (i, p) in filters.iter().enumerate() {
+        if let Predicate::Cmp {
+            left,
+            op: CmpOp::Eq,
+            right,
+        } = p
+        {
+            if let Scalar::Attr(a) = left {
+                out.push(EqEdge {
+                    filter: i,
+                    var: a.var.clone(),
+                    attr: a.attr.clone(),
+                    attr_on_left: true,
+                });
+            }
+            if let Scalar::Attr(a) = right {
+                out.push(EqEdge {
+                    filter: i,
+                    var: a.var.clone(),
+                    attr: a.attr.clone(),
+                    attr_on_left: false,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// The scalar on the *other* side of an equality edge (the probe or input
+/// expression).
+pub fn other_side(p: &Predicate, attr_on_left: bool) -> &Scalar {
+    match p {
+        Predicate::Cmp { left, right, .. } => {
+            if attr_on_left {
+                right
+            } else {
+                left
+            }
+        }
+        Predicate::IsNull { expr, .. } => expr, // unreachable for equality edges
+    }
+}
+
+/// All attribute references of a predicate, in occurrence order.
+pub fn pred_attr_refs(p: &Predicate) -> Vec<&AttrRef> {
+    match p {
+        Predicate::Cmp { left, right, .. } => {
+            let mut out = left.attr_refs();
+            out.extend(right.attr_refs());
+            out
+        }
+        Predicate::IsNull { expr, .. } => expr.attr_refs(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arc_core::dsl::*;
+
+    #[test]
+    fn extraction_orients_both_sides() {
+        let p = match eq(col("r", "B"), col("s", "B")) {
+            arc_core::ast::Formula::Pred(p) => p,
+            _ => unreachable!(),
+        };
+        let filters = [&p];
+        let edges = extract_equalities(&filters);
+        assert_eq!(edges.len(), 2);
+        assert_eq!((edges[0].var.as_str(), edges[0].attr_on_left), ("r", true));
+        assert_eq!((edges[1].var.as_str(), edges[1].attr_on_left), ("s", false));
+    }
+
+    #[test]
+    fn non_equalities_yield_no_edges() {
+        let p = match lt(col("r", "B"), col("s", "B")) {
+            arc_core::ast::Formula::Pred(p) => p,
+            _ => unreachable!(),
+        };
+        let filters = [&p];
+        assert!(extract_equalities(&filters).is_empty());
+    }
+}

@@ -1,0 +1,48 @@
+//! Structural normalization shared by the planner and the analysis
+//! rewrites.
+//!
+//! Before the plan layer existed, `arc-analysis` normalized connective
+//! trees ad hoc while the engine never saw any normalization at all. The
+//! plan layer is the natural owner: lowering wants bodies in flattened
+//! conjunction form, and rewrites want the same canonical shape before
+//! pattern-matching. Both now consult this module.
+
+use arc_core::ast::{Collection, Formula};
+
+/// Normalize a collection: flatten nested `And`/`Or`, unwrap singleton
+/// connectives, and drop double negations (see [`Formula::normalized`]),
+/// recursively through nested collections.
+pub fn normalize_collection(c: &Collection) -> Collection {
+    c.normalized()
+}
+
+/// Normalize a bare formula (sentences, scope bodies).
+pub fn normalize_formula(f: &Formula) -> Formula {
+    f.normalized()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arc_core::dsl::*;
+
+    #[test]
+    fn flattens_connectives() {
+        let c = collection(
+            "Q",
+            &["A"],
+            exists(
+                &[bind("r", "R")],
+                and([and([assign("Q", "A", col("r", "A"))]), and([])]),
+            ),
+        );
+        let n = normalize_collection(&c);
+        match &n.body {
+            Formula::Quant(q) => {
+                // `(A ∧ (B)) ∧ ()` flattens to a single conjunct.
+                assert_eq!(q.body.conjuncts().len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,653 @@
+//! The physical scope plan and the planning pipeline.
+//!
+//! [`plan_scope`] turns a [`ScopeSpec`] into an executable [`ScopePlan`]:
+//!
+//! 1. **equality extraction** ([`crate::logical::extract_equalities`]);
+//! 2. **join ordering** — greedy by estimated cardinality under
+//!    [`PlanMode::Auto`], declaration order under the force modes (which
+//!    exist so the engine's strategy-equivalence suite keeps its
+//!    tuple-for-tuple, *same emission order* guarantee);
+//! 3. **per-operator access selection** — each relation step independently
+//!    becomes a [`Access::HashProbe`] when an equality edge reaches it from
+//!    already-placed or outer variables, and a plain [`Access::Scan`]
+//!    otherwise;
+//! 4. **predicate pushdown** — each filter is scheduled at the earliest
+//!    step where all its variables are bound (Auto only; the force modes
+//!    evaluate every filter at the leaf, like the paper's reference
+//!    semantics).
+//!
+//! ## Observational equivalence
+//!
+//! Pushdown and probing only ever *skip* environments that a leaf filter
+//! would reject anyway, and every pushed/probing decision is validated at
+//! plan time: an expression whose attribute references do not all resolve
+//! against the schemas they will bind to is left at the leaf, so
+//! data-independent errors (`UnknownAttribute` is the only one scalar
+//! evaluation can raise eagerly — arithmetic is total and null-poisoning)
+//! surface exactly when the reference nested loop would surface them.
+//! Join *reordering* changes enumeration order, so `Auto` results are
+//! bag-identical — not order-identical — to the reference; the force modes
+//! preserve order exactly.
+
+use crate::logical::{extract_equalities, other_side, pred_attr_refs, EqEdge};
+use crate::scope::{
+    PlanError, ScopeSpec, SourceSpec, ABSTRACT_EST, DEFAULT_ROWS, EXTERNAL_EST, NESTED_EST,
+};
+use std::collections::HashSet;
+
+/// How a scope is planned. Maps one-to-one onto the engine's
+/// `EvalStrategy`: the env-var force overrides pin both the join order
+/// (declaration order) and the access choice, so the whole test suite can
+/// be replayed under either fixed strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlanMode {
+    /// Cost-based: greedy join ordering by estimated cardinality,
+    /// per-operator hash/scan choice, predicate pushdown.
+    #[default]
+    Auto,
+    /// Declaration order, scans only, all filters at the leaf — the
+    /// paper-faithful reference (§2.3).
+    ForceNestedLoop,
+    /// Declaration order, hash probes wherever an equality edge allows,
+    /// all filters at the leaf — PR 1's global hash-join strategy.
+    ForceHashJoin,
+}
+
+/// A reference to one orientation of an equality filter: the probe/input
+/// expression is the *other* side of `filters[filter]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EqInput {
+    /// Index into the scope's filter list.
+    pub filter: usize,
+    /// Whether the bound attribute is the comparison's left operand.
+    pub attr_on_left: bool,
+}
+
+/// One hash-probe key column: relation column `col` is matched against the
+/// expression behind `eq`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbeKey {
+    /// Column index into the relation's schema.
+    pub col: usize,
+    /// Where the probe expression lives.
+    pub eq: EqInput,
+}
+
+/// How one step obtains its tuples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Access {
+    /// Enumerate the source in storage order.
+    Scan,
+    /// Build/reuse a hash index on `keys` and probe it with expressions
+    /// over earlier bindings (relation sources only).
+    HashProbe {
+        /// The key columns and their probe expressions.
+        keys: Vec<ProbeKey>,
+    },
+    /// Solve an external relation through access pattern `pattern`, with
+    /// one input expression per bound position.
+    External {
+        /// Index into the external's pattern list.
+        pattern: usize,
+        /// Input expressions, parallel to the pattern's bound positions.
+        inputs: Vec<EqInput>,
+    },
+    /// Check an abstract relation in context: one input expression per
+    /// head attribute.
+    Abstract {
+        /// Input expressions, parallel to the head attributes.
+        inputs: Vec<EqInput>,
+    },
+    /// Evaluate a nested (lateral) collection per outer environment.
+    Nested,
+}
+
+impl Access {
+    /// Short operator name for `EXPLAIN`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Access::Scan => "scan",
+            Access::HashProbe { .. } => "hash-probe",
+            Access::External { .. } => "external",
+            Access::Abstract { .. } => "abstract-check",
+            Access::Nested => "lateral",
+        }
+    }
+}
+
+/// One planned step: bind `bindings[binding]` via `access`, then apply the
+/// pushed-down `filters`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Step {
+    /// Index into [`ScopeSpec::bindings`].
+    pub binding: usize,
+    /// The chosen access path.
+    pub access: Access,
+    /// Filter indices evaluated as soon as this step's variable binds.
+    pub filters: Vec<usize>,
+    /// Estimated rows this step contributes per upstream environment
+    /// (display only; `u64` bits of an `f64` would be overkill here, and
+    /// the estimate is already heuristic).
+    pub estimated_rows: u64,
+}
+
+/// The physical plan of one quantifier scope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScopePlan {
+    /// Steps in execution order.
+    pub steps: Vec<Step>,
+    /// Filters over outer variables (or constants) only, evaluated once
+    /// before the first step.
+    pub prelude_filters: Vec<usize>,
+    /// Filters evaluated only when every binding is bound (non-pushable:
+    /// unresolved variables/attributes, or force modes).
+    pub leaf_filters: Vec<usize>,
+}
+
+impl ScopePlan {
+    /// The step order as binding indices (convenience for callers that
+    /// reorder their own side tables).
+    pub fn binding_order(&self) -> Vec<usize> {
+        self.steps.iter().map(|s| s.binding).collect()
+    }
+}
+
+/// A placement candidate found during one ordering round.
+struct Candidate {
+    binding: usize,
+    access: Access,
+    cost: f64,
+}
+
+/// Plan one quantifier scope. See the module docs for the pass pipeline.
+pub fn plan_scope(spec: &ScopeSpec<'_>, mode: PlanMode) -> Result<ScopePlan, PlanError> {
+    let edges = extract_equalities(spec.filters);
+    let locals: HashSet<&str> = spec.bindings.iter().map(|b| b.var).collect();
+
+    let mut remaining: Vec<usize> = (0..spec.bindings.len()).collect();
+    let mut placed: Vec<usize> = Vec::new(); // binding indices, in step order
+    let mut steps: Vec<Step> = Vec::new();
+
+    while !remaining.is_empty() {
+        let candidate = {
+            // A variable is usable by a probe/input/lateral expression once
+            // its binding is placed; a scope-local name that is not yet
+            // placed must NOT fall back to a same-named outer variable (the
+            // local shadows it).
+            let usable = |var: &str| -> bool {
+                placed.iter().any(|&i| spec.bindings[i].var == var)
+                    || (!locals.contains(var) && spec.outer.attrs(var).is_some())
+            };
+            // Plan-time attribute resolution, mirroring runtime lookup
+            // order: placed bindings shadow the outer environment,
+            // innermost first.
+            let attr_resolves = |r: &arc_core::ast::AttrRef| -> bool {
+                for &i in placed.iter().rev() {
+                    if spec.bindings[i].var == r.var {
+                        return spec.bindings[i].source.schema().contains(&r.attr);
+                    }
+                }
+                spec.outer
+                    .attrs(&r.var)
+                    .is_some_and(|attrs| attrs.contains(&r.attr))
+            };
+            // Placement resolvability for external/abstract inputs: the
+            // expressions are evaluated eagerly at enumeration time under
+            // *every* mode, so only variable reachability is required
+            // (attribute errors surface identically either way).
+            let input_resolvable = |e: &arc_core::ast::Scalar| -> bool {
+                e.attr_refs().iter().all(|r| usable(&r.var))
+            };
+            // One resolvable input expression per required attribute of
+            // `var` (the shared determination rule for external access
+            // patterns and abstract relations), or `None` when any
+            // attribute is undetermined.
+            let determined_inputs = |var: &str, attrs: &mut dyn Iterator<Item = &String>| {
+                attrs
+                    .map(|attr| {
+                        edges
+                            .iter()
+                            .find(|e| {
+                                e.var == var
+                                    && &e.attr == attr
+                                    && input_resolvable(other_side(
+                                        spec.filters[e.filter],
+                                        e.attr_on_left,
+                                    ))
+                            })
+                            .map(|e| EqInput {
+                                filter: e.filter,
+                                attr_on_left: e.attr_on_left,
+                            })
+                    })
+                    .collect::<Option<Vec<EqInput>>>()
+            };
+
+            let mut best: Option<Candidate> = None;
+            for &bi in &remaining {
+                let b = &spec.bindings[bi];
+                let candidate = match &b.source {
+                    SourceSpec::Relation { schema, rows } => {
+                        let keys =
+                            probe_keys(spec, &edges, bi, b.var, schema, &usable, &attr_resolves);
+                        let rows_f = rows.unwrap_or(DEFAULT_ROWS) as f64;
+                        let (access, cost) = if keys.is_empty() || mode == PlanMode::ForceNestedLoop
+                        {
+                            (Access::Scan, rows_f)
+                        } else {
+                            let key_cols: Vec<usize> = keys.iter().map(|k| k.col).collect();
+                            let distinct = spec
+                                .estimator
+                                .and_then(|e| e.distinct(bi, &key_cols))
+                                .unwrap_or_else(|| rows.unwrap_or(DEFAULT_ROWS).max(1));
+                            let cost = (rows_f / distinct.max(1) as f64).max(1.0);
+                            (Access::HashProbe { keys }, cost)
+                        };
+                        Some(Candidate {
+                            binding: bi,
+                            access,
+                            cost,
+                        })
+                    }
+                    SourceSpec::External { schema, patterns } => patterns
+                        .iter()
+                        .enumerate()
+                        .find_map(|(pi, bound)| {
+                            let mut attrs = bound.iter().map(|&pos| &schema[pos]);
+                            determined_inputs(b.var, &mut attrs).map(|inputs| Access::External {
+                                pattern: pi,
+                                inputs,
+                            })
+                        })
+                        .map(|access| Candidate {
+                            binding: bi,
+                            access,
+                            cost: EXTERNAL_EST,
+                        }),
+                    SourceSpec::Abstract { attrs } => determined_inputs(b.var, &mut attrs.iter())
+                        .map(|inputs| Candidate {
+                            binding: bi,
+                            access: Access::Abstract { inputs },
+                            cost: ABSTRACT_EST,
+                        }),
+                    SourceSpec::Nested { free, .. } => {
+                        free.iter().all(|v| usable(v)).then_some(Candidate {
+                            binding: bi,
+                            access: Access::Nested,
+                            cost: NESTED_EST,
+                        })
+                    }
+                };
+                let Some(c) = candidate else { continue };
+                match mode {
+                    // Declaration order: the first placeable binding wins.
+                    PlanMode::ForceNestedLoop | PlanMode::ForceHashJoin => {
+                        best = Some(c);
+                        break;
+                    }
+                    // Greedy: strictly smaller estimated cardinality wins;
+                    // ties keep declaration order (remaining is ordered).
+                    PlanMode::Auto => {
+                        if best.as_ref().is_none_or(|b| c.cost < b.cost) {
+                            best = Some(c);
+                        }
+                    }
+                }
+            }
+            best
+        };
+
+        let Some(c) = candidate else {
+            return Err(PlanError::Unplaceable {
+                binding: remaining[0],
+            });
+        };
+        remaining.retain(|&i| i != c.binding);
+        placed.push(c.binding);
+        steps.push(Step {
+            binding: c.binding,
+            access: c.access,
+            filters: Vec::new(),
+            estimated_rows: c.cost.round().max(1.0) as u64,
+        });
+    }
+
+    let mut plan = ScopePlan {
+        steps,
+        prelude_filters: Vec::new(),
+        leaf_filters: Vec::new(),
+    };
+    assign_filters(spec, &locals, mode, &mut plan);
+    Ok(plan)
+}
+
+/// Hash-probe key selection for one relation binding: every equality edge
+/// `var.attr = expr` whose probe expression is computable from bindings
+/// placed *before* it (or unshadowed outer variables), does not mention
+/// `var` itself, and resolves attribute-by-attribute at plan time.
+#[allow(clippy::too_many_arguments)]
+fn probe_keys(
+    spec: &ScopeSpec<'_>,
+    edges: &[EqEdge],
+    _binding: usize,
+    var: &str,
+    schema: &[String],
+    usable: &dyn Fn(&str) -> bool,
+    attr_resolves: &dyn Fn(&arc_core::ast::AttrRef) -> bool,
+) -> Vec<ProbeKey> {
+    let mut keys = Vec::new();
+    for e in edges {
+        if e.var != var {
+            continue;
+        }
+        let Some(col) = schema.iter().position(|a| a == &e.attr) else {
+            continue;
+        };
+        let probe = other_side(spec.filters[e.filter], e.attr_on_left);
+        // Probing must be a pure per-tuple evaluation: no aggregates, no
+        // self-references, and every attribute reference must be both
+        // reachable and resolvable at plan time (see module docs on error
+        // equivalence).
+        if probe.has_aggregate() {
+            continue;
+        }
+        let refs = probe.attr_refs();
+        if refs.iter().any(|r| r.var == var) {
+            continue;
+        }
+        if !refs.iter().all(|r| usable(&r.var) && attr_resolves(r)) {
+            continue;
+        }
+        keys.push(ProbeKey {
+            col,
+            eq: EqInput {
+                filter: e.filter,
+                attr_on_left: e.attr_on_left,
+            },
+        });
+    }
+    keys
+}
+
+/// The predicate-pushdown pass: schedule each filter at the earliest point
+/// where all its variables are bound — before the first step for
+/// outer-only filters, after step *i* when the latest local variable binds
+/// at step *i*, and at the leaf when a variable or attribute cannot be
+/// resolved at plan time (preserving the reference's lazy error surfacing).
+/// The force modes keep everything at the leaf.
+fn assign_filters(
+    spec: &ScopeSpec<'_>,
+    locals: &HashSet<&str>,
+    mode: PlanMode,
+    plan: &mut ScopePlan,
+) {
+    if mode != PlanMode::Auto {
+        plan.leaf_filters = (0..spec.filters.len()).collect();
+        return;
+    }
+    /// Where one filter ends up.
+    enum Slot {
+        Prelude,
+        Step(usize),
+        Leaf,
+    }
+    let step_of = |var: &str| -> Option<usize> {
+        plan.steps
+            .iter()
+            .position(|s| spec.bindings[s.binding].var == var)
+    };
+    let final_attr_resolves = |r: &arc_core::ast::AttrRef| -> bool {
+        // Locals shadow the outer scope once placed — and every local is
+        // placed by now.
+        if locals.contains(r.var.as_str()) {
+            for s in plan.steps.iter().rev() {
+                let b = &spec.bindings[s.binding];
+                if b.var == r.var {
+                    return b.source.schema().contains(&r.attr);
+                }
+            }
+            return false;
+        }
+        spec.outer
+            .attrs(&r.var)
+            .is_some_and(|attrs| attrs.contains(&r.attr))
+    };
+    let slot_of = |p: &arc_core::ast::Predicate| -> Slot {
+        let mut level: Option<usize> = None; // None = prelude
+        for r in pred_attr_refs(p) {
+            let var_level = if locals.contains(r.var.as_str()) {
+                match step_of(&r.var) {
+                    Some(s) => Some(s),
+                    None => return Slot::Leaf, // unreachable: locals are placed
+                }
+            } else if spec.outer.attrs(&r.var).is_some() {
+                None
+            } else {
+                // Unknown variable: only the leaf may (or may not) see it,
+                // exactly like the reference.
+                return Slot::Leaf;
+            };
+            if !final_attr_resolves(r) {
+                return Slot::Leaf;
+            }
+            level = match (level, var_level) {
+                (None, l) | (l, None) => l,
+                (Some(a), Some(b)) => Some(a.max(b)),
+            };
+        }
+        match level {
+            None => Slot::Prelude,
+            Some(s) => Slot::Step(s),
+        }
+    };
+    let slots: Vec<Slot> = spec.filters.iter().map(|p| slot_of(p)).collect();
+    // A filter consumed as a hash-probe key of step `s` is already fully
+    // enforced by the probe (`Relation::key_for`-style keys coincide
+    // exactly with `compare(..) == Equal`, and NULL/NaN probes match
+    // nothing — the same equivalence the probe itself relies on), and its
+    // slot is necessarily `s` (the probe side binds last there). Skip the
+    // redundant re-evaluation per matched row.
+    let probed: HashSet<(usize, usize)> = plan
+        .steps
+        .iter()
+        .enumerate()
+        .flat_map(|(s, step)| match &step.access {
+            Access::HashProbe { keys } => keys.iter().map(|k| (s, k.eq.filter)).collect::<Vec<_>>(),
+            _ => Vec::new(),
+        })
+        .collect();
+    for (i, slot) in slots.into_iter().enumerate() {
+        match slot {
+            Slot::Prelude => plan.prelude_filters.push(i),
+            Slot::Step(s) if probed.contains(&(s, i)) => {}
+            Slot::Step(s) => plan.steps[s].filters.push(i),
+            Slot::Leaf => plan.leaf_filters.push(i),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scope::{BindingSpec, NoOuter, ScopeSpec, SourceSpec};
+    use arc_core::ast::{Formula, Predicate};
+    use arc_core::dsl::*;
+
+    fn pred(f: Formula) -> Predicate {
+        match f {
+            Formula::Pred(p) => p,
+            other => panic!("expected predicate, got {other:?}"),
+        }
+    }
+
+    fn schema(attrs: &[&str]) -> Vec<String> {
+        attrs.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn auto_orders_by_cardinality_and_probes() {
+        let rs = schema(&["A", "B"]);
+        let ss = schema(&["B", "C"]);
+        let join = pred(eq(col("r", "B"), col("s", "B")));
+        let filters: Vec<&Predicate> = vec![&join];
+        let spec = ScopeSpec {
+            bindings: vec![
+                BindingSpec {
+                    var: "r",
+                    source: SourceSpec::Relation {
+                        schema: &rs,
+                        rows: Some(1000),
+                    },
+                },
+                BindingSpec {
+                    var: "s",
+                    source: SourceSpec::Relation {
+                        schema: &ss,
+                        rows: Some(10),
+                    },
+                },
+            ],
+            filters: &filters,
+            outer: &NoOuter,
+            estimator: None,
+        };
+        let plan = plan_scope(&spec, PlanMode::Auto).unwrap();
+        // The small relation scans first; the big one is hash-probed.
+        assert_eq!(plan.binding_order(), vec![1, 0]);
+        assert!(matches!(plan.steps[1].access, Access::HashProbe { .. }));
+        // The join filter is fully enforced by the probe: it appears
+        // neither on a step nor at the leaf.
+        assert!(plan.steps.iter().all(|s| s.filters.is_empty()));
+        assert!(plan.leaf_filters.is_empty());
+    }
+
+    #[test]
+    fn force_modes_keep_declaration_order_and_leaf_filters() {
+        let rs = schema(&["A", "B"]);
+        let ss = schema(&["B", "C"]);
+        let join = pred(eq(col("r", "B"), col("s", "B")));
+        let filters: Vec<&Predicate> = vec![&join];
+        let spec = ScopeSpec {
+            bindings: vec![
+                BindingSpec {
+                    var: "r",
+                    source: SourceSpec::Relation {
+                        schema: &rs,
+                        rows: Some(1000),
+                    },
+                },
+                BindingSpec {
+                    var: "s",
+                    source: SourceSpec::Relation {
+                        schema: &ss,
+                        rows: Some(10),
+                    },
+                },
+            ],
+            filters: &filters,
+            outer: &NoOuter,
+            estimator: None,
+        };
+        for mode in [PlanMode::ForceNestedLoop, PlanMode::ForceHashJoin] {
+            let plan = plan_scope(&spec, mode).unwrap();
+            assert_eq!(plan.binding_order(), vec![0, 1], "{mode:?}");
+            assert_eq!(plan.leaf_filters, vec![0], "{mode:?}");
+            assert!(plan.steps.iter().all(|s| s.filters.is_empty()));
+        }
+        let nl = plan_scope(&spec, PlanMode::ForceNestedLoop).unwrap();
+        assert!(nl.steps.iter().all(|s| s.access == Access::Scan));
+        let hj = plan_scope(&spec, PlanMode::ForceHashJoin).unwrap();
+        assert!(matches!(hj.steps[1].access, Access::HashProbe { .. }));
+    }
+
+    #[test]
+    fn unresolvable_attribute_stays_at_the_leaf() {
+        // `r.NOPE` does not resolve: the filter must not be pushed down and
+        // the probe key must be rejected — preserving lazy error surfacing.
+        let rs = schema(&["A"]);
+        let ss = schema(&["B"]);
+        let join = pred(eq(col("s", "B"), col("r", "NOPE")));
+        let filters: Vec<&Predicate> = vec![&join];
+        let spec = ScopeSpec {
+            bindings: vec![
+                BindingSpec {
+                    var: "r",
+                    source: SourceSpec::Relation {
+                        schema: &rs,
+                        rows: Some(1),
+                    },
+                },
+                BindingSpec {
+                    var: "s",
+                    source: SourceSpec::Relation {
+                        schema: &ss,
+                        rows: Some(5),
+                    },
+                },
+            ],
+            filters: &filters,
+            outer: &NoOuter,
+            estimator: None,
+        };
+        let plan = plan_scope(&spec, PlanMode::Auto).unwrap();
+        assert_eq!(plan.leaf_filters, vec![0]);
+        assert!(plan.steps.iter().all(|s| s.access == Access::Scan));
+    }
+
+    #[test]
+    fn abstract_requires_all_attrs_determined() {
+        let attrs = schema(&["x", "y"]);
+        let rs = schema(&["A"]);
+        let only_x = pred(eq(col("a", "x"), col("r", "A")));
+        let filters: Vec<&Predicate> = vec![&only_x];
+        let spec = ScopeSpec {
+            bindings: vec![
+                BindingSpec {
+                    var: "a",
+                    source: SourceSpec::Abstract { attrs: &attrs },
+                },
+                BindingSpec {
+                    var: "r",
+                    source: SourceSpec::Relation {
+                        schema: &rs,
+                        rows: Some(3),
+                    },
+                },
+            ],
+            filters: &filters,
+            outer: &NoOuter,
+            estimator: None,
+        };
+        let err = plan_scope(&spec, PlanMode::Auto).unwrap_err();
+        assert_eq!(err, PlanError::Unplaceable { binding: 0 });
+    }
+
+    #[test]
+    fn outer_only_filters_move_to_the_prelude() {
+        struct Outer(Vec<String>);
+        impl crate::scope::OuterScope for Outer {
+            fn attrs(&self, var: &str) -> Option<&[String]> {
+                (var == "o").then_some(self.0.as_slice())
+            }
+        }
+        let outer = Outer(schema(&["A"]));
+        let rs = schema(&["A"]);
+        let outer_only = pred(gt(col("o", "A"), int(3)));
+        let filters: Vec<&Predicate> = vec![&outer_only];
+        let spec = ScopeSpec {
+            bindings: vec![BindingSpec {
+                var: "r",
+                source: SourceSpec::Relation {
+                    schema: &rs,
+                    rows: Some(3),
+                },
+            }],
+            filters: &filters,
+            outer: &outer,
+            estimator: None,
+        };
+        let plan = plan_scope(&spec, PlanMode::Auto).unwrap();
+        assert_eq!(plan.prelude_filters, vec![0]);
+        assert!(plan.leaf_filters.is_empty());
+    }
+}

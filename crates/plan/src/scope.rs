@@ -1,0 +1,147 @@
+//! Planner inputs: the abstract description of one quantifier scope.
+//!
+//! The engine (or the `EXPLAIN` walker) describes a scope — its bindings,
+//! their resolved source kinds, the filter predicates, and which outer
+//! variables are in reach — and the planner turns that description into a
+//! [`ScopePlan`](crate::physical::ScopePlan). The spec deliberately knows
+//! nothing about engine types: relations appear only as schemas and
+//! cardinalities, so the same planner serves execution (live statistics)
+//! and static `EXPLAIN` (catalog-level statistics).
+
+use arc_core::ast::Predicate;
+
+/// Default cardinality assumed for sources whose row count is unknown at
+/// plan time (intensional relations in static `EXPLAIN`, for example).
+pub const DEFAULT_ROWS: usize = 32;
+
+/// Estimated rows produced by one lateral (nested-collection) evaluation.
+pub const NESTED_EST: f64 = 8.0;
+
+/// Estimated rows produced by one external access-pattern completion.
+pub const EXTERNAL_EST: f64 = 1.0;
+
+/// Estimated rows produced by one abstract-relation membership check.
+pub const ABSTRACT_EST: f64 = 1.0;
+
+/// What a range variable's source looks like to the planner.
+#[derive(Debug, Clone)]
+pub enum SourceSpec<'a> {
+    /// A materialized relation (base, defined, or fixpoint intermediate):
+    /// scannable, probeable, always placeable.
+    Relation {
+        /// Attribute names, in column order.
+        schema: &'a [String],
+        /// Row count, when known (`None` in static `EXPLAIN`).
+        rows: Option<usize>,
+    },
+    /// An external relation solved through access patterns (§2.13.1): each
+    /// pattern lists the schema positions that must be determined by
+    /// equality predicates before the pattern can run.
+    External {
+        /// Full schema of the external relation.
+        schema: &'a [String],
+        /// Bound-attribute positions, one slice per access pattern, in
+        /// declaration order (the first satisfiable pattern is chosen).
+        patterns: Vec<&'a [usize]>,
+    },
+    /// An abstract relation checked in context (§2.13.2): placeable only
+    /// once *every* head attribute is determined by an equality.
+    Abstract {
+        /// The abstract definition's head attributes.
+        attrs: &'a [String],
+    },
+    /// A nested (lateral) collection evaluated per outer environment:
+    /// placeable once its free variables are bound.
+    Nested {
+        /// The nested collection's head attributes.
+        attrs: &'a [String],
+        /// Free variables the nested body references.
+        free: Vec<String>,
+    },
+}
+
+impl SourceSpec<'_> {
+    /// The attribute schema this source exposes to later probe/input
+    /// expressions.
+    pub fn schema(&self) -> &[String] {
+        match self {
+            SourceSpec::Relation { schema, .. } => schema,
+            SourceSpec::External { schema, .. } => schema,
+            SourceSpec::Abstract { attrs } => attrs,
+            SourceSpec::Nested { attrs, .. } => attrs,
+        }
+    }
+}
+
+/// One range-variable binding, as the planner sees it.
+#[derive(Debug, Clone)]
+pub struct BindingSpec<'a> {
+    /// The range variable introduced by the binding.
+    pub var: &'a str,
+    /// Its resolved source.
+    pub source: SourceSpec<'a>,
+}
+
+/// The outer lexical environment a scope is planned under: which variables
+/// are already bound outside the scope, and with what attributes.
+pub trait OuterScope {
+    /// The attribute schema of `var`'s innermost outer binding, or `None`
+    /// when no outer binding exists.
+    fn attrs(&self, var: &str) -> Option<&[String]>;
+}
+
+/// An [`OuterScope`] with no variables (top-level scopes).
+pub struct NoOuter;
+
+impl OuterScope for NoOuter {
+    fn attrs(&self, _var: &str) -> Option<&[String]> {
+        None
+    }
+}
+
+/// Cardinality side-statistics the execution engine can supply: an
+/// estimate of the number of *distinct* join keys a relation binding has
+/// on a candidate key-column set. Drives the greedy ordering's probe-cost
+/// estimate (`rows / distinct`); `EXPLAIN` runs without one.
+pub trait DistinctEstimator {
+    /// Estimated distinct count of `cols` (schema positions) in the
+    /// relation behind binding `binding`, or `None` when unknown.
+    fn distinct(&self, binding: usize, cols: &[usize]) -> Option<usize>;
+}
+
+/// Everything the planner needs to know about one quantifier scope.
+pub struct ScopeSpec<'a> {
+    /// The bindings, in declaration order.
+    pub bindings: Vec<BindingSpec<'a>>,
+    /// The scope's filter predicates (no aggregates, no head assignments —
+    /// the engine's partition stage routes those elsewhere).
+    pub filters: &'a [&'a Predicate],
+    /// The outer lexical environment.
+    pub outer: &'a dyn OuterScope,
+    /// Optional live statistics (execution supplies one; `EXPLAIN` not).
+    pub estimator: Option<&'a dyn DistinctEstimator>,
+}
+
+/// Why a scope could not be planned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// No placement order satisfies the bindings' input requirements; the
+    /// index is the first unplaceable binding in declaration order (the
+    /// caller maps it onto its source kind for a precise diagnostic).
+    Unplaceable {
+        /// Index into [`ScopeSpec::bindings`].
+        binding: usize,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::Unplaceable { binding } => {
+                write!(f, "binding #{binding} cannot be placed in any join order")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}

@@ -1,0 +1,180 @@
+//! Workspace invariants for the plan layer (`arc-plan`):
+//!
+//! * **Invariant 8** — the planned pipeline (greedy join ordering,
+//!   per-operator hash/scan choice, predicate pushdown) is *bag-identical*
+//!   to the paper-faithful nested-loop reference on random conjunctive
+//!   queries over random instances, with and without NULLs. (Join
+//!   reordering legitimately changes enumeration order, so the guarantee
+//!   is the multiset of rows — the force-override strategies keep the
+//!   stronger order-identical guarantee, covered by invariant 7.)
+//! * **Golden `EXPLAIN` snapshots** for three paper queries, so plan-shape
+//!   changes are deliberate, reviewed diffs rather than silent drift.
+
+use arc_analysis::{random_catalog, random_conjunctive_query, InstanceSpec};
+use arc_bench::fixtures as fx;
+use arc_core::conventions::Conventions;
+use arc_engine::{Engine, EvalStrategy};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Invariant 8: planned execution ≡ the nested-loop reference,
+    /// tuple-for-tuple as bags, across conventions.
+    #[test]
+    fn planned_pipeline_bag_identical_to_reference(
+        seed in 0u64..400,
+        joins in 1usize..4,
+        sels in 0usize..3,
+        with_nulls in proptest::prelude::any::<bool>(),
+    ) {
+        let spec = if with_nulls {
+            InstanceSpec::rs_with_nulls(0.2)
+        } else {
+            InstanceSpec::rs()
+        };
+        let q = random_conjunctive_query(&spec, joins, sels, seed);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(6007));
+        let catalog = random_catalog(&spec, &mut rng);
+        for conv in [Conventions::sql(), Conventions::set(), Conventions::souffle()] {
+            let reference = Engine::new(&catalog, conv)
+                .with_strategy(EvalStrategy::NestedLoop)
+                .eval_collection(&q)
+                .unwrap();
+            let planned = Engine::new(&catalog, conv)
+                .with_strategy(EvalStrategy::Planned)
+                .eval_collection(&q)
+                .unwrap();
+            prop_assert!(
+                reference.bag_eq(&planned),
+                "conv {:?}\nquery {:?}\nreference:\n{}\nplanned:\n{}",
+                conv, q, reference, planned
+            );
+        }
+    }
+}
+
+/// Golden plan for Eq (1) — the running TRC equi-join: both relations are
+/// probed (S on its constant key, R on the join key) and both filters are
+/// pushed onto their steps.
+#[test]
+fn explain_eq1_golden() {
+    let catalog = fx::rs_catalog(64);
+    let engine = Engine::new(&catalog, Conventions::sql()).with_strategy(EvalStrategy::Planned);
+    let plan = engine.explain_collection(&fx::eq1()).unwrap();
+    let expected = "\
+project Q(A)
+  scope
+    1: hash-probe on [s.C = 0] S as s (est 1)
+    2: hash-probe on [r.B = s.B] R as r (est 1)
+    emit: Q.A = r.A
+";
+    assert_eq!(plan, expected, "eq1 plan drifted:\n{plan}");
+}
+
+/// Golden plan for Eq (3) — the grouped FIO aggregate: an aggregate node
+/// over a single scan.
+#[test]
+fn explain_eq3_golden() {
+    let catalog = fx::grouped_catalog(64, 8);
+    let engine = Engine::new(&catalog, Conventions::set()).with_strategy(EvalStrategy::Planned);
+    let plan = engine.explain_collection(&fx::eq3()).unwrap();
+    let expected = "\
+project Q(A, sm)
+  aggregate γ r.A
+    agg: Q.sm = sum(r.B)
+    scope
+      1: scan R as r (est 64)
+      emit: Q.A = r.A
+";
+    assert_eq!(plan, expected, "eq3 plan drifted:\n{plan}");
+}
+
+/// Golden plan for Eq (16) — recursion: the ancestor definition becomes a
+/// fixpoint node whose recursive branch probes the recursive relation.
+#[test]
+fn explain_eq16_golden() {
+    let catalog = arc_analysis::chain_catalog(16, 0, 3);
+    let engine = Engine::new(&catalog, Conventions::set()).with_strategy(EvalStrategy::Planned);
+    let plan = engine.explain_program(&fx::eq16()).unwrap();
+    let expected = "\
+program
+  fixpoint [A]
+    project A(s, t)
+      union
+        scope
+          1: scan P as p (est 16)
+          emit: A.s = p.s
+          emit: A.t = p.t
+        scope
+          1: scan P as p (est 16)
+          2: hash-probe on [p.t = a2.s] A as a2 (est 1)
+          emit: A.s = p.s
+          emit: A.t = a2.t
+";
+    assert_eq!(plan, expected, "eq16 plan drifted:\n{plan}");
+}
+
+/// All three frontends (comprehension text, SQL, Datalog) execute through
+/// the same planned pipeline: lower each surface form and check the
+/// planned engine agrees with the forced reference, and that the planner
+/// can render every frontend's lowering with auto-selected hash probes.
+#[test]
+fn frontends_execute_through_the_plan_layer() {
+    let catalog = fx::rs_catalog(32);
+    let schemas = catalog.schema_map();
+
+    // Comprehension text and SQL: the Eq (1) join as a collection.
+    let from_text =
+        arc_parser::parse_collection("{Q(A) | ∃r ∈ R, s ∈ S [Q.A = r.A ∧ r.B = s.B ∧ s.C = 0]}")
+            .unwrap();
+    let sql = arc_sql::arc_to_sql(&from_text, &Conventions::sql()).unwrap();
+    let from_sql = arc_sql::sql_to_arc(&sql, &schemas).unwrap();
+    for (name, q) in [("text", &from_text), ("sql", &from_sql)] {
+        let planned = Engine::new(&catalog, Conventions::sql())
+            .with_strategy(EvalStrategy::Planned)
+            .eval_collection(q)
+            .unwrap();
+        let reference = Engine::new(&catalog, Conventions::sql())
+            .with_strategy(EvalStrategy::NestedLoop)
+            .eval_collection(q)
+            .unwrap();
+        assert!(planned.bag_eq(&reference), "frontend {name} diverged");
+        let plan = Engine::new(&catalog, Conventions::sql())
+            .with_strategy(EvalStrategy::Planned)
+            .explain_collection(q)
+            .unwrap();
+        assert!(plan.contains("hash-probe"), "frontend {name}:\n{plan}");
+    }
+
+    // Datalog: the Eq (16) ancestor program through the fixpoint driver.
+    let program = arc_datalog::parse_datalog(
+        ".decl P(s: number, t: number)\n\
+         .decl A(s: number, t: number)\n\
+         A(x, y) :- P(x, y).\n\
+         A(x, y) :- P(x, z), A(z, y).\n",
+    )
+    .unwrap();
+    let arc = arc_datalog::lower_program(&program).unwrap();
+    let chain = arc_analysis::chain_catalog(12, 0, 5);
+    let planned = Engine::new(&chain, Conventions::souffle())
+        .with_strategy(EvalStrategy::Planned)
+        .eval_program(&arc)
+        .unwrap();
+    let reference = Engine::new(&chain, Conventions::souffle())
+        .with_strategy(EvalStrategy::NestedLoop)
+        .eval_program(&arc)
+        .unwrap();
+    assert!(
+        planned.defined["A"].bag_eq(&reference.defined["A"]),
+        "datalog fixpoint diverged"
+    );
+    let plan = Engine::new(&chain, Conventions::souffle())
+        .with_strategy(EvalStrategy::Planned)
+        .explain_program(&arc)
+        .unwrap();
+    assert!(plan.contains("fixpoint"), "{plan}");
+    assert!(plan.contains("hash-probe"), "{plan}");
+}
