@@ -7,9 +7,14 @@
 //! * **FIO vs. FOI** evaluation cost (the FOI pattern re-scans the inner
 //!   relation per outer tuple — the asymptotic price of Klug-style
 //!   per-aggregate scopes);
-//! * **inline vs. reified arithmetic** (access-pattern dispatch overhead);
+//! * **inline vs. reified arithmetic** (access-pattern dispatch overhead —
+//!   now mostly plan-cache hits: repeated queries skip planning through
+//!   the global cache);
 //! * **set vs. bag** semantics (deduplication cost at collection
-//!   boundaries).
+//!   boundaries);
+//! * **sequential vs. partitioned parallel** execution (`arc-exec`):
+//!   the same planned pipeline scattered across 1/2/4/8 pool workers on
+//!   scan-heavy fixtures — the `parallel` series of `BENCH_eval.json`.
 
 use arc_bench::fixtures as fx;
 use arc_core::conventions::Conventions;
@@ -128,9 +133,48 @@ fn set_vs_bag(c: &mut Criterion) {
     g.finish();
 }
 
+/// Partitioned parallel execution: the same planned pipeline under
+/// growing `ARC_THREADS` (via `Engine::with_threads`) on two scan-heavy
+/// shapes — Eq (3)'s single big grouped scan, and Eq (19)'s multi-scan
+/// non-equi join where each morsel of the outer scan drives the full
+/// inner pipeline. Merge order is deterministic, so results are
+/// row-identical to `threads = 1` (workspace invariant 9).
+fn sequential_vs_parallel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_parallel");
+    let q3 = fx::eq3();
+    for n in [4096usize, 16384] {
+        let catalog = fx::grouped_catalog(n, 64);
+        for threads in [1usize, 2, 4, 8] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("eq3_group_scan_t{threads}"), n),
+                &n,
+                |b, _| {
+                    let engine = Engine::new(&catalog, Conventions::set()).with_threads(threads);
+                    b.iter(|| black_box(engine.eval_collection(&q3).unwrap().len()));
+                },
+            );
+        }
+    }
+    let q19 = fx::eq19();
+    for n in [512usize, 2048] {
+        let catalog = fx::arith_catalog(n, 24);
+        for threads in [1usize, 2, 4, 8] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("eq19_multi_scan_t{threads}"), n),
+                &n,
+                |b, _| {
+                    let engine = Engine::new(&catalog, Conventions::sql()).with_threads(threads);
+                    b.iter(|| black_box(engine.eval_collection(&q19).unwrap().len()));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
 criterion_group! {
     name = ablation;
     config = configured();
-    targets = nested_loop_vs_hash_join, naive_vs_semi_naive, fio_vs_foi_cost, inline_vs_reified, set_vs_bag
+    targets = nested_loop_vs_hash_join, naive_vs_semi_naive, fio_vs_foi_cost, inline_vs_reified, set_vs_bag, sequential_vs_parallel
 }
 criterion_main!(ablation);

@@ -200,6 +200,25 @@ pub fn grouped_catalog(n: usize, groups: usize) -> Catalog {
     Catalog::new().with(r)
 }
 
+/// The Eq (19) non-equi workload at scale: `R(A,B)` with `n` rows plus
+/// `S(B)`/`T(B)` side relations of `k` rows each. No equality predicate
+/// reaches any binding, so every step is a scan and the planned pipeline
+/// partitions its outer scan under `ARC_THREADS > 1` — the multi-scan
+/// fixture of the parallel ablation.
+pub fn arith_catalog(n: usize, k: usize) -> Catalog {
+    let mut r = Relation::new("R", &["A", "B"]);
+    for i in 0..n {
+        r.push(vec![(i as i64).into(), ((i % 97) as i64).into()]);
+    }
+    let mut s = Relation::new("S", &["B"]);
+    let mut t = Relation::new("T", &["B"]);
+    for i in 0..k {
+        s.push(vec![((i % 13) as i64).into()]);
+        t.push(vec![((i % 41) as i64).into()]);
+    }
+    Catalog::new().with(r).with(s).with(t)
+}
+
 /// Employees/departments (Figs 6–8): `n` employees over `depts` departments.
 pub fn dept_catalog(n: usize, depts: usize) -> Catalog {
     let mut r = Relation::new("R", &["empl", "dept"]);

@@ -83,6 +83,13 @@ impl Catalog {
     }
 }
 
+// The catalog is borrowed by every worker context during partitioned
+// execution.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Catalog>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -14,16 +14,16 @@ use crate::relation::Relation;
 use arc_core::ast::*;
 use arc_core::value::Value;
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Intermediate result of join-tree evaluation.
 pub(crate) struct Joined {
     rows: Vec<Vec<Frame>>,
-    vars: Vec<(Rc<str>, Rc<Vec<String>>)>,
+    vars: Vec<(Arc<str>, Arc<Vec<String>>)>,
     lits: Vec<Value>,
 }
 
-fn null_frames(vars: &[(Rc<str>, Rc<Vec<String>>)]) -> Vec<Frame> {
+fn null_frames(vars: &[(Arc<str>, Arc<Vec<String>>)]) -> Vec<Frame> {
     vars.iter()
         .map(|(var, attrs)| Frame {
             var: var.clone(),
@@ -103,8 +103,8 @@ impl<'a> Ctx<'a> {
                     }
                     BindingSource::Collection(c) => self.collection_relation(c, env)?,
                 };
-                let var: Rc<str> = Rc::from(v.as_str());
-                let attrs = Rc::new(rel.schema.clone());
+                let var: Arc<str> = Arc::from(v.as_str());
+                let attrs = Arc::new(rel.schema.clone());
                 Ok(Joined {
                     rows: rel
                         .rows

@@ -30,32 +30,50 @@
 //! | [`scalar`]     | scalar & predicate evaluation, comparisons, arithmetic    |
 //! | [`formula`]    | boolean formula / sentence evaluation                     |
 //! | [`quantifier`] | the binding loop: executes `arc-plan` scope plans         |
+//! | [`parallel`]   | partitioned (morsel-driven) scope execution via `arc-exec`|
 //! | [`aggregate`]  | grouping scopes: accumulation, per-group verdicts         |
 //! | [`output`]     | output assembly: head-tuple construction and emission     |
 //! | [`join`]       | outer-join annotation trees (`left`/`full`, §2.11)        |
-//! | [`strategy`]   | the [`EvalStrategy`] seam (planned vs. force-overrides)   |
+//! | [`strategy`]   | the [`EvalStrategy`] seam + `ARC_THREADS` parallelism     |
 //!
 //! The **plan seam** sits inside the binding loop: every quantifier scope
 //! is described to [`arc_plan::plan_scope`] and the returned physical
 //! plan — binding order, per-step scan/hash-probe/external/abstract
-//! access, pushed-down filters — is executed by [`quantifier`]. Under the
-//! default [`EvalStrategy::Planned`] each join independently selects its
+//! access, pushed-down filters — is executed by [`quantifier`]. Plans are
+//! **cached** (per-`Ctx` by scope identity + outer signature; globally by
+//! program hash — see [`arc_plan::cache`]), so correlated scopes plan
+//! once, not once per outer row. Under the default
+//! [`EvalStrategy::Planned`] each join independently selects its
 //! algorithm and results are bag-identical to the paper's semantics; the
 //! [`EvalStrategy::NestedLoop`]/[`EvalStrategy::HashJoin`] force modes pin
 //! declaration order and leaf filters, producing the *same environments
-//! in the same order* as each other — tuple-for-tuple identical. The
+//! in the same order* as each other — tuple-for-tuple identical. With
+//! `ARC_THREADS > 1` (or [`Engine::with_threads`]) a scope whose plan has
+//! a partition axis executes its outer scan in parallel morsels — the
+//! ordered merge keeps even that path emission-order identical. The
 //! [`Engine::explain_collection`]/[`Engine::explain_program`] renderers
-//! (in [`crate::explain`]) show the plan a query would execute.
+//! (in [`crate::explain`]) show the plan a query would execute, including
+//! the `partition(n)` operator when the engine runs parallel.
 
 pub mod aggregate;
 pub mod env;
 pub mod formula;
 pub mod join;
 pub mod output;
-pub mod partition;
+pub mod parallel;
 pub mod quantifier;
 pub mod scalar;
 pub mod strategy;
+
+/// Body analysis: predicate-role partitioning and free-variable
+/// computation. The analysis itself lives in [`arc_plan::analysis`] — the
+/// shared front half of both the planner and the evaluator, so the two
+/// can never disagree on what counts as a filter, an assignment, or a
+/// free variable. This module re-exports the pieces the evaluator
+/// consumes.
+pub mod partition {
+    pub(crate) use arc_plan::analysis::{partition, pred_consts, pred_vars, Parts};
+}
 
 pub(crate) use env::Env;
 pub use strategy::EvalStrategy;
@@ -66,11 +84,13 @@ use crate::relation::Relation;
 use arc_core::ast::{Collection, Formula};
 use arc_core::conventions::Conventions;
 use arc_core::value::Truth;
+use arc_plan::ScopePlan;
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// The evaluation engine: a catalog plus a convention profile plus an
-/// evaluation strategy.
+/// evaluation strategy plus a parallelism budget.
 pub struct Engine<'c> {
     pub(crate) catalog: &'c Catalog,
     /// The convention profile queries are interpreted under (§2.6/§2.7).
@@ -80,6 +100,9 @@ pub struct Engine<'c> {
     /// engine error on the first evaluation instead of panicking at
     /// construction.
     strategy: std::result::Result<EvalStrategy, crate::error::EvalError>,
+    /// Parallelism for partitioned scope execution (`ARC_THREADS`); same
+    /// deferred-error story as `strategy`.
+    threads: std::result::Result<usize, crate::error::EvalError>,
 }
 
 impl<'c> Engine<'c> {
@@ -89,13 +112,17 @@ impl<'c> Engine<'c> {
     /// ([`EvalStrategy::Planned`] when no override is set), so the full
     /// test suite can be re-run under a forced strategy by setting
     /// `ARC_EVAL_STRATEGY=hash-join` (or `nested-loop`) without touching
-    /// any call site. A malformed value is reported by the first
-    /// evaluation as [`EvalError::Config`](crate::error::EvalError::Config).
+    /// any call site; parallelism defaults to
+    /// [`strategy::threads_from_env`] (`ARC_THREADS`, sequential when
+    /// unset) the same way. A malformed value of either variable is
+    /// reported by the first evaluation as
+    /// [`EvalError::Config`](crate::error::EvalError::Config).
     pub fn new(catalog: &'c Catalog, conventions: Conventions) -> Self {
         Engine {
             catalog,
             conventions,
             strategy: EvalStrategy::from_env(),
+            threads: strategy::threads_from_env(),
         }
     }
 
@@ -105,10 +132,24 @@ impl<'c> Engine<'c> {
         self
     }
 
+    /// Override the parallelism (builder style); `1` (or `0`) means
+    /// sequential. Clamped to [`arc_exec::MAX_THREADS`], the same bound
+    /// the `ARC_THREADS` parser enforces — an oversized value must never
+    /// be able to exhaust OS threads and abort the process.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Ok(threads.clamp(1, arc_exec::MAX_THREADS));
+        self
+    }
+
     /// The strategy this engine evaluates under (an `Err` reproduces the
     /// configuration problem every evaluation would report).
     pub fn strategy(&self) -> Result<EvalStrategy> {
         self.strategy.clone()
+    }
+
+    /// The parallelism this engine evaluates under.
+    pub fn threads(&self) -> Result<usize> {
+        self.threads.clone()
     }
 
     /// Inject a strategy-parse outcome (tests only: process environment
@@ -122,33 +163,47 @@ impl<'c> Engine<'c> {
         self.strategy = r;
     }
 
+    /// Inject a threads-parse outcome (tests only; see
+    /// [`Engine::set_strategy_result`]).
+    #[cfg(test)]
+    pub(crate) fn set_threads_result(
+        &mut self,
+        r: std::result::Result<usize, crate::error::EvalError>,
+    ) {
+        self.threads = r;
+    }
+
     fn ctx<'a>(
         &'a self,
         defined: &'a HashMap<String, Relation>,
         abstracts: &'a HashMap<String, Collection>,
+        program: u64,
     ) -> Result<Ctx<'a>> {
         Ok(Ctx {
             catalog: self.catalog,
             conv: self.conventions,
             strategy: self.strategy.clone()?,
+            threads: self.threads.clone()?,
+            program,
             defined,
             abstracts,
             join_indexes: RefCell::new(HashMap::new()),
             distinct_estimates: RefCell::new(HashMap::new()),
+            plans: RefCell::new(HashMap::new()),
         })
     }
 
     /// Evaluate a standalone query collection (no definitions).
     pub fn eval_collection(&self, c: &Collection) -> Result<Relation> {
         let (defined, abstracts) = (HashMap::new(), HashMap::new());
-        self.ctx(&defined, &abstracts)?
+        self.ctx(&defined, &abstracts, arc_plan::program_hash(c))?
             .collection_relation(c, &mut Env::default())
     }
 
     /// Evaluate a boolean sentence (paper Fig 9).
     pub fn eval_sentence(&self, f: &Formula) -> Result<Truth> {
         let (defined, abstracts) = (HashMap::new(), HashMap::new());
-        self.ctx(&defined, &abstracts)?
+        self.ctx(&defined, &abstracts, arc_plan::formula_hash(f))?
             .formula_truth(f, &mut Env::default())
     }
 
@@ -160,7 +215,7 @@ impl<'c> Engine<'c> {
         defined: &HashMap<String, Relation>,
         abstracts: &HashMap<String, Collection>,
     ) -> Result<Relation> {
-        self.ctx(defined, abstracts)?
+        self.ctx(defined, abstracts, arc_plan::program_hash(c))?
             .collection_relation(c, &mut Env::default())
     }
 
@@ -171,7 +226,7 @@ impl<'c> Engine<'c> {
         defined: &HashMap<String, Relation>,
         abstracts: &HashMap<String, Collection>,
     ) -> Result<Truth> {
-        self.ctx(defined, abstracts)?
+        self.ctx(defined, abstracts, arc_plan::formula_hash(f))?
             .formula_truth(f, &mut Env::default())
     }
 }
@@ -181,6 +236,13 @@ pub(crate) struct Ctx<'a> {
     pub(crate) catalog: &'a Catalog,
     pub(crate) conv: Conventions,
     pub(crate) strategy: EvalStrategy,
+    /// Parallelism budget: scopes with a partition axis scatter their
+    /// outer scan across this many pool threads. Worker contexts are
+    /// forked with `threads = 1`, so parallelism never nests.
+    pub(crate) threads: usize,
+    /// Structural hash of the top-level query this context evaluates
+    /// (the global plan cache's program key).
+    pub(crate) program: u64,
     /// Materialized intensional relations (views/CTEs/fixpoint results).
     pub(crate) defined: &'a HashMap<String, Relation>,
     /// Abstract relations: checked in context, never materialized.
@@ -193,4 +255,8 @@ pub(crate) struct Ctx<'a> {
     /// Per-query cache of distinct-key estimates (same keying scheme),
     /// feeding the planner's greedy join ordering.
     pub(crate) distinct_estimates: RefCell<HashMap<(usize, Vec<usize>), usize>>,
+    /// Per-query plan cache keyed by (binding-list address, outer
+    /// signature) — the fast path in front of the global plan cache (see
+    /// `Ctx::scope_plan`).
+    pub(crate) plans: RefCell<HashMap<(usize, u64), Arc<ScopePlan>>>,
 }

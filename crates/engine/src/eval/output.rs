@@ -125,36 +125,47 @@ impl Ctx<'_> {
         if parts.spines.len() > 1 {
             return Err(EvalError::MultipleSpines);
         }
-        self.enumerate(bindings, join, &parts.filters, env, &mut |ctx, env| {
-            for b in &parts.pre_bool {
-                if !ctx.formula_truth(b, env)?.is_true() {
+        // Through `enumerate_collect`: scopes with a partition axis run
+        // their outer scan in parallel morsels (the ordered merge keeps
+        // the emitted tuples in sequential enumeration order); everything
+        // else streams straight into `out` as before.
+        self.enumerate_collect::<Tuple>(
+            bindings,
+            join,
+            &parts.filters,
+            env,
+            &|ctx, env, sink| {
+                for b in &parts.pre_bool {
+                    if !ctx.formula_truth(b, env)?.is_true() {
+                        return Ok(true);
+                    }
+                }
+                let mut p2 = partial.clone();
+                let mut consistent = true;
+                for (attr, expr) in &parts.assigns {
+                    let v = ctx.scalar(expr, env)?;
+                    if !set_partial(&mut p2, head, attr, v)? {
+                        consistent = false;
+                        break;
+                    }
+                }
+                if !consistent {
                     return Ok(true);
                 }
-            }
-            let mut p2 = partial.clone();
-            let mut consistent = true;
-            for (attr, expr) in &parts.assigns {
-                let v = ctx.scalar(expr, env)?;
-                if !set_partial(&mut p2, head, attr, v)? {
-                    consistent = false;
-                    break;
+                if let Some(spine) = parts.spines.first() {
+                    // Nested existential: emissions collapse per
+                    // environment (semijoin multiplicity, §2.7).
+                    let mut sub = Vec::new();
+                    ctx.emit_branch(spine, head, &p2, env, &mut sub)?;
+                    dedupe_in_place(&mut sub);
+                    sink.extend(sub);
+                } else {
+                    sink.push(complete(&p2, head)?);
                 }
-            }
-            if !consistent {
-                return Ok(true);
-            }
-            if let Some(spine) = parts.spines.first() {
-                // Nested existential: emissions collapse per
-                // environment (semijoin multiplicity, §2.7).
-                let mut sub = Vec::new();
-                ctx.emit_branch(spine, head, &p2, env, &mut sub)?;
-                dedupe_in_place(&mut sub);
-                out.extend(sub);
-            } else {
-                out.push(complete(&p2, head)?);
-            }
-            Ok(true)
-        })
+                Ok(true)
+            },
+            out,
+        )
     }
 
     /// Grouping scope: materialize surviving environments per key, then
@@ -174,25 +185,37 @@ impl Ctx<'_> {
         if !parts.spines.is_empty() {
             return Err(EvalError::SpineUnderGrouping);
         }
-        // Materialize surviving local environments, grouped by key.
+        // Materialize surviving local environments (in parallel when the
+        // scope has a partition axis: each morsel collects its
+        // `(key, frames)` pairs and the ordered merge below folds them
+        // into the group map in sequential enumeration order, so member
+        // order within every group matches the sequential loop).
         let base = env.len();
-        let mut groups: BTreeMap<Vec<Key>, Vec<Vec<Frame>>> = BTreeMap::new();
-        self.enumerate(bindings, join, &parts.filters, env, &mut |ctx, env| {
-            for b in &parts.pre_bool {
-                if !ctx.formula_truth(b, env)?.is_true() {
-                    return Ok(true);
+        let mut entries: Vec<(Vec<Key>, Vec<Frame>)> = Vec::new();
+        self.enumerate_collect(
+            bindings,
+            join,
+            &parts.filters,
+            env,
+            &|ctx, env, sink| {
+                for b in &parts.pre_bool {
+                    if !ctx.formula_truth(b, env)?.is_true() {
+                        return Ok(true);
+                    }
                 }
-            }
-            let mut key = Vec::with_capacity(g.keys.len());
-            for k in &g.keys {
-                key.push(env.lookup(&k.var, &k.attr)?.key());
-            }
-            groups
-                .entry(key)
-                .or_default()
-                .push(env.frames[base..].to_vec());
-            Ok(true)
-        })?;
+                let mut key = Vec::with_capacity(g.keys.len());
+                for k in &g.keys {
+                    key.push(env.lookup(&k.var, &k.attr)?.key());
+                }
+                sink.push((key, env.frames[base..].to_vec()));
+                Ok(true)
+            },
+            &mut entries,
+        )?;
+        let mut groups: BTreeMap<Vec<Key>, Vec<Vec<Frame>>> = BTreeMap::new();
+        for (key, frames) in entries {
+            groups.entry(key).or_default().push(frames);
+        }
         // γ∅: exactly one group, even over an empty join (§2.5 — "there is
         // just one group", like SQL's aggregate query without GROUP BY).
         if g.keys.is_empty() && groups.is_empty() {

@@ -1,0 +1,210 @@
+//! Partitioned (morsel-driven) scope execution.
+//!
+//! When an engine runs with `ARC_THREADS > 1`, a scope whose plan has a
+//! [partition axis](arc_plan::ScopePlan::partition_axis) — an outer
+//! relation scan big enough to amortize the fork — executes in parallel:
+//!
+//! 1. the **coordinator** (the evaluating thread) plans the scope once,
+//!    materializes the step pipeline, checks the prelude filters, and
+//!    eagerly builds every hash index the plan probes (build sides are
+//!    shared read-only via `Arc` — workers never build);
+//! 2. the axis scan is split into [`Morsels`]; each morsel runs the full
+//!    pipeline over its row range on a pool worker, with a **forked
+//!    context** (same catalog/definitions/caches, `threads = 1` so
+//!    parallelism never nests) and a cloned outer environment;
+//! 3. per-morsel outputs are gathered **in morsel order** and
+//!    concatenated, which reproduces the sequential enumeration order
+//!    exactly — so bag semantics needs no merge logic at all, set
+//!    semantics deduplicates at the collection boundary as always, and
+//!    grouped scopes fold the concatenation into their group map in the
+//!    same order the sequential loop would have.
+//!
+//! Errors follow the same rule: the error reported is the first error of
+//! the earliest morsel, which is the error the sequential loop would have
+//! hit first (later morsels may do wasted work, never observable work —
+//! enumeration is side-effect-free).
+
+use super::env::Env;
+use super::quantifier::{HashIndex, Src};
+use super::{Ctx, EvalStrategy};
+use crate::catalog::Catalog;
+use crate::error::Result;
+use crate::relation::Relation;
+use arc_core::ast::{Binding, Collection, JoinTree, Predicate};
+use arc_core::conventions::Conventions;
+use arc_exec::{run_morsels_with, Morsels, WorkerPool};
+use arc_plan::ScopePlan;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Everything a pool worker needs to rebuild an evaluation context:
+/// shared read-only references plus snapshots of the coordinator's
+/// caches (hash indexes, plans, distinct estimates), so workers start
+/// warm and build nothing the coordinator already has.
+pub(crate) struct WorkerSeed<'a> {
+    catalog: &'a Catalog,
+    conv: Conventions,
+    strategy: EvalStrategy,
+    program: u64,
+    defined: &'a HashMap<String, Relation>,
+    abstracts: &'a HashMap<String, Collection>,
+    join_indexes: HashMap<(usize, Vec<usize>), Arc<HashIndex>>,
+    distinct_estimates: HashMap<(usize, Vec<usize>), usize>,
+    plans: HashMap<(usize, u64), Arc<ScopePlan>>,
+}
+
+impl<'a> WorkerSeed<'a> {
+    /// A per-morsel evaluation context. `threads` is pinned to 1: nested
+    /// scopes inside a worker run sequentially (the scope above them is
+    /// already saturating the pool).
+    fn ctx(&self) -> Ctx<'a> {
+        Ctx {
+            catalog: self.catalog,
+            conv: self.conv,
+            strategy: self.strategy,
+            threads: 1,
+            program: self.program,
+            defined: self.defined,
+            abstracts: self.abstracts,
+            join_indexes: RefCell::new(self.join_indexes.clone()),
+            distinct_estimates: RefCell::new(self.distinct_estimates.clone()),
+            plans: RefCell::new(self.plans.clone()),
+        }
+    }
+}
+
+// Worker seeds are shared by reference across pool threads.
+const _: () = {
+    const fn assert_sync<T: Sync>() {}
+    assert_sync::<WorkerSeed<'static>>();
+};
+
+/// The per-environment collection callback [`Ctx::enumerate_collect`]
+/// drives: append into the morsel's output vector, return `Ok(true)` to
+/// keep enumerating. `Sync` because the parallel path shares it across
+/// pool workers.
+pub(crate) type EachFn<'f, 'a, T> =
+    dyn Fn(&Ctx<'a>, &mut Env, &mut Vec<T>) -> Result<bool> + Sync + 'f;
+
+impl<'a> Ctx<'a> {
+    fn worker_seed(&self) -> WorkerSeed<'a> {
+        WorkerSeed {
+            catalog: self.catalog,
+            conv: self.conv,
+            strategy: self.strategy,
+            program: self.program,
+            defined: self.defined,
+            abstracts: self.abstracts,
+            join_indexes: self.join_indexes.borrow().clone(),
+            distinct_estimates: self.distinct_estimates.borrow().clone(),
+            plans: self.plans.borrow().clone(),
+        }
+    }
+
+    /// Enumerate a scope, appending what `each` produces per surviving
+    /// environment into `out` — in enumeration order. This is the entry
+    /// point the output stages use instead of raw [`Ctx::enumerate`]:
+    /// append-only collection is exactly what partitioned execution can
+    /// scatter, so eligible scopes run parallel here, and everything
+    /// else streams through the sequential loop straight into `out`
+    /// with no intermediate buffering.
+    ///
+    /// `each` must not rely on early exit (it must always return
+    /// `Ok(true)`; the parallel path enumerates every partition).
+    pub(crate) fn enumerate_collect<T: Send>(
+        &self,
+        bindings: &[Binding],
+        join: Option<&JoinTree>,
+        filters: &[&Predicate],
+        env: &mut Env,
+        each: &EachFn<'_, 'a, T>,
+        out: &mut Vec<T>,
+    ) -> Result<()> {
+        if self.threads > 1
+            && !join.is_some_and(|t| t.has_outer())
+            && self.try_parallel(bindings, filters, env, each, out)?
+        {
+            return Ok(());
+        }
+        self.enumerate(bindings, join, filters, env, &mut |ctx, env| {
+            each(ctx, env, out)
+        })
+    }
+
+    /// The partitioned path; `Ok(false)` means "not eligible — run the
+    /// sequential loop" (no partition axis, or the axis scan is too
+    /// small for the configured morsel floor).
+    fn try_parallel<T: Send>(
+        &self,
+        bindings: &[Binding],
+        filters: &[&Predicate],
+        env: &mut Env,
+        each: &EachFn<'_, 'a, T>,
+        out: &mut Vec<T>,
+    ) -> Result<bool> {
+        let resolved = self.resolve_bindings(bindings)?;
+        let plan = self.scope_plan(bindings, filters, env, &resolved)?;
+        if plan.partition_axis().is_none() {
+            return Ok(false);
+        }
+        let (order, prelude, leaf) = self.materialize_steps(bindings, filters, &resolved, &plan)?;
+        // The axis must be an un-probed relation scan at step 0 (the plan
+        // guarantees the access kind; re-check the source against the
+        // materialization so a mismatch degrades to sequential instead of
+        // erroring).
+        let total = match order.first() {
+            Some(first) if first.hash_plan.is_none() => match &first.source {
+                Src::Rows(rel) => rel.rows.len(),
+                _ => return Ok(false),
+            },
+            _ => return Ok(false),
+        };
+        if total < 2 {
+            return Ok(false);
+        }
+
+        // Prelude filters see only outer variables: evaluate once here,
+        // not once per morsel.
+        for p in &prelude {
+            if !self.pred_truth(p, env)?.is_true() {
+                return Ok(true); // scope is empty; nothing to scatter
+            }
+        }
+        // Build every probe's hash index up front so workers share the
+        // build sides read-only instead of racing to build duplicates.
+        for ob in &order {
+            if let (Src::Rows(rel), Some(hash_plan)) = (&ob.source, &ob.hash_plan) {
+                let _ = self.join_index(hash_plan, rel);
+            }
+        }
+
+        let seed = self.worker_seed();
+        let outer_env = env.clone();
+        // One forked context per participating worker (not per morsel —
+        // forking clones the cache snapshots); each morsel still gets a
+        // fresh clone of the outer environment because an error can
+        // abandon pushed frames mid-scan.
+        let results: Vec<Result<Vec<T>>> = run_morsels_with(
+            WorkerPool::global(),
+            self.threads,
+            Morsels::new(total, self.threads),
+            || seed.ctx(),
+            |ctx, _, range| {
+                let mut wenv = outer_env.clone();
+                let mut morsel_out = Vec::new();
+                ctx.scan_partition(&order, &leaf, range, &mut wenv, &mut |c, e| {
+                    each(c, e, &mut morsel_out)
+                })
+                .map(|()| morsel_out)
+            },
+        );
+        // Merge in morsel order: errors surface from the earliest morsel
+        // (what the sequential loop would hit first), outputs concatenate
+        // into the exact sequential emission order.
+        for r in results {
+            out.extend(r?);
+        }
+        Ok(true)
+    }
+}

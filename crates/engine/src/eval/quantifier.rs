@@ -17,6 +17,29 @@
 //! the probe iterates matches in the relation's original row order and
 //! every filter is still re-checked, so the callback sees exactly the
 //! environments the nested loop would produce, in the same order.
+//!
+//! ## Plan caching
+//!
+//! Planning is split into three phases — [`Ctx::resolve_bindings`] (name
+//! → source), [`Ctx::scope_plan`] (the cached search), and
+//! [`Ctx::materialize_steps`] (plan → executable [`Ordered`] steps) — so
+//! that the expensive middle phase runs once per distinct planning
+//! situation instead of once per [`Ctx::enumerate`] call:
+//!
+//! * the **`Ctx`-level cache** keys by *(scope identity, outer-availability
+//!   signature)* — a correlated scope re-enters `enumerate` once per outer
+//!   row with an identical signature, so only the first row plans;
+//! * the **global cache** ([`arc_plan::cache`]) keys by *(program hash,
+//!   scope fingerprint, signature, mode)* — repeated queries (same text,
+//!   re-parsed, fresh `Ctx`) skip planning entirely.
+//!
+//! ## Parallel execution
+//!
+//! The executable steps are thread-shareable (`Ordered` is `Sync`: hash
+//! indexes live behind `Arc`, memoized through `OnceLock`), which is what
+//! lets `eval::parallel` drive one materialized pipeline from many pool
+//! workers, each scanning its own morsel of the partition axis via
+//! [`Ctx::scan_partition`].
 
 use super::env::Env;
 use super::Ctx;
@@ -28,10 +51,11 @@ use arc_core::value::Key;
 use arc_plan::analysis::free_vars;
 use arc_plan::logical::other_side;
 use arc_plan::{
-    Access, BindingSpec, DistinctEstimator, OuterScope, PlanError, ScopeSpec, SourceSpec,
+    cache, Access, BindingSpec, DistinctEstimator, OuterScope, PlanError, ScopePlan, ScopeSpec,
+    SourceSpec,
 };
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Row-sample cap for the planner's distinct-key estimates.
 const DISTINCT_SAMPLE: usize = 256;
@@ -68,8 +92,11 @@ pub(crate) struct HashPlan<'b> {
 pub(crate) type HashIndex = HashMap<Vec<Key>, Vec<u32>>;
 
 /// The per-query index cache living on [`Ctx`], keyed by relation address
-/// plus key columns (see [`Ctx::join_index`] for why addresses are stable).
-pub(crate) type JoinIndexCache = std::cell::RefCell<HashMap<(usize, Vec<usize>), Rc<HashIndex>>>;
+/// plus key columns (see [`Ctx::join_index`] for why addresses are
+/// stable). Indexes are `Arc`-shared: the parallel executor builds them
+/// once on the coordinator and every worker context reuses them
+/// read-only.
+pub(crate) type JoinIndexCache = std::cell::RefCell<HashMap<(usize, Vec<usize>), Arc<HashIndex>>>;
 
 impl<'b> HashPlan<'b> {
     fn build_index(&self, rel: &Relation) -> HashIndex {
@@ -100,19 +127,21 @@ impl<'b> HashPlan<'b> {
 /// One planned step: a binding with a resolved source, its access path,
 /// and the filters pushed down to it — in execution order.
 pub(crate) struct Ordered<'b> {
-    var: Rc<str>,
-    source: Src<'b>,
-    hash_plan: Option<HashPlan<'b>>,
+    var: Arc<str>,
+    pub(crate) source: Src<'b>,
+    pub(crate) hash_plan: Option<HashPlan<'b>>,
     /// Filters evaluated as soon as this step's variable binds (empty
     /// under the force strategies, which keep everything at the leaf).
     step_filters: Vec<&'b Predicate>,
     /// The plan's index, memoized on first probe so the hot loop touches
     /// neither the [`Ctx`]-level cache nor its heap-allocated key again.
-    index: std::cell::OnceCell<Rc<HashIndex>>,
+    /// A `OnceLock` (not `OnceCell`) so a materialized pipeline stays
+    /// `Sync` and can be shared across pool workers.
+    index: std::sync::OnceLock<Arc<HashIndex>>,
 }
 
 /// A resolved binding source plus its catalog name (for diagnostics).
-enum Resolved<'b> {
+pub(crate) enum Resolved<'b> {
     Rel(&'b Relation),
     Ext(&'b ExternalRelation),
     Abs(&'b Collection),
@@ -191,12 +220,12 @@ impl<'a> Ctx<'a> {
     /// addresses are stable — and correlated scopes (one `enumerate` call
     /// per outer environment) reuse the index instead of rebuilding it per
     /// outer row.
-    fn join_index(&self, plan: &HashPlan<'_>, rel: &Relation) -> Rc<HashIndex> {
+    pub(crate) fn join_index(&self, plan: &HashPlan<'_>, rel: &Relation) -> Arc<HashIndex> {
         let key = (rel as *const Relation as usize, plan.key_cols.clone());
         if let Some(index) = self.join_indexes.borrow().get(&key) {
             return index.clone();
         }
-        let index = Rc::new(plan.build_index(rel));
+        let index = Arc::new(plan.build_index(rel));
         self.join_indexes.borrow_mut().insert(key, index.clone());
         index
     }
@@ -216,6 +245,41 @@ impl<'a> Ctx<'a> {
             }
         }
         self.enumerate_rec(order, i + 1, leaf, env, cb)
+    }
+
+    /// Execute one morsel of a partitioned scope: enumerate rows
+    /// `range` of the first step's scan (the plan's partition axis) and
+    /// descend through the remaining steps exactly as the sequential
+    /// loop would. Concatenating the callbacks' outputs over consecutive
+    /// ranges reproduces the sequential enumeration order.
+    pub(crate) fn scan_partition(
+        &self,
+        order: &[Ordered<'_>],
+        leaf: &[&Predicate],
+        range: std::ops::Range<usize>,
+        env: &mut Env,
+        cb: &mut dyn FnMut(&Ctx<'a>, &mut Env) -> Result<bool>,
+    ) -> Result<()> {
+        let Some(first) = order.first() else {
+            return Err(EvalError::Internal(
+                "partitioned scope with no steps".into(),
+            ));
+        };
+        let (Src::Rows(rel), None) = (&first.source, &first.hash_plan) else {
+            return Err(EvalError::Internal(
+                "partition axis is not a relation scan".into(),
+            ));
+        };
+        let attrs = Arc::new(rel.schema.clone());
+        for row in &rel.rows[range] {
+            env.push(first.var.clone(), attrs.clone(), row.clone());
+            let cont = self.step_into(order, 0, leaf, env, cb)?;
+            env.pop();
+            if !cont {
+                return Ok(());
+            }
+        }
+        Ok(())
     }
 
     /// Recursive plan execution; returns false when stopped early. Each
@@ -242,7 +306,7 @@ impl<'a> Ctx<'a> {
         let ob = &order[i];
         match &ob.source {
             Src::Rows(rel) => {
-                let attrs = Rc::new(rel.schema.clone());
+                let attrs = Arc::new(rel.schema.clone());
                 if let Some(plan) = &ob.hash_plan {
                     let Some(key) = plan.probe_key(self, env)? else {
                         return Ok(true); // NULL/NaN probe: no row can match
@@ -274,7 +338,7 @@ impl<'a> Ctx<'a> {
             Src::Nested(c) => {
                 // Lateral: evaluate the nested collection per environment.
                 let rel = self.collection_relation(c, env)?;
-                let attrs = Rc::new(rel.schema.clone());
+                let attrs = Arc::new(rel.schema.clone());
                 for row in rel.rows {
                     env.push(ob.var.clone(), attrs.clone(), row);
                     let cont = self.step_into(order, i, leaf, env, cb)?;
@@ -303,7 +367,7 @@ impl<'a> Ctx<'a> {
                 if null_input {
                     return Ok(true); // no tuples relate to NULL operands
                 }
-                let attrs = Rc::new(ext.schema.clone());
+                let attrs = Arc::new(ext.schema.clone());
                 for tuple in (pattern.complete)(&vals) {
                     env.push(ob.var.clone(), attrs.clone(), tuple);
                     let cont = self.step_into(order, i, leaf, env, cb)?;
@@ -331,8 +395,8 @@ impl<'a> Ctx<'a> {
                 if null_input {
                     return Ok(true);
                 }
-                let head_attrs = Rc::new(def.head.attrs.clone());
-                let head_var: Rc<str> = Rc::from(def.head.relation.as_str());
+                let head_attrs = Arc::new(def.head.attrs.clone());
+                let head_var: Arc<str> = Arc::from(def.head.relation.as_str());
                 env.push(head_var, head_attrs.clone(), tuple.clone());
                 let holds = self.formula_truth(&def.body, env)?;
                 env.pop();
@@ -349,21 +413,15 @@ impl<'a> Ctx<'a> {
         }
     }
 
-    /// Resolve binding sources, describe the scope to the planner, and
-    /// turn the returned [`arc_plan::ScopePlan`] into executable steps.
+    /// Resolve binding sources by name.
     ///
-    /// Resolution order for named sources matches the pre-plan evaluator:
-    /// defined (materialized) relations shadow catalog relations, which
-    /// shadow abstract definitions, which shadow externals.
-    #[allow(clippy::type_complexity)]
-    fn plan_bindings<'c>(
+    /// Resolution order matches the pre-plan evaluator: defined
+    /// (materialized) relations shadow catalog relations, which shadow
+    /// abstract definitions, which shadow externals.
+    pub(crate) fn resolve_bindings<'c>(
         &'c self,
         bindings: &'c [Binding],
-        filters: &[&'c Predicate],
-        env: &Env,
-    ) -> Result<(Vec<Ordered<'c>>, Vec<&'c Predicate>, Vec<&'c Predicate>)> {
-        // 1. Resolve sources (declaration order; unknown names error here,
-        //    exactly as the pre-plan ordering loop did).
+    ) -> Result<Vec<Resolved<'c>>> {
         let mut resolved: Vec<Resolved<'c>> = Vec::with_capacity(bindings.len());
         for b in bindings {
             resolved.push(match &b.source {
@@ -383,8 +441,24 @@ impl<'a> Ctx<'a> {
                 BindingSource::Collection(c) => Resolved::Nested(c),
             });
         }
+        Ok(resolved)
+    }
 
-        // 2. Describe the scope to the planner.
+    /// The scope's physical plan — through the caches when possible.
+    ///
+    /// Lookup order: the `Ctx`-level map keyed by *(binding-list address,
+    /// outer signature)* (addresses are stable for the `Ctx` lifetime
+    /// because the AST strictly outlives the per-evaluation context);
+    /// then the global cache keyed by the full structural
+    /// [`PlanKey`](arc_plan::PlanKey); then a fresh [`arc_plan::plan_scope`]
+    /// run, published to both.
+    pub(crate) fn scope_plan(
+        &self,
+        bindings: &[Binding],
+        filters: &[&Predicate],
+        env: &Env,
+        resolved: &[Resolved<'_>],
+    ) -> Result<Arc<ScopePlan>> {
         let frees: Vec<Vec<String>> = resolved
             .iter()
             .map(|r| match r {
@@ -392,6 +466,20 @@ impl<'a> Ctx<'a> {
                 _ => Vec::new(),
             })
             .collect();
+        let locals: Vec<&str> = bindings.iter().map(|b| b.var.as_str()).collect();
+        let outer = EnvOuter(env);
+        let sig = cache::outer_signature(
+            &locals,
+            filters,
+            frees.iter().flatten().map(String::as_str),
+            &outer,
+        );
+        let ctx_key = (bindings.as_ptr() as usize, sig);
+        if let Some(plan) = self.plans.borrow().get(&ctx_key) {
+            return Ok(plan.clone());
+        }
+
+        // Describe the scope to the planner.
         let spec_bindings: Vec<BindingSpec<'_>> = bindings
             .iter()
             .zip(resolved.iter())
@@ -417,10 +505,9 @@ impl<'a> Ctx<'a> {
                 },
             })
             .collect();
-        let outer = EnvOuter(env);
         let estimator = CtxEstimator {
             ctx: self,
-            resolved: &resolved,
+            resolved,
         };
         let spec = ScopeSpec {
             bindings: spec_bindings,
@@ -429,33 +516,58 @@ impl<'a> Ctx<'a> {
             estimator: Some(&estimator),
         };
 
-        // 3. Plan, mapping planner failures onto the precise source-kind
-        //    diagnostics.
-        let plan = arc_plan::plan_scope(&spec, self.strategy.plan_mode()).map_err(|e| {
-            let PlanError::Unplaceable { binding } = e;
-            let b = &bindings[binding];
-            match (&b.source, &resolved[binding]) {
-                (BindingSource::Named(name), Resolved::Ext(_)) => EvalError::NoAccessPath {
-                    relation: name.clone(),
-                    var: b.var.clone(),
-                },
-                (BindingSource::Named(name), Resolved::Abs(_)) => {
-                    EvalError::AbstractUnderdetermined {
-                        relation: name.clone(),
-                        var: b.var.clone(),
+        let key = arc_plan::PlanKey {
+            program: self.program,
+            scope: cache::scope_fingerprint(&spec),
+            sig,
+            mode: self.strategy.plan_mode(),
+        };
+        let plan = match cache::global_lookup(&key) {
+            Some(plan) => plan,
+            None => {
+                // Plan, mapping planner failures onto the precise
+                // source-kind diagnostics.
+                let plan = arc_plan::plan_scope(&spec, self.strategy.plan_mode()).map_err(|e| {
+                    let PlanError::Unplaceable { binding } = e;
+                    let b = &bindings[binding];
+                    match (&b.source, &resolved[binding]) {
+                        (BindingSource::Named(name), Resolved::Ext(_)) => EvalError::NoAccessPath {
+                            relation: name.clone(),
+                            var: b.var.clone(),
+                        },
+                        (BindingSource::Named(name), Resolved::Abs(_)) => {
+                            EvalError::AbstractUnderdetermined {
+                                relation: name.clone(),
+                                var: b.var.clone(),
+                            }
+                        }
+                        (_, Resolved::Nested(c)) => EvalError::UnboundVariable(
+                            free_vars(c).into_iter().next().unwrap_or_default(),
+                        ),
+                        _ => EvalError::Internal(format!(
+                            "relation binding `{}` reported unplaceable",
+                            b.var
+                        )),
                     }
-                }
-                (_, Resolved::Nested(c)) => {
-                    EvalError::UnboundVariable(free_vars(c).into_iter().next().unwrap_or_default())
-                }
-                _ => EvalError::Internal(format!(
-                    "relation binding `{}` reported unplaceable",
-                    b.var
-                )),
+                })?;
+                let plan = Arc::new(plan);
+                cache::global_store(key, plan.clone());
+                plan
             }
-        })?;
+        };
+        self.plans.borrow_mut().insert(ctx_key, plan.clone());
+        Ok(plan)
+    }
 
-        // 4. Materialize executable steps from the plan.
+    /// Materialize executable steps from a (possibly cached) plan.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn materialize_steps<'c>(
+        &'c self,
+        bindings: &'c [Binding],
+        filters: &[&'c Predicate],
+        resolved: &[Resolved<'c>],
+        plan: &ScopePlan,
+    ) -> Result<(Vec<Ordered<'c>>, Vec<&'c Predicate>, Vec<&'c Predicate>)> {
         let mut order: Vec<Ordered<'c>> = Vec::with_capacity(plan.steps.len());
         for step in &plan.steps {
             let b = &bindings[step.binding];
@@ -506,15 +618,37 @@ impl<'a> Ctx<'a> {
                 }
             };
             order.push(Ordered {
-                var: Rc::from(b.var.as_str()),
+                var: Arc::from(b.var.as_str()),
                 source,
                 hash_plan,
                 step_filters: step.filters.iter().map(|&i| filters[i]).collect(),
-                index: std::cell::OnceCell::new(),
+                index: std::sync::OnceLock::new(),
             });
         }
         let prelude = plan.prelude_filters.iter().map(|&i| filters[i]).collect();
         let leaf = plan.leaf_filters.iter().map(|&i| filters[i]).collect();
         Ok((order, prelude, leaf))
     }
+
+    /// Resolve binding sources, fetch (or compute) the scope plan, and
+    /// turn it into executable steps.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn plan_bindings<'c>(
+        &'c self,
+        bindings: &'c [Binding],
+        filters: &[&'c Predicate],
+        env: &Env,
+    ) -> Result<(Vec<Ordered<'c>>, Vec<&'c Predicate>, Vec<&'c Predicate>)> {
+        let resolved = self.resolve_bindings(bindings)?;
+        let plan = self.scope_plan(bindings, filters, env, &resolved)?;
+        self.materialize_steps(bindings, filters, &resolved, &plan)
+    }
 }
+
+// The parallel executor shares materialized pipelines across pool
+// workers; keep that a compile-time fact.
+const _: () = {
+    const fn assert_sync<T: Sync>() {}
+    assert_sync::<Ordered<'static>>();
+    assert_sync::<Src<'static>>();
+};

@@ -1,8 +1,22 @@
 //! The evaluation-strategy seam: per-operator planning by default, with
-//! global force-overrides for the equivalence suite.
+//! global force-overrides for the equivalence suite — plus the
+//! `ARC_THREADS` parallelism knob for the partitioned executor.
 
 use crate::error::EvalError;
 use arc_plan::PlanMode;
+
+/// Parallelism for partitioned scope execution, from `ARC_THREADS`:
+/// unset/empty means sequential, `auto` (or `0`) means the machine's
+/// available parallelism, an integer pins the thread count. Every value
+/// produces bag- and order-identical results (partitioned execution
+/// merges morsels in scan order), so the whole test suite doubles as a
+/// parallel-equivalence suite under `ARC_THREADS=4 cargo test`. Parsing
+/// lives in [`arc_exec::threads`]; a malformed value surfaces as
+/// [`EvalError::Config`] on first evaluation, exactly like a malformed
+/// `ARC_EVAL_STRATEGY`.
+pub fn threads_from_env() -> Result<usize, EvalError> {
+    arc_exec::parse_threads(std::env::var("ARC_THREADS").ok().as_deref()).map_err(EvalError::Config)
+}
 
 /// How quantifier scopes are planned and enumerated.
 ///

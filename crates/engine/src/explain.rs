@@ -72,16 +72,20 @@ fn lower_err(e: LowerError) -> EvalError {
 }
 
 impl Engine<'_> {
-    /// Render the physical plan of a standalone collection as text.
+    /// Render the physical plan of a standalone collection as text. An
+    /// engine running parallel (`ARC_THREADS > 1` /
+    /// [`Engine::with_threads`]) renders the `partition(n)` operator on
+    /// each scope's partition-axis step.
     pub fn explain_collection(&self, c: &Collection) -> Result<String> {
         let mode = self.strategy()?.plan_mode();
+        let threads = self.threads()?;
         let resolver = CatalogResolver {
             catalog: self.catalog,
             defined: HashMap::new(),
             abstracts: HashMap::new(),
         };
         let plan = arc_plan::lower_collection(c, &resolver, mode).map_err(lower_err)?;
-        Ok(arc_plan::render(&plan))
+        Ok(arc_plan::render_with_threads(&plan, threads))
     }
 
     /// Render the physical plan of a whole program as text: definitions in
@@ -89,6 +93,7 @@ impl Engine<'_> {
     /// nodes), then the query.
     pub fn explain_program(&self, p: &Program) -> Result<String> {
         let mode = self.strategy()?.plan_mode();
+        let threads = self.threads()?;
         // Classify abstract definitions via the binder, mirroring
         // `materialize_definitions`.
         let bound = Binder::new().bind_program(p);
@@ -114,6 +119,6 @@ impl Engine<'_> {
             abstracts,
         };
         let plan = arc_plan::lower_program(p, &resolver, mode).map_err(lower_err)?;
-        Ok(arc_plan::render(&plan))
+        Ok(arc_plan::render_with_threads(&plan, threads))
     }
 }

@@ -83,6 +83,14 @@ impl ExternalRelation {
     }
 }
 
+// Externals cross worker threads with the scope pipeline that references
+// them — [`PatternFn`] requires `Send + Sync` for exactly this reason.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<AccessPattern>();
+    assert_send_sync::<ExternalRelation>();
+};
+
 /// A binary numeric total function lifted to a ternary external relation
 /// `(left, right, out)` with the forward pattern `(b, b, f)`.
 fn ternary_numeric(

@@ -218,6 +218,17 @@ pub fn join_key(v: &Value) -> Option<Key> {
     }
 }
 
+// The parallel executor shares relations (and the keys inside hash
+// indexes) read-only across pool workers; keep that a compile-time fact
+// so a future field can't silently break `ARC_THREADS > 1`.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Relation>();
+    assert_send_sync::<Tuple>();
+    assert_send_sync::<Value>();
+    assert_send_sync::<Key>();
+};
+
 impl fmt::Display for Relation {
     /// Render as an aligned text table (used by examples and EXPERIMENTS.md).
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

@@ -1886,6 +1886,40 @@ mod strategy_equivalence {
         assert_eq!(err, EvalError::Config(msg));
         assert!(err.to_string().contains("hash-jion"), "{err}");
     }
+
+    #[test]
+    fn threads_typo_surfaces_as_engine_error_not_panic() {
+        // Same deferred-error story for ARC_THREADS (pure parsing is
+        // tested in arc-exec; the env var itself is racy under parallel
+        // tests, so the failure is injected).
+        let msg = arc_exec::parse_threads(Some("many")).unwrap_err();
+        let catalog = join_catalog();
+        let mut engine = Engine::new(&catalog, Conventions::sql());
+        engine.set_threads_result(Err(EvalError::Config(msg.clone())));
+        let q = collection(
+            "Q",
+            &["A"],
+            exists(&[bind("r", "R")], and([assign("Q", "A", col("r", "A"))])),
+        );
+        let err = engine.eval_collection(&q).unwrap_err();
+        assert_eq!(err, EvalError::Config(msg));
+        assert!(err.to_string().contains("ARC_THREADS"), "{err}");
+        // And explain reports it too (the renderer needs the thread count
+        // for the partition(n) line).
+        assert!(engine.explain_collection(&q).is_err());
+    }
+
+    #[test]
+    fn with_threads_overrides_and_clamps() {
+        let catalog = join_catalog();
+        let e = Engine::new(&catalog, Conventions::sql()).with_threads(0);
+        assert_eq!(e.threads(), Ok(1));
+        let e = e.with_threads(8);
+        assert_eq!(e.threads(), Ok(8));
+        // An absurd count is clamped, not allowed to exhaust OS threads.
+        let e = e.with_threads(500_000);
+        assert_eq!(e.threads(), Ok(arc_exec::MAX_THREADS));
+    }
 }
 
 // ---------------------------------------------------------------------------

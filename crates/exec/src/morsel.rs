@@ -1,0 +1,173 @@
+//! Morsel-driven partitioning: split a row range into morsels, execute
+//! them across the pool, and gather per-morsel results **in morsel
+//! order** — which is what makes parallel execution deterministic: the
+//! concatenation of per-morsel outputs is exactly the output a sequential
+//! scan of the same rows would produce, regardless of which worker ran
+//! which morsel or in what real-time order they finished.
+
+use crate::pool::WorkerPool;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How many morsels each worker should get on average: small enough that
+/// a skewed morsel cannot serialize the tail, large enough that the
+/// per-morsel overhead (context fork, result slot) stays negligible.
+const MORSELS_PER_WORKER: usize = 4;
+
+/// A partitioning of `0..total` rows into fixed-size morsels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Morsels {
+    total: usize,
+    size: usize,
+}
+
+impl Morsels {
+    /// Split `total` rows for `parallelism` workers.
+    pub fn new(total: usize, parallelism: usize) -> Self {
+        let chunks = parallelism.max(1) * MORSELS_PER_WORKER;
+        Morsels {
+            total,
+            size: total.div_ceil(chunks).max(1),
+        }
+    }
+
+    /// Number of morsels (zero when there are no rows).
+    pub fn count(&self) -> usize {
+        self.total.div_ceil(self.size)
+    }
+
+    /// Row range of morsel `i`.
+    pub fn range(&self, i: usize) -> Range<usize> {
+        let lo = i * self.size;
+        lo..(lo + self.size).min(self.total)
+    }
+}
+
+/// Execute `work` once per morsel across up to `parallelism` threads of
+/// `pool` (the calling thread participates), returning the results in
+/// morsel order. Workers claim morsels from a shared counter, so load
+/// balances dynamically while the gather order stays fixed.
+pub fn run_morsels<T, F>(pool: &WorkerPool, parallelism: usize, morsels: Morsels, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, Range<usize>) -> T + Sync,
+{
+    run_morsels_with(
+        pool,
+        parallelism,
+        morsels,
+        || (),
+        |(), i, range| work(i, range),
+    )
+}
+
+/// [`run_morsels`] with **per-worker state**: `init` runs once on each
+/// participating thread (not once per morsel) and the resulting state is
+/// threaded through every morsel that thread claims. Hosts use this for
+/// state that is cheap to reuse but wasteful to rebuild per morsel —
+/// the engine forks one evaluation context (cache snapshots included)
+/// per worker instead of one per morsel.
+pub fn run_morsels_with<S, T, I, F>(
+    pool: &WorkerPool,
+    parallelism: usize,
+    morsels: Morsels,
+    init: I,
+    work: F,
+) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, Range<usize>) -> T + Sync,
+{
+    let n = morsels.count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    pool.broadcast(parallelism.min(n).max(1), &|| {
+        let mut state = init();
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            let out = work(&mut state, i, morsels.range(i));
+            *slots[i].lock().expect("morsel slot") = Some(out);
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("morsel slot")
+                .expect("barrier guarantees every morsel ran")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn morsels_cover_the_range_exactly_once() {
+        for total in [0usize, 1, 7, 64, 1000] {
+            for par in [1usize, 2, 8] {
+                let m = Morsels::new(total, par);
+                let mut covered = 0;
+                for i in 0..m.count() {
+                    let r = m.range(i);
+                    assert_eq!(r.start, covered, "gap at morsel {i}");
+                    covered = r.end;
+                }
+                assert_eq!(covered, total, "total {total} par {par}");
+            }
+        }
+    }
+
+    #[test]
+    fn results_gather_in_morsel_order() {
+        let pool = WorkerPool::new(4);
+        let rows: Vec<usize> = (0..997).collect();
+        let out = run_morsels(&pool, 4, Morsels::new(rows.len(), 4), |_, range| {
+            rows[range].to_vec()
+        });
+        let flat: Vec<usize> = out.into_iter().flatten().collect();
+        assert_eq!(flat, rows, "concatenation must equal the sequential scan");
+    }
+
+    #[test]
+    fn per_worker_state_initializes_once_per_thread() {
+        use std::sync::atomic::AtomicUsize;
+        let pool = WorkerPool::new(3);
+        let inits = AtomicUsize::new(0);
+        let out = run_morsels_with(
+            &pool,
+            4,
+            Morsels::new(1000, 4),
+            || {
+                inits.fetch_add(1, Ordering::SeqCst);
+                0usize
+            },
+            |state, _, range| {
+                *state += 1;
+                range.len()
+            },
+        );
+        assert_eq!(out.iter().sum::<usize>(), 1000);
+        let inits = inits.load(Ordering::SeqCst);
+        assert!(
+            (1..=4).contains(&inits),
+            "init ran per worker, not per morsel: {inits}"
+        );
+    }
+
+    #[test]
+    fn empty_input_yields_no_morsels() {
+        let pool = WorkerPool::new(1);
+        let out: Vec<Vec<usize>> = run_morsels(&pool, 4, Morsels::new(0, 4), |_, _| Vec::new());
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,303 @@
+//! The persistent worker pool.
+//!
+//! Workers are plain `std::thread`s parked on a shared FIFO of type-erased
+//! jobs. The pool is deliberately dumb: all scheduling intelligence
+//! (morsel sizing, partition-axis selection, merge order) lives in
+//! [`crate::morsel`] and in the engine — the pool only guarantees that a
+//! [`WorkerPool::broadcast`] call runs its task `parallelism` times
+//! concurrently and does not return until every instance has finished.
+//!
+//! ## Why the lifetime erasure is sound
+//!
+//! Queued jobs must be `'static` (worker threads outlive any borrow), but
+//! a broadcast task borrows the caller's stack: the catalog, the scope
+//! plan, the outer environment. [`WorkerPool::broadcast`] therefore
+//! erases the task's lifetime — and re-establishes safety with a strict
+//! **completion barrier**: every enqueued instance sends a completion
+//! message (normal return *and* caught panic both send), and `broadcast`
+//! receives all of them before returning. The erased borrow can never be
+//! observed after the borrowed data is gone, because `broadcast` does not
+//! return while any instance may still run. This is the same contract
+//! scoped-thread libraries implement; it lives here so the *threads*
+//! can persist across queries while the *borrows* stay scoped.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, TryRecvError};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// A type-erased unit of work queued on the pool.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// State shared between the pool handle and its worker threads.
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    /// Set by `Drop`: workers drain the queue, then exit instead of
+    /// parking (a dropped pool must not leak its threads forever).
+    closed: std::sync::atomic::AtomicBool,
+}
+
+/// A persistent pool of worker threads executing queued jobs.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    /// Worker threads spawned so far (the pool grows on demand and never
+    /// shrinks; parked workers cost one blocked OS thread each).
+    spawned: Mutex<usize>,
+}
+
+impl WorkerPool {
+    /// A pool with `workers` threads spawned up front. `broadcast` grows
+    /// the pool lazily, so `WorkerPool::new(0)` is a valid cold start.
+    pub fn new(workers: usize) -> Self {
+        let pool = WorkerPool {
+            shared: Arc::new(Shared {
+                queue: Mutex::new(VecDeque::new()),
+                available: Condvar::new(),
+                closed: std::sync::atomic::AtomicBool::new(false),
+            }),
+            spawned: Mutex::new(0),
+        };
+        pool.ensure_workers(workers);
+        pool
+    }
+
+    /// The process-wide pool. Created empty on first use; each
+    /// `broadcast` grows it to the parallelism it needs, so the pool ends
+    /// up sized to the largest `ARC_THREADS` the process has seen.
+    pub fn global() -> &'static WorkerPool {
+        static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| WorkerPool::new(0))
+    }
+
+    /// Spawn workers until at least `n` exist.
+    pub fn ensure_workers(&self, n: usize) {
+        let mut spawned = self.spawned.lock().expect("pool mutex");
+        while *spawned < n {
+            let shared = self.shared.clone();
+            std::thread::Builder::new()
+                .name(format!("arc-exec-{spawned}"))
+                .spawn(move || worker_loop(shared))
+                .expect("spawn arc-exec worker");
+            *spawned += 1;
+        }
+    }
+
+    /// Number of worker threads currently spawned.
+    pub fn workers(&self) -> usize {
+        *self.spawned.lock().expect("pool mutex")
+    }
+
+    /// Run `task` `parallelism` times concurrently — once inline on the
+    /// calling thread, the rest on pool workers — and return only when
+    /// every instance has finished. A panic in any instance is re-raised
+    /// on the caller *after* the barrier (so borrows stay sound even on
+    /// unwind). The calling thread steals queued jobs while it waits, so
+    /// nested broadcasts cannot deadlock a fully-busy pool.
+    pub fn broadcast(&self, parallelism: usize, task: &(dyn Fn() + Sync)) {
+        let helpers = parallelism.saturating_sub(1);
+        if helpers == 0 {
+            task();
+            return;
+        }
+        self.ensure_workers(helpers);
+
+        // SAFETY: the erased reference is only invoked by jobs whose
+        // completion messages are all received below before this function
+        // returns; see the module docs for the barrier argument.
+        let erased: &'static (dyn Fn() + Sync) =
+            unsafe { std::mem::transmute::<&(dyn Fn() + Sync), &'static (dyn Fn() + Sync)>(task) };
+
+        let (tx, rx) = channel::<std::thread::Result<()>>();
+        {
+            let mut queue = self.shared.queue.lock().expect("pool mutex");
+            for _ in 0..helpers {
+                let tx = tx.clone();
+                queue.push_back(Box::new(move || {
+                    let outcome = catch_unwind(AssertUnwindSafe(erased));
+                    // A dropped receiver is impossible while the barrier
+                    // below is still draining; ignore the send result so a
+                    // worker can never panic out of its loop.
+                    let _ = tx.send(outcome);
+                }));
+            }
+            self.shared.available.notify_all();
+        }
+
+        let mut panic = catch_unwind(AssertUnwindSafe(task)).err();
+
+        // Completion barrier with work-stealing: while helper instances
+        // are still pending, run other queued jobs instead of blocking,
+        // so a broadcast issued from inside a pool worker always makes
+        // progress even when every worker is busy.
+        let mut done = 0;
+        while done < helpers {
+            match rx.try_recv() {
+                Ok(outcome) => {
+                    done += 1;
+                    if let Err(p) = outcome {
+                        panic.get_or_insert(p);
+                    }
+                }
+                Err(TryRecvError::Empty) => {
+                    let stolen = self.shared.queue.lock().expect("pool mutex").pop_front();
+                    match stolen {
+                        Some(job) => job(),
+                        None => {
+                            // Nothing left to steal: our remaining
+                            // instances are running on workers; block.
+                            let outcome = rx.recv().expect("worker lost completion channel");
+                            done += 1;
+                            if let Err(p) = outcome {
+                                panic.get_or_insert(p);
+                            }
+                        }
+                    }
+                }
+                Err(TryRecvError::Disconnected) => {
+                    unreachable!("completion senders outlive the barrier")
+                }
+            }
+        }
+        if let Some(p) = panic {
+            resume_unwind(p);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    /// Wake every worker and let it exit once the queue is drained. The
+    /// global pool lives in a `static` and is never dropped; this exists
+    /// so ad-hoc pools (`WorkerPool::new`) cannot leak parked threads
+    /// for the rest of the process. In-flight `broadcast` jobs still
+    /// complete: workers only exit on an *empty* queue.
+    fn drop(&mut self) {
+        self.shared
+            .closed
+            .store(true, std::sync::atomic::Ordering::SeqCst);
+        let _guard = self.shared.queue.lock().expect("pool mutex");
+        self.shared.available.notify_all();
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("pool mutex");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if shared.closed.load(std::sync::atomic::Ordering::SeqCst) {
+                    return;
+                }
+                queue = shared.available.wait(queue).expect("pool mutex");
+            }
+        };
+        job();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn broadcast_runs_task_parallelism_times() {
+        let pool = WorkerPool::new(3);
+        let hits = AtomicUsize::new(0);
+        pool.broadcast(4, &|| {
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn broadcast_of_one_stays_inline() {
+        let pool = WorkerPool::new(0);
+        let mut side = 0;
+        let cell = std::sync::Mutex::new(&mut side);
+        pool.broadcast(1, &|| {
+            **cell.lock().unwrap() += 1;
+        });
+        assert_eq!(side, 1);
+        assert_eq!(pool.workers(), 0, "no worker needed for parallelism 1");
+    }
+
+    #[test]
+    fn broadcast_grows_the_pool_on_demand() {
+        let pool = WorkerPool::new(0);
+        pool.broadcast(3, &|| {});
+        assert!(pool.workers() >= 2);
+    }
+
+    #[test]
+    fn panics_propagate_after_the_barrier() {
+        let pool = WorkerPool::new(2);
+        let hits = AtomicUsize::new(0);
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.broadcast(3, &|| {
+                if hits.fetch_add(1, Ordering::SeqCst) == 0 {
+                    panic!("first instance dies");
+                }
+            });
+        }));
+        assert!(outcome.is_err());
+        // Every instance ran (the barrier drains all of them).
+        assert_eq!(hits.load(Ordering::SeqCst), 3);
+        // The pool survives the panic.
+        pool.broadcast(3, &|| {
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 6);
+    }
+
+    #[test]
+    fn nested_broadcast_does_not_deadlock() {
+        let pool = WorkerPool::new(1); // deliberately undersized
+        let hits = AtomicUsize::new(0);
+        pool.broadcast(2, &|| {
+            // Each outer instance broadcasts again: the stealing barrier
+            // must drain the nested jobs even with one worker.
+            WorkerPool::global().broadcast(2, &|| {
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn dropped_pool_releases_its_workers() {
+        let pool = WorkerPool::new(2);
+        let hits = AtomicUsize::new(0);
+        pool.broadcast(3, &|| {
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        let shared = Arc::downgrade(&pool.shared);
+        drop(pool);
+        // Workers exit once woken with a closed flag and an empty queue,
+        // dropping their Arc<Shared> clones.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while shared.strong_count() > 0 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(shared.strong_count(), 0, "worker threads did not exit");
+    }
+
+    #[test]
+    fn borrowed_state_is_visible_after_the_barrier() {
+        let pool = WorkerPool::new(4);
+        let data: Vec<usize> = (0..1000).collect();
+        let sum = AtomicUsize::new(0);
+        let next = AtomicUsize::new(0);
+        pool.broadcast(4, &|| loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= data.len() {
+                break;
+            }
+            sum.fetch_add(data[i], Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 1000 * 999 / 2);
+    }
+}

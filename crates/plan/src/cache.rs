@@ -1,0 +1,574 @@
+//! Plan caching: hashable scope/program keys and the global plan cache.
+//!
+//! Planning a scope is pure — the [`ScopePlan`] depends only on the scope
+//! *structure* (bindings, source shapes, filters), the statistics visible
+//! at plan time (row counts, distinct estimates), the outer-variable
+//! availability, and the [`PlanMode`]. That makes plans cacheable at two
+//! levels:
+//!
+//! * **per evaluation context** — a correlated scope re-enters the
+//!   planner once per outer row with identical inputs; the engine caches
+//!   by `(scope identity, outer-availability signature)` so the search
+//!   runs once, not once per row (the engine's cache lives on its `Ctx`;
+//!   this module supplies the signature hashing);
+//! * **globally, keyed by program hash** — repeated queries (same text,
+//!   re-parsed) hash to the same [`PlanKey`] and skip planning entirely.
+//!
+//! ## What the keys contain — and what staleness means
+//!
+//! A [`PlanKey`] covers the program hash, the scope's structural
+//! fingerprint **including row counts**, the outer signature, and the
+//! plan mode. Distinct-key *estimates* are deliberately excluded: they
+//! come from sampling relation contents, and hashing contents would cost
+//! more than planning. Consequently a cached plan can be stale in exactly
+//! one way — the data changed under an unchanged cardinality profile, so
+//! the greedy order or probe choice is no longer the one a fresh plan
+//! would pick. That is a *performance* wobble, never a correctness one:
+//! every plan of a scope is bag-equivalent by construction (ordering
+//! changes enumeration order only; probing only skips rows a filter would
+//! reject), which is the same guarantee workspace invariant 8 pins down.
+//!
+//! The hashes are 128-bit (two independent FNV-1a streams), so accidental
+//! collisions are out of the picture for any realistic cache population.
+
+use crate::physical::{PlanMode, ScopePlan};
+use crate::scope::{OuterScope, ScopeSpec, SourceSpec};
+use arc_core::ast::{AggArg, BindingSource, Collection, Formula, JoinTree, Predicate, Scalar};
+use arc_core::value::Value;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Bound on global cache entries; on overflow the cache is cleared
+/// wholesale (plans are cheap to recompute — eviction bookkeeping would
+/// cost more than the occasional refill).
+const GLOBAL_CAP: usize = 4096;
+
+// ---------------------------------------------------------------------------
+// Structural hashing
+// ---------------------------------------------------------------------------
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+/// Second stream's offset basis (any constant ≠ the FNV basis works; this
+/// is the basis xored with a fixed pattern so the streams decorrelate).
+const FNV_OFFSET_B: u64 = FNV_OFFSET ^ 0x9e37_79b9_7f4a_7c15;
+
+/// Two independent FNV-1a streams fed with the same structure walk.
+pub struct StructHasher {
+    a: u64,
+    b: u64,
+}
+
+impl StructHasher {
+    /// A fresh hasher.
+    pub fn new() -> Self {
+        StructHasher {
+            a: FNV_OFFSET,
+            b: FNV_OFFSET_B,
+        }
+    }
+
+    /// Feed raw bytes.
+    pub fn bytes(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.a = (self.a ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+            self.b = (self.b ^ u64::from(byte)).wrapping_mul(FNV_PRIME.rotate_left(1) | 1);
+        }
+    }
+
+    /// Feed a structure tag (disambiguates enum variants / list kinds).
+    pub fn tag(&mut self, tag: u8) {
+        self.bytes(&[0xfe, tag]);
+    }
+
+    /// Feed a length or index.
+    pub fn num(&mut self, n: usize) {
+        self.bytes(&(n as u64).to_le_bytes());
+    }
+
+    /// Feed a string with a terminator (so `("ab","c")` ≠ `("a","bc")`).
+    pub fn str(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+        self.bytes(&[0xff]);
+    }
+
+    /// Feed a predicate structurally (no `fmt` machinery — this runs on
+    /// the per-evaluation fast path).
+    pub fn predicate(&mut self, p: &Predicate) {
+        match p {
+            Predicate::Cmp { left, op, right } => {
+                self.tag(0x20);
+                self.scalar(left);
+                self.tag(*op as u8);
+                self.scalar(right);
+            }
+            Predicate::IsNull { expr, negated } => {
+                self.tag(0x21);
+                self.scalar(expr);
+                self.tag(u8::from(*negated));
+            }
+        }
+    }
+
+    /// Feed a scalar expression structurally.
+    pub fn scalar(&mut self, s: &Scalar) {
+        match s {
+            Scalar::Attr(a) => {
+                self.tag(0x30);
+                self.str(&a.var);
+                self.str(&a.attr);
+            }
+            Scalar::Const(v) => {
+                self.tag(0x31);
+                self.value(v);
+            }
+            Scalar::Agg(call) => {
+                self.tag(0x32);
+                self.tag(call.func as u8);
+                self.tag(u8::from(call.distinct));
+                match &call.arg {
+                    AggArg::Star => self.tag(0x33),
+                    AggArg::Expr(e) => {
+                        self.tag(0x34);
+                        self.scalar(e);
+                    }
+                }
+            }
+            Scalar::Arith { op, left, right } => {
+                self.tag(0x35);
+                self.tag(*op as u8);
+                self.scalar(left);
+                self.scalar(right);
+            }
+        }
+    }
+
+    /// Feed a constant value.
+    pub fn value(&mut self, v: &Value) {
+        match v {
+            Value::Null => self.tag(0x40),
+            Value::Bool(b) => {
+                self.tag(0x41);
+                self.tag(u8::from(*b));
+            }
+            Value::Int(i) => {
+                self.tag(0x42);
+                self.bytes(&i.to_le_bytes());
+            }
+            Value::Float(f) => {
+                self.tag(0x43);
+                self.bytes(&f.to_bits().to_le_bytes());
+            }
+            Value::Str(s) => {
+                self.tag(0x44);
+                self.str(s);
+            }
+        }
+    }
+
+    /// The 128-bit digest.
+    pub fn finish(self) -> (u64, u64) {
+        (self.a, self.b)
+    }
+
+    /// The first stream only (for single-`u64` signatures).
+    pub fn finish64(self) -> u64 {
+        self.a
+    }
+}
+
+impl Default for StructHasher {
+    fn default() -> Self {
+        StructHasher::new()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Program / scope keys
+// ---------------------------------------------------------------------------
+
+/// Structural hash of a whole collection (head + body). Two parses of the
+/// same query text produce equal hashes; this is the "program hash" the
+/// global plan cache is keyed under.
+pub fn program_hash(c: &Collection) -> u64 {
+    let mut h = StructHasher::new();
+    hash_collection(&mut h, c);
+    h.finish64()
+}
+
+/// Structural hash of a bare formula (boolean sentences).
+pub fn formula_hash(f: &Formula) -> u64 {
+    let mut h = StructHasher::new();
+    hash_formula(&mut h, f);
+    h.finish64()
+}
+
+fn hash_collection(h: &mut StructHasher, c: &Collection) {
+    h.tag(1);
+    h.str(&c.head.relation);
+    h.num(c.head.attrs.len());
+    for a in &c.head.attrs {
+        h.str(a);
+    }
+    hash_formula(h, &c.body);
+}
+
+fn hash_formula(h: &mut StructHasher, f: &Formula) {
+    match f {
+        Formula::Pred(p) => {
+            h.tag(2);
+            h.predicate(p);
+        }
+        Formula::And(fs) => {
+            h.tag(3);
+            h.num(fs.len());
+            fs.iter().for_each(|s| hash_formula(h, s));
+        }
+        Formula::Or(fs) => {
+            h.tag(4);
+            h.num(fs.len());
+            fs.iter().for_each(|s| hash_formula(h, s));
+        }
+        Formula::Not(inner) => {
+            h.tag(5);
+            hash_formula(h, inner);
+        }
+        Formula::Quant(q) => {
+            h.tag(6);
+            h.num(q.bindings.len());
+            for b in &q.bindings {
+                h.str(&b.var);
+                match &b.source {
+                    BindingSource::Named(n) => {
+                        h.tag(7);
+                        h.str(n);
+                    }
+                    BindingSource::Collection(c) => {
+                        h.tag(8);
+                        hash_collection(h, c);
+                    }
+                }
+            }
+            match &q.grouping {
+                None => h.tag(9),
+                Some(g) => {
+                    h.tag(10);
+                    h.num(g.keys.len());
+                    for k in &g.keys {
+                        h.str(&k.var);
+                        h.str(&k.attr);
+                    }
+                }
+            }
+            match &q.join {
+                None => h.tag(11),
+                Some(t) => {
+                    h.tag(12);
+                    hash_join_tree(h, t);
+                }
+            }
+            hash_formula(h, &q.body);
+        }
+    }
+}
+
+fn hash_join_tree(h: &mut StructHasher, t: &JoinTree) {
+    match t {
+        JoinTree::Var(v) => {
+            h.tag(0x50);
+            h.str(v);
+        }
+        JoinTree::Lit(v) => {
+            h.tag(0x51);
+            h.value(v);
+        }
+        JoinTree::Inner(children) => {
+            h.tag(0x52);
+            h.num(children.len());
+            children.iter().for_each(|c| hash_join_tree(h, c));
+        }
+        JoinTree::Left(l, r) => {
+            h.tag(0x53);
+            hash_join_tree(h, l);
+            hash_join_tree(h, r);
+        }
+        JoinTree::Full(l, r) => {
+            h.tag(0x54);
+            hash_join_tree(h, l);
+            hash_join_tree(h, r);
+        }
+    }
+}
+
+/// Structural fingerprint of one scope spec: bindings (variables, source
+/// shapes, **row counts**), and filters. Combined with the outer
+/// signature and mode into a [`PlanKey`].
+pub fn scope_fingerprint(spec: &ScopeSpec<'_>) -> (u64, u64) {
+    let mut h = StructHasher::new();
+    h.num(spec.bindings.len());
+    for b in &spec.bindings {
+        h.str(b.var);
+        match &b.source {
+            SourceSpec::Relation { schema, rows } => {
+                h.tag(1);
+                h.num(schema.len());
+                schema.iter().for_each(|a| h.str(a));
+                match rows {
+                    None => h.tag(2),
+                    Some(n) => {
+                        h.tag(3);
+                        h.num(*n);
+                    }
+                }
+            }
+            SourceSpec::External { schema, patterns } => {
+                h.tag(4);
+                h.num(schema.len());
+                schema.iter().for_each(|a| h.str(a));
+                h.num(patterns.len());
+                for p in patterns {
+                    h.num(p.len());
+                    p.iter().for_each(|&pos| h.num(pos));
+                }
+            }
+            SourceSpec::Abstract { attrs } => {
+                h.tag(5);
+                h.num(attrs.len());
+                attrs.iter().for_each(|a| h.str(a));
+            }
+            SourceSpec::Nested { attrs, free } => {
+                h.tag(6);
+                h.num(attrs.len());
+                attrs.iter().for_each(|a| h.str(a));
+                h.num(free.len());
+                free.iter().for_each(|v| h.str(v));
+            }
+        }
+    }
+    h.num(spec.filters.len());
+    for p in spec.filters {
+        h.predicate(p);
+    }
+    h.finish()
+}
+
+/// Hash of which referenced outer variables are visible to a scope and
+/// with what attribute schemas — the "outer-availability signature".
+///
+/// Two enumerations of the same scope under environments with equal
+/// signatures plan identically: the planner observes the outer
+/// environment *only* through `attrs(var)` lookups on the variables the
+/// scope references (filter attribute references plus nested collections'
+/// free variables), shadowed by scope locals.
+pub fn outer_signature<'x>(
+    locals: &[&str],
+    filters: &[&'x Predicate],
+    nested_free: impl Iterator<Item = &'x str>,
+    outer: &dyn OuterScope,
+) -> u64 {
+    let mut referenced: Vec<&str> = filters
+        .iter()
+        .flat_map(|p| crate::logical::pred_attr_refs(p))
+        .map(|r| r.var.as_str())
+        .chain(nested_free)
+        .filter(|v| !locals.contains(v))
+        .collect();
+    referenced.sort_unstable();
+    referenced.dedup();
+    let mut h = StructHasher::new();
+    h.num(referenced.len());
+    for var in referenced {
+        h.str(var);
+        match outer.attrs(var) {
+            None => h.tag(1),
+            Some(attrs) => {
+                h.tag(2);
+                h.num(attrs.len());
+                attrs.iter().for_each(|a| h.str(a));
+            }
+        }
+    }
+    h.finish64()
+}
+
+/// The global plan-cache key: program hash + scope fingerprint + outer
+/// signature + plan mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// [`program_hash`]/[`formula_hash`] of the enclosing top-level query.
+    pub program: u64,
+    /// [`scope_fingerprint`] of the scope being planned.
+    pub scope: (u64, u64),
+    /// [`outer_signature`] under which the scope is planned.
+    pub sig: u64,
+    /// The planning mode (force modes plan differently by design).
+    pub mode: PlanMode,
+}
+
+// ---------------------------------------------------------------------------
+// The global cache
+// ---------------------------------------------------------------------------
+
+static GLOBAL: OnceLock<Mutex<HashMap<PlanKey, Arc<ScopePlan>>>> = OnceLock::new();
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn global() -> &'static Mutex<HashMap<PlanKey, Arc<ScopePlan>>> {
+    GLOBAL.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Look up a plan in the process-wide cache.
+pub fn global_lookup(key: &PlanKey) -> Option<Arc<ScopePlan>> {
+    let found = global().lock().expect("plan cache").get(key).cloned();
+    match found {
+        Some(plan) => {
+            HITS.fetch_add(1, Ordering::Relaxed);
+            Some(plan)
+        }
+        None => {
+            MISSES.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+}
+
+/// Publish a freshly planned scope to the process-wide cache.
+pub fn global_store(key: PlanKey, plan: Arc<ScopePlan>) {
+    let mut map = global().lock().expect("plan cache");
+    if map.len() >= GLOBAL_CAP {
+        map.clear();
+    }
+    map.insert(key, plan);
+}
+
+/// Cache observability (tests and benchmarks assert against these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Global-cache lookups that found a plan.
+    pub hits: u64,
+    /// Global-cache lookups that missed.
+    pub misses: u64,
+    /// Entries currently cached.
+    pub entries: usize,
+}
+
+/// Snapshot the global cache counters.
+pub fn global_stats() -> CacheStats {
+    CacheStats {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+        entries: global().lock().expect("plan cache").len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::physical::plan_scope;
+    use crate::scope::{BindingSpec, NoOuter};
+    use arc_core::dsl::*;
+
+    fn pred(f: arc_core::ast::Formula) -> Predicate {
+        match f {
+            arc_core::ast::Formula::Pred(p) => p,
+            other => panic!("expected predicate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn program_hash_is_structural_not_positional() {
+        let a = collection(
+            "Q",
+            &["A"],
+            exists(&[bind("r", "R")], and([assign("Q", "A", col("r", "A"))])),
+        );
+        let b = collection(
+            "Q",
+            &["A"],
+            exists(&[bind("r", "R")], and([assign("Q", "A", col("r", "A"))])),
+        );
+        assert_eq!(program_hash(&a), program_hash(&b), "two equal parses");
+        let c = collection(
+            "Q",
+            &["A"],
+            exists(&[bind("r", "S")], and([assign("Q", "A", col("r", "A"))])),
+        );
+        assert_ne!(program_hash(&a), program_hash(&c), "different source");
+    }
+
+    #[test]
+    fn scope_fingerprint_sees_rows_and_filters() {
+        let schema: Vec<String> = vec!["A".into(), "B".into()];
+        let filter = pred(gt(col("r", "A"), int(3)));
+        let filters: Vec<&Predicate> = vec![&filter];
+        let spec_of = |rows: usize, fs: &'static str| -> (u64, u64) {
+            let other = pred(gt(col("r", "A"), int(4)));
+            let filters2: Vec<&Predicate> = vec![&other];
+            let spec = ScopeSpec {
+                bindings: vec![BindingSpec {
+                    var: "r",
+                    source: SourceSpec::Relation {
+                        schema: &schema,
+                        rows: Some(rows),
+                    },
+                }],
+                filters: if fs == "a" { &filters } else { &filters2 },
+                outer: &NoOuter,
+                estimator: None,
+            };
+            scope_fingerprint(&spec)
+        };
+        assert_eq!(spec_of(10, "a"), spec_of(10, "a"));
+        assert_ne!(spec_of(10, "a"), spec_of(11, "a"), "row counts differ");
+        assert_ne!(spec_of(10, "a"), spec_of(10, "b"), "filters differ");
+    }
+
+    #[test]
+    fn outer_signature_tracks_availability_and_shadowing() {
+        struct Outer(Vec<String>);
+        impl OuterScope for Outer {
+            fn attrs(&self, var: &str) -> Option<&[String]> {
+                (var == "o").then_some(self.0.as_slice())
+            }
+        }
+        let with_o = Outer(vec!["A".into()]);
+        let filter = pred(eq(col("r", "A"), col("o", "A")));
+        let filters: Vec<&Predicate> = vec![&filter];
+        let bound = outer_signature(&["r"], &filters, std::iter::empty(), &with_o);
+        let unbound = outer_signature(&["r"], &filters, std::iter::empty(), &NoOuter);
+        assert_ne!(bound, unbound, "availability must change the signature");
+        // Shadowed by a local: the outer binding is invisible either way.
+        let shadowed = outer_signature(&["r", "o"], &filters, std::iter::empty(), &with_o);
+        let shadowed2 = outer_signature(&["r", "o"], &filters, std::iter::empty(), &NoOuter);
+        assert_eq!(shadowed, shadowed2);
+    }
+
+    #[test]
+    fn global_cache_round_trips() {
+        let schema: Vec<String> = vec!["A".into()];
+        let spec = ScopeSpec {
+            bindings: vec![BindingSpec {
+                var: "r",
+                source: SourceSpec::Relation {
+                    schema: &schema,
+                    rows: Some(5),
+                },
+            }],
+            filters: &[],
+            outer: &NoOuter,
+            estimator: None,
+        };
+        let plan = Arc::new(plan_scope(&spec, PlanMode::Auto).unwrap());
+        let key = PlanKey {
+            program: 0xdead_beef,
+            scope: scope_fingerprint(&spec),
+            sig: 0,
+            mode: PlanMode::Auto,
+        };
+        assert!(global_lookup(&key).is_none());
+        global_store(key, plan.clone());
+        let cached = global_lookup(&key).expect("stored plan");
+        assert_eq!(*cached, *plan);
+    }
+}

@@ -11,8 +11,17 @@ use std::fmt::Write as _;
 
 /// Render a plan tree as indented text (trailing newline included).
 pub fn render(node: &PlanNode) -> String {
+    render_with_threads(node, 1)
+}
+
+/// Render a plan tree for an engine running `threads`-way parallel
+/// execution: the partition-axis step of each scope gains a
+/// `partition(n)` operator prefix showing its scan will be split into
+/// morsels across `n` threads. With `threads <= 1` this is exactly
+/// [`render`] (sequential engines show sequential plans).
+pub fn render_with_threads(node: &PlanNode, threads: usize) -> String {
     let mut out = String::new();
-    render_into(node, 0, &mut out);
+    render_into(node, 0, threads, &mut out);
     out
 }
 
@@ -24,32 +33,32 @@ fn line(out: &mut String, depth: usize, text: &str) {
     out.push('\n');
 }
 
-fn render_into(node: &PlanNode, depth: usize, out: &mut String) {
+fn render_into(node: &PlanNode, depth: usize, threads: usize, out: &mut String) {
     match node {
         PlanNode::Program { definitions, query } => {
             line(out, depth, "program");
             for d in definitions {
-                render_into(d, depth + 1, out);
+                render_into(d, depth + 1, threads, out);
             }
             if let Some(q) = query {
                 line(out, depth + 1, "query");
-                render_into(q, depth + 2, out);
+                render_into(q, depth + 2, threads, out);
             }
         }
         PlanNode::Fixpoint { relations, inputs } => {
             line(out, depth, &format!("fixpoint [{}]", relations.join(", ")));
             for i in inputs {
-                render_into(i, depth + 1, out);
+                render_into(i, depth + 1, threads, out);
             }
         }
         PlanNode::Project { head, attrs, input } => {
             line(out, depth, &format!("project {head}({})", attrs.join(", ")));
-            render_into(input, depth + 1, out);
+            render_into(input, depth + 1, threads, out);
         }
         PlanNode::Union { inputs } => {
             line(out, depth, "union");
             for i in inputs {
-                render_into(i, depth + 1, out);
+                render_into(i, depth + 1, threads, out);
             }
         }
         PlanNode::Aggregate {
@@ -70,7 +79,7 @@ fn render_into(node: &PlanNode, depth: usize, out: &mut String) {
             for t in tests {
                 line(out, depth + 1, &format!("having: {t}"));
             }
-            render_into(input, depth + 1, out);
+            render_into(input, depth + 1, threads, out);
         }
         PlanNode::Scope {
             steps,
@@ -84,7 +93,18 @@ fn render_into(node: &PlanNode, depth: usize, out: &mut String) {
                 line(out, depth + 1, &format!("prelude: {p}"));
             }
             for (i, s) in steps.iter().enumerate() {
-                let mut text = format!("{}: {} {} as {}", i + 1, s.access, s.source, s.var);
+                let partition = if s.partition && threads > 1 {
+                    format!("partition({threads}) ")
+                } else {
+                    String::new()
+                };
+                let mut text = format!(
+                    "{}: {partition}{} {} as {}",
+                    i + 1,
+                    s.access,
+                    s.source,
+                    s.var
+                );
                 let _ = write!(text, " (est {})", s.est);
                 line(out, depth + 1, &text);
                 for f in &s.pushed {
@@ -99,7 +119,7 @@ fn render_into(node: &PlanNode, depth: usize, out: &mut String) {
             }
             for c in children {
                 line(out, depth + 1, &format!("[{}]", c.label));
-                render_into(&c.plan, depth + 2, out);
+                render_into(&c.plan, depth + 2, threads, out);
             }
         }
         PlanNode::OuterJoin {

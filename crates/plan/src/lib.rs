@@ -15,6 +15,7 @@
 //! | [`scope`]    | planner inputs: abstract scope descriptions + statistics    |
 //! | [`logical`]  | logical passes: equality-predicate extraction               |
 //! | [`physical`] | physical plans: join ordering, access selection, pushdown   |
+//! | [`cache`]    | plan caching: hashable scope/program keys, global plan cache|
 //! | [`query`]    | whole-query plan trees (project/aggregate/scope/union/fixpoint) |
 //! | [`explain`]  | textual `EXPLAIN` rendering of plan trees                   |
 //! | [`normalize`]| structural normalization shared with `arc-analysis`         |
@@ -41,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod cache;
 pub mod explain;
 pub mod logical;
 pub mod normalize;
@@ -48,9 +50,13 @@ pub mod physical;
 pub mod query;
 pub mod scope;
 
-pub use explain::render;
+pub use cache::{formula_hash, program_hash, PlanKey};
+pub use explain::{render, render_with_threads};
 pub use normalize::{normalize_collection, normalize_formula};
-pub use physical::{plan_scope, Access, EqInput, PlanMode, ProbeKey, ScopePlan, Step};
+pub use physical::{
+    plan_scope, planner_runs, Access, EqInput, PlanMode, ProbeKey, ScopePlan, Step,
+    PARALLEL_MIN_ROWS,
+};
 pub use query::{
     lower_collection, lower_program, LowerError, PlanNode, ResolvedSource, SourceKind,
     SourceResolver,

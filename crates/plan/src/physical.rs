@@ -39,7 +39,7 @@ use std::collections::HashSet;
 /// `EvalStrategy`: the env-var force overrides pin both the join order
 /// (declaration order) and the access choice, so the whole test suite can
 /// be replayed under either fixed strategy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum PlanMode {
     /// Cost-based: greedy join ordering by estimated cardinality,
     /// per-operator hash/scan choice, predicate pushdown.
@@ -144,11 +144,29 @@ pub struct ScopePlan {
     pub leaf_filters: Vec<usize>,
 }
 
+/// Minimum estimated cardinality of an outer scan before partitioned
+/// (parallel) execution pays for its morsel bookkeeping. Small scans run
+/// sequentially even under `ARC_THREADS > 1`.
+pub const PARALLEL_MIN_ROWS: u64 = 16;
+
 impl ScopePlan {
     /// The step order as binding indices (convenience for callers that
     /// reorder their own side tables).
     pub fn binding_order(&self) -> Vec<usize> {
         self.steps.iter().map(|s| s.binding).collect()
+    }
+
+    /// The partition axis for parallel execution: the step whose scan the
+    /// executor may split into morsels, chosen by estimated cardinality.
+    /// Only the *first* step qualifies (later steps enumerate per
+    /// upstream environment, so splitting them would duplicate upstream
+    /// work), and only when it is a plain relation scan estimated at
+    /// [`PARALLEL_MIN_ROWS`] rows or more — probes, external accesses,
+    /// abstract checks, and laterals key off bound variables and are not
+    /// partitionable.
+    pub fn partition_axis(&self) -> Option<usize> {
+        let first = self.steps.first()?;
+        (first.access == Access::Scan && first.estimated_rows >= PARALLEL_MIN_ROWS).then_some(0)
     }
 }
 
@@ -159,8 +177,20 @@ struct Candidate {
     cost: f64,
 }
 
+/// Count of actual planning runs since process start (cache hits do not
+/// plan, so the delta across a workload measures cache effectiveness —
+/// the engine's plan-cache tests assert correlated scopes plan O(1)
+/// times, not once per outer row).
+static PLANNER_RUNS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Total [`plan_scope`] invocations so far in this process.
+pub fn planner_runs() -> u64 {
+    PLANNER_RUNS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 /// Plan one quantifier scope. See the module docs for the pass pipeline.
 pub fn plan_scope(spec: &ScopeSpec<'_>, mode: PlanMode) -> Result<ScopePlan, PlanError> {
+    PLANNER_RUNS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let edges = extract_equalities(spec.filters);
     let locals: HashSet<&str> = spec.bindings.iter().map(|b| b.var).collect();
 

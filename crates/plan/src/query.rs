@@ -86,6 +86,11 @@ pub struct StepNode {
     pub pushed: Vec<String>,
     /// Estimated rows contributed per upstream environment.
     pub est: u64,
+    /// True when this step is the scope's partition axis (see
+    /// [`ScopePlan::partition_axis`]): under parallel execution its scan
+    /// is split into morsels. Rendered as a `partition(n)` prefix by
+    /// [`crate::explain::render_with_threads`] when `n > 1`.
+    pub partition: bool,
 }
 
 /// A labeled child subplan of a scope (laterals, spines, quantified
@@ -582,10 +587,12 @@ fn render_scope(
     head: &str,
 ) -> PlanNode {
     let render_filter = |i: &usize| parts.filters[*i].to_string();
+    let axis = plan.partition_axis();
     let steps = plan
         .steps
         .iter()
-        .map(|s| {
+        .enumerate()
+        .map(|(step_idx, s)| {
             let b = &q.bindings[s.binding];
             let source = match &b.source {
                 BindingSource::Named(n) => n.clone(),
@@ -610,6 +617,7 @@ fn render_scope(
                 access,
                 pushed: s.filters.iter().map(render_filter).collect(),
                 est: s.estimated_rows,
+                partition: axis == Some(step_idx),
             }
         })
         .collect();

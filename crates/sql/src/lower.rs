@@ -33,6 +33,10 @@ pub enum LowerError {
     AmbiguousColumn(String),
     /// The construct falls outside the supported subset.
     Unsupported(String),
+    /// A lowering invariant was violated (a bug in the lowerer). Surfaced
+    /// as an error instead of a panic so malformed SQL can never abort
+    /// the host process.
+    Internal(String),
 }
 
 impl fmt::Display for LowerError {
@@ -42,6 +46,7 @@ impl fmt::Display for LowerError {
             LowerError::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
             LowerError::AmbiguousColumn(c) => write!(f, "ambiguous column `{c}`"),
             LowerError::Unsupported(msg) => write!(f, "unsupported SQL: {msg}"),
+            LowerError::Internal(msg) => write!(f, "internal SQL lowering error: {msg}"),
         }
     }
 }
@@ -169,15 +174,7 @@ impl<'s> Lowerer<'s> {
             join_parts.push(part);
         }
 
-        let join = if has_outer {
-            Some(if join_parts.len() == 1 {
-                join_parts.pop().expect("len 1")
-            } else {
-                JoinTree::Inner(join_parts)
-            })
-        } else {
-            None
-        };
+        let join = self.join_annotation(has_outer, join_parts)?;
 
         // 2. Head attributes.
         let mut attrs: Vec<String> = Vec::new();
@@ -284,7 +281,7 @@ impl<'s> Lowerer<'s> {
                     .cloned()
                     .ok_or_else(|| LowerError::UnknownTable(name.clone()))?;
                 bindings.push(Binding::named(var.clone(), name.clone()));
-                self.register(var.clone(), attrs.clone());
+                self.register(var.clone(), attrs.clone())?;
                 scope_vars.push((var.clone(), attrs));
                 Ok(JoinTree::Var(var))
             }
@@ -293,7 +290,7 @@ impl<'s> Lowerer<'s> {
                 let sub = self.query(query, &head_name, None)?;
                 let attrs = sub.head.attrs.clone();
                 bindings.push(Binding::nested(alias.clone(), sub));
-                self.register(alias.clone(), attrs.clone());
+                self.register(alias.clone(), attrs.clone())?;
                 scope_vars.push((alias.clone(), attrs));
                 Ok(JoinTree::Var(alias.clone()))
             }
@@ -363,12 +360,32 @@ impl<'s> Lowerer<'s> {
         }
     }
 
-    fn register(&mut self, var: String, attrs: Vec<String>) {
+    /// Fold FROM-element join parts into the quantifier's join annotation
+    /// (`None` when no outer join occurred).
+    fn join_annotation(
+        &self,
+        has_outer: bool,
+        mut join_parts: Vec<JoinTree>,
+    ) -> Result<Option<JoinTree>, LowerError> {
+        if !has_outer {
+            return Ok(None);
+        }
+        Ok(Some(if join_parts.len() == 1 {
+            join_parts.pop().ok_or_else(|| {
+                LowerError::Internal("outer join annotation with no FROM parts".into())
+            })?
+        } else {
+            JoinTree::Inner(join_parts)
+        }))
+    }
+
+    fn register(&mut self, var: String, attrs: Vec<String>) -> Result<(), LowerError> {
         self.scopes
             .last_mut()
-            .expect("scope stack non-empty")
+            .ok_or_else(|| LowerError::Internal("variable registered outside any scope".into()))?
             .vars
             .push((var, attrs));
+        Ok(())
     }
 
     /// Replace scalar subqueries inside a select-item expression with
@@ -384,7 +401,7 @@ impl<'s> Lowerer<'s> {
                 let (collection, attr) = self.scalar_collection(q)?;
                 let attrs = collection.head.attrs.clone();
                 bindings.push(Binding::nested(var.clone(), collection));
-                self.register(var.clone(), attrs);
+                self.register(var.clone(), attrs)?;
                 SqlExpr::Column {
                     table: Some(var),
                     column: attr,
@@ -575,15 +592,7 @@ impl<'s> Lowerer<'s> {
             )?;
             join_parts.push(part);
         }
-        let join = if has_outer {
-            Some(if join_parts.len() == 1 {
-                join_parts.pop().expect("len 1")
-            } else {
-                JoinTree::Inner(join_parts)
-            })
-        } else {
-            None
-        };
+        let join = self.join_annotation(has_outer, join_parts)?;
 
         let mut conjuncts = Vec::new();
         for cond in &on_conds {

@@ -62,7 +62,13 @@ proptest! {
 #[test]
 fn explain_eq1_golden() {
     let catalog = fx::rs_catalog(64);
-    let engine = Engine::new(&catalog, Conventions::sql()).with_strategy(EvalStrategy::Planned);
+    // `with_threads(1)`: the sequential plan rendering is the golden —
+    // parallel engines add `partition(n)` prefixes (covered by
+    // `explain_partition_golden` in `parallel_equivalence.rs`), and the
+    // goldens must not depend on the ambient `ARC_THREADS`.
+    let engine = Engine::new(&catalog, Conventions::sql())
+        .with_strategy(EvalStrategy::Planned)
+        .with_threads(1);
     let plan = engine.explain_collection(&fx::eq1()).unwrap();
     let expected = "\
 project Q(A)
@@ -79,7 +85,9 @@ project Q(A)
 #[test]
 fn explain_eq3_golden() {
     let catalog = fx::grouped_catalog(64, 8);
-    let engine = Engine::new(&catalog, Conventions::set()).with_strategy(EvalStrategy::Planned);
+    let engine = Engine::new(&catalog, Conventions::set())
+        .with_strategy(EvalStrategy::Planned)
+        .with_threads(1);
     let plan = engine.explain_collection(&fx::eq3()).unwrap();
     let expected = "\
 project Q(A, sm)
@@ -97,7 +105,9 @@ project Q(A, sm)
 #[test]
 fn explain_eq16_golden() {
     let catalog = arc_analysis::chain_catalog(16, 0, 3);
-    let engine = Engine::new(&catalog, Conventions::set()).with_strategy(EvalStrategy::Planned);
+    let engine = Engine::new(&catalog, Conventions::set())
+        .with_strategy(EvalStrategy::Planned)
+        .with_threads(1);
     let plan = engine.explain_program(&fx::eq16()).unwrap();
     let expected = "\
 program
