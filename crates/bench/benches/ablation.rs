@@ -14,7 +14,10 @@
 //!   boundaries);
 //! * **sequential vs. partitioned parallel** execution (`arc-exec`):
 //!   the same planned pipeline scattered across 1/2/4/8 pool workers on
-//!   scan-heavy fixtures — the `parallel` series of `BENCH_eval.json`.
+//!   scan-heavy fixtures — the `parallel` series of `BENCH_eval.json`;
+//! * **statistics on vs. off** (`arc-stats` cost model v2): the skewed
+//!   range-filtered join where an `ANALYZE`d catalog flips the join
+//!   order/access path, plus the cost of the `ANALYZE` pass itself.
 
 use arc_bench::fixtures as fx;
 use arc_core::conventions::Conventions;
@@ -172,9 +175,38 @@ fn sequential_vs_parallel(c: &mut Criterion) {
     g.finish();
 }
 
+/// Cost model v2: the skewed fixture (`R` scaled, unique `A`, narrow
+/// range filter; fixed 64-row `S`) evaluated with an `ANALYZE`d catalog
+/// vs. a statistics-free one. With statistics the planner scans the
+/// filtered `R` first and probes `S` (workspace invariant 10's companion
+/// test pins the flip); without, it scans all of `S` and probes `R`. The
+/// `analyze` series prices the ANALYZE pass itself (sketches, histograms,
+/// MCVs for both relations).
+fn stats_on_vs_off(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_stats");
+    for n in [1024usize, 4096, 16384] {
+        let q = fx::eq1_range(n);
+        let mut with_stats = fx::stats_skew_catalog(n);
+        with_stats.analyze();
+        let mut without = fx::stats_skew_catalog(n);
+        without.clear_stats();
+        for (name, catalog) in [("stats_on", &with_stats), ("stats_off", &without)] {
+            g.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                let engine = Engine::new(catalog, Conventions::sql());
+                b.iter(|| black_box(engine.eval_collection(&q).unwrap().len()));
+            });
+        }
+        g.bench_with_input(BenchmarkId::new("analyze", n), &n, |b, _| {
+            let mut catalog = fx::stats_skew_catalog(n);
+            b.iter(|| black_box(catalog.analyze()));
+        });
+    }
+    g.finish();
+}
+
 criterion_group! {
     name = ablation;
     config = configured();
-    targets = nested_loop_vs_hash_join, naive_vs_semi_naive, fio_vs_foi_cost, inline_vs_reified, set_vs_bag, sequential_vs_parallel
+    targets = nested_loop_vs_hash_join, naive_vs_semi_naive, fio_vs_foi_cost, inline_vs_reified, set_vs_bag, sequential_vs_parallel, stats_on_vs_off
 }
 criterion_main!(ablation);

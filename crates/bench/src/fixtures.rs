@@ -219,6 +219,34 @@ pub fn arith_catalog(n: usize, k: usize) -> Catalog {
     Catalog::new().with(r).with(s).with(t)
 }
 
+/// The statistics-ablation workload: `R(A,B)` with `n` rows (`A` unique,
+/// `B = A mod 8`) joined to a fixed 64-row `S(B,C)`. Combined with
+/// [`eq1_range`]'s narrow range predicate on `R.A`, only an `ANALYZE`d
+/// catalog can see that the big scan shrinks to a handful of rows — the
+/// fixture where cost model v2 demonstrably flips the join order and the
+/// access path (pinned by workspace invariant 10's companion test).
+pub fn stats_skew_catalog(n: usize) -> Catalog {
+    let mut r = Relation::new("R", &["A", "B"]);
+    for i in 0..n {
+        r.push(vec![(i as i64).into(), ((i % 8) as i64).into()]);
+    }
+    let mut s = Relation::new("S", &["B", "C"]);
+    for i in 0..64 {
+        s.push(vec![((i % 8) as i64).into(), ((i % 4) as i64).into()]);
+    }
+    Catalog::new().with(r).with(s)
+}
+
+/// Eq (1)'s join shape with the constant filter turned into a narrow
+/// range on the big relation: `r.A > n - 8` keeps 7 of `n` rows. Pairs
+/// with [`stats_skew_catalog`].
+pub fn eq1_range(n: usize) -> Collection {
+    q(&format!(
+        "{{Q(A) | ∃r ∈ R, s ∈ S [Q.A = r.A ∧ r.B = s.B ∧ r.A > {}]}}",
+        n - 8
+    ))
+}
+
 /// Employees/departments (Figs 6–8): `n` employees over `depts` departments.
 pub fn dept_catalog(n: usize, depts: usize) -> Catalog {
     let mut r = Relation::new("R", &["empl", "dept"]);

@@ -129,6 +129,25 @@ impl Value {
             Value::Str(s) => Key::Str(s.clone()),
         }
     }
+
+    /// This value's hash key for *equi-join* purposes, or `None` when the
+    /// value can never satisfy an equality predicate (`NULL` compares as
+    /// `Unknown`; a float `NaN` is incomparable even to itself), so
+    /// indexing/probing/counting with it must produce no matches.
+    ///
+    /// This is the **one** place join-key semantics live: the engine's
+    /// hash-join executor builds its indexes with it and the statistics
+    /// subsystem (`arc-stats`) counts distinct keys with it, so the two
+    /// can never disagree on what "equal" means. Unlike [`Value::key`]
+    /// (grouping: NULLs group together, NaNs are self-equal), the join
+    /// view excludes both.
+    pub fn join_key(&self) -> Option<Key> {
+        match self {
+            Value::Null => None,
+            Value::Float(f) if f.is_nan() => None,
+            other => Some(other.key()),
+        }
+    }
 }
 
 impl PartialEq for Value {

@@ -1,4 +1,4 @@
-//! The catalog: base relations + external relations.
+//! The catalog: base relations + external relations + column statistics.
 //!
 //! Mirrors the paper's Fig 14 taxonomy: **base relations** are extensional
 //! (stored here); **intensional relations** come from [`Program`]
@@ -7,18 +7,50 @@
 //! (§2.13.2) are definitions the engine checks in context rather than
 //! materializes.
 //!
+//! ## Statistics
+//!
+//! Each base relation can carry [`TableStats`] — the `arc-stats` sketches
+//! (distinct counters, equi-depth histograms, MCV lists) that back the
+//! planner's cost model v2. Registration **auto-analyzes** relations at
+//! or above [`AUTO_ANALYZE_MIN_ROWS`] rows unless `ARC_STATS=off`;
+//! [`Catalog::analyze`] is the explicit `ANALYZE` pass (every relation,
+//! regardless of size or environment). Every statistics change bumps the
+//! catalog's **epoch** from a process-wide counter — the plan caches fold
+//! the epoch into their keys, so a re-`ANALYZE` invalidates exactly the
+//! cached plans the new statistics could have shaped.
+//!
 //! [`Program`]: arc_core::ast::Program
 
 use crate::external::{standard_externals, ExternalRelation};
 use crate::relation::Relation;
 use arc_core::binder::SchemaMap;
+use arc_stats::TableStats;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-/// A database: named base relations plus external relations.
+/// Registration auto-analyzes relations with at least this many rows
+/// (aligned with the planner's parallel-partition threshold: relations
+/// below it can't mislead the optimizer far enough to matter, and test
+/// fixtures stay cheap to build).
+pub const AUTO_ANALYZE_MIN_ROWS: usize = 16;
+
+/// Process-wide epoch source: every statistics change on any catalog
+/// draws a fresh value, so two catalogs can never share an epoch and the
+/// global plan cache can't serve one catalog's statistics-shaped plan to
+/// another.
+static NEXT_EPOCH: AtomicU64 = AtomicU64::new(1);
+
+/// A database: named base relations, external relations, and per-relation
+/// column statistics.
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
     relations: HashMap<String, Relation>,
     externals: HashMap<String, ExternalRelation>,
+    stats: HashMap<String, Arc<TableStats>>,
+    /// Statistics epoch: `0` until the first statistics change, then a
+    /// process-unique value per change.
+    epoch: u64,
 }
 
 impl Catalog {
@@ -31,13 +63,30 @@ impl Catalog {
     /// (`Minus`, `Add`, `*`, `Div`, `Bigger`, `>`, `Concat`).
     pub fn with_standard_externals() -> Self {
         Catalog {
-            relations: HashMap::new(),
             externals: standard_externals(),
+            ..Catalog::default()
         }
     }
 
     /// Insert (or replace) a base relation, keyed by its name.
+    ///
+    /// Stale statistics for a replaced relation are dropped; relations of
+    /// [`AUTO_ANALYZE_MIN_ROWS`] rows or more are analyzed on the spot
+    /// unless `ARC_STATS=off` (the escape hatch disables *automatic*
+    /// collection only — [`Catalog::analyze`] always works).
     pub fn add(&mut self, relation: Relation) -> &mut Self {
+        let had_stats = self.stats.remove(&relation.name).is_some();
+        let analyzed =
+            relation.len() >= AUTO_ANALYZE_MIN_ROWS && arc_stats::stats_enabled_from_env();
+        if analyzed {
+            self.stats.insert(
+                relation.name.clone(),
+                Arc::new(TableStats::analyze(relation.arity(), &relation.rows)),
+            );
+        }
+        if had_stats || analyzed {
+            self.bump_epoch();
+        }
         self.relations.insert(relation.name.clone(), relation);
         self
     }
@@ -52,6 +101,45 @@ impl Catalog {
     pub fn add_external(&mut self, ext: ExternalRelation) -> &mut Self {
         self.externals.insert(ext.name.clone(), ext);
         self
+    }
+
+    /// The explicit `ANALYZE` pass: (re)compute statistics for **every**
+    /// base relation, regardless of size or the `ARC_STATS` setting, and
+    /// bump the statistics epoch (invalidating cached plans). Returns the
+    /// number of relations analyzed.
+    pub fn analyze(&mut self) -> usize {
+        for rel in self.relations.values() {
+            self.stats.insert(
+                rel.name.clone(),
+                Arc::new(TableStats::analyze(rel.arity(), &rel.rows)),
+            );
+        }
+        self.bump_epoch();
+        self.relations.len()
+    }
+
+    /// Drop all statistics (and bump the epoch): the catalog plans like a
+    /// never-analyzed one — the deterministic test hook behind the
+    /// stats-on/off ablations and workspace invariant 10.
+    pub fn clear_stats(&mut self) -> &mut Self {
+        self.stats.clear();
+        self.bump_epoch();
+        self
+    }
+
+    /// Statistics for a base relation, when an analyze pass has run.
+    pub fn stats(&self, name: &str) -> Option<&Arc<TableStats>> {
+        self.stats.get(name)
+    }
+
+    /// The statistics epoch: `0` until the first statistics change, then
+    /// a process-unique value per change. Plan-cache keys incorporate it.
+    pub fn stats_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn bump_epoch(&mut self) {
+        self.epoch = NEXT_EPOCH.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Look up a base relation.
@@ -116,5 +204,77 @@ mod tests {
         let m = c.schema_map();
         assert_eq!(m["R"], vec!["A".to_string(), "B".to_string()]);
         assert_eq!(m["Minus"], vec!["left", "right", "out"]);
+    }
+
+    fn big_rel(name: &str, n: i64) -> Relation {
+        let mut r = Relation::new(name, &["A"]);
+        for i in 0..n {
+            r.push(vec![(i % 5).into()]);
+        }
+        r
+    }
+
+    #[test]
+    fn explicit_analyze_covers_small_relations_and_bumps_epoch() {
+        let mut c = Catalog::new();
+        c.add(Relation::from_ints("Tiny", &["A"], &[&[1], &[2]]));
+        assert!(c.stats("Tiny").is_none(), "below the auto threshold");
+        let before = c.stats_epoch();
+        assert_eq!(c.analyze(), 1);
+        assert!(c.stats_epoch() > before, "ANALYZE must bump the epoch");
+        let ts = c.stats("Tiny").expect("explicit ANALYZE ignores size");
+        assert_eq!(ts.rows, 2);
+        assert_eq!(ts.columns[0].distinct, 2);
+    }
+
+    #[test]
+    fn auto_analyze_triggers_at_the_threshold() {
+        // The auto path consults ARC_STATS; the suite runs under both
+        // settings, so assert the setting-conditional behavior.
+        let mut c = Catalog::new();
+        c.add(big_rel("Big", AUTO_ANALYZE_MIN_ROWS as i64));
+        if arc_stats::stats_enabled_from_env() {
+            let ts = c.stats("Big").expect("auto-analyzed at the threshold");
+            assert_eq!(ts.rows, AUTO_ANALYZE_MIN_ROWS as u64);
+            assert_eq!(ts.columns[0].distinct, 5);
+        } else {
+            assert!(c.stats("Big").is_none(), "ARC_STATS=off disables auto");
+        }
+    }
+
+    #[test]
+    fn replacing_a_relation_drops_stale_stats() {
+        let mut c = Catalog::new();
+        c.add(big_rel("R", 64));
+        c.analyze();
+        let epoch = c.stats_epoch();
+        // Replace with a below-threshold relation: stats must not survive
+        // (they describe rows that no longer exist), epoch must move.
+        c.add(Relation::from_ints("R", &["A"], &[&[1]]));
+        assert!(c.stats("R").is_none());
+        assert!(c.stats_epoch() > epoch);
+    }
+
+    #[test]
+    fn clear_stats_restores_the_unanalyzed_profile() {
+        let mut c = Catalog::new();
+        c.add(big_rel("R", 64));
+        c.analyze();
+        assert!(c.stats("R").is_some());
+        let epoch = c.stats_epoch();
+        c.clear_stats();
+        assert!(c.stats("R").is_none());
+        assert!(c.stats_epoch() > epoch);
+    }
+
+    #[test]
+    fn epochs_are_process_unique_across_catalogs() {
+        let mut a = Catalog::new();
+        let mut b = Catalog::new();
+        a.add(big_rel("R", 4));
+        b.add(big_rel("R", 4));
+        a.analyze();
+        b.analyze();
+        assert_ne!(a.stats_epoch(), b.stats_epoch());
     }
 }

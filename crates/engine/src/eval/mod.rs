@@ -256,7 +256,7 @@ pub(crate) struct Ctx<'a> {
     /// feeding the planner's greedy join ordering.
     pub(crate) distinct_estimates: RefCell<HashMap<(usize, Vec<usize>), usize>>,
     /// Per-query plan cache keyed by (binding-list address, outer
-    /// signature) — the fast path in front of the global plan cache (see
-    /// `Ctx::scope_plan`).
-    pub(crate) plans: RefCell<HashMap<(usize, u64), Arc<ScopePlan>>>,
+    /// signature, statistics epoch) — the fast path in front of the
+    /// global plan cache (see `Ctx::scope_plan`).
+    pub(crate) plans: RefCell<HashMap<(usize, u64, u64), Arc<ScopePlan>>>,
 }

@@ -51,7 +51,7 @@ pub(crate) struct WorkerSeed<'a> {
     abstracts: &'a HashMap<String, Collection>,
     join_indexes: HashMap<(usize, Vec<usize>), Arc<HashIndex>>,
     distinct_estimates: HashMap<(usize, Vec<usize>), usize>,
-    plans: HashMap<(usize, u64), Arc<ScopePlan>>,
+    plans: HashMap<(usize, u64, u64), Arc<ScopePlan>>,
 }
 
 impl<'a> WorkerSeed<'a> {

@@ -162,15 +162,39 @@ impl OuterScope for EnvOuter<'_> {
     }
 }
 
-/// Live distinct-key statistics for the planner, backed by the per-query
-/// cache on [`Ctx`].
+/// Live statistics for the planner: catalog `ANALYZE` sketches first
+/// (cost model v2 — correlation-capped distinct counts, MCV/histogram
+/// selectivities), then the per-query prefix-sample cache on [`Ctx`] as
+/// the distinct-count fallback for sources without statistics
+/// (intensional results, small un-analyzed relations).
 struct CtxEstimator<'a, 'b> {
     ctx: &'a Ctx<'a>,
     resolved: &'b [Resolved<'a>],
 }
 
+impl CtxEstimator<'_, '_> {
+    /// Catalog statistics for a binding — only when the binding actually
+    /// resolved to the catalog's relation (a same-named materialized
+    /// definition shadows it, and the catalog's sketches describe the
+    /// wrong rows then).
+    fn table_stats(&self, binding: usize) -> Option<&std::sync::Arc<arc_stats::TableStats>> {
+        let Resolved::Rel(rel) = &self.resolved[binding] else {
+            return None;
+        };
+        let stats = self.ctx.catalog.stats(&rel.name)?;
+        self.ctx
+            .catalog
+            .relation(&rel.name)
+            .is_some_and(|r| std::ptr::eq(r, *rel))
+            .then_some(stats)
+    }
+}
+
 impl DistinctEstimator for CtxEstimator<'_, '_> {
     fn distinct(&self, binding: usize, cols: &[usize]) -> Option<usize> {
+        if let Some(stats) = self.table_stats(binding) {
+            return Some(stats.distinct_cols(cols) as usize);
+        }
         let Resolved::Rel(rel) = &self.resolved[binding] else {
             return None;
         };
@@ -181,6 +205,21 @@ impl DistinctEstimator for CtxEstimator<'_, '_> {
         let d = rel.distinct_estimate(cols, DISTINCT_SAMPLE);
         self.ctx.distinct_estimates.borrow_mut().insert(key, d);
         Some(d)
+    }
+
+    fn selectivity(
+        &self,
+        binding: usize,
+        col: usize,
+        op: arc_core::ast::CmpOp,
+        value: &arc_core::value::Value,
+    ) -> Option<f64> {
+        self.table_stats(binding)?.selectivity(col, op, value)
+    }
+
+    fn null_fraction(&self, binding: usize, col: usize) -> Option<f64> {
+        let stats = self.table_stats(binding)?;
+        Some(1.0 - stats.columns.get(col)?.non_null_fraction())
     }
 }
 
@@ -474,7 +513,16 @@ impl<'a> Ctx<'a> {
             frees.iter().flatten().map(String::as_str),
             &outer,
         );
-        let ctx_key = (bindings.as_ptr() as usize, sig);
+        // The statistics epoch rides in both cache keys. The *global*
+        // key is where it carries the invalidation guarantee (a
+        // post-`ANALYZE` evaluation re-plans instead of serving a plan
+        // shaped by the old statistics — `tests/plan_cache.rs` phase 5);
+        // in the per-`Ctx` key it is constant today (the catalog borrow
+        // is immutable for the `Ctx` lifetime, and the map dies with the
+        // evaluation) — kept only so the two key shapes stay in lockstep
+        // if a context ever outlives a statistics change.
+        let epoch = self.catalog.stats_epoch();
+        let ctx_key = (bindings.as_ptr() as usize, sig, epoch);
         if let Some(plan) = self.plans.borrow().get(&ctx_key) {
             return Ok(plan.clone());
         }
@@ -520,6 +568,7 @@ impl<'a> Ctx<'a> {
             program: self.program,
             scope: cache::scope_fingerprint(&spec),
             sig,
+            epoch,
             mode: self.strategy.plan_mode(),
         };
         let plan = match cache::global_lookup(&key) {

@@ -34,6 +34,7 @@ impl SourceResolver for CatalogResolver<'_> {
                 schema: attrs.clone(),
                 rows: None,
                 patterns: Vec::new(),
+                stats: None,
             });
         }
         if let Some(rel) = self.catalog.relation(name) {
@@ -42,6 +43,9 @@ impl SourceResolver for CatalogResolver<'_> {
                 schema: rel.schema.clone(),
                 rows: Some(rel.rows.len()),
                 patterns: Vec::new(),
+                // ANALYZE sketches, when present: EXPLAIN's `est=N` then
+                // matches what the evaluator's planner would estimate.
+                stats: self.catalog.stats(name).cloned(),
             });
         }
         if let Some(attrs) = self.abstracts.get(name) {
@@ -50,6 +54,7 @@ impl SourceResolver for CatalogResolver<'_> {
                 schema: attrs.clone(),
                 rows: None,
                 patterns: Vec::new(),
+                stats: None,
             });
         }
         if let Some(ext) = self.catalog.external(name) {
@@ -58,6 +63,7 @@ impl SourceResolver for CatalogResolver<'_> {
                 schema: ext.schema.clone(),
                 rows: None,
                 patterns: ext.patterns.iter().map(|p| p.bound.clone()).collect(),
+                stats: None,
             });
         }
         None

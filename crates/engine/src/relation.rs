@@ -209,13 +209,11 @@ impl Relation {
 /// A value's hash key for equi-join purposes, or `None` when the value can
 /// never satisfy an equality predicate. `Value::key()` normalizes integral
 /// floats to integer keys, so key equality coincides exactly with
-/// `compare(..) == Equal` for the remaining values.
+/// `compare(..) == Equal` for the remaining values. Delegates to
+/// [`Value::join_key`] — the semantics live in `arc-core` so the
+/// statistics subsystem counts with the same rule.
 pub fn join_key(v: &Value) -> Option<Key> {
-    match v {
-        Value::Null => None,
-        Value::Float(f) if f.is_nan() => None,
-        other => Some(other.key()),
-    }
+    v.join_key()
 }
 
 // The parallel executor shares relations (and the keys inside hash

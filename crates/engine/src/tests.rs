@@ -2158,7 +2158,7 @@ mod planned_pipeline {
         // EXPLAIN must not error and must plan the query over the defined
         // relation (unknown rows → default estimate, not the catalog's 1).
         let plan = engine.explain_program(&program).unwrap();
-        assert!(plan.contains("scan R as r (est 32)"), "{plan}");
+        assert!(plan.contains("scan R as r (est=32)"), "{plan}");
     }
 
     #[test]

@@ -17,11 +17,13 @@
 //! ## What the keys contain — and what staleness means
 //!
 //! A [`PlanKey`] covers the program hash, the scope's structural
-//! fingerprint **including row counts**, the outer signature, and the
-//! plan mode. Distinct-key *estimates* are deliberately excluded: they
-//! come from sampling relation contents, and hashing contents would cost
-//! more than planning. Consequently a cached plan can be stale in exactly
-//! one way — the data changed under an unchanged cardinality profile, so
+//! fingerprint **including row counts**, the outer signature, the
+//! catalog's **statistics epoch**, and the plan mode. Sketch *contents*
+//! are deliberately excluded — hashing them would cost more than planning
+//! — but every `ANALYZE` bumps the epoch from a process-wide counter, so
+//! statistics changes invalidate exactly the plans they could have
+//! shaped. Consequently a cached plan can be stale in exactly one way —
+//! un-analyzed data changed under an unchanged cardinality profile, so
 //! the greedy order or probe choice is no longer the one a fresh plan
 //! would pick. That is a *performance* wobble, never a correctness one:
 //! every plan of a scope is bag-equivalent by construction (ordering
@@ -393,7 +395,7 @@ pub fn outer_signature<'x>(
 }
 
 /// The global plan-cache key: program hash + scope fingerprint + outer
-/// signature + plan mode.
+/// signature + statistics epoch + plan mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PlanKey {
     /// [`program_hash`]/[`formula_hash`] of the enclosing top-level query.
@@ -402,6 +404,13 @@ pub struct PlanKey {
     pub scope: (u64, u64),
     /// [`outer_signature`] under which the scope is planned.
     pub sig: u64,
+    /// The catalog's statistics epoch at plan time. Every `ANALYZE` (or
+    /// statistics drop) bumps the epoch from a process-wide counter, so a
+    /// re-`ANALYZE` invalidates cached plans without hashing the sketches
+    /// themselves — and two distinct analyzed catalogs can never share an
+    /// epoch, so their statistics-driven plans can't cross-pollute. `0`
+    /// means "no statistics have ever been attached".
+    pub epoch: u64,
     /// The planning mode (force modes plan differently by design).
     pub mode: PlanMode,
 }
@@ -564,6 +573,7 @@ mod tests {
             program: 0xdead_beef,
             scope: scope_fingerprint(&spec),
             sig: 0,
+            epoch: 0,
             mode: PlanMode::Auto,
         };
         assert!(global_lookup(&key).is_none());

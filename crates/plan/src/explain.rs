@@ -105,7 +105,7 @@ fn render_into(node: &PlanNode, depth: usize, threads: usize, out: &mut String) 
                     s.source,
                     s.var
                 );
-                let _ = write!(text, " (est {})", s.est);
+                let _ = write!(text, " (est={})", s.est);
                 line(out, depth + 1, &text);
                 for f in &s.pushed {
                     line(out, depth + 2, &format!("filter: {f}"));

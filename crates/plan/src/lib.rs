@@ -13,6 +13,7 @@
 //! |--------------|-------------------------------------------------------------|
 //! | [`analysis`] | scope-body analysis: predicate roles, free variables        |
 //! | [`scope`]    | planner inputs: abstract scope descriptions + statistics    |
+//! | [`estimator`]| cost model v2: `ANALYZE` sketches answering cardinalities   |
 //! | [`logical`]  | logical passes: equality-predicate extraction               |
 //! | [`physical`] | physical plans: join ordering, access selection, pushdown   |
 //! | [`cache`]    | plan caching: hashable scope/program keys, global plan cache|
@@ -43,6 +44,7 @@
 
 pub mod analysis;
 pub mod cache;
+pub mod estimator;
 pub mod explain;
 pub mod logical;
 pub mod normalize;
@@ -51,6 +53,7 @@ pub mod query;
 pub mod scope;
 
 pub use cache::{formula_hash, program_hash, PlanKey};
+pub use estimator::TableStatsEstimator;
 pub use explain::{render, render_with_threads};
 pub use normalize::{normalize_collection, normalize_formula};
 pub use physical::{

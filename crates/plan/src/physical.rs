@@ -6,7 +6,13 @@
 //! 2. **join ordering** — greedy by estimated cardinality under
 //!    [`PlanMode::Auto`], declaration order under the force modes (which
 //!    exist so the engine's strategy-equivalence suite keeps its
-//!    tuple-for-tuple, *same emission order* guarantee);
+//!    tuple-for-tuple, *same emission order* guarantee). Estimates are
+//!    statistics-aware when the host supplies a
+//!    [`DistinctEstimator`](crate::scope::DistinctEstimator) backed by
+//!    `ANALYZE` sketches: scans shrink by the MCV/histogram selectivity
+//!    of their constant filters, probes divide by correlation-capped
+//!    distinct counts — and without statistics every formula degrades to
+//!    the former row-count behaviour;
 //! 3. **per-operator access selection** — each relation step independently
 //!    becomes a [`Access::HashProbe`] when an equality edge reaches it from
 //!    already-placed or outer variables, and a plain [`Access::Scan`]
@@ -33,6 +39,7 @@ use crate::logical::{extract_equalities, other_side, pred_attr_refs, EqEdge};
 use crate::scope::{
     PlanError, ScopeSpec, SourceSpec, ABSTRACT_EST, DEFAULT_ROWS, EXTERNAL_EST, NESTED_EST,
 };
+use arc_core::ast::{Predicate, Scalar};
 use std::collections::HashSet;
 
 /// How a scope is planned. Maps one-to-one onto the engine's
@@ -263,15 +270,47 @@ pub fn plan_scope(spec: &ScopeSpec<'_>, mode: PlanMode) -> Result<ScopePlan, Pla
                         let rows_f = rows.unwrap_or(DEFAULT_ROWS) as f64;
                         let (access, cost) = if keys.is_empty() || mode == PlanMode::ForceNestedLoop
                         {
-                            (Access::Scan, rows_f)
+                            // Statistics-scaled scan: constant comparisons
+                            // on this binding shrink the estimate (MCV /
+                            // histogram selectivity) when stats exist —
+                            // without statistics the product is 1 and the
+                            // cost is the plain row count, as ever.
+                            let sel = const_selectivity(spec, bi, b.var, schema, &[]);
+                            (Access::Scan, rows_f * sel)
                         } else {
-                            let key_cols: Vec<usize> = keys.iter().map(|k| k.col).collect();
-                            let distinct = spec
-                                .estimator
-                                .and_then(|e| e.distinct(bi, &key_cols))
-                                .unwrap_or_else(|| rows.unwrap_or(DEFAULT_ROWS).max(1));
-                            let cost = (rows_f / distinct.max(1) as f64).max(1.0);
-                            (Access::HashProbe { keys }, cost)
+                            // Probe cost: constant-keyed columns use their
+                            // measured equality selectivity (MCV-aware);
+                            // the remaining key columns divide by the
+                            // distinct-key estimate; residual constant
+                            // filters (not consumed by the probe) scale
+                            // the result like they scale a scan.
+                            let mut var_cols: Vec<usize> = Vec::new();
+                            let mut probed: Vec<usize> = Vec::with_capacity(keys.len());
+                            let mut cost = rows_f;
+                            for k in &keys {
+                                probed.push(k.eq.filter);
+                                let probe =
+                                    other_side(spec.filters[k.eq.filter], k.eq.attr_on_left);
+                                let known = match (probe, spec.estimator) {
+                                    (Scalar::Const(v), Some(e)) => {
+                                        e.selectivity(bi, k.col, arc_core::ast::CmpOp::Eq, v)
+                                    }
+                                    _ => None,
+                                };
+                                match known {
+                                    Some(s) => cost *= s.clamp(0.0, 1.0),
+                                    None => var_cols.push(k.col),
+                                }
+                            }
+                            if !var_cols.is_empty() {
+                                let distinct = spec
+                                    .estimator
+                                    .and_then(|e| e.distinct(bi, &var_cols))
+                                    .unwrap_or_else(|| rows.unwrap_or(DEFAULT_ROWS).max(1));
+                                cost /= distinct.max(1) as f64;
+                            }
+                            cost *= const_selectivity(spec, bi, b.var, schema, &probed);
+                            (Access::HashProbe { keys }, cost.max(1.0))
                         };
                         Some(Candidate {
                             binding: bi,
@@ -397,6 +436,62 @@ fn probe_keys(
         });
     }
     keys
+}
+
+/// Combined selectivity of the scope's constant comparisons against
+/// binding `binding` (`var.attr op const`, either orientation, plus
+/// `var.attr IS [NOT] NULL`), asked of the statistics estimator. Filters
+/// listed in `exclude` (already consumed as probe keys) are skipped, as
+/// is any filter the estimator has no answer for — with no statistics the
+/// product is exactly 1 and the caller's estimate is unchanged.
+fn const_selectivity(
+    spec: &ScopeSpec<'_>,
+    binding: usize,
+    var: &str,
+    schema: &[String],
+    exclude: &[usize],
+) -> f64 {
+    let Some(est) = spec.estimator else {
+        return 1.0;
+    };
+    let mut sel = 1.0f64;
+    for (i, p) in spec.filters.iter().enumerate() {
+        if exclude.contains(&i) {
+            continue;
+        }
+        match p {
+            Predicate::Cmp { left, op, right } => {
+                let (attr, op, value) = match (left, right) {
+                    (Scalar::Attr(a), Scalar::Const(v)) => (a, *op, v),
+                    (Scalar::Const(v), Scalar::Attr(a)) => (a, op.flipped(), v),
+                    _ => continue,
+                };
+                if attr.var != var {
+                    continue;
+                }
+                let Some(col) = schema.iter().position(|s| s == &attr.attr) else {
+                    continue;
+                };
+                if let Some(s) = est.selectivity(binding, col, op, value) {
+                    sel *= s.clamp(0.0, 1.0);
+                }
+            }
+            Predicate::IsNull { expr, negated } => {
+                let Scalar::Attr(a) = expr else { continue };
+                if a.var != var {
+                    continue;
+                }
+                let Some(col) = schema.iter().position(|s| s == &a.attr) else {
+                    continue;
+                };
+                if let Some(f) = est.null_fraction(binding, col) {
+                    let f = f.clamp(0.0, 1.0);
+                    sel *= if *negated { 1.0 - f } else { f };
+                }
+            }
+        }
+    }
+    sel
 }
 
 /// The predicate-pushdown pass: schedule each filter at the earliest point

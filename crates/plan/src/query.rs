@@ -37,6 +37,10 @@ pub struct ResolvedSource {
     pub rows: Option<usize>,
     /// For externals: bound-position lists, one per access pattern.
     pub patterns: Vec<Vec<usize>>,
+    /// `ANALYZE` statistics when the catalog has them (base relations
+    /// only): `EXPLAIN` estimates become MCV/histogram-backed instead of
+    /// bare row counts.
+    pub stats: Option<std::sync::Arc<arc_stats::TableStats>>,
 }
 
 /// Resolves relation names to planning metadata. The engine implements
@@ -225,6 +229,7 @@ pub fn lower_program(
                     schema: d.collection.head.attrs.clone(),
                     rows: None,
                     patterns: Vec::new(),
+                    stats: None,
                 })
         }
     }
@@ -436,11 +441,19 @@ fn lower_quant(
                 },
             })
             .collect();
+        // Catalog statistics, one slot per binding, make `EXPLAIN`'s
+        // estimates MCV/histogram-backed wherever an ANALYZE has run.
+        let estimator = crate::estimator::TableStatsEstimator::new(
+            resolved
+                .iter()
+                .map(|r| r.as_ref().and_then(|r| r.stats.clone()))
+                .collect(),
+        );
         let spec = ScopeSpec {
             bindings,
             filters: &parts.filters,
             outer: stack,
-            estimator: None,
+            estimator: Some(&estimator),
         };
         let plan = plan_scope(&spec, mode).map_err(|e| match e {
             crate::scope::PlanError::Unplaceable { binding } => LowerError::Unplaceable {

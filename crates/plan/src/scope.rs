@@ -8,7 +8,8 @@
 //! cardinalities, so the same planner serves execution (live statistics)
 //! and static `EXPLAIN` (catalog-level statistics).
 
-use arc_core::ast::Predicate;
+use arc_core::ast::{CmpOp, Predicate};
+use arc_core::value::Value;
 
 /// Default cardinality assumed for sources whose row count is unknown at
 /// plan time (intensional relations in static `EXPLAIN`, for example).
@@ -99,14 +100,39 @@ impl OuterScope for NoOuter {
     }
 }
 
-/// Cardinality side-statistics the execution engine can supply: an
-/// estimate of the number of *distinct* join keys a relation binding has
-/// on a candidate key-column set. Drives the greedy ordering's probe-cost
-/// estimate (`rows / distinct`); `EXPLAIN` runs without one.
+/// Cardinality side-statistics the host can supply: distinct join-key
+/// counts (driving the greedy ordering's probe-cost estimate
+/// `rows / distinct`) and, when the catalog has been `ANALYZE`d,
+/// per-column selectivities of constant comparisons (driving scan-cost
+/// scaling, access-path choice, and the partition-axis threshold).
+///
+/// Every method may answer `None` ("unknown"): the planner then falls
+/// back to its pre-statistics behaviour, so a stats-free catalog plans
+/// exactly as it always has. The execution engine implements this over
+/// catalog statistics with a live prefix-sample fallback
+/// ([`crate::TableStatsEstimator`] is the pure catalog-statistics
+/// implementation `EXPLAIN` uses).
 pub trait DistinctEstimator {
     /// Estimated distinct count of `cols` (schema positions) in the
     /// relation behind binding `binding`, or `None` when unknown.
     fn distinct(&self, binding: usize, cols: &[usize]) -> Option<usize>;
+
+    /// Estimated fraction of `binding`'s rows whose column `col`
+    /// satisfies `col op value`, or `None` when unknown (no statistics).
+    fn selectivity(&self, binding: usize, col: usize, op: CmpOp, value: &Value) -> Option<f64> {
+        let _ = (binding, col, op, value);
+        None
+    }
+
+    /// Estimated fraction of `binding`'s rows whose column `col` can
+    /// never satisfy an equality (`NULL`, float `NaN`), or `None` when
+    /// unknown. Feeds `IS [NOT] NULL` selectivity (approximate: the
+    /// statistics count `NaN` as unjoinable, SQL's `IS NULL` does not —
+    /// an estimate-only distinction).
+    fn null_fraction(&self, binding: usize, col: usize) -> Option<f64> {
+        let _ = (binding, col);
+        None
+    }
 }
 
 /// Everything the planner needs to know about one quantifier scope.

@@ -226,6 +226,7 @@ where
             .append(true)
             .open(path)
         {
+            host_meta_line(&mut file);
             let _ = writeln!(
                 file,
                 "{{\"id\":\"{}\",\"median_ns\":{median:.1},\"samples\":{},\"iters_per_sample\":{batch}}}",
@@ -234,6 +235,26 @@ where
             );
         }
     }
+}
+
+/// Once per process, prepend a host-metadata line to the JSON sink: the
+/// machine's available parallelism (`nproc`) and the `ARC_THREADS`
+/// setting the run executed under. Recording hosts vary (the parallel
+/// ablation on a single-core box measures overhead, not scaling), so the
+/// caveat must be data a consumer can check, not prose.
+fn host_meta_line(file: &mut std::fs::File) {
+    static WRITTEN: std::sync::Once = std::sync::Once::new();
+    WRITTEN.call_once(|| {
+        let nproc = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(0);
+        let threads = std::env::var("ARC_THREADS").unwrap_or_default();
+        let _ = writeln!(
+            file,
+            "{{\"meta\":\"host\",\"nproc\":{nproc},\"arc_threads\":\"{}\"}}",
+            threads.replace('"', "'"),
+        );
+    });
 }
 
 fn format_ns(ns: f64) -> String {

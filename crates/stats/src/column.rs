@@ -1,0 +1,172 @@
+//! Per-column statistics and the selectivity formulas over them.
+
+use crate::histogram::Histogram;
+use arc_core::ast::CmpOp;
+use arc_core::value::{Key, Value};
+
+/// Default fraction assumed for an ordering comparison when no histogram
+/// exists (the classic "one third" planner guess).
+const DEFAULT_INEQ_FRACTION: f64 = 1.0 / 3.0;
+
+/// Statistics of one column of one relation.
+///
+/// "Null" here means *never joinable*: values whose
+/// [`Value::join_key`] is `None` (`NULL` and float `NaN`), matching the
+/// executor's hash-index rule. All counts are scaled to the full relation
+/// (the ANALYZE pass may have sampled).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Total rows of the relation (including nulls).
+    pub rows: u64,
+    /// Rows whose value can never satisfy an equality (`NULL`, `NaN`).
+    pub nulls: u64,
+    /// Estimated distinct join keys (register sketch, or exact when the
+    /// ANALYZE pass saw every row).
+    pub distinct: u64,
+    /// Smallest non-null key, when any.
+    pub min: Option<Key>,
+    /// Largest non-null key, when any.
+    pub max: Option<Key>,
+    /// Most common values with their (scaled) occurrence counts, most
+    /// frequent first. Only above-average-frequency values are kept, so a
+    /// unique column has an empty list.
+    pub mcv: Vec<(Key, u64)>,
+    /// Equi-depth histogram over the non-null values, when any.
+    pub histogram: Option<Histogram>,
+}
+
+impl ColumnStats {
+    /// Fraction of rows that can participate in an equality at all.
+    pub fn non_null_fraction(&self) -> f64 {
+        if self.rows == 0 {
+            return 0.0;
+        }
+        (self.rows - self.nulls) as f64 / self.rows as f64
+    }
+
+    /// Estimated fraction of rows satisfying `column = value`.
+    ///
+    /// MCV-aware: a value on the most-common list answers with its
+    /// measured frequency; anything else divides the *remaining* rows by
+    /// the *remaining* distinct count — so one hot value no longer drags
+    /// the estimate for every other value up with it (the failure mode of
+    /// uniform `1/distinct`).
+    pub fn eq_selectivity(&self, value: &Value) -> f64 {
+        let Some(key) = value.join_key() else {
+            return 0.0; // NULL/NaN constants match nothing
+        };
+        if self.rows == 0 || self.rows == self.nulls {
+            return 0.0;
+        }
+        if let (Some(min), Some(max)) = (&self.min, &self.max) {
+            if &key < min || &key > max {
+                return 0.0;
+            }
+        }
+        if let Some((_, count)) = self.mcv.iter().find(|(k, _)| k == &key) {
+            return (*count as f64 / self.rows as f64).clamp(0.0, 1.0);
+        }
+        let mcv_rows: u64 = self.mcv.iter().map(|(_, c)| c).sum();
+        let rest_rows = (self.rows - self.nulls).saturating_sub(mcv_rows);
+        let rest_distinct = self.distinct.saturating_sub(self.mcv.len() as u64);
+        if rest_distinct == 0 || rest_rows == 0 {
+            // Every value the column holds is on the MCV list; an absent
+            // probe matches (nearly) nothing.
+            return 0.0;
+        }
+        (rest_rows as f64 / rest_distinct as f64 / self.rows as f64).clamp(0.0, 1.0)
+    }
+
+    /// Estimated fraction of rows satisfying `column op value`.
+    ///
+    /// Equality goes through the MCV list, ordering comparisons through
+    /// the histogram (scaled by the non-null fraction: a comparison with
+    /// any constant rejects null rows under three-valued logic).
+    pub fn cmp_selectivity(&self, op: CmpOp, value: &Value) -> f64 {
+        match op {
+            CmpOp::Eq => self.eq_selectivity(value),
+            CmpOp::Ne => {
+                if value.join_key().is_none() {
+                    // Three-valued logic: `x <> NULL` (or NaN) is Unknown
+                    // for every row — nothing passes, same as the other
+                    // comparisons against an unmatchable constant.
+                    return 0.0;
+                }
+                (self.non_null_fraction() - self.eq_selectivity(value)).max(0.0)
+            }
+            CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => {
+                let Some(key) = value.join_key() else {
+                    return 0.0;
+                };
+                let frac = match &self.histogram {
+                    Some(h) => h.fraction(op, &key),
+                    None => DEFAULT_INEQ_FRACTION,
+                };
+                (frac * self.non_null_fraction()).clamp(0.0, 1.0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 80 rows of value 0, 20 distinct singletons 1..=20.
+    fn skewed() -> ColumnStats {
+        let sorted: Vec<Key> = std::iter::repeat_n(Key::Int(0), 80)
+            .chain((1..=20).map(Key::Int))
+            .collect();
+        ColumnStats {
+            rows: 100,
+            nulls: 0,
+            distinct: 21,
+            min: Some(Key::Int(0)),
+            max: Some(Key::Int(20)),
+            mcv: vec![(Key::Int(0), 80)],
+            histogram: Histogram::build(&sorted, 8),
+        }
+    }
+
+    #[test]
+    fn mcv_beats_uniform_on_the_hot_value() {
+        let c = skewed();
+        assert!((c.eq_selectivity(&Value::Int(0)) - 0.8).abs() < 1e-9);
+        // A cold value: 20 remaining rows over 20 remaining distinct.
+        let cold = c.eq_selectivity(&Value::Int(7));
+        assert!((cold - 0.01).abs() < 1e-9, "{cold}");
+    }
+
+    #[test]
+    fn out_of_bounds_is_zero() {
+        let c = skewed();
+        assert_eq!(c.eq_selectivity(&Value::Int(999)), 0.0);
+        assert_eq!(c.eq_selectivity(&Value::Null), 0.0);
+        assert_eq!(c.cmp_selectivity(CmpOp::Lt, &Value::Null), 0.0);
+    }
+
+    #[test]
+    fn nulls_scale_comparisons() {
+        let mut c = skewed();
+        c.rows = 200;
+        c.nulls = 100;
+        let sel = c.cmp_selectivity(CmpOp::Ge, &Value::Int(0));
+        assert!(sel <= 0.5 + 1e-9, "null rows cannot satisfy: {sel}");
+    }
+
+    #[test]
+    fn ne_complements_eq_within_non_nulls() {
+        let c = skewed();
+        let ne = c.cmp_selectivity(CmpOp::Ne, &Value::Int(0));
+        assert!((ne - 0.2).abs() < 1e-9, "{ne}");
+    }
+
+    #[test]
+    fn ne_against_an_unmatchable_constant_matches_nothing() {
+        // `x <> NULL` is Unknown for every row under 3VL — like every
+        // other comparison against NULL/NaN, nothing passes.
+        let c = skewed();
+        assert_eq!(c.cmp_selectivity(CmpOp::Ne, &Value::Null), 0.0);
+        assert_eq!(c.cmp_selectivity(CmpOp::Ne, &Value::Float(f64::NAN)), 0.0);
+    }
+}

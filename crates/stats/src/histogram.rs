@@ -1,0 +1,164 @@
+//! Equi-depth histograms over the workspace's total key order.
+//!
+//! A histogram is `b+1` fenceposts over the sorted non-null values of a
+//! column: each of the `b` buckets holds (approximately) the same number
+//! of values, so rank — the fraction of values below a probe — falls out
+//! of a binary search over the fenceposts. Buckets whose endpoints are
+//! numeric interpolate linearly inside the bucket; other buckets assume
+//! the probe sits mid-bucket.
+//!
+//! Built over [`Key`]s — the canonical total order every engine component
+//! (grouping, sorting, deterministic output) already uses — so histograms
+//! work for strings and booleans exactly as for numbers, minus the
+//! interpolation refinement.
+
+use arc_core::ast::CmpOp;
+use arc_core::value::Key;
+
+/// An equi-depth histogram: `buckets() + 1` sorted fenceposts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: Vec<Key>,
+}
+
+impl Histogram {
+    /// Build from the column's non-null values, `sorted` ascending
+    /// (duplicates included — equi-depth needs the value *multiset*).
+    /// Returns `None` for an empty column.
+    pub fn build(sorted: &[Key], buckets: usize) -> Option<Histogram> {
+        if sorted.is_empty() || buckets == 0 {
+            return None;
+        }
+        let b = buckets.min(sorted.len().max(1));
+        let last = sorted.len() - 1;
+        let bounds: Vec<Key> = (0..=b).map(|i| sorted[i * last / b].clone()).collect();
+        Some(Histogram { bounds })
+    }
+
+    /// Rebuild from serialized fenceposts.
+    pub fn from_bounds(bounds: Vec<Key>) -> Result<Histogram, String> {
+        if bounds.len() < 2 {
+            return Err("histogram needs at least two fenceposts".into());
+        }
+        Ok(Histogram { bounds })
+    }
+
+    /// The fenceposts (for serialization).
+    pub fn bounds(&self) -> &[Key] {
+        &self.bounds
+    }
+
+    /// Number of buckets.
+    pub fn buckets(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Estimated fraction of (non-null) column values `v` with `v < key`
+    /// (`strict`) or `v <= key` (`!strict`).
+    fn rank(&self, key: &Key, strict: bool) -> f64 {
+        let b = self.buckets() as f64;
+        // Number of fenceposts strictly below (or at-or-below) the probe.
+        let i = if strict {
+            self.bounds.partition_point(|bound| bound < key)
+        } else {
+            self.bounds.partition_point(|bound| bound <= key)
+        };
+        if i == 0 {
+            return 0.0;
+        }
+        if i == self.bounds.len() {
+            return 1.0;
+        }
+        // The probe sits inside bucket i-1 (between bounds[i-1] and
+        // bounds[i]): interpolate when the bucket endpoints are numeric.
+        let lo = &self.bounds[i - 1];
+        let hi = &self.bounds[i];
+        let intra = match (key_num(lo), key_num(hi), key_num(key)) {
+            (Some(l), Some(h), Some(k)) if h > l => ((k - l) / (h - l)).clamp(0.0, 1.0),
+            _ => 0.5,
+        };
+        (((i - 1) as f64 + intra) / b).clamp(0.0, 1.0)
+    }
+
+    /// Estimated fraction of (non-null) column values `v` satisfying
+    /// `v op key`. Equality and inequality are the caller's business
+    /// (MCV/distinct-based — see [`ColumnStats`](crate::column::ColumnStats));
+    /// this answers the four ordering comparisons.
+    pub fn fraction(&self, op: CmpOp, key: &Key) -> f64 {
+        match op {
+            CmpOp::Lt => self.rank(key, true),
+            CmpOp::Le => self.rank(key, false),
+            CmpOp::Gt => 1.0 - self.rank(key, false),
+            CmpOp::Ge => 1.0 - self.rank(key, true),
+            // Not this component's job; a neutral answer keeps misuse safe.
+            CmpOp::Eq | CmpOp::Ne => 0.5,
+        }
+    }
+}
+
+/// Numeric view of a key, for intra-bucket interpolation.
+fn key_num(k: &Key) -> Option<f64> {
+    match k {
+        Key::Int(i) => Some(*i as f64),
+        Key::Float(bits) => {
+            let f = f64::from_bits(*bits);
+            f.is_finite().then_some(f)
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform(n: i64) -> Vec<Key> {
+        (0..n).map(Key::Int).collect()
+    }
+
+    #[test]
+    fn uniform_ranks_interpolate() {
+        let h = Histogram::build(&uniform(1000), 32).unwrap();
+        let frac = h.fraction(CmpOp::Lt, &Key::Int(250));
+        assert!((frac - 0.25).abs() < 0.05, "lt 250 → {frac}");
+        let frac = h.fraction(CmpOp::Ge, &Key::Int(900));
+        assert!((frac - 0.10).abs() < 0.05, "ge 900 → {frac}");
+    }
+
+    #[test]
+    fn out_of_range_probes_saturate() {
+        let h = Histogram::build(&uniform(100), 8).unwrap();
+        assert_eq!(h.fraction(CmpOp::Lt, &Key::Int(-5)), 0.0);
+        assert_eq!(h.fraction(CmpOp::Le, &Key::Int(500)), 1.0);
+        assert_eq!(h.fraction(CmpOp::Gt, &Key::Int(500)), 0.0);
+    }
+
+    #[test]
+    fn skew_is_depth_weighted() {
+        // 90% of the values are 0: the probe `> 0` must see ~10%.
+        let mut vals: Vec<Key> = vec![Key::Int(0); 900];
+        vals.extend((1..=100).map(Key::Int));
+        let h = Histogram::build(&vals, 16).unwrap();
+        let frac = h.fraction(CmpOp::Gt, &Key::Int(0));
+        assert!(frac < 0.2, "gt 0 on 90%-zero data → {frac}");
+    }
+
+    #[test]
+    fn strings_order_without_interpolation() {
+        let vals: Vec<Key> = ["a", "b", "c", "d", "e", "f", "g", "h"]
+            .iter()
+            .map(|s| Key::Str(s.to_string()))
+            .collect();
+        let h = Histogram::build(&vals, 4).unwrap();
+        let frac = h.fraction(CmpOp::Lt, &Key::Str("e".into()));
+        assert!((0.25..=0.75).contains(&frac), "lt 'e' → {frac}");
+    }
+
+    #[test]
+    fn single_value_column() {
+        let vals = vec![Key::Int(7); 50];
+        let h = Histogram::build(&vals, 8).unwrap();
+        assert_eq!(h.fraction(CmpOp::Le, &Key::Int(7)), 1.0);
+        assert_eq!(h.fraction(CmpOp::Lt, &Key::Int(7)), 0.0);
+    }
+}

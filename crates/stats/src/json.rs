@@ -1,0 +1,197 @@
+//! JSON interchange for [`TableStats`], over the workspace's
+//! [`arc_core::json`] document model — the same hand-rolled codec the ALT
+//! wire format uses, so catalogs can persist and reload their statistics
+//! with no extra dependencies.
+//!
+//! Keys encode as native JSON where unambiguous (`null`, booleans,
+//! integers, strings) and as a `{"fbits": n}` wrapper for floats (the raw
+//! bit pattern, so `NaN`-adjacent payloads survive round-trips exactly).
+
+use crate::column::ColumnStats;
+use crate::histogram::Histogram;
+use crate::table::TableStats;
+use arc_core::json::Json;
+use arc_core::value::Key;
+
+/// Encode statistics as a JSON document.
+pub fn stats_json(ts: &TableStats) -> Json {
+    Json::obj([
+        ("rows", Json::Int(ts.rows as i64)),
+        ("row_distinct", Json::Int(ts.row_distinct as i64)),
+        (
+            "columns",
+            Json::Arr(ts.columns.iter().map(column_json).collect()),
+        ),
+    ])
+}
+
+/// Encode statistics as canonical JSON text.
+pub fn to_json(ts: &TableStats) -> String {
+    stats_json(ts).to_string()
+}
+
+/// Decode statistics from JSON text.
+pub fn from_json(s: &str) -> Result<TableStats, String> {
+    let doc = arc_core::json::parse(s).map_err(|e| e.to_string())?;
+    stats_from(&doc)
+}
+
+fn column_json(c: &ColumnStats) -> Json {
+    let key_opt = |k: &Option<Key>| match k {
+        None => Json::Null,
+        Some(k) => key_json(k),
+    };
+    Json::obj([
+        ("rows", Json::Int(c.rows as i64)),
+        ("nulls", Json::Int(c.nulls as i64)),
+        ("distinct", Json::Int(c.distinct as i64)),
+        ("min", key_opt(&c.min)),
+        ("max", key_opt(&c.max)),
+        (
+            "mcv",
+            Json::Arr(
+                c.mcv
+                    .iter()
+                    .map(|(k, n)| Json::Arr(vec![key_json(k), Json::Int(*n as i64)]))
+                    .collect(),
+            ),
+        ),
+        (
+            "histogram",
+            match &c.histogram {
+                None => Json::Null,
+                Some(h) => Json::Arr(h.bounds().iter().map(key_json).collect()),
+            },
+        ),
+    ])
+}
+
+fn key_json(k: &Key) -> Json {
+    match k {
+        Key::Null => Json::Null,
+        Key::Bool(b) => Json::Bool(*b),
+        Key::Int(i) => Json::Int(*i),
+        Key::Float(bits) => Json::tag("fbits", Json::Int(*bits as i64)),
+        Key::Str(s) => Json::Str(s.clone()),
+    }
+}
+
+fn key_from(j: &Json) -> Result<Key, String> {
+    match j {
+        Json::Null => Ok(Key::Null),
+        Json::Bool(b) => Ok(Key::Bool(*b)),
+        Json::Int(i) => Ok(Key::Int(*i)),
+        Json::Str(s) => Ok(Key::Str(s.clone())),
+        Json::Obj(m) => match m.get("fbits") {
+            Some(Json::Int(bits)) => Ok(Key::Float(*bits as u64)),
+            _ => Err("expected {\"fbits\": n} key".into()),
+        },
+        other => Err(format!("unexpected key encoding: {other}")),
+    }
+}
+
+fn as_u64(j: &Json, what: &str) -> Result<u64, String> {
+    match j {
+        Json::Int(i) if *i >= 0 => Ok(*i as u64),
+        other => Err(format!(
+            "{what}: expected non-negative integer, got {other}"
+        )),
+    }
+}
+
+fn field<'j>(m: &'j std::collections::BTreeMap<String, Json>, k: &str) -> Result<&'j Json, String> {
+    m.get(k).ok_or_else(|| format!("missing field `{k}`"))
+}
+
+fn column_from(j: &Json) -> Result<ColumnStats, String> {
+    let Json::Obj(m) = j else {
+        return Err("column stats must be an object".into());
+    };
+    let key_opt = |j: &Json| -> Result<Option<Key>, String> {
+        match j {
+            Json::Null => Ok(None),
+            other => Ok(Some(key_from(other)?)),
+        }
+    };
+    let mcv = match field(m, "mcv")? {
+        Json::Arr(entries) => entries
+            .iter()
+            .map(|e| match e {
+                Json::Arr(pair) if pair.len() == 2 => {
+                    Ok((key_from(&pair[0])?, as_u64(&pair[1], "mcv count")?))
+                }
+                other => Err(format!("mcv entry must be [key, count], got {other}")),
+            })
+            .collect::<Result<Vec<_>, String>>()?,
+        other => return Err(format!("mcv must be an array, got {other}")),
+    };
+    let histogram = match field(m, "histogram")? {
+        Json::Null => None,
+        Json::Arr(bounds) => Some(Histogram::from_bounds(
+            bounds.iter().map(key_from).collect::<Result<_, _>>()?,
+        )?),
+        other => return Err(format!("histogram must be an array, got {other}")),
+    };
+    Ok(ColumnStats {
+        rows: as_u64(field(m, "rows")?, "rows")?,
+        nulls: as_u64(field(m, "nulls")?, "nulls")?,
+        distinct: as_u64(field(m, "distinct")?, "distinct")?,
+        min: key_opt(field(m, "min")?)?,
+        max: key_opt(field(m, "max")?)?,
+        mcv,
+        histogram,
+    })
+}
+
+/// Decode statistics from a parsed JSON document.
+pub fn stats_from(j: &Json) -> Result<TableStats, String> {
+    let Json::Obj(m) = j else {
+        return Err("table stats must be an object".into());
+    };
+    let columns = match field(m, "columns")? {
+        Json::Arr(cols) => cols
+            .iter()
+            .map(column_from)
+            .collect::<Result<Vec<_>, String>>()?,
+        other => return Err(format!("columns must be an array, got {other}")),
+    };
+    Ok(TableStats {
+        rows: as_u64(field(m, "rows")?, "rows")?,
+        row_distinct: as_u64(field(m, "row_distinct")?, "row_distinct")?,
+        columns,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arc_core::value::Value;
+
+    #[test]
+    fn round_trips_analyzed_stats() {
+        let rows: Vec<Vec<Value>> = (0..200)
+            .map(|i| {
+                vec![
+                    Value::Int(i % 7),
+                    if i % 11 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Float(i as f64 / 3.0)
+                    },
+                    Value::str(format!("s{}", i % 3)),
+                ]
+            })
+            .collect();
+        let ts = TableStats::analyze(3, &rows);
+        let text = to_json(&ts);
+        let back = from_json(&text).expect("round-trip");
+        assert_eq!(back, ts);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(from_json("[]").is_err());
+        assert!(from_json("{\"rows\": 1}").is_err());
+        assert!(from_json("{\"rows\": -3, \"row_distinct\": 1, \"columns\": []}").is_err());
+    }
+}

@@ -1,0 +1,287 @@
+//! Per-relation statistics: the `ANALYZE` pass and multi-column
+//! distinct-key estimation.
+
+use crate::column::ColumnStats;
+use crate::histogram::Histogram;
+use crate::sketch::{combine_hashes, hash_key, DistinctSketch, RowSketch};
+use arc_core::ast::CmpOp;
+use arc_core::value::{Key, Value};
+use std::collections::HashMap;
+
+/// Buckets per equi-depth histogram.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// Maximum entries per most-common-values list.
+pub const MCV_ENTRIES: usize = 8;
+
+/// ANALYZE samples at most this many rows for histograms and MCV lists
+/// (strided over the whole relation, so late skew is still seen); the
+/// distinct sketches and null/min/max counts always stream every row.
+pub const SAMPLE_CAP: usize = 8192;
+
+/// Statistics of one relation: one [`ColumnStats`] per schema position
+/// plus a whole-row distinct estimate (the correlation bound).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableStats {
+    /// Total rows at ANALYZE time.
+    pub rows: u64,
+    /// Per-column statistics, in schema order.
+    pub columns: Vec<ColumnStats>,
+    /// Estimated distinct whole rows (grouping-key semantics). Any column
+    /// subset projects *onto* the full row, so this upper-bounds every
+    /// multi-column distinct estimate — which is what lets
+    /// [`TableStats::distinct_cols`] stay sane on correlated keys.
+    pub row_distinct: u64,
+}
+
+impl TableStats {
+    /// The `ANALYZE` pass: summarize `rows` (each of width `arity`).
+    ///
+    /// Relations that fit in the sample (up to [`SAMPLE_CAP`] rows — in
+    /// particular everything the catalog auto-analyzes at registration)
+    /// are counted **exactly**: distinct counts come from the value-
+    /// frequency maps and the whole-row count from a key set, with no
+    /// sketch hashing at all. Larger relations stream every row through
+    /// the register sketches (per column + whole row) for null/min/max
+    /// and distinct counts, and build histograms/MCV lists from a strided
+    /// sample (counts scaled back to the full relation; the stride covers
+    /// the whole relation, so late skew is still seen).
+    pub fn analyze(arity: usize, rows: &[Vec<Value>]) -> TableStats {
+        let n = rows.len();
+        let stride = n.div_ceil(SAMPLE_CAP).max(1);
+        let exact = stride == 1;
+
+        let mut sketches: Vec<DistinctSketch> = vec![DistinctSketch::new(); arity];
+        let mut nulls: Vec<u64> = vec![0; arity];
+        let mut mins: Vec<Option<Key>> = vec![None; arity];
+        let mut maxs: Vec<Option<Key>> = vec![None; arity];
+        let mut row_sketch = RowSketch::new();
+        let mut exact_rows: std::collections::HashSet<Vec<Key>> = Default::default();
+
+        for row in rows {
+            let mut row_hash: u64 = 0;
+            for (c, v) in row.iter().enumerate() {
+                if !exact {
+                    row_hash = combine_hashes(row_hash, hash_key(&v.key()));
+                }
+                match v.join_key() {
+                    None => nulls[c] += 1,
+                    Some(k) => {
+                        if !exact {
+                            sketches[c].insert(&k);
+                        }
+                        if mins[c].as_ref().is_none_or(|m| &k < m) {
+                            mins[c] = Some(k.clone());
+                        }
+                        if maxs[c].as_ref().is_none_or(|m| &k > m) {
+                            maxs[c] = Some(k);
+                        }
+                    }
+                }
+            }
+            if exact {
+                exact_rows.insert(row.iter().map(Value::key).collect());
+            } else {
+                row_sketch.insert_hash(row_hash);
+            }
+        }
+
+        // Strided sample for value frequencies (the full relation when
+        // exact).
+        let mut counts: Vec<HashMap<Key, u64>> = vec![HashMap::new(); arity];
+        for row in rows.iter().step_by(stride) {
+            for (c, v) in row.iter().enumerate() {
+                if let Some(k) = v.join_key() {
+                    *counts[c].entry(k).or_insert(0) += 1;
+                }
+            }
+        }
+
+        let columns = (0..arity)
+            .map(|c| {
+                let distinct = if exact {
+                    counts[c].len() as u64
+                } else {
+                    sketches[c].estimate().max(1)
+                };
+                // MCV: the top raw sample counts. A value must be *seen*
+                // at least twice (a once-sampled value scaled by the
+                // stride is noise, not a frequency) and its scaled
+                // frequency must beat the column average (a uniform
+                // column keeps an empty list).
+                let mut by_freq: Vec<(Key, u64)> =
+                    counts[c].iter().map(|(k, cnt)| (k.clone(), *cnt)).collect();
+                by_freq.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+                let non_null = (n as u64).saturating_sub(nulls[c]);
+                let avg = non_null as f64 / distinct.max(1) as f64;
+                let mcv: Vec<(Key, u64)> = by_freq
+                    .into_iter()
+                    .take(MCV_ENTRIES)
+                    .filter(|(_, raw)| *raw >= 2)
+                    .map(|(k, raw)| (k, raw * stride as u64))
+                    .filter(|(_, scaled)| *scaled as f64 > avg)
+                    .collect();
+                // Histogram over the sampled non-null multiset.
+                let mut sorted: Vec<Key> = Vec::new();
+                for (k, cnt) in &counts[c] {
+                    for _ in 0..*cnt {
+                        sorted.push(k.clone());
+                    }
+                }
+                sorted.sort();
+                ColumnStats {
+                    rows: n as u64,
+                    nulls: nulls[c],
+                    distinct,
+                    min: mins[c].clone(),
+                    max: maxs[c].clone(),
+                    mcv,
+                    histogram: Histogram::build(&sorted, HISTOGRAM_BUCKETS),
+                }
+            })
+            .collect();
+
+        let row_distinct = if exact {
+            exact_rows.len() as u64
+        } else {
+            row_sketch.estimate().max(1)
+        };
+        TableStats {
+            rows: n as u64,
+            columns,
+            row_distinct,
+        }
+    }
+
+    /// Estimated distinct join keys over the column set `cols`.
+    ///
+    /// A single column answers from its sketch. A multi-column key starts
+    /// from the independence estimate (the product of per-column distinct
+    /// counts) and then clamps it into the bounds that hold regardless of
+    /// correlation: at least the largest single-column count, at most the
+    /// whole-row distinct count (projection only merges rows) and the row
+    /// count itself. Correlated keys — where the product wildly
+    /// overshoots — land on the upper bound instead of the fantasy.
+    pub fn distinct_cols(&self, cols: &[usize]) -> u64 {
+        let ds: Vec<u64> = cols
+            .iter()
+            .filter_map(|&c| self.columns.get(c))
+            .map(|c| c.distinct.max(1))
+            .collect();
+        match ds.as_slice() {
+            [] => 1,
+            [one] => (*one).min(self.rows.max(1)),
+            many => {
+                let prod = many
+                    .iter()
+                    .try_fold(1u64, |acc, &d| acc.checked_mul(d))
+                    .unwrap_or(u64::MAX);
+                let lower = *many.iter().max().expect("non-empty");
+                let upper = self.rows.max(1).min(self.row_distinct.max(lower));
+                prod.clamp(lower, upper.max(lower))
+            }
+        }
+    }
+
+    /// Estimated fraction of rows satisfying `cols[col] op value`
+    /// (delegates to [`ColumnStats::cmp_selectivity`]).
+    pub fn selectivity(&self, col: usize, op: CmpOp, value: &Value) -> Option<f64> {
+        self.columns.get(col).map(|c| c.cmp_selectivity(op, value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows_ab(pairs: &[(i64, i64)]) -> Vec<Vec<Value>> {
+        pairs
+            .iter()
+            .map(|(a, b)| vec![Value::Int(*a), Value::Int(*b)])
+            .collect()
+    }
+
+    #[test]
+    fn analyze_counts_nulls_min_max() {
+        let rows = vec![
+            vec![Value::Int(3), Value::Null],
+            vec![Value::Int(1), Value::Int(5)],
+            vec![Value::Float(f64::NAN), Value::Int(9)],
+        ];
+        let ts = TableStats::analyze(2, &rows);
+        assert_eq!(ts.rows, 3);
+        assert_eq!(ts.columns[0].nulls, 1); // NaN never joins
+        assert_eq!(ts.columns[1].nulls, 1);
+        assert_eq!(ts.columns[0].min, Some(Key::Int(1)));
+        assert_eq!(ts.columns[0].max, Some(Key::Int(3)));
+        assert_eq!(ts.columns[1].distinct, 2);
+    }
+
+    #[test]
+    fn correlated_keys_clamp_to_row_distinct() {
+        // A and B are perfectly correlated (B = A): the independence
+        // product says 100 × 100 = 10000 distinct pairs; the truth is 100.
+        let pairs: Vec<(i64, i64)> = (0..100).map(|i| (i, i)).collect();
+        let ts = TableStats::analyze(2, &rows_ab(&pairs));
+        let d = ts.distinct_cols(&[0, 1]);
+        assert_eq!(d, 100, "correlation bound must cap the product");
+    }
+
+    #[test]
+    fn independent_keys_keep_the_product() {
+        // 10 × 10 grid: 100 distinct pairs over 100 rows.
+        let pairs: Vec<(i64, i64)> = (0..100).map(|i| (i % 10, i / 10)).collect();
+        let ts = TableStats::analyze(2, &rows_ab(&pairs));
+        assert_eq!(ts.distinct_cols(&[0]), 10);
+        assert_eq!(ts.distinct_cols(&[1]), 10);
+        assert_eq!(ts.distinct_cols(&[0, 1]), 100);
+    }
+
+    #[test]
+    fn mcv_captures_skew() {
+        // 0 appears 91 times, 1..=9 once each.
+        let pairs: Vec<(i64, i64)> = (0..100)
+            .map(|i| (if i < 91 { 0 } else { i - 90 }, i))
+            .collect();
+        let ts = TableStats::analyze(2, &rows_ab(&pairs));
+        let c = &ts.columns[0];
+        assert_eq!(c.mcv.first(), Some(&(Key::Int(0), 91)));
+        let hot = c.eq_selectivity(&Value::Int(0));
+        assert!((hot - 0.91).abs() < 1e-9, "{hot}");
+        let cold = c.eq_selectivity(&Value::Int(5));
+        assert!(cold < 0.02, "{cold}");
+    }
+
+    #[test]
+    fn empty_relation_analyzes() {
+        let ts = TableStats::analyze(2, &[]);
+        assert_eq!(ts.rows, 0);
+        assert_eq!(ts.columns.len(), 2);
+        assert_eq!(ts.columns[0].eq_selectivity(&Value::Int(1)), 0.0);
+        assert_eq!(ts.distinct_cols(&[0, 1]), 1);
+    }
+
+    #[test]
+    fn sampled_mcv_requires_repeated_observations() {
+        // 40k unique values, stride 5: a value sampled once must not
+        // enter the MCV list claiming a stride-scaled frequency of 5.
+        let pairs: Vec<(i64, i64)> = (0..40_000).map(|i| (i, i % 3)).collect();
+        let ts = TableStats::analyze(2, &rows_ab(&pairs));
+        assert!(
+            ts.columns[0].mcv.is_empty(),
+            "unique sampled column fabricated MCVs: {:?}",
+            ts.columns[0].mcv
+        );
+    }
+
+    #[test]
+    fn large_relations_sample_but_stay_close() {
+        // 40k rows, uniform over 1000 keys: stride sampling + sketches.
+        let pairs: Vec<(i64, i64)> = (0..40_000).map(|i| (i % 1000, i)).collect();
+        let ts = TableStats::analyze(2, &rows_ab(&pairs));
+        let d = ts.distinct_cols(&[0]) as f64;
+        assert!((500.0..=2000.0).contains(&d), "distinct(A) ≈ 1000, got {d}");
+        let sel = ts.selectivity(0, CmpOp::Lt, &Value::Int(250)).unwrap();
+        assert!((sel - 0.25).abs() < 0.1, "lt 250 → {sel}");
+    }
+}

@@ -211,7 +211,7 @@ project Q(A, sm)
   aggregate γ r.A
     agg: Q.sm = sum(r.B)
     scope
-      1: partition(4) scan R as r (est 64)
+      1: partition(4) scan R as r (est=64)
       emit: Q.A = r.A
 ";
     assert_eq!(plan, expected, "partition plan drifted:\n{plan}");

@@ -17,7 +17,7 @@ fn plan_cache_eliminates_per_outer_row_planning() {
     // correlated nested grouped scope re-enters the planner with an
     // identical signature.
     let outer_rows = 400;
-    let catalog = fx::grouped_catalog(outer_rows, 8);
+    let mut catalog = fx::grouped_catalog(outer_rows, 8);
     let q = fx::eq7();
 
     // Phase 1: first evaluation. The Ctx-level cache must collapse the
@@ -79,5 +79,31 @@ fn plan_cache_eliminates_per_outer_row_planning() {
     assert!(
         arc_plan::planner_runs() - before > 0,
         "changed cardinalities must re-plan"
+    );
+
+    // Phase 5: ANALYZE bumps the statistics epoch, which both cache
+    // levels fold into their keys — the very same query on the very same
+    // catalog must re-plan (the new statistics could shape a different
+    // plan), then cache again.
+    catalog.analyze();
+    let before = arc_plan::planner_runs();
+    let fifth = Engine::new(&catalog, Conventions::set())
+        .with_threads(1)
+        .eval_collection(&q)
+        .unwrap();
+    assert!(
+        arc_plan::planner_runs() - before > 0,
+        "a post-ANALYZE evaluation must re-plan, not serve the stale-epoch plan"
+    );
+    assert!(first.bag_eq(&fifth), "statistics must not change results");
+    let before = arc_plan::planner_runs();
+    Engine::new(&catalog, Conventions::set())
+        .with_threads(1)
+        .eval_collection(&q)
+        .unwrap();
+    assert_eq!(
+        arc_plan::planner_runs() - before,
+        0,
+        "the re-planned epoch must itself be cached"
     );
 }

@@ -56,12 +56,18 @@ proptest! {
     }
 }
 
-/// Golden plan for Eq (1) — the running TRC equi-join: both relations are
-/// probed (S on its constant key, R on the join key) and both filters are
-/// pushed onto their steps.
+/// Golden plan for Eq (1) — the running TRC equi-join over an `ANALYZE`d
+/// catalog: both relations are probed (S on its constant key, R on the
+/// join key), both filters are pushed onto their steps, and the
+/// `est=N` cardinalities come from the statistics (S's constant key
+/// matches half its rows; R's probe divides by the 10 distinct join
+/// keys) rather than the old flat `est=1`.
 #[test]
 fn explain_eq1_golden() {
-    let catalog = fx::rs_catalog(64);
+    // `analyze()` pins the statistics state explicitly: the suite runs
+    // under `ARC_STATS=off` too, where registration does not auto-analyze.
+    let mut catalog = fx::rs_catalog(64);
+    catalog.analyze();
     // `with_threads(1)`: the sequential plan rendering is the golden —
     // parallel engines add `partition(n)` prefixes (covered by
     // `explain_partition_golden` in `parallel_equivalence.rs`), and the
@@ -73,11 +79,31 @@ fn explain_eq1_golden() {
     let expected = "\
 project Q(A)
   scope
-    1: hash-probe on [s.C = 0] S as s (est 1)
-    2: hash-probe on [r.B = s.B] R as r (est 1)
+    1: hash-probe on [s.C = 0] S as s (est=32)
+    2: hash-probe on [r.B = s.B] R as r (est=6)
     emit: Q.A = r.A
 ";
     assert_eq!(plan, expected, "eq1 plan drifted:\n{plan}");
+}
+
+/// The same query over a statistics-free catalog: the planner falls back
+/// to its pre-`ANALYZE` profile — flat probe estimates, same shape.
+#[test]
+fn explain_eq1_unanalyzed_golden() {
+    let mut catalog = fx::rs_catalog(64);
+    catalog.clear_stats();
+    let engine = Engine::new(&catalog, Conventions::sql())
+        .with_strategy(EvalStrategy::Planned)
+        .with_threads(1);
+    let plan = engine.explain_collection(&fx::eq1()).unwrap();
+    let expected = "\
+project Q(A)
+  scope
+    1: hash-probe on [s.C = 0] S as s (est=1)
+    2: hash-probe on [r.B = s.B] R as r (est=1)
+    emit: Q.A = r.A
+";
+    assert_eq!(plan, expected, "eq1 unanalyzed plan drifted:\n{plan}");
 }
 
 /// Golden plan for Eq (3) — the grouped FIO aggregate: an aggregate node
@@ -94,7 +120,7 @@ project Q(A, sm)
   aggregate γ r.A
     agg: Q.sm = sum(r.B)
     scope
-      1: scan R as r (est 64)
+      1: scan R as r (est=64)
       emit: Q.A = r.A
 ";
     assert_eq!(plan, expected, "eq3 plan drifted:\n{plan}");
@@ -115,12 +141,12 @@ program
     project A(s, t)
       union
         scope
-          1: scan P as p (est 16)
+          1: scan P as p (est=16)
           emit: A.s = p.s
           emit: A.t = p.t
         scope
-          1: scan P as p (est 16)
-          2: hash-probe on [p.t = a2.s] A as a2 (est 1)
+          1: scan P as p (est=16)
+          2: hash-probe on [p.t = a2.s] A as a2 (est=1)
           emit: A.s = p.s
           emit: A.t = a2.t
 ";
