@@ -144,6 +144,85 @@ pub fn random_conjunctive_query(
     d::collection("Q", &["A"], d::exists(&bindings, d::and(preds)))
 }
 
+/// Generate a random *correlated boolean* query — the EXISTS-shaped
+/// pattern the decorrelation pass targets: an outer binding emits its
+/// first attribute, filtered by a nested boolean quantifier scope
+/// (negated when `negated`) whose correlation with the outer row is
+/// `keys` equi-join predicates on random attributes, with the inner
+/// scope's own bindings chained by equality and `selections` constant
+/// filters inside it. With `keys = 0` the inner scope is uncorrelated —
+/// the loop-invariant corner of the same pass.
+pub fn random_correlated_boolean_query(
+    spec: &InstanceSpec,
+    keys: usize,
+    inner_joins: usize,
+    selections: usize,
+    negated: bool,
+    seed: u64,
+) -> Collection {
+    let mut rng = StdRng::seed_from_u64(seed);
+    assert!(!spec.relations.is_empty());
+    let pick = |rng: &mut StdRng| spec.relations[rng.gen_range(0..spec.relations.len())].clone();
+    let rand_attr = |rng: &mut StdRng, rs: &RelationSpec| -> String {
+        rs.attrs[rng.gen_range(0..rs.attrs.len())].clone()
+    };
+
+    // Outer binding.
+    let outer_rs = pick(&mut rng);
+    let outer = d::bind("t0", &outer_rs.name);
+
+    // Inner scope: bindings chained by equality (like the conjunctive
+    // generator), plus the correlated keys against the outer row.
+    let mut inner_bindings = Vec::new();
+    let mut inner_preds: Vec<Formula> = Vec::new();
+    let mut inner_specs: Vec<RelationSpec> = Vec::new();
+    let mut prev: Option<(String, String)> = None;
+    for i in 0..inner_joins.max(1) {
+        let rs = pick(&mut rng);
+        let var = format!("u{i}");
+        inner_bindings.push(d::bind(&var, &rs.name));
+        let attr = rand_attr(&mut rng, &rs);
+        if let Some((pv, pa)) = prev.take() {
+            inner_preds.push(d::eq(d::col(&pv, &pa), d::col(&var, &attr)));
+        }
+        prev = Some((var, attr));
+        inner_specs.push(rs);
+    }
+    for _ in 0..keys {
+        let i = rng.gen_range(0..inner_bindings.len());
+        let inner_attr = rand_attr(&mut rng, &inner_specs[i]);
+        let outer_attr = rand_attr(&mut rng, &outer_rs);
+        // Both orientations occur in the wild; generate both.
+        let (l, r) = (
+            d::col(&inner_bindings[i].var, &inner_attr),
+            d::col("t0", &outer_attr),
+        );
+        inner_preds.push(if rng.gen_bool(0.5) {
+            d::eq(l, r)
+        } else {
+            d::eq(r, l)
+        });
+    }
+    for _ in 0..selections {
+        let i = rng.gen_range(0..inner_bindings.len());
+        let attr = rand_attr(&mut rng, &inner_specs[i]);
+        let v = rng.gen_range(inner_specs[i].domain.clone());
+        inner_preds.push(d::le(d::col(&inner_bindings[i].var, &attr), d::int(v)));
+    }
+    let inner = d::exists(&inner_bindings, d::and(inner_preds));
+    let inner = if negated { d::not(inner) } else { inner };
+
+    let head_attr = outer_rs.attrs[0].clone();
+    d::collection(
+        "Q",
+        &["A"],
+        d::exists(
+            &[outer],
+            d::and([d::assign("Q", "A", d::col("t0", &head_attr)), inner]),
+        ),
+    )
+}
+
 /// A parent-relation instance for recursion benchmarks: a chain of
 /// `depth` nodes plus `extra` random edges.
 pub fn chain_catalog(depth: usize, extra: usize, seed: u64) -> Catalog {

@@ -31,8 +31,8 @@ pub mod similarity;
 pub use classify::{classify, AggPattern, Classification, QueryShape};
 pub use equiv::{random_equivalence, Counterexample, Verdict};
 pub use generate::{
-    chain_catalog, likes_catalog, random_catalog, random_conjunctive_query, sparse_matrix,
-    InstanceSpec, RelationSpec,
+    chain_catalog, likes_catalog, random_catalog, random_conjunctive_query,
+    random_correlated_boolean_query, sparse_matrix, InstanceSpec, RelationSpec,
 };
 pub use intent::{intent_report, IntentReport};
 pub use rewrite::{decorrelate, fio_to_foi, reify_arith, unnest, Decorrelation};

@@ -17,7 +17,12 @@
 //!   scan-heavy fixtures — the `parallel` series of `BENCH_eval.json`;
 //! * **statistics on vs. off** (`arc-stats` cost model v2): the skewed
 //!   range-filtered join where an `ANALYZE`d catalog flips the join
-//!   order/access path, plus the cost of the `ANALYZE` pass itself.
+//!   order/access path, plus the cost of the `ANALYZE` pass itself;
+//! * **decorrelated vs. nested boolean scopes** (`ARC_DECORRELATE`): a
+//!   correlated `EXISTS`/`NOT EXISTS` over a skewed inner relation, with
+//!   growing outer cardinality — the set-level semi/anti-join builds its
+//!   key set once while the nested path exhausts a probe bucket per
+//!   outer miss.
 
 use arc_bench::fixtures as fx;
 use arc_core::conventions::Conventions;
@@ -204,9 +209,42 @@ fn stats_on_vs_off(c: &mut Criterion) {
     g.finish();
 }
 
+/// Set-level semi/anti-joins vs. the per-outer-row nested path: the
+/// correlated `EXISTS`/`NOT EXISTS` fixture over a skewed 16-key inner
+/// relation (each probe bucket holds `k/16` rows; only the last few `S`
+/// rows pass the inner filter, so most outer rows *miss* and the nested
+/// path exhausts a whole bucket per row). The outer cardinality grows
+/// while the inner stays fixed — the decorrelated win is the build-once
+/// amortization, so it grows with the outer side. Both engines run the
+/// planned pipeline; only `Engine::with_decorrelate` differs, mirroring
+/// `ARC_DECORRELATE=on/off`.
+fn semijoin_on_vs_off(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_semijoin");
+    let k = 1024;
+    let exists = fx::exists_corr(k);
+    let not_exists = fx::not_exists_corr(k);
+    for n in [256usize, 1024, 4096] {
+        let catalog = fx::semijoin_catalog(n, k);
+        for (name, q, decorrelate) in [
+            ("exists_decorrelated", &exists, true),
+            ("exists_nested", &exists, false),
+            ("not_exists_decorrelated", &not_exists, true),
+            ("not_exists_nested", &not_exists, false),
+        ] {
+            g.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                let engine = Engine::new(&catalog, Conventions::sql())
+                    .with_strategy(EvalStrategy::Planned)
+                    .with_decorrelate(decorrelate);
+                b.iter(|| black_box(engine.eval_collection(q).unwrap().len()));
+            });
+        }
+    }
+    g.finish();
+}
+
 criterion_group! {
     name = ablation;
     config = configured();
-    targets = nested_loop_vs_hash_join, naive_vs_semi_naive, fio_vs_foi_cost, inline_vs_reified, set_vs_bag, sequential_vs_parallel, stats_on_vs_off
+    targets = nested_loop_vs_hash_join, naive_vs_semi_naive, fio_vs_foi_cost, inline_vs_reified, set_vs_bag, sequential_vs_parallel, stats_on_vs_off, semijoin_on_vs_off
 }
 criterion_main!(ablation);

@@ -247,6 +247,43 @@ pub fn eq1_range(n: usize) -> Collection {
     ))
 }
 
+/// Correlated `EXISTS` over [`semijoin_catalog`]: keep outer rows whose
+/// join key has a match among the last few `S` rows (`s.C > k - 5`).
+/// Most outer rows miss, so the nested path exhausts their whole (skewed)
+/// probe bucket per row, while the decorrelated path probes a build-once
+/// key set — the `ablation_semijoin` fixture.
+pub fn exists_corr(k: usize) -> Collection {
+    q(&format!(
+        "{{Q(A) | ∃r ∈ R [Q.A = r.A ∧ ∃s ∈ S [s.B = r.B ∧ s.C > {}]]}}",
+        k as i64 - 5
+    ))
+}
+
+/// The negated twin of [`exists_corr`]: `NOT EXISTS`, where the nested
+/// path cannot even early-exit on the ~75% of outer rows that succeed.
+pub fn not_exists_corr(k: usize) -> Collection {
+    q(&format!(
+        "{{Q(A) | ∃r ∈ R [Q.A = r.A ∧ ¬(∃s ∈ S [s.B = r.B ∧ s.C > {}])]}}",
+        k as i64 - 5
+    ))
+}
+
+/// Skewed semi-join fixture: `R(A,B)` with `n` rows over 16 heavy join
+/// keys, `S(B,C)` with `k` rows over the same 16 keys (`C` unique). Each
+/// probe bucket holds `k/16` rows, so a correlated scope that filters on
+/// `C` makes the per-outer-row nested path scan ~`k/16` rows per miss.
+pub fn semijoin_catalog(n: usize, k: usize) -> Catalog {
+    let mut r = Relation::new("R", &["A", "B"]);
+    for i in 0..n {
+        r.push(vec![(i as i64).into(), ((i % 16) as i64).into()]);
+    }
+    let mut s = Relation::new("S", &["B", "C"]);
+    for i in 0..k {
+        s.push(vec![((i % 16) as i64).into(), (i as i64).into()]);
+    }
+    Catalog::new().with(r).with(s)
+}
+
 /// Employees/departments (Figs 6–8): `n` employees over `depts` departments.
 pub fn dept_catalog(n: usize, depts: usize) -> Catalog {
     let mut r = Relation::new("R", &["empl", "dept"]);

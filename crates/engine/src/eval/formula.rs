@@ -43,6 +43,11 @@ impl Ctx<'_> {
 
     /// Existential truth of a quantifier scope: does any binding
     /// environment (or, for grouping scopes, any group) satisfy the body?
+    ///
+    /// Scopes with pure equi-join correlation short-cut through the
+    /// decorrelated set-level path ([`Ctx::semijoin_truth`]): the body is
+    /// evaluated once and every outer row probes a build-once key set
+    /// instead of re-entering the enumeration.
     fn quant_truth(&self, q: &Quant, env: &mut Env) -> Result<Truth> {
         // The head name "\u{0}" cannot occur, so nothing classifies as an
         // assignment.
@@ -60,6 +65,9 @@ impl Ctx<'_> {
                     return Err(EvalError::AggregateOutsideGrouping(
                         "aggregate under a connective".to_string(),
                     ));
+                }
+                if let Some(t) = self.semijoin_truth(q, &parts, env)? {
+                    return Ok(t);
                 }
                 let mut found = false;
                 self.enumerate(

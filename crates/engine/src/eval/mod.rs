@@ -30,6 +30,7 @@
 //! | [`scalar`]     | scalar & predicate evaluation, comparisons, arithmetic    |
 //! | [`formula`]    | boolean formula / sentence evaluation                     |
 //! | [`quantifier`] | the binding loop: executes `arc-plan` scope plans         |
+//! | [`semijoin`]   | decorrelated `∃`/`¬∃`: build-once set-level semi/anti-join|
 //! | [`parallel`]   | partitioned (morsel-driven) scope execution via `arc-exec`|
 //! | [`aggregate`]  | grouping scopes: accumulation, per-group verdicts         |
 //! | [`output`]     | output assembly: head-tuple construction and emission     |
@@ -42,7 +43,11 @@
 //! access, pushed-down filters — is executed by [`quantifier`]. Plans are
 //! **cached** (per-`Ctx` by scope identity + outer signature; globally by
 //! program hash — see [`arc_plan::cache`]), so correlated scopes plan
-//! once, not once per outer row. Under the default
+//! once, not once per outer row. Boolean `∃`/`¬∃` scopes whose
+//! correlation is a pure equi-join go further: [`semijoin`] evaluates the
+//! scope body **once**, keys a hash set on the correlated columns, and
+//! answers every outer row with an O(1) probe — execution, not just
+//! planning, amortizes across outer rows. Under the default
 //! [`EvalStrategy::Planned`] each join independently selects its
 //! algorithm and results are bag-identical to the paper's semantics; the
 //! [`EvalStrategy::NestedLoop`]/[`EvalStrategy::HashJoin`] force modes pin
@@ -63,6 +68,7 @@ pub mod output;
 pub mod parallel;
 pub mod quantifier;
 pub mod scalar;
+pub mod semijoin;
 pub mod strategy;
 
 /// Body analysis: predicate-role partitioning and free-variable
@@ -77,6 +83,10 @@ pub mod partition {
 
 pub(crate) use env::Env;
 pub use strategy::EvalStrategy;
+
+/// Key of the per-`Ctx` plan cache: *(binding-list address, outer
+/// signature, statistics epoch, boolean planning role)*.
+pub(crate) type PlanCacheKey = (usize, u64, u64, bool);
 
 use crate::catalog::Catalog;
 use crate::error::Result;
@@ -103,6 +113,9 @@ pub struct Engine<'c> {
     /// Parallelism for partitioned scope execution (`ARC_THREADS`); same
     /// deferred-error story as `strategy`.
     threads: std::result::Result<usize, crate::error::EvalError>,
+    /// Set-level decorrelation of boolean quantifier scopes
+    /// (`ARC_DECORRELATE`, default on); same deferred-error story.
+    decorrelate: std::result::Result<bool, crate::error::EvalError>,
 }
 
 impl<'c> Engine<'c> {
@@ -123,6 +136,7 @@ impl<'c> Engine<'c> {
             conventions,
             strategy: EvalStrategy::from_env(),
             threads: strategy::threads_from_env(),
+            decorrelate: strategy::decorrelate_from_env(),
         }
     }
 
@@ -150,6 +164,20 @@ impl<'c> Engine<'c> {
     /// The parallelism this engine evaluates under.
     pub fn threads(&self) -> Result<usize> {
         self.threads.clone()
+    }
+
+    /// Override set-level decorrelation of boolean scopes (builder style):
+    /// `false` pins the per-outer-row nested path, exactly like running
+    /// under `ARC_DECORRELATE=off` — tests use this to compare both paths
+    /// without touching the (racy) process environment.
+    pub fn with_decorrelate(mut self, decorrelate: bool) -> Self {
+        self.decorrelate = Ok(decorrelate);
+        self
+    }
+
+    /// Whether this engine decorrelates boolean scopes.
+    pub fn decorrelate(&self) -> Result<bool> {
+        self.decorrelate.clone()
     }
 
     /// Inject a strategy-parse outcome (tests only: process environment
@@ -184,12 +212,15 @@ impl<'c> Engine<'c> {
             conv: self.conventions,
             strategy: self.strategy.clone()?,
             threads: self.threads.clone()?,
+            decorrelate: self.decorrelate.clone()?,
             program,
             defined,
             abstracts,
             join_indexes: RefCell::new(HashMap::new()),
             distinct_estimates: RefCell::new(HashMap::new()),
             plans: RefCell::new(HashMap::new()),
+            semi_builds: semijoin::SemiBuildCache::default(),
+            semi_bailed: RefCell::new(std::collections::HashSet::new()),
         })
     }
 
@@ -240,6 +271,10 @@ pub(crate) struct Ctx<'a> {
     /// outer scan across this many pool threads. Worker contexts are
     /// forked with `threads = 1`, so parallelism never nests.
     pub(crate) threads: usize,
+    /// Whether boolean quantifier scopes with pure equi-join correlation
+    /// execute as build-once set-level semi/anti-joins (see
+    /// [`semijoin`]). Off pins the per-outer-row nested path.
+    pub(crate) decorrelate: bool,
     /// Structural hash of the top-level query this context evaluates
     /// (the global plan cache's program key).
     pub(crate) program: u64,
@@ -249,14 +284,28 @@ pub(crate) struct Ctx<'a> {
     pub(crate) abstracts: &'a HashMap<String, Collection>,
     /// Per-query cache of equi-join hash indexes, keyed by relation
     /// address + key columns (addresses are stable for the `Ctx` lifetime;
-    /// see `Ctx::join_index`). Correlated scopes re-enter `enumerate` once
-    /// per outer environment and reuse these instead of rebuilding.
+    /// see `Ctx::join_index`). Correlated scopes that still run the nested
+    /// path (non-equi correlation, force modes, `ARC_DECORRELATE=off`)
+    /// re-enter `enumerate` once per outer environment and reuse these
+    /// instead of rebuilding; decorrelated boolean scopes skip the
+    /// re-entry entirely and probe [`Ctx::semi_builds`] instead.
     pub(crate) join_indexes: quantifier::JoinIndexCache,
     /// Per-query cache of distinct-key estimates (same keying scheme),
     /// feeding the planner's greedy join ordering.
     pub(crate) distinct_estimates: RefCell<HashMap<(usize, Vec<usize>), usize>>,
     /// Per-query plan cache keyed by (binding-list address, outer
-    /// signature, statistics epoch) — the fast path in front of the
-    /// global plan cache (see `Ctx::scope_plan`).
-    pub(crate) plans: RefCell<HashMap<(usize, u64, u64), Arc<ScopePlan>>>,
+    /// signature, statistics epoch, boolean role) — the fast path in
+    /// front of the global plan cache (see `Ctx::scope_plan`).
+    pub(crate) plans: RefCell<HashMap<PlanCacheKey, Arc<ScopePlan>>>,
+    /// Build-once key sets of decorrelated boolean scopes, keyed by the
+    /// build plan's [`Arc`] address and shared — through the `Arc` — with
+    /// every worker context the parallel executor forks, so all workers
+    /// probe the same build (see [`semijoin`]). Invalidated with the
+    /// statistics epoch implicitly: a new epoch yields a new plan `Arc`.
+    pub(crate) semi_builds: semijoin::SemiBuildCache,
+    /// Negative cache of boolean scopes that bailed out of decorrelation
+    /// (by binding-list address): the per-outer-row probe path skips the
+    /// eligibility/plan work after the first bail (see
+    /// [`Ctx::semijoin_truth`]).
+    pub(crate) semi_bailed: RefCell<std::collections::HashSet<usize>>,
 }

@@ -46,12 +46,20 @@ pub(crate) struct WorkerSeed<'a> {
     catalog: &'a Catalog,
     conv: Conventions,
     strategy: EvalStrategy,
+    decorrelate: bool,
     program: u64,
     defined: &'a HashMap<String, Relation>,
     abstracts: &'a HashMap<String, Collection>,
     join_indexes: HashMap<(usize, Vec<usize>), Arc<HashIndex>>,
     distinct_estimates: HashMap<(usize, Vec<usize>), usize>,
-    plans: HashMap<(usize, u64, u64), Arc<ScopePlan>>,
+    plans: HashMap<super::PlanCacheKey, Arc<ScopePlan>>,
+    /// Shared (not snapshot) semi-join build cache: workers and the
+    /// coordinator probe — and lazily populate — the *same* build sets
+    /// through the `Arc`, so a decorrelated scope builds its key set once
+    /// per evaluation, not once per worker.
+    semi_builds: super::semijoin::SemiBuildCache,
+    /// Snapshot of the coordinator's bailed-decorrelation scopes.
+    semi_bailed: std::collections::HashSet<usize>,
 }
 
 impl<'a> WorkerSeed<'a> {
@@ -64,12 +72,15 @@ impl<'a> WorkerSeed<'a> {
             conv: self.conv,
             strategy: self.strategy,
             threads: 1,
+            decorrelate: self.decorrelate,
             program: self.program,
             defined: self.defined,
             abstracts: self.abstracts,
             join_indexes: RefCell::new(self.join_indexes.clone()),
             distinct_estimates: RefCell::new(self.distinct_estimates.clone()),
             plans: RefCell::new(self.plans.clone()),
+            semi_builds: self.semi_builds.clone(),
+            semi_bailed: RefCell::new(self.semi_bailed.clone()),
         }
     }
 }
@@ -93,12 +104,15 @@ impl<'a> Ctx<'a> {
             catalog: self.catalog,
             conv: self.conv,
             strategy: self.strategy,
+            decorrelate: self.decorrelate,
             program: self.program,
             defined: self.defined,
             abstracts: self.abstracts,
             join_indexes: self.join_indexes.borrow().clone(),
             distinct_estimates: self.distinct_estimates.borrow().clone(),
             plans: self.plans.borrow().clone(),
+            semi_builds: self.semi_builds.clone(),
+            semi_bailed: self.semi_bailed.borrow().clone(),
         }
     }
 
@@ -144,7 +158,7 @@ impl<'a> Ctx<'a> {
         out: &mut Vec<T>,
     ) -> Result<bool> {
         let resolved = self.resolve_bindings(bindings)?;
-        let plan = self.scope_plan(bindings, filters, env, &resolved)?;
+        let plan = self.scope_plan(bindings, filters, env, &resolved, false)?;
         if plan.partition_axis().is_none() {
             return Ok(false);
         }

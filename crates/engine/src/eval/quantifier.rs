@@ -27,11 +27,14 @@
 //! situation instead of once per [`Ctx::enumerate`] call:
 //!
 //! * the **`Ctx`-level cache** keys by *(scope identity, outer-availability
-//!   signature)* — a correlated scope re-enters `enumerate` once per outer
-//!   row with an identical signature, so only the first row plans;
+//!   signature, planning role)* — a correlated scope that runs the nested
+//!   path re-enters `enumerate` once per outer row with an identical
+//!   signature, so only the first row plans (boolean scopes with pure
+//!   equi-join correlation don't even re-enter: [`super::semijoin`]
+//!   answers them from a build-once probe set);
 //! * the **global cache** ([`arc_plan::cache`]) keys by *(program hash,
-//!   scope fingerprint, signature, mode)* — repeated queries (same text,
-//!   re-parsed, fresh `Ctx`) skip planning entirely.
+//!   scope fingerprint, signature, mode, role)* — repeated queries (same
+//!   text, re-parsed, fresh `Ctx`) skip planning entirely.
 //!
 //! ## Parallel execution
 //!
@@ -148,8 +151,9 @@ pub(crate) enum Resolved<'b> {
     Nested(&'b Collection),
 }
 
-/// The runtime environment as the planner's outer scope.
-struct EnvOuter<'e>(&'e Env);
+/// The runtime environment as the planner's outer scope (shared with the
+/// semi-join module's eligibility check).
+pub(crate) struct EnvOuter<'e>(pub(crate) &'e Env);
 
 impl OuterScope for EnvOuter<'_> {
     fn attrs(&self, var: &str) -> Option<&[String]> {
@@ -486,17 +490,20 @@ impl<'a> Ctx<'a> {
     /// The scope's physical plan — through the caches when possible.
     ///
     /// Lookup order: the `Ctx`-level map keyed by *(binding-list address,
-    /// outer signature)* (addresses are stable for the `Ctx` lifetime
-    /// because the AST strictly outlives the per-evaluation context);
-    /// then the global cache keyed by the full structural
-    /// [`PlanKey`](arc_plan::PlanKey); then a fresh [`arc_plan::plan_scope`]
-    /// run, published to both.
+    /// outer signature, boolean role)* (addresses are stable for the
+    /// `Ctx` lifetime because the AST strictly outlives the
+    /// per-evaluation context); then the global cache keyed by the full
+    /// structural [`PlanKey`](arc_plan::PlanKey); then a fresh
+    /// [`arc_plan::plan_scope`] (or, for boolean scopes,
+    /// [`arc_plan::plan_scope_boolean`] — the decorrelation pass) run,
+    /// published to both.
     pub(crate) fn scope_plan(
         &self,
         bindings: &[Binding],
         filters: &[&Predicate],
         env: &Env,
         resolved: &[Resolved<'_>],
+        boolean: bool,
     ) -> Result<Arc<ScopePlan>> {
         let frees: Vec<Vec<String>> = resolved
             .iter()
@@ -522,7 +529,7 @@ impl<'a> Ctx<'a> {
         // evaluation) — kept only so the two key shapes stay in lockstep
         // if a context ever outlives a statistics change.
         let epoch = self.catalog.stats_epoch();
-        let ctx_key = (bindings.as_ptr() as usize, sig, epoch);
+        let ctx_key = (bindings.as_ptr() as usize, sig, epoch, boolean);
         if let Some(plan) = self.plans.borrow().get(&ctx_key) {
             return Ok(plan.clone());
         }
@@ -570,13 +577,19 @@ impl<'a> Ctx<'a> {
             sig,
             epoch,
             mode: self.strategy.plan_mode(),
+            decor: boolean,
         };
         let plan = match cache::global_lookup(&key) {
             Some(plan) => plan,
             None => {
                 // Plan, mapping planner failures onto the precise
                 // source-kind diagnostics.
-                let plan = arc_plan::plan_scope(&spec, self.strategy.plan_mode()).map_err(|e| {
+                let planned = if boolean {
+                    arc_plan::plan_scope_boolean(&spec, self.strategy.plan_mode())
+                } else {
+                    arc_plan::plan_scope(&spec, self.strategy.plan_mode())
+                };
+                let plan = planned.map_err(|e| {
                     let PlanError::Unplaceable { binding } = e;
                     let b = &bindings[binding];
                     match (&b.source, &resolved[binding]) {
@@ -604,6 +617,24 @@ impl<'a> Ctx<'a> {
                 plan
             }
         };
+        if boolean && plan.decorrelation.is_none() {
+            // A bailed decorrelation is byte-identical to the emitting-role
+            // plan (`plan_scope_boolean` falls back to the ordinary
+            // pipeline): publish it under the non-boolean keys too, so the
+            // nested path that follows — `quant_truth` falling through to
+            // `enumerate` — reuses it instead of planning the same scope a
+            // second time.
+            cache::global_store(
+                arc_plan::PlanKey {
+                    decor: false,
+                    ..key
+                },
+                plan.clone(),
+            );
+            self.plans
+                .borrow_mut()
+                .insert((ctx_key.0, ctx_key.1, ctx_key.2, false), plan.clone());
+        }
         self.plans.borrow_mut().insert(ctx_key, plan.clone());
         Ok(plan)
     }
@@ -689,8 +720,21 @@ impl<'a> Ctx<'a> {
         env: &Env,
     ) -> Result<(Vec<Ordered<'c>>, Vec<&'c Predicate>, Vec<&'c Predicate>)> {
         let resolved = self.resolve_bindings(bindings)?;
-        let plan = self.scope_plan(bindings, filters, env, &resolved)?;
+        let plan = self.scope_plan(bindings, filters, env, &resolved, false)?;
         self.materialize_steps(bindings, filters, &resolved, &plan)
+    }
+
+    /// Drive already-materialized steps to completion (no re-planning):
+    /// the semi-join build pipeline enters here, everything else goes
+    /// through [`Ctx::enumerate`].
+    pub(crate) fn run_steps(
+        &self,
+        order: &[Ordered<'_>],
+        leaf: &[&Predicate],
+        env: &mut Env,
+        cb: &mut dyn FnMut(&Ctx<'a>, &mut Env) -> Result<bool>,
+    ) -> Result<()> {
+        self.enumerate_rec(order, 0, leaf, env, cb).map(|_| ())
     }
 }
 

@@ -1,0 +1,263 @@
+//! Decorrelated boolean scopes: set-level semi/anti-join execution.
+//!
+//! A boolean quantifier scope (`∃` in a conjunct, `¬∃` under negation —
+//! the `semi-join ∃` / `anti-join ¬∃` roles in `EXPLAIN`) used to be
+//! answered by re-entering the binding loop once per outer environment:
+//! O(outer × inner) in the worst case, with the plan cache amortizing
+//! only the *planning*. When the scope's correlation with the outer
+//! environment is a **pure equi-join** (recognized by
+//! [`arc_plan::plan_scope_boolean`]'s decorrelation pass), this module
+//! instead:
+//!
+//! 1. evaluates the scope body **once** — the build pipeline, planned
+//!    with the correlated filters masked and the outer environment
+//!    hidden, so it is provably outer-row independent;
+//! 2. keys a hash set on the scope-local sides of the correlated
+//!    equalities (via [`join_key`], the workspace's single source of
+//!    equi-join key semantics: `NULL`/`NaN` components never enter the
+//!    set, because no equality can ever hold on them);
+//! 3. answers every outer row by evaluating the outer sides and probing —
+//!    O(1) per row, after the outer-only prelude filters run.
+//!
+//! ## Three-valued logic
+//!
+//! The probe reproduces the reference semantics exactly, including the
+//! `NOT IN`-shaped corner: an outer key containing `NULL` makes every
+//! correlated equality evaluate to `Unknown`, so no inner environment
+//! survives — `∃` is *false* and `¬∃` (applied by the caller's negation)
+//! is *true*, which is precisely what the nested path computes row by
+//! row. Build-side `NULL` keys likewise match no probe. Bag semantics
+//! needs no extra care: a boolean scope contributes a truth value, never
+//! multiplicity (the §2.7 semijoin-multiplicity rule lives at the
+//! emission spine, unchanged).
+//!
+//! ## Caching and sharing
+//!
+//! Built key sets live in [`SemiBuildCache`], keyed by the build plan's
+//! `Arc` address (plans are cached per `Ctx` and never dropped before
+//! it, and a statistics-epoch change produces a fresh plan `Arc`, so the
+//! key can never serve a stale build). The cache itself sits behind an
+//! `Arc<Mutex<…>>` shared with every worker context the parallel
+//! executor forks — all workers probe the *same* build instead of each
+//! re-building.
+//!
+//! ## Fallback
+//!
+//! If the build errors (say, an unknown attribute in a build-side leaf
+//! filter), the error is *not* reported from here: the scope is marked
+//! non-decorrelatable for this evaluation and the nested path re-runs it
+//! per outer row — surfacing the error exactly when (and only when) the
+//! reference enumeration would, early exits included.
+
+use super::env::Env;
+use super::partition::Parts;
+use super::quantifier::EnvOuter;
+use super::{Ctx, EvalStrategy};
+use crate::error::Result;
+use crate::relation::join_key;
+use arc_core::ast::{Quant, Scalar};
+use arc_core::value::{Key, Truth};
+use arc_plan::logical::eq_sides;
+use arc_plan::ScopePlan;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The correlated-key set of one build: every key the scope body can
+/// produce (NULL/NaN-free by construction).
+pub(crate) type KeySet = HashSet<Vec<Key>>;
+
+/// One cached build. The entry **pins** the plan whose address keys it:
+/// worker-planned `Arc`s are otherwise retained only by that worker's
+/// plan snapshot and the (overwritable, cap-clearable) global cache, so
+/// without the pin an address could be freed mid-evaluation and recycled
+/// by a different scope's same-size plan allocation — and the probe
+/// would serve the wrong key set. Holding the `Arc` makes address reuse
+/// impossible for as long as the entry lives.
+pub(crate) struct SemiEntry {
+    _plan: Arc<ScopePlan>,
+    /// `None` records a failed build: the scope falls back to the nested
+    /// path for the rest of the evaluation (which reproduces any real
+    /// error lazily) instead of re-attempting the build per outer row.
+    set: Option<Arc<KeySet>>,
+}
+
+/// Build-once cache of decorrelated scopes, keyed by the (pinned, see
+/// [`SemiEntry`]) build plan's `Arc` address.
+#[derive(Clone, Default)]
+pub(crate) struct SemiBuildCache(Arc<Mutex<HashMap<usize, SemiEntry>>>);
+
+/// Count of semi-join builds since process start. `tests/semijoin_build.rs`
+/// asserts a correlated scope builds once per evaluation — not once per
+/// outer row — the execution-level companion of `arc_plan::planner_runs`.
+static SEMI_BUILDS: AtomicU64 = AtomicU64::new(0);
+
+/// Total decorrelated-scope builds so far in this process.
+pub fn semi_build_runs() -> u64 {
+    SEMI_BUILDS.load(Ordering::Relaxed)
+}
+
+impl<'a> Ctx<'a> {
+    /// Try to answer a boolean quantifier scope through the decorrelated
+    /// set-level path. `Ok(None)` means "not decorrelatable here — run
+    /// the nested loop"; the caller falls through with identical
+    /// semantics.
+    pub(crate) fn semijoin_truth(
+        &self,
+        q: &Quant,
+        parts: &Parts<'_>,
+        env: &mut Env,
+    ) -> Result<Option<Truth>> {
+        if !self.decorrelate || self.strategy != EvalStrategy::Planned {
+            return Ok(None);
+        }
+        // Negative cache: a scope that already bailed (ineligible shape or
+        // non-equi correlation) is re-entered once per outer row — skip
+        // the shape check, resolution, and plan lookup after the first
+        // bail. Keyed by scope identity only: the rare scope evaluated
+        // under *differently-shaped* environments (an abstract definition
+        // body used at two call sites) may then skip a decorrelation
+        // opportunity at the second site, which costs performance, never
+        // correctness — decorrelation is an optimization either way.
+        let scope_key = q.bindings.as_ptr() as usize;
+        if self.semi_bailed.borrow().contains(&scope_key) {
+            return Ok(None);
+        }
+        let bail = || {
+            self.semi_bailed.borrow_mut().insert(scope_key);
+            Ok(None)
+        };
+        // Shape check (shared with `EXPLAIN`'s lowering): no grouping, no
+        // outer-join annotation, no aggregates, and no boolean subformula
+        // correlated with the outer environment.
+        if !arc_plan::decorrelatable_shape(q, parts, &EnvOuter(env)) {
+            return bail();
+        }
+        let resolved = self.resolve_bindings(&q.bindings)?;
+        let plan = self.scope_plan(&q.bindings, &parts.filters, env, &resolved, true)?;
+        let Some(dec) = &plan.decorrelation else {
+            return bail();
+        };
+        // The outer-only prelude, per outer row — exactly the filters the
+        // nested path would have checked before its first step. One
+        // failing verdict empties the scope: `∃` is false.
+        for &i in &dec.probe_filters {
+            if !self.pred_truth(parts.filters[i], env)?.is_true() {
+                return Ok(Some(Truth::False));
+            }
+        }
+        let Some(set) = self.semi_build(q, parts, &resolved, &plan, env)? else {
+            return Ok(None); // failed build: nested path reproduces it
+        };
+        // Probe: evaluate the outer side of every correlated equality. A
+        // NULL/NaN component can satisfy no equality, so the scope is
+        // empty for this row (NOT IN semantics fall out of this when the
+        // caller negates).
+        let mut key = Vec::with_capacity(dec.keys.len());
+        for k in &dec.keys {
+            let (_, outer_expr) = eq_sides(parts.filters[k.filter], k.local_on_left);
+            match join_key(&self.scalar(outer_expr, env)?) {
+                Some(component) => key.push(component),
+                None => return Ok(Some(Truth::False)),
+            }
+        }
+        Ok(Some(Truth::from_bool(set.contains(&key))))
+    }
+
+    /// The build, through the shared cache: first caller (coordinator or
+    /// any pool worker) builds, everyone else probes the same `Arc`. Two
+    /// racing workers may both build; the first insert wins and the
+    /// duplicate — identical by construction — is dropped.
+    fn semi_build(
+        &self,
+        q: &Quant,
+        parts: &Parts<'_>,
+        resolved: &[super::quantifier::Resolved<'_>],
+        plan: &Arc<ScopePlan>,
+        env: &mut Env,
+    ) -> Result<Option<Arc<KeySet>>> {
+        let cache_key = Arc::as_ptr(plan) as usize;
+        if let Some(entry) = self
+            .semi_builds
+            .0
+            .lock()
+            .expect("semi-build cache")
+            .get(&cache_key)
+        {
+            return Ok(entry.set.clone());
+        }
+        SEMI_BUILDS.fetch_add(1, Ordering::Relaxed);
+        let base = env.len();
+        let set = match self.run_build(q, parts, resolved, plan, env) {
+            Ok(set) => Some(Arc::new(set)),
+            Err(_) => {
+                // Abandoned enumeration may leave local frames pushed;
+                // restore the environment before the nested path reuses it.
+                env.truncate(base);
+                None
+            }
+        };
+        let mut map = self.semi_builds.0.lock().expect("semi-build cache");
+        Ok(map
+            .entry(cache_key)
+            .or_insert(SemiEntry {
+                _plan: plan.clone(),
+                set,
+            })
+            .set
+            .clone())
+    }
+
+    /// Evaluate the build pipeline once, collecting the correlated-key
+    /// set. The environment's outer frames are present but provably
+    /// unread: every build-side expression resolves against scope locals
+    /// (the decorrelation pass planned the build under `NoOuter`).
+    fn run_build(
+        &self,
+        q: &Quant,
+        parts: &Parts<'_>,
+        resolved: &[super::quantifier::Resolved<'_>],
+        plan: &Arc<ScopePlan>,
+        env: &mut Env,
+    ) -> Result<KeySet> {
+        let dec = plan.decorrelation.as_ref().expect("decorrelated plan");
+        let (order, prelude, leaf) =
+            self.materialize_steps(&q.bindings, &parts.filters, resolved, plan)?;
+        let mut set = KeySet::new();
+        // The build prelude holds constant-only filters (every
+        // outer-touching filter went to the probe side): one failing
+        // verdict empties the build.
+        for p in &prelude {
+            if !self.pred_truth(p, env)?.is_true() {
+                return Ok(set);
+            }
+        }
+        let local_exprs: Vec<&Scalar> = dec
+            .keys
+            .iter()
+            .map(|k| eq_sides(parts.filters[k.filter], k.local_on_left).0)
+            .collect();
+        self.run_steps(&order, &leaf, env, &mut |ctx, env| {
+            // Outer-free boolean subformulas run per build environment,
+            // exactly where the nested path evaluates them.
+            for b in &parts.pre_bool {
+                if !ctx.formula_truth(b, env)?.is_true() {
+                    return Ok(true);
+                }
+            }
+            let mut key = Vec::with_capacity(local_exprs.len());
+            for e in &local_exprs {
+                match join_key(&ctx.scalar(e, env)?) {
+                    Some(k) => key.push(k),
+                    None => return Ok(true), // NULL/NaN: matches no probe
+                }
+            }
+            set.insert(key);
+            // A keyless build is a pure non-emptiness check: the first
+            // surviving environment decides, so stop early — matching the
+            // nested path's existential short-circuit.
+            Ok(!local_exprs.is_empty())
+        })?;
+        Ok(set)
+    }
+}

@@ -18,6 +18,31 @@ pub fn threads_from_env() -> Result<usize, EvalError> {
     arc_exec::parse_threads(std::env::var("ARC_THREADS").ok().as_deref()).map_err(EvalError::Config)
 }
 
+/// Set-level decorrelation of boolean quantifier scopes, from
+/// `ARC_DECORRELATE`: unset/`on` (the default) lets the planned engine
+/// execute `∃`/`¬∃` scopes with pure equi-join correlation as build-once
+/// semi/anti-joins; `off` pins the per-outer-row nested path everywhere
+/// (mirroring the `ARC_PLAN`/`ARC_STATS` escape hatches). A malformed
+/// value surfaces as [`EvalError::Config`] on the first evaluation.
+pub fn decorrelate_from_env() -> Result<bool, EvalError> {
+    parse_decorrelate(std::env::var("ARC_DECORRELATE").ok().as_deref()).map_err(EvalError::Config)
+}
+
+/// Pure core of [`decorrelate_from_env`] (unit-testable without touching
+/// the process environment, which is racy under parallel tests).
+pub fn parse_decorrelate(value: Option<&str>) -> Result<bool, String> {
+    match value.map(|v| v.to_lowercase().replace('_', "-")) {
+        None => Ok(true),
+        Some(v) => match v.as_str() {
+            "" | "on" | "1" | "true" | "auto" => Ok(true),
+            "off" | "0" | "false" | "no" => Ok(false),
+            other => Err(format!(
+                "unknown ARC_DECORRELATE `{other}` (expected `on` or `off`)"
+            )),
+        },
+    }
+}
+
 /// How quantifier scopes are planned and enumerated.
 ///
 /// [`EvalStrategy::Planned`] (the default) routes every scope through
@@ -169,5 +194,17 @@ mod tests {
         let err = EvalStrategy::parse(None, Some("offf")).unwrap_err();
         assert!(err.contains("offf"), "{err}");
         assert!(err.contains("ARC_PLAN"), "{err}");
+    }
+
+    #[test]
+    fn decorrelate_parses_like_the_other_escape_hatches() {
+        assert_eq!(parse_decorrelate(None), Ok(true));
+        assert_eq!(parse_decorrelate(Some("on")), Ok(true));
+        assert_eq!(parse_decorrelate(Some("1")), Ok(true));
+        assert_eq!(parse_decorrelate(Some("OFF")), Ok(false));
+        assert_eq!(parse_decorrelate(Some("0")), Ok(false));
+        let err = parse_decorrelate(Some("nope")).unwrap_err();
+        assert!(err.contains("nope"), "{err}");
+        assert!(err.contains("ARC_DECORRELATE"), "{err}");
     }
 }

@@ -85,12 +85,14 @@ impl Engine<'_> {
     pub fn explain_collection(&self, c: &Collection) -> Result<String> {
         let mode = self.strategy()?.plan_mode();
         let threads = self.threads()?;
+        let decorrelate = self.decorrelate()?;
         let resolver = CatalogResolver {
             catalog: self.catalog,
             defined: HashMap::new(),
             abstracts: HashMap::new(),
         };
-        let plan = arc_plan::lower_collection(c, &resolver, mode).map_err(lower_err)?;
+        let plan =
+            arc_plan::lower_collection_opts(c, &resolver, mode, decorrelate).map_err(lower_err)?;
         Ok(arc_plan::render_with_threads(&plan, threads))
     }
 
@@ -100,6 +102,7 @@ impl Engine<'_> {
     pub fn explain_program(&self, p: &Program) -> Result<String> {
         let mode = self.strategy()?.plan_mode();
         let threads = self.threads()?;
+        let decorrelate = self.decorrelate()?;
         // Classify abstract definitions via the binder, mirroring
         // `materialize_definitions`.
         let bound = Binder::new().bind_program(p);
@@ -124,7 +127,8 @@ impl Engine<'_> {
             defined,
             abstracts,
         };
-        let plan = arc_plan::lower_program(p, &resolver, mode).map_err(lower_err)?;
+        let plan =
+            arc_plan::lower_program_opts(p, &resolver, mode, decorrelate).map_err(lower_err)?;
         Ok(arc_plan::render_with_threads(&plan, threads))
     }
 }

@@ -65,6 +65,7 @@ pub mod relation;
 
 pub use catalog::Catalog;
 pub use error::{EvalError, Result};
+pub use eval::semijoin::semi_build_runs;
 pub use eval::{Engine, EvalStrategy};
 pub use external::{AccessPattern, ExternalRelation};
 pub use fixpoint::{FixpointStrategy, ProgramOutput};

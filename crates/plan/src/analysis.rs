@@ -190,6 +190,17 @@ pub fn free_vars(c: &Collection) -> Vec<String> {
     free
 }
 
+/// Free variables of a bare formula: referenced variables that no
+/// quantifier inside the formula binds. Used by the decorrelation pass to
+/// detect non-equi-join correlation hiding in a scope's boolean
+/// subformulas (a nested quantifier referencing an outer variable).
+pub fn formula_free_vars(f: &Formula) -> Vec<String> {
+    let mut bound = Vec::new();
+    let mut free = Vec::new();
+    collect_free(f, &mut bound, &mut free);
+    free
+}
+
 fn collect_free(f: &Formula, bound: &mut Vec<String>, free: &mut Vec<String>) {
     match f {
         Formula::Quant(q) => {

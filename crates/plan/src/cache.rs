@@ -8,9 +8,14 @@
 //!
 //! * **per evaluation context** — a correlated scope re-enters the
 //!   planner once per outer row with identical inputs; the engine caches
-//!   by `(scope identity, outer-availability signature)` so the search
-//!   runs once, not once per row (the engine's cache lives on its `Ctx`;
-//!   this module supplies the signature hashing);
+//!   by `(scope identity, outer-availability signature, planning role)`
+//!   so the search runs once, not once per row (the engine's cache lives
+//!   on its `Ctx`; this module supplies the signature hashing). Boolean
+//!   scopes planned for set-level decorrelation cache under the same
+//!   scheme with the `decor` role bit set — and the engine keys its
+//!   build-once semi-join key sets off the cached plan, so *execution*
+//!   of a decorrelated scope amortizes across outer rows too, not just
+//!   planning;
 //! * **globally, keyed by program hash** — repeated queries (same text,
 //!   re-parsed) hash to the same [`PlanKey`] and skip planning entirely.
 //!
@@ -413,6 +418,11 @@ pub struct PlanKey {
     pub epoch: u64,
     /// The planning mode (force modes plan differently by design).
     pub mode: PlanMode,
+    /// Whether the scope was planned in the boolean (decorrelatable) role
+    /// ([`crate::physical::plan_scope_boolean`]): the same scope structure
+    /// plans differently as a build pipeline than as an emitting scope,
+    /// so the two roles must never share a cache slot.
+    pub decor: bool,
 }
 
 // ---------------------------------------------------------------------------
@@ -575,6 +585,7 @@ mod tests {
             sig: 0,
             epoch: 0,
             mode: PlanMode::Auto,
+            decor: false,
         };
         assert!(global_lookup(&key).is_none());
         global_store(key, plan.clone());

@@ -122,6 +122,28 @@ fn render_into(node: &PlanNode, depth: usize, threads: usize, out: &mut String) 
                 render_into(&c.plan, depth + 2, threads, out);
             }
         }
+        PlanNode::SemiJoin {
+            anti,
+            keys,
+            prelude,
+            est_keys,
+            build,
+        } => {
+            let op = if *anti { "anti-join" } else { "semi-join" };
+            let on = if keys.is_empty() {
+                // Correlation is prelude-only (or absent): the build
+                // collapses to a cached non-emptiness verdict.
+                String::from("[∅]")
+            } else {
+                format!("[{}]", keys.join(", "))
+            };
+            line(out, depth, &format!("{op} on {on} (est={est_keys})"));
+            for p in prelude {
+                line(out, depth + 1, &format!("probe-filter: {p}"));
+            }
+            line(out, depth + 1, "build (once)");
+            render_into(build, depth + 2, threads, out);
+        }
         PlanNode::OuterJoin {
             tree,
             filters,

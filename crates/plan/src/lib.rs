@@ -57,12 +57,12 @@ pub use estimator::TableStatsEstimator;
 pub use explain::{render, render_with_threads};
 pub use normalize::{normalize_collection, normalize_formula};
 pub use physical::{
-    plan_scope, planner_runs, Access, EqInput, PlanMode, ProbeKey, ScopePlan, Step,
-    PARALLEL_MIN_ROWS,
+    decorrelatable_shape, plan_scope, plan_scope_boolean, planner_runs, Access, CorrelatedKey,
+    Decorrelation, EqInput, PlanMode, ProbeKey, ScopePlan, Step, PARALLEL_MIN_ROWS,
 };
 pub use query::{
-    lower_collection, lower_program, LowerError, PlanNode, ResolvedSource, SourceKind,
-    SourceResolver,
+    lower_collection, lower_collection_opts, lower_program, lower_program_opts, LowerError,
+    PlanNode, ResolvedSource, SourceKind, SourceResolver,
 };
 pub use scope::{
     BindingSpec, DistinctEstimator, NoOuter, OuterScope, PlanError, ScopeSpec, SourceSpec,

@@ -77,6 +77,26 @@ pub fn other_side(p: &Predicate, attr_on_left: bool) -> &Scalar {
     }
 }
 
+/// The two sides of an equality predicate in *(local, outer)* orientation
+/// for a decorrelated correlated key: with `local_on_left` the comparison
+/// reads `local = outer`, otherwise `outer = local`. The first returned
+/// scalar is the build-side (scope-local) expression, the second the
+/// probe-side (outer) expression.
+pub fn eq_sides(p: &Predicate, local_on_left: bool) -> (&Scalar, &Scalar) {
+    match p {
+        Predicate::Cmp { left, right, .. } => {
+            if local_on_left {
+                (left, right)
+            } else {
+                (right, left)
+            }
+        }
+        // Unreachable for correlated keys (they are equality comparisons by
+        // construction); kept total for API robustness.
+        Predicate::IsNull { expr, .. } => (expr, expr),
+    }
+}
+
 /// All attribute references of a predicate, in occurrence order.
 pub fn pred_attr_refs(p: &Predicate) -> Vec<&AttrRef> {
     match p {

@@ -22,6 +22,18 @@
 //!    evaluate every filter at the leaf, like the paper's reference
 //!    semantics).
 //!
+//! Boolean quantifier scopes (the `semi-join ∃` / `anti-join ¬∃` roles of
+//! `EXISTS`-shaped subformulas) additionally run the **decorrelation
+//! pass** ([`plan_scope_boolean`]): when every correlated filter is a pure
+//! equi-join between a scope-local expression and an outer expression
+//! (plus optional outer-only prelude filters), the scope is planned as a
+//! *set-level* semi/anti-join — a build pipeline (this module's usual
+//! plan, with the correlated filters masked out and the outer environment
+//! hidden) plus a [`Decorrelation`] describing the correlated-key
+//! signature. The engine then evaluates the build **once**, keys a hash
+//! set on the correlated columns, and answers every outer row with an
+//! O(1) probe instead of re-entering the enumeration per row.
+//!
 //! ## Observational equivalence
 //!
 //! Pushdown and probing only ever *skip* environments that a leaf filter
@@ -35,11 +47,13 @@
 //! bag-identical — not order-identical — to the reference; the force modes
 //! preserve order exactly.
 
-use crate::logical::{extract_equalities, other_side, pred_attr_refs, EqEdge};
+use crate::analysis::{formula_free_vars, Parts};
+use crate::logical::{eq_sides, extract_equalities, other_side, pred_attr_refs, EqEdge};
 use crate::scope::{
-    PlanError, ScopeSpec, SourceSpec, ABSTRACT_EST, DEFAULT_ROWS, EXTERNAL_EST, NESTED_EST,
+    NoOuter, OuterScope, PlanError, ScopeSpec, SourceSpec, ABSTRACT_EST, DEFAULT_ROWS,
+    EXTERNAL_EST, NESTED_EST,
 };
-use arc_core::ast::{Predicate, Scalar};
+use arc_core::ast::{CmpOp, Predicate, Quant, Scalar};
 use std::collections::HashSet;
 
 /// How a scope is planned. Maps one-to-one onto the engine's
@@ -138,6 +152,41 @@ pub struct Step {
     pub estimated_rows: u64,
 }
 
+/// One correlated-key component of a decorrelated boolean scope: the
+/// scope-local side of equality filter `filter` is evaluated per build
+/// environment to form the key, the outer side per outer row to probe it
+/// (orientation via [`eq_sides`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorrelatedKey {
+    /// Index into the scope's filter list.
+    pub filter: usize,
+    /// Whether the scope-local expression is the comparison's left operand.
+    pub local_on_left: bool,
+}
+
+/// Set-level decorrelation of a boolean quantifier scope (`∃` / `¬∃`):
+/// attached to the scope's [`ScopePlan`] when the correlation with the
+/// outer environment is a pure equi-join. The plan's steps then describe
+/// the **build** pipeline — planned with the correlated filters masked
+/// out and the outer environment hidden, so the build is provably
+/// outer-row independent and can be evaluated once.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decorrelation {
+    /// The correlated-key signature: which equality filters tie the scope
+    /// body to the outer environment. May be empty when the only
+    /// correlation is outer-only prelude filters (or none at all) — the
+    /// build then collapses to a cached non-emptiness verdict.
+    pub keys: Vec<CorrelatedKey>,
+    /// Outer-only filters evaluated per outer row *before* probing (the
+    /// filters the nested path would have checked as its prelude).
+    pub probe_filters: Vec<usize>,
+    /// Estimated distinct correlated keys in the build (semi-join
+    /// selectivity: distinct counts of the key columns, capped by the
+    /// build's estimated cardinality). Display only, like
+    /// [`Step::estimated_rows`].
+    pub est_keys: u64,
+}
+
 /// The physical plan of one quantifier scope.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScopePlan {
@@ -149,6 +198,11 @@ pub struct ScopePlan {
     /// Filters evaluated only when every binding is bound (non-pushable:
     /// unresolved variables/attributes, or force modes).
     pub leaf_filters: Vec<usize>,
+    /// Present when this plan is the build side of a set-level semi/anti
+    /// join (boolean scopes planned by [`plan_scope_boolean`] whose
+    /// correlation is pure equi-join). `None` for every emitting scope and
+    /// for boolean scopes that fell back to the nested path.
+    pub decorrelation: Option<Decorrelation>,
 }
 
 /// Minimum estimated cardinality of an outer scan before partitioned
@@ -198,7 +252,246 @@ pub fn planner_runs() -> u64 {
 /// Plan one quantifier scope. See the module docs for the pass pipeline.
 pub fn plan_scope(spec: &ScopeSpec<'_>, mode: PlanMode) -> Result<ScopePlan, PlanError> {
     PLANNER_RUNS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-    let edges = extract_equalities(spec.filters);
+    plan_scope_impl(spec, mode, &[])
+}
+
+/// Plan a *boolean* quantifier scope (`∃` / `¬∃` truth, no emission):
+/// under [`PlanMode::Auto`] this first runs the decorrelation pass, and
+/// when the scope's correlation with the outer environment is a pure
+/// equi-join the returned plan describes the build pipeline and carries a
+/// [`Decorrelation`] (see [`ScopePlan::decorrelation`]). Everything else —
+/// force modes, non-equi correlation, placements that need the outer
+/// environment — falls back to the ordinary [`plan_scope`] result.
+pub fn plan_scope_boolean(spec: &ScopeSpec<'_>, mode: PlanMode) -> Result<ScopePlan, PlanError> {
+    PLANNER_RUNS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    if mode == PlanMode::Auto {
+        if let Some(plan) = try_decorrelate(spec) {
+            return Ok(plan);
+        }
+    }
+    plan_scope_impl(spec, mode, &[])
+}
+
+/// Structural eligibility of a boolean quantifier scope for set-level
+/// decorrelation: no grouping, no outer-join annotation, no aggregates,
+/// and no boolean subformula that references an outer variable (that
+/// would be correlation the equi-join key cannot capture). The
+/// filter-level classification — which correlated filters are clean
+/// equi-joins — happens inside [`plan_scope_boolean`]; this predicate is
+/// the cheap shape check both the engine and `EXPLAIN` run first.
+/// `parts` is the caller's already-computed *boolean* partition of
+/// `q.body` (head `"\u{0}"`) — both callers have it in hand, and this
+/// check runs per outer row on the engine's probe path, so re-deriving
+/// it here would put a full body walk on the hot loop.
+pub fn decorrelatable_shape(q: &Quant, parts: &Parts<'_>, outer: &dyn OuterScope) -> bool {
+    if q.grouping.is_some() || q.join.as_ref().is_some_and(|t| t.has_outer()) {
+        return false;
+    }
+    if !parts.agg_tests.is_empty() || !parts.post_bool.is_empty() {
+        return false;
+    }
+    parts.pre_bool.iter().all(|b| {
+        formula_free_vars(b)
+            .iter()
+            .all(|v| q.bindings.iter().any(|bi| &bi.var == v) || outer.attrs(v).is_none())
+    })
+}
+
+/// How one side of a filter relates to the scope.
+#[derive(PartialEq, Eq, Clone, Copy)]
+enum SideKind {
+    /// No attribute references (constant expression).
+    Neutral,
+    /// All references are scope-local and resolve against the binding
+    /// schemas.
+    Local,
+    /// At least one reference, all to visible outer variables, all
+    /// resolving against the outer schemas.
+    Outer,
+    /// Mixed, unresolvable, unknown-variable, or aggregate-bearing: the
+    /// decorrelation pass must bail.
+    Opaque,
+}
+
+/// The decorrelation pass: classify every filter as build-side
+/// (outer-free), probe-prelude (outer-only), or a correlated equi-join
+/// key — then plan the build with the correlated filters masked and the
+/// outer environment hidden. `None` means "not decorrelatable, use the
+/// nested path".
+fn try_decorrelate(spec: &ScopeSpec<'_>) -> Option<ScopePlan> {
+    let locals: HashSet<&str> = spec.bindings.iter().map(|b| b.var).collect();
+    if locals.len() != spec.bindings.len() {
+        // Duplicate range-variable names: plan-time resolution could
+        // disagree with the runtime's innermost-first lookup.
+        return None;
+    }
+    let local_resolves = |r: &arc_core::ast::AttrRef| -> bool {
+        spec.bindings
+            .iter()
+            .find(|b| b.var == r.var)
+            .is_some_and(|b| b.source.schema().contains(&r.attr))
+    };
+    let outer_resolves = |r: &arc_core::ast::AttrRef| -> bool {
+        spec.outer
+            .attrs(&r.var)
+            .is_some_and(|attrs| attrs.contains(&r.attr))
+    };
+    let side_kind = |s: &Scalar| -> SideKind {
+        if s.has_aggregate() {
+            return SideKind::Opaque;
+        }
+        let refs = s.attr_refs();
+        if refs.is_empty() {
+            return SideKind::Neutral;
+        }
+        if refs.iter().all(|r| locals.contains(r.var.as_str())) {
+            return if refs.iter().all(|r| local_resolves(r)) {
+                SideKind::Local
+            } else {
+                SideKind::Opaque
+            };
+        }
+        if refs
+            .iter()
+            .all(|r| !locals.contains(r.var.as_str()) && outer_resolves(r))
+        {
+            return SideKind::Outer;
+        }
+        SideKind::Opaque
+    };
+
+    let mut keys: Vec<CorrelatedKey> = Vec::new();
+    let mut probe_filters: Vec<usize> = Vec::new();
+    for (i, p) in spec.filters.iter().enumerate() {
+        // Build-side filters reference no visible outer variable at all
+        // (locals, constants, or unknown names — the latter error at the
+        // build's leaf exactly as they would at the nested path's leaf).
+        let touches_outer = pred_attr_refs(p)
+            .iter()
+            .any(|r| !locals.contains(r.var.as_str()) && spec.outer.attrs(&r.var).is_some());
+        if !touches_outer {
+            continue;
+        }
+        match p {
+            Predicate::Cmp {
+                left,
+                op: CmpOp::Eq,
+                right,
+            } => match (side_kind(left), side_kind(right)) {
+                (SideKind::Local, SideKind::Outer) => keys.push(CorrelatedKey {
+                    filter: i,
+                    local_on_left: true,
+                }),
+                (SideKind::Outer, SideKind::Local) => keys.push(CorrelatedKey {
+                    filter: i,
+                    local_on_left: false,
+                }),
+                (SideKind::Outer, SideKind::Outer | SideKind::Neutral)
+                | (SideKind::Neutral, SideKind::Outer) => probe_filters.push(i),
+                _ => return None,
+            },
+            // Any other correlated predicate shape is probe-prelude when
+            // it is outer-only and fully resolvable, and a bailout
+            // otherwise (non-equi correlation touching locals).
+            Predicate::Cmp { left, right, .. } => match (side_kind(left), side_kind(right)) {
+                (SideKind::Outer | SideKind::Neutral, SideKind::Outer | SideKind::Neutral) => {
+                    probe_filters.push(i)
+                }
+                _ => return None,
+            },
+            Predicate::IsNull { expr, .. } => match side_kind(expr) {
+                SideKind::Outer => probe_filters.push(i),
+                _ => return None,
+            },
+        }
+    }
+
+    // Plan the build with the correlated filters masked out and NO outer
+    // environment: a placement that would need an outer variable (lateral
+    // free vars, external/abstract inputs through outer expressions)
+    // fails here, and the scope falls back to the nested path — which is
+    // what keeps the build provably outer-row independent.
+    let mut masked: Vec<usize> = keys.iter().map(|k| k.filter).collect();
+    masked.extend(probe_filters.iter().copied());
+    let build_spec = ScopeSpec {
+        bindings: spec.bindings.clone(),
+        filters: spec.filters,
+        outer: &NoOuter,
+        estimator: spec.estimator,
+    };
+    let mut plan = plan_scope_impl(&build_spec, PlanMode::Auto, &masked).ok()?;
+
+    // Semi-join selectivity estimate: distinct count of the correlated
+    // key (per-binding column sets through the statistics estimator, MCV
+    // capped there), bounded by the build's estimated cardinality.
+    let build_rows = plan
+        .steps
+        .iter()
+        .fold(1u64, |acc, s| acc.saturating_mul(s.estimated_rows.max(1)));
+    let mut est_keys = build_rows.max(1);
+    if let Some(est) = spec.estimator {
+        let mut per_binding: Vec<(usize, Vec<usize>)> = Vec::new();
+        let mut all_bare = true;
+        for k in &keys {
+            let (local, _) = eq_sides(spec.filters[k.filter], k.local_on_left);
+            let Scalar::Attr(a) = local else {
+                all_bare = false;
+                break;
+            };
+            let Some(bi) = spec.bindings.iter().position(|b| b.var == a.var) else {
+                all_bare = false;
+                break;
+            };
+            let Some(col) = spec.bindings[bi]
+                .source
+                .schema()
+                .iter()
+                .position(|s| s == &a.attr)
+            else {
+                all_bare = false;
+                break;
+            };
+            match per_binding.iter_mut().find(|(b, _)| *b == bi) {
+                Some((_, cols)) => cols.push(col),
+                None => per_binding.push((bi, vec![col])),
+            }
+        }
+        if all_bare && !keys.is_empty() {
+            let mut product = 1u64;
+            let mut known = true;
+            for (bi, cols) in &per_binding {
+                match est.distinct(*bi, cols) {
+                    Some(d) => product = product.saturating_mul(d.max(1) as u64),
+                    None => known = false,
+                }
+            }
+            if known {
+                est_keys = product.min(build_rows.max(1));
+            }
+        }
+    }
+
+    plan.decorrelation = Some(Decorrelation {
+        keys,
+        probe_filters,
+        est_keys,
+    });
+    Some(plan)
+}
+
+/// The shared planning pipeline. `masked` filters are invisible to every
+/// pass — they can neither drive probe keys / external inputs nor be
+/// scheduled anywhere — because the caller enforces them elsewhere (the
+/// decorrelated probe).
+fn plan_scope_impl(
+    spec: &ScopeSpec<'_>,
+    mode: PlanMode,
+    masked: &[usize],
+) -> Result<ScopePlan, PlanError> {
+    let edges: Vec<EqEdge> = extract_equalities(spec.filters)
+        .into_iter()
+        .filter(|e| !masked.contains(&e.filter))
+        .collect();
     let locals: HashSet<&str> = spec.bindings.iter().map(|b| b.var).collect();
 
     let mut remaining: Vec<usize> = (0..spec.bindings.len()).collect();
@@ -275,7 +568,7 @@ pub fn plan_scope(spec: &ScopeSpec<'_>, mode: PlanMode) -> Result<ScopePlan, Pla
                             // histogram selectivity) when stats exist —
                             // without statistics the product is 1 and the
                             // cost is the plain row count, as ever.
-                            let sel = const_selectivity(spec, bi, b.var, schema, &[]);
+                            let sel = const_selectivity(spec, bi, b.var, schema, masked);
                             (Access::Scan, rows_f * sel)
                         } else {
                             // Probe cost: constant-keyed columns use their
@@ -285,7 +578,7 @@ pub fn plan_scope(spec: &ScopeSpec<'_>, mode: PlanMode) -> Result<ScopePlan, Pla
                             // filters (not consumed by the probe) scale
                             // the result like they scale a scan.
                             let mut var_cols: Vec<usize> = Vec::new();
-                            let mut probed: Vec<usize> = Vec::with_capacity(keys.len());
+                            let mut probed: Vec<usize> = masked.to_vec();
                             let mut cost = rows_f;
                             for k in &keys {
                                 probed.push(k.eq.filter);
@@ -385,8 +678,9 @@ pub fn plan_scope(spec: &ScopeSpec<'_>, mode: PlanMode) -> Result<ScopePlan, Pla
         steps,
         prelude_filters: Vec::new(),
         leaf_filters: Vec::new(),
+        decorrelation: None,
     };
-    assign_filters(spec, &locals, mode, &mut plan);
+    assign_filters(spec, &locals, mode, masked, &mut plan);
     Ok(plan)
 }
 
@@ -504,6 +798,7 @@ fn assign_filters(
     spec: &ScopeSpec<'_>,
     locals: &HashSet<&str>,
     mode: PlanMode,
+    masked: &[usize],
     plan: &mut ScopePlan,
 ) {
     if mode != PlanMode::Auto {
@@ -582,6 +877,12 @@ fn assign_filters(
         })
         .collect();
     for (i, slot) in slots.into_iter().enumerate() {
+        if masked.contains(&i) {
+            // Masked filters (decorrelated correlated keys and probe
+            // preludes) are enforced by the semi-join probe, never by the
+            // build pipeline.
+            continue;
+        }
         match slot {
             Slot::Prelude => plan.prelude_filters.push(i),
             Slot::Step(s) if probed.contains(&(s, i)) => {}

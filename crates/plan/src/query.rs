@@ -149,6 +149,22 @@ pub enum PlanNode {
         /// Labeled child subplans.
         children: Vec<ChildPlan>,
     },
+    /// A decorrelated boolean scope: a set-level semi- or anti-join whose
+    /// build pipeline runs once and whose correlated-key probe answers
+    /// every outer row in O(1) (see
+    /// [`plan_scope_boolean`](crate::physical::plan_scope_boolean)).
+    SemiJoin {
+        /// `true` for `anti-join ¬∃`, `false` for `semi-join ∃`.
+        anti: bool,
+        /// The correlated equality filters forming the key, rendered.
+        keys: Vec<String>,
+        /// Outer-only filters checked per probe, rendered.
+        prelude: Vec<String>,
+        /// Estimated distinct correlated keys in the build.
+        est_keys: u64,
+        /// The build pipeline (a [`PlanNode::Scope`], evaluated once).
+        build: Box<PlanNode>,
+    },
     /// An outer-join annotation scope (`left`/`full`, §2.11): executed on
     /// the materialized path, shown unplanned.
     OuterJoin {
@@ -194,21 +210,45 @@ impl OuterScope for ScopeStack {
 }
 
 /// Lower a collection into a logical plan under `resolver` statistics.
+/// Boolean subscopes run the decorrelation pass (matching the engine's
+/// default); use [`lower_collection_opts`] to disable it.
 pub fn lower_collection(
     c: &Collection,
     resolver: &dyn SourceResolver,
     mode: PlanMode,
 ) -> Result<PlanNode, LowerError> {
+    lower_collection_opts(c, resolver, mode, true)
+}
+
+/// [`lower_collection`] with the decorrelation pass made explicit:
+/// `decorrelate = false` mirrors an engine running `ARC_DECORRELATE=off`
+/// (boolean subscopes plan as nested pipelines).
+pub fn lower_collection_opts(
+    c: &Collection,
+    resolver: &dyn SourceResolver,
+    mode: PlanMode,
+    decorrelate: bool,
+) -> Result<PlanNode, LowerError> {
     let mut stack = ScopeStack::default();
-    lower_collection_in(c, resolver, mode, &mut stack)
+    lower_collection_in(c, resolver, mode, decorrelate, &mut stack)
 }
 
 /// Lower a program: definitions (recursive groups fused into fixpoint
-/// nodes) plus the query.
+/// nodes) plus the query. Decorrelation on; see [`lower_program_opts`].
 pub fn lower_program(
     p: &Program,
     resolver: &dyn SourceResolver,
     mode: PlanMode,
+) -> Result<PlanNode, LowerError> {
+    lower_program_opts(p, resolver, mode, true)
+}
+
+/// [`lower_program`] with the decorrelation pass made explicit.
+pub fn lower_program_opts(
+    p: &Program,
+    resolver: &dyn SourceResolver,
+    mode: PlanMode,
+    decorrelate: bool,
 ) -> Result<PlanNode, LowerError> {
     // Wrap the resolver so definition names resolve as intensional
     // relations even before materialization.
@@ -282,10 +322,11 @@ pub fn lower_program(
             let mut inputs = Vec::new();
             for &j in &group {
                 emitted[j] = true;
-                inputs.push(lower_collection(
+                inputs.push(lower_collection_opts(
                     &p.definitions[j].collection,
                     &resolver,
                     mode,
+                    decorrelate,
                 )?);
             }
             definitions.push(PlanNode::Fixpoint {
@@ -294,15 +335,21 @@ pub fn lower_program(
             });
         } else {
             emitted[i] = true;
-            definitions.push(lower_collection(
+            definitions.push(lower_collection_opts(
                 &p.definitions[i].collection,
                 &resolver,
                 mode,
+                decorrelate,
             )?);
         }
     }
     let query = match &p.query {
-        Some(q) => Some(Box::new(lower_collection(q, &resolver, mode)?)),
+        Some(q) => Some(Box::new(lower_collection_opts(
+            q,
+            &resolver,
+            mode,
+            decorrelate,
+        )?)),
         None => None,
     };
     Ok(PlanNode::Program { definitions, query })
@@ -332,9 +379,10 @@ fn lower_collection_in(
     c: &Collection,
     resolver: &dyn SourceResolver,
     mode: PlanMode,
+    decorrelate: bool,
     stack: &mut ScopeStack,
 ) -> Result<PlanNode, LowerError> {
-    let input = lower_branch(&c.body, &c.head, resolver, mode, stack)?;
+    let input = lower_branch(&c.body, &c.head, resolver, mode, decorrelate, stack)?;
     Ok(PlanNode::Project {
         head: c.head.relation.clone(),
         attrs: c.head.attrs.clone(),
@@ -347,17 +395,20 @@ fn lower_branch(
     head: &Head,
     resolver: &dyn SourceResolver,
     mode: PlanMode,
+    decorrelate: bool,
     stack: &mut ScopeStack,
 ) -> Result<PlanNode, LowerError> {
     match f {
         Formula::Or(branches) => {
             let mut inputs = Vec::with_capacity(branches.len());
             for b in branches {
-                inputs.push(lower_branch(b, head, resolver, mode, stack)?);
+                inputs.push(lower_branch(b, head, resolver, mode, decorrelate, stack)?);
             }
             Ok(PlanNode::Union { inputs })
         }
-        Formula::Quant(q) => lower_quant(q, &head.relation, resolver, mode, stack),
+        Formula::Quant(q) => {
+            lower_quant(q, &head.relation, resolver, mode, decorrelate, None, stack)
+        }
         other => {
             // Predicate-only body: a scope with no bindings.
             let q = Quant {
@@ -366,18 +417,24 @@ fn lower_branch(
                 join: None,
                 body: other.clone(),
             };
-            lower_quant(&q, &head.relation, resolver, mode, stack)
+            lower_quant(&q, &head.relation, resolver, mode, decorrelate, None, stack)
         }
     }
 }
 
 /// Lower one quantifier scope (the workhorse). `head` is the collection
-/// head name, or a non-occurring name for boolean scopes.
+/// head name, or a non-occurring name for boolean scopes. `bool_role` is
+/// `Some(negated)` when the scope is a boolean subformula (`semi-join ∃` /
+/// `anti-join ¬∃`) — the only position where the decorrelation pass may
+/// fire.
+#[allow(clippy::too_many_arguments)]
 fn lower_quant(
     q: &Quant,
     head: &str,
     resolver: &dyn SourceResolver,
     mode: PlanMode,
+    decorrelate: bool,
+    bool_role: Option<bool>,
     stack: &mut ScopeStack,
 ) -> Result<PlanNode, LowerError> {
     let parts = partition(&q.body, head);
@@ -455,12 +512,42 @@ fn lower_quant(
             outer: stack,
             estimator: Some(&estimator),
         };
-        let plan = plan_scope(&spec, mode).map_err(|e| match e {
+        // Boolean scopes run the decorrelation pass, mirroring the
+        // engine's execution-time decision exactly: same shape check,
+        // same planner entry point.
+        let boolean = bool_role.is_some()
+            && decorrelate
+            && mode == PlanMode::Auto
+            && crate::physical::decorrelatable_shape(q, &parts, stack);
+        let plan = if boolean {
+            crate::physical::plan_scope_boolean(&spec, mode)
+        } else {
+            plan_scope(&spec, mode)
+        }
+        .map_err(|e| match e {
             crate::scope::PlanError::Unplaceable { binding } => LowerError::Unplaceable {
                 var: q.bindings[binding].var.clone(),
             },
         })?;
-        render_scope(q, &parts, &plan, head)
+        let scope = render_scope(q, &parts, &plan, head);
+        match &plan.decorrelation {
+            Some(dec) => PlanNode::SemiJoin {
+                anti: bool_role.unwrap_or(false),
+                keys: dec
+                    .keys
+                    .iter()
+                    .map(|k| parts.filters[k.filter].to_string())
+                    .collect(),
+                prelude: dec
+                    .probe_filters
+                    .iter()
+                    .map(|&i| parts.filters[i].to_string())
+                    .collect(),
+                est_keys: dec.est_keys,
+                build: Box::new(scope),
+            },
+            None => scope,
+        }
     };
 
     // Push this scope's bindings for children (laterals, subformulas,
@@ -480,16 +567,32 @@ fn lower_quant(
         if let BindingSource::Collection(c) = &b.source {
             children.push(ChildPlan {
                 label: format!("lateral {}", b.var),
-                plan: lower_collection_in(c, resolver, mode, stack)?,
+                plan: lower_collection_in(c, resolver, mode, decorrelate, stack)?,
             });
         }
     }
     for sub in parts.pre_bool.iter().chain(parts.post_bool.iter()) {
-        collect_bool_children(sub, false, resolver, mode, stack, &mut children)?;
+        collect_bool_children(
+            sub,
+            false,
+            resolver,
+            mode,
+            decorrelate,
+            stack,
+            &mut children,
+        )?;
     }
     for spine in &parts.spines {
         let mut spine_children = Vec::new();
-        collect_spine_children(spine, head, resolver, mode, stack, &mut spine_children)?;
+        collect_spine_children(
+            spine,
+            head,
+            resolver,
+            mode,
+            decorrelate,
+            stack,
+            &mut spine_children,
+        )?;
         children.extend(spine_children);
     }
     stack.frames.truncate(base);
@@ -526,17 +629,34 @@ fn attach_children(node: PlanNode, mut new_children: Vec<ChildPlan>) -> PlanNode
                 children,
             }
         }
+        // Decorrelated scopes carry their children (laterals, nested
+        // subformulas) on the build pipeline.
+        PlanNode::SemiJoin {
+            anti,
+            keys,
+            prelude,
+            est_keys,
+            build,
+        } => PlanNode::SemiJoin {
+            anti,
+            keys,
+            prelude,
+            est_keys,
+            build: Box::new(attach_children(*build, new_children)),
+        },
         other => other, // outer-join scopes: children omitted from display
     }
 }
 
 /// Quantified subformulas of a boolean conjunct become labeled children:
 /// positive scopes are semi-joins, negated ones anti-joins.
+#[allow(clippy::too_many_arguments)]
 fn collect_bool_children(
     f: &Formula,
     negated: bool,
     resolver: &dyn SourceResolver,
     mode: PlanMode,
+    decorrelate: bool,
     stack: &mut ScopeStack,
     out: &mut Vec<ChildPlan>,
 ) -> Result<(), LowerError> {
@@ -549,28 +669,40 @@ fn collect_bool_children(
             };
             out.push(ChildPlan {
                 label: label.to_string(),
-                plan: lower_quant(q, "\u{0}", resolver, mode, stack)?,
+                plan: lower_quant(
+                    q,
+                    "\u{0}",
+                    resolver,
+                    mode,
+                    decorrelate,
+                    Some(negated),
+                    stack,
+                )?,
             });
             Ok(())
         }
         Formula::And(fs) | Formula::Or(fs) => {
             for sub in fs {
-                collect_bool_children(sub, negated, resolver, mode, stack, out)?;
+                collect_bool_children(sub, negated, resolver, mode, decorrelate, stack, out)?;
             }
             Ok(())
         }
-        Formula::Not(inner) => collect_bool_children(inner, !negated, resolver, mode, stack, out),
+        Formula::Not(inner) => {
+            collect_bool_children(inner, !negated, resolver, mode, decorrelate, stack, out)
+        }
         Formula::Pred(_) => Ok(()),
     }
 }
 
 /// Spine subformulas (assignment-bearing nested scopes) lower as plans of
 /// their own, labeled `spine`.
+#[allow(clippy::too_many_arguments)]
 fn collect_spine_children(
     f: &Formula,
     head: &str,
     resolver: &dyn SourceResolver,
     mode: PlanMode,
+    decorrelate: bool,
     stack: &mut ScopeStack,
     out: &mut Vec<ChildPlan>,
 ) -> Result<(), LowerError> {
@@ -578,13 +710,13 @@ fn collect_spine_children(
         Formula::Quant(q) => {
             out.push(ChildPlan {
                 label: "spine".to_string(),
-                plan: lower_quant(q, head, resolver, mode, stack)?,
+                plan: lower_quant(q, head, resolver, mode, decorrelate, None, stack)?,
             });
             Ok(())
         }
         Formula::And(fs) | Formula::Or(fs) => {
             for sub in fs {
-                collect_spine_children(sub, head, resolver, mode, stack, out)?;
+                collect_spine_children(sub, head, resolver, mode, decorrelate, stack, out)?;
             }
             Ok(())
         }

@@ -1,0 +1,83 @@
+//! Build-once guarantee of the decorrelated semi-join path: a correlated
+//! boolean scope evaluates its body **once per evaluation** — not once
+//! per outer row — and the parallel executor's workers share that single
+//! build through the `Arc`'d cache.
+//!
+//! The assertions read `arc_engine::semi_build_runs()`, a process-global
+//! counter — so this file deliberately contains a **single** `#[test]`
+//! (test binaries run one at a time under `cargo test`, and a single test
+//! keeps the counter deltas attributable), mirroring
+//! `tests/plan_cache.rs` for the planner-run counter.
+
+use arc_bench::fixtures as fx;
+use arc_core::conventions::Conventions;
+use arc_engine::{semi_build_runs, Engine, EvalStrategy};
+
+#[test]
+fn semijoin_builds_once_not_per_outer_row() {
+    let outer_rows = 400;
+    let catalog = fx::semijoin_catalog(outer_rows, 256);
+    let q = fx::not_exists_corr(256);
+
+    // Phase 1: one evaluation, one build — 400 outer rows probe it.
+    // (`with_strategy`/`with_decorrelate` pin the path explicitly: the
+    // suite also runs under forced strategies and `ARC_DECORRELATE=off`,
+    // which must not fail this test.)
+    let before = semi_build_runs();
+    let sequential = Engine::new(&catalog, Conventions::sql())
+        .with_strategy(EvalStrategy::Planned)
+        .with_threads(1)
+        .with_decorrelate(true)
+        .eval_collection(&q)
+        .unwrap();
+    let builds = semi_build_runs() - before;
+    assert!(!sequential.is_empty(), "fixture produces rows");
+    assert_eq!(
+        builds, 1,
+        "the correlated scope must build once for {outer_rows} outer rows"
+    );
+
+    // Phase 2: the escape hatch runs zero builds and agrees on the bag.
+    let before = semi_build_runs();
+    let nested = Engine::new(&catalog, Conventions::sql())
+        .with_strategy(EvalStrategy::Planned)
+        .with_threads(1)
+        .with_decorrelate(false)
+        .eval_collection(&q)
+        .unwrap();
+    assert_eq!(
+        semi_build_runs() - before,
+        0,
+        "ARC_DECORRELATE=off must not build semi-join sets"
+    );
+    assert!(sequential.bag_eq(&nested));
+
+    // Phase 3: partitioned execution — workers probe the coordinator-
+    // shared cache, so the build count stays far below the worker×morsel
+    // count (racing workers may at worst each build once) and the rows
+    // are identical, order included (invariant 9 extends to this path).
+    let before = semi_build_runs();
+    let parallel = Engine::new(&catalog, Conventions::sql())
+        .with_strategy(EvalStrategy::Planned)
+        .with_threads(4)
+        .with_decorrelate(true)
+        .eval_collection(&q)
+        .unwrap();
+    let parallel_builds = semi_build_runs() - before;
+    assert!(
+        parallel_builds <= 4,
+        "workers must share builds through the Arc'd cache, got {parallel_builds}"
+    );
+    assert_eq!(sequential.rows, parallel.rows);
+
+    // Phase 4: a fresh evaluation builds again (the cache is per
+    // evaluation — relation contents may differ between evaluations).
+    let before = semi_build_runs();
+    Engine::new(&catalog, Conventions::sql())
+        .with_strategy(EvalStrategy::Planned)
+        .with_threads(1)
+        .with_decorrelate(true)
+        .eval_collection(&q)
+        .unwrap();
+    assert_eq!(semi_build_runs() - before, 1);
+}
