@@ -242,9 +242,59 @@ fn semijoin_on_vs_off(c: &mut Criterion) {
     g.finish();
 }
 
+/// Vectorized columnar kernels vs. the row-at-a-time path
+/// (`ARC_VECTOR=on/off`, via `Engine::with_vectorize`) on three shapes:
+/// the constant-filter scan (pure kernel work: one selection vector
+/// instead of per-row environment push + predicate dispatch), Eq (1)'s
+/// equi-join (columnar hash-index build + filtered scan), and the PR 5
+/// correlated-`EXISTS` fixture (the decorrelated semi-join's key set
+/// built from column slices). Column encodings are cached on the
+/// relations, so the series prices steady-state evaluation, not the
+/// one-time encode.
+fn vectorized_vs_row_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_columnar");
+    let scan = fx::filter_scan();
+    for n in [4096usize, 16384, 65536] {
+        let catalog = fx::filter_catalog(n);
+        for (name, vectorize) in [
+            ("filter_scan_vectorized", true),
+            ("filter_scan_rows", false),
+        ] {
+            g.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                let engine = Engine::new(&catalog, Conventions::sql()).with_vectorize(vectorize);
+                b.iter(|| black_box(engine.eval_collection(&scan).unwrap().len()));
+            });
+        }
+    }
+    let join = fx::eq1();
+    for n in [1024usize, 4096] {
+        let catalog = fx::rs_catalog(n);
+        for (name, vectorize) in [("eq1_join_vectorized", true), ("eq1_join_rows", false)] {
+            g.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                let engine = Engine::new(&catalog, Conventions::sql()).with_vectorize(vectorize);
+                b.iter(|| black_box(engine.eval_collection(&join).unwrap().len()));
+            });
+        }
+    }
+    let k = 1024;
+    let exists = fx::exists_corr(k);
+    for n in [1024usize, 4096] {
+        let catalog = fx::semijoin_catalog(n, k);
+        for (name, vectorize) in [("semijoin_vectorized", true), ("semijoin_rows", false)] {
+            g.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                let engine = Engine::new(&catalog, Conventions::sql())
+                    .with_strategy(EvalStrategy::Planned)
+                    .with_vectorize(vectorize);
+                b.iter(|| black_box(engine.eval_collection(&exists).unwrap().len()));
+            });
+        }
+    }
+    g.finish();
+}
+
 criterion_group! {
     name = ablation;
     config = configured();
-    targets = nested_loop_vs_hash_join, naive_vs_semi_naive, fio_vs_foi_cost, inline_vs_reified, set_vs_bag, sequential_vs_parallel, stats_on_vs_off, semijoin_on_vs_off
+    targets = nested_loop_vs_hash_join, naive_vs_semi_naive, fio_vs_foi_cost, inline_vs_reified, set_vs_bag, sequential_vs_parallel, stats_on_vs_off, semijoin_on_vs_off, vectorized_vs_row_path
 }
 criterion_main!(ablation);

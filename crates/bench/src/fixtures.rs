@@ -284,6 +284,24 @@ pub fn semijoin_catalog(n: usize, k: usize) -> Catalog {
     Catalog::new().with(r).with(s)
 }
 
+/// Constant-filter scan fixture: `R(A,B)` with `n` rows, `B = i mod
+/// 1000`, paired with [`filter_scan`]'s `r.B > 995` predicate (~0.4%
+/// selectivity). Runtime is dominated by filter evaluation over a big
+/// scan — the shape the columnar kernels accelerate
+/// (`ablation_columnar`).
+pub fn filter_catalog(n: usize) -> Catalog {
+    let mut r = Relation::new("R", &["A", "B"]);
+    for i in 0..n {
+        r.push(vec![(i as i64).into(), ((i % 1000) as i64).into()]);
+    }
+    Catalog::new().with(r)
+}
+
+/// The constant-filter scan over [`filter_catalog`].
+pub fn filter_scan() -> Collection {
+    q("{Q(A) | ∃r ∈ R [Q.A = r.A ∧ r.B > 995]}")
+}
+
 /// Employees/departments (Figs 6–8): `n` employees over `depts` departments.
 pub fn dept_catalog(n: usize, depts: usize) -> Catalog {
     let mut r = Relation::new("R", &["empl", "dept"]);

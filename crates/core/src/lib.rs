@@ -60,6 +60,7 @@
 pub mod alt;
 pub mod ast;
 pub mod binder;
+pub mod column;
 pub mod conventions;
 pub mod dsl;
 pub mod json;

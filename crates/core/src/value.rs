@@ -6,6 +6,7 @@
 //! logic (Soufflé has no nulls). [`Value`] is the dynamically-typed scalar
 //! domain and [`Truth`] the three-valued logic lattice.
 
+use crate::ast::CmpOp;
 use std::cmp::Ordering;
 use std::fmt;
 
@@ -147,6 +148,45 @@ impl Value {
             Value::Float(f) if f.is_nan() => None,
             other => Some(other.key()),
         }
+    }
+}
+
+/// Three-valued truth of `l op r`, *before* any null-convention collapse.
+///
+/// `NULL` on either side yields `Unknown`; incomparable (heterogeneous)
+/// values answer only the equality family (`Eq` → `False`, `Ne` → `True`,
+/// orderings → `Unknown`); `NaN` is incomparable even to itself. This is
+/// the **one** place comparison semantics live: the engine's row-at-a-time
+/// predicate evaluator delegates here and the columnar kernels in
+/// [`crate::column`] replicate exactly this table in their typed loops
+/// (checked against this function by their unit tests), so the two paths
+/// can never disagree.
+pub fn cmp_truth(l: &Value, op: CmpOp, r: &Value) -> Truth {
+    if l.is_null() || r.is_null() {
+        return Truth::Unknown;
+    }
+    match l.compare(r) {
+        Some(ord) => Truth::from_bool(ord_satisfies(ord, op)),
+        // Incomparable (heterogeneous) values: only equality-family
+        // operators have a defined answer.
+        None => match op {
+            CmpOp::Eq => Truth::False,
+            CmpOp::Ne => Truth::True,
+            _ => Truth::Unknown,
+        },
+    }
+}
+
+/// Whether a concrete ordering satisfies `op` (the two-valued core of
+/// [`cmp_truth`], shared with the columnar kernels' typed loops).
+pub fn ord_satisfies(ord: Ordering, op: CmpOp) -> bool {
+    match op {
+        CmpOp::Eq => ord == Ordering::Equal,
+        CmpOp::Ne => ord != Ordering::Equal,
+        CmpOp::Lt => ord == Ordering::Less,
+        CmpOp::Le => ord != Ordering::Greater,
+        CmpOp::Gt => ord == Ordering::Greater,
+        CmpOp::Ge => ord != Ordering::Less,
     }
 }
 

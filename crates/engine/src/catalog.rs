@@ -79,10 +79,8 @@ impl Catalog {
         let analyzed =
             relation.len() >= AUTO_ANALYZE_MIN_ROWS && arc_stats::stats_enabled_from_env();
         if analyzed {
-            self.stats.insert(
-                relation.name.clone(),
-                Arc::new(TableStats::analyze(relation.arity(), &relation.rows)),
-            );
+            self.stats
+                .insert(relation.name.clone(), Arc::new(analyze_relation(&relation)));
         }
         if had_stats || analyzed {
             self.bump_epoch();
@@ -109,10 +107,8 @@ impl Catalog {
     /// number of relations analyzed.
     pub fn analyze(&mut self) -> usize {
         for rel in self.relations.values() {
-            self.stats.insert(
-                rel.name.clone(),
-                Arc::new(TableStats::analyze(rel.arity(), &rel.rows)),
-            );
+            self.stats
+                .insert(rel.name.clone(), Arc::new(analyze_relation(rel)));
         }
         self.bump_epoch();
         self.relations.len()
@@ -177,6 +173,21 @@ const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<Catalog>();
 };
+
+/// One relation's ANALYZE pass. Under vectorized execution (the
+/// `ARC_VECTOR` default) the statistics stream from the relation's
+/// column chunks — one typed pass per column, and the encoding stays
+/// cached on the relation for the scans that follow. `ARC_VECTOR=off`
+/// (or a malformed value, whose error the engine reports at first
+/// evaluation) takes the row-at-a-time pass; the two are identical
+/// result-wise (`arc-stats` asserts so).
+fn analyze_relation(rel: &Relation) -> TableStats {
+    if crate::eval::strategy::vectorize_from_env().unwrap_or(false) {
+        TableStats::analyze_chunks(rel.arity(), &rel.rows, &rel.columns())
+    } else {
+        TableStats::analyze(rel.arity(), &rel.rows)
+    }
+}
 
 #[cfg(test)]
 mod tests {

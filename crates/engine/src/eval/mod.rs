@@ -70,6 +70,7 @@ pub mod quantifier;
 pub mod scalar;
 pub mod semijoin;
 pub mod strategy;
+pub mod vector;
 
 /// Body analysis: predicate-role partitioning and free-variable
 /// computation. The analysis itself lives in [`arc_plan::analysis`] — the
@@ -87,6 +88,9 @@ pub use strategy::EvalStrategy;
 /// Key of the per-`Ctx` plan cache: *(binding-list address, outer
 /// signature, statistics epoch, boolean planning role)*.
 pub(crate) type PlanCacheKey = (usize, u64, u64, bool);
+
+/// Per-query cache of vectorized scan selections — see [`Ctx::selections`].
+pub(crate) type SelectionCache = RefCell<HashMap<(usize, Vec<usize>), Arc<Vec<u32>>>>;
 
 use crate::catalog::Catalog;
 use crate::error::Result;
@@ -116,6 +120,9 @@ pub struct Engine<'c> {
     /// Set-level decorrelation of boolean quantifier scopes
     /// (`ARC_DECORRELATE`, default on); same deferred-error story.
     decorrelate: std::result::Result<bool, crate::error::EvalError>,
+    /// Vectorized columnar execution (`ARC_VECTOR`, default on); same
+    /// deferred-error story.
+    vectorize: std::result::Result<bool, crate::error::EvalError>,
 }
 
 impl<'c> Engine<'c> {
@@ -137,6 +144,7 @@ impl<'c> Engine<'c> {
             strategy: EvalStrategy::from_env(),
             threads: strategy::threads_from_env(),
             decorrelate: strategy::decorrelate_from_env(),
+            vectorize: strategy::vectorize_from_env(),
         }
     }
 
@@ -180,6 +188,21 @@ impl<'c> Engine<'c> {
         self.decorrelate.clone()
     }
 
+    /// Override vectorized columnar execution (builder style): `false`
+    /// forces the row-at-a-time path everywhere, exactly like running
+    /// under `ARC_VECTOR=off` — tests and the `ablation_columnar` bench
+    /// use this to compare both paths without touching the (racy)
+    /// process environment.
+    pub fn with_vectorize(mut self, vectorize: bool) -> Self {
+        self.vectorize = Ok(vectorize);
+        self
+    }
+
+    /// Whether this engine runs the vectorized columnar path.
+    pub fn vectorize(&self) -> Result<bool> {
+        self.vectorize.clone()
+    }
+
     /// Inject a strategy-parse outcome (tests only: process environment
     /// variables are racy under parallel tests, so the typo path is tested
     /// by injection rather than by setting `ARC_EVAL_STRATEGY`).
@@ -213,12 +236,14 @@ impl<'c> Engine<'c> {
             strategy: self.strategy.clone()?,
             threads: self.threads.clone()?,
             decorrelate: self.decorrelate.clone()?,
+            vectorize: self.vectorize.clone()?,
             program,
             defined,
             abstracts,
             join_indexes: RefCell::new(HashMap::new()),
             distinct_estimates: RefCell::new(HashMap::new()),
             plans: RefCell::new(HashMap::new()),
+            selections: RefCell::new(HashMap::new()),
             semi_builds: semijoin::SemiBuildCache::default(),
             semi_bailed: RefCell::new(std::collections::HashSet::new()),
         })
@@ -275,6 +300,10 @@ pub(crate) struct Ctx<'a> {
     /// execute as build-once set-level semi/anti-joins (see
     /// [`semijoin`]). Off pins the per-outer-row nested path.
     pub(crate) decorrelate: bool,
+    /// Whether scans, index builds, and semi-join key extraction run the
+    /// vectorized columnar kernels (see [`vector`]). Off pins the
+    /// row-at-a-time path.
+    pub(crate) vectorize: bool,
     /// Structural hash of the top-level query this context evaluates
     /// (the global plan cache's program key).
     pub(crate) program: u64,
@@ -297,6 +326,12 @@ pub(crate) struct Ctx<'a> {
     /// signature, statistics epoch, boolean role) — the fast path in
     /// front of the global plan cache (see `Ctx::scope_plan`).
     pub(crate) plans: RefCell<HashMap<PlanCacheKey, Arc<ScopePlan>>>,
+    /// Per-query cache of vectorized scan selections, keyed by relation
+    /// address + the addresses of the vectorized filter prefix (both
+    /// stable for the `Ctx` lifetime). Correlated scopes that re-enter
+    /// `enumerate` per outer row recompute nothing: the selection of a
+    /// constant-filter scan is outer-independent by construction.
+    pub(crate) selections: SelectionCache,
     /// Build-once key sets of decorrelated boolean scopes, keyed by the
     /// build plan's [`Arc`] address and shared — through the `Arc` — with
     /// every worker context the parallel executor forks, so all workers

@@ -47,12 +47,14 @@ pub(crate) struct WorkerSeed<'a> {
     conv: Conventions,
     strategy: EvalStrategy,
     decorrelate: bool,
+    vectorize: bool,
     program: u64,
     defined: &'a HashMap<String, Relation>,
     abstracts: &'a HashMap<String, Collection>,
     join_indexes: HashMap<(usize, Vec<usize>), Arc<HashIndex>>,
     distinct_estimates: HashMap<(usize, Vec<usize>), usize>,
     plans: HashMap<super::PlanCacheKey, Arc<ScopePlan>>,
+    selections: HashMap<(usize, Vec<usize>), Arc<Vec<u32>>>,
     /// Shared (not snapshot) semi-join build cache: workers and the
     /// coordinator probe — and lazily populate — the *same* build sets
     /// through the `Arc`, so a decorrelated scope builds its key set once
@@ -73,12 +75,14 @@ impl<'a> WorkerSeed<'a> {
             strategy: self.strategy,
             threads: 1,
             decorrelate: self.decorrelate,
+            vectorize: self.vectorize,
             program: self.program,
             defined: self.defined,
             abstracts: self.abstracts,
             join_indexes: RefCell::new(self.join_indexes.clone()),
             distinct_estimates: RefCell::new(self.distinct_estimates.clone()),
             plans: RefCell::new(self.plans.clone()),
+            selections: RefCell::new(self.selections.clone()),
             semi_builds: self.semi_builds.clone(),
             semi_bailed: RefCell::new(self.semi_bailed.clone()),
         }
@@ -105,12 +109,14 @@ impl<'a> Ctx<'a> {
             conv: self.conv,
             strategy: self.strategy,
             decorrelate: self.decorrelate,
+            vectorize: self.vectorize,
             program: self.program,
             defined: self.defined,
             abstracts: self.abstracts,
             join_indexes: self.join_indexes.borrow().clone(),
             distinct_estimates: self.distinct_estimates.borrow().clone(),
             plans: self.plans.borrow().clone(),
+            selections: self.selections.borrow().clone(),
             semi_builds: self.semi_builds.clone(),
             semi_bailed: self.semi_bailed.borrow().clone(),
         }
@@ -185,16 +191,29 @@ impl<'a> Ctx<'a> {
                 return Ok(true); // scope is empty; nothing to scatter
             }
         }
-        // Build every probe's hash index up front so workers share the
-        // build sides read-only instead of racing to build duplicates.
+        // Build every probe's hash index — and every vectorized scan's
+        // selection vector — up front so workers share them read-only
+        // instead of racing to build duplicates.
         for ob in &order {
             if let (Src::Rows(rel), Some(hash_plan)) = (&ob.source, &ob.hash_plan) {
                 let _ = self.join_index(hash_plan, rel);
+            }
+            if let (Src::Rows(rel), true) = (&ob.source, ob.has_vec_filters()) {
+                let _ = self.scan_selection(rel, ob);
             }
         }
 
         let seed = self.worker_seed();
         let outer_env = env.clone();
+        // Chunk-aligned morsels under vectorized execution: a morsel
+        // covers whole column chunks, so a worker's selection walk never
+        // straddles a chunk another worker owns. Ordered gather is
+        // untouched either way (invariant 9).
+        let morsels = if self.vectorize {
+            Morsels::aligned(total, self.threads, arc_core::column::CHUNK_ROWS)
+        } else {
+            Morsels::new(total, self.threads)
+        };
         // One forked context per participating worker (not per morsel —
         // forking clones the cache snapshots); each morsel still gets a
         // fresh clone of the outer environment because an error can
@@ -202,7 +221,7 @@ impl<'a> Ctx<'a> {
         let results: Vec<Result<Vec<T>>> = run_morsels_with(
             WorkerPool::global(),
             self.threads,
-            Morsels::new(total, self.threads),
+            morsels,
             || seed.ctx(),
             |ctx, _, range| {
                 let mut wenv = outer_env.clone();

@@ -135,12 +135,46 @@ pub(crate) struct Ordered<'b> {
     pub(crate) hash_plan: Option<HashPlan<'b>>,
     /// Filters evaluated as soon as this step's variable binds (empty
     /// under the force strategies, which keep everything at the leaf).
+    /// When the step scans a relation under vectorized execution, the
+    /// leading run of constant filters is hoisted into `vec_filters` and
+    /// only the residue remains here (see [`super::vector`] on why only
+    /// a prefix is safe to hoist).
     step_filters: Vec<&'b Predicate>,
+    /// The vectorizable constant-filter prefix, resolved to columns of
+    /// the scanned relation (scan steps only; empty when vectorization
+    /// is off, the relation is tiny, or no prefix classifies).
+    vec_filters: Vec<super::vector::VecFilter>,
+    /// Addresses of the original predicates behind `vec_filters` — the
+    /// `Ctx` selection-cache key (predicates outlive the `Ctx`).
+    vec_key: Vec<usize>,
     /// The plan's index, memoized on first probe so the hot loop touches
     /// neither the [`Ctx`]-level cache nor its heap-allocated key again.
     /// A `OnceLock` (not `OnceCell`) so a materialized pipeline stays
     /// `Sync` and can be shared across pool workers.
     index: std::sync::OnceLock<Arc<HashIndex>>,
+    /// The scan's selection vector (`vec_filters` applied to every
+    /// chunk), memoized like `index` and shared across pool workers.
+    selection: std::sync::OnceLock<Arc<Vec<u32>>>,
+}
+
+impl Ordered<'_> {
+    /// Whether this step scans through a vectorized selection (used by
+    /// the parallel coordinator to pre-build selections for workers).
+    pub(crate) fn has_vec_filters(&self) -> bool {
+        !self.vec_filters.is_empty()
+    }
+
+    /// The step's variable name — the semi-join columnar build resolves
+    /// its key attributes against it.
+    pub(crate) fn var(&self) -> &str {
+        &self.var
+    }
+
+    /// True when no residual row-path filters remain on this step (every
+    /// pushed-down filter either vectorized or there were none).
+    pub(crate) fn step_filters_empty(&self) -> bool {
+        self.step_filters.is_empty()
+    }
 }
 
 /// A resolved binding source plus its catalog name (for diagnostics).
@@ -262,15 +296,35 @@ impl<'a> Ctx<'a> {
     /// `defined` map, both immutable for the lifetime of the [`Ctx`], so
     /// addresses are stable — and correlated scopes (one `enumerate` call
     /// per outer environment) reuse the index instead of rebuilding it per
-    /// outer row.
+    /// outer row. Under vectorized execution the build runs over column
+    /// chunks ([`super::vector::build_index`]) — same index, computed
+    /// with per-chunk key extraction instead of per-row allocation.
     pub(crate) fn join_index(&self, plan: &HashPlan<'_>, rel: &Relation) -> Arc<HashIndex> {
         let key = (rel as *const Relation as usize, plan.key_cols.clone());
         if let Some(index) = self.join_indexes.borrow().get(&key) {
             return index.clone();
         }
-        let index = Arc::new(plan.build_index(rel));
+        let index = if self.vectorize && rel.len() >= super::vector::VECTOR_MIN_ROWS {
+            Arc::new(super::vector::build_index(&rel.columns(), &plan.key_cols))
+        } else {
+            Arc::new(plan.build_index(rel))
+        };
         self.join_indexes.borrow_mut().insert(key, index.clone());
         index
+    }
+
+    /// The selection vector of a vectorized scan step — through the
+    /// per-query cache, so correlated scopes that re-enter `enumerate`
+    /// per outer row compute it once (the filters are constant, hence
+    /// outer-independent).
+    pub(crate) fn scan_selection(&self, rel: &Relation, ob: &Ordered<'_>) -> Arc<Vec<u32>> {
+        let key = (rel as *const Relation as usize, ob.vec_key.clone());
+        if let Some(sel) = self.selections.borrow().get(&key) {
+            return sel.clone();
+        }
+        let sel = Arc::new(super::vector::selection(&rel.columns(), &ob.vec_filters));
+        self.selections.borrow_mut().insert(key, sel.clone());
+        sel
     }
 
     /// Pushed-down filters of step `i`, then descend one level.
@@ -314,6 +368,31 @@ impl<'a> Ctx<'a> {
             ));
         };
         let attrs = Arc::new(rel.schema.clone());
+        if !first.vec_filters.is_empty() {
+            // Vectorized scan: walk the (ascending) selection restricted
+            // to this morsel's row range — concatenation over consecutive
+            // ranges still reproduces the sequential order.
+            let sel = first
+                .selection
+                .get_or_init(|| self.scan_selection(rel, first));
+            let start = sel.partition_point(|&r| (r as usize) < range.start);
+            for &ridx in &sel[start..] {
+                if ridx as usize >= range.end {
+                    break;
+                }
+                env.push(
+                    first.var.clone(),
+                    attrs.clone(),
+                    rel.rows[ridx as usize].clone(),
+                );
+                let cont = self.step_into(order, 0, leaf, env, cb)?;
+                env.pop();
+                if !cont {
+                    return Ok(());
+                }
+            }
+            return Ok(());
+        }
         for row in &rel.rows[range] {
             env.push(first.var.clone(), attrs.clone(), row.clone());
             let cont = self.step_into(order, 0, leaf, env, cb)?;
@@ -364,6 +443,26 @@ impl<'a> Ctx<'a> {
                             if !cont {
                                 return Ok(false);
                             }
+                        }
+                    }
+                    return Ok(true);
+                }
+                if !ob.vec_filters.is_empty() {
+                    // Vectorized scan: the constant-filter prefix already
+                    // ran as columnar kernels; enumerate the selection (in
+                    // ascending row order, so emission order is identical
+                    // to the row path) and row-check only the residue.
+                    let sel = ob.selection.get_or_init(|| self.scan_selection(rel, ob));
+                    for &ridx in sel.iter() {
+                        env.push(
+                            ob.var.clone(),
+                            attrs.clone(),
+                            rel.rows[ridx as usize].clone(),
+                        );
+                        let cont = self.step_into(order, i, leaf, env, cb)?;
+                        env.pop();
+                        if !cont {
+                            return Ok(false);
                         }
                     }
                     return Ok(true);
@@ -697,12 +796,42 @@ impl<'a> Ctx<'a> {
                     )))
                 }
             };
+            let all_filters: Vec<&'c Predicate> =
+                step.filters.iter().map(|&i| filters[i]).collect();
+            // Vectorized scans hoist the leading run of constant filters
+            // into columnar kernels; everything after the first
+            // non-classifiable filter stays row-at-a-time, in order, so
+            // error behaviour is untouched (see [`super::vector`]).
+            let (vec_filters, vec_key, step_filters) = match (&source, &hash_plan) {
+                (Src::Rows(rel), None)
+                    if self.vectorize && rel.len() >= super::vector::VECTOR_MIN_ROWS =>
+                {
+                    let mut vf = Vec::new();
+                    let mut vk = Vec::new();
+                    let mut split = 0;
+                    for p in &all_filters {
+                        match super::vector::classify(p, &b.var, &rel.schema) {
+                            Some(f) => {
+                                vf.push(f);
+                                vk.push(*p as *const Predicate as usize);
+                                split += 1;
+                            }
+                            None => break,
+                        }
+                    }
+                    (vf, vk, all_filters[split..].to_vec())
+                }
+                _ => (Vec::new(), Vec::new(), all_filters),
+            };
             order.push(Ordered {
                 var: Arc::from(b.var.as_str()),
                 source,
                 hash_plan,
-                step_filters: step.filters.iter().map(|&i| filters[i]).collect(),
+                step_filters,
+                vec_filters,
+                vec_key,
                 index: std::sync::OnceLock::new(),
+                selection: std::sync::OnceLock::new(),
             });
         }
         let prelude = plan.prelude_filters.iter().map(|&i| filters[i]).collect();

@@ -6,7 +6,7 @@ use super::Ctx;
 use crate::error::{EvalError, Result};
 use arc_core::ast::*;
 use arc_core::conventions::NullLogic;
-use arc_core::value::{Truth, Value};
+use arc_core::value::{cmp_truth, Truth, Value};
 
 impl Ctx<'_> {
     /// Evaluate a scalar in tuple context (no aggregates).
@@ -38,29 +38,12 @@ impl Ctx<'_> {
         }
     }
 
-    /// Compare two values under the active null-logic convention.
+    /// Compare two values under the active null-logic convention: the
+    /// shared three-valued table ([`arc_core::value::cmp_truth`], also the
+    /// reference for the columnar kernels) followed by the convention's
+    /// `Unknown` collapse.
     pub(crate) fn compare(&self, l: &Value, op: CmpOp, r: &Value) -> Truth {
-        let t = if l.is_null() || r.is_null() {
-            Truth::Unknown
-        } else {
-            match l.compare(r) {
-                Some(ord) => Truth::from_bool(match op {
-                    CmpOp::Eq => ord == std::cmp::Ordering::Equal,
-                    CmpOp::Ne => ord != std::cmp::Ordering::Equal,
-                    CmpOp::Lt => ord == std::cmp::Ordering::Less,
-                    CmpOp::Le => ord != std::cmp::Ordering::Greater,
-                    CmpOp::Gt => ord == std::cmp::Ordering::Greater,
-                    CmpOp::Ge => ord != std::cmp::Ordering::Less,
-                }),
-                // Incomparable (heterogeneous) values: only equality-family
-                // operators have a defined answer.
-                None => match op {
-                    CmpOp::Eq => Truth::False,
-                    CmpOp::Ne => Truth::True,
-                    _ => Truth::Unknown,
-                },
-            }
-        };
+        let t = cmp_truth(l, op, r);
         match self.conv.null_logic {
             NullLogic::ThreeValued => t,
             NullLogic::TwoValued => {

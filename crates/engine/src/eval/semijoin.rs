@@ -237,6 +237,16 @@ impl<'a> Ctx<'a> {
             .iter()
             .map(|k| eq_sides(parts.filters[k.filter], k.local_on_left).0)
             .collect();
+        // Columnar fast path: when the pipeline is a single un-probed
+        // relation scan whose filters all vectorized, the key set builds
+        // straight from the column chunks — no per-row environment push,
+        // no per-row scalar dispatch, one buffer allocation per chunk.
+        if let Some(set) = self.columnar_build(&order, &leaf, parts, &local_exprs) {
+            return Ok(set);
+        }
+        // Row key assembled in a reused scratch buffer; the set allocates
+        // only on a key's first occurrence (`Vec<Key>: Borrow<[Key]>`).
+        let mut scratch: Vec<Key> = Vec::with_capacity(local_exprs.len());
         self.run_steps(&order, &leaf, env, &mut |ctx, env| {
             // Outer-free boolean subformulas run per build environment,
             // exactly where the nested path evaluates them.
@@ -245,19 +255,83 @@ impl<'a> Ctx<'a> {
                     return Ok(true);
                 }
             }
-            let mut key = Vec::with_capacity(local_exprs.len());
+            scratch.clear();
             for e in &local_exprs {
                 match join_key(&ctx.scalar(e, env)?) {
-                    Some(k) => key.push(k),
+                    Some(k) => scratch.push(k),
                     None => return Ok(true), // NULL/NaN: matches no probe
                 }
             }
-            set.insert(key);
+            if !set.contains(scratch.as_slice()) {
+                set.insert(scratch.clone());
+            }
             // A keyless build is a pure non-emptiness check: the first
             // surviving environment decides, so stop early — matching the
             // nested path's existential short-circuit.
             Ok(!local_exprs.is_empty())
         })?;
         Ok(set)
+    }
+
+    /// The columnar build, when the pipeline shape permits: a single
+    /// un-probed relation scan, every pushed-down filter vectorized (no
+    /// residual step filters), no leaf filters, no outer-free boolean
+    /// subformulas, and every correlated-key expression a plain attribute
+    /// of the scanned variable. Anything else returns `None` and the
+    /// row-at-a-time build runs — which also keeps error behaviour
+    /// untouched, because the shapes accepted here evaluate nothing that
+    /// can error (attributes are resolved against the schema up front).
+    fn columnar_build(
+        &self,
+        order: &[super::quantifier::Ordered<'_>],
+        leaf: &[&arc_core::ast::Predicate],
+        parts: &Parts<'_>,
+        local_exprs: &[&Scalar],
+    ) -> Option<KeySet> {
+        if !self.vectorize {
+            return None;
+        }
+        let [ob] = order else {
+            return None;
+        };
+        if ob.hash_plan.is_some()
+            || !ob.step_filters_empty()
+            || !leaf.is_empty()
+            || !parts.pre_bool.is_empty()
+        {
+            return None;
+        }
+        let super::quantifier::Src::Rows(rel) = &ob.source else {
+            return None;
+        };
+        if rel.len() < super::vector::VECTOR_MIN_ROWS {
+            return None;
+        }
+        let mut key_cols = Vec::with_capacity(local_exprs.len());
+        for e in local_exprs {
+            let Scalar::Attr(a) = e else {
+                return None;
+            };
+            if a.var != ob.var() {
+                return None;
+            }
+            key_cols.push(rel.schema.iter().position(|s| s == &a.attr)?);
+        }
+        let sel = ob.has_vec_filters().then(|| self.scan_selection(rel, ob));
+        if key_cols.is_empty() {
+            // Keyless build: a pure non-emptiness check over the
+            // selection — the row path would stop at the first survivor.
+            let mut set = KeySet::new();
+            let any = sel.as_ref().map_or(!rel.rows.is_empty(), |s| !s.is_empty());
+            if any {
+                set.insert(Vec::new());
+            }
+            return Some(set);
+        }
+        Some(super::vector::build_key_set(
+            &rel.columns(),
+            &key_cols,
+            sel.as_deref().map(Vec::as_slice),
+        ))
     }
 }

@@ -43,6 +43,34 @@ pub fn parse_decorrelate(value: Option<&str>) -> Result<bool, String> {
     }
 }
 
+/// Vectorized columnar execution, from `ARC_VECTOR`: unset/`on` (the
+/// default) lets scans, hash-index builds, and semi-join key extraction
+/// run over [column chunks](arc_core::column) with per-chunk kernels;
+/// `off` forces the row-at-a-time path everywhere — the escape hatch for
+/// bisecting a columnar regression (and the baseline leg of the
+/// `ablation_columnar` bench series). Both paths are row-identical by
+/// construction (invariant 12). A malformed value surfaces as
+/// [`EvalError::Config`] on the first evaluation, exactly like
+/// `ARC_PLAN`/`ARC_DECORRELATE`.
+pub fn vectorize_from_env() -> Result<bool, EvalError> {
+    parse_vectorize(std::env::var("ARC_VECTOR").ok().as_deref()).map_err(EvalError::Config)
+}
+
+/// Pure core of [`vectorize_from_env`] (unit-testable without touching
+/// the process environment, which is racy under parallel tests).
+pub fn parse_vectorize(value: Option<&str>) -> Result<bool, String> {
+    match value.map(|v| v.to_lowercase().replace('_', "-")) {
+        None => Ok(true),
+        Some(v) => match v.as_str() {
+            "" | "on" | "1" | "true" | "auto" => Ok(true),
+            "off" | "0" | "false" | "no" => Ok(false),
+            other => Err(format!(
+                "unknown ARC_VECTOR `{other}` (expected `on` or `off`)"
+            )),
+        },
+    }
+}
+
 /// How quantifier scopes are planned and enumerated.
 ///
 /// [`EvalStrategy::Planned`] (the default) routes every scope through
@@ -194,6 +222,18 @@ mod tests {
         let err = EvalStrategy::parse(None, Some("offf")).unwrap_err();
         assert!(err.contains("offf"), "{err}");
         assert!(err.contains("ARC_PLAN"), "{err}");
+    }
+
+    #[test]
+    fn vectorize_parses_like_the_other_escape_hatches() {
+        assert_eq!(parse_vectorize(None), Ok(true));
+        assert_eq!(parse_vectorize(Some("on")), Ok(true));
+        assert_eq!(parse_vectorize(Some("1")), Ok(true));
+        assert_eq!(parse_vectorize(Some("OFF")), Ok(false));
+        assert_eq!(parse_vectorize(Some("0")), Ok(false));
+        let err = parse_vectorize(Some("nope")).unwrap_err();
+        assert!(err.contains("nope"), "{err}");
+        assert!(err.contains("ARC_VECTOR"), "{err}");
     }
 
     #[test]

@@ -1,26 +1,72 @@
-//! In-memory relations: named schemas over bags of tuples.
+//! In-memory relations: named schemas over bags of tuples, with a lazily
+//! encoded columnar view.
 //!
-//! A [`Relation`] is always stored as a *bag* (a `Vec` of tuples); whether it
-//! is interpreted as a set is a [convention](arc_core::conventions) applied
-//! by the engine at collection boundaries, never baked into the data
-//! structure — mirroring the paper's §2.7.
+//! A [`Relation`] is always a *bag*; whether it is interpreted as a set is
+//! a [convention](arc_core::conventions) applied by the engine at
+//! collection boundaries, never baked into the data structure — mirroring
+//! the paper's §2.7. Storage is two-layered: the row view
+//! ([`Relation::rows`], a `Vec` of tuples) remains the mutation and
+//! compatibility API that frontends, the binder, and tests program
+//! against, while [`Relation::columns`] exposes the same rows as typed
+//! [column chunks](arc_core::column) — encoded on first use and cached —
+//! which is what the vectorized filter/join kernels and `ANALYZE` consume.
 
+use arc_core::column::ColumnSet;
 use arc_core::value::{Key, Value};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Arc, Mutex};
 
 /// A tuple: values aligned with the owning relation's schema.
 pub type Tuple = Vec<Value>;
 
-/// A named relation: schema (attribute names, in order) + rows.
+/// A named relation: schema (attribute names, in order) + rows, plus a
+/// lazily encoded columnar view of those rows.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Relation {
     /// Relation name (display only; the catalog key is authoritative).
     pub name: String,
     /// Attribute names in column order.
     pub schema: Vec<String>,
-    /// The rows, as a bag.
+    /// The rows, as a bag (the compatibility/mutation view; the engine's
+    /// hot paths read [`Relation::columns`] instead).
     pub rows: Vec<Tuple>,
+    /// Cached columnar encoding (see [`Relation::columns`]).
+    columns: ColCache,
+}
+
+/// The lazily built columnar view of a relation's rows. Identity-free by
+/// design: cloning resets it (the clone re-encodes on first use) and it
+/// never participates in equality, hashing, or `Debug` noise — it is a
+/// cache of `rows`, not state of its own.
+struct ColCache(Mutex<Option<Arc<ColumnSet>>>);
+
+impl ColCache {
+    fn empty() -> ColCache {
+        ColCache(Mutex::new(None))
+    }
+}
+
+impl Clone for ColCache {
+    fn clone(&self) -> ColCache {
+        // Deliberately not cloned: the owning Relation's rows are pub and
+        // independently mutable after the clone, so sharing the encoding
+        // could serve stale columns. Re-encoding on demand is always safe.
+        ColCache::empty()
+    }
+}
+
+impl PartialEq for ColCache {
+    fn eq(&self, _: &ColCache) -> bool {
+        true // caches never affect relation equality
+    }
+}
+impl Eq for ColCache {}
+
+impl fmt::Debug for ColCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("ColCache")
+    }
 }
 
 impl Relation {
@@ -30,7 +76,28 @@ impl Relation {
             name: name.into(),
             schema: schema.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
+            columns: ColCache::empty(),
         }
+    }
+
+    /// The columnar view of this relation: rows encoded into typed
+    /// [chunks](arc_core::column) of [`arc_core::column::CHUNK_ROWS`],
+    /// built on first use and cached.
+    ///
+    /// The cache invalidates on row-*count* changes (the only mutation the
+    /// engine performs after a relation becomes visible to evaluation);
+    /// code that overwrites rows in place at constant cardinality must not
+    /// hold on to a previously obtained view.
+    pub fn columns(&self) -> Arc<ColumnSet> {
+        let mut cached = self.columns.0.lock().expect("column cache");
+        if let Some(set) = cached.as_ref() {
+            if set.rows() == self.rows.len() {
+                return Arc::clone(set);
+            }
+        }
+        let set = Arc::new(ColumnSet::encode(self.schema.len(), &self.rows));
+        *cached = Some(Arc::clone(&set));
+        set
     }
 
     /// Build a relation from rows of values convertible to [`Value`].
@@ -97,6 +164,29 @@ impl Relation {
         row.iter().map(Value::key).collect()
     }
 
+    /// [`Relation::row_key`] into a reusable scratch buffer: the hot
+    /// dedup/bag loops probe with `&out[..]` (via `Vec<Key>: Borrow<[Key]>`)
+    /// and clone only on first occurrence, instead of allocating a fresh
+    /// key vector per row.
+    pub fn row_key_into(row: &[Value], out: &mut Vec<Key>) {
+        out.clear();
+        out.extend(row.iter().map(Value::key));
+    }
+
+    /// [`Relation::key_for`] into a reusable scratch buffer; returns
+    /// `false` (leaving `out` in an unspecified state) when the row has no
+    /// join key on `cols`.
+    pub fn key_for_into(row: &[Value], cols: &[usize], out: &mut Vec<Key>) -> bool {
+        out.clear();
+        for &c in cols {
+            match row[c].join_key() {
+                Some(k) => out.push(k),
+                None => return false,
+            }
+        }
+        true
+    }
+
     /// Equi-join key of a row over `cols`, or `None` when any selected
     /// value can never satisfy an equality predicate (`NULL` compares as
     /// `Unknown`; a float `NaN` is incomparable even to itself), so
@@ -126,9 +216,11 @@ impl Relation {
         let take = n.min(sample.max(1));
         let mut seen: std::collections::HashSet<Vec<Key>> =
             std::collections::HashSet::with_capacity(take);
+        let mut scratch = Vec::with_capacity(cols.len());
         for row in self.rows.iter().take(take) {
-            if let Some(key) = Relation::key_for(row, cols) {
-                seen.insert(key);
+            if Relation::key_for_into(row, cols, &mut scratch) && !seen.contains(scratch.as_slice())
+            {
+                seen.insert(scratch.clone());
             }
         }
         let distinct = seen.len().max(1);
@@ -143,29 +235,43 @@ impl Relation {
 
     /// Deduplicated copy (first occurrence order preserved).
     pub fn deduped(&self) -> Relation {
-        let mut seen: HashMap<Vec<Key>, ()> = HashMap::with_capacity(self.rows.len());
+        let mut seen: std::collections::HashSet<Vec<Key>> =
+            std::collections::HashSet::with_capacity(self.rows.len());
         let mut out = Relation::new(self.name.clone(), &[]);
         out.schema = self.schema.clone();
+        let mut scratch = Vec::with_capacity(self.arity());
         for row in &self.rows {
-            if seen.insert(Relation::row_key(row), ()).is_none() {
+            Relation::row_key_into(row, &mut scratch);
+            if !seen.contains(scratch.as_slice()) {
+                seen.insert(scratch.clone());
                 out.rows.push(row.clone());
             }
         }
         out
     }
 
-    /// Rows sorted by canonical key (deterministic output order).
+    /// Rows sorted by canonical key (deterministic output order; the key
+    /// is computed once per row, not once per comparison).
     pub fn sorted_rows(&self) -> Vec<Tuple> {
         let mut rows = self.rows.clone();
-        rows.sort_by_key(|r| Relation::row_key(r));
+        rows.sort_by_cached_key(|r| Relation::row_key(r));
         rows
     }
 
-    /// Multiset of rows as key → multiplicity.
+    /// Multiset of rows as key → multiplicity (one key allocation per
+    /// *distinct* row; repeats only bump the count through the scratch
+    /// probe).
     pub fn bag(&self) -> HashMap<Vec<Key>, usize> {
-        let mut m = HashMap::with_capacity(self.rows.len());
+        let mut m: HashMap<Vec<Key>, usize> = HashMap::with_capacity(self.rows.len());
+        let mut scratch = Vec::with_capacity(self.arity());
         for row in &self.rows {
-            *m.entry(Relation::row_key(row)).or_insert(0) += 1;
+            Relation::row_key_into(row, &mut scratch);
+            match m.get_mut(scratch.as_slice()) {
+                Some(n) => *n += 1,
+                None => {
+                    m.insert(scratch.clone(), 1);
+                }
+            }
         }
         m
     }
@@ -177,11 +283,21 @@ impl Relation {
 
     /// Set equality: same distinct rows (multiplicities ignored).
     pub fn set_eq(&self, other: &Relation) -> bool {
-        let a: std::collections::HashSet<Vec<Key>> =
-            self.rows.iter().map(|r| Relation::row_key(r)).collect();
-        let b: std::collections::HashSet<Vec<Key>> =
-            other.rows.iter().map(|r| Relation::row_key(r)).collect();
-        a == b
+        self.key_set() == other.key_set()
+    }
+
+    /// Distinct row keys (scratch-probed: one allocation per distinct row).
+    fn key_set(&self) -> std::collections::HashSet<Vec<Key>> {
+        let mut set: std::collections::HashSet<Vec<Key>> =
+            std::collections::HashSet::with_capacity(self.rows.len());
+        let mut scratch = Vec::with_capacity(self.arity());
+        for row in &self.rows {
+            Relation::row_key_into(row, &mut scratch);
+            if !set.contains(scratch.as_slice()) {
+                set.insert(scratch.clone());
+            }
+        }
+        set
     }
 
     /// Bag union (concatenation).
@@ -193,12 +309,13 @@ impl Relation {
 
     /// Rows of `self` not present in `other` (set difference by key).
     pub fn minus_set(&self, other: &Relation) -> Relation {
-        let other_keys: std::collections::HashSet<Vec<Key>> =
-            other.rows.iter().map(|r| Relation::row_key(r)).collect();
+        let other_keys = other.key_set();
         let mut out = Relation::new(self.name.clone(), &[]);
         out.schema = self.schema.clone();
+        let mut scratch = Vec::with_capacity(self.arity());
         for row in &self.rows {
-            if !other_keys.contains(&Relation::row_key(row)) {
+            Relation::row_key_into(row, &mut scratch);
+            if !other_keys.contains(scratch.as_slice()) {
                 out.rows.push(row.clone());
             }
         }
@@ -317,6 +434,30 @@ mod tests {
     fn arity_mismatch_panics() {
         let mut rel = Relation::new("R", &["A", "B"]);
         rel.push(vec![Value::Int(1)]);
+    }
+
+    #[test]
+    fn columns_cache_rebuilds_after_growth() {
+        let mut rel = r(&[&[1, 2], &[3, 4]]);
+        let first = rel.columns();
+        assert_eq!(first.rows(), 2);
+        assert!(
+            Arc::ptr_eq(&first, &rel.columns()),
+            "stable while unchanged"
+        );
+        rel.push(vec![Value::Int(5), Value::Int(6)]);
+        let second = rel.columns();
+        assert_eq!(second.rows(), 3);
+        assert_eq!(second.value(2, 0), Value::Int(5));
+    }
+
+    #[test]
+    fn clone_re_encodes_columns_independently() {
+        let rel = r(&[&[1, 2]]);
+        let before = rel.columns();
+        let cloned = rel.clone();
+        assert!(!Arc::ptr_eq(&before, &cloned.columns()));
+        assert_eq!(rel, cloned, "cache never affects equality");
     }
 
     #[test]

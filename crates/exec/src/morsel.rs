@@ -32,6 +32,21 @@ impl Morsels {
         }
     }
 
+    /// Split `total` rows for `parallelism` workers with the morsel size
+    /// rounded up to a multiple of `align`: every morsel but the last
+    /// covers whole aligned blocks. The engine's vectorized path uses
+    /// chunk alignment (`align = CHUNK_ROWS`) so a morsel never splits a
+    /// column chunk between workers; coverage and gather order are
+    /// identical to [`Morsels::new`] — only the boundaries move.
+    pub fn aligned(total: usize, parallelism: usize, align: usize) -> Self {
+        let base = Morsels::new(total, parallelism);
+        let align = align.max(1);
+        Morsels {
+            total,
+            size: base.size.div_ceil(align) * align,
+        }
+    }
+
     /// Number of morsels (zero when there are no rows).
     pub fn count(&self) -> usize {
         self.total.div_ceil(self.size)
@@ -123,6 +138,25 @@ mod tests {
                     covered = r.end;
                 }
                 assert_eq!(covered, total, "total {total} par {par}");
+            }
+        }
+    }
+
+    #[test]
+    fn aligned_morsels_cover_exactly_and_respect_alignment() {
+        for total in [0usize, 1, 100, 1024, 1025, 5000, 100_000] {
+            for par in [1usize, 2, 8] {
+                for align in [1usize, 64, 1024] {
+                    let m = Morsels::aligned(total, par, align);
+                    let mut covered = 0;
+                    for i in 0..m.count() {
+                        let r = m.range(i);
+                        assert_eq!(r.start, covered, "gap at morsel {i}");
+                        assert_eq!(r.start % align, 0, "unaligned start");
+                        covered = r.end;
+                    }
+                    assert_eq!(covered, total, "total {total} par {par} align {align}");
+                }
             }
         }
     }

@@ -35,6 +35,37 @@ impl Histogram {
         Some(Histogram { bounds })
     }
 
+    /// Build from `(value, count)` pairs sorted ascending by value — the
+    /// run-length form of the multiset [`Histogram::build`] takes. The
+    /// fenceposts are **identical** to building from the expanded
+    /// multiset, without ever materializing it: each fencepost position
+    /// `i·last/b` is located by a cumulative walk over the counts.
+    /// Returns `None` when the counts sum to zero.
+    pub fn build_weighted(pairs: &[(Key, u64)], buckets: usize) -> Option<Histogram> {
+        let total: u64 = pairs.iter().map(|(_, c)| c).sum();
+        if total == 0 || buckets == 0 {
+            return None;
+        }
+        debug_assert!(
+            pairs.windows(2).all(|w| w[0].0 < w[1].0),
+            "pairs must be sorted by value, without duplicates"
+        );
+        let b = buckets.min(total as usize) as u64;
+        let last = total - 1;
+        let mut bounds = Vec::with_capacity(b as usize + 1);
+        let mut j = 0usize; // current pair…
+        let mut covered = pairs[0].1; // …and the count through it
+        for i in 0..=b {
+            let pos = i * last / b; // non-decreasing in i
+            while covered <= pos {
+                j += 1;
+                covered += pairs[j].1;
+            }
+            bounds.push(pairs[j].0.clone());
+        }
+        Some(Histogram { bounds })
+    }
+
     /// Rebuild from serialized fenceposts.
     pub fn from_bounds(bounds: Vec<Key>) -> Result<Histogram, String> {
         if bounds.len() < 2 {
@@ -152,6 +183,34 @@ mod tests {
         let h = Histogram::build(&vals, 4).unwrap();
         let frac = h.fraction(CmpOp::Lt, &Key::Str("e".into()));
         assert!((0.25..=0.75).contains(&frac), "lt 'e' → {frac}");
+    }
+
+    #[test]
+    fn weighted_build_matches_expanded_multiset() {
+        // Skewed, uniform, tiny, and single-value shapes — the weighted
+        // build must reproduce the expanded build's fenceposts exactly.
+        let shapes: Vec<Vec<(Key, u64)>> = vec![
+            (0..200)
+                .map(|i| (Key::Int(i), 1 + (i as u64 % 7) * 13))
+                .collect(),
+            (0..1000).map(|i| (Key::Int(i), 1)).collect(),
+            vec![(Key::Int(0), 900), (Key::Int(1), 1), (Key::Int(2), 99)],
+            vec![(Key::Int(7), 50)],
+            vec![(Key::Str("a".into()), 3), (Key::Str("b".into()), 1)],
+        ];
+        for pairs in shapes {
+            let mut expanded: Vec<Key> = Vec::new();
+            for (k, c) in &pairs {
+                expanded.extend(std::iter::repeat_n(k.clone(), *c as usize));
+            }
+            for buckets in [1usize, 4, 8, 32] {
+                let want = Histogram::build(&expanded, buckets).unwrap();
+                let got = Histogram::build_weighted(&pairs, buckets).unwrap();
+                assert_eq!(got.bounds(), want.bounds(), "{buckets} buckets");
+            }
+        }
+        assert!(Histogram::build_weighted(&[], 8).is_none());
+        assert!(Histogram::build_weighted(&[(Key::Int(1), 0)], 8).is_none());
     }
 
     #[test]

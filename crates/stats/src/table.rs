@@ -5,6 +5,7 @@ use crate::column::ColumnStats;
 use crate::histogram::Histogram;
 use crate::sketch::{combine_hashes, hash_key, DistinctSketch, RowSketch};
 use arc_core::ast::CmpOp;
+use arc_core::column::ColumnSet;
 use arc_core::value::{Key, Value};
 use std::collections::HashMap;
 
@@ -45,7 +46,12 @@ impl TableStats {
     /// the register sketches (per column + whole row) for null/min/max
     /// and distinct counts, and build histograms/MCV lists from a strided
     /// sample (counts scaled back to the full relation; the stride covers
-    /// the whole relation, so late skew is still seen).
+    /// the whole relation, so late skew is still seen). Histograms build
+    /// straight from the sampled value *frequencies* in run-length form —
+    /// no per-column sorted multiset is ever materialized.
+    ///
+    /// [`TableStats::analyze_chunks`] computes the same statistics from a
+    /// columnar encoding, one typed pass per column.
     pub fn analyze(arity: usize, rows: &[Vec<Value>]) -> TableStats {
         let n = rows.len();
         let stride = n.div_ceil(SAMPLE_CAP).max(1);
@@ -99,51 +105,102 @@ impl TableStats {
 
         let columns = (0..arity)
             .map(|c| {
-                let distinct = if exact {
-                    counts[c].len() as u64
-                } else {
-                    sketches[c].estimate().max(1)
-                };
-                // MCV: the top raw sample counts. A value must be *seen*
-                // at least twice (a once-sampled value scaled by the
-                // stride is noise, not a frequency) and its scaled
-                // frequency must beat the column average (a uniform
-                // column keeps an empty list).
-                let mut by_freq: Vec<(Key, u64)> =
-                    counts[c].iter().map(|(k, cnt)| (k.clone(), *cnt)).collect();
-                by_freq.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-                let non_null = (n as u64).saturating_sub(nulls[c]);
-                let avg = non_null as f64 / distinct.max(1) as f64;
-                let mcv: Vec<(Key, u64)> = by_freq
-                    .into_iter()
-                    .take(MCV_ENTRIES)
-                    .filter(|(_, raw)| *raw >= 2)
-                    .map(|(k, raw)| (k, raw * stride as u64))
-                    .filter(|(_, scaled)| *scaled as f64 > avg)
-                    .collect();
-                // Histogram over the sampled non-null multiset.
-                let mut sorted: Vec<Key> = Vec::new();
-                for (k, cnt) in &counts[c] {
-                    for _ in 0..*cnt {
-                        sorted.push(k.clone());
-                    }
-                }
-                sorted.sort();
-                ColumnStats {
-                    rows: n as u64,
-                    nulls: nulls[c],
-                    distinct,
-                    min: mins[c].clone(),
-                    max: maxs[c].clone(),
-                    mcv,
-                    histogram: Histogram::build(&sorted, HISTOGRAM_BUCKETS),
-                }
+                column_stats(
+                    n,
+                    stride,
+                    exact,
+                    &counts[c],
+                    nulls[c],
+                    &mins[c],
+                    &maxs[c],
+                    &sketches[c],
+                )
             })
             .collect();
 
         let row_distinct = if exact {
             exact_rows.len() as u64
         } else {
+            row_sketch.estimate().max(1)
+        };
+        TableStats {
+            rows: n as u64,
+            columns,
+            row_distinct,
+        }
+    }
+
+    /// [`TableStats::analyze`] over a columnar encoding: one typed pass
+    /// per column straight off the chunk slices, instead of decoding
+    /// every row cell-by-cell. Produces **identical** statistics to the
+    /// row-at-a-time pass — `cols` must encode exactly `rows` (callers
+    /// hold both; the engine's `Relation` keeps them in sync).
+    pub fn analyze_chunks(arity: usize, rows: &[Vec<Value>], cols: &ColumnSet) -> TableStats {
+        let n = cols.rows();
+        debug_assert_eq!(n, rows.len(), "columns must encode the given rows");
+        let stride = n.div_ceil(SAMPLE_CAP).max(1);
+        let exact = stride == 1;
+
+        // Per-column pass: join keys per chunk into a reused buffer (one
+        // typed decode per chunk, no per-row Value dispatch).
+        let mut key_buf: Vec<Option<Key>> = Vec::new();
+        let columns = (0..arity)
+            .map(|c| {
+                let mut sketch = DistinctSketch::new();
+                let mut nulls: u64 = 0;
+                let mut min: Option<Key> = None;
+                let mut max: Option<Key> = None;
+                let mut counts: HashMap<Key, u64> = HashMap::new();
+                for chunk in cols.chunks() {
+                    chunk.col(c).join_keys_into(&mut key_buf);
+                    for (i, slot) in key_buf.iter().enumerate() {
+                        match slot {
+                            None => nulls += 1,
+                            Some(k) => {
+                                if !exact {
+                                    sketch.insert(k);
+                                }
+                                if min.as_ref().is_none_or(|m| k < m) {
+                                    min = Some(k.clone());
+                                }
+                                if max.as_ref().is_none_or(|m| k > m) {
+                                    max = Some(k.clone());
+                                }
+                                if (chunk.base() + i) % stride == 0 {
+                                    *counts.entry(k.clone()).or_insert(0) += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                column_stats(n, stride, exact, &counts, nulls, &min, &max, &sketch)
+            })
+            .collect();
+
+        // Whole-row distinct: the exact path needs real grouping keys (a
+        // key set), the sketch path folds per-column grouping-key hashes
+        // into one hash per row — column-at-a-time, in schema order, so
+        // the fold matches the row-at-a-time pass hash for hash.
+        let row_distinct = if exact {
+            let mut exact_rows: std::collections::HashSet<Vec<Key>> = Default::default();
+            for row in rows {
+                exact_rows.insert(row.iter().map(Value::key).collect());
+            }
+            exact_rows.len() as u64
+        } else {
+            let mut hashes: Vec<u64> = vec![0; n];
+            for c in 0..arity {
+                for chunk in cols.chunks() {
+                    let base = chunk.base();
+                    chunk.col(c).for_each_key(|i, k| {
+                        hashes[base + i] = combine_hashes(hashes[base + i], hash_key(&k));
+                    });
+                }
+            }
+            let mut row_sketch = RowSketch::new();
+            for h in hashes {
+                row_sketch.insert_hash(h);
+            }
             row_sketch.estimate().max(1)
         };
         TableStats {
@@ -187,6 +244,56 @@ impl TableStats {
     /// (delegates to [`ColumnStats::cmp_selectivity`]).
     pub fn selectivity(&self, col: usize, op: CmpOp, value: &Value) -> Option<f64> {
         self.columns.get(col).map(|c| c.cmp_selectivity(op, value))
+    }
+}
+
+/// Finalize one column's statistics from its streamed aggregates — shared
+/// by the row-at-a-time and columnar analyze passes, so the two produce
+/// bit-identical results by construction.
+#[allow(clippy::too_many_arguments)]
+fn column_stats(
+    n: usize,
+    stride: usize,
+    exact: bool,
+    counts: &HashMap<Key, u64>,
+    nulls: u64,
+    min: &Option<Key>,
+    max: &Option<Key>,
+    sketch: &DistinctSketch,
+) -> ColumnStats {
+    let distinct = if exact {
+        counts.len() as u64
+    } else {
+        sketch.estimate().max(1)
+    };
+    // MCV: the top raw sample counts. A value must be *seen* at least
+    // twice (a once-sampled value scaled by the stride is noise, not a
+    // frequency) and its scaled frequency must beat the column average
+    // (a uniform column keeps an empty list).
+    let mut by_freq: Vec<(Key, u64)> = counts.iter().map(|(k, c)| (k.clone(), *c)).collect();
+    by_freq.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    let non_null = (n as u64).saturating_sub(nulls);
+    let avg = non_null as f64 / distinct.max(1) as f64;
+    let mcv: Vec<(Key, u64)> = by_freq
+        .into_iter()
+        .take(MCV_ENTRIES)
+        .filter(|(_, raw)| *raw >= 2)
+        .map(|(k, raw)| (k, raw * stride as u64))
+        .filter(|(_, scaled)| *scaled as f64 > avg)
+        .collect();
+    // Histogram over the sampled non-null value frequencies, in
+    // run-length form: [`Histogram::build_weighted`] places the same
+    // fenceposts the expanded multiset would, without materializing it.
+    let mut by_key: Vec<(Key, u64)> = counts.iter().map(|(k, c)| (k.clone(), *c)).collect();
+    by_key.sort_by(|a, b| a.0.cmp(&b.0));
+    ColumnStats {
+        rows: n as u64,
+        nulls,
+        distinct,
+        min: min.clone(),
+        max: max.clone(),
+        mcv,
+        histogram: Histogram::build_weighted(&by_key, HISTOGRAM_BUCKETS),
     }
 }
 
@@ -272,6 +379,39 @@ mod tests {
             "unique sampled column fabricated MCVs: {:?}",
             ts.columns[0].mcv
         );
+    }
+
+    #[test]
+    fn chunked_analyze_is_identical_to_row_analyze() {
+        use arc_core::column::ColumnSet;
+        // Mixed types, NULLs, NaN, all-NULL columns, chunk-boundary and
+        // beyond-sample sizes: the columnar pass must agree bit for bit.
+        let mk = |n: i64| -> Vec<Vec<Value>> {
+            (0..n)
+                .map(|i| {
+                    vec![
+                        match i % 5 {
+                            0 => Value::Null,
+                            1 => Value::Float(f64::NAN),
+                            2 => Value::Float((i % 97) as f64),
+                            3 => Value::Str(format!("s{}", i % 13)),
+                            _ => Value::Int(i % 97),
+                        },
+                        Value::Int(i % 7),
+                        Value::Null,
+                    ]
+                })
+                .collect()
+        };
+        for n in [0i64, 1, 50, 1023, 1024, 1025, 2500, 20_000] {
+            let rows = mk(n);
+            let cols = ColumnSet::encode(3, &rows);
+            assert_eq!(
+                TableStats::analyze_chunks(3, &rows, &cols),
+                TableStats::analyze(3, &rows),
+                "divergence at n={n}"
+            );
+        }
     }
 
     #[test]
