@@ -22,7 +22,11 @@
 //!   correlated `EXISTS`/`NOT EXISTS` over a skewed inner relation, with
 //!   growing outer cardinality — the set-level semi/anti-join builds its
 //!   key set once while the nested path exhausts a probe bucket per
-//!   outer miss.
+//!   outer miss;
+//! * **ordered index-range vs. vectorized full scan** (`ARC_INDEX`): the
+//!   skewed range-join and multi-column prefix fixtures, where a
+//!   selective bound prefix turns an O(n) filtered scan into one binary
+//!   search over a build-once sorted permutation.
 
 use arc_bench::fixtures as fx;
 use arc_core::conventions::Conventions;
@@ -292,9 +296,44 @@ fn vectorized_vs_row_path(c: &mut Criterion) {
     g.finish();
 }
 
+/// Ordered index-range vs. the vectorized full scan (`ARC_INDEX=on/off`,
+/// via `Engine::with_indexes`) on two shapes, both `ANALYZE`d (only
+/// statistics make index-range a candidate): the skewed range-join
+/// fixture (`r.A > n-8` keeps 7 of `n` rows — the scan pays O(n) kernel
+/// work per evaluation, the index one binary search over a sorted
+/// permutation cached on the relation), and the multi-column prefix
+/// fixture (`r.A = 3` extends the prefix, `r.B > n-64` closes it,
+/// `r.C <> 1` is demoted to a post-filter over the streamed matches).
+fn index_vs_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_index");
+    for n in [4096usize, 16384, 65536] {
+        let q = fx::eq1_range(n);
+        let mut catalog = fx::stats_skew_catalog(n);
+        catalog.analyze();
+        for (name, indexes) in [("range_join_indexed", true), ("range_join_scan", false)] {
+            g.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                let engine = Engine::new(&catalog, Conventions::sql()).with_indexes(indexes);
+                b.iter(|| black_box(engine.eval_collection(&q).unwrap().len()));
+            });
+        }
+    }
+    for n in [16384usize, 65536] {
+        let q = fx::prefix_range(n);
+        let mut catalog = fx::prefix_catalog(n);
+        catalog.analyze();
+        for (name, indexes) in [("prefix_indexed", true), ("prefix_scan", false)] {
+            g.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                let engine = Engine::new(&catalog, Conventions::sql()).with_indexes(indexes);
+                b.iter(|| black_box(engine.eval_collection(&q).unwrap().len()));
+            });
+        }
+    }
+    g.finish();
+}
+
 criterion_group! {
     name = ablation;
     config = configured();
-    targets = nested_loop_vs_hash_join, naive_vs_semi_naive, fio_vs_foi_cost, inline_vs_reified, set_vs_bag, sequential_vs_parallel, stats_on_vs_off, semijoin_on_vs_off, vectorized_vs_row_path
+    targets = nested_loop_vs_hash_join, naive_vs_semi_naive, fio_vs_foi_cost, inline_vs_reified, set_vs_bag, sequential_vs_parallel, stats_on_vs_off, semijoin_on_vs_off, vectorized_vs_row_path, index_vs_scan
 }
 criterion_main!(ablation);

@@ -247,6 +247,32 @@ pub fn eq1_range(n: usize) -> Collection {
     ))
 }
 
+/// Multi-column prefix fixture: `R(A,B,C)` with `n` rows, `A = i mod 8`
+/// (the equality-prefix column), `B = i` (unique — the range column),
+/// `C = i mod 5` (a residue column for demotion). Pairs with
+/// [`prefix_range`], whose `r.A = 3 ∧ r.B > n-64` bound an ordered
+/// `[A, B]` index answers with one binary search while `r.C <> 1` is
+/// demoted to a post-filter over the streamed matches.
+pub fn prefix_catalog(n: usize) -> Catalog {
+    let mut r = Relation::new("R", &["A", "B", "C"]);
+    for i in 0..n {
+        r.push(vec![
+            ((i % 8) as i64).into(),
+            (i as i64).into(),
+            ((i % 5) as i64).into(),
+        ]);
+    }
+    Catalog::new().with(r)
+}
+
+/// Constant equality + range + demoted residue over [`prefix_catalog`].
+pub fn prefix_range(n: usize) -> Collection {
+    q(&format!(
+        "{{Q(B) | ∃r ∈ R [Q.B = r.B ∧ r.A = 3 ∧ r.B > {} ∧ r.C <> 1]}}",
+        n as i64 - 64
+    ))
+}
+
 /// Correlated `EXISTS` over [`semijoin_catalog`]: keep outer rows whose
 /// join key has a match among the last few `S` rows (`s.C > k - 5`).
 /// Most outer rows miss, so the nested path exhausts their whole (skewed)

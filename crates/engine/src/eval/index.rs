@@ -1,0 +1,533 @@
+//! Ordered secondary indexes: sorted permutations over one or more
+//! columns, binary-searched for the bound prefix of an
+//! [`Access::IndexRange`](arc_plan::Access::IndexRange) step.
+//!
+//! ## What the index holds
+//!
+//! An [`OrderedIndex`] over columns `cols` is a permutation of the row
+//! ids whose every indexed column has a join key (`NULL` and float `NaN`
+//! are excluded outright: under three-valued logic neither can satisfy an
+//! equality *or* an ordering predicate, so no bound prefix could ever
+//! select them). Entries sort lexicographically by a total order over
+//! [`Key`]s — class rank first (booleans, then numerics with `Int`/`Float`
+//! interleaved by numeric value, then strings), exact value within a
+//! class — with ties broken by row id, so equal-key runs enumerate in
+//! original row order.
+//!
+//! ## Search semantics — who defines "equal" and "less"
+//!
+//! The two probe components deliberately use *different* comparison
+//! sources, each matching the execution path it replaces:
+//!
+//! * **equality prefix** — exact [`Key`] match, the same rule the
+//!   hash-join index uses ([`Relation::key_for`]): an index-range step
+//!   with a constant-equality prefix replaces a hash probe, and must
+//!   select exactly the rows that probe would have.
+//! * **range bound** — [`Value::compare`] semantics, the same rule the
+//!   row path's [`cmp_truth`](arc_core::value::cmp_truth) and the
+//!   columnar kernels apply: the bound replaces an ordering filter. A
+//!   constant only orders against values of its own comparability class
+//!   (bool / numeric / string — anything else is `Unknown` and the row
+//!   path drops it), so the search first narrows to the constant's class
+//!   window and only then applies the bound; a missing end stops at the
+//!   class boundary, not at the end of the index. A `NULL`/`NaN`
+//!   constant (or a lower/upper pair from two different classes) can
+//!   match nothing and short-circuits to an empty selection.
+//!
+//! Both probes are monotone over the sort order, so plain binary search
+//! (`partition_point` style) finds every window; the qualifying row ids
+//! are then re-sorted ascending so the scan emits environments in
+//! exactly the order the full-scan row path would — workspace
+//! invariant 13, and what lets the selection compose with chunk-aligned
+//! morsel partitioning unchanged.
+
+use crate::relation::{Relation, Tuple};
+use arc_core::ast::{CmpOp, Predicate};
+use arc_core::value::{Key, Value};
+use arc_plan::const_cmp;
+use std::cmp::Ordering;
+
+/// Comparability class of a key (mirrors [`Value::compare`]: values of
+/// different classes never order against each other). `Key::Null` never
+/// enters an index.
+fn class(k: &Key) -> u8 {
+    match k {
+        Key::Null => unreachable!("NULL keys are excluded at build time"),
+        Key::Bool(_) => 0,
+        Key::Int(_) | Key::Float(_) => 1,
+        Key::Str(_) => 2,
+    }
+}
+
+/// Class of a constant value, `None` for `NULL`/`NaN` (which no row can
+/// equal or order against).
+fn value_class(v: &Value) -> Option<u8> {
+    match v {
+        Value::Null => None,
+        Value::Float(f) if f.is_nan() => None,
+        Value::Bool(_) => Some(0),
+        Value::Int(_) | Value::Float(_) => Some(1),
+        Value::Str(_) => Some(2),
+    }
+}
+
+/// The index's total order over two keys: class rank, then exact value.
+/// `Int` and `Float` interleave by numeric value (via `f64`, which is
+/// exact here: integral floats normalize to `Key::Int` at key
+/// construction, so every `Float` key is non-integral with magnitude
+/// below 2^53, where `i64 → f64` ordering is lossless) and are never
+/// `Equal` cross-type — so an `Equal` run under this order is exactly a
+/// run of identical keys.
+fn key_cmp(a: &Key, b: &Key) -> Ordering {
+    let (ca, cb) = (class(a), class(b));
+    if ca != cb {
+        return ca.cmp(&cb);
+    }
+    match (a, b) {
+        (Key::Bool(x), Key::Bool(y)) => x.cmp(y),
+        (Key::Int(x), Key::Int(y)) => x.cmp(y),
+        (Key::Str(x), Key::Str(y)) => x.cmp(y),
+        (Key::Float(x), Key::Float(y)) => f64::from_bits(*x)
+            .partial_cmp(&f64::from_bits(*y))
+            .expect("NaN keys are excluded at build time"),
+        (Key::Int(x), Key::Float(y)) => (*x as f64)
+            .partial_cmp(&f64::from_bits(*y))
+            .expect("NaN keys are excluded at build time"),
+        (Key::Float(x), Key::Int(y)) => f64::from_bits(*x)
+            .partial_cmp(&(*y as f64))
+            .expect("NaN keys are excluded at build time"),
+        _ => unreachable!("cross-class pairs are ordered by class rank"),
+    }
+}
+
+/// Same-class ordering of an indexed key against a bound constant,
+/// replicating [`Value::compare`] exactly — including its `f64` widening
+/// for mixed `Int`/`Float` pairs, so the selected window is precisely
+/// the set of rows `cmp_truth` would keep. Monotone over [`key_cmp`]
+/// order (the `i64 → f64` widening is order-preserving), which is what
+/// makes binary search with it sound. Caller guarantees the constant is
+/// in the key's class and is not `NULL`/`NaN`.
+fn key_cmp_value(k: &Key, v: &Value) -> Ordering {
+    let within = match (k, v) {
+        (Key::Bool(a), Value::Bool(b)) => a.cmp(b),
+        (Key::Int(a), Value::Int(b)) => a.cmp(b),
+        (Key::Int(a), Value::Float(b)) => return (*a as f64).partial_cmp(b).expect("NaN guarded"),
+        (Key::Float(a), Value::Int(b)) => {
+            return f64::from_bits(*a)
+                .partial_cmp(&(*b as f64))
+                .expect("NaN keys are excluded at build time")
+        }
+        (Key::Float(a), Value::Float(b)) => {
+            return f64::from_bits(*a).partial_cmp(b).expect("NaN guarded")
+        }
+        (Key::Str(a), Value::Str(b)) => a.as_str().cmp(b.as_str()),
+        _ => unreachable!("caller narrows to the constant's class first"),
+    };
+    within
+}
+
+/// A resolved index probe: the constant equality prefix (exact keys, in
+/// index-column order) plus at most one lower and one upper bound on the
+/// final column. Built once at step-materialization time from the
+/// consumed filters (see `Ctx::materialize_steps`).
+pub(crate) struct IndexProbe {
+    /// Exact keys for the leading equality columns (may be empty: a
+    /// range-only probe on a single-column index).
+    pub(crate) eq: Vec<Key>,
+    /// Lower bound on the final column (`Gt`/`Ge`).
+    pub(crate) lo: Option<(CmpOp, Value)>,
+    /// Upper bound on the final column (`Lt`/`Le`).
+    pub(crate) hi: Option<(CmpOp, Value)>,
+    /// Statically empty: some consumed constant was `NULL`/`NaN`, or the
+    /// two bounds come from different comparability classes — no row can
+    /// satisfy the conjunction, so the search skips the index entirely.
+    pub(crate) empty: bool,
+}
+
+/// The executable form of an [`Access::IndexRange`](arc_plan::Access)
+/// step: which columns the index sorts, the resolved probe, and the
+/// consumed filters' addresses (the selection-cache key component).
+pub(crate) struct IndexPlan {
+    /// Indexed columns: the equality prefix in order, then the single
+    /// range-bound column.
+    pub(crate) cols: Vec<usize>,
+    /// The resolved probe (exact prefix keys + bounds).
+    pub(crate) probe: IndexProbe,
+    /// Addresses of the consumed predicates — combined with the
+    /// vectorized-prefix addresses to key the per-`Ctx` selection cache.
+    pub(crate) key: Vec<usize>,
+}
+
+impl IndexPlan {
+    /// Re-derive the bound semantics of an index-range step from its
+    /// consumed filter indices, using the *same* classifier the planner
+    /// used ([`const_cmp`]) so the two can never disagree. Returns
+    /// `None` when the consumed filters don't re-derive — the engine
+    /// maps that onto an internal-invariant error.
+    pub(crate) fn build(
+        cols: &[usize],
+        consumed: &[usize],
+        filters: &[&Predicate],
+        var: &str,
+        schema: &[String],
+    ) -> Option<IndexPlan> {
+        let (&range_col, eq_cols) = cols.split_last()?;
+        let mut eq: Vec<Option<Key>> = vec![None; eq_cols.len()];
+        let mut lo: Option<(CmpOp, Value)> = None;
+        let mut hi: Option<(CmpOp, Value)> = None;
+        let mut empty = false;
+        for &f in consumed {
+            let (col, op, value) = const_cmp(filters.get(f)?, var, schema)?;
+            match op {
+                CmpOp::Eq => {
+                    let p = eq_cols.iter().position(|&c| c == col)?;
+                    if eq[p].is_some() {
+                        return None; // one equality per prefix column
+                    }
+                    // A NULL/NaN equality constant matches no row; the
+                    // placeholder key is never compared (`empty` wins).
+                    eq[p] = Some(match value.join_key() {
+                        Some(k) => k,
+                        None => {
+                            empty = true;
+                            Key::Int(0)
+                        }
+                    });
+                }
+                CmpOp::Lt | CmpOp::Le => {
+                    if col != range_col || hi.is_some() {
+                        return None;
+                    }
+                    empty |= value_class(value).is_none();
+                    hi = Some((op, value.clone()));
+                }
+                CmpOp::Gt | CmpOp::Ge => {
+                    if col != range_col || lo.is_some() {
+                        return None;
+                    }
+                    empty |= value_class(value).is_none();
+                    lo = Some((op, value.clone()));
+                }
+                CmpOp::Ne => return None, // the planner never consumes ≠
+            }
+        }
+        if lo.is_none() && hi.is_none() {
+            return None; // an index-range step always has a range bound
+        }
+        // Bounds from two different comparability classes reject every
+        // row (one of the two comparisons is Unknown for any value).
+        if let (Some((_, l)), Some((_, h))) = (&lo, &hi) {
+            if value_class(l) != value_class(h) {
+                empty = true;
+            }
+        }
+        let eq: Vec<Key> = eq.into_iter().collect::<Option<_>>()?;
+        Some(IndexPlan {
+            cols: cols.to_vec(),
+            probe: IndexProbe { eq, lo, hi, empty },
+            key: consumed
+                .iter()
+                .map(|&f| filters[f] as *const Predicate as usize)
+                .collect(),
+        })
+    }
+}
+
+/// An ordered secondary index over one or more columns of a relation:
+/// the sorted permutation plus the (flattened) key tuples it sorts by.
+pub(crate) struct OrderedIndex {
+    /// Number of indexed columns (key tuple width).
+    width: usize,
+    /// Key tuples, flattened: entry `i` owns `keys[i*width..(i+1)*width]`.
+    keys: Vec<Key>,
+    /// Row ids, parallel to the key tuples, in sorted order.
+    perm: Vec<u32>,
+    /// Source row count at build time (the cache's invalidation check,
+    /// same rule as the relation's column cache).
+    rows: usize,
+}
+
+impl OrderedIndex {
+    /// Build the index over `cols` of `rows`. Rows where any indexed
+    /// column lacks a join key (`NULL`/`NaN`) are excluded — they can
+    /// never satisfy the equality or ordering predicates a probe encodes.
+    pub(crate) fn build(rows: &[Tuple], cols: &[usize]) -> OrderedIndex {
+        let width = cols.len().max(1);
+        let mut entries: Vec<(Vec<Key>, u32)> = Vec::with_capacity(rows.len());
+        for (i, row) in rows.iter().enumerate() {
+            if let Some(key) = Relation::key_for(row, cols) {
+                entries.push((key, i as u32));
+            }
+        }
+        entries.sort_unstable_by(|a, b| cmp_tuples(&a.0, &b.0).then_with(|| a.1.cmp(&b.1)));
+        let mut keys = Vec::with_capacity(entries.len() * width);
+        let mut perm = Vec::with_capacity(entries.len());
+        for (key, rid) in entries {
+            keys.extend(key);
+            perm.push(rid);
+        }
+        OrderedIndex {
+            width,
+            keys,
+            perm,
+            rows: rows.len(),
+        }
+    }
+
+    /// Source row count at build time (cache invalidation).
+    pub(crate) fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of indexed (non-NULL/NaN) entries.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.perm.len()
+    }
+
+    fn key(&self, entry: usize, col: usize) -> &Key {
+        &self.keys[entry * self.width + col]
+    }
+
+    /// First entry in `[lo, hi)` where `pred` on column `col` turns
+    /// false (`partition_point` over a slice of the permutation).
+    fn partition(
+        &self,
+        mut lo: usize,
+        mut hi: usize,
+        col: usize,
+        pred: impl Fn(&Key) -> bool,
+    ) -> usize {
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if pred(self.key(mid, col)) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Row ids satisfying the probe, in **ascending row order** (the
+    /// same artifact a vectorized scan's selection vector is, so the two
+    /// compose and the morsel partitioner needs no special case).
+    pub(crate) fn search(&self, probe: &IndexProbe) -> Vec<u32> {
+        if probe.empty {
+            return Vec::new();
+        }
+        // Narrow to the equality prefix, one column at a time: each
+        // column's keys are sorted within the window where all previous
+        // columns already match, and exact-key runs are contiguous
+        // because `key_cmp` is `Equal` only for identical keys.
+        let (mut lo, mut hi) = (0usize, self.perm.len());
+        for (col, k) in probe.eq.iter().enumerate() {
+            lo = self.partition(lo, hi, col, |x| key_cmp(x, k) == Ordering::Less);
+            hi = self.partition(lo, hi, col, |x| key_cmp(x, k) != Ordering::Greater);
+            if lo == hi {
+                return Vec::new();
+            }
+        }
+        // Narrow to the bound constants' comparability class on the
+        // range column: a constant orders only against its own class
+        // (everything else is `Unknown`, which the row path rejects).
+        let col = probe.eq.len();
+        if let Some(c) = [&probe.lo, &probe.hi]
+            .into_iter()
+            .flatten()
+            .filter_map(|(_, v)| value_class(v))
+            .next()
+        {
+            lo = self.partition(lo, hi, col, |x| class(x) < c);
+            hi = self.partition(lo, hi, col, |x| class(x) <= c);
+        }
+        // Apply the bounds with `Value::compare` semantics.
+        if let Some((op, v)) = &probe.lo {
+            let strict = *op == CmpOp::Gt;
+            lo = self.partition(lo, hi, col, |x| {
+                let ord = key_cmp_value(x, v);
+                ord == Ordering::Less || (strict && ord == Ordering::Equal)
+            });
+        }
+        if let Some((op, v)) = &probe.hi {
+            let strict = *op == CmpOp::Lt;
+            hi = self.partition(lo, hi, col, |x| {
+                let ord = key_cmp_value(x, v);
+                ord == Ordering::Less || (!strict && ord == Ordering::Equal)
+            });
+        }
+        let mut out: Vec<u32> = self.perm[lo..hi].to_vec();
+        out.sort_unstable();
+        out
+    }
+}
+
+/// Lexicographic [`key_cmp`] over key tuples (the index sort order).
+fn cmp_tuples(a: &[Key], b: &[Key]) -> Ordering {
+    for (x, y) in a.iter().zip(b) {
+        match key_cmp(x, y) {
+            Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    Ordering::Equal
+}
+
+// Indexes are cached on relations behind `Arc` and shared read-only
+// across pool workers; keep that a compile-time fact.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<OrderedIndex>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arc_core::value::cmp_truth;
+
+    fn rel() -> Relation {
+        // Mixed-type column A with NULL/NaN noise, plus a B column for
+        // multi-column prefixes.
+        Relation::from_rows(
+            "R",
+            &["A", "B"],
+            (0..400i64)
+                .map(|i| {
+                    vec![
+                        match i % 7 {
+                            0 => Value::Null,
+                            1 => Value::Float(f64::NAN),
+                            2 => Value::Float(i as f64 + 0.5),
+                            3 => Value::Float(i as f64), // integral: keys as Int
+                            4 => Value::Str(format!("s{:03}", i % 50)),
+                            5 => Value::Bool(i % 2 == 0),
+                            _ => Value::Int(i % 90),
+                        },
+                        Value::Int(i % 4),
+                    ]
+                })
+                .collect(),
+        )
+    }
+
+    /// The reference: the rows the row path would keep for the same
+    /// conjunction of consumed filters.
+    fn row_reference(
+        rel: &Relation,
+        eq: &[(usize, Value)],
+        col: usize,
+        probe: &IndexProbe,
+    ) -> Vec<u32> {
+        rel.rows
+            .iter()
+            .enumerate()
+            .filter(|(_, row)| {
+                eq.iter().all(|(c, v)| {
+                    // Equality prefix uses hash-probe (key) semantics.
+                    match (row[*c].join_key(), v.join_key()) {
+                        (Some(a), Some(b)) => a == b,
+                        _ => false,
+                    }
+                }) && probe
+                    .lo
+                    .iter()
+                    .all(|(op, v)| cmp_truth(&row[col], *op, v).is_true())
+                    && probe
+                        .hi
+                        .iter()
+                        .all(|(op, v)| cmp_truth(&row[col], *op, v).is_true())
+            })
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    #[test]
+    fn range_search_matches_cmp_truth_per_class() {
+        let rel = rel();
+        let idx = OrderedIndex::build(&rel.rows, &[0]);
+        assert!(idx.len() < rel.len(), "NULL/NaN rows are excluded");
+        let cases = vec![
+            (
+                Some((CmpOp::Gt, Value::Int(40))),
+                Some((CmpOp::Le, Value::Int(70))),
+            ),
+            (Some((CmpOp::Ge, Value::Float(39.5))), None),
+            (None, Some((CmpOp::Lt, Value::Float(10.75)))),
+            (
+                Some((CmpOp::Gt, Value::str("s01"))),
+                Some((CmpOp::Lt, Value::str("s040"))),
+            ),
+            (Some((CmpOp::Ge, Value::Bool(true))), None),
+            // Contradictory interval: empty, not negative.
+            (
+                Some((CmpOp::Gt, Value::Int(70))),
+                Some((CmpOp::Lt, Value::Int(40))),
+            ),
+        ];
+        for (lo, hi) in cases {
+            let probe = IndexProbe {
+                eq: Vec::new(),
+                lo: lo.clone(),
+                hi: hi.clone(),
+                empty: false,
+            };
+            let got = idx.search(&probe);
+            let want = row_reference(&rel, &[], 0, &probe);
+            assert_eq!(got, want, "bounds {lo:?} / {hi:?}");
+            assert!(got.windows(2).all(|w| w[0] < w[1]), "ascending row order");
+        }
+    }
+
+    #[test]
+    fn eq_prefix_narrows_before_the_range_bound() {
+        let rel = rel();
+        let idx = OrderedIndex::build(&rel.rows, &[1, 0]);
+        let probe = IndexProbe {
+            eq: vec![Key::Int(2)],
+            lo: Some((CmpOp::Gt, Value::Int(10))),
+            hi: Some((CmpOp::Le, Value::Int(60))),
+            empty: false,
+        };
+        let got = idx.search(&probe);
+        let want = row_reference(&rel, &[(1, Value::Int(2))], 0, &probe);
+        assert_eq!(got, want);
+        assert!(!got.is_empty(), "fixture must exercise the window");
+    }
+
+    #[test]
+    fn unmatchable_probes_are_empty() {
+        let rel = rel();
+        let idx = OrderedIndex::build(&rel.rows, &[0]);
+        // Statically empty probe (NULL/NaN constant or cross-class pair).
+        let probe = IndexProbe {
+            eq: Vec::new(),
+            lo: Some((CmpOp::Gt, Value::Int(0))),
+            hi: None,
+            empty: true,
+        };
+        assert!(idx.search(&probe).is_empty());
+        // Missing equality key: empty without touching the range logic.
+        let idx2 = OrderedIndex::build(&rel.rows, &[1, 0]);
+        let probe = IndexProbe {
+            eq: vec![Key::Int(99)],
+            lo: Some((CmpOp::Gt, Value::Int(0))),
+            hi: None,
+            empty: false,
+        };
+        assert!(idx2.search(&probe).is_empty());
+    }
+
+    #[test]
+    fn cache_rebuilds_after_growth_and_survives_requests() {
+        let mut rel = rel();
+        let first = rel.ordered_index(&[0]);
+        assert!(
+            std::sync::Arc::ptr_eq(&first, &rel.ordered_index(&[0])),
+            "stable while unchanged"
+        );
+        rel.push(vec![Value::Int(7), Value::Int(7)]);
+        let second = rel.ordered_index(&[0]);
+        assert_eq!(second.rows(), rel.len());
+        assert!(!std::sync::Arc::ptr_eq(&first, &second));
+    }
+}

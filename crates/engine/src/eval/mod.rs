@@ -63,6 +63,7 @@
 pub mod aggregate;
 pub mod env;
 pub mod formula;
+pub(crate) mod index;
 pub mod join;
 pub mod output;
 pub mod parallel;
@@ -123,6 +124,9 @@ pub struct Engine<'c> {
     /// Vectorized columnar execution (`ARC_VECTOR`, default on); same
     /// deferred-error story.
     vectorize: std::result::Result<bool, crate::error::EvalError>,
+    /// Ordered secondary indexes / index-range access paths
+    /// (`ARC_INDEX`, default on); same deferred-error story.
+    indexes: std::result::Result<bool, crate::error::EvalError>,
 }
 
 impl<'c> Engine<'c> {
@@ -145,6 +149,7 @@ impl<'c> Engine<'c> {
             threads: strategy::threads_from_env(),
             decorrelate: strategy::decorrelate_from_env(),
             vectorize: strategy::vectorize_from_env(),
+            indexes: strategy::indexes_from_env(),
         }
     }
 
@@ -203,6 +208,21 @@ impl<'c> Engine<'c> {
         self.vectorize.clone()
     }
 
+    /// Override ordered-index usage (builder style): `false` pins the
+    /// scan/hash-probe access paths everywhere, exactly like running
+    /// under `ARC_INDEX=off` — tests and the `ablation_index` bench use
+    /// this to compare both paths without touching the (racy) process
+    /// environment.
+    pub fn with_indexes(mut self, indexes: bool) -> Self {
+        self.indexes = Ok(indexes);
+        self
+    }
+
+    /// Whether this engine may plan index-range access paths.
+    pub fn indexes(&self) -> Result<bool> {
+        self.indexes.clone()
+    }
+
     /// Inject a strategy-parse outcome (tests only: process environment
     /// variables are racy under parallel tests, so the typo path is tested
     /// by injection rather than by setting `ARC_EVAL_STRATEGY`).
@@ -237,6 +257,7 @@ impl<'c> Engine<'c> {
             threads: self.threads.clone()?,
             decorrelate: self.decorrelate.clone()?,
             vectorize: self.vectorize.clone()?,
+            indexes: self.indexes.clone()?,
             program,
             defined,
             abstracts,
@@ -304,6 +325,9 @@ pub(crate) struct Ctx<'a> {
     /// vectorized columnar kernels (see [`vector`]). Off pins the
     /// row-at-a-time path.
     pub(crate) vectorize: bool,
+    /// Whether the planner may choose the index-range access path (see
+    /// [`index`]). Off pins scans and hash probes everywhere.
+    pub(crate) indexes: bool,
     /// Structural hash of the top-level query this context evaluates
     /// (the global plan cache's program key).
     pub(crate) program: u64,

@@ -48,6 +48,7 @@ pub(crate) struct WorkerSeed<'a> {
     strategy: EvalStrategy,
     decorrelate: bool,
     vectorize: bool,
+    indexes: bool,
     program: u64,
     defined: &'a HashMap<String, Relation>,
     abstracts: &'a HashMap<String, Collection>,
@@ -76,6 +77,7 @@ impl<'a> WorkerSeed<'a> {
             threads: 1,
             decorrelate: self.decorrelate,
             vectorize: self.vectorize,
+            indexes: self.indexes,
             program: self.program,
             defined: self.defined,
             abstracts: self.abstracts,
@@ -110,6 +112,7 @@ impl<'a> Ctx<'a> {
             strategy: self.strategy,
             decorrelate: self.decorrelate,
             vectorize: self.vectorize,
+            indexes: self.indexes,
             program: self.program,
             defined: self.defined,
             abstracts: self.abstracts,
@@ -198,7 +201,7 @@ impl<'a> Ctx<'a> {
             if let (Src::Rows(rel), Some(hash_plan)) = (&ob.source, &ob.hash_plan) {
                 let _ = self.join_index(hash_plan, rel);
             }
-            if let (Src::Rows(rel), true) = (&ob.source, ob.has_vec_filters()) {
+            if let (Src::Rows(rel), true) = (&ob.source, ob.uses_selection()) {
                 let _ = self.scan_selection(rel, ob);
             }
         }

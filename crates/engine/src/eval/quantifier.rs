@@ -147,6 +147,11 @@ pub(crate) struct Ordered<'b> {
     /// Addresses of the original predicates behind `vec_filters` — the
     /// `Ctx` selection-cache key (predicates outlive the `Ctx`).
     vec_key: Vec<usize>,
+    /// The index-range access plan, when the planner chose one for this
+    /// step: the ordered index answers the consumed bound prefix by
+    /// binary search and the result joins the selection-vector path
+    /// (composing with `vec_filters` when both are present).
+    index_plan: Option<super::index::IndexPlan>,
     /// The plan's index, memoized on first probe so the hot loop touches
     /// neither the [`Ctx`]-level cache nor its heap-allocated key again.
     /// A `OnceLock` (not `OnceCell`) so a materialized pipeline stays
@@ -158,10 +163,44 @@ pub(crate) struct Ordered<'b> {
 }
 
 impl Ordered<'_> {
-    /// Whether this step scans through a vectorized selection (used by
-    /// the parallel coordinator to pre-build selections for workers).
-    pub(crate) fn has_vec_filters(&self) -> bool {
-        !self.vec_filters.is_empty()
+    /// Whether this step scans through a selection vector — an
+    /// index-range probe, a vectorized constant-filter prefix, or both
+    /// composed. Used by the scan loops to pick the selection walk and
+    /// by the parallel coordinator to pre-build selections for workers.
+    pub(crate) fn uses_selection(&self) -> bool {
+        self.index_plan.is_some() || !self.vec_filters.is_empty()
+    }
+
+    /// The per-`Ctx` selection-cache key: the consumed index filters'
+    /// addresses (behind a `usize::MAX` marker no predicate address can
+    /// collide with), then the vectorized prefix's addresses.
+    fn selection_key(&self) -> Vec<usize> {
+        match &self.index_plan {
+            Some(ip) => {
+                let mut key = Vec::with_capacity(1 + ip.key.len() + self.vec_key.len());
+                key.push(usize::MAX);
+                key.extend_from_slice(&ip.key);
+                key.extend_from_slice(&self.vec_key);
+                key
+            }
+            None => self.vec_key.clone(),
+        }
+    }
+
+    /// Compute this step's selection vector: the index-range probe when
+    /// one is planned (binary search over the relation's cached ordered
+    /// index, then the demoted constant filters row-checked over the
+    /// survivors), otherwise the vectorized kernels over all chunks.
+    /// Ascending row order either way.
+    fn compute_selection(&self, rel: &Relation) -> Vec<u32> {
+        let Some(ip) = &self.index_plan else {
+            return super::vector::selection(&rel.columns(), &self.vec_filters);
+        };
+        let mut sel = rel.ordered_index(&ip.cols).search(&ip.probe);
+        if !self.vec_filters.is_empty() {
+            sel.retain(|&r| super::vector::row_passes(&rel.rows[r as usize], &self.vec_filters));
+        }
+        sel
     }
 
     /// The step's variable name — the semi-join columnar build resolves
@@ -259,6 +298,16 @@ impl DistinctEstimator for CtxEstimator<'_, '_> {
         let stats = self.table_stats(binding)?;
         Some(1.0 - stats.columns.get(col)?.non_null_fraction())
     }
+
+    fn range_selectivity(
+        &self,
+        binding: usize,
+        col: usize,
+        lo: Option<(arc_core::ast::CmpOp, &arc_core::value::Value)>,
+        hi: Option<(arc_core::ast::CmpOp, &arc_core::value::Value)>,
+    ) -> Option<f64> {
+        self.table_stats(binding)?.range_selectivity(col, lo, hi)
+    }
 }
 
 impl<'a> Ctx<'a> {
@@ -313,16 +362,17 @@ impl<'a> Ctx<'a> {
         index
     }
 
-    /// The selection vector of a vectorized scan step — through the
+    /// The selection vector of a selection-backed scan step (index-range
+    /// probe and/or vectorized constant-filter prefix) — through the
     /// per-query cache, so correlated scopes that re-enter `enumerate`
-    /// per outer row compute it once (the filters are constant, hence
-    /// outer-independent).
+    /// per outer row compute it once (the consumed filters are constant,
+    /// hence outer-independent).
     pub(crate) fn scan_selection(&self, rel: &Relation, ob: &Ordered<'_>) -> Arc<Vec<u32>> {
-        let key = (rel as *const Relation as usize, ob.vec_key.clone());
+        let key = (rel as *const Relation as usize, ob.selection_key());
         if let Some(sel) = self.selections.borrow().get(&key) {
             return sel.clone();
         }
-        let sel = Arc::new(super::vector::selection(&rel.columns(), &ob.vec_filters));
+        let sel = Arc::new(ob.compute_selection(rel));
         self.selections.borrow_mut().insert(key, sel.clone());
         sel
     }
@@ -368,9 +418,10 @@ impl<'a> Ctx<'a> {
             ));
         };
         let attrs = Arc::new(rel.schema.clone());
-        if !first.vec_filters.is_empty() {
-            // Vectorized scan: walk the (ascending) selection restricted
-            // to this morsel's row range — concatenation over consecutive
+        if first.uses_selection() {
+            // Selection-backed scan (index probe and/or vectorized
+            // prefix): walk the (ascending) selection restricted to this
+            // morsel's row range — concatenation over consecutive
             // ranges still reproduces the sequential order.
             let sel = first
                 .selection
@@ -447,11 +498,12 @@ impl<'a> Ctx<'a> {
                     }
                     return Ok(true);
                 }
-                if !ob.vec_filters.is_empty() {
-                    // Vectorized scan: the constant-filter prefix already
-                    // ran as columnar kernels; enumerate the selection (in
-                    // ascending row order, so emission order is identical
-                    // to the row path) and row-check only the residue.
+                if ob.uses_selection() {
+                    // Selection-backed scan: the index probe and/or the
+                    // constant-filter prefix already ran; enumerate the
+                    // selection (in ascending row order, so emission
+                    // order is identical to the row path) and row-check
+                    // only the residue.
                     let sel = ob.selection.get_or_init(|| self.scan_selection(rel, ob));
                     for &ridx in sel.iter() {
                         env.push(
@@ -668,6 +720,7 @@ impl<'a> Ctx<'a> {
             filters,
             outer: &outer,
             estimator: Some(&estimator),
+            indexes: self.indexes,
         };
 
         let key = arc_plan::PlanKey {
@@ -677,6 +730,7 @@ impl<'a> Ctx<'a> {
             epoch,
             mode: self.strategy.plan_mode(),
             decor: boolean,
+            indexes: self.indexes,
         };
         let plan = match cache::global_lookup(&key) {
             Some(plan) => plan,
@@ -756,8 +810,36 @@ impl<'a> Ctx<'a> {
                     .map(|e| other_side(filters[e.filter], e.attr_on_left).clone())
                     .collect()
             };
+            let mut index_plan = None;
             let (source, hash_plan) = match (&resolved[step.binding], &step.access) {
                 (Resolved::Rel(rel), Access::Scan) => (Src::Rows(rel), None),
+                (
+                    Resolved::Rel(rel),
+                    Access::IndexRange {
+                        cols,
+                        filters: consumed,
+                    },
+                ) => {
+                    // Re-derive the bound semantics from the consumed
+                    // filters with the planner's own classifier; a
+                    // mismatch is a planner/engine contract violation.
+                    index_plan = Some(
+                        super::index::IndexPlan::build(
+                            cols,
+                            consumed,
+                            filters,
+                            &b.var,
+                            &rel.schema,
+                        )
+                        .ok_or_else(|| {
+                            EvalError::Internal(format!(
+                                "index-range filters for `{}` did not re-derive",
+                                b.var
+                            ))
+                        })?,
+                    );
+                    (Src::Rows(rel), None)
+                }
                 (Resolved::Rel(rel), Access::HashProbe { keys }) => {
                     let key_cols = keys.iter().map(|k| k.col).collect();
                     let probe_exprs = keys
@@ -830,6 +912,7 @@ impl<'a> Ctx<'a> {
                 step_filters,
                 vec_filters,
                 vec_key,
+                index_plan,
                 index: std::sync::OnceLock::new(),
                 selection: std::sync::OnceLock::new(),
             });

@@ -317,7 +317,7 @@ impl<'a> Ctx<'a> {
             }
             key_cols.push(rel.schema.iter().position(|s| s == &a.attr)?);
         }
-        let sel = ob.has_vec_filters().then(|| self.scan_selection(rel, ob));
+        let sel = ob.uses_selection().then(|| self.scan_selection(rel, ob));
         if key_cols.is_empty() {
             // Keyless build: a pure non-emptiness check over the
             // selection — the row path would stop at the first survivor.

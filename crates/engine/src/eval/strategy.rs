@@ -71,6 +71,34 @@ pub fn parse_vectorize(value: Option<&str>) -> Result<bool, String> {
     }
 }
 
+/// Ordered secondary indexes, from `ARC_INDEX`: unset/`on` (the default)
+/// lets the planner choose the index-range access path for selective
+/// constant range predicates — a lazily built, cached sorted permutation
+/// answers the bound prefix by binary search; `off` pins the scan/probe
+/// paths everywhere — the escape hatch for bisecting an index regression
+/// (and the baseline leg of the `ablation_index` bench series). Both
+/// paths are row-identical by construction (invariant 13). A malformed
+/// value surfaces as [`EvalError::Config`] on the first evaluation,
+/// exactly like `ARC_PLAN`/`ARC_DECORRELATE`/`ARC_VECTOR`.
+pub fn indexes_from_env() -> Result<bool, EvalError> {
+    parse_indexes(std::env::var("ARC_INDEX").ok().as_deref()).map_err(EvalError::Config)
+}
+
+/// Pure core of [`indexes_from_env`] (unit-testable without touching the
+/// process environment, which is racy under parallel tests).
+pub fn parse_indexes(value: Option<&str>) -> Result<bool, String> {
+    match value.map(|v| v.to_lowercase().replace('_', "-")) {
+        None => Ok(true),
+        Some(v) => match v.as_str() {
+            "" | "on" | "1" | "true" | "auto" => Ok(true),
+            "off" | "0" | "false" | "no" => Ok(false),
+            other => Err(format!(
+                "unknown ARC_INDEX `{other}` (expected `on` or `off`)"
+            )),
+        },
+    }
+}
+
 /// How quantifier scopes are planned and enumerated.
 ///
 /// [`EvalStrategy::Planned`] (the default) routes every scope through
@@ -234,6 +262,18 @@ mod tests {
         let err = parse_vectorize(Some("nope")).unwrap_err();
         assert!(err.contains("nope"), "{err}");
         assert!(err.contains("ARC_VECTOR"), "{err}");
+    }
+
+    #[test]
+    fn indexes_parse_like_the_other_escape_hatches() {
+        assert_eq!(parse_indexes(None), Ok(true));
+        assert_eq!(parse_indexes(Some("on")), Ok(true));
+        assert_eq!(parse_indexes(Some("1")), Ok(true));
+        assert_eq!(parse_indexes(Some("OFF")), Ok(false));
+        assert_eq!(parse_indexes(Some("0")), Ok(false));
+        let err = parse_indexes(Some("nope")).unwrap_err();
+        assert!(err.contains("nope"), "{err}");
+        assert!(err.contains("ARC_INDEX"), "{err}");
     }
 
     #[test]

@@ -120,6 +120,20 @@ pub(crate) fn selection(cols: &ColumnSet, filters: &[VecFilter]) -> Vec<u32> {
     out
 }
 
+/// Row-at-a-time check of a vectorized-filter conjunction, with exactly
+/// the kernels' semantics (`cmp_truth` / null-test). The index-range
+/// path uses this to run the demoted constant filters over the (few)
+/// index survivors instead of paying a whole-column kernel pass — same
+/// rows selected either way.
+pub(crate) fn row_passes(row: &[Value], filters: &[VecFilter]) -> bool {
+    filters.iter().all(|f| match f {
+        VecFilter::Cmp { col, op, value } => {
+            arc_core::value::cmp_truth(&row[*col], *op, value).is_true()
+        }
+        VecFilter::IsNull { col, negated } => row[*col].is_null() != *negated,
+    })
+}
+
 /// Columnar hash-index build: per-chunk [`join_keys_into`]
 /// (arc_core::column::ColumnChunk::join_keys_into) passes fill reusable
 /// per-key-column buffers (one allocation per chunk, amortized to zero

@@ -86,13 +86,14 @@ impl Engine<'_> {
         let mode = self.strategy()?.plan_mode();
         let threads = self.threads()?;
         let decorrelate = self.decorrelate()?;
+        let indexes = self.indexes()?;
         let resolver = CatalogResolver {
             catalog: self.catalog,
             defined: HashMap::new(),
             abstracts: HashMap::new(),
         };
-        let plan =
-            arc_plan::lower_collection_opts(c, &resolver, mode, decorrelate).map_err(lower_err)?;
+        let plan = arc_plan::lower_collection_opts(c, &resolver, mode, decorrelate, indexes)
+            .map_err(lower_err)?;
         Ok(arc_plan::render_with_threads(&plan, threads))
     }
 
@@ -103,6 +104,7 @@ impl Engine<'_> {
         let mode = self.strategy()?.plan_mode();
         let threads = self.threads()?;
         let decorrelate = self.decorrelate()?;
+        let indexes = self.indexes()?;
         // Classify abstract definitions via the binder, mirroring
         // `materialize_definitions`.
         let bound = Binder::new().bind_program(p);
@@ -127,8 +129,8 @@ impl Engine<'_> {
             defined,
             abstracts,
         };
-        let plan =
-            arc_plan::lower_program_opts(p, &resolver, mode, decorrelate).map_err(lower_err)?;
+        let plan = arc_plan::lower_program_opts(p, &resolver, mode, decorrelate, indexes)
+            .map_err(lower_err)?;
         Ok(arc_plan::render_with_threads(&plan, threads))
     }
 }

@@ -33,6 +33,8 @@ pub struct Relation {
     pub rows: Vec<Tuple>,
     /// Cached columnar encoding (see [`Relation::columns`]).
     columns: ColCache,
+    /// Cached ordered secondary indexes (see [`Relation::ordered_index`]).
+    indexes: IndexCache,
 }
 
 /// The lazily built columnar view of a relation's rows. Identity-free by
@@ -69,6 +71,41 @@ impl fmt::Debug for ColCache {
     }
 }
 
+/// Lazily built ordered secondary indexes, keyed by the indexed column
+/// list. Same identity-free contract as [`ColCache`]: cloning resets it,
+/// it never participates in equality or `Debug`, and a cached index is
+/// served only while the relation's row count still matches its
+/// build-time count (the only mutation the engine performs after a
+/// relation becomes visible to evaluation is appending rows).
+struct IndexCache(Mutex<HashMap<Vec<usize>, Arc<crate::eval::index::OrderedIndex>>>);
+
+impl IndexCache {
+    fn empty() -> IndexCache {
+        IndexCache(Mutex::new(HashMap::new()))
+    }
+}
+
+impl Clone for IndexCache {
+    fn clone(&self) -> IndexCache {
+        // Deliberately not cloned, for the same reason as ColCache: the
+        // clone's rows are independently mutable.
+        IndexCache::empty()
+    }
+}
+
+impl PartialEq for IndexCache {
+    fn eq(&self, _: &IndexCache) -> bool {
+        true // caches never affect relation equality
+    }
+}
+impl Eq for IndexCache {}
+
+impl fmt::Debug for IndexCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("IndexCache")
+    }
+}
+
 impl Relation {
     /// An empty relation with the given name and schema.
     pub fn new(name: impl Into<String>, schema: &[&str]) -> Self {
@@ -77,6 +114,7 @@ impl Relation {
             schema: schema.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
             columns: ColCache::empty(),
+            indexes: IndexCache::empty(),
         }
     }
 
@@ -98,6 +136,25 @@ impl Relation {
         let set = Arc::new(ColumnSet::encode(self.schema.len(), &self.rows));
         *cached = Some(Arc::clone(&set));
         set
+    }
+
+    /// The ordered secondary index over `cols`, built on first use and
+    /// cached on the relation — so repeated queries against the same
+    /// catalog pay the O(n log n) sort once and every index-range scan
+    /// after that is O(log n + k). Shared via `Arc`: the parallel
+    /// executor's workers and the coordinator read the same index. The
+    /// cache invalidates on row-count changes, exactly like
+    /// [`Relation::columns`].
+    pub(crate) fn ordered_index(&self, cols: &[usize]) -> Arc<crate::eval::index::OrderedIndex> {
+        let mut cached = self.indexes.0.lock().expect("index cache");
+        if let Some(idx) = cached.get(cols) {
+            if idx.rows() == self.rows.len() {
+                return Arc::clone(idx);
+            }
+        }
+        let idx = Arc::new(crate::eval::index::OrderedIndex::build(&self.rows, cols));
+        cached.insert(cols.to_vec(), Arc::clone(&idx));
+        idx
     }
 
     /// Build a relation from rows of values convertible to [`Value`].

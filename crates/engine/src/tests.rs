@@ -2041,10 +2041,24 @@ mod planned_pipeline {
             ),
         );
         assert_planned_matches_reference(&catalog, Conventions::sql(), &q);
-        let engine = Engine::new(&catalog, Conventions::sql()).with_strategy(EvalStrategy::Planned);
+        // With ordered indexes enabled, the selective bound is consumed
+        // by the index-range access path instead of running as a filter
+        // at all (analyze() + with_indexes pin the statistics and index
+        // state against the ARC_STATS/ARC_INDEX suite re-runs).
+        let mut catalog = catalog;
+        catalog.analyze();
+        let engine = Engine::new(&catalog, Conventions::sql())
+            .with_strategy(EvalStrategy::Planned)
+            .with_indexes(true);
         let plan = engine.explain_collection(&q).unwrap();
-        // The filter line must appear nested under a step, not as a
-        // residual.
+        assert!(plan.contains("index-range on [A..]"), "{plan}");
+        assert!(!plan.contains("residual: r.A < 7"), "{plan}");
+        // With indexes off, the filter line must still appear nested
+        // under a step, not as a residual.
+        let engine = Engine::new(&catalog, Conventions::sql())
+            .with_strategy(EvalStrategy::Planned)
+            .with_indexes(false);
+        let plan = engine.explain_collection(&q).unwrap();
         assert!(plan.contains("filter: r.A < 7"), "{plan}");
         assert!(!plan.contains("residual: r.A < 7"), "{plan}");
     }

@@ -423,6 +423,11 @@ pub struct PlanKey {
     /// plans differently as a build pipeline than as an emitting scope,
     /// so the two roles must never share a cache slot.
     pub decor: bool,
+    /// Whether index-range access selection was enabled
+    /// ([`crate::scope::ScopeSpec::indexes`]): engines running with the
+    /// `ARC_INDEX=off` escape hatch must never be served an index plan
+    /// another engine published, nor vice versa.
+    pub indexes: bool,
 }
 
 // ---------------------------------------------------------------------------
@@ -535,6 +540,7 @@ mod tests {
                 filters: if fs == "a" { &filters } else { &filters2 },
                 outer: &NoOuter,
                 estimator: None,
+                indexes: true,
             };
             scope_fingerprint(&spec)
         };
@@ -577,6 +583,7 @@ mod tests {
             filters: &[],
             outer: &NoOuter,
             estimator: None,
+            indexes: true,
         };
         let plan = Arc::new(plan_scope(&spec, PlanMode::Auto).unwrap());
         let key = PlanKey {
@@ -586,6 +593,7 @@ mod tests {
             epoch: 0,
             mode: PlanMode::Auto,
             decor: false,
+            indexes: true,
         };
         assert!(global_lookup(&key).is_none());
         global_store(key, plan.clone());

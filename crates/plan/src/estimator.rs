@@ -49,6 +49,16 @@ impl DistinctEstimator for TableStatsEstimator {
         let c = t.columns.get(col)?;
         Some(1.0 - c.non_null_fraction())
     }
+
+    fn range_selectivity(
+        &self,
+        binding: usize,
+        col: usize,
+        lo: Option<(CmpOp, &Value)>,
+        hi: Option<(CmpOp, &Value)>,
+    ) -> Option<f64> {
+        self.table(binding)?.range_selectivity(col, lo, hi)
+    }
 }
 
 #[cfg(test)]

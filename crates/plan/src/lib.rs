@@ -55,10 +55,12 @@ pub mod scope;
 pub use cache::{formula_hash, program_hash, PlanKey};
 pub use estimator::TableStatsEstimator;
 pub use explain::{render, render_with_threads};
+pub use logical::const_cmp;
 pub use normalize::{normalize_collection, normalize_formula};
 pub use physical::{
     decorrelatable_shape, plan_scope, plan_scope_boolean, planner_runs, Access, CorrelatedKey,
-    Decorrelation, EqInput, PlanMode, ProbeKey, ScopePlan, Step, PARALLEL_MIN_ROWS,
+    Decorrelation, EqInput, PlanMode, ProbeKey, ScopePlan, Step, INDEX_MAX_FRACTION,
+    PARALLEL_MIN_ROWS,
 };
 pub use query::{
     lower_collection, lower_collection_opts, lower_program, lower_program_opts, LowerError,

@@ -8,6 +8,7 @@
 //! so the physical plan can refer back to predicates by position.
 
 use arc_core::ast::{AttrRef, CmpOp, Predicate, Scalar};
+use arc_core::value::Value;
 
 /// One orientation of an equality filter `var.attr = expr`: the bound side
 /// is an attribute reference, the other side is an arbitrary scalar.
@@ -95,6 +96,38 @@ pub fn eq_sides(p: &Predicate, local_on_left: bool) -> (&Scalar, &Scalar) {
         // construction); kept total for API robustness.
         Predicate::IsNull { expr, .. } => (expr, expr),
     }
+}
+
+/// Classify a predicate as a **constant comparison** on one attribute of
+/// `var`: `var.attr op const` or `const op var.attr` (the operator is
+/// flipped into attribute-on-the-left orientation). Returns the schema
+/// position of the attribute, the oriented operator, and the constant —
+/// or `None` for any other shape (other variables, attr-vs-attr,
+/// `IS NULL`, unknown attributes).
+///
+/// This is the **one** classifier behind index-range planning: the
+/// planner uses it to pick which filters an ordered-index bound may
+/// consume, and the engine re-derives the bound keys from the same
+/// classification, so the two can never disagree about what a consumed
+/// filter means.
+pub fn const_cmp<'a>(
+    p: &'a Predicate,
+    var: &str,
+    schema: &[String],
+) -> Option<(usize, CmpOp, &'a Value)> {
+    let Predicate::Cmp { left, op, right } = p else {
+        return None;
+    };
+    let (attr, op, value) = match (left, right) {
+        (Scalar::Attr(a), Scalar::Const(v)) => (a, *op, v),
+        (Scalar::Const(v), Scalar::Attr(a)) => (a, op.flipped(), v),
+        _ => return None,
+    };
+    if attr.var != var {
+        return None;
+    }
+    let col = schema.iter().position(|s| s == &attr.attr)?;
+    Some((col, op, value))
 }
 
 /// All attribute references of a predicate, in occurrence order.

@@ -48,12 +48,13 @@
 //! preserve order exactly.
 
 use crate::analysis::{formula_free_vars, Parts};
-use crate::logical::{eq_sides, extract_equalities, other_side, pred_attr_refs, EqEdge};
+use crate::logical::{const_cmp, eq_sides, extract_equalities, other_side, pred_attr_refs, EqEdge};
 use crate::scope::{
     NoOuter, OuterScope, PlanError, ScopeSpec, SourceSpec, ABSTRACT_EST, DEFAULT_ROWS,
     EXTERNAL_EST, NESTED_EST,
 };
 use arc_core::ast::{CmpOp, Predicate, Quant, Scalar};
+use arc_core::value::Value;
 use std::collections::HashSet;
 
 /// How a scope is planned. Maps one-to-one onto the engine's
@@ -121,6 +122,22 @@ pub enum Access {
     },
     /// Evaluate a nested (lateral) collection per outer environment.
     Nested,
+    /// Binary-search an ordered secondary index over `cols` for a bound
+    /// prefix of constant predicates (relation sources only): constant
+    /// equalities bind every column but the last, and the last column is
+    /// closed by one or two constant range bounds. Predicates that do not
+    /// fit the prefix (a second range column, `!=`, `IS NULL`) are
+    /// *demoted* — they stay ordinary step filters over the streamed
+    /// index matches.
+    IndexRange {
+        /// Index column order: equality-bound columns first (in filter
+        /// order), then the single range-bound column.
+        cols: Vec<usize>,
+        /// Indices into the scope's filter list consumed by the bound —
+        /// one equality per prefix column, then the range column's lower
+        /// and/or upper bound filters last.
+        filters: Vec<usize>,
+    },
 }
 
 impl Access {
@@ -132,6 +149,7 @@ impl Access {
             Access::External { .. } => "external",
             Access::Abstract { .. } => "abstract-check",
             Access::Nested => "lateral",
+            Access::IndexRange { .. } => "index-range",
         }
     }
 }
@@ -210,6 +228,14 @@ pub struct ScopePlan {
 /// sequentially even under `ARC_THREADS > 1`.
 pub const PARALLEL_MIN_ROWS: u64 = 16;
 
+/// Maximum estimated fraction of a relation an index-range bound prefix
+/// may select before the planner keeps the (vectorized) full scan: an
+/// ordered-index walk only beats a scan when the bound is selective, and
+/// without `ANALYZE` statistics no bound can prove itself selective —
+/// the default inequality guess (one third) sits above this threshold by
+/// design, so un-analyzed catalogs plan exactly as before.
+pub const INDEX_MAX_FRACTION: f64 = 0.25;
+
 impl ScopePlan {
     /// The step order as binding indices (convenience for callers that
     /// reorder their own side tables).
@@ -221,13 +247,16 @@ impl ScopePlan {
     /// executor may split into morsels, chosen by estimated cardinality.
     /// Only the *first* step qualifies (later steps enumerate per
     /// upstream environment, so splitting them would duplicate upstream
-    /// work), and only when it is a plain relation scan estimated at
-    /// [`PARALLEL_MIN_ROWS`] rows or more — probes, external accesses,
-    /// abstract checks, and laterals key off bound variables and are not
-    /// partitionable.
+    /// work), and only when it enumerates a relation without keying off
+    /// bound variables — a plain scan or an index-range scan (whose
+    /// qualifying row ids partition like a scan's selection vector)
+    /// estimated at [`PARALLEL_MIN_ROWS`] rows or more. Probes, external
+    /// accesses, abstract checks, and laterals are not partitionable.
     pub fn partition_axis(&self) -> Option<usize> {
         let first = self.steps.first()?;
-        (first.access == Access::Scan && first.estimated_rows >= PARALLEL_MIN_ROWS).then_some(0)
+        (matches!(first.access, Access::Scan | Access::IndexRange { .. })
+            && first.estimated_rows >= PARALLEL_MIN_ROWS)
+            .then_some(0)
     }
 }
 
@@ -418,6 +447,7 @@ fn try_decorrelate(spec: &ScopeSpec<'_>) -> Option<ScopePlan> {
         filters: spec.filters,
         outer: &NoOuter,
         estimator: spec.estimator,
+        indexes: spec.indexes,
     };
     let mut plan = plan_scope_impl(&build_spec, PlanMode::Auto, &masked).ok()?;
 
@@ -569,7 +599,17 @@ fn plan_scope_impl(
                             // without statistics the product is 1 and the
                             // cost is the plain row count, as ever.
                             let sel = const_selectivity(spec, bi, b.var, schema, masked);
-                            (Access::Scan, rows_f * sel)
+                            // Under Auto, a selective constant bound prefix
+                            // upgrades the scan to an index-range walk over
+                            // the same rows (the estimate is unchanged —
+                            // the access path is, not the output).
+                            let access = if mode == PlanMode::Auto {
+                                index_candidate(spec, bi, b.var, schema, masked)
+                                    .unwrap_or(Access::Scan)
+                            } else {
+                                Access::Scan
+                            };
+                            (access, rows_f * sel)
                         } else {
                             // Probe cost: constant-keyed columns use their
                             // measured equality selectivity (MCV-aware);
@@ -603,7 +643,26 @@ fn plan_scope_impl(
                                 cost /= distinct.max(1) as f64;
                             }
                             cost *= const_selectivity(spec, bi, b.var, schema, &probed);
-                            (Access::HashProbe { keys }, cost.max(1.0))
+                            // When every probe key is a *constant* (no
+                            // dependence on other bindings), an ordered
+                            // index can bind those equalities as its
+                            // prefix AND close it with a range predicate
+                            // a hash bucket cannot capture — prefer it
+                            // when the bound prices selective enough.
+                            let all_const = mode == PlanMode::Auto
+                                && keys.iter().all(|k| {
+                                    matches!(
+                                        other_side(spec.filters[k.eq.filter], k.eq.attr_on_left),
+                                        Scalar::Const(_)
+                                    )
+                                });
+                            let access = if all_const {
+                                index_candidate(spec, bi, b.var, schema, masked)
+                                    .unwrap_or(Access::HashProbe { keys })
+                            } else {
+                                Access::HashProbe { keys }
+                            };
+                            (access, cost.max(1.0))
                         };
                         Some(Candidate {
                             binding: bi,
@@ -732,6 +791,118 @@ fn probe_keys(
     keys
 }
 
+/// Ordered-index access selection for one relation binding: gather the
+/// constant predicates ([`const_cmp`]-shaped — the only shape the index
+/// bound can enforce), form the bound prefix (every constant-equality
+/// column, then ONE range-bound column closing it; a lower and an upper
+/// bound on the same column combine into an interval), and price the
+/// prefix with the statistics estimator. Returns `None` — keeping the
+/// caller's scan/probe — when indexes are disabled for the scope, no
+/// range bound exists, the range column's selectivity is unknown (no
+/// `ANALYZE` statistics), or the priced prefix is not selective enough
+/// ([`INDEX_MAX_FRACTION`]).
+///
+/// Everything this function does *not* consume — a second range column,
+/// duplicate equalities, `!=`, `IS NULL` — is demoted: it stays in the
+/// pushdown pass's hands and runs as an ordinary filter over the
+/// streamed index matches.
+fn index_candidate(
+    spec: &ScopeSpec<'_>,
+    binding: usize,
+    var: &str,
+    schema: &[String],
+    masked: &[usize],
+) -> Option<Access> {
+    if !spec.indexes {
+        return None;
+    }
+    let est = spec.estimator?;
+    // First constant bound per column and direction, in filter order.
+    let mut eq: Vec<(usize, usize, &Value)> = Vec::new(); // (col, filter, const)
+    let mut lo: Vec<(usize, usize, CmpOp, &Value)> = Vec::new();
+    let mut hi: Vec<(usize, usize, CmpOp, &Value)> = Vec::new();
+    for (i, p) in spec.filters.iter().enumerate() {
+        if masked.contains(&i) {
+            continue;
+        }
+        let Some((col, op, v)) = const_cmp(p, var, schema) else {
+            continue;
+        };
+        match op {
+            CmpOp::Eq => {
+                if !eq.iter().any(|&(c, ..)| c == col) {
+                    eq.push((col, i, v));
+                }
+            }
+            CmpOp::Gt | CmpOp::Ge => {
+                if !lo.iter().any(|&(c, ..)| c == col) {
+                    lo.push((col, i, op, v));
+                }
+            }
+            CmpOp::Lt | CmpOp::Le => {
+                if !hi.iter().any(|&(c, ..)| c == col) {
+                    hi.push((col, i, op, v));
+                }
+            }
+            CmpOp::Ne => {}
+        }
+    }
+    // The range column closing the prefix: the most selective
+    // statistics-priced interval among the range-bound columns (an
+    // equality on the same column is already tighter — skip those).
+    let mut range_cols: Vec<usize> = Vec::new();
+    for &(c, ..) in lo.iter() {
+        if !range_cols.contains(&c) {
+            range_cols.push(c);
+        }
+    }
+    for &(c, ..) in hi.iter() {
+        if !range_cols.contains(&c) {
+            range_cols.push(c);
+        }
+    }
+    let mut best: Option<(usize, Vec<usize>, f64)> = None; // (col, filters, fraction)
+    for col in range_cols {
+        if eq.iter().any(|&(c, ..)| c == col) {
+            continue;
+        }
+        let l = lo.iter().find(|&&(c, ..)| c == col);
+        let h = hi.iter().find(|&&(c, ..)| c == col);
+        let Some(frac) = est.range_selectivity(
+            binding,
+            col,
+            l.map(|&(_, _, op, v)| (op, v)),
+            h.map(|&(_, _, op, v)| (op, v)),
+        ) else {
+            continue;
+        };
+        if best.as_ref().is_none_or(|b| frac < b.2) {
+            let mut fs: Vec<usize> = Vec::new();
+            fs.extend(l.map(|&(_, f, ..)| f));
+            fs.extend(h.map(|&(_, f, ..)| f));
+            best = Some((col, fs, frac));
+        }
+    }
+    let (range_col, range_filters, range_frac) = best?;
+    // Price the whole bound prefix: known equality selectivities shrink
+    // it further; unknown ones contribute nothing (a bound cannot claim
+    // selectivity the statistics cannot back).
+    let mut sel = range_frac;
+    for &(col, _, v) in &eq {
+        if let Some(s) = est.selectivity(binding, col, CmpOp::Eq, v) {
+            sel *= s.clamp(0.0, 1.0);
+        }
+    }
+    if sel.is_nan() || sel > INDEX_MAX_FRACTION {
+        return None;
+    }
+    let mut cols: Vec<usize> = eq.iter().map(|&(c, ..)| c).collect();
+    let mut filters: Vec<usize> = eq.iter().map(|&(_, f, _)| f).collect();
+    cols.push(range_col);
+    filters.extend(range_filters);
+    Some(Access::IndexRange { cols, filters })
+}
+
 /// Combined selectivity of the scope's constant comparisons against
 /// binding `binding` (`var.attr op const`, either orientation, plus
 /// `var.attr IS [NOT] NULL`), asked of the statistics estimator. Filters
@@ -754,16 +925,8 @@ fn const_selectivity(
             continue;
         }
         match p {
-            Predicate::Cmp { left, op, right } => {
-                let (attr, op, value) = match (left, right) {
-                    (Scalar::Attr(a), Scalar::Const(v)) => (a, *op, v),
-                    (Scalar::Const(v), Scalar::Attr(a)) => (a, op.flipped(), v),
-                    _ => continue,
-                };
-                if attr.var != var {
-                    continue;
-                }
-                let Some(col) = schema.iter().position(|s| s == &attr.attr) else {
+            Predicate::Cmp { .. } => {
+                let Some((col, op, value)) = const_cmp(p, var, schema) else {
                     continue;
                 };
                 if let Some(s) = est.selectivity(binding, col, op, value) {
@@ -865,14 +1028,17 @@ fn assign_filters(
     // enforced by the probe (`Relation::key_for`-style keys coincide
     // exactly with `compare(..) == Equal`, and NULL/NaN probes match
     // nothing — the same equivalence the probe itself relies on), and its
-    // slot is necessarily `s` (the probe side binds last there). Skip the
-    // redundant re-evaluation per matched row.
+    // slot is necessarily `s` (the probe side binds last there). The same
+    // holds for the constant filters an index-range bound consumes: the
+    // ordered-index binary search admits exactly the rows those filters
+    // accept. Skip the redundant re-evaluation per matched row.
     let probed: HashSet<(usize, usize)> = plan
         .steps
         .iter()
         .enumerate()
         .flat_map(|(s, step)| match &step.access {
             Access::HashProbe { keys } => keys.iter().map(|k| (s, k.eq.filter)).collect::<Vec<_>>(),
+            Access::IndexRange { filters, .. } => filters.iter().map(|&f| (s, f)).collect(),
             _ => Vec::new(),
         })
         .collect();
@@ -936,6 +1102,7 @@ mod tests {
             filters: &filters,
             outer: &NoOuter,
             estimator: None,
+            indexes: true,
         };
         let plan = plan_scope(&spec, PlanMode::Auto).unwrap();
         // The small relation scans first; the big one is hash-probed.
@@ -973,6 +1140,7 @@ mod tests {
             filters: &filters,
             outer: &NoOuter,
             estimator: None,
+            indexes: true,
         };
         for mode in [PlanMode::ForceNestedLoop, PlanMode::ForceHashJoin] {
             let plan = plan_scope(&spec, mode).unwrap();
@@ -1014,6 +1182,7 @@ mod tests {
             filters: &filters,
             outer: &NoOuter,
             estimator: None,
+            indexes: true,
         };
         let plan = plan_scope(&spec, PlanMode::Auto).unwrap();
         assert_eq!(plan.leaf_filters, vec![0]);
@@ -1043,9 +1212,155 @@ mod tests {
             filters: &filters,
             outer: &NoOuter,
             estimator: None,
+            indexes: true,
         };
         let err = plan_scope(&spec, PlanMode::Auto).unwrap_err();
         assert_eq!(err, PlanError::Unplaceable { binding: 0 });
+    }
+
+    /// A statistics stub answering one fixed fraction per column for
+    /// every comparison (`None` = that column has no statistics).
+    struct StubStats {
+        by_col: Vec<Option<f64>>,
+    }
+    impl crate::scope::DistinctEstimator for StubStats {
+        fn distinct(&self, _binding: usize, _cols: &[usize]) -> Option<usize> {
+            None
+        }
+        fn selectivity(
+            &self,
+            _binding: usize,
+            col: usize,
+            _op: CmpOp,
+            _value: &Value,
+        ) -> Option<f64> {
+            self.by_col.get(col).copied().flatten()
+        }
+    }
+
+    fn range_spec<'a>(
+        rs: &'a [String],
+        filters: &'a [&'a Predicate],
+        estimator: Option<&'a dyn crate::scope::DistinctEstimator>,
+        indexes: bool,
+    ) -> ScopeSpec<'a> {
+        ScopeSpec {
+            bindings: vec![BindingSpec {
+                var: "r",
+                source: SourceSpec::Relation {
+                    schema: rs,
+                    rows: Some(1024),
+                },
+            }],
+            filters,
+            outer: &NoOuter,
+            estimator,
+            indexes,
+        }
+    }
+
+    #[test]
+    fn index_range_fires_on_a_selective_stats_backed_bound() {
+        let rs = schema(&["A", "B"]);
+        let lo = pred(gt(col("r", "A"), int(3)));
+        let hi = pred(lt(col("r", "A"), int(9)));
+        let filters: Vec<&Predicate> = vec![&lo, &hi];
+        let est = StubStats {
+            by_col: vec![Some(0.05), None],
+        };
+        let spec = range_spec(&rs, &filters, Some(&est), true);
+        let plan = plan_scope(&spec, PlanMode::Auto).unwrap();
+        // Both bounds close the interval over column A and are consumed
+        // by the access path — nothing left to filter.
+        assert_eq!(
+            plan.steps[0].access,
+            Access::IndexRange {
+                cols: vec![0],
+                filters: vec![0, 1],
+            }
+        );
+        assert!(plan.steps[0].filters.is_empty());
+        assert!(plan.leaf_filters.is_empty());
+    }
+
+    #[test]
+    fn index_range_bails_without_stats_unselective_or_disabled() {
+        let rs = schema(&["A", "B"]);
+        let lo = pred(gt(col("r", "A"), int(3)));
+        let filters: Vec<&Predicate> = vec![&lo];
+        // No estimator: an un-analyzed catalog plans exactly as before.
+        let spec = range_spec(&rs, &filters, None, true);
+        let plan = plan_scope(&spec, PlanMode::Auto).unwrap();
+        assert_eq!(plan.steps[0].access, Access::Scan);
+        assert_eq!(plan.steps[0].filters, vec![0]);
+        // Unselective bound: the vectorized full scan stays cheaper.
+        let wide = StubStats {
+            by_col: vec![Some(0.4), None],
+        };
+        let spec = range_spec(&rs, &filters, Some(&wide), true);
+        let plan = plan_scope(&spec, PlanMode::Auto).unwrap();
+        assert_eq!(plan.steps[0].access, Access::Scan);
+        // `indexes: false` (the ARC_INDEX=off hatch): never a candidate.
+        let tight = StubStats {
+            by_col: vec![Some(0.05), None],
+        };
+        let spec = range_spec(&rs, &filters, Some(&tight), false);
+        let plan = plan_scope(&spec, PlanMode::Auto).unwrap();
+        assert_eq!(plan.steps[0].access, Access::Scan);
+        assert_eq!(plan.steps[0].filters, vec![0]);
+    }
+
+    #[test]
+    fn constant_equalities_extend_the_bound_prefix() {
+        // `r.B = 7 ∧ r.A > 3`: the constant equality would normally plan
+        // a hash probe, but an ordered index binds it as the prefix AND
+        // closes it with the range bound — both filters consumed.
+        let rs = schema(&["A", "B"]);
+        let key = pred(eq(col("r", "B"), int(7)));
+        let lo = pred(gt(col("r", "A"), int(3)));
+        let filters: Vec<&Predicate> = vec![&key, &lo];
+        let est = StubStats {
+            by_col: vec![Some(0.2), Some(0.5)],
+        };
+        let spec = range_spec(&rs, &filters, Some(&est), true);
+        let plan = plan_scope(&spec, PlanMode::Auto).unwrap();
+        assert_eq!(
+            plan.steps[0].access,
+            Access::IndexRange {
+                cols: vec![1, 0],
+                filters: vec![0, 1],
+            }
+        );
+        assert!(plan.steps[0].filters.is_empty());
+        assert!(plan.leaf_filters.is_empty());
+    }
+
+    #[test]
+    fn a_prefix_gap_demotes_trailing_predicates_to_step_filters() {
+        // Only ONE range column may close the prefix: the second range
+        // bound (on C) and the `!=` stay ordinary step filters over the
+        // streamed index matches.
+        let rs = schema(&["A", "B", "C"]);
+        let lo = pred(gt(col("r", "A"), int(3)));
+        let other = pred(lt(col("r", "C"), int(9)));
+        let noteq = pred(ne(col("r", "B"), int(2)));
+        let filters: Vec<&Predicate> = vec![&lo, &other, &noteq];
+        let est = StubStats {
+            by_col: vec![Some(0.05), Some(0.5), Some(0.2)],
+        };
+        let spec = range_spec(&rs, &filters, Some(&est), true);
+        let plan = plan_scope(&spec, PlanMode::Auto).unwrap();
+        // A prices tighter than C, so A closes the prefix…
+        assert_eq!(
+            plan.steps[0].access,
+            Access::IndexRange {
+                cols: vec![0],
+                filters: vec![0],
+            }
+        );
+        // …and the rest run as pushed-down filters, in filter order.
+        assert_eq!(plan.steps[0].filters, vec![1, 2]);
+        assert!(plan.leaf_filters.is_empty());
     }
 
     #[test]
@@ -1071,6 +1386,7 @@ mod tests {
             filters: &filters,
             outer: &outer,
             estimator: None,
+            indexes: true,
         };
         let plan = plan_scope(&spec, PlanMode::Auto).unwrap();
         assert_eq!(plan.prelude_filters, vec![0]);

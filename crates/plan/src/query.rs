@@ -210,45 +210,51 @@ impl OuterScope for ScopeStack {
 }
 
 /// Lower a collection into a logical plan under `resolver` statistics.
-/// Boolean subscopes run the decorrelation pass (matching the engine's
-/// default); use [`lower_collection_opts`] to disable it.
+/// Boolean subscopes run the decorrelation pass and index-range access
+/// selection is enabled (matching the engine's defaults); use
+/// [`lower_collection_opts`] to disable either.
 pub fn lower_collection(
     c: &Collection,
     resolver: &dyn SourceResolver,
     mode: PlanMode,
 ) -> Result<PlanNode, LowerError> {
-    lower_collection_opts(c, resolver, mode, true)
+    lower_collection_opts(c, resolver, mode, true, true)
 }
 
-/// [`lower_collection`] with the decorrelation pass made explicit:
+/// [`lower_collection`] with the optimizer passes made explicit:
 /// `decorrelate = false` mirrors an engine running `ARC_DECORRELATE=off`
-/// (boolean subscopes plan as nested pipelines).
+/// (boolean subscopes plan as nested pipelines), `indexes = false`
+/// mirrors `ARC_INDEX=off` (no index-range access paths).
 pub fn lower_collection_opts(
     c: &Collection,
     resolver: &dyn SourceResolver,
     mode: PlanMode,
     decorrelate: bool,
+    indexes: bool,
 ) -> Result<PlanNode, LowerError> {
     let mut stack = ScopeStack::default();
-    lower_collection_in(c, resolver, mode, decorrelate, &mut stack)
+    lower_collection_in(c, resolver, mode, decorrelate, indexes, &mut stack)
 }
 
 /// Lower a program: definitions (recursive groups fused into fixpoint
-/// nodes) plus the query. Decorrelation on; see [`lower_program_opts`].
+/// nodes) plus the query. Decorrelation and index-range selection on;
+/// see [`lower_program_opts`].
 pub fn lower_program(
     p: &Program,
     resolver: &dyn SourceResolver,
     mode: PlanMode,
 ) -> Result<PlanNode, LowerError> {
-    lower_program_opts(p, resolver, mode, true)
+    lower_program_opts(p, resolver, mode, true, true)
 }
 
-/// [`lower_program`] with the decorrelation pass made explicit.
+/// [`lower_program`] with the optimizer passes made explicit (see
+/// [`lower_collection_opts`]).
 pub fn lower_program_opts(
     p: &Program,
     resolver: &dyn SourceResolver,
     mode: PlanMode,
     decorrelate: bool,
+    indexes: bool,
 ) -> Result<PlanNode, LowerError> {
     // Wrap the resolver so definition names resolve as intensional
     // relations even before materialization.
@@ -327,6 +333,7 @@ pub fn lower_program_opts(
                     &resolver,
                     mode,
                     decorrelate,
+                    indexes,
                 )?);
             }
             definitions.push(PlanNode::Fixpoint {
@@ -340,6 +347,7 @@ pub fn lower_program_opts(
                 &resolver,
                 mode,
                 decorrelate,
+                indexes,
             )?);
         }
     }
@@ -349,6 +357,7 @@ pub fn lower_program_opts(
             &resolver,
             mode,
             decorrelate,
+            indexes,
         )?)),
         None => None,
     };
@@ -375,14 +384,24 @@ fn collect_sources(c: &Collection, out: &mut Vec<String>) {
     walk(&c.body, out);
 }
 
+#[allow(clippy::too_many_arguments)]
 fn lower_collection_in(
     c: &Collection,
     resolver: &dyn SourceResolver,
     mode: PlanMode,
     decorrelate: bool,
+    indexes: bool,
     stack: &mut ScopeStack,
 ) -> Result<PlanNode, LowerError> {
-    let input = lower_branch(&c.body, &c.head, resolver, mode, decorrelate, stack)?;
+    let input = lower_branch(
+        &c.body,
+        &c.head,
+        resolver,
+        mode,
+        decorrelate,
+        indexes,
+        stack,
+    )?;
     Ok(PlanNode::Project {
         head: c.head.relation.clone(),
         attrs: c.head.attrs.clone(),
@@ -390,25 +409,42 @@ fn lower_collection_in(
     })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn lower_branch(
     f: &Formula,
     head: &Head,
     resolver: &dyn SourceResolver,
     mode: PlanMode,
     decorrelate: bool,
+    indexes: bool,
     stack: &mut ScopeStack,
 ) -> Result<PlanNode, LowerError> {
     match f {
         Formula::Or(branches) => {
             let mut inputs = Vec::with_capacity(branches.len());
             for b in branches {
-                inputs.push(lower_branch(b, head, resolver, mode, decorrelate, stack)?);
+                inputs.push(lower_branch(
+                    b,
+                    head,
+                    resolver,
+                    mode,
+                    decorrelate,
+                    indexes,
+                    stack,
+                )?);
             }
             Ok(PlanNode::Union { inputs })
         }
-        Formula::Quant(q) => {
-            lower_quant(q, &head.relation, resolver, mode, decorrelate, None, stack)
-        }
+        Formula::Quant(q) => lower_quant(
+            q,
+            &head.relation,
+            resolver,
+            mode,
+            decorrelate,
+            indexes,
+            None,
+            stack,
+        ),
         other => {
             // Predicate-only body: a scope with no bindings.
             let q = Quant {
@@ -417,7 +453,16 @@ fn lower_branch(
                 join: None,
                 body: other.clone(),
             };
-            lower_quant(&q, &head.relation, resolver, mode, decorrelate, None, stack)
+            lower_quant(
+                &q,
+                &head.relation,
+                resolver,
+                mode,
+                decorrelate,
+                indexes,
+                None,
+                stack,
+            )
         }
     }
 }
@@ -434,6 +479,7 @@ fn lower_quant(
     resolver: &dyn SourceResolver,
     mode: PlanMode,
     decorrelate: bool,
+    indexes: bool,
     bool_role: Option<bool>,
     stack: &mut ScopeStack,
 ) -> Result<PlanNode, LowerError> {
@@ -511,6 +557,7 @@ fn lower_quant(
             filters: &parts.filters,
             outer: stack,
             estimator: Some(&estimator),
+            indexes,
         };
         // Boolean scopes run the decorrelation pass, mirroring the
         // engine's execution-time decision exactly: same shape check,
@@ -529,7 +576,7 @@ fn lower_quant(
                 var: q.bindings[binding].var.clone(),
             },
         })?;
-        let scope = render_scope(q, &parts, &plan, head);
+        let scope = render_scope(q, &parts, &plan, head, &resolved);
         match &plan.decorrelation {
             Some(dec) => PlanNode::SemiJoin {
                 anti: bool_role.unwrap_or(false),
@@ -567,7 +614,7 @@ fn lower_quant(
         if let BindingSource::Collection(c) = &b.source {
             children.push(ChildPlan {
                 label: format!("lateral {}", b.var),
-                plan: lower_collection_in(c, resolver, mode, decorrelate, stack)?,
+                plan: lower_collection_in(c, resolver, mode, decorrelate, indexes, stack)?,
             });
         }
     }
@@ -578,6 +625,7 @@ fn lower_quant(
             resolver,
             mode,
             decorrelate,
+            indexes,
             stack,
             &mut children,
         )?;
@@ -590,6 +638,7 @@ fn lower_quant(
             resolver,
             mode,
             decorrelate,
+            indexes,
             stack,
             &mut spine_children,
         )?;
@@ -657,6 +706,7 @@ fn collect_bool_children(
     resolver: &dyn SourceResolver,
     mode: PlanMode,
     decorrelate: bool,
+    indexes: bool,
     stack: &mut ScopeStack,
     out: &mut Vec<ChildPlan>,
 ) -> Result<(), LowerError> {
@@ -675,6 +725,7 @@ fn collect_bool_children(
                     resolver,
                     mode,
                     decorrelate,
+                    indexes,
                     Some(negated),
                     stack,
                 )?,
@@ -683,13 +734,29 @@ fn collect_bool_children(
         }
         Formula::And(fs) | Formula::Or(fs) => {
             for sub in fs {
-                collect_bool_children(sub, negated, resolver, mode, decorrelate, stack, out)?;
+                collect_bool_children(
+                    sub,
+                    negated,
+                    resolver,
+                    mode,
+                    decorrelate,
+                    indexes,
+                    stack,
+                    out,
+                )?;
             }
             Ok(())
         }
-        Formula::Not(inner) => {
-            collect_bool_children(inner, !negated, resolver, mode, decorrelate, stack, out)
-        }
+        Formula::Not(inner) => collect_bool_children(
+            inner,
+            !negated,
+            resolver,
+            mode,
+            decorrelate,
+            indexes,
+            stack,
+            out,
+        ),
         Formula::Pred(_) => Ok(()),
     }
 }
@@ -703,6 +770,7 @@ fn collect_spine_children(
     resolver: &dyn SourceResolver,
     mode: PlanMode,
     decorrelate: bool,
+    indexes: bool,
     stack: &mut ScopeStack,
     out: &mut Vec<ChildPlan>,
 ) -> Result<(), LowerError> {
@@ -710,13 +778,22 @@ fn collect_spine_children(
         Formula::Quant(q) => {
             out.push(ChildPlan {
                 label: "spine".to_string(),
-                plan: lower_quant(q, head, resolver, mode, decorrelate, None, stack)?,
+                plan: lower_quant(q, head, resolver, mode, decorrelate, indexes, None, stack)?,
             });
             Ok(())
         }
         Formula::And(fs) | Formula::Or(fs) => {
             for sub in fs {
-                collect_spine_children(sub, head, resolver, mode, decorrelate, stack, out)?;
+                collect_spine_children(
+                    sub,
+                    head,
+                    resolver,
+                    mode,
+                    decorrelate,
+                    indexes,
+                    stack,
+                    out,
+                )?;
             }
             Ok(())
         }
@@ -724,12 +801,14 @@ fn collect_spine_children(
     }
 }
 
-/// Render a planned scope into a [`PlanNode::Scope`].
+/// Render a planned scope into a [`PlanNode::Scope`]. `resolved` supplies
+/// per-binding schemas so index-range bounds render as column names.
 fn render_scope(
     q: &Quant,
     parts: &crate::analysis::Parts<'_>,
     plan: &ScopePlan,
     head: &str,
+    resolved: &[Option<ResolvedSource>],
 ) -> PlanNode {
     let render_filter = |i: &usize| parts.filters[*i].to_string();
     let axis = plan.partition_axis();
@@ -755,6 +834,26 @@ fn render_scope(
                 Access::External { pattern, .. } => format!("access-pattern #{pattern}"),
                 Access::Abstract { .. } => "abstract-check".to_string(),
                 Access::Nested => "lateral".to_string(),
+                Access::IndexRange { cols, .. } => {
+                    // Bound prefix as column names; the closing range
+                    // column carries a `..` suffix: `index-range on [A, B..]`.
+                    let schema = resolved[s.binding].as_ref().map(|r| r.schema.as_slice());
+                    let names: Vec<String> = cols
+                        .iter()
+                        .enumerate()
+                        .map(|(ci, &c)| {
+                            let name = schema
+                                .and_then(|sch| sch.get(c).cloned())
+                                .unwrap_or_else(|| format!("#{c}"));
+                            if ci + 1 == cols.len() {
+                                format!("{name}..")
+                            } else {
+                                name
+                            }
+                        })
+                        .collect();
+                    format!("index-range on [{}]", names.join(", "))
+                }
             };
             StepNode {
                 var: b.var.clone(),

@@ -133,6 +133,37 @@ pub trait DistinctEstimator {
         let _ = (binding, col);
         None
     }
+
+    /// Estimated fraction of `binding`'s rows whose column `col` falls in
+    /// the interval described by an optional lower bound (`Gt`/`Ge`) and
+    /// an optional upper bound (`Lt`/`Le`) — the quantity the index-range
+    /// access path is priced by. The default composes the single-bound
+    /// [`selectivity`](Self::selectivity) answers with the
+    /// inclusion–exclusion identity `sel(lo ∧ hi) = sel(lo) + sel(hi) −
+    /// sel(non-null)` (exact for histogram fractions); statistics-backed
+    /// implementations may answer directly from their sketches.
+    fn range_selectivity(
+        &self,
+        binding: usize,
+        col: usize,
+        lo: Option<(CmpOp, &Value)>,
+        hi: Option<(CmpOp, &Value)>,
+    ) -> Option<f64> {
+        match (lo, hi) {
+            (Some((lop, lv)), Some((hop, hv))) => {
+                let l = self.selectivity(binding, col, lop, lv)?;
+                let h = self.selectivity(binding, col, hop, hv)?;
+                let nn = 1.0
+                    - self
+                        .null_fraction(binding, col)
+                        .unwrap_or(0.0)
+                        .clamp(0.0, 1.0);
+                Some((l + h - nn).clamp(0.0, l.min(h)))
+            }
+            (Some((op, v)), None) | (None, Some((op, v))) => self.selectivity(binding, col, op, v),
+            (None, None) => None,
+        }
+    }
 }
 
 /// Everything the planner needs to know about one quantifier scope.
@@ -146,6 +177,10 @@ pub struct ScopeSpec<'a> {
     pub outer: &'a dyn OuterScope,
     /// Optional live statistics (execution supplies one; `EXPLAIN` not).
     pub estimator: Option<&'a dyn DistinctEstimator>,
+    /// Whether the planner may choose the index-range access path
+    /// (ordered-secondary-index scans). The engine's `ARC_INDEX` escape
+    /// hatch turns this off; the plan then degrades to scans/probes.
+    pub indexes: bool,
 }
 
 /// Why a scope could not be planned.

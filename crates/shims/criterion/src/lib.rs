@@ -227,14 +227,31 @@ where
             .open(path)
         {
             host_meta_line(&mut file);
+            let nproc = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(0);
+            let caveat = if overhead_only(id, nproc) {
+                ",\"overhead_only\":true"
+            } else {
+                ""
+            };
             let _ = writeln!(
                 file,
-                "{{\"id\":\"{}\",\"median_ns\":{median:.1},\"samples\":{},\"iters_per_sample\":{batch}}}",
+                "{{\"id\":\"{}\",\"median_ns\":{median:.1},\"samples\":{},\"iters_per_sample\":{batch}{caveat}}}",
                 id.replace('"', "'"),
                 samples_ns.len(),
             );
         }
     }
+}
+
+/// Whether a recorded sample measures only bookkeeping overhead: the
+/// `ablation_parallel` series compares thread counts, so on a single-core
+/// host every "parallel" number is morsel overhead, not scaling — mark it
+/// so a consumer of `BENCH_eval.json` can filter without knowing the
+/// recording host. Pure so the classification is testable.
+fn overhead_only(id: &str, nproc: usize) -> bool {
+    nproc <= 1 && id.starts_with("ablation_parallel/")
 }
 
 /// Once per process, prepend a host-metadata line to the JSON sink: the
@@ -313,6 +330,18 @@ mod tests {
         });
         g.bench_function("noop", |b| b.iter(|| 1 + 1));
         g.finish();
+    }
+
+    #[test]
+    fn overhead_only_flags_parallel_series_on_single_core_hosts() {
+        assert!(overhead_only("ablation_parallel/eq3_group_scan_t4/4096", 1));
+        assert!(overhead_only("ablation_parallel/eq19_multi_scan_t2/512", 0));
+        assert!(!overhead_only(
+            "ablation_parallel/eq3_group_scan_t4/4096",
+            8
+        ));
+        assert!(!overhead_only("ablation_index/range_join_indexed/16384", 1));
+        assert!(!overhead_only("ablation_join_strategy/planned/1024", 1));
     }
 
     #[test]

@@ -5,8 +5,11 @@ use arc_core::ast::CmpOp;
 use arc_core::value::{Key, Value};
 
 /// Default fraction assumed for an ordering comparison when no histogram
-/// exists (the classic "one third" planner guess).
-const DEFAULT_INEQ_FRACTION: f64 = 1.0 / 3.0;
+/// exists (the classic "one third" planner guess). Public because the
+/// planner's index-range gate is calibrated against it: a bound that can
+/// only claim the default guess is, by design, never selective enough to
+/// justify an ordered-index walk.
+pub const DEFAULT_INEQ_FRACTION: f64 = 1.0 / 3.0;
 
 /// Statistics of one column of one relation.
 ///
@@ -106,6 +109,32 @@ impl ColumnStats {
             }
         }
     }
+
+    /// Estimated fraction of rows inside the interval described by an
+    /// optional lower bound (`Gt`/`Ge`) and an optional upper bound
+    /// (`Lt`/`Le`) — the bound prefix of an index-range scan.
+    ///
+    /// With both bounds present the two one-sided histogram fractions
+    /// combine by inclusion–exclusion: `sel(lo ∧ hi) = sel(lo) + sel(hi)
+    /// − sel(non-null)`, exact for the histogram's own fractions (every
+    /// non-null row satisfies at least one of the two bounds). The result
+    /// is clamped into `[0, min(sel(lo), sel(hi))]`, so a contradictory
+    /// interval prices as empty rather than negative.
+    pub fn range_selectivity(
+        &self,
+        lo: Option<(CmpOp, &Value)>,
+        hi: Option<(CmpOp, &Value)>,
+    ) -> f64 {
+        match (lo, hi) {
+            (Some((lop, lv)), Some((hop, hv))) => {
+                let l = self.cmp_selectivity(lop, lv);
+                let h = self.cmp_selectivity(hop, hv);
+                (l + h - self.non_null_fraction()).clamp(0.0, l.min(h))
+            }
+            (Some((op, v)), None) | (None, Some((op, v))) => self.cmp_selectivity(op, v),
+            (None, None) => self.non_null_fraction(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -159,6 +188,28 @@ mod tests {
         let c = skewed();
         let ne = c.cmp_selectivity(CmpOp::Ne, &Value::Int(0));
         assert!((ne - 0.2).abs() < 1e-9, "{ne}");
+    }
+
+    #[test]
+    fn range_combines_bounds_by_inclusion_exclusion() {
+        let c = skewed();
+        // [1, 20] keeps exactly the 20 singleton rows.
+        let both = c.range_selectivity(
+            Some((CmpOp::Ge, &Value::Int(1))),
+            Some((CmpOp::Le, &Value::Int(20))),
+        );
+        assert!((both - 0.2).abs() < 0.05, "{both}");
+        // A contradictory interval prices as empty, never negative.
+        let empty = c.range_selectivity(
+            Some((CmpOp::Ge, &Value::Int(21))),
+            Some((CmpOp::Le, &Value::Int(0))),
+        );
+        assert_eq!(empty, 0.0);
+        // One-sided bounds pass straight through to cmp_selectivity.
+        let one = c.range_selectivity(Some((CmpOp::Gt, &Value::Int(10))), None);
+        assert!((one - c.cmp_selectivity(CmpOp::Gt, &Value::Int(10))).abs() < 1e-12);
+        // No bounds at all: every non-null row qualifies.
+        assert_eq!(c.range_selectivity(None, None), 1.0);
     }
 
     #[test]

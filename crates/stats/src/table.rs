@@ -245,6 +245,18 @@ impl TableStats {
     pub fn selectivity(&self, col: usize, op: CmpOp, value: &Value) -> Option<f64> {
         self.columns.get(col).map(|c| c.cmp_selectivity(op, value))
     }
+
+    /// Estimated fraction of rows whose column `col` lies in the interval
+    /// `lo ∧ hi` (delegates to [`ColumnStats::range_selectivity`]) — the
+    /// quantity the planner prices an index-range bound prefix by.
+    pub fn range_selectivity(
+        &self,
+        col: usize,
+        lo: Option<(CmpOp, &Value)>,
+        hi: Option<(CmpOp, &Value)>,
+    ) -> Option<f64> {
+        self.columns.get(col).map(|c| c.range_selectivity(lo, hi))
+    }
 }
 
 /// Finalize one column's statistics from its streamed aggregates — shared

@@ -1,0 +1,322 @@
+//! Workspace invariant 13 — **ordered index access is invisible**: for
+//! any program and instance, the engine returns the same rows (same
+//! order, same multiplicities — stronger than the bag-identity the
+//! invariant asks for) with `ARC_INDEX` on and off, across:
+//!
+//! * all three evaluation strategies (planned / nested-loop / hash-join),
+//! * both convention presets (SQL three-valued and set two-valued),
+//! * NULL/NaN-heavy and mixed-type instances (the class-ordering corners
+//!   the ordered index's binary search must get right),
+//! * `ARC_THREADS` 1 and 4 (the index selection partitions like a scan's
+//!   selection vector),
+//! * analyzed catalogs — only statistics make index-range a candidate,
+//!   so every proptest case runs post-`ANALYZE`,
+//! * prefix gaps: predicates the bound cannot consume (a second range
+//!   column, `<>`) are demoted to post-filters and must not change rows.
+//!
+//! Errors must surface identically too: a selective index bound ordered
+//! before an erroring post-filter skips exactly the rows the full scan's
+//! pushed-down filter would have skipped — never more, never fewer.
+
+use arc_analysis::{random_catalog, random_conjunctive_query, InstanceSpec};
+use arc_bench::fixtures as fx;
+use arc_core::conventions::Conventions;
+use arc_core::dsl as d;
+use arc_core::value::Value;
+use arc_engine::{Catalog, Engine, EvalStrategy, Relation};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Scaled-up instances so scans clear the vectorization floor and the
+/// partition gate (the paths the index selection composes with).
+fn big_spec(with_nulls: bool) -> InstanceSpec {
+    let mut spec = if with_nulls {
+        InstanceSpec::rs_with_nulls(0.25)
+    } else {
+        InstanceSpec::rs()
+    };
+    for r in &mut spec.relations {
+        r.rows = 48..120;
+        r.domain = 0..10;
+    }
+    spec
+}
+
+/// Evaluate `q` with indexes off (the scan-path reference) and on, under
+/// every strategy × thread count, asserting row-identical output.
+fn assert_index_invisible(catalog: &Catalog, q: &arc_core::ast::Collection, conv: Conventions) {
+    for strategy in [
+        EvalStrategy::Planned,
+        EvalStrategy::NestedLoop,
+        EvalStrategy::HashJoin,
+    ] {
+        let reference = Engine::new(catalog, conv)
+            .with_strategy(strategy)
+            .with_indexes(false)
+            .with_threads(1)
+            .eval_collection(q)
+            .unwrap();
+        for threads in [1usize, 4] {
+            let indexed = Engine::new(catalog, conv)
+                .with_strategy(strategy)
+                .with_indexes(true)
+                .with_threads(threads)
+                .eval_collection(q)
+                .unwrap();
+            assert_eq!(
+                reference.rows, indexed.rows,
+                "strategy {strategy:?} threads {threads} conv {conv:?}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Invariant 13 over generated conjunctive queries (joins plus
+    /// range-shaped constant selections), with and without NULLs, both
+    /// conventions, on `ANALYZE`d catalogs.
+    #[test]
+    fn indexed_identical_on_conjunctive_queries(
+        seed in 0u64..300,
+        joins in 1usize..4,
+        sels in 0usize..3,
+        with_nulls in any::<bool>(),
+    ) {
+        let spec = big_spec(with_nulls);
+        let q = random_conjunctive_query(&spec, joins, sels, seed);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(7717));
+        let mut catalog = random_catalog(&spec, &mut rng);
+        catalog.analyze();
+        for conv in [Conventions::sql(), Conventions::set()] {
+            assert_index_invisible(&catalog, &q, conv);
+        }
+    }
+}
+
+/// The acceptance demonstration on the skewed range-join fixture: with
+/// statistics the planner walks the ordered index; with `ARC_INDEX=off`
+/// it falls back to the (vectorized) full scan — and the rows match
+/// exactly either way.
+#[test]
+fn skew_fixture_plans_index_range_and_matches_the_scan() {
+    let n = 1024;
+    let mut catalog = fx::stats_skew_catalog(n);
+    catalog.analyze();
+    let q = fx::eq1_range(n);
+
+    let on = Engine::new(&catalog, Conventions::sql())
+        .with_strategy(EvalStrategy::Planned)
+        .with_threads(1)
+        .with_indexes(true)
+        .explain_collection(&q)
+        .unwrap();
+    assert!(
+        on.contains("index-range on [A..] R as r"),
+        "analyzed plan must walk the ordered index:\n{on}"
+    );
+    let off = Engine::new(&catalog, Conventions::sql())
+        .with_strategy(EvalStrategy::Planned)
+        .with_threads(1)
+        .with_indexes(false)
+        .explain_collection(&q)
+        .unwrap();
+    assert!(
+        off.contains("scan R as r") && !off.contains("index-range"),
+        "ARC_INDEX=off must fall back to the scan:\n{off}"
+    );
+
+    for conv in [Conventions::sql(), Conventions::set()] {
+        assert_index_invisible(&catalog, &q, conv);
+    }
+    let rows = Engine::new(&catalog, Conventions::sql())
+        .eval_collection(&q)
+        .unwrap();
+    assert_eq!(rows.deduped().len(), 7, "r.A > {} keeps 7 rows", n - 8);
+}
+
+/// An unselective bound must NOT flip to index-range even on an analyzed
+/// catalog: `r.A > 8` keeps ~99% of the rows, so the planner keeps the
+/// full scan (the bench's "index only fires when it pays" gate).
+#[test]
+fn unselective_bounds_keep_the_full_scan() {
+    let mut catalog = fx::stats_skew_catalog(1024);
+    catalog.analyze();
+    let q = fx::q("{Q(A) | ∃r ∈ R, s ∈ S [Q.A = r.A ∧ r.B = s.B ∧ r.A > 8]}");
+    let plan = Engine::new(&catalog, Conventions::sql())
+        .with_strategy(EvalStrategy::Planned)
+        .with_threads(1)
+        .with_indexes(true)
+        .explain_collection(&q)
+        .unwrap();
+    assert!(
+        !plan.contains("index-range"),
+        "an unselective bound must stay a scan:\n{plan}"
+    );
+}
+
+/// The multi-column prefix fixture: `r.A = 3` extends the prefix,
+/// `r.B > n-64` closes it, and `r.C <> 1` is demoted to a post-filter —
+/// all visible in `EXPLAIN`, with rows identical to the scan path.
+#[test]
+fn eq_prefix_and_demoted_residue_match_the_scan() {
+    let n = 2048;
+    let mut catalog = fx::prefix_catalog(n);
+    catalog.analyze();
+    let q = fx::prefix_range(n);
+
+    let plan = Engine::new(&catalog, Conventions::sql())
+        .with_strategy(EvalStrategy::Planned)
+        .with_threads(1)
+        .with_indexes(true)
+        .explain_collection(&q)
+        .unwrap();
+    assert!(
+        plan.contains("index-range on [A, B..] R as r"),
+        "the constant equality must extend the bound prefix:\n{plan}"
+    );
+    assert!(
+        plan.contains("filter: r.C <> 1"),
+        "the residue must be demoted to a post-filter:\n{plan}"
+    );
+
+    for conv in [Conventions::sql(), Conventions::set()] {
+        assert_index_invisible(&catalog, &q, conv);
+    }
+    // 2048/8 = 256 rows have A = 3; of those, B > 1984 keeps 8; C <> 1
+    // drops the `i ≡ 1 (mod 5)` survivors.
+    let rows = Engine::new(&catalog, Conventions::sql())
+        .eval_collection(&q)
+        .unwrap();
+    let scan = Engine::new(&catalog, Conventions::sql())
+        .with_indexes(false)
+        .eval_collection(&q)
+        .unwrap();
+    assert_eq!(rows.rows, scan.rows);
+    assert!(!rows.rows.is_empty());
+}
+
+/// A relation exercising the ordered index's class-ordering corners: a
+/// mixed-type column (ints, strings, floats incl. NaN, bools, NULLs), a
+/// NaN-heavy float column, and a clean int column.
+fn corner_catalog(n: i64) -> Catalog {
+    let rows: Vec<Vec<Value>> = (0..n)
+        .map(|i| {
+            vec![
+                match i % 6 {
+                    0 => Value::Int(i % 11),
+                    1 => Value::str(format!("s{}", i % 5)),
+                    2 => Value::Float(f64::NAN),
+                    3 => Value::Float((i % 7) as f64 + 0.5),
+                    4 => Value::Bool(i % 2 == 0),
+                    _ => Value::Null,
+                },
+                if i % 3 == 0 {
+                    Value::Float(f64::NAN)
+                } else {
+                    Value::Float((i % 13) as f64)
+                },
+                Value::Int(i % 17),
+            ]
+        })
+        .collect();
+    let mut c = Catalog::new();
+    let mut rel = Relation::new("M".to_string(), &["A", "B", "C"]);
+    for row in rows {
+        rel.push(row);
+    }
+    c.add(rel);
+    c
+}
+
+/// Mixed-type / NaN columns at chunk-boundary sizes: every range bound
+/// (int, float, string constants; one- and two-sided) agrees with the
+/// row path exactly, because the search replicates `Value::compare`
+/// within the constant's class window.
+#[test]
+fn class_ordering_corners_match_the_scan() {
+    for n in [1023i64, 1024, 1025] {
+        let mut catalog = corner_catalog(n);
+        catalog.analyze();
+        let filter_sets: Vec<Vec<arc_core::ast::Formula>> = vec![
+            vec![d::gt(d::col("m", "A"), d::int(8))],
+            vec![d::lt(d::col("m", "A"), d::text("s1"))],
+            vec![
+                d::ge(d::col("m", "A"), d::flt(2.5)),
+                d::le(d::col("m", "A"), d::flt(4.5)),
+            ],
+            vec![d::gt(d::col("m", "B"), d::flt(10.0))],
+            vec![
+                d::gt(d::col("m", "C"), d::int(13)),
+                d::lt(d::col("m", "B"), d::flt(3.0)),
+            ],
+            vec![
+                d::ge(d::col("m", "C"), d::int(15)),
+                d::ne(d::col("m", "A"), d::int(3)),
+            ],
+        ];
+        for filters in filter_sets {
+            let mut preds = vec![d::assign("Q", "C", d::col("m", "C"))];
+            preds.extend(filters);
+            let q = d::collection("Q", &["C"], d::exists(&[d::bind("m", "M")], d::and(preds)));
+            for conv in [Conventions::sql(), Conventions::set()] {
+                assert_index_invisible(&catalog, &q, conv);
+            }
+        }
+    }
+}
+
+/// Error equivalence: a selective index bound ordered before an erroring
+/// post-filter must produce the identical outcome — the bound admits
+/// exactly the rows the pushed-down filter would have admitted, so the
+/// erroring filter sees the same survivors (or the same empty set).
+#[test]
+fn errors_surface_identically() {
+    let n = 2048;
+    let mut catalog = fx::prefix_catalog(n);
+    catalog.analyze();
+    // `r.B > n-64` keeps rows, so `r.NOPE` errors either way; `r.B > n`
+    // keeps none, so both paths return the empty result.
+    for (bound, label) in [(n as i64 - 64, "surviving"), (n as i64, "empty")] {
+        let q = d::collection(
+            "Q",
+            &["B"],
+            d::exists(
+                &[d::bind("r", "R")],
+                d::and([
+                    d::assign("Q", "B", d::col("r", "B")),
+                    d::gt(d::col("r", "B"), d::int(bound)),
+                    d::le(d::col("r", "NOPE"), d::int(3)),
+                ]),
+            ),
+        );
+        for strategy in [
+            EvalStrategy::Planned,
+            EvalStrategy::NestedLoop,
+            EvalStrategy::HashJoin,
+        ] {
+            let off = Engine::new(&catalog, Conventions::sql())
+                .with_strategy(strategy)
+                .with_indexes(false)
+                .eval_collection(&q);
+            let on = Engine::new(&catalog, Conventions::sql())
+                .with_strategy(strategy)
+                .with_indexes(true)
+                .eval_collection(&q);
+            assert_eq!(off, on, "outcome drift ({label}) under {strategy:?}");
+        }
+    }
+}
+
+/// A malformed `ARC_INDEX` value surfaces as a descriptive configuration
+/// error (parse-level check; the engine wiring follows the same
+/// deferred-error path as `ARC_EVAL_STRATEGY`).
+#[test]
+fn malformed_index_value_is_descriptive() {
+    let err = arc_engine::eval::strategy::parse_indexes(Some("sideways")).unwrap_err();
+    assert!(err.contains("ARC_INDEX"), "{err}");
+    assert!(err.contains("sideways"), "{err}");
+    assert!(err.contains("expected"), "{err}");
+}

@@ -163,7 +163,8 @@ fn guarded_not_in_stays_on_the_nested_path() {
 /// Golden `EXPLAIN` for the decorrelated semi-join: the new operator line
 /// carries the correlated key and the semi-join selectivity estimate
 /// (distinct keys, MCV-capped), and the build pipeline renders beneath it
-/// as an ordinary scope evaluated once.
+/// as an ordinary scope evaluated once — whose selective `s.C > 59` bound
+/// the analyzed catalog turns into an index-range access path.
 #[test]
 fn explain_semijoin_golden() {
     // `analyze()` pins the statistics state explicitly: the suite runs
@@ -173,7 +174,8 @@ fn explain_semijoin_golden() {
     let engine = Engine::new(&catalog, Conventions::sql())
         .with_strategy(EvalStrategy::Planned)
         .with_threads(1)
-        .with_decorrelate(true);
+        .with_decorrelate(true)
+        .with_indexes(true);
     let plan = engine.explain_collection(&fx::exists_corr(64)).unwrap();
     let expected = "\
 project Q(A)
@@ -184,8 +186,7 @@ project Q(A)
       semi-join on [s.B = r.B] (est=4)
         build (once)
           scope
-            1: scan S as s (est=4)
-              filter: s.C > 59
+            1: index-range on [C..] S as s (est=4)
 ";
     assert_eq!(plan, expected, "semi-join plan drifted:\n{plan}");
 }
@@ -201,6 +202,7 @@ fn explain_antijoin_and_escape_hatch_golden() {
         .with_strategy(EvalStrategy::Planned)
         .with_threads(1)
         .with_decorrelate(true)
+        .with_indexes(true)
         .explain_collection(&q)
         .unwrap();
     let expected = "\
@@ -212,8 +214,7 @@ project Q(A)
       anti-join on [s.B = r.B] (est=4)
         build (once)
           scope
-            1: scan S as s (est=4)
-              filter: s.C > 59
+            1: index-range on [C..] S as s (est=4)
 ";
     assert_eq!(on, expected, "anti-join plan drifted:\n{on}");
 

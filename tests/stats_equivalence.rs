@@ -93,6 +93,7 @@ fn stats_flip_join_order_and_access_path() {
         Engine::new(catalog, Conventions::sql())
             .with_strategy(EvalStrategy::Planned)
             .with_threads(1)
+            .with_indexes(true)
             .explain_collection(&q)
             .unwrap()
     };
@@ -107,9 +108,10 @@ fn stats_flip_join_order_and_access_path() {
         "unanalyzed plan shape drifted:\n{plan_off}"
     );
     // With statistics the histogram sees `r.A > n-8` keep ~7 of 1024
-    // rows: the filtered R scan becomes the outer side and S is probed.
+    // rows: the bound R step becomes the outer side (as an index-range
+    // over the ordered `A` index) and S is probed.
     assert!(
-        plan_on.contains("1: scan R as r")
+        plan_on.contains("1: index-range on [A..] R as r")
             && plan_on.contains("2: hash-probe on [r.B = s.B] S as s"),
         "analyzed plan shape drifted:\n{plan_on}"
     );
@@ -153,10 +155,16 @@ fn post_analyze_plans_are_not_served_stale() {
         .eval_collection(&q)
         .unwrap();
     assert!(before.bag_eq(&after));
-    // The post-ANALYZE plan must be the statistics-shaped one.
+    // The post-ANALYZE plan must be the statistics-shaped one (strategy
+    // and index state pinned against the env-knob suite re-runs).
     let plan = Engine::new(&catalog, Conventions::sql())
+        .with_strategy(EvalStrategy::Planned)
         .with_threads(1)
+        .with_indexes(true)
         .explain_collection(&q)
         .unwrap();
-    assert!(plan.contains("1: scan R as r"), "stale plan shape:\n{plan}");
+    assert!(
+        plan.contains("1: index-range on [A..] R as r"),
+        "stale plan shape:\n{plan}"
+    );
 }
