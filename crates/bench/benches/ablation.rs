@@ -26,7 +26,10 @@
 //! * **ordered index-range vs. vectorized full scan** (`ARC_INDEX`): the
 //!   skewed range-join and multi-column prefix fixtures, where a
 //!   selective bound prefix turns an O(n) filtered scan into one binary
-//!   search over a build-once sorted permutation.
+//!   search over a build-once sorted permutation;
+//! * **trace off vs. on** (`ARC_TRACE`): the observability knob's whole
+//!   overhead — clock reads around build seams; counters run either way
+//!   and per-operator actuals cost nothing outside `explain_analyze_*`.
 
 use arc_bench::fixtures as fx;
 use arc_core::conventions::Conventions;
@@ -331,9 +334,50 @@ fn index_vs_scan(c: &mut Criterion) {
     g.finish();
 }
 
+/// Trace off vs. on (`ARC_TRACE`, via `Engine::with_trace` plus the
+/// registry's global timing gate): the same planned evaluation with and
+/// without clock reads at the build seams. No profile sink is attached —
+/// plain evaluation never gathers per-operator actuals (those cost only
+/// inside `explain_analyze_*`/`profile_*`), so the measured delta is the
+/// knob's whole overhead: registry counters are unconditional either way,
+/// and trace-on adds `Instant::now` pairs around index/selection/key-set
+/// builds (once per build, never per row). The acceptance bar is
+/// trace-off within noise of the PR 7 recording and trace-on ≤ 10% over
+/// trace-off on both shapes.
+fn trace_on_vs_off(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_trace");
+    let q1 = fx::eq1();
+    for n in [1024usize, 4096] {
+        let catalog = fx::rs_catalog(n);
+        for (name, trace) in [("eq1_trace_off", false), ("eq1_trace_on", true)] {
+            g.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                let was = arc_trace::enabled();
+                arc_trace::set_enabled(trace);
+                let engine = Engine::new(&catalog, Conventions::sql()).with_trace(trace);
+                b.iter(|| black_box(engine.eval_collection(&q1).unwrap().len()));
+                arc_trace::set_enabled(was);
+            });
+        }
+    }
+    let q19 = fx::eq19();
+    for n in [512usize, 2048] {
+        let catalog = fx::arith_catalog(n, 24);
+        for (name, trace) in [("eq19_trace_off", false), ("eq19_trace_on", true)] {
+            g.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                let was = arc_trace::enabled();
+                arc_trace::set_enabled(trace);
+                let engine = Engine::new(&catalog, Conventions::sql()).with_trace(trace);
+                b.iter(|| black_box(engine.eval_collection(&q19).unwrap().len()));
+                arc_trace::set_enabled(was);
+            });
+        }
+    }
+    g.finish();
+}
+
 criterion_group! {
     name = ablation;
     config = configured();
-    targets = nested_loop_vs_hash_join, naive_vs_semi_naive, fio_vs_foi_cost, inline_vs_reified, set_vs_bag, sequential_vs_parallel, stats_on_vs_off, semijoin_on_vs_off, vectorized_vs_row_path, index_vs_scan
+    targets = nested_loop_vs_hash_join, naive_vs_semi_naive, fio_vs_foi_cost, inline_vs_reified, set_vs_bag, sequential_vs_parallel, stats_on_vs_off, semijoin_on_vs_off, vectorized_vs_row_path, index_vs_scan, trace_on_vs_off
 }
 criterion_main!(ablation);

@@ -441,6 +441,32 @@ fn main() {
         rep.rows.iter().filter(|r| r.3).count(),
         rep.rows.len()
     );
+
+    // ---- Execution telemetry appendix -------------------------------------
+    // What the runs above *actually did*: an `EXPLAIN ANALYZE` of the
+    // skewed range-join (the cost-model acceptance fixture — `q=1.0`
+    // means the estimate was exact) and the registry counters the whole
+    // binary accumulated. Timings are deliberately absent (`ARC_TRACE`
+    // stays off here) so the output is stable enough to diff.
+    {
+        let n = 1024;
+        let mut catalog = fx::stats_skew_catalog(n);
+        catalog.analyze();
+        let engine = Engine::new(&catalog, sql);
+        let analyzed = engine
+            .explain_analyze_collection(&fx::eq1_range(n))
+            .expect("skew fixture profiles");
+        println!();
+        println!("## Execution telemetry\n");
+        println!("`EXPLAIN ANALYZE` of the skewed range-join (ANALYZEd catalog):\n");
+        println!("```\n{analyzed}```\n");
+        let counters = arc_trace::Snapshot {
+            counters: arc_trace::snapshot().counters,
+            histograms: Default::default(),
+        };
+        println!("Registry counters accumulated across every experiment above:\n");
+        println!("```json\n{}\n```", counters.to_json());
+    }
     if !all_ok {
         std::process::exit(1);
     }

@@ -67,6 +67,7 @@ pub(crate) mod index;
 pub mod join;
 pub mod output;
 pub mod parallel;
+pub(crate) mod profile;
 pub mod quantifier;
 pub mod scalar;
 pub mod semijoin;
@@ -127,6 +128,16 @@ pub struct Engine<'c> {
     /// Ordered secondary indexes / index-range access paths
     /// (`ARC_INDEX`, default on); same deferred-error story.
     indexes: std::result::Result<bool, crate::error::EvalError>,
+    /// Execution tracing (`ARC_TRACE`, default **off**): timing of
+    /// index/selection/semi-join builds into the `arc-trace` registry
+    /// and wall-time stamps on execution profiles; same deferred-error
+    /// story.
+    trace: std::result::Result<bool, crate::error::EvalError>,
+    /// When set, every evaluation context this engine creates records
+    /// per-operator actuals into the sink (the `EXPLAIN ANALYZE` /
+    /// [`Engine::profile_collection`] path; `None` for ordinary
+    /// evaluation, which then pays only an `Option` check per row).
+    profile: Option<arc_trace::ProfileSink>,
 }
 
 impl<'c> Engine<'c> {
@@ -150,6 +161,8 @@ impl<'c> Engine<'c> {
             decorrelate: strategy::decorrelate_from_env(),
             vectorize: strategy::vectorize_from_env(),
             indexes: strategy::indexes_from_env(),
+            trace: strategy::trace_from_env(),
+            profile: None,
         }
     }
 
@@ -223,6 +236,44 @@ impl<'c> Engine<'c> {
         self.indexes.clone()
     }
 
+    /// Override execution tracing (builder style): `true` makes
+    /// evaluation time index/selection/semi-join builds into the
+    /// [`arc_trace`] registry and stamp wall time onto execution
+    /// profiles, exactly like running under `ARC_TRACE=on` — tests and
+    /// the `ablation_trace` bench use this to compare both modes without
+    /// touching the (racy) process environment. Off (the default) keeps
+    /// the hot path free of clock reads; row/call actuals in
+    /// [`Engine::profile_collection`] /
+    /// [`Engine::explain_analyze_collection`](crate::eval::Engine) are
+    /// gathered either way.
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = Ok(trace);
+        self
+    }
+
+    /// Whether this engine records execution timings.
+    pub fn trace(&self) -> Result<bool> {
+        self.trace.clone()
+    }
+
+    /// A shallow copy of this engine with a profile sink attached: every
+    /// evaluation context it creates records per-operator actuals into
+    /// `sink`. The `EXPLAIN ANALYZE` entry points evaluate through this
+    /// copy so ordinary engines never pay for profiling.
+    pub(crate) fn with_sink(&self, sink: arc_trace::ProfileSink) -> Engine<'c> {
+        Engine {
+            catalog: self.catalog,
+            conventions: self.conventions,
+            strategy: self.strategy.clone(),
+            threads: self.threads.clone(),
+            decorrelate: self.decorrelate.clone(),
+            vectorize: self.vectorize.clone(),
+            indexes: self.indexes.clone(),
+            trace: self.trace.clone(),
+            profile: Some(sink),
+        }
+    }
+
     /// Inject a strategy-parse outcome (tests only: process environment
     /// variables are racy under parallel tests, so the typo path is tested
     /// by injection rather than by setting `ARC_EVAL_STRATEGY`).
@@ -258,6 +309,8 @@ impl<'c> Engine<'c> {
             decorrelate: self.decorrelate.clone()?,
             vectorize: self.vectorize.clone()?,
             indexes: self.indexes.clone()?,
+            trace: self.trace.clone()?,
+            profile: self.profile.clone(),
             program,
             defined,
             abstracts,
@@ -328,6 +381,15 @@ pub(crate) struct Ctx<'a> {
     /// Whether the planner may choose the index-range access path (see
     /// [`index`]). Off pins scans and hash probes everywhere.
     pub(crate) indexes: bool,
+    /// Whether execution records wall times (`ARC_TRACE`, default off):
+    /// gates every clock read on the evaluation path, so the default
+    /// engine never touches `Instant::now`.
+    pub(crate) trace: bool,
+    /// Per-operator actuals sink, when this evaluation is profiled (see
+    /// [`profile`]); `None` on ordinary evaluation. Cloned into every
+    /// worker context the parallel executor forks — all tallies merge
+    /// into one profile.
+    pub(crate) profile: Option<arc_trace::ProfileSink>,
     /// Structural hash of the top-level query this context evaluates
     /// (the global plan cache's program key).
     pub(crate) program: u64,

@@ -25,6 +25,7 @@
 //! enumeration is side-effect-free).
 
 use super::env::Env;
+use super::profile::ScopeTally;
 use super::quantifier::{HashIndex, Src};
 use super::{Ctx, EvalStrategy};
 use crate::catalog::Catalog;
@@ -36,7 +37,9 @@ use arc_exec::{run_morsels_with, Morsels, WorkerPool};
 use arc_plan::ScopePlan;
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Everything a pool worker needs to rebuild an evaluation context:
 /// shared read-only references plus snapshots of the coordinator's
@@ -63,6 +66,11 @@ pub(crate) struct WorkerSeed<'a> {
     semi_builds: super::semijoin::SemiBuildCache,
     /// Snapshot of the coordinator's bailed-decorrelation scopes.
     semi_bailed: std::collections::HashSet<usize>,
+    /// Whether workers record wall times (the coordinator's trace knob).
+    trace: bool,
+    /// Shared (not snapshot) profile sink: every worker's morsel tallies
+    /// merge into the coordinator's profile.
+    profile: Option<arc_trace::ProfileSink>,
 }
 
 impl<'a> WorkerSeed<'a> {
@@ -87,6 +95,8 @@ impl<'a> WorkerSeed<'a> {
             selections: RefCell::new(self.selections.clone()),
             semi_builds: self.semi_builds.clone(),
             semi_bailed: RefCell::new(self.semi_bailed.clone()),
+            trace: self.trace,
+            profile: self.profile.clone(),
         }
     }
 }
@@ -96,6 +106,28 @@ const _: () = {
     const fn assert_sync<T: Sync>() {}
     assert_sync::<WorkerSeed<'static>>();
 };
+
+/// Per-worker state for a partitioned scope run: the forked evaluation
+/// context plus worker-lane profile accounting (morsels claimed, busy
+/// wall time). The lane flushes to the shared sink on drop — i.e. when
+/// the worker finishes its last morsel — so the profile's `workers`
+/// vector reflects the actual work distribution.
+struct WorkerState<'a> {
+    ctx: Ctx<'a>,
+    lane: usize,
+    morsels: u64,
+    busy_nanos: u64,
+}
+
+impl Drop for WorkerState<'_> {
+    fn drop(&mut self) {
+        if self.morsels > 0 {
+            if let Some(sink) = &self.ctx.profile {
+                sink.record_lane(self.lane, self.morsels, self.busy_nanos);
+            }
+        }
+    }
+}
 
 /// The per-environment collection callback [`Ctx::enumerate_collect`]
 /// drives: append into the morsel's output vector, return `Ok(true)` to
@@ -122,6 +154,8 @@ impl<'a> Ctx<'a> {
             selections: self.selections.borrow().clone(),
             semi_builds: self.semi_builds.clone(),
             semi_bailed: self.semi_bailed.borrow().clone(),
+            trace: self.trace,
+            profile: self.profile.clone(),
         }
     }
 
@@ -187,10 +221,24 @@ impl<'a> Ctx<'a> {
             return Ok(false);
         }
 
+        // Coordinator-side profile tally: the scope entry and the axis
+        // scan's single start are counted here, exactly once — morsel
+        // tallies deliberately skip both (see `Ctx::scan_partition`), so
+        // a partitioned profile is count-identical to the sequential one.
+        let scope_id = bindings.as_ptr() as usize;
+        let coord = self
+            .profile
+            .as_ref()
+            .map(|_| ScopeTally::new(scope_id, order.len()));
+        let start = (self.trace && coord.is_some()).then(Instant::now);
+
         // Prelude filters see only outer variables: evaluate once here,
         // not once per morsel.
         for p in &prelude {
             if !self.pred_truth(p, env)?.is_true() {
+                if let (Some(t), Some(sink)) = (&coord, &self.profile) {
+                    t.flush(sink, true);
+                }
                 return Ok(true); // scope is empty; nothing to scatter
             }
         }
@@ -221,20 +269,56 @@ impl<'a> Ctx<'a> {
         // forking clones the cache snapshots); each morsel still gets a
         // fresh clone of the outer environment because an error can
         // abandon pushed frames mid-scan.
+        if let Some(t) = &coord {
+            t.call(0); // the axis scan starts once, morsels notwithstanding
+        }
+        let lanes = AtomicUsize::new(0);
         let results: Vec<Result<Vec<T>>> = run_morsels_with(
             WorkerPool::global(),
             self.threads,
             morsels,
-            || seed.ctx(),
-            |ctx, _, range| {
+            || WorkerState {
+                ctx: seed.ctx(),
+                lane: lanes.fetch_add(1, Ordering::Relaxed),
+                morsels: 0,
+                busy_nanos: 0,
+            },
+            |st, _, range| {
                 let mut wenv = outer_env.clone();
                 let mut morsel_out = Vec::new();
-                ctx.scan_partition(&order, &leaf, range, &mut wenv, &mut |c, e| {
-                    each(c, e, &mut morsel_out)
-                })
-                .map(|()| morsel_out)
+                let tally = st
+                    .ctx
+                    .profile
+                    .as_ref()
+                    .map(|_| ScopeTally::new(scope_id, order.len()));
+                let mstart = (st.ctx.trace && tally.is_some()).then(Instant::now);
+                let r = st
+                    .ctx
+                    .scan_partition(
+                        &order,
+                        &leaf,
+                        range,
+                        &mut wenv,
+                        tally.as_ref(),
+                        &mut |c, e| each(c, e, &mut morsel_out),
+                    )
+                    .map(|()| morsel_out);
+                st.morsels += 1;
+                if let Some(s) = mstart {
+                    st.busy_nanos += s.elapsed().as_nanos() as u64;
+                }
+                if let (Some(t), Some(sink)) = (&tally, &st.ctx.profile) {
+                    t.flush(sink, false);
+                }
+                r
             },
         );
+        if let (Some(t), Some(sink)) = (&coord, &self.profile) {
+            if let Some(s) = start {
+                t.add_nanos(s.elapsed().as_nanos() as u64);
+            }
+            t.flush(sink, true);
+        }
         // Merge in morsel order: errors surface from the earliest morsel
         // (what the sequential loop would hit first), outputs concatenate
         // into the exact sequential emission order.

@@ -1,0 +1,157 @@
+//! Per-enumeration profile tallies: the lock-free local half of
+//! execution profiling.
+//!
+//! When a [`Ctx`](super::Ctx) carries a [`ProfileSink`], every
+//! enumeration call (and every morsel of a partitioned scope) counts
+//! rows into a [`ScopeTally`] — plain [`Cell`] integers, touched on the
+//! hot path with a single `Option` check — and folds the whole tally
+//! into the shared sink **once**, at call/morsel granularity. Merging is
+//! commutative addition ([`arc_trace::OpStats::merge`]), which is why a
+//! profile gathered across four pool workers equals the sequential one
+//! count-for-count (only wall times differ, and those are annotations,
+//! not counts).
+
+use arc_trace::{OpId, OpStats, ProfileSink, QueryProfile};
+use std::cell::Cell;
+
+/// Row/call counters for one step of one enumeration call.
+#[derive(Default)]
+struct StepTally {
+    /// Times this step's access path started (= upstream environments
+    /// that reached it).
+    calls: Cell<u64>,
+    /// Candidate rows the access path yielded (hash-bucket entries,
+    /// selection survivors, scanned rows) — before pushed filters.
+    rows: Cell<u64>,
+    /// Rows surviving the step's pushed-down filters.
+    out: Cell<u64>,
+    /// Build time attributed to this step (first hash-index or
+    /// selection-vector build), when tracing.
+    nanos: Cell<u64>,
+}
+
+/// The local tally of one `enumerate` call / one morsel over one scope.
+pub(crate) struct ScopeTally {
+    /// The scope's stable operator id (binding-slice address — the same
+    /// identity `arc_plan::scope_identity` stamps at lowering time).
+    scope: usize,
+    steps: Vec<StepTally>,
+    /// Environments that survived every step and leaf filter (callback
+    /// invocations — the scope's actual output rows).
+    out: Cell<u64>,
+    /// Scope wall time (inclusive of nested work), when tracing.
+    nanos: Cell<u64>,
+}
+
+impl ScopeTally {
+    /// A zeroed tally for a scope with `steps` plan steps.
+    pub(crate) fn new(scope: usize, steps: usize) -> ScopeTally {
+        ScopeTally {
+            scope,
+            steps: (0..steps).map(|_| StepTally::default()).collect(),
+            out: Cell::new(0),
+            nanos: Cell::new(0),
+        }
+    }
+
+    /// Step `i`'s access path started.
+    pub(crate) fn call(&self, i: usize) {
+        let s = &self.steps[i];
+        s.calls.set(s.calls.get() + 1);
+    }
+
+    /// Step `i` yielded a candidate row.
+    pub(crate) fn row(&self, i: usize) {
+        let s = &self.steps[i];
+        s.rows.set(s.rows.get() + 1);
+    }
+
+    /// A candidate row survived step `i`'s pushed filters.
+    pub(crate) fn pass(&self, i: usize) {
+        let s = &self.steps[i];
+        s.out.set(s.out.get() + 1);
+    }
+
+    /// An environment survived the leaf filters (one output row).
+    pub(crate) fn emit(&self) {
+        self.out.set(self.out.get() + 1);
+    }
+
+    /// Attribute build time to step `i`.
+    pub(crate) fn add_step_nanos(&self, i: usize, nanos: u64) {
+        let s = &self.steps[i];
+        s.nanos.set(s.nanos.get() + nanos);
+    }
+
+    /// Attribute wall time to the scope as a whole.
+    pub(crate) fn add_nanos(&self, nanos: u64) {
+        self.nanos.set(self.nanos.get() + nanos);
+    }
+
+    /// Fold the tally into the sink — the one lock acquisition per
+    /// enumeration call / morsel. `scope_call` is true on the sequential
+    /// path and on the parallel coordinator (which counts the scope
+    /// entry once); morsel tallies pass false so a partitioned scope
+    /// still counts one call, not one per morsel.
+    pub(crate) fn flush(&self, sink: &ProfileSink, scope_call: bool) {
+        let mut p = QueryProfile::default();
+        p.ops.insert(
+            OpId::scope(self.scope),
+            OpStats {
+                calls: scope_call as u64,
+                rows_in: 0,
+                rows_out: self.out.get(),
+                nanos: self.nanos.get(),
+            },
+        );
+        for (i, s) in self.steps.iter().enumerate() {
+            p.ops.insert(
+                OpId::step(self.scope, i),
+                OpStats {
+                    calls: s.calls.get(),
+                    rows_in: s.rows.get(),
+                    rows_out: s.out.get(),
+                    nanos: s.nanos.get(),
+                },
+            );
+        }
+        sink.merge(&p);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tallies_fold_into_the_sink_once() {
+        let sink = ProfileSink::new();
+        let t = ScopeTally::new(0xfeed, 2);
+        t.call(0);
+        for _ in 0..5 {
+            t.row(0);
+            t.pass(0);
+            t.call(1);
+        }
+        t.row(1);
+        t.pass(1);
+        t.emit();
+        t.add_step_nanos(1, 40);
+        t.add_nanos(100);
+        t.flush(&sink, true);
+        // A second (morsel-shaped) tally merges additively, without
+        // double-counting the scope call.
+        let m = ScopeTally::new(0xfeed, 2);
+        m.row(0);
+        m.pass(0);
+        m.call(1);
+        m.flush(&sink, false);
+        let p = sink.finish();
+        let scope = p.op(OpId::scope(0xfeed)).unwrap();
+        assert_eq!((scope.calls, scope.rows_out, scope.nanos), (1, 1, 100));
+        let s0 = p.op(OpId::step(0xfeed, 0)).unwrap();
+        assert_eq!((s0.calls, s0.rows_in, s0.rows_out), (1, 6, 6));
+        let s1 = p.op(OpId::step(0xfeed, 1)).unwrap();
+        assert_eq!((s1.calls, s1.rows_in, s1.rows_out, s1.nanos), (6, 1, 1, 40));
+    }
+}

@@ -45,9 +45,11 @@
 //! [`Ctx::scan_partition`].
 
 use super::env::Env;
+use super::profile::ScopeTally;
 use super::Ctx;
 use crate::error::{EvalError, Result};
 use crate::external::{AccessPattern, ExternalRelation};
+use crate::metrics;
 use crate::relation::Relation;
 use arc_core::ast::*;
 use arc_core::value::Key;
@@ -197,8 +199,14 @@ impl Ordered<'_> {
             return super::vector::selection(&rel.columns(), &self.vec_filters);
         };
         let mut sel = rel.ordered_index(&ip.cols).search(&ip.probe);
+        // Registry accounting for the index-range path: rows the bound
+        // prefix's binary search survived, and how many of those the
+        // demoted constant filters then dropped.
+        metrics::index_range_rows().add(sel.len() as u64);
         if !self.vec_filters.is_empty() {
+            let before = sel.len();
             sel.retain(|&r| super::vector::row_passes(&rel.rows[r as usize], &self.vec_filters));
+            metrics::index_range_dropped().add((before - sel.len()) as u64);
         }
         sel
     }
@@ -329,14 +337,37 @@ impl<'a> Ctx<'a> {
             // A pure-inner annotation is semantically the default join.
         }
         let (order, prelude, leaf) = self.plan_bindings(bindings, filters, env)?;
+        // Profiling: a local tally per enumeration call, keyed by the
+        // binding-slice address — the identity `arc_plan::scope_identity`
+        // stamps on the lowered plan, so `EXPLAIN ANALYZE` can join the
+        // actuals back to the tree. Created before the prelude so a
+        // prelude-empty call still counts as one scope invocation.
+        let tally = self
+            .profile
+            .as_ref()
+            .map(|_| ScopeTally::new(bindings.as_ptr() as usize, order.len()));
+        let start = (self.trace && tally.is_some()).then(std::time::Instant::now);
         // Prelude filters touch only outer variables (or constants): one
         // failing verdict empties the whole scope.
+        let mut alive = true;
         for p in &prelude {
             if !self.pred_truth(p, env)?.is_true() {
-                return Ok(());
+                alive = false;
+                break;
             }
         }
-        self.enumerate_rec(&order, 0, &leaf, env, cb).map(|_| ())
+        let res = if alive {
+            self.enumerate_rec(&order, 0, &leaf, env, tally.as_ref(), cb)
+        } else {
+            Ok(true)
+        };
+        if let (Some(t), Some(sink)) = (&tally, &self.profile) {
+            if let Some(s) = start {
+                t.add_nanos(s.elapsed().as_nanos() as u64);
+            }
+            t.flush(sink, true);
+        }
+        res.map(|_| ())
     }
 
     /// Build (or fetch from the per-query cache) the hash index for a plan
@@ -353,11 +384,16 @@ impl<'a> Ctx<'a> {
         if let Some(index) = self.join_indexes.borrow().get(&key) {
             return index.clone();
         }
+        let start = self.trace.then(std::time::Instant::now);
         let index = if self.vectorize && rel.len() >= super::vector::VECTOR_MIN_ROWS {
             Arc::new(super::vector::build_index(&rel.columns(), &plan.key_cols))
         } else {
             Arc::new(plan.build_index(rel))
         };
+        metrics::hash_builds().inc();
+        if let Some(s) = start {
+            metrics::hash_build_time().record_nanos(s.elapsed().as_nanos() as u64);
+        }
         self.join_indexes.borrow_mut().insert(key, index.clone());
         index
     }
@@ -370,10 +406,59 @@ impl<'a> Ctx<'a> {
     pub(crate) fn scan_selection(&self, rel: &Relation, ob: &Ordered<'_>) -> Arc<Vec<u32>> {
         let key = (rel as *const Relation as usize, ob.selection_key());
         if let Some(sel) = self.selections.borrow().get(&key) {
+            metrics::selection_cache_hits().inc();
             return sel.clone();
         }
+        let start = self.trace.then(std::time::Instant::now);
         let sel = Arc::new(ob.compute_selection(rel));
+        metrics::selection_builds().inc();
+        if let Some(s) = start {
+            metrics::selection_build_time().record_nanos(s.elapsed().as_nanos() as u64);
+        }
         self.selections.borrow_mut().insert(key, sel.clone());
+        sel
+    }
+
+    /// Step `i`'s memoized hash index, timing the first (and only) build
+    /// into the step's profile tally when tracing. The cold branch is
+    /// taken once per materialized pipeline; after that this is a plain
+    /// `OnceLock` load.
+    fn step_index<'o>(
+        &self,
+        ob: &'o Ordered<'_>,
+        plan: &HashPlan<'_>,
+        rel: &Relation,
+        i: usize,
+        tally: Option<&ScopeTally>,
+    ) -> &'o Arc<HashIndex> {
+        if let Some(index) = ob.index.get() {
+            return index;
+        }
+        let start = (self.trace && tally.is_some()).then(std::time::Instant::now);
+        let index = ob.index.get_or_init(|| self.join_index(plan, rel));
+        if let (Some(s), Some(t)) = (start, tally) {
+            t.add_step_nanos(i, s.elapsed().as_nanos() as u64);
+        }
+        index
+    }
+
+    /// Step `i`'s memoized selection vector; same shape as
+    /// [`Ctx::step_index`].
+    fn step_selection<'o>(
+        &self,
+        ob: &'o Ordered<'_>,
+        rel: &Relation,
+        i: usize,
+        tally: Option<&ScopeTally>,
+    ) -> &'o Arc<Vec<u32>> {
+        if let Some(sel) = ob.selection.get() {
+            return sel;
+        }
+        let start = (self.trace && tally.is_some()).then(std::time::Instant::now);
+        let sel = ob.selection.get_or_init(|| self.scan_selection(rel, ob));
+        if let (Some(s), Some(t)) = (start, tally) {
+            t.add_step_nanos(i, s.elapsed().as_nanos() as u64);
+        }
         sel
     }
 
@@ -384,27 +469,39 @@ impl<'a> Ctx<'a> {
         i: usize,
         leaf: &[&Predicate],
         env: &mut Env,
+        tally: Option<&ScopeTally>,
         cb: &mut dyn FnMut(&Ctx<'a>, &mut Env) -> Result<bool>,
     ) -> Result<bool> {
+        if let Some(t) = tally {
+            t.row(i);
+        }
         for p in &order[i].step_filters {
             if !self.pred_truth(p, env)?.is_true() {
                 return Ok(true); // this environment is filtered out
             }
         }
-        self.enumerate_rec(order, i + 1, leaf, env, cb)
+        if let Some(t) = tally {
+            t.pass(i);
+        }
+        self.enumerate_rec(order, i + 1, leaf, env, tally, cb)
     }
 
     /// Execute one morsel of a partitioned scope: enumerate rows
     /// `range` of the first step's scan (the plan's partition axis) and
     /// descend through the remaining steps exactly as the sequential
     /// loop would. Concatenating the callbacks' outputs over consecutive
-    /// ranges reproduces the sequential enumeration order.
+    /// ranges reproduces the sequential enumeration order. `tally` is
+    /// the morsel-local profile tally; note it never counts a step-0
+    /// *call* — the parallel coordinator counts the scope entry (and its
+    /// axis scan's single start) exactly once, which is what keeps a
+    /// partitioned profile count-identical to the sequential one.
     pub(crate) fn scan_partition(
         &self,
         order: &[Ordered<'_>],
         leaf: &[&Predicate],
         range: std::ops::Range<usize>,
         env: &mut Env,
+        tally: Option<&ScopeTally>,
         cb: &mut dyn FnMut(&Ctx<'a>, &mut Env) -> Result<bool>,
     ) -> Result<()> {
         let Some(first) = order.first() else {
@@ -436,7 +533,7 @@ impl<'a> Ctx<'a> {
                     attrs.clone(),
                     rel.rows[ridx as usize].clone(),
                 );
-                let cont = self.step_into(order, 0, leaf, env, cb)?;
+                let cont = self.step_into(order, 0, leaf, env, tally, cb)?;
                 env.pop();
                 if !cont {
                     return Ok(());
@@ -446,7 +543,7 @@ impl<'a> Ctx<'a> {
         }
         for row in &rel.rows[range] {
             env.push(first.var.clone(), attrs.clone(), row.clone());
-            let cont = self.step_into(order, 0, leaf, env, cb)?;
+            let cont = self.step_into(order, 0, leaf, env, tally, cb)?;
             env.pop();
             if !cont {
                 return Ok(());
@@ -465,6 +562,7 @@ impl<'a> Ctx<'a> {
         i: usize,
         leaf: &[&Predicate],
         env: &mut Env,
+        tally: Option<&ScopeTally>,
         cb: &mut dyn FnMut(&Ctx<'a>, &mut Env) -> Result<bool>,
     ) -> Result<bool> {
         if i == order.len() {
@@ -474,7 +572,13 @@ impl<'a> Ctx<'a> {
                     return Ok(true);
                 }
             }
+            if let Some(t) = tally {
+                t.emit();
+            }
             return cb(self, env);
+        }
+        if let Some(t) = tally {
+            t.call(i);
         }
         let ob = &order[i];
         match &ob.source {
@@ -484,12 +588,12 @@ impl<'a> Ctx<'a> {
                     let Some(key) = plan.probe_key(self, env)? else {
                         return Ok(true); // NULL/NaN probe: no row can match
                     };
-                    let index = ob.index.get_or_init(|| self.join_index(plan, rel));
+                    let index = self.step_index(ob, plan, rel, i, tally);
                     if let Some(matches) = index.get(&key) {
                         for &ridx in matches {
                             let row = &rel.rows[ridx as usize];
                             env.push(ob.var.clone(), attrs.clone(), row.clone());
-                            let cont = self.step_into(order, i, leaf, env, cb)?;
+                            let cont = self.step_into(order, i, leaf, env, tally, cb)?;
                             env.pop();
                             if !cont {
                                 return Ok(false);
@@ -504,14 +608,14 @@ impl<'a> Ctx<'a> {
                     // selection (in ascending row order, so emission
                     // order is identical to the row path) and row-check
                     // only the residue.
-                    let sel = ob.selection.get_or_init(|| self.scan_selection(rel, ob));
+                    let sel = self.step_selection(ob, rel, i, tally);
                     for &ridx in sel.iter() {
                         env.push(
                             ob.var.clone(),
                             attrs.clone(),
                             rel.rows[ridx as usize].clone(),
                         );
-                        let cont = self.step_into(order, i, leaf, env, cb)?;
+                        let cont = self.step_into(order, i, leaf, env, tally, cb)?;
                         env.pop();
                         if !cont {
                             return Ok(false);
@@ -521,7 +625,7 @@ impl<'a> Ctx<'a> {
                 }
                 for row in &rel.rows {
                     env.push(ob.var.clone(), attrs.clone(), row.clone());
-                    let cont = self.step_into(order, i, leaf, env, cb)?;
+                    let cont = self.step_into(order, i, leaf, env, tally, cb)?;
                     env.pop();
                     if !cont {
                         return Ok(false);
@@ -535,7 +639,7 @@ impl<'a> Ctx<'a> {
                 let attrs = Arc::new(rel.schema.clone());
                 for row in rel.rows {
                     env.push(ob.var.clone(), attrs.clone(), row);
-                    let cont = self.step_into(order, i, leaf, env, cb)?;
+                    let cont = self.step_into(order, i, leaf, env, tally, cb)?;
                     env.pop();
                     if !cont {
                         return Ok(false);
@@ -564,7 +668,7 @@ impl<'a> Ctx<'a> {
                 let attrs = Arc::new(ext.schema.clone());
                 for tuple in (pattern.complete)(&vals) {
                     env.push(ob.var.clone(), attrs.clone(), tuple);
-                    let cont = self.step_into(order, i, leaf, env, cb)?;
+                    let cont = self.step_into(order, i, leaf, env, tally, cb)?;
                     env.pop();
                     if !cont {
                         return Ok(false);
@@ -596,7 +700,7 @@ impl<'a> Ctx<'a> {
                 env.pop();
                 if holds.is_true() {
                     env.push(ob.var.clone(), head_attrs, tuple);
-                    let cont = self.step_into(order, i, leaf, env, cb)?;
+                    let cont = self.step_into(order, i, leaf, env, tally, cb)?;
                     env.pop();
                     if !cont {
                         return Ok(false);
@@ -944,9 +1048,11 @@ impl<'a> Ctx<'a> {
         order: &[Ordered<'_>],
         leaf: &[&Predicate],
         env: &mut Env,
+        tally: Option<&ScopeTally>,
         cb: &mut dyn FnMut(&Ctx<'a>, &mut Env) -> Result<bool>,
     ) -> Result<()> {
-        self.enumerate_rec(order, 0, leaf, env, cb).map(|_| ())
+        self.enumerate_rec(order, 0, leaf, env, tally, cb)
+            .map(|_| ())
     }
 }
 

@@ -51,16 +51,18 @@
 
 use super::env::Env;
 use super::partition::Parts;
+use super::profile::ScopeTally;
 use super::quantifier::EnvOuter;
 use super::{Ctx, EvalStrategy};
 use crate::error::Result;
+use crate::metrics;
 use crate::relation::join_key;
 use arc_core::ast::{Quant, Scalar};
 use arc_core::value::{Key, Truth};
 use arc_plan::logical::eq_sides;
 use arc_plan::ScopePlan;
+use arc_trace::{OpId, OpStats};
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// The correlated-key set of one build: every key the scope body can
@@ -87,14 +89,13 @@ pub(crate) struct SemiEntry {
 #[derive(Clone, Default)]
 pub(crate) struct SemiBuildCache(Arc<Mutex<HashMap<usize, SemiEntry>>>);
 
-/// Count of semi-join builds since process start. `tests/semijoin_build.rs`
-/// asserts a correlated scope builds once per evaluation — not once per
-/// outer row — the execution-level companion of `arc_plan::planner_runs`.
-static SEMI_BUILDS: AtomicU64 = AtomicU64::new(0);
-
-/// Total decorrelated-scope builds so far in this process.
+/// Total decorrelated-scope builds so far in this process — a read of
+/// the `engine.semijoin.builds` registry counter (see
+/// [`crate::metrics`]). `tests/semijoin_build.rs` asserts a correlated
+/// scope builds once per evaluation — not once per outer row — the
+/// execution-level companion of `arc_plan::planner_runs`.
 pub fn semi_build_runs() -> u64 {
-    SEMI_BUILDS.load(Ordering::Relaxed)
+    metrics::semi_builds().get()
 }
 
 impl<'a> Ctx<'a> {
@@ -154,14 +155,35 @@ impl<'a> Ctx<'a> {
         // empty for this row (NOT IN semantics fall out of this when the
         // caller negates).
         let mut key = Vec::with_capacity(dec.keys.len());
+        let mut probeable = true;
         for k in &dec.keys {
             let (_, outer_expr) = eq_sides(parts.filters[k.filter], k.local_on_left);
             match join_key(&self.scalar(outer_expr, env)?) {
                 Some(component) => key.push(component),
-                None => return Ok(Some(Truth::False)),
+                None => {
+                    probeable = false;
+                    break;
+                }
             }
         }
-        Ok(Some(Truth::from_bool(set.contains(&key))))
+        let hit = probeable && set.contains(&key);
+        metrics::semi_probes().inc();
+        if hit {
+            metrics::semi_hits().inc();
+        }
+        if let Some(sink) = &self.profile {
+            // Probe-side actuals on the semi-join pseudo-step: one call
+            // per probed outer row, one output row per hit.
+            sink.merge_op(
+                OpId::semi(scope_key),
+                OpStats {
+                    calls: 1,
+                    rows_out: hit as u64,
+                    ..OpStats::default()
+                },
+            );
+        }
+        Ok(Some(Truth::from_bool(hit)))
     }
 
     /// The build, through the shared cache: first caller (coordinator or
@@ -186,8 +208,9 @@ impl<'a> Ctx<'a> {
         {
             return Ok(entry.set.clone());
         }
-        SEMI_BUILDS.fetch_add(1, Ordering::Relaxed);
+        metrics::semi_builds().inc();
         let base = env.len();
+        let start = self.trace.then(std::time::Instant::now);
         let set = match self.run_build(q, parts, resolved, plan, env) {
             Ok(set) => Some(Arc::new(set)),
             Err(_) => {
@@ -197,6 +220,23 @@ impl<'a> Ctx<'a> {
                 None
             }
         };
+        let build_nanos = start.map_or(0, |s| s.elapsed().as_nanos() as u64);
+        if build_nanos > 0 {
+            metrics::semi_build_time().record_nanos(build_nanos);
+        }
+        if let Some(sink) = &self.profile {
+            // Build-side actuals on the semi-join pseudo-step: the key
+            // set's cardinality (what `est=` on the semi-join line
+            // estimated) and the build's wall time.
+            sink.merge_op(
+                OpId::semi(q.bindings.as_ptr() as usize),
+                OpStats {
+                    rows_in: set.as_ref().map_or(0, |s| s.len() as u64),
+                    nanos: build_nanos,
+                    ..OpStats::default()
+                },
+            );
+        }
         let mut map = self.semi_builds.0.lock().expect("semi-build cache");
         Ok(map
             .entry(cache_key)
@@ -246,8 +286,16 @@ impl<'a> Ctx<'a> {
         }
         // Row key assembled in a reused scratch buffer; the set allocates
         // only on a key's first occurrence (`Vec<Key>: Borrow<[Key]>`).
+        // The build pipeline tallies under the scope's own operator ids
+        // (`EXPLAIN ANALYZE` renders them on the `build (once)` subtree);
+        // the columnar fast path above bypasses the row pipeline and
+        // leaves those est-only.
+        let tally = self
+            .profile
+            .as_ref()
+            .map(|_| ScopeTally::new(q.bindings.as_ptr() as usize, order.len()));
         let mut scratch: Vec<Key> = Vec::with_capacity(local_exprs.len());
-        self.run_steps(&order, &leaf, env, &mut |ctx, env| {
+        self.run_steps(&order, &leaf, env, tally.as_ref(), &mut |ctx, env| {
             // Outer-free boolean subformulas run per build environment,
             // exactly where the nested path evaluates them.
             for b in &parts.pre_bool {
@@ -270,6 +318,9 @@ impl<'a> Ctx<'a> {
             // nested path's existential short-circuit.
             Ok(!local_exprs.is_empty())
         })?;
+        if let (Some(t), Some(sink)) = (&tally, &self.profile) {
+            t.flush(sink, true);
+        }
         Ok(set)
     }
 

@@ -43,6 +43,19 @@ pub fn parse_decorrelate(value: Option<&str>) -> Result<bool, String> {
     }
 }
 
+/// Execution tracing, from `ARC_TRACE`: unset/`off` (the **default** —
+/// unlike the other knobs, tracing is opt-in) keeps evaluation free of
+/// clock reads; `on` makes the engine time index/selection/semi-join
+/// builds into the `arc-trace` registry histograms and stamps wall time
+/// onto execution profiles (`EXPLAIN ANALYZE` gathers row/call actuals
+/// either way — only the `time=`/`build=` annotations need the knob).
+/// Parsing lives in [`arc_trace::parse_trace`]; a malformed value
+/// surfaces as [`EvalError::Config`] on the first evaluation, exactly
+/// like the other `ARC_*` variables.
+pub fn trace_from_env() -> Result<bool, EvalError> {
+    arc_trace::trace_env().map_err(EvalError::Config)
+}
+
 /// Vectorized columnar execution, from `ARC_VECTOR`: unset/`on` (the
 /// default) lets scans, hash-index builds, and semi-join key extraction
 /// run over [column chunks](arc_core::column) with per-chunk kernels;
@@ -274,6 +287,16 @@ mod tests {
         let err = parse_indexes(Some("nope")).unwrap_err();
         assert!(err.contains("nope"), "{err}");
         assert!(err.contains("ARC_INDEX"), "{err}");
+    }
+
+    #[test]
+    fn trace_defaults_off_unlike_the_other_knobs() {
+        assert_eq!(arc_trace::parse_trace(None), Ok(false));
+        assert_eq!(arc_trace::parse_trace(Some("on")), Ok(true));
+        assert_eq!(arc_trace::parse_trace(Some("OFF")), Ok(false));
+        let err = arc_trace::parse_trace(Some("nope")).unwrap_err();
+        assert!(err.contains("nope"), "{err}");
+        assert!(err.contains("ARC_TRACE"), "{err}");
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! `EXPLAIN`: render the plan a query would execute under this engine.
+//! `EXPLAIN` and `EXPLAIN ANALYZE`: render the plan a query would
+//! execute under this engine, optionally annotated with measured actuals.
 //!
 //! The engine resolves names against its catalog (and, for programs, the
 //! program's own definitions — classified into intensional vs. abstract by
@@ -7,13 +8,28 @@
 //! not-yet-materialized definitions. The output is the textual rendering
 //! of the [`arc_plan::PlanNode`] tree; a diagram backend can walk the same
 //! tree instead.
+//!
+//! The `*_analyze` variants actually **run** the query first (via
+//! [`Engine::profile_collection`]/[`Engine::profile_program`]), then join
+//! the recorded [`arc_trace::QueryProfile`] back onto the plan tree by
+//! operator id: each quantifier scope's id is the address of its binding
+//! list in the AST, stamped at lowering time and recorded again at
+//! evaluation time — both walk the *same* AST the caller holds, so the
+//! join needs no name matching. Annotated operators render
+//! `act=N (est=N, q=X.X)` per step — `q` is the
+//! [q-error](arc_plan::q_error) of the planner's estimate — plus wall
+//! time when the trace knob ([`Engine::with_trace`] / `ARC_TRACE`)
+//! enables clock reads.
 
 use crate::catalog::Catalog;
 use crate::error::{EvalError, Result};
 use crate::eval::Engine;
+use crate::fixpoint::ProgramOutput;
+use crate::relation::Relation;
 use arc_core::ast::{Collection, Program};
 use arc_core::binder::Binder;
-use arc_plan::{LowerError, ResolvedSource, SourceKind, SourceResolver};
+use arc_plan::{LowerError, PlanNode, ResolvedSource, SourceKind, SourceResolver};
+use arc_trace::{ProfileSink, QueryProfile};
 use std::collections::HashMap;
 
 /// Resolver over the engine's catalog plus a program's definitions,
@@ -83,6 +99,13 @@ impl Engine<'_> {
     /// [`Engine::with_threads`]) renders the `partition(n)` operator on
     /// each scope's partition-axis step.
     pub fn explain_collection(&self, c: &Collection) -> Result<String> {
+        let (plan, threads) = self.lowered_collection(c)?;
+        Ok(arc_plan::render_with_threads(&plan, threads))
+    }
+
+    /// Lower a standalone collection exactly as [`Self::explain_collection`]
+    /// would, returning the plan tree plus the resolved thread count.
+    fn lowered_collection(&self, c: &Collection) -> Result<(PlanNode, usize)> {
         let mode = self.strategy()?.plan_mode();
         let threads = self.threads()?;
         let decorrelate = self.decorrelate()?;
@@ -94,13 +117,20 @@ impl Engine<'_> {
         };
         let plan = arc_plan::lower_collection_opts(c, &resolver, mode, decorrelate, indexes)
             .map_err(lower_err)?;
-        Ok(arc_plan::render_with_threads(&plan, threads))
+        Ok((plan, threads))
     }
 
     /// Render the physical plan of a whole program as text: definitions in
     /// declaration order (mutually recursive groups fused into `fixpoint`
     /// nodes), then the query.
     pub fn explain_program(&self, p: &Program) -> Result<String> {
+        let (plan, threads) = self.lowered_program(p)?;
+        Ok(arc_plan::render_with_threads(&plan, threads))
+    }
+
+    /// Lower a whole program exactly as [`Self::explain_program`] would,
+    /// returning the plan tree plus the resolved thread count.
+    fn lowered_program(&self, p: &Program) -> Result<(PlanNode, usize)> {
         let mode = self.strategy()?.plan_mode();
         let threads = self.threads()?;
         let decorrelate = self.decorrelate()?;
@@ -131,6 +161,57 @@ impl Engine<'_> {
         };
         let plan = arc_plan::lower_program_opts(p, &resolver, mode, decorrelate, indexes)
             .map_err(lower_err)?;
-        Ok(arc_plan::render_with_threads(&plan, threads))
+        Ok((plan, threads))
+    }
+
+    /// Evaluate a standalone collection while recording a per-operator
+    /// execution profile, returning both the result and the profile.
+    ///
+    /// Actual row/call counts are gathered regardless of the trace knob
+    /// (the profile sink is attached only for this call — ordinary
+    /// [`Engine::eval_collection`] never profiles); per-operator wall
+    /// times additionally require [`Engine::with_trace`] / `ARC_TRACE=on`
+    /// to enable clock reads.
+    pub fn profile_collection(&self, c: &Collection) -> Result<(Relation, QueryProfile)> {
+        let sink = ProfileSink::new();
+        let rel = self.with_sink(sink.clone()).eval_collection(c)?;
+        Ok((rel, sink.finish()))
+    }
+
+    /// Evaluate a whole program while recording a per-operator execution
+    /// profile; the profile aggregates over every definition the program
+    /// materializes (fixpoint iterations included) plus the query. See
+    /// [`Engine::profile_collection`] for what the trace knob adds.
+    pub fn profile_program(&self, p: &Program) -> Result<(ProgramOutput, QueryProfile)> {
+        let sink = ProfileSink::new();
+        let out = self.with_sink(sink.clone()).eval_program(p)?;
+        Ok((out, sink.finish()))
+    }
+
+    /// `EXPLAIN ANALYZE` for a standalone collection: run it with
+    /// profiling ([`Engine::profile_collection`]), then render the plan
+    /// with each operator annotated by its measured actuals —
+    /// `act=N (est=N, q=X.X)` per step (q-error of the planner's
+    /// estimate), probe/hit counts on semi-joins, and wall time when the
+    /// trace knob enables clock reads.
+    pub fn explain_analyze_collection(&self, c: &Collection) -> Result<String> {
+        let (_, profile) = self.profile_collection(c)?;
+        let (plan, threads) = self.lowered_collection(c)?;
+        Ok(arc_plan::render_analyze(&plan, threads, &|id| {
+            profile.op(id).copied()
+        }))
+    }
+
+    /// `EXPLAIN ANALYZE` for a whole program: evaluate it with profiling,
+    /// then render definitions and query annotated with measured actuals.
+    /// Scopes evaluated more than once (fixpoint iterations, correlated
+    /// re-entry) report summed counts across all invocations — the
+    /// renderer's per-call normalization divides by `calls`.
+    pub fn explain_analyze_program(&self, p: &Program) -> Result<String> {
+        let (_, profile) = self.profile_program(p)?;
+        let (plan, threads) = self.lowered_program(p)?;
+        Ok(arc_plan::render_analyze(&plan, threads, &|id| {
+            profile.op(id).copied()
+        }))
     }
 }

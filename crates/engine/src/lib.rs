@@ -61,6 +61,7 @@ pub mod eval;
 pub mod explain;
 pub mod external;
 pub mod fixpoint;
+pub mod metrics;
 pub mod relation;
 
 pub use catalog::Catalog;

@@ -1,0 +1,137 @@
+//! The engine's registry metrics: one accessor per named counter or
+//! histogram, each a process-global `arc-trace` handle cached in a
+//! `OnceLock` so the hot path pays one relaxed atomic load — never a
+//! registry lookup.
+//!
+//! Counters are **always on** (a relaxed `fetch_add` at build/cache
+//! sites, which run once per query, not once per row); histograms record
+//! only when the engine's trace knob (`ARC_TRACE` /
+//! [`Engine::with_trace`](crate::eval::Engine::with_trace)) enables the
+//! clock reads that feed them. The full catalog, including the
+//! `plan.*`/`exec.*` metrics registered by `arc-plan`/`arc-exec`, is
+//! documented in the workspace README's Observability section.
+
+use arc_trace::{Counter, Histogram};
+use std::sync::OnceLock;
+
+macro_rules! counter_fn {
+    ($(#[$doc:meta])* $name:ident, $key:literal) => {
+        $(#[$doc])*
+        pub fn $name() -> Counter {
+            static C: OnceLock<Counter> = OnceLock::new();
+            *C.get_or_init(|| arc_trace::counter($key))
+        }
+    };
+}
+
+macro_rules! histogram_fn {
+    ($(#[$doc:meta])* $name:ident, $key:literal) => {
+        $(#[$doc])*
+        pub fn $name() -> Histogram {
+            static H: OnceLock<Histogram> = OnceLock::new();
+            *H.get_or_init(|| arc_trace::histogram($key))
+        }
+    };
+}
+
+counter_fn!(
+    /// `engine.index.hash.builds`: equi-join hash indexes built (cache
+    /// misses of the per-query index cache).
+    hash_builds,
+    "engine.index.hash.builds"
+);
+counter_fn!(
+    /// `engine.index.ordered.builds`: ordered secondary indexes built
+    /// (cache misses of the per-relation index cache).
+    ordered_builds,
+    "engine.index.ordered.builds"
+);
+counter_fn!(
+    /// `engine.index.range.rows`: rows surviving index-range binary
+    /// searches (before demoted post-filters).
+    index_range_rows,
+    "engine.index.range.rows"
+);
+counter_fn!(
+    /// `engine.index.range.dropped`: index-range survivors then dropped
+    /// by the demoted constant filters.
+    index_range_dropped,
+    "engine.index.range.dropped"
+);
+counter_fn!(
+    /// `engine.column.chunk_builds`: columnar chunk views encoded (cache
+    /// misses of the per-relation column cache).
+    chunk_builds,
+    "engine.column.chunk_builds"
+);
+counter_fn!(
+    /// `engine.selection.builds`: selection vectors computed (vectorized
+    /// constant-filter prefixes and/or index-range probes).
+    selection_builds,
+    "engine.selection.builds"
+);
+counter_fn!(
+    /// `engine.selection.cache_hits`: selection vectors served from the
+    /// per-query cache (correlated scopes re-entering a scan).
+    selection_cache_hits,
+    "engine.selection.cache_hits"
+);
+counter_fn!(
+    /// `engine.semijoin.builds`: decorrelated semi/anti-join key sets
+    /// built (once per evaluation, not once per outer row).
+    semi_builds,
+    "engine.semijoin.builds"
+);
+counter_fn!(
+    /// `engine.semijoin.probes`: outer rows answered by probing a built
+    /// key set.
+    semi_probes,
+    "engine.semijoin.probes"
+);
+counter_fn!(
+    /// `engine.semijoin.hits`: semi-join probes that found their key.
+    semi_hits,
+    "engine.semijoin.hits"
+);
+
+histogram_fn!(
+    /// `engine.index.hash.build`: wall time of hash-index builds.
+    hash_build_time,
+    "engine.index.hash.build"
+);
+histogram_fn!(
+    /// `engine.index.ordered.build`: wall time of ordered-index builds.
+    ordered_build_time,
+    "engine.index.ordered.build"
+);
+histogram_fn!(
+    /// `engine.column.encode`: wall time of columnar chunk encoding.
+    chunk_encode_time,
+    "engine.column.encode"
+);
+histogram_fn!(
+    /// `engine.selection.build`: wall time of selection-vector builds.
+    selection_build_time,
+    "engine.selection.build"
+);
+histogram_fn!(
+    /// `engine.semijoin.build`: wall time of semi-join key-set builds.
+    semi_build_time,
+    "engine.semijoin.build"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_stable_and_registered() {
+        // Same handle on every call (the OnceLock), and the snapshot
+        // carries the registered name once touched.
+        hash_builds().add(0);
+        semi_build_time();
+        let snap = arc_trace::snapshot();
+        assert!(snap.counters.contains_key("engine.index.hash.builds"));
+        assert!(snap.histograms.contains_key("engine.semijoin.build"));
+    }
+}

@@ -133,7 +133,10 @@ impl Relation {
                 return Arc::clone(set);
             }
         }
+        let start = arc_trace::maybe_now();
         let set = Arc::new(ColumnSet::encode(self.schema.len(), &self.rows));
+        crate::metrics::chunk_builds().inc();
+        arc_trace::record_since(crate::metrics::chunk_encode_time(), start);
         *cached = Some(Arc::clone(&set));
         set
     }
@@ -152,7 +155,10 @@ impl Relation {
                 return Arc::clone(idx);
             }
         }
+        let start = arc_trace::maybe_now();
         let idx = Arc::new(crate::eval::index::OrderedIndex::build(&self.rows, cols));
+        crate::metrics::ordered_builds().inc();
+        arc_trace::record_since(crate::metrics::ordered_build_time(), start);
         cached.insert(cols.to_vec(), Arc::clone(&idx));
         idx
     }

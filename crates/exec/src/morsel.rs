@@ -99,6 +99,9 @@ where
     if n == 0 {
         return Vec::new();
     }
+    // Registry accounting: every executed morsel counts (per-worker
+    // lane attribution is the host's job — it owns the worker state).
+    morsels_counter().add(n as u64);
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
     pool.broadcast(parallelism.min(n).max(1), &|| {
@@ -120,6 +123,12 @@ where
                 .expect("barrier guarantees every morsel ran")
         })
         .collect()
+}
+
+/// The `exec.morsels` registry counter: morsels executed process-wide.
+fn morsels_counter() -> arc_trace::Counter {
+    static C: std::sync::OnceLock<arc_trace::Counter> = std::sync::OnceLock::new();
+    *C.get_or_init(|| arc_trace::counter("exec.morsels"))
 }
 
 #[cfg(test)]

@@ -41,9 +41,10 @@ struct Shared {
 /// A persistent pool of worker threads executing queued jobs.
 pub struct WorkerPool {
     shared: Arc<Shared>,
-    /// Worker threads spawned so far (the pool grows on demand and never
-    /// shrinks; parked workers cost one blocked OS thread each).
-    spawned: Mutex<usize>,
+    /// Join handles of the worker threads spawned so far (the pool grows
+    /// on demand and never shrinks; parked workers cost one blocked OS
+    /// thread each). [`WorkerPool::shutdown`] drains and joins these.
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 impl WorkerPool {
@@ -56,7 +57,7 @@ impl WorkerPool {
                 available: Condvar::new(),
                 closed: std::sync::atomic::AtomicBool::new(false),
             }),
-            spawned: Mutex::new(0),
+            handles: Mutex::new(Vec::new()),
         };
         pool.ensure_workers(workers);
         pool
@@ -72,20 +73,54 @@ impl WorkerPool {
 
     /// Spawn workers until at least `n` exist.
     pub fn ensure_workers(&self, n: usize) {
-        let mut spawned = self.spawned.lock().expect("pool mutex");
-        while *spawned < n {
+        let mut handles = self.handles.lock().expect("pool mutex");
+        while handles.len() < n {
             let shared = self.shared.clone();
-            std::thread::Builder::new()
-                .name(format!("arc-exec-{spawned}"))
+            let handle = std::thread::Builder::new()
+                .name(format!("arc-exec-{}", handles.len()))
                 .spawn(move || worker_loop(shared))
                 .expect("spawn arc-exec worker");
-            *spawned += 1;
+            handles.push(handle);
         }
     }
 
     /// Number of worker threads currently spawned.
     pub fn workers(&self) -> usize {
-        *self.spawned.lock().expect("pool mutex")
+        self.handles.lock().expect("pool mutex").len()
+    }
+
+    /// Close the pool and **join** every worker thread: signal shutdown,
+    /// wake parked workers, then block (parked in `JoinHandle::join`, no
+    /// polling) until each has exited. In-flight jobs complete first —
+    /// workers only exit on an empty queue. Idempotent; called by `Drop`.
+    ///
+    /// The wait is recorded in the registry (`exec.pool.shutdowns`
+    /// counter; `exec.pool.shutdown_wait` duration histogram when tracing
+    /// is enabled), so a pool whose teardown stalls shows up in the
+    /// metrics instead of silently eating process-exit time.
+    pub fn shutdown(&self) {
+        let handles: Vec<_> = {
+            let mut handles = self.handles.lock().expect("pool mutex");
+            if handles.is_empty() {
+                return;
+            }
+            std::mem::take(&mut *handles)
+        };
+        self.shared
+            .closed
+            .store(true, std::sync::atomic::Ordering::SeqCst);
+        {
+            let _guard = self.shared.queue.lock().expect("pool mutex");
+            self.shared.available.notify_all();
+        }
+        let start = arc_trace::maybe_now();
+        for handle in handles {
+            // A worker that panicked already reported through its job's
+            // completion channel; the thread itself has nothing to add.
+            let _ = handle.join();
+        }
+        shutdowns_counter().inc();
+        arc_trace::record_since(shutdown_wait_histogram(), start);
     }
 
     /// Run `task` `parallelism` times concurrently — once inline on the
@@ -166,18 +201,30 @@ impl WorkerPool {
 }
 
 impl Drop for WorkerPool {
-    /// Wake every worker and let it exit once the queue is drained. The
+    /// [`WorkerPool::shutdown`]: close the pool and join its workers. The
     /// global pool lives in a `static` and is never dropped; this exists
     /// so ad-hoc pools (`WorkerPool::new`) cannot leak parked threads
     /// for the rest of the process. In-flight `broadcast` jobs still
-    /// complete: workers only exit on an *empty* queue.
+    /// complete: workers only exit on an *empty* queue, and `Drop` waits
+    /// for the exits instead of firing and forgetting (the old
+    /// notify-and-hope teardown left tests busy-polling `strong_count`
+    /// for up to 5 seconds).
     fn drop(&mut self) {
-        self.shared
-            .closed
-            .store(true, std::sync::atomic::Ordering::SeqCst);
-        let _guard = self.shared.queue.lock().expect("pool mutex");
-        self.shared.available.notify_all();
+        self.shutdown();
     }
+}
+
+/// The `exec.pool.shutdowns` registry counter.
+fn shutdowns_counter() -> arc_trace::Counter {
+    static C: OnceLock<arc_trace::Counter> = OnceLock::new();
+    *C.get_or_init(|| arc_trace::counter("exec.pool.shutdowns"))
+}
+
+/// The `exec.pool.shutdown_wait` registry histogram (time spent joining
+/// workers at pool teardown).
+fn shutdown_wait_histogram() -> arc_trace::Histogram {
+    static H: OnceLock<arc_trace::Histogram> = OnceLock::new();
+    *H.get_or_init(|| arc_trace::histogram("exec.pool.shutdown_wait"))
 }
 
 fn worker_loop(shared: Arc<Shared>) {
@@ -275,14 +322,38 @@ mod tests {
             hits.fetch_add(1, Ordering::SeqCst);
         });
         let shared = Arc::downgrade(&pool.shared);
+        let before = arc_trace::snapshot();
         drop(pool);
-        // Workers exit once woken with a closed flag and an empty queue,
-        // dropping their Arc<Shared> clones.
-        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
-        while shared.strong_count() > 0 && std::time::Instant::now() < deadline {
-            std::thread::yield_now();
-        }
+        // Drop joins the workers, so by the time it returns every worker
+        // has exited and dropped its Arc<Shared> clone — no polling.
         assert_eq!(shared.strong_count(), 0, "worker threads did not exit");
+        // The teardown is a recorded pool metric.
+        let delta = arc_trace::snapshot().diff(&before);
+        assert!(
+            delta.counter("exec.pool.shutdowns") >= 1,
+            "shutdown must count itself"
+        );
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_records_wait_when_tracing() {
+        let was = arc_trace::enabled();
+        arc_trace::set_enabled(true);
+        let before = arc_trace::snapshot();
+        let pool = WorkerPool::new(2);
+        pool.shutdown();
+        assert_eq!(pool.workers(), 0, "shutdown drains the handle list");
+        pool.shutdown(); // second call: nothing left to join, no double count
+                         // Concurrent tests drop pools of their own, so the process-global
+                         // delta is a lower bound, never an exact count.
+        let delta = arc_trace::snapshot().diff(&before);
+        arc_trace::set_enabled(was);
+        assert!(delta.counter("exec.pool.shutdowns") >= 1);
+        assert!(delta.hist("exec.pool.shutdown_wait").count >= 1);
+        // A closed pool can still be re-grown and used (ensure_workers
+        // spawns fresh threads... they would exit immediately with the
+        // closed flag set, so broadcast falls back to inline stealing).
+        drop(pool);
     }
 
     #[test]

@@ -43,7 +43,6 @@ use crate::scope::{OuterScope, ScopeSpec, SourceSpec};
 use arc_core::ast::{AggArg, BindingSource, Collection, Formula, JoinTree, Predicate, Scalar};
 use arc_core::value::Value;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Bound on global cache entries; on overflow the cache is cleared
@@ -435,8 +434,20 @@ pub struct PlanKey {
 // ---------------------------------------------------------------------------
 
 static GLOBAL: OnceLock<Mutex<HashMap<PlanKey, Arc<ScopePlan>>>> = OnceLock::new();
-static HITS: AtomicU64 = AtomicU64::new(0);
-static MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Hit/miss counters live in the `arc-trace` registry (`plan.cache.hit`
+/// / `plan.cache.miss`) so `arc_trace::snapshot()` diffs cover them
+/// alongside every other engine metric; [`global_stats`] reads the same
+/// counters for the legacy API.
+fn hit_counter() -> arc_trace::Counter {
+    static C: OnceLock<arc_trace::Counter> = OnceLock::new();
+    *C.get_or_init(|| arc_trace::counter("plan.cache.hit"))
+}
+
+fn miss_counter() -> arc_trace::Counter {
+    static C: OnceLock<arc_trace::Counter> = OnceLock::new();
+    *C.get_or_init(|| arc_trace::counter("plan.cache.miss"))
+}
 
 fn global() -> &'static Mutex<HashMap<PlanKey, Arc<ScopePlan>>> {
     GLOBAL.get_or_init(|| Mutex::new(HashMap::new()))
@@ -447,11 +458,11 @@ pub fn global_lookup(key: &PlanKey) -> Option<Arc<ScopePlan>> {
     let found = global().lock().expect("plan cache").get(key).cloned();
     match found {
         Some(plan) => {
-            HITS.fetch_add(1, Ordering::Relaxed);
+            hit_counter().inc();
             Some(plan)
         }
         None => {
-            MISSES.fetch_add(1, Ordering::Relaxed);
+            miss_counter().inc();
             None
         }
     }
@@ -477,11 +488,12 @@ pub struct CacheStats {
     pub entries: usize,
 }
 
-/// Snapshot the global cache counters.
+/// Snapshot the global cache counters (the `plan.cache.hit` /
+/// `plan.cache.miss` registry counters plus the live entry count).
 pub fn global_stats() -> CacheStats {
     CacheStats {
-        hits: HITS.load(Ordering::Relaxed),
-        misses: MISSES.load(Ordering::Relaxed),
+        hits: hit_counter().get(),
+        misses: miss_counter().get(),
         entries: global().lock().expect("plan cache").len(),
     }
 }

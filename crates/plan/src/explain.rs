@@ -1,13 +1,26 @@
-//! Textual `EXPLAIN`: render a [`PlanNode`] tree as an indented operator
-//! listing.
+//! Textual `EXPLAIN` / `EXPLAIN ANALYZE`: render a [`PlanNode`] tree as
+//! an indented operator listing.
 //!
 //! The format is deliberately plain and stable (golden-tested): one
 //! operator per line, two-space indentation per level, steps of a scope
 //! numbered in execution order. A future diagram backend (higraph) walks
 //! the same [`PlanNode`] tree instead of this renderer.
+//!
+//! [`render_analyze`] is the same tree annotated with **actuals** from an
+//! `arc-trace` execution profile: per operator, `act=N (est=N, q=X.X)` —
+//! the actual output cardinality against the planner's estimate and
+//! their **q-error** `max(est/act, act/est)` (both sides clamped to ≥ 1
+//! row; `q = 1.0` is a perfect estimate) — plus invocation counts,
+//! candidate-row counts, and wall time where the engine recorded them.
 
 use crate::query::PlanNode;
+use arc_trace::{OpId, OpStats};
 use std::fmt::Write as _;
+
+/// Per-operator actuals source for [`render_analyze`]: maps a stable
+/// operator id to what execution recorded for it, or `None` when the
+/// operator never ran (its line renders estimate-only).
+pub type Actuals<'x> = &'x dyn Fn(OpId) -> Option<OpStats>;
 
 /// Render a plan tree as indented text (trailing newline included).
 pub fn render(node: &PlanNode) -> String {
@@ -21,8 +34,44 @@ pub fn render(node: &PlanNode) -> String {
 /// [`render`] (sequential engines show sequential plans).
 pub fn render_with_threads(node: &PlanNode, threads: usize) -> String {
     let mut out = String::new();
-    render_into(node, 0, threads, &mut out);
+    render_into(node, 0, threads, None, &mut out);
     out
+}
+
+/// Render a plan tree annotated with execution actuals (`EXPLAIN
+/// ANALYZE`). Operators the profile has no record of render exactly as
+/// in [`render_with_threads`], so `render_analyze(n, t, &|_| None)`
+/// degrades to the plain rendering.
+pub fn render_analyze(node: &PlanNode, threads: usize, actuals: Actuals<'_>) -> String {
+    let mut out = String::new();
+    render_into(node, 0, threads, Some(actuals), &mut out);
+    out
+}
+
+/// The q-error of an estimate: `max(est/act, act/est)` with both sides
+/// clamped to ≥ 1 row (the standard convention — emptiness collapses the
+/// ratio, and sub-row estimates are noise). `est` is the planner's
+/// per-upstream-environment estimate, so the actual is normalized by the
+/// operator's invocation count before comparing.
+pub fn q_error(est: u64, rows_out: u64, calls: u64) -> f64 {
+    let est = (est as f64).max(1.0);
+    let per_call = if calls == 0 {
+        rows_out as f64
+    } else {
+        rows_out as f64 / calls as f64
+    }
+    .max(1.0);
+    (est / per_call).max(per_call / est)
+}
+
+fn fmt_nanos(nanos: u64) -> String {
+    if nanos >= 1_000_000 {
+        format!("{:.1}ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.1}µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos}ns")
+    }
 }
 
 fn line(out: &mut String, depth: usize, text: &str) {
@@ -33,32 +82,38 @@ fn line(out: &mut String, depth: usize, text: &str) {
     out.push('\n');
 }
 
-fn render_into(node: &PlanNode, depth: usize, threads: usize, out: &mut String) {
+fn render_into(
+    node: &PlanNode,
+    depth: usize,
+    threads: usize,
+    actuals: Option<Actuals<'_>>,
+    out: &mut String,
+) {
     match node {
         PlanNode::Program { definitions, query } => {
             line(out, depth, "program");
             for d in definitions {
-                render_into(d, depth + 1, threads, out);
+                render_into(d, depth + 1, threads, actuals, out);
             }
             if let Some(q) = query {
                 line(out, depth + 1, "query");
-                render_into(q, depth + 2, threads, out);
+                render_into(q, depth + 2, threads, actuals, out);
             }
         }
         PlanNode::Fixpoint { relations, inputs } => {
             line(out, depth, &format!("fixpoint [{}]", relations.join(", ")));
             for i in inputs {
-                render_into(i, depth + 1, threads, out);
+                render_into(i, depth + 1, threads, actuals, out);
             }
         }
         PlanNode::Project { head, attrs, input } => {
             line(out, depth, &format!("project {head}({})", attrs.join(", ")));
-            render_into(input, depth + 1, threads, out);
+            render_into(input, depth + 1, threads, actuals, out);
         }
         PlanNode::Union { inputs } => {
             line(out, depth, "union");
             for i in inputs {
-                render_into(i, depth + 1, threads, out);
+                render_into(i, depth + 1, threads, actuals, out);
             }
         }
         PlanNode::Aggregate {
@@ -79,16 +134,24 @@ fn render_into(node: &PlanNode, depth: usize, threads: usize, out: &mut String) 
             for t in tests {
                 line(out, depth + 1, &format!("having: {t}"));
             }
-            render_into(input, depth + 1, threads, out);
+            render_into(input, depth + 1, threads, actuals, out);
         }
         PlanNode::Scope {
+            scope_id,
             steps,
             prelude,
             residual,
             assigns,
             children,
         } => {
-            line(out, depth, "scope");
+            let mut text = String::from("scope");
+            if let Some(s) = actuals.and_then(|a| a(OpId::scope(*scope_id))) {
+                let _ = write!(text, " act={} calls={}", s.rows_out, s.calls);
+                if s.nanos > 0 {
+                    let _ = write!(text, " time={}", fmt_nanos(s.nanos));
+                }
+            }
+            line(out, depth, &text);
             for p in prelude {
                 line(out, depth + 1, &format!("prelude: {p}"));
             }
@@ -105,7 +168,28 @@ fn render_into(node: &PlanNode, depth: usize, threads: usize, out: &mut String) 
                     s.source,
                     s.var
                 );
-                let _ = write!(text, " (est={})", s.est);
+                match actuals.and_then(|a| a(OpId::step(*scope_id, i))) {
+                    Some(a) => {
+                        let q = q_error(s.est, a.rows_out, a.calls);
+                        let _ = write!(
+                            text,
+                            " act={} (est={}, q={:.1}) calls={}",
+                            a.rows_out, s.est, q, a.calls
+                        );
+                        if a.rows_in != a.rows_out {
+                            // Candidates the access path yielded vs rows
+                            // surviving pushed filters — e.g. index-range
+                            // survivors vs post-filter drops.
+                            let _ = write!(text, " in={}", a.rows_in);
+                        }
+                        if a.nanos > 0 {
+                            let _ = write!(text, " time={}", fmt_nanos(a.nanos));
+                        }
+                    }
+                    None => {
+                        let _ = write!(text, " (est={})", s.est);
+                    }
+                }
                 line(out, depth + 1, &text);
                 for f in &s.pushed {
                     line(out, depth + 2, &format!("filter: {f}"));
@@ -119,10 +203,11 @@ fn render_into(node: &PlanNode, depth: usize, threads: usize, out: &mut String) 
             }
             for c in children {
                 line(out, depth + 1, &format!("[{}]", c.label));
-                render_into(&c.plan, depth + 2, threads, out);
+                render_into(&c.plan, depth + 2, threads, actuals, out);
             }
         }
         PlanNode::SemiJoin {
+            scope_id,
             anti,
             keys,
             prelude,
@@ -137,12 +222,32 @@ fn render_into(node: &PlanNode, depth: usize, threads: usize, out: &mut String) 
             } else {
                 format!("[{}]", keys.join(", "))
             };
-            line(out, depth, &format!("{op} on {on} (est={est_keys})"));
+            let mut text = format!("{op} on {on}");
+            match actuals.and_then(|a| a(OpId::semi(*scope_id))) {
+                // Probe-side actuals live on the scope-level operator:
+                // `rows_in` = keys in the build set, `calls` = probes,
+                // `rows_out` = probe hits, `nanos` = build time.
+                Some(a) => {
+                    let q = q_error(*est_keys, a.rows_in, 1);
+                    let _ = write!(
+                        text,
+                        " act={} (est={}, q={:.1}) probes={} hits={}",
+                        a.rows_in, est_keys, q, a.calls, a.rows_out
+                    );
+                    if a.nanos > 0 {
+                        let _ = write!(text, " build={}", fmt_nanos(a.nanos));
+                    }
+                }
+                None => {
+                    let _ = write!(text, " (est={est_keys})");
+                }
+            }
+            line(out, depth, &text);
             for p in prelude {
                 line(out, depth + 1, &format!("probe-filter: {p}"));
             }
             line(out, depth + 1, "build (once)");
-            render_into(build, depth + 2, threads, out);
+            render_into(build, depth + 2, threads, actuals, out);
         }
         PlanNode::OuterJoin {
             tree,
@@ -157,5 +262,22 @@ fn render_into(node: &PlanNode, depth: usize, threads: usize, out: &mut String) 
                 line(out, depth + 1, &format!("emit: {a}"));
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q_error_clamps_and_is_symmetric() {
+        assert_eq!(q_error(10, 10, 1), 1.0);
+        assert_eq!(q_error(10, 1, 1), 10.0);
+        assert_eq!(q_error(1, 10, 1), 10.0);
+        // Per-call normalization: 40 rows over 4 calls against est=10.
+        assert_eq!(q_error(10, 40, 4), 1.0);
+        // Emptiness clamps to one row instead of collapsing the ratio.
+        assert_eq!(q_error(5, 0, 1), 5.0);
+        assert_eq!(q_error(0, 0, 0), 1.0);
     }
 }

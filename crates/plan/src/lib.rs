@@ -54,7 +54,7 @@ pub mod scope;
 
 pub use cache::{formula_hash, program_hash, PlanKey};
 pub use estimator::TableStatsEstimator;
-pub use explain::{render, render_with_threads};
+pub use explain::{q_error, render, render_analyze, render_with_threads, Actuals};
 pub use logical::const_cmp;
 pub use normalize::{normalize_collection, normalize_formula};
 pub use physical::{
@@ -63,8 +63,8 @@ pub use physical::{
     PARALLEL_MIN_ROWS,
 };
 pub use query::{
-    lower_collection, lower_collection_opts, lower_program, lower_program_opts, LowerError,
-    PlanNode, ResolvedSource, SourceKind, SourceResolver,
+    lower_collection, lower_collection_opts, lower_program, lower_program_opts, scope_identity,
+    LowerError, PlanNode, ResolvedSource, SourceKind, SourceResolver,
 };
 pub use scope::{
     BindingSpec, DistinctEstimator, NoOuter, OuterScope, PlanError, ScopeSpec, SourceSpec,

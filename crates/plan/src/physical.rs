@@ -267,20 +267,25 @@ struct Candidate {
     cost: f64,
 }
 
-/// Count of actual planning runs since process start (cache hits do not
-/// plan, so the delta across a workload measures cache effectiveness —
-/// the engine's plan-cache tests assert correlated scopes plan O(1)
-/// times, not once per outer row).
-static PLANNER_RUNS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+/// The `plan.runs` registry counter: actual planning runs since process
+/// start (cache hits do not plan, so the delta across a workload measures
+/// cache effectiveness — the engine's plan-cache tests assert correlated
+/// scopes plan O(1) times, not once per outer row). Consolidated into the
+/// `arc-trace` registry so `arc_trace::snapshot()` diffs cover it.
+fn runs_counter() -> arc_trace::Counter {
+    static C: std::sync::OnceLock<arc_trace::Counter> = std::sync::OnceLock::new();
+    *C.get_or_init(|| arc_trace::counter("plan.runs"))
+}
 
-/// Total [`plan_scope`] invocations so far in this process.
+/// Total [`plan_scope`] invocations so far in this process (the
+/// `plan.runs` registry counter).
 pub fn planner_runs() -> u64 {
-    PLANNER_RUNS.load(std::sync::atomic::Ordering::Relaxed)
+    runs_counter().get()
 }
 
 /// Plan one quantifier scope. See the module docs for the pass pipeline.
 pub fn plan_scope(spec: &ScopeSpec<'_>, mode: PlanMode) -> Result<ScopePlan, PlanError> {
-    PLANNER_RUNS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    runs_counter().inc();
     plan_scope_impl(spec, mode, &[])
 }
 
@@ -292,7 +297,7 @@ pub fn plan_scope(spec: &ScopeSpec<'_>, mode: PlanMode) -> Result<ScopePlan, Pla
 /// force modes, non-equi correlation, placements that need the outer
 /// environment — falls back to the ordinary [`plan_scope`] result.
 pub fn plan_scope_boolean(spec: &ScopeSpec<'_>, mode: PlanMode) -> Result<ScopePlan, PlanError> {
-    PLANNER_RUNS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    runs_counter().inc();
     if mode == PlanMode::Auto {
         if let Some(plan) = try_decorrelate(spec) {
             return Ok(plan);

@@ -138,6 +138,13 @@ pub enum PlanNode {
     },
     /// A planned quantifier scope: an ordered join pipeline.
     Scope {
+        /// Stable operator id: the address of the scope's binding list in
+        /// the source AST — the same identity the engine's per-query plan
+        /// cache keys on, so a profile gathered while *executing* the AST
+        /// joins back to the plan lowered from it (see
+        /// [`crate::explain::render_analyze`]). `0` for synthesized
+        /// scopes with no bindings.
+        scope_id: usize,
         /// Pipeline steps in execution order.
         steps: Vec<StepNode>,
         /// Filters evaluated before the first step (outer-only), rendered.
@@ -154,6 +161,10 @@ pub enum PlanNode {
     /// every outer row in O(1) (see
     /// [`plan_scope_boolean`](crate::physical::plan_scope_boolean)).
     SemiJoin {
+        /// Stable operator id of the underlying scope (see
+        /// [`PlanNode::Scope::scope_id`]); probe-side actuals are
+        /// recorded under it.
+        scope_id: usize,
         /// `true` for `anti-join ¬∃`, `false` for `semi-join ∃`.
         anti: bool,
         /// The correlated equality filters forming the key, rendered.
@@ -190,6 +201,22 @@ pub enum PlanNode {
         /// The final query plan, when present.
         query: Option<Box<PlanNode>>,
     },
+}
+
+/// Stable lowering-time id of a quantifier scope: the address of its
+/// binding list in the source AST. The engine keys its per-query plan
+/// cache, its decorrelation bail-out set, and its execution profile on
+/// the same address, so actuals recorded while evaluating a `Collection`
+/// join back to the plan lowered from that same `Collection`.
+/// Zero-binding scopes (predicate-only bodies) get id `0`: an empty
+/// `Vec`'s dangling pointer is shared across all empty vectors, so it
+/// cannot identify anything.
+pub fn scope_identity(q: &Quant) -> usize {
+    if q.bindings.is_empty() {
+        0
+    } else {
+        q.bindings.as_ptr() as usize
+    }
 }
 
 /// Lexical scope stack used while lowering (an [`OuterScope`] for
@@ -579,6 +606,7 @@ fn lower_quant(
         let scope = render_scope(q, &parts, &plan, head, &resolved);
         match &plan.decorrelation {
             Some(dec) => PlanNode::SemiJoin {
+                scope_id: scope_identity(q),
                 anti: bool_role.unwrap_or(false),
                 keys: dec
                     .keys
@@ -663,6 +691,7 @@ fn lower_quant(
 fn attach_children(node: PlanNode, mut new_children: Vec<ChildPlan>) -> PlanNode {
     match node {
         PlanNode::Scope {
+            scope_id,
             steps,
             prelude,
             residual,
@@ -671,6 +700,7 @@ fn attach_children(node: PlanNode, mut new_children: Vec<ChildPlan>) -> PlanNode
         } => {
             children.append(&mut new_children);
             PlanNode::Scope {
+                scope_id,
                 steps,
                 prelude,
                 residual,
@@ -681,12 +711,14 @@ fn attach_children(node: PlanNode, mut new_children: Vec<ChildPlan>) -> PlanNode
         // Decorrelated scopes carry their children (laterals, nested
         // subformulas) on the build pipeline.
         PlanNode::SemiJoin {
+            scope_id,
             anti,
             keys,
             prelude,
             est_keys,
             build,
         } => PlanNode::SemiJoin {
+            scope_id,
             anti,
             keys,
             prelude,
@@ -866,6 +898,7 @@ fn render_scope(
         })
         .collect();
     PlanNode::Scope {
+        scope_id: scope_identity(q),
         steps,
         prelude: plan.prelude_filters.iter().map(render_filter).collect(),
         residual: plan.leaf_filters.iter().map(render_filter).collect(),

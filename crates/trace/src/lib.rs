@@ -1,0 +1,81 @@
+//! # arc-trace — runtime introspection for ARC
+//!
+//! PR 2's `EXPLAIN` renders what the planner *intends* (`est=N` per
+//! operator); this crate records what execution *actually did*. It is the
+//! repo's first cross-cutting observability layer and has two halves:
+//!
+//! * [`registry`] — a process-wide metrics registry of **named monotonic
+//!   counters** and **duration histograms**. Counters are plain relaxed
+//!   atomics and always on (they are how the workspace's counter-delta
+//!   tests observe planner/cache/semi-join behavior); the *expensive*
+//!   instrumentation — reading clocks — hides behind a single
+//!   `AtomicBool` load ([`enabled`]), so `ARC_TRACE=off` (the default)
+//!   costs one branch per timed region.
+//! * [`profile`] — **per-query execution profiles**: per-operator actual
+//!   input/output rows, invocation counts and wall time, keyed by the
+//!   stable operator ids that `arc-plan` assigns at lowering time, plus
+//!   per-worker busy/morsel accounting from `arc-exec`. The engine's
+//!   `explain_analyze_*` renders these against the planner's estimates
+//!   as `act=N (est=N, q=X.X)` q-error annotations.
+//!
+//! The crate depends only on `arc-core` (for [`arc_core::json`]
+//! serialization of snapshots and profiles) and sits below `arc-plan`,
+//! `arc-exec`, and `arc-engine` in the workspace dependency order.
+
+#![warn(missing_docs)]
+
+pub mod profile;
+pub mod registry;
+
+pub use profile::{OpId, OpStats, ProfileSink, QueryProfile, WorkerLane};
+pub use registry::{
+    counter, enabled, histogram, maybe_now, record_since, reset, set_enabled, snapshot, Counter,
+    Histogram, Snapshot,
+};
+
+/// Interpret an `ARC_TRACE` environment value. Unlike the engine's other
+/// knobs, the default is **off**: tracing is opt-in, so the untraced hot
+/// path pays only the [`enabled`] atomic-load guard.
+///
+/// This is the pure core (unit-testable without touching the process
+/// environment, which is racy under parallel tests); the engine wraps it
+/// in `trace_from_env`, surfacing a malformed value as a deferred config
+/// error on first evaluation, exactly like `ARC_PLAN`/`ARC_VECTOR`.
+pub fn parse_trace(value: Option<&str>) -> Result<bool, String> {
+    match value.map(|v| v.to_lowercase().replace('_', "-")) {
+        None => Ok(false),
+        Some(v) => match v.as_str() {
+            "on" | "1" | "true" | "auto" => Ok(true),
+            "" | "off" | "0" | "false" | "no" => Ok(false),
+            other => Err(format!(
+                "unknown ARC_TRACE `{other}` (expected `on` or `off`)"
+            )),
+        },
+    }
+}
+
+/// [`parse_trace`] over the live `ARC_TRACE` environment variable.
+/// Returns the descriptive error string for the caller to wrap in its own
+/// config-error type.
+pub fn trace_env() -> Result<bool, String> {
+    parse_trace(std::env::var("ARC_TRACE").ok().as_deref())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_defaults_off_and_parses_like_the_other_knobs() {
+        assert_eq!(parse_trace(None), Ok(false));
+        assert_eq!(parse_trace(Some("")), Ok(false));
+        assert_eq!(parse_trace(Some("on")), Ok(true));
+        assert_eq!(parse_trace(Some("1")), Ok(true));
+        assert_eq!(parse_trace(Some("TRUE")), Ok(true));
+        assert_eq!(parse_trace(Some("off")), Ok(false));
+        assert_eq!(parse_trace(Some("0")), Ok(false));
+        let err = parse_trace(Some("nope")).unwrap_err();
+        assert!(err.contains("nope"), "{err}");
+        assert!(err.contains("ARC_TRACE"), "{err}");
+    }
+}

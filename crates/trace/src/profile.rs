@@ -1,0 +1,313 @@
+//! Per-query execution profiles: what each plan operator *actually did*.
+//!
+//! `arc-plan` assigns every quantifier scope a **stable operator id** at
+//! lowering time (the address of its binding slice — the same key the
+//! engine's per-query plan cache and the decorrelation bail-out set
+//! already use), and every join step inside a scope is identified by its
+//! plan-order position. The engine threads a [`ProfileSink`] through its
+//! evaluation context and through `arc-exec` worker seeds; each
+//! enumeration call accumulates a local tally (plain integers, no
+//! locking) and folds it into the sink **once per call / once per
+//! morsel**, so the shared `Mutex` is touched at gather granularity, not
+//! per row. Merging is commutative addition, which is why a profile
+//! gathered across four workers equals the sequential one.
+//!
+//! The profile is intentionally engine-agnostic: ids, row counts, call
+//! counts, nanoseconds. `arc-plan`'s analyze renderer joins it back to
+//! the plan tree to print `act=N (est=N, q=X.X)` per operator.
+
+use arc_core::json::Json;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Stable identity of a profiled operator.
+///
+/// `scope` is the lowering-time scope id (binding-slice address). `step`
+/// is `None` for the scope as a whole (its output = rows surviving every
+/// binding and leaf filter) and `Some(i)` for the *i*-th join step in
+/// **plan order** (the order EXPLAIN prints).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpId {
+    /// Lowering-time scope id.
+    pub scope: usize,
+    /// Plan-order step position within the scope, or `None` for the
+    /// scope-level aggregate.
+    pub step: Option<usize>,
+}
+
+impl OpId {
+    /// The scope-level operator of scope `scope`.
+    pub fn scope(scope: usize) -> OpId {
+        OpId { scope, step: None }
+    }
+
+    /// Step `step` (plan order) of scope `scope`.
+    pub fn step(scope: usize, step: usize) -> OpId {
+        OpId {
+            scope,
+            step: Some(step),
+        }
+    }
+
+    /// The semi/anti-join probe operator of scope `scope` (pseudo-step
+    /// `usize::MAX`, which no plan can reach): kept distinct from
+    /// [`OpId::scope`] so the probe-side actuals (`calls` = probes,
+    /// `rows_in` = built keys, `rows_out` = hits, `nanos` = build time)
+    /// never collide with the build pipeline's own scope-level stats —
+    /// both derive from the same binding list, hence share `scope`.
+    pub fn semi(scope: usize) -> OpId {
+        OpId {
+            scope,
+            step: Some(usize::MAX),
+        }
+    }
+}
+
+/// Accumulated actuals for one operator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpStats {
+    /// Invocations: for a step, the number of upstream environments that
+    /// entered it (= its actual input rows); for a scope, the number of
+    /// times the scope was enumerated (1 for a top-level scope, once per
+    /// outer row for a correlated one).
+    pub calls: u64,
+    /// Rows the operator's access path yielded *before* its pushed-down
+    /// filters (candidates: hash-bucket entries, index-range survivors,
+    /// scanned rows).
+    pub rows_in: u64,
+    /// Rows the operator emitted downstream (after pushed filters; for a
+    /// scope, rows that survived the leaf — its actual output).
+    pub rows_out: u64,
+    /// Wall time attributed to the operator, in nanoseconds (zero unless
+    /// tracing is enabled; scope-level time is inclusive of its steps and
+    /// sums worker-local busy time when partitioned).
+    pub nanos: u64,
+}
+
+impl OpStats {
+    /// Fold `other` into `self` (commutative, associative — worker-merge
+    /// order cannot matter).
+    pub fn merge(&mut self, other: &OpStats) {
+        self.calls += other.calls;
+        self.rows_in += other.rows_in;
+        self.rows_out += other.rows_out;
+        self.nanos += other.nanos;
+    }
+}
+
+/// Per-worker accounting from the morsel executor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerLane {
+    /// Morsels this worker lane executed.
+    pub morsels: u64,
+    /// Wall time this lane spent executing morsels, in nanoseconds (zero
+    /// unless tracing is enabled).
+    pub busy_nanos: u64,
+}
+
+/// A complete per-query execution profile.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryProfile {
+    /// Actuals per operator.
+    pub ops: BTreeMap<OpId, OpStats>,
+    /// Per-worker-lane accounting (index = lane id; lane 0 is the
+    /// coordinator on the sequential path).
+    pub workers: Vec<WorkerLane>,
+}
+
+impl QueryProfile {
+    /// Actuals for `id`, if the operator ran.
+    pub fn op(&self, id: OpId) -> Option<&OpStats> {
+        self.ops.get(&id)
+    }
+
+    /// Fold `other` into `self`.
+    pub fn merge(&mut self, other: &QueryProfile) {
+        for (id, stats) in &other.ops {
+            self.ops.entry(*id).or_default().merge(stats);
+        }
+        if self.workers.len() < other.workers.len() {
+            self.workers
+                .resize(other.workers.len(), WorkerLane::default());
+        }
+        for (lane, w) in other.workers.iter().enumerate() {
+            self.workers[lane].morsels += w.morsels;
+            self.workers[lane].busy_nanos += w.busy_nanos;
+        }
+    }
+
+    /// Serialize as a canonical JSON object. Operator ids are rendered as
+    /// `"scope/step"` strings (`"140231.../2"`, `"140231.../-"` for the
+    /// scope level) — stable within a process run, which is what bench
+    /// output needs.
+    pub fn to_json(&self) -> Json {
+        let ops = Json::Obj(
+            self.ops
+                .iter()
+                .map(|(id, s)| {
+                    let key = match id.step {
+                        Some(i) => format!("{}/{}", id.scope, i),
+                        None => format!("{}/-", id.scope),
+                    };
+                    (
+                        key,
+                        Json::obj([
+                            ("calls", Json::Int(s.calls as i64)),
+                            ("rows_in", Json::Int(s.rows_in as i64)),
+                            ("rows_out", Json::Int(s.rows_out as i64)),
+                            ("nanos", Json::Int(s.nanos as i64)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        let workers = Json::Arr(
+            self.workers
+                .iter()
+                .map(|w| {
+                    Json::obj([
+                        ("morsels", Json::Int(w.morsels as i64)),
+                        ("busy_nanos", Json::Int(w.busy_nanos as i64)),
+                    ])
+                })
+                .collect(),
+        );
+        Json::obj([("ops", ops), ("workers", workers)])
+    }
+}
+
+/// Shared, cloneable handle to a query profile under construction.
+///
+/// Cloning shares the underlying profile (it is an `Arc`); the engine's
+/// worker seeds clone the coordinator's sink so morsel tallies from every
+/// worker merge into one profile at gather time.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileSink(Arc<Mutex<QueryProfile>>);
+
+impl ProfileSink {
+    /// A fresh, empty sink.
+    pub fn new() -> ProfileSink {
+        ProfileSink::default()
+    }
+
+    /// Fold a locally-accumulated partial profile in. Called once per
+    /// enumeration call / per morsel — never per row.
+    pub fn merge(&self, partial: &QueryProfile) {
+        self.0.lock().unwrap().merge(partial);
+    }
+
+    /// Fold actuals for a single operator in.
+    pub fn merge_op(&self, id: OpId, stats: OpStats) {
+        self.0
+            .lock()
+            .unwrap()
+            .ops
+            .entry(id)
+            .or_default()
+            .merge(&stats);
+    }
+
+    /// Record morsel/busy accounting for a worker lane.
+    pub fn record_lane(&self, lane: usize, morsels: u64, busy_nanos: u64) {
+        let mut p = self.0.lock().unwrap();
+        if p.workers.len() <= lane {
+            p.workers.resize(lane + 1, WorkerLane::default());
+        }
+        p.workers[lane].morsels += morsels;
+        p.workers[lane].busy_nanos += busy_nanos;
+    }
+
+    /// Copy out the profile as gathered so far.
+    pub fn finish(&self) -> QueryProfile {
+        self.0.lock().unwrap().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_is_commutative_addition() {
+        let sink = ProfileSink::new();
+        // Two "workers" merge partial tallies for the same operator.
+        let id = OpId::step(0xabc, 1);
+        sink.merge_op(
+            id,
+            OpStats {
+                calls: 3,
+                rows_in: 10,
+                rows_out: 4,
+                nanos: 100,
+            },
+        );
+        sink.merge_op(
+            id,
+            OpStats {
+                calls: 2,
+                rows_in: 5,
+                rows_out: 1,
+                nanos: 50,
+            },
+        );
+        sink.record_lane(1, 4, 1000);
+        sink.record_lane(0, 2, 500);
+        let p = sink.finish();
+        let s = p.op(id).unwrap();
+        assert_eq!((s.calls, s.rows_in, s.rows_out, s.nanos), (5, 15, 5, 150));
+        assert_eq!(p.workers.len(), 2);
+        assert_eq!(p.workers[1].morsels, 4);
+        assert_eq!(p.workers[0].busy_nanos, 500);
+    }
+
+    #[test]
+    fn profiles_merge_across_sinks() {
+        let mut a = QueryProfile::default();
+        a.ops.insert(
+            OpId::scope(7),
+            OpStats {
+                calls: 1,
+                rows_in: 0,
+                rows_out: 9,
+                nanos: 0,
+            },
+        );
+        let mut b = QueryProfile::default();
+        b.ops.insert(
+            OpId::scope(7),
+            OpStats {
+                calls: 1,
+                rows_in: 0,
+                rows_out: 3,
+                nanos: 0,
+            },
+        );
+        b.workers.push(WorkerLane {
+            morsels: 1,
+            busy_nanos: 10,
+        });
+        a.merge(&b);
+        assert_eq!(a.op(OpId::scope(7)).unwrap().rows_out, 12);
+        assert_eq!(a.workers.len(), 1);
+    }
+
+    #[test]
+    fn profile_serializes_to_canonical_json() {
+        let sink = ProfileSink::new();
+        sink.merge_op(
+            OpId::step(42, 0),
+            OpStats {
+                calls: 1,
+                rows_in: 2,
+                rows_out: 2,
+                nanos: 0,
+            },
+        );
+        sink.record_lane(0, 1, 0);
+        let text = sink.finish().to_json().to_string();
+        assert!(text.contains("\"42/0\""), "{text}");
+        assert!(text.contains("\"rows_out\":2"), "{text}");
+        assert!(text.contains("\"morsels\":1"), "{text}");
+        arc_core::json::parse(&text).expect("profile JSON must reparse");
+    }
+}

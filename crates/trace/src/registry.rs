@@ -1,0 +1,436 @@
+//! The process-wide metrics registry: named monotonic counters and
+//! duration histograms, with snapshot/reset/diff and JSON serialization.
+//!
+//! ## Design
+//!
+//! A metric is registered on first use ([`counter`]/[`histogram`]) and
+//! lives for the process lifetime (`Box::leak` — the registry is a small
+//! fixed vocabulary of names, not per-query state). Handles are `Copy`
+//! references to leaked atomics, so the increment path is a single
+//! relaxed `fetch_add` with no locking; the registry's `Mutex` is touched
+//! only at registration and snapshot time.
+//!
+//! Counters are **always on**: the workspace's counter-delta tests (plan
+//! cache, semi-join builds) observe them without `ARC_TRACE`, and a
+//! relaxed add on an out-of-line cache/build path is already in the
+//! noise. What the [`enabled`] gate guards is *clock reads*: call
+//! [`maybe_now`] at a region start and [`record_since`] at its end, and
+//! the disabled path costs one atomic load and two branches.
+//!
+//! ## Racing tests
+//!
+//! Process-global counters under a multi-threaded test runner can only
+//! *grow* between two reads. Delta assertions therefore either pin an
+//! exact zero ("this path must not run") — still sound, concurrent
+//! increments would only make the test fail loudly — or assert an upper
+//! bound over a [`Snapshot`] diff taken around the region of interest.
+//! [`Snapshot::diff`] is saturating, so a reset racing a reader never
+//! underflows.
+
+use arc_core::json::Json;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// The enabled gate
+// ---------------------------------------------------------------------------
+
+/// Tracing gate: seeded from `ARC_TRACE` on first read (a malformed value
+/// seeds `false` here; the *engine* surfaces the parse error as a config
+/// error), overridable with [`set_enabled`].
+static ENABLED: OnceLock<AtomicBool> = OnceLock::new();
+
+fn enabled_cell() -> &'static AtomicBool {
+    ENABLED.get_or_init(|| AtomicBool::new(crate::trace_env().unwrap_or(false)))
+}
+
+/// Is expensive instrumentation (wall-clock timing) on? A single relaxed
+/// atomic load — the entire cost of the facade when tracing is off.
+#[inline]
+pub fn enabled() -> bool {
+    enabled_cell().load(Ordering::Relaxed)
+}
+
+/// Override the tracing gate for this process (e.g. from
+/// `Engine::with_trace`, or a test that wants timings regardless of the
+/// environment).
+pub fn set_enabled(on: bool) {
+    enabled_cell().store(on, Ordering::Relaxed);
+}
+
+/// `Some(Instant::now())` when tracing is enabled, `None` otherwise — the
+/// region-start half of the timing facade.
+#[inline]
+pub fn maybe_now() -> Option<Instant> {
+    if enabled() {
+        Some(Instant::now())
+    } else {
+        None
+    }
+}
+
+/// Region-end half of the timing facade: record the elapsed time into
+/// `hist` if [`maybe_now`] handed out a start. Returns the elapsed
+/// nanoseconds when it recorded (callers that also fold the duration into
+/// a per-query profile reuse it instead of reading the clock twice).
+#[inline]
+pub fn record_since(hist: Histogram, start: Option<Instant>) -> Option<u64> {
+    let start = start?;
+    let nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+    hist.record_nanos(nanos);
+    Some(nanos)
+}
+
+// ---------------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------------
+
+/// A named monotonic counter. `Copy` handle to a leaked atomic; cache it
+/// in a `OnceLock` at the call site to skip the registry lookup.
+#[derive(Clone, Copy)]
+pub struct Counter(&'static AtomicU64);
+
+impl Counter {
+    /// Add `n` (relaxed; ordering between counters is not meaningful).
+    #[inline]
+    pub fn add(self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Histograms
+// ---------------------------------------------------------------------------
+
+const BUCKETS: usize = 64;
+
+/// Backing storage for a duration histogram: power-of-two nanosecond
+/// buckets (bucket *i* counts durations with `ilog2(nanos) == i`), plus
+/// count/sum/max for exact averages.
+struct HistogramCell {
+    count: AtomicU64,
+    sum_nanos: AtomicU64,
+    max_nanos: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl HistogramCell {
+    fn new() -> Self {
+        HistogramCell {
+            count: AtomicU64::new(0),
+            sum_nanos: AtomicU64::new(0),
+            max_nanos: AtomicU64::new(0),
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+        }
+    }
+}
+
+/// A named duration histogram. `Copy` handle, like [`Counter`].
+#[derive(Clone, Copy)]
+pub struct Histogram(&'static HistogramCell);
+
+impl Histogram {
+    /// Record one observation of `nanos` nanoseconds.
+    #[inline]
+    pub fn record_nanos(self, nanos: u64) {
+        let cell = self.0;
+        cell.count.fetch_add(1, Ordering::Relaxed);
+        cell.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        cell.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+        let bucket = if nanos == 0 {
+            0
+        } else {
+            nanos.ilog2() as usize
+        };
+        cell.buckets[bucket.min(BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded durations, in nanoseconds.
+    pub fn sum_nanos(self) -> u64 {
+        self.0.sum_nanos.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded duration, in nanoseconds.
+    pub fn max_nanos(self) -> u64 {
+        self.0.max_nanos.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registration
+// ---------------------------------------------------------------------------
+
+struct Registry {
+    counters: BTreeMap<&'static str, &'static AtomicU64>,
+    histograms: BTreeMap<&'static str, &'static HistogramCell>,
+}
+
+static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+
+fn registry() -> &'static Mutex<Registry> {
+    REGISTRY.get_or_init(|| {
+        Mutex::new(Registry {
+            counters: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+        })
+    })
+}
+
+/// Get (registering on first use) the counter named `name`. Names are
+/// dot-separated lowercase (`plan.cache.hit`); see the README metric
+/// catalog.
+pub fn counter(name: &'static str) -> Counter {
+    let mut reg = registry().lock().unwrap();
+    let cell = reg
+        .counters
+        .entry(name)
+        .or_insert_with(|| Box::leak(Box::new(AtomicU64::new(0))));
+    Counter(cell)
+}
+
+/// Get (registering on first use) the duration histogram named `name`.
+pub fn histogram(name: &'static str) -> Histogram {
+    let mut reg = registry().lock().unwrap();
+    let cell = reg
+        .histograms
+        .entry(name)
+        .or_insert_with(|| Box::leak(Box::new(HistogramCell::new())));
+    Histogram(cell)
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot / reset / diff
+// ---------------------------------------------------------------------------
+
+/// Point-in-time histogram statistics inside a [`Snapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistStats {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed durations, nanoseconds.
+    pub sum_nanos: u64,
+    /// Largest observed duration, nanoseconds.
+    pub max_nanos: u64,
+}
+
+/// A point-in-time copy of every registered metric. Take one before a
+/// region of interest and [`Snapshot::diff`] one taken after it to get
+/// race-tolerant deltas.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter name → value.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram name → (count, sum, max).
+    pub histograms: BTreeMap<String, HistStats>,
+}
+
+impl Snapshot {
+    /// The change from `earlier` to `self`, per metric. Saturating — a
+    /// concurrent [`reset`] can make a later reading smaller, which
+    /// clamps to zero instead of wrapping. `max_nanos` carries the later
+    /// snapshot's value (maxima don't subtract meaningfully).
+    pub fn diff(&self, earlier: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, v)| {
+                let before = earlier.counters.get(k).copied().unwrap_or(0);
+                (k.clone(), v.saturating_sub(before))
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, v)| {
+                let before = earlier.histograms.get(k).copied().unwrap_or_default();
+                (
+                    k.clone(),
+                    HistStats {
+                        count: v.count.saturating_sub(before.count),
+                        sum_nanos: v.sum_nanos.saturating_sub(before.sum_nanos),
+                        max_nanos: v.max_nanos,
+                    },
+                )
+            })
+            .collect();
+        Snapshot {
+            counters,
+            histograms,
+        }
+    }
+
+    /// Counter value by name (0 if absent — e.g. not yet registered when
+    /// the snapshot was taken).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram stats by name (zeros if absent).
+    pub fn hist(&self, name: &str) -> HistStats {
+        self.histograms.get(name).copied().unwrap_or_default()
+    }
+
+    /// Serialize as a canonical JSON object:
+    /// `{"counters": {name: n, ...}, "histograms": {name: {"count": n,
+    /// "sum_nanos": n, "max_nanos": n}, ...}}`.
+    pub fn to_json(&self) -> Json {
+        let counters = Json::Obj(
+            self.counters
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Int(*v as i64)))
+                .collect(),
+        );
+        let histograms = Json::Obj(
+            self.histograms
+                .iter()
+                .map(|(k, v)| {
+                    (
+                        k.clone(),
+                        Json::obj([
+                            ("count", Json::Int(v.count as i64)),
+                            ("sum_nanos", Json::Int(v.sum_nanos as i64)),
+                            ("max_nanos", Json::Int(v.max_nanos as i64)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        Json::obj([("counters", counters), ("histograms", histograms)])
+    }
+}
+
+/// Copy every registered metric into a [`Snapshot`].
+pub fn snapshot() -> Snapshot {
+    let reg = registry().lock().unwrap();
+    let counters = reg
+        .counters
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.load(Ordering::Relaxed)))
+        .collect();
+    let histograms = reg
+        .histograms
+        .iter()
+        .map(|(k, v)| {
+            (
+                k.to_string(),
+                HistStats {
+                    count: v.count.load(Ordering::Relaxed),
+                    sum_nanos: v.sum_nanos.load(Ordering::Relaxed),
+                    max_nanos: v.max_nanos.load(Ordering::Relaxed),
+                },
+            )
+        })
+        .collect();
+    Snapshot {
+        counters,
+        histograms,
+    }
+}
+
+/// Zero every registered metric. Tests should prefer [`Snapshot::diff`]
+/// (reset is process-global and visible to concurrent tests); reset
+/// exists for long-lived processes that want fresh windows.
+pub fn reset() {
+    let reg = registry().lock().unwrap();
+    for v in reg.counters.values() {
+        v.store(0, Ordering::Relaxed);
+    }
+    for v in reg.histograms.values() {
+        v.count.store(0, Ordering::Relaxed);
+        v.sum_nanos.store(0, Ordering::Relaxed);
+        v.max_nanos.store(0, Ordering::Relaxed);
+        for b in &v.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_register_once_and_accumulate() {
+        let c = counter("test.registry.alpha");
+        let again = counter("test.registry.alpha");
+        let before = c.get();
+        c.inc();
+        again.add(2);
+        assert_eq!(c.get() - before, 3);
+    }
+
+    #[test]
+    fn snapshot_diff_isolates_a_region() {
+        let c = counter("test.registry.region");
+        let before = snapshot();
+        c.add(5);
+        let delta = snapshot().diff(&before);
+        assert_eq!(delta.counter("test.registry.region"), 5);
+        // A metric absent from the earlier snapshot diffs against zero.
+        assert_eq!(delta.counter("test.registry.never-touched"), 0);
+    }
+
+    #[test]
+    fn histograms_track_count_sum_max() {
+        let h = histogram("test.registry.hist");
+        let before = snapshot();
+        h.record_nanos(10);
+        h.record_nanos(1000);
+        h.record_nanos(0);
+        let d = snapshot().diff(&before).hist("test.registry.hist");
+        assert_eq!(d.count, 3);
+        assert_eq!(d.sum_nanos, 1010);
+        assert!(d.max_nanos >= 1000);
+    }
+
+    #[test]
+    fn timing_facade_is_inert_when_disabled() {
+        let h = histogram("test.registry.gated");
+        let was = enabled();
+        set_enabled(false);
+        let before = h.count();
+        let start = maybe_now();
+        assert!(start.is_none());
+        assert_eq!(record_since(h, start), None);
+        assert_eq!(h.count(), before);
+
+        set_enabled(true);
+        let start = maybe_now();
+        assert!(start.is_some());
+        assert!(record_since(h, start).is_some());
+        assert_eq!(h.count(), before + 1);
+        set_enabled(was);
+    }
+
+    #[test]
+    fn snapshot_serializes_to_canonical_json() {
+        counter("test.registry.json").add(7);
+        histogram("test.registry.json-hist").record_nanos(42);
+        let j = snapshot().to_json();
+        let text = j.to_string();
+        assert!(text.contains("\"test.registry.json\":"), "{text}");
+        assert!(text.contains("\"test.registry.json-hist\":"), "{text}");
+        assert!(text.contains("\"sum_nanos\":"), "{text}");
+        // Round-trips through the arc-core parser.
+        arc_core::json::parse(&text).expect("snapshot JSON must reparse");
+    }
+}
