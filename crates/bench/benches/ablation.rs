@@ -375,9 +375,66 @@ fn trace_on_vs_off(c: &mut Criterion) {
     g.finish();
 }
 
+/// Spans off vs. on (`ARC_SPANS`, via `Engine::with_spans`), plus the
+/// always-on latency quantiles priced against a quantile-recording-off
+/// baseline, on two shapes: the sequential equi-join and the skewed
+/// range-join widened past the partition gate so a 4-thread run records
+/// morsel spans and per-morsel latency samples. Spans-off is the
+/// default engine — no sink is allocated, the only cost is one `Option`
+/// check per seam — and spans-on appends two fixed-size ring-buffer
+/// slots per scope/step/build/morsel (never per row). The acceptance
+/// bar is spans-off within noise of the quantiles-off baseline (the
+/// always-on samples sit at per-query/per-morsel seams) and spans-on
+/// ≤ 10% over spans-off on both shapes.
+fn spans_on_vs_off(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_span");
+    let q1 = fx::eq1();
+    for n in [1024usize, 4096] {
+        let catalog = fx::rs_catalog(n);
+        for (name, spans, quantiles) in [
+            ("eq1_quantiles_off", false, false),
+            ("eq1_spans_off", false, true),
+            ("eq1_spans_on", true, true),
+        ] {
+            g.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                arc_trace::quantile::set_recording(quantiles);
+                let engine = Engine::new(&catalog, Conventions::sql()).with_spans(spans);
+                b.iter(|| black_box(engine.eval_collection(&q1).unwrap().len()));
+                arc_trace::quantile::set_recording(true);
+            });
+        }
+    }
+    for n in [4096usize, 16384] {
+        // Widened range bound (`r.A > n-33` keeps 32 rows): the filtered
+        // `R` scan stays above the partition gate, so the scope fans out
+        // and the span path includes per-morsel events.
+        let q = fx::q(&format!(
+            "{{Q(A) | ∃r ∈ R, s ∈ S [Q.A = r.A ∧ r.B = s.B ∧ r.A > {}]}}",
+            n - 33
+        ));
+        let catalog = fx::stats_skew_catalog(n);
+        for (name, spans, quantiles) in [
+            ("range_join_quantiles_off", false, false),
+            ("range_join_spans_off", false, true),
+            ("range_join_spans_on", true, true),
+        ] {
+            g.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                arc_trace::quantile::set_recording(quantiles);
+                let engine = Engine::new(&catalog, Conventions::sql())
+                    .with_threads(4)
+                    .with_indexes(false)
+                    .with_spans(spans);
+                b.iter(|| black_box(engine.eval_collection(&q).unwrap().len()));
+                arc_trace::quantile::set_recording(true);
+            });
+        }
+    }
+    g.finish();
+}
+
 criterion_group! {
     name = ablation;
     config = configured();
-    targets = nested_loop_vs_hash_join, naive_vs_semi_naive, fio_vs_foi_cost, inline_vs_reified, set_vs_bag, sequential_vs_parallel, stats_on_vs_off, semijoin_on_vs_off, vectorized_vs_row_path, index_vs_scan, trace_on_vs_off
+    targets = nested_loop_vs_hash_join, naive_vs_semi_naive, fio_vs_foi_cost, inline_vs_reified, set_vs_bag, sequential_vs_parallel, stats_on_vs_off, semijoin_on_vs_off, vectorized_vs_row_path, index_vs_scan, trace_on_vs_off, spans_on_vs_off
 }
 criterion_main!(ablation);

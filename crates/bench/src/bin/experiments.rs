@@ -463,9 +463,61 @@ fn main() {
         let counters = arc_trace::Snapshot {
             counters: arc_trace::snapshot().counters,
             histograms: Default::default(),
+            quantiles: Default::default(),
         };
         println!("Registry counters accumulated across every experiment above:\n");
         println!("```json\n{}\n```", counters.to_json());
+    }
+
+    // ---- Span timeline artifacts ------------------------------------------
+    // Perfetto-loadable Chrome-trace timelines for the two ablation
+    // fixtures, written next to the build artifacts. Load one at
+    // <https://ui.perfetto.dev> (or `chrome://tracing`) to see the
+    // query → plan → scope → step → morsel hierarchy per worker lane;
+    // span names and `args.op` keys join back to the `EXPLAIN ANALYZE`
+    // above.
+    {
+        let dir = std::path::PathBuf::from(
+            std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into()),
+        )
+        .join("traces");
+        std::fs::create_dir_all(&dir).expect("create trace artifact dir");
+        let mut wrote: Vec<(std::path::PathBuf, &str)> = Vec::new();
+        {
+            let catalog = fx::rs_catalog(100);
+            let (_, json) = Engine::new(&catalog, set)
+                .span_trace_collection(&fx::eq1())
+                .expect("eq1 traces");
+            let path = dir.join("eq1.trace.json");
+            std::fs::write(&path, json.to_string()).expect("write eq1 trace");
+            wrote.push((path, "Eq (1) on the 100-row R ⋈ S instance (sequential)"));
+        }
+        {
+            let n = 4096;
+            let catalog = fx::stats_skew_catalog(n);
+            // Widened range bound: keeps the filtered `R` scan above the
+            // partition gate so the scope fans out across 4 worker lanes
+            // (the narrow `eq1_range` bound stays sequential by design).
+            let q = fx::q(&format!(
+                "{{Q(A) | ∃r ∈ R, s ∈ S [Q.A = r.A ∧ r.B = s.B ∧ r.A > {}]}}",
+                n - 33
+            ));
+            let (_, json) = Engine::new(&catalog, sql)
+                .with_threads(4)
+                .with_indexes(false)
+                .span_trace_collection(&q)
+                .expect("skewed range-join traces");
+            let path = dir.join("range_join_skew.trace.json");
+            std::fs::write(&path, json.to_string()).expect("write range-join trace");
+            wrote.push((path, "skewed range-join partitioned across 4 worker lanes"));
+        }
+        println!();
+        println!("## Span timeline artifacts\n");
+        println!("Chrome-trace timelines written by this run (load at ui.perfetto.dev):\n");
+        for (path, what) in &wrote {
+            println!("- `{}` — {what}", path.display());
+        }
+        println!();
     }
     if !all_ok {
         std::process::exit(1);

@@ -133,11 +133,29 @@ pub struct Engine<'c> {
     /// and wall-time stamps on execution profiles; same deferred-error
     /// story.
     trace: std::result::Result<bool, crate::error::EvalError>,
+    /// Hierarchical span recording (`ARC_SPANS`, default **off**): every
+    /// evaluation context gets a per-lane span sink and the
+    /// query/plan/scope/step/morsel seams record begin/end timestamps
+    /// into it; same deferred-error story.
+    spans: std::result::Result<bool, crate::error::EvalError>,
     /// When set, every evaluation context this engine creates records
     /// per-operator actuals into the sink (the `EXPLAIN ANALYZE` /
     /// [`Engine::profile_collection`] path; `None` for ordinary
     /// evaluation, which then pays only an `Option` check per row).
     profile: Option<arc_trace::ProfileSink>,
+    /// When set, evaluation contexts record spans into *this* sink
+    /// instead of a per-context one (the [`Engine::span_trace_*`]
+    /// timeline-export path, which needs the spans back afterwards).
+    /// Implies span recording regardless of the `spans` knob.
+    pub(crate) span_sink: Option<arc_trace::SpanSink>,
+    /// Lazily-built sink for the bare `spans` knob: allocated once per
+    /// engine on the first evaluation and [`reset`](arc_trace::SpanSink::reset)
+    /// per evaluation, so `ARC_SPANS=on` pays ring-buffer *recording*
+    /// per query, not ring-buffer *allocation* (the slabs are hundreds
+    /// of KB for a multi-lane sink). Never read back — the knob path
+    /// records and drops; exporters attach [`Engine::span_sink`]
+    /// instead, which always wins.
+    knob_sink: std::sync::OnceLock<arc_trace::SpanSink>,
 }
 
 impl<'c> Engine<'c> {
@@ -162,7 +180,10 @@ impl<'c> Engine<'c> {
             vectorize: strategy::vectorize_from_env(),
             indexes: strategy::indexes_from_env(),
             trace: strategy::trace_from_env(),
+            spans: strategy::spans_from_env(),
             profile: None,
+            span_sink: None,
+            knob_sink: std::sync::OnceLock::new(),
         }
     }
 
@@ -256,6 +277,26 @@ impl<'c> Engine<'c> {
         self.trace.clone()
     }
 
+    /// Override hierarchical span recording (builder style): `true` makes
+    /// every evaluation record begin/end spans (query → plan → scope →
+    /// semi-join build → step → morsel) into bounded per-lane ring
+    /// buffers, exactly like running under `ARC_SPANS=on`. Use
+    /// [`Engine::span_trace_collection`](crate::explain) /
+    /// `span_trace_program` to get the spans back as a Chrome-trace
+    /// timeline; with only this knob the spans are recorded and dropped,
+    /// which is what the `ARC_SPANS=on` CI leg and the `ablation_span`
+    /// bench exercise (recording cost without export cost). Off (the
+    /// default) keeps every span seam to a single `Option` check.
+    pub fn with_spans(mut self, spans: bool) -> Self {
+        self.spans = Ok(spans);
+        self
+    }
+
+    /// Whether this engine records execution spans.
+    pub fn spans(&self) -> Result<bool> {
+        self.spans.clone()
+    }
+
     /// A shallow copy of this engine with a profile sink attached: every
     /// evaluation context it creates records per-operator actuals into
     /// `sink`. The `EXPLAIN ANALYZE` entry points evaluate through this
@@ -270,7 +311,30 @@ impl<'c> Engine<'c> {
             vectorize: self.vectorize.clone(),
             indexes: self.indexes.clone(),
             trace: self.trace.clone(),
+            spans: self.spans.clone(),
             profile: Some(sink),
+            span_sink: self.span_sink.clone(),
+            knob_sink: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// A shallow copy with a span sink attached: every evaluation context
+    /// records spans into `sink` (implying span recording), so the
+    /// `span_trace_*` exporters can drain them afterwards.
+    pub(crate) fn with_span_sink(&self, sink: arc_trace::SpanSink) -> Engine<'c> {
+        Engine {
+            catalog: self.catalog,
+            conventions: self.conventions,
+            strategy: self.strategy.clone(),
+            threads: self.threads.clone(),
+            decorrelate: self.decorrelate.clone(),
+            vectorize: self.vectorize.clone(),
+            indexes: self.indexes.clone(),
+            trace: self.trace.clone(),
+            spans: Ok(true),
+            profile: self.profile.clone(),
+            span_sink: Some(sink),
+            knob_sink: std::sync::OnceLock::new(),
         }
     }
 
@@ -301,15 +365,35 @@ impl<'c> Engine<'c> {
         abstracts: &'a HashMap<String, Collection>,
         program: u64,
     ) -> Result<Ctx<'a>> {
+        let threads = self.threads.clone()?;
+        // An explicit sink (the span_trace_* path) wins; the bare knob
+        // records into a per-context sink that is dropped at the end —
+        // same recording cost, no export, which is what the ARC_SPANS=on
+        // CI leg and the ablation bench price.
+        let spans = match (&self.span_sink, self.spans.clone()?) {
+            (Some(sink), _) => Some(sink.clone()),
+            (None, true) => {
+                // Engine-cached sink, rewound per evaluation: the knob
+                // prices recording, not per-query slab allocation.
+                let sink = self
+                    .knob_sink
+                    .get_or_init(|| arc_trace::SpanSink::with_lanes(threads));
+                sink.reset();
+                Some(sink.clone())
+            }
+            (None, false) => None,
+        };
         Ok(Ctx {
             catalog: self.catalog,
             conv: self.conventions,
             strategy: self.strategy.clone()?,
-            threads: self.threads.clone()?,
+            threads,
             decorrelate: self.decorrelate.clone()?,
             vectorize: self.vectorize.clone()?,
             indexes: self.indexes.clone()?,
             trace: self.trace.clone()?,
+            spans,
+            lane: 0,
             profile: self.profile.clone(),
             program,
             defined,
@@ -326,15 +410,21 @@ impl<'c> Engine<'c> {
     /// Evaluate a standalone query collection (no definitions).
     pub fn eval_collection(&self, c: &Collection) -> Result<Relation> {
         let (defined, abstracts) = (HashMap::new(), HashMap::new());
-        self.ctx(&defined, &abstracts, arc_plan::program_hash(c))?
-            .collection_relation(c, &mut Env::default())
+        let ctx = self.ctx(&defined, &abstracts, arc_plan::program_hash(c))?;
+        let timer = QueryTimer::start(ctx.spans.as_ref());
+        let out = ctx.collection_relation(c, &mut Env::default());
+        timer.finish(ctx.spans.as_ref());
+        out
     }
 
     /// Evaluate a boolean sentence (paper Fig 9).
     pub fn eval_sentence(&self, f: &Formula) -> Result<Truth> {
         let (defined, abstracts) = (HashMap::new(), HashMap::new());
-        self.ctx(&defined, &abstracts, arc_plan::formula_hash(f))?
-            .formula_truth(f, &mut Env::default())
+        let ctx = self.ctx(&defined, &abstracts, arc_plan::formula_hash(f))?;
+        let timer = QueryTimer::start(ctx.spans.as_ref());
+        let out = ctx.formula_truth(f, &mut Env::default());
+        timer.finish(ctx.spans.as_ref());
+        out
     }
 
     /// Evaluate a collection with pre-materialized definitions and abstract
@@ -358,6 +448,35 @@ impl<'c> Engine<'c> {
     ) -> Result<Truth> {
         self.ctx(defined, abstracts, arc_plan::formula_hash(f))?
             .formula_truth(f, &mut Env::default())
+    }
+}
+
+/// Top-level query timing, attached at the engine entry points
+/// (`eval_collection` / `eval_sentence` / `eval_program`): one always-on
+/// sample into the `engine.query.latency` quantile histogram (gated only
+/// by the process-wide `arc_trace::quantile::recording()` switch), plus
+/// the enclosing `Query` span when span recording is on.
+pub(crate) struct QueryTimer {
+    wall: Option<std::time::Instant>,
+    span: Option<u64>,
+}
+
+impl QueryTimer {
+    pub(crate) fn start(spans: Option<&arc_trace::SpanSink>) -> QueryTimer {
+        QueryTimer {
+            wall: arc_trace::quantile::recording().then(std::time::Instant::now),
+            span: spans.and_then(|s| s.start(0)),
+        }
+    }
+
+    pub(crate) fn finish(self, spans: Option<&arc_trace::SpanSink>) {
+        if let (Some(sink), Some(t0)) = (spans, self.span) {
+            sink.complete(0, arc_trace::SpanKind::Query, arc_trace::OpId::scope(0), t0);
+        }
+        if let Some(t0) = self.wall {
+            let nanos = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            crate::metrics::query_latency().record_nanos(nanos);
+        }
     }
 }
 
@@ -385,6 +504,16 @@ pub(crate) struct Ctx<'a> {
     /// gates every clock read on the evaluation path, so the default
     /// engine never touches `Instant::now`.
     pub(crate) trace: bool,
+    /// Span sink for hierarchical begin/end timeline events
+    /// (`ARC_SPANS` / [`Engine::with_spans`] / the `span_trace_*`
+    /// exporters); `None` on ordinary evaluation, which then pays one
+    /// `Option` check per span seam. Cloned into every worker context —
+    /// lanes write to disjoint ring buffers.
+    pub(crate) spans: Option<arc_trace::SpanSink>,
+    /// Worker lane this context executes on: 0 for the coordinator (and
+    /// all sequential evaluation), the worker's lane id inside a
+    /// partitioned scope. Stamps spans and morsel events.
+    pub(crate) lane: usize,
     /// Per-operator actuals sink, when this evaluation is profiled (see
     /// [`profile`]); `None` on ordinary evaluation. Cloned into every
     /// worker context the parallel executor forks — all tallies merge

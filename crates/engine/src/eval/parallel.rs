@@ -71,6 +71,9 @@ pub(crate) struct WorkerSeed<'a> {
     /// Shared (not snapshot) profile sink: every worker's morsel tallies
     /// merge into the coordinator's profile.
     profile: Option<arc_trace::ProfileSink>,
+    /// Shared span sink: workers append morsel spans into their own lane
+    /// ring buffers (lane = pool claim order, assigned at worker init).
+    spans: Option<arc_trace::SpanSink>,
 }
 
 impl<'a> WorkerSeed<'a> {
@@ -97,6 +100,8 @@ impl<'a> WorkerSeed<'a> {
             semi_bailed: RefCell::new(self.semi_bailed.clone()),
             trace: self.trace,
             profile: self.profile.clone(),
+            spans: self.spans.clone(),
+            lane: 0,
         }
     }
 }
@@ -156,6 +161,7 @@ impl<'a> Ctx<'a> {
             semi_bailed: self.semi_bailed.borrow().clone(),
             trace: self.trace,
             profile: self.profile.clone(),
+            spans: self.spans.clone(),
         }
     }
 
@@ -231,6 +237,10 @@ impl<'a> Ctx<'a> {
             .as_ref()
             .map(|_| ScopeTally::new(scope_id, order.len()));
         let start = (self.trace && coord.is_some()).then(Instant::now);
+        // Coordinator scope span: covers the prelude, the shared builds,
+        // and the whole scatter/gather. Worker morsel spans nest under it
+        // on the timeline (their lanes render as separate tracks).
+        let scope_span = self.spans.as_ref().and_then(|s| s.start(self.lane));
 
         // Prelude filters see only outer variables: evaluate once here,
         // not once per morsel.
@@ -238,6 +248,14 @@ impl<'a> Ctx<'a> {
             if !self.pred_truth(p, env)?.is_true() {
                 if let (Some(t), Some(sink)) = (&coord, &self.profile) {
                     t.flush(sink, true);
+                }
+                if let (Some(sink), Some(t0)) = (&self.spans, scope_span) {
+                    sink.complete(
+                        self.lane,
+                        arc_trace::SpanKind::Scope,
+                        arc_trace::OpId::scope(scope_id),
+                        t0,
+                    );
                 }
                 return Ok(true); // scope is empty; nothing to scatter
             }
@@ -277,11 +295,19 @@ impl<'a> Ctx<'a> {
             WorkerPool::global(),
             self.threads,
             morsels,
-            || WorkerState {
-                ctx: seed.ctx(),
-                lane: lanes.fetch_add(1, Ordering::Relaxed),
-                morsels: 0,
-                busy_nanos: 0,
+            || {
+                let lane = lanes.fetch_add(1, Ordering::Relaxed);
+                let mut ctx = seed.ctx();
+                ctx.lane = lane;
+                if let Some(sink) = &ctx.spans {
+                    sink.touch(lane); // name the track even if every span drops
+                }
+                WorkerState {
+                    ctx,
+                    lane,
+                    morsels: 0,
+                    busy_nanos: 0,
+                }
             },
             |st, _, range| {
                 let mut wenv = outer_env.clone();
@@ -292,6 +318,7 @@ impl<'a> Ctx<'a> {
                     .as_ref()
                     .map(|_| ScopeTally::new(scope_id, order.len()));
                 let mstart = (st.ctx.trace && tally.is_some()).then(Instant::now);
+                let mspan = st.ctx.spans.as_ref().and_then(|s| s.start(st.lane));
                 let r = st
                     .ctx
                     .scan_partition(
@@ -299,10 +326,19 @@ impl<'a> Ctx<'a> {
                         &leaf,
                         range,
                         &mut wenv,
+                        scope_id,
                         tally.as_ref(),
                         &mut |c, e| each(c, e, &mut morsel_out),
                     )
                     .map(|()| morsel_out);
+                if let (Some(sink), Some(t0)) = (&st.ctx.spans, mspan) {
+                    sink.complete(
+                        st.lane,
+                        arc_trace::SpanKind::Morsel,
+                        arc_trace::OpId::step(scope_id, 0),
+                        t0,
+                    );
+                }
                 st.morsels += 1;
                 if let Some(s) = mstart {
                     st.busy_nanos += s.elapsed().as_nanos() as u64;
@@ -318,6 +354,14 @@ impl<'a> Ctx<'a> {
                 t.add_nanos(s.elapsed().as_nanos() as u64);
             }
             t.flush(sink, true);
+        }
+        if let (Some(sink), Some(t0)) = (&self.spans, scope_span) {
+            sink.complete(
+                self.lane,
+                arc_trace::SpanKind::Scope,
+                arc_trace::OpId::scope(scope_id),
+                t0,
+            );
         }
         // Merge in morsel order: errors surface from the earliest morsel
         // (what the sequential loop would hit first), outputs concatenate

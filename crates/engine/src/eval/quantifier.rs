@@ -336,6 +336,11 @@ impl<'a> Ctx<'a> {
             }
             // A pure-inner annotation is semantically the default join.
         }
+        // Span seam: the scope span opens before planning so a
+        // plan-cache miss's Plan span nests inside it. `start` reads no
+        // clock when spans are off or the lane buffer is full.
+        let scope_id = bindings.as_ptr() as usize;
+        let span = self.spans.as_ref().and_then(|s| s.start(self.lane));
         let (order, prelude, leaf) = self.plan_bindings(bindings, filters, env)?;
         // Profiling: a local tally per enumeration call, keyed by the
         // binding-slice address — the identity `arc_plan::scope_identity`
@@ -345,7 +350,7 @@ impl<'a> Ctx<'a> {
         let tally = self
             .profile
             .as_ref()
-            .map(|_| ScopeTally::new(bindings.as_ptr() as usize, order.len()));
+            .map(|_| ScopeTally::new(scope_id, order.len()));
         let start = (self.trace && tally.is_some()).then(std::time::Instant::now);
         // Prelude filters touch only outer variables (or constants): one
         // failing verdict empties the whole scope.
@@ -357,7 +362,7 @@ impl<'a> Ctx<'a> {
             }
         }
         let res = if alive {
-            self.enumerate_rec(&order, 0, &leaf, env, tally.as_ref(), cb)
+            self.enumerate_rec(&order, 0, &leaf, env, scope_id, tally.as_ref(), cb)
         } else {
             Ok(true)
         };
@@ -366,6 +371,14 @@ impl<'a> Ctx<'a> {
                 t.add_nanos(s.elapsed().as_nanos() as u64);
             }
             t.flush(sink, true);
+        }
+        if let (Some(sink), Some(t0)) = (&self.spans, span) {
+            sink.complete(
+                self.lane,
+                arc_trace::SpanKind::Scope,
+                arc_trace::OpId::scope(scope_id),
+                t0,
+            );
         }
         res.map(|_| ())
     }
@@ -463,12 +476,14 @@ impl<'a> Ctx<'a> {
     }
 
     /// Pushed-down filters of step `i`, then descend one level.
+    #[allow(clippy::too_many_arguments)]
     fn step_into(
         &self,
         order: &[Ordered<'_>],
         i: usize,
         leaf: &[&Predicate],
         env: &mut Env,
+        scope: usize,
         tally: Option<&ScopeTally>,
         cb: &mut dyn FnMut(&Ctx<'a>, &mut Env) -> Result<bool>,
     ) -> Result<bool> {
@@ -483,7 +498,7 @@ impl<'a> Ctx<'a> {
         if let Some(t) = tally {
             t.pass(i);
         }
-        self.enumerate_rec(order, i + 1, leaf, env, tally, cb)
+        self.enumerate_rec(order, i + 1, leaf, env, scope, tally, cb)
     }
 
     /// Execute one morsel of a partitioned scope: enumerate rows
@@ -495,12 +510,14 @@ impl<'a> Ctx<'a> {
     /// *call* — the parallel coordinator counts the scope entry (and its
     /// axis scan's single start) exactly once, which is what keeps a
     /// partitioned profile count-identical to the sequential one.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn scan_partition(
         &self,
         order: &[Ordered<'_>],
         leaf: &[&Predicate],
         range: std::ops::Range<usize>,
         env: &mut Env,
+        scope: usize,
         tally: Option<&ScopeTally>,
         cb: &mut dyn FnMut(&Ctx<'a>, &mut Env) -> Result<bool>,
     ) -> Result<()> {
@@ -533,7 +550,7 @@ impl<'a> Ctx<'a> {
                     attrs.clone(),
                     rel.rows[ridx as usize].clone(),
                 );
-                let cont = self.step_into(order, 0, leaf, env, tally, cb)?;
+                let cont = self.step_into(order, 0, leaf, env, scope, tally, cb)?;
                 env.pop();
                 if !cont {
                     return Ok(());
@@ -543,7 +560,7 @@ impl<'a> Ctx<'a> {
         }
         for row in &rel.rows[range] {
             env.push(first.var.clone(), attrs.clone(), row.clone());
-            let cont = self.step_into(order, 0, leaf, env, tally, cb)?;
+            let cont = self.step_into(order, 0, leaf, env, scope, tally, cb)?;
             env.pop();
             if !cont {
                 return Ok(());
@@ -556,12 +573,49 @@ impl<'a> Ctx<'a> {
     /// level enumerates its access path — scan, lazily built hash index,
     /// external access pattern, abstract membership check, or lateral
     /// evaluation — applies its pushed-down filters, and recurses.
+    ///
+    /// This wrapper is the step span seam: one span per step invocation
+    /// (= per upstream environment entering step `i`, matching the
+    /// profile's `calls` semantics), covering the step's whole candidate
+    /// loop including everything nested below it. Leaf entries
+    /// (`i == order.len()`) record nothing.
+    #[allow(clippy::too_many_arguments)]
     fn enumerate_rec(
         &self,
         order: &[Ordered<'_>],
         i: usize,
         leaf: &[&Predicate],
         env: &mut Env,
+        scope: usize,
+        tally: Option<&ScopeTally>,
+        cb: &mut dyn FnMut(&Ctx<'a>, &mut Env) -> Result<bool>,
+    ) -> Result<bool> {
+        match &self.spans {
+            Some(sink) if i < order.len() => {
+                let span = sink.start(self.lane);
+                let res = self.enumerate_rec_inner(order, i, leaf, env, scope, tally, cb);
+                if let Some(t0) = span {
+                    sink.complete(
+                        self.lane,
+                        arc_trace::SpanKind::Step,
+                        arc_trace::OpId::step(scope, i),
+                        t0,
+                    );
+                }
+                res
+            }
+            _ => self.enumerate_rec_inner(order, i, leaf, env, scope, tally, cb),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn enumerate_rec_inner(
+        &self,
+        order: &[Ordered<'_>],
+        i: usize,
+        leaf: &[&Predicate],
+        env: &mut Env,
+        scope: usize,
         tally: Option<&ScopeTally>,
         cb: &mut dyn FnMut(&Ctx<'a>, &mut Env) -> Result<bool>,
     ) -> Result<bool> {
@@ -593,7 +647,7 @@ impl<'a> Ctx<'a> {
                         for &ridx in matches {
                             let row = &rel.rows[ridx as usize];
                             env.push(ob.var.clone(), attrs.clone(), row.clone());
-                            let cont = self.step_into(order, i, leaf, env, tally, cb)?;
+                            let cont = self.step_into(order, i, leaf, env, scope, tally, cb)?;
                             env.pop();
                             if !cont {
                                 return Ok(false);
@@ -615,7 +669,7 @@ impl<'a> Ctx<'a> {
                             attrs.clone(),
                             rel.rows[ridx as usize].clone(),
                         );
-                        let cont = self.step_into(order, i, leaf, env, tally, cb)?;
+                        let cont = self.step_into(order, i, leaf, env, scope, tally, cb)?;
                         env.pop();
                         if !cont {
                             return Ok(false);
@@ -625,7 +679,7 @@ impl<'a> Ctx<'a> {
                 }
                 for row in &rel.rows {
                     env.push(ob.var.clone(), attrs.clone(), row.clone());
-                    let cont = self.step_into(order, i, leaf, env, tally, cb)?;
+                    let cont = self.step_into(order, i, leaf, env, scope, tally, cb)?;
                     env.pop();
                     if !cont {
                         return Ok(false);
@@ -639,7 +693,7 @@ impl<'a> Ctx<'a> {
                 let attrs = Arc::new(rel.schema.clone());
                 for row in rel.rows {
                     env.push(ob.var.clone(), attrs.clone(), row);
-                    let cont = self.step_into(order, i, leaf, env, tally, cb)?;
+                    let cont = self.step_into(order, i, leaf, env, scope, tally, cb)?;
                     env.pop();
                     if !cont {
                         return Ok(false);
@@ -668,7 +722,7 @@ impl<'a> Ctx<'a> {
                 let attrs = Arc::new(ext.schema.clone());
                 for tuple in (pattern.complete)(&vals) {
                     env.push(ob.var.clone(), attrs.clone(), tuple);
-                    let cont = self.step_into(order, i, leaf, env, tally, cb)?;
+                    let cont = self.step_into(order, i, leaf, env, scope, tally, cb)?;
                     env.pop();
                     if !cont {
                         return Ok(false);
@@ -700,7 +754,7 @@ impl<'a> Ctx<'a> {
                 env.pop();
                 if holds.is_true() {
                     env.push(ob.var.clone(), head_attrs, tuple);
-                    let cont = self.step_into(order, i, leaf, env, tally, cb)?;
+                    let cont = self.step_into(order, i, leaf, env, scope, tally, cb)?;
                     env.pop();
                     if !cont {
                         return Ok(false);
@@ -840,7 +894,10 @@ impl<'a> Ctx<'a> {
             Some(plan) => plan,
             None => {
                 // Plan, mapping planner failures onto the precise
-                // source-kind diagnostics.
+                // source-kind diagnostics. A global cache miss is the only
+                // arm that runs the planner, so it is the only arm that
+                // records a plan span.
+                let plan_span = self.spans.as_ref().and_then(|s| s.start(self.lane));
                 let planned = if boolean {
                     arc_plan::plan_scope_boolean(&spec, self.strategy.plan_mode())
                 } else {
@@ -871,6 +928,14 @@ impl<'a> Ctx<'a> {
                 })?;
                 let plan = Arc::new(plan);
                 cache::global_store(key, plan.clone());
+                if let (Some(sink), Some(t0)) = (&self.spans, plan_span) {
+                    sink.complete(
+                        self.lane,
+                        arc_trace::SpanKind::Plan,
+                        arc_trace::OpId::scope(bindings.as_ptr() as usize),
+                        t0,
+                    );
+                }
                 plan
             }
         };
@@ -1043,15 +1108,17 @@ impl<'a> Ctx<'a> {
     /// Drive already-materialized steps to completion (no re-planning):
     /// the semi-join build pipeline enters here, everything else goes
     /// through [`Ctx::enumerate`].
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn run_steps(
         &self,
         order: &[Ordered<'_>],
         leaf: &[&Predicate],
         env: &mut Env,
+        scope: usize,
         tally: Option<&ScopeTally>,
         cb: &mut dyn FnMut(&Ctx<'a>, &mut Env) -> Result<bool>,
     ) -> Result<()> {
-        self.enumerate_rec(order, 0, leaf, env, tally, cb)
+        self.enumerate_rec(order, 0, leaf, env, scope, tally, cb)
             .map(|_| ())
     }
 }

@@ -211,6 +211,7 @@ impl<'a> Ctx<'a> {
         metrics::semi_builds().inc();
         let base = env.len();
         let start = self.trace.then(std::time::Instant::now);
+        let span = self.spans.as_ref().and_then(|s| s.start(self.lane));
         let set = match self.run_build(q, parts, resolved, plan, env) {
             Ok(set) => Some(Arc::new(set)),
             Err(_) => {
@@ -223,6 +224,14 @@ impl<'a> Ctx<'a> {
         let build_nanos = start.map_or(0, |s| s.elapsed().as_nanos() as u64);
         if build_nanos > 0 {
             metrics::semi_build_time().record_nanos(build_nanos);
+        }
+        if let (Some(sink), Some(t0)) = (&self.spans, span) {
+            sink.complete(
+                self.lane,
+                arc_trace::SpanKind::SemiBuild,
+                OpId::semi(q.bindings.as_ptr() as usize),
+                t0,
+            );
         }
         if let Some(sink) = &self.profile {
             // Build-side actuals on the semi-join pseudo-step: the key
@@ -295,29 +304,37 @@ impl<'a> Ctx<'a> {
             .as_ref()
             .map(|_| ScopeTally::new(q.bindings.as_ptr() as usize, order.len()));
         let mut scratch: Vec<Key> = Vec::with_capacity(local_exprs.len());
-        self.run_steps(&order, &leaf, env, tally.as_ref(), &mut |ctx, env| {
-            // Outer-free boolean subformulas run per build environment,
-            // exactly where the nested path evaluates them.
-            for b in &parts.pre_bool {
-                if !ctx.formula_truth(b, env)?.is_true() {
-                    return Ok(true);
+        let scope = q.bindings.as_ptr() as usize;
+        self.run_steps(
+            &order,
+            &leaf,
+            env,
+            scope,
+            tally.as_ref(),
+            &mut |ctx, env| {
+                // Outer-free boolean subformulas run per build environment,
+                // exactly where the nested path evaluates them.
+                for b in &parts.pre_bool {
+                    if !ctx.formula_truth(b, env)?.is_true() {
+                        return Ok(true);
+                    }
                 }
-            }
-            scratch.clear();
-            for e in &local_exprs {
-                match join_key(&ctx.scalar(e, env)?) {
-                    Some(k) => scratch.push(k),
-                    None => return Ok(true), // NULL/NaN: matches no probe
+                scratch.clear();
+                for e in &local_exprs {
+                    match join_key(&ctx.scalar(e, env)?) {
+                        Some(k) => scratch.push(k),
+                        None => return Ok(true), // NULL/NaN: matches no probe
+                    }
                 }
-            }
-            if !set.contains(scratch.as_slice()) {
-                set.insert(scratch.clone());
-            }
-            // A keyless build is a pure non-emptiness check: the first
-            // surviving environment decides, so stop early — matching the
-            // nested path's existential short-circuit.
-            Ok(!local_exprs.is_empty())
-        })?;
+                if !set.contains(scratch.as_slice()) {
+                    set.insert(scratch.clone());
+                }
+                // A keyless build is a pure non-emptiness check: the first
+                // surviving environment decides, so stop early — matching the
+                // nested path's existential short-circuit.
+                Ok(!local_exprs.is_empty())
+            },
+        )?;
         if let (Some(t), Some(sink)) = (&tally, &self.profile) {
             t.flush(sink, true);
         }

@@ -56,6 +56,18 @@ pub fn trace_from_env() -> Result<bool, EvalError> {
     arc_trace::trace_env().map_err(EvalError::Config)
 }
 
+/// Hierarchical span recording, from `ARC_SPANS`: unset/`off` (the
+/// default — like `ARC_TRACE`, spans are opt-in) keeps every span seam
+/// to one `Option` check; `on` records begin/end events for query →
+/// plan → scope → semi-join build → step → morsel regions into bounded
+/// per-lane ring buffers (see [`arc_trace::span`]). Parsing lives in
+/// [`arc_trace::parse_spans`]; a malformed value surfaces as
+/// [`EvalError::Config`] on the first evaluation, exactly like the
+/// other `ARC_*` variables.
+pub fn spans_from_env() -> Result<bool, EvalError> {
+    arc_trace::spans_env().map_err(EvalError::Config)
+}
+
 /// Vectorized columnar execution, from `ARC_VECTOR`: unset/`on` (the
 /// default) lets scans, hash-index builds, and semi-join key extraction
 /// run over [column chunks](arc_core::column) with per-chunk kernels;

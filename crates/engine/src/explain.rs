@@ -86,6 +86,24 @@ impl SourceResolver for CatalogResolver<'_> {
     }
 }
 
+/// Serialize a recorded span trace against its lowered plan: the
+/// process track is named by the plan's first rendered line, and span
+/// names resolve through [`arc_plan::span_names`] (plan spans prefixed
+/// `plan `, everything unnamed falls back to the kind default).
+fn chrome_trace_with_plan(
+    trace: &arc_trace::SpanTrace,
+    plan_text: &str,
+    plan: &PlanNode,
+) -> arc_core::json::Json {
+    let names = arc_plan::span_names(plan);
+    let label = plan_text.lines().next().unwrap_or("query").to_string();
+    arc_trace::chrome_trace(trace, &label, &move |kind, op| match kind {
+        arc_trace::SpanKind::Plan => names.get(&op).map(|n| format!("plan {n}")),
+        arc_trace::SpanKind::Morsel => names.get(&op).map(|n| format!("morsel {n}")),
+        _ => names.get(&op).cloned(),
+    })
+}
+
 fn lower_err(e: LowerError) -> EvalError {
     match e {
         LowerError::UnknownRelation(n) => EvalError::UnknownRelation(n),
@@ -186,6 +204,42 @@ impl Engine<'_> {
         let sink = ProfileSink::new();
         let out = self.with_sink(sink.clone()).eval_program(p)?;
         Ok((out, sink.finish()))
+    }
+
+    /// Evaluate a standalone collection while recording hierarchical
+    /// spans, returning the result plus the timeline as a Chrome Trace
+    /// Event Format JSON value — load it at <https://ui.perfetto.dev> (or
+    /// `chrome://tracing`) to see the query → plan → scope → step →
+    /// morsel nesting per worker lane.
+    ///
+    /// The sink is attached only for this call and sized to the engine's
+    /// thread count; span names come from [`arc_plan::span_names`] over
+    /// the same lowered plan `EXPLAIN` renders, so timeline blocks are
+    /// joinable back to `EXPLAIN ANALYZE` lines by name and by the
+    /// `args.op` operator key.
+    pub fn span_trace_collection(
+        &self,
+        c: &Collection,
+    ) -> Result<(Relation, arc_core::json::Json)> {
+        let sink = arc_trace::SpanSink::with_lanes(self.threads()?);
+        let rel = self.with_span_sink(sink.clone()).eval_collection(c)?;
+        let (plan, _) = self.lowered_collection(c)?;
+        let trace = sink.finish();
+        let json = chrome_trace_with_plan(&trace, &arc_plan::render(&plan), &plan);
+        Ok((rel, json))
+    }
+
+    /// [`Engine::span_trace_collection`] for a whole program: one
+    /// timeline covering every definition the program materializes
+    /// (fixpoint iterations included) plus the query, under a single
+    /// enclosing `query` span.
+    pub fn span_trace_program(&self, p: &Program) -> Result<(ProgramOutput, arc_core::json::Json)> {
+        let sink = arc_trace::SpanSink::with_lanes(self.threads()?);
+        let out = self.with_span_sink(sink.clone()).eval_program(p)?;
+        let (plan, _) = self.lowered_program(p)?;
+        let trace = sink.finish();
+        let json = chrome_trace_with_plan(&trace, &arc_plan::render(&plan), &plan);
+        Ok((out, json))
     }
 
     /// `EXPLAIN ANALYZE` for a standalone collection: run it with

@@ -58,15 +58,23 @@ impl Engine<'_> {
         p: &Program,
         strategy: FixpointStrategy,
     ) -> Result<ProgramOutput> {
-        let (defined, abstracts) = self.materialize_definitions(p, strategy)?;
-        let query = match &p.query {
-            Some(q) => Some(self.eval_with(q, &defined, &abstracts)?),
-            None => None,
-        };
-        Ok(ProgramOutput {
-            defined: defined.into_iter().collect(),
-            query,
-        })
+        // One latency sample — and, when a span sink is attached, one
+        // enclosing `query` span — for the whole program: definitions,
+        // fixpoints, and the final query count as a single engine entry.
+        let timer = crate::eval::QueryTimer::start(self.span_sink.as_ref());
+        let out = (|| {
+            let (defined, abstracts) = self.materialize_definitions(p, strategy)?;
+            let query = match &p.query {
+                Some(q) => Some(self.eval_with(q, &defined, &abstracts)?),
+                None => None,
+            };
+            Ok(ProgramOutput {
+                defined: defined.into_iter().collect(),
+                query,
+            })
+        })();
+        timer.finish(self.span_sink.as_ref());
+        out
     }
 
     /// Evaluate a boolean sentence in the context of a program's

@@ -11,7 +11,7 @@
 //! `plan.*`/`exec.*` metrics registered by `arc-plan`/`arc-exec`, is
 //! documented in the workspace README's Observability section.
 
-use arc_trace::{Counter, Histogram};
+use arc_trace::{Counter, Histogram, QuantileHistogram};
 use std::sync::OnceLock;
 
 macro_rules! counter_fn {
@@ -119,6 +119,14 @@ histogram_fn!(
     semi_build_time,
     "engine.semijoin.build"
 );
+
+/// `engine.query.latency`: always-on latency quantile histogram sampled
+/// once per engine entry point (`eval_collection` / `eval_sentence` /
+/// `eval_program`) — the p50/p95/p99 surface `metrics_text()` exposes.
+pub fn query_latency() -> QuantileHistogram {
+    static Q: OnceLock<QuantileHistogram> = OnceLock::new();
+    *Q.get_or_init(|| arc_trace::quantile_histogram("engine.query.latency"))
+}
 
 #[cfg(test)]
 mod tests {

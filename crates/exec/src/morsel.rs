@@ -111,7 +111,14 @@ where
             if i >= n {
                 break;
             }
+            // Always-on morsel latency sample (subject only to the
+            // process-wide quantile gate, which also guards the clock
+            // read — the gated-off path stays clock-free).
+            let t0 = arc_trace::quantile::recording().then(std::time::Instant::now);
             let out = work(&mut state, i, morsels.range(i));
+            if let Some(t0) = t0 {
+                morsel_latency().record_nanos(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+            }
             *slots[i].lock().expect("morsel slot") = Some(out);
         }
     });
@@ -129,6 +136,13 @@ where
 fn morsels_counter() -> arc_trace::Counter {
     static C: std::sync::OnceLock<arc_trace::Counter> = std::sync::OnceLock::new();
     *C.get_or_init(|| arc_trace::counter("exec.morsels"))
+}
+
+/// The `exec.morsel.latency` quantile histogram: wall time per executed
+/// morsel, sampled on every run (see `arc_trace::quantile`).
+fn morsel_latency() -> arc_trace::QuantileHistogram {
+    static Q: std::sync::OnceLock<arc_trace::QuantileHistogram> = std::sync::OnceLock::new();
+    *Q.get_or_init(|| arc_trace::quantile_histogram("exec.morsel.latency"))
 }
 
 #[cfg(test)]

@@ -42,10 +42,173 @@ pub fn render_with_threads(node: &PlanNode, threads: usize) -> String {
 /// ANALYZE`). Operators the profile has no record of render exactly as
 /// in [`render_with_threads`], so `render_analyze(n, t, &|_| None)`
 /// degrades to the plain rendering.
+///
+/// When any operator *did* record actuals, the rendering ends with a
+/// `misestimates` footer: the top 3 operators by [`q_error`] with
+/// `q >= 2.0` (one line each, worst first), or a one-line all-clear
+/// naming the worst q observed — the first place to look when a plan
+/// misbehaves after `ANALYZE`.
 pub fn render_analyze(node: &PlanNode, threads: usize, actuals: Actuals<'_>) -> String {
     let mut out = String::new();
     render_into(node, 0, threads, Some(actuals), &mut out);
+    let mut mis: Vec<(f64, String)> = Vec::new();
+    collect_misestimates(node, actuals, &mut mis);
+    if !mis.is_empty() {
+        mis.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        if mis[0].0 >= 2.0 {
+            line(&mut out, 0, "misestimates (top 3 by q-error):");
+            for (_, text) in mis.iter().take(3).filter(|(q, _)| *q >= 2.0) {
+                line(&mut out, 1, text);
+            }
+        } else {
+            line(
+                &mut out,
+                0,
+                &format!("misestimates: none (worst q={:.1})", mis[0].0),
+            );
+        }
+    }
     out
+}
+
+/// Walk the tree collecting a `(q-error, rendered line)` entry per
+/// operator that has both an estimate and recorded actuals — the same
+/// ids and the same [`q_error`] normalization the inline annotations
+/// use, so the footer is joinable back to the lines above it.
+fn collect_misestimates(node: &PlanNode, actuals: Actuals<'_>, out: &mut Vec<(f64, String)>) {
+    match node {
+        PlanNode::Program { definitions, query } => {
+            for d in definitions {
+                collect_misestimates(d, actuals, out);
+            }
+            if let Some(q) = query {
+                collect_misestimates(q, actuals, out);
+            }
+        }
+        PlanNode::Fixpoint { inputs, .. } | PlanNode::Union { inputs } => {
+            for i in inputs {
+                collect_misestimates(i, actuals, out);
+            }
+        }
+        PlanNode::Project { input, .. } | PlanNode::Aggregate { input, .. } => {
+            collect_misestimates(input, actuals, out);
+        }
+        PlanNode::Scope {
+            scope_id,
+            steps,
+            children,
+            ..
+        } => {
+            for (i, s) in steps.iter().enumerate() {
+                if let Some(a) = actuals(OpId::step(*scope_id, i)) {
+                    let q = q_error(s.est, a.rows_out, a.calls);
+                    out.push((
+                        q,
+                        format!(
+                            "{} {} as {}: q={:.1} (est={}, act={}, calls={})",
+                            s.access, s.source, s.var, q, s.est, a.rows_out, a.calls
+                        ),
+                    ));
+                }
+            }
+            for c in children {
+                collect_misestimates(&c.plan, actuals, out);
+            }
+        }
+        PlanNode::SemiJoin {
+            scope_id,
+            anti,
+            keys,
+            est_keys,
+            build,
+            ..
+        } => {
+            if let Some(a) = actuals(OpId::semi(*scope_id)) {
+                let q = q_error(*est_keys, a.rows_in, 1);
+                let op = if *anti { "anti-join" } else { "semi-join" };
+                out.push((
+                    q,
+                    format!(
+                        "{op} on [{}]: q={:.1} (est={}, keys={})",
+                        keys.join(", "),
+                        q,
+                        est_keys,
+                        a.rows_in
+                    ),
+                ));
+            }
+            collect_misestimates(build, actuals, out);
+        }
+        PlanNode::OuterJoin { .. } => {}
+    }
+}
+
+/// Timeline display names for span export: map each plan operator's
+/// [`OpId`] to the same text `EXPLAIN` prints for it — steps as
+/// `access source as var`, scopes as `scope [vars]`, semi-joins as
+/// `semi-join build on [keys]` — so a Perfetto block is joinable back to
+/// its `EXPLAIN ANALYZE` line by name as well as by `args.op`.
+pub fn span_names(node: &PlanNode) -> std::collections::BTreeMap<OpId, String> {
+    let mut names = std::collections::BTreeMap::new();
+    collect_span_names(node, &mut names);
+    names
+}
+
+fn collect_span_names(node: &PlanNode, out: &mut std::collections::BTreeMap<OpId, String>) {
+    match node {
+        PlanNode::Program { definitions, query } => {
+            for d in definitions {
+                collect_span_names(d, out);
+            }
+            if let Some(q) = query {
+                collect_span_names(q, out);
+            }
+        }
+        PlanNode::Fixpoint { inputs, .. } | PlanNode::Union { inputs } => {
+            for i in inputs {
+                collect_span_names(i, out);
+            }
+        }
+        PlanNode::Project { input, .. } | PlanNode::Aggregate { input, .. } => {
+            collect_span_names(input, out);
+        }
+        PlanNode::Scope {
+            scope_id,
+            steps,
+            children,
+            ..
+        } => {
+            let vars: Vec<&str> = steps.iter().map(|s| s.var.as_str()).collect();
+            out.insert(
+                OpId::scope(*scope_id),
+                format!("scope [{}]", vars.join(", ")),
+            );
+            for (i, s) in steps.iter().enumerate() {
+                out.insert(
+                    OpId::step(*scope_id, i),
+                    format!("{} {} as {}", s.access, s.source, s.var),
+                );
+            }
+            for c in children {
+                collect_span_names(&c.plan, out);
+            }
+        }
+        PlanNode::SemiJoin {
+            scope_id,
+            anti,
+            keys,
+            build,
+            ..
+        } => {
+            let op = if *anti { "anti-join" } else { "semi-join" };
+            out.insert(
+                OpId::semi(*scope_id),
+                format!("{op} build on [{}]", keys.join(", ")),
+            );
+            collect_span_names(build, out);
+        }
+        PlanNode::OuterJoin { .. } => {}
+    }
 }
 
 /// The q-error of an estimate: `max(est/act, act/est)` with both sides

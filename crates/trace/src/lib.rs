@@ -18,6 +18,18 @@
 //!   `explain_analyze_*` renders these against the planner's estimates
 //!   as `act=N (est=N, q=X.X)` q-error annotations.
 //!
+//! v2 adds two more layers on the same operator-id spine:
+//!
+//! * [`span`] + [`trace_json`] — **hierarchical execution spans** (query
+//!   → plan → scope → semi-join build → step → morsel) recorded into
+//!   bounded per-lane ring buffers behind the `ARC_SPANS` knob (default
+//!   off), exported as Chrome Trace Event Format JSON that Perfetto /
+//!   `chrome://tracing` render as a per-query timeline.
+//! * [`quantile`] — **always-on latency quantile histograms** (fixed
+//!   128 log buckets, relaxed atomics, mergeable snapshots) at the
+//!   per-query and per-morsel seams, surfaced as p50/p95/p99 through
+//!   [`registry::metrics_text`]'s Prometheus-style exposition.
+//!
 //! The crate depends only on `arc-core` (for [`arc_core::json`]
 //! serialization of snapshots and profiles) and sits below `arc-plan`,
 //! `arc-exec`, and `arc-engine` in the workspace dependency order.
@@ -25,13 +37,19 @@
 #![warn(missing_docs)]
 
 pub mod profile;
+pub mod quantile;
 pub mod registry;
+pub mod span;
+pub mod trace_json;
 
 pub use profile::{OpId, OpStats, ProfileSink, QueryProfile, WorkerLane};
+pub use quantile::{QuantileHistogram, QuantileSnapshot, QUANTILE_BUCKETS};
 pub use registry::{
-    counter, enabled, histogram, maybe_now, record_since, reset, set_enabled, snapshot, Counter,
-    Histogram, Snapshot,
+    counter, enabled, histogram, maybe_now, metrics_text, quantile_histogram, record_since, reset,
+    set_enabled, snapshot, validate_metric_names, Counter, Histogram, Snapshot,
 };
+pub use span::{Span, SpanKind, SpanSink, SpanTrace, LANE_CAPACITY};
+pub use trace_json::{chrome_trace, op_key};
 
 /// Interpret an `ARC_TRACE` environment value. Unlike the engine's other
 /// knobs, the default is **off**: tracing is opt-in, so the untraced hot
@@ -61,6 +79,28 @@ pub fn trace_env() -> Result<bool, String> {
     parse_trace(std::env::var("ARC_TRACE").ok().as_deref())
 }
 
+/// Interpret an `ARC_SPANS` environment value: the span-recording knob,
+/// default **off** like `ARC_TRACE` (spans read two clocks per region —
+/// strictly more expensive than the counter layer). Same pure-core /
+/// deferred-error split as [`parse_trace`].
+pub fn parse_spans(value: Option<&str>) -> Result<bool, String> {
+    match value.map(|v| v.to_lowercase().replace('_', "-")) {
+        None => Ok(false),
+        Some(v) => match v.as_str() {
+            "on" | "1" | "true" | "auto" => Ok(true),
+            "" | "off" | "0" | "false" | "no" => Ok(false),
+            other => Err(format!(
+                "unknown ARC_SPANS `{other}` (expected `on` or `off`)"
+            )),
+        },
+    }
+}
+
+/// [`parse_spans`] over the live `ARC_SPANS` environment variable.
+pub fn spans_env() -> Result<bool, String> {
+    parse_spans(std::env::var("ARC_SPANS").ok().as_deref())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -77,5 +117,19 @@ mod tests {
         let err = parse_trace(Some("nope")).unwrap_err();
         assert!(err.contains("nope"), "{err}");
         assert!(err.contains("ARC_TRACE"), "{err}");
+    }
+
+    #[test]
+    fn spans_default_off_and_parse_like_trace() {
+        assert_eq!(parse_spans(None), Ok(false));
+        assert_eq!(parse_spans(Some("")), Ok(false));
+        assert_eq!(parse_spans(Some("on")), Ok(true));
+        assert_eq!(parse_spans(Some("1")), Ok(true));
+        assert_eq!(parse_spans(Some("TRUE")), Ok(true));
+        assert_eq!(parse_spans(Some("off")), Ok(false));
+        assert_eq!(parse_spans(Some("no")), Ok(false));
+        let err = parse_spans(Some("bogus")).unwrap_err();
+        assert!(err.contains("bogus"), "{err}");
+        assert!(err.contains("ARC_SPANS"), "{err}");
     }
 }

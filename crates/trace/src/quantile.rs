@@ -1,0 +1,425 @@
+//! Always-on, mergeable latency quantile histograms (HDR-style
+//! log-bucketing, fixed 128 buckets, relaxed atomics).
+//!
+//! The registry's duration [`Histogram`](crate::Histogram)s keep
+//! count/sum/max — enough for averages, useless for tails. A
+//! [`QuantileHistogram`] adds just enough bucket resolution to answer
+//! p50/p95/p99 within a bounded relative error, while staying:
+//!
+//! * **cheap** — recording is four relaxed `fetch_add`s and one
+//!   `fetch_max`, no locks, no allocation; always on at the per-query and
+//!   per-morsel seams (which run once per query / per morsel, never per
+//!   row);
+//! * **mergeable** — buckets are plain counts, so snapshots merge by
+//!   addition (associative and commutative: per-worker or per-window
+//!   histograms fold into totals in any order);
+//! * **bounded** — exactly [`QUANTILE_BUCKETS`] buckets regardless of the
+//!   value range.
+//!
+//! ## Bucketing scheme
+//!
+//! Values 0–15 ns get exact unit buckets (indices 0–15). Above that, each
+//! power-of-two octave is split in half by its next-highest bit — two
+//! buckets per octave — giving a worst-case relative error of 25% (a
+//! reported quantile is the floor of a bucket whose width is half an
+//! octave). Values past the last bucket (≈ 2⁶⁰ ns ≈ 36 years) land in an
+//! explicit overflow count that snapshots surface, so saturation is
+//! visible rather than silently folded into the top bucket.
+
+use arc_core::json::Json;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Number of buckets in every quantile histogram.
+pub const QUANTILE_BUCKETS: usize = 128;
+
+/// Process-wide recording gate, **on by default** (this layer is the
+/// always-on half of arc-trace v2). Exists so the ablation benchmark can
+/// price the layer; not wired to any environment knob.
+static RECORDING: AtomicBool = AtomicBool::new(true);
+
+/// Is quantile recording on? Callers that pay a clock read to feed a
+/// histogram should check this first.
+#[inline]
+pub fn recording() -> bool {
+    RECORDING.load(Ordering::Relaxed)
+}
+
+/// Toggle quantile recording process-wide (bench/ablation use only).
+pub fn set_recording(on: bool) {
+    RECORDING.store(on, Ordering::Relaxed);
+}
+
+/// Bucket index for a nanosecond value, or `None` for overflow.
+#[inline]
+fn bucket_index(nanos: u64) -> Option<usize> {
+    if nanos < 16 {
+        return Some(nanos as usize);
+    }
+    let octave = nanos.ilog2() as usize; // >= 4
+    let half = ((nanos >> (octave - 1)) & 1) as usize;
+    let idx = 16 + (octave - 4) * 2 + half;
+    (idx < QUANTILE_BUCKETS).then_some(idx)
+}
+
+/// Smallest value that lands in bucket `idx` — the representative a
+/// quantile query reports.
+pub fn bucket_floor(idx: usize) -> u64 {
+    if idx < 16 {
+        return idx as u64;
+    }
+    let k = idx - 16;
+    let octave = 4 + k / 2;
+    let base = 1u64 << octave;
+    if k.is_multiple_of(2) {
+        base
+    } else {
+        base | (base >> 1)
+    }
+}
+
+/// Backing storage for a quantile histogram (the leaked registry cell).
+pub(crate) struct QuantileCell {
+    count: AtomicU64,
+    sum_nanos: AtomicU64,
+    max_nanos: AtomicU64,
+    overflow: AtomicU64,
+    buckets: [AtomicU64; QUANTILE_BUCKETS],
+}
+
+impl QuantileCell {
+    pub(crate) fn new() -> QuantileCell {
+        QuantileCell {
+            count: AtomicU64::new(0),
+            sum_nanos: AtomicU64::new(0),
+            max_nanos: AtomicU64::new(0),
+            overflow: AtomicU64::new(0),
+            buckets: [const { AtomicU64::new(0) }; QUANTILE_BUCKETS],
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_nanos.store(0, Ordering::Relaxed);
+        self.max_nanos.store(0, Ordering::Relaxed);
+        self.overflow.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> QuantileSnapshot {
+        QuantileSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum_nanos: self.sum_nanos.load(Ordering::Relaxed),
+            max_nanos: self.max_nanos.load(Ordering::Relaxed),
+            overflow: self.overflow.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// A named latency quantile histogram. `Copy` handle to a leaked cell,
+/// like [`Counter`](crate::Counter); obtain one from
+/// [`quantile_histogram`](crate::registry::quantile_histogram).
+#[derive(Clone, Copy)]
+pub struct QuantileHistogram(pub(crate) &'static QuantileCell);
+
+impl QuantileHistogram {
+    /// Record one observation of `nanos` nanoseconds (relaxed atomics;
+    /// honors the process [`recording`] gate).
+    #[inline]
+    pub fn record_nanos(self, nanos: u64) {
+        if !recording() {
+            return;
+        }
+        let cell = self.0;
+        cell.count.fetch_add(1, Ordering::Relaxed);
+        cell.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        cell.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+        match bucket_index(nanos) {
+            Some(idx) => {
+                cell.buckets[idx].fetch_add(1, Ordering::Relaxed);
+            }
+            None => {
+                cell.overflow.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Number of recorded observations.
+    pub fn count(self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy of the full bucket state.
+    pub fn snapshot(self) -> QuantileSnapshot {
+        self.0.snapshot()
+    }
+}
+
+/// Owned bucket state of a quantile histogram: the mergeable,
+/// quantile-queryable value type snapshots and diffs work over.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantileSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values, nanoseconds.
+    pub sum_nanos: u64,
+    /// Largest observed value, nanoseconds.
+    pub max_nanos: u64,
+    /// Observations past the last bucket (saturation — nonzero means the
+    /// top quantiles are floor-reported from `max_nanos`).
+    pub overflow: u64,
+    /// Per-bucket counts, [`QUANTILE_BUCKETS`] long.
+    pub buckets: Vec<u64>,
+}
+
+impl Default for QuantileSnapshot {
+    fn default() -> QuantileSnapshot {
+        QuantileSnapshot {
+            count: 0,
+            sum_nanos: 0,
+            max_nanos: 0,
+            overflow: 0,
+            buckets: vec![0; QUANTILE_BUCKETS],
+        }
+    }
+}
+
+impl QuantileSnapshot {
+    /// Record into an owned snapshot (plain arithmetic — used by tests
+    /// and by anything accumulating off the hot path).
+    pub fn record_nanos(&mut self, nanos: u64) {
+        self.count += 1;
+        // Saturating: min(MAX, Σ) is order-independent, so merge stays
+        // associative even once a sum pins at the ceiling.
+        self.sum_nanos = self.sum_nanos.saturating_add(nanos);
+        self.max_nanos = self.max_nanos.max(nanos);
+        match bucket_index(nanos) {
+            Some(idx) => self.buckets[idx] += 1,
+            None => self.overflow += 1,
+        }
+    }
+
+    /// Fold `other` in. Addition bucket-by-bucket: associative and
+    /// commutative, so per-worker histograms merge in any order.
+    pub fn merge(&mut self, other: &QuantileSnapshot) {
+        self.count += other.count;
+        self.sum_nanos = self.sum_nanos.saturating_add(other.sum_nanos);
+        self.max_nanos = self.max_nanos.max(other.max_nanos);
+        self.overflow += other.overflow;
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+    }
+
+    /// The change from `earlier` to `self` (saturating, like
+    /// [`Snapshot::diff`](crate::Snapshot::diff); `max_nanos` carries the
+    /// later value).
+    pub fn diff(&self, earlier: &QuantileSnapshot) -> QuantileSnapshot {
+        QuantileSnapshot {
+            count: self.count.saturating_sub(earlier.count),
+            sum_nanos: self.sum_nanos.saturating_sub(earlier.sum_nanos),
+            max_nanos: self.max_nanos,
+            overflow: self.overflow.saturating_sub(earlier.overflow),
+            buckets: self
+                .buckets
+                .iter()
+                .zip(&earlier.buckets)
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+        }
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) in nanoseconds: the floor of the
+    /// bucket containing the ceil(q·count)-th observation. Returns 0 on
+    /// an empty histogram; ranks that fall into the overflow count report
+    /// `max_nanos`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return bucket_floor(idx);
+            }
+        }
+        self.max_nanos
+    }
+
+    /// Serialize as a canonical JSON object (`buckets` trailing zeros are
+    /// elided to keep exposition output compact).
+    pub fn to_json(&self) -> Json {
+        let last = self
+            .buckets
+            .iter()
+            .rposition(|&b| b != 0)
+            .map_or(0, |i| i + 1);
+        Json::obj([
+            ("count", Json::Int(self.count as i64)),
+            ("sum_nanos", Json::Int(self.sum_nanos as i64)),
+            ("max_nanos", Json::Int(self.max_nanos as i64)),
+            ("overflow", Json::Int(self.overflow as i64)),
+            ("p50", Json::Int(self.quantile(0.5) as i64)),
+            ("p95", Json::Int(self.quantile(0.95) as i64)),
+            ("p99", Json::Int(self.quantile(0.99) as i64)),
+            (
+                "buckets",
+                Json::Arr(
+                    self.buckets[..last]
+                        .iter()
+                        .map(|&b| Json::Int(b as i64))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotonic_and_invert() {
+        let mut prev = None;
+        for idx in 0..QUANTILE_BUCKETS {
+            let floor = bucket_floor(idx);
+            if let Some(p) = prev {
+                assert!(floor > p, "floors must strictly increase at {idx}");
+            }
+            prev = Some(floor);
+            // The floor of a bucket lands back in that bucket.
+            assert_eq!(bucket_index(floor), Some(idx), "floor {floor} idx {idx}");
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        // Every value maps to a bucket whose floor is within 25% below.
+        for &v in &[17u64, 100, 999, 4096, 65_535, 1_000_000, u64::pow(2, 40)] {
+            let idx = bucket_index(v).unwrap();
+            let floor = bucket_floor(idx);
+            assert!(floor <= v);
+            assert!(
+                (v - floor) as f64 / v as f64 <= 0.25 + 1e-9,
+                "value {v} floor {floor}"
+            );
+        }
+    }
+
+    #[test]
+    fn overflow_is_explicit() {
+        let mut s = QuantileSnapshot::default();
+        s.record_nanos(u64::MAX);
+        s.record_nanos(5);
+        assert_eq!(s.overflow, 1);
+        assert_eq!(s.count, 2);
+        // The overflow rank reports max, not a bucket floor.
+        assert_eq!(s.quantile(1.0), u64::MAX);
+        assert_eq!(s.quantile(0.25), 5);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let mk = |vals: &[u64]| {
+            let mut s = QuantileSnapshot::default();
+            for &v in vals {
+                s.record_nanos(v);
+            }
+            s
+        };
+        let a = mk(&[1, 50, 3000]);
+        let b = mk(&[7, 7, 1_000_000]);
+        let c = mk(&[0, u64::MAX]);
+
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc);
+
+        // a ⊕ b == b ⊕ a
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+
+        // And merging equals recording everything into one histogram.
+        assert_eq!(ab_c, mk(&[1, 50, 3000, 7, 7, 1_000_000, 0, u64::MAX]));
+    }
+
+    #[test]
+    fn known_distribution_quantiles_within_one_bucket() {
+        // Uniform 1..=1000 ns: p50 = 500, p95 = 950, p99 = 990.
+        let mut s = QuantileSnapshot::default();
+        for v in 1..=1000u64 {
+            s.record_nanos(v);
+        }
+        for (q, exact) in [(0.5, 500u64), (0.95, 950), (0.99, 990)] {
+            let got = s.quantile(q);
+            let idx = bucket_index(exact).unwrap();
+            // Within one bucket of the exact value: the reported floor is
+            // the exact value's bucket or an adjacent one.
+            let got_idx = bucket_index(got).unwrap();
+            assert!(
+                got_idx.abs_diff(idx) <= 1,
+                "q={q} exact={exact} got={got} (bucket {got_idx} vs {idx})"
+            );
+            // And never above the exact value's bucket ceiling.
+            assert!(got <= exact, "quantile floor must not exceed exact rank");
+        }
+        assert_eq!(s.quantile(0.0), bucket_floor(bucket_index(1).unwrap()));
+        assert_eq!(s.quantile(1.0), bucket_floor(bucket_index(1000).unwrap()));
+    }
+
+    #[test]
+    fn diff_isolates_a_window() {
+        let mut s = QuantileSnapshot::default();
+        s.record_nanos(10);
+        let before = s.clone();
+        s.record_nanos(100);
+        s.record_nanos(100);
+        let d = s.diff(&before);
+        assert_eq!(d.count, 2);
+        assert_eq!(d.sum_nanos, 200);
+        assert_eq!(d.quantile(0.5), bucket_floor(bucket_index(100).unwrap()));
+    }
+
+    #[test]
+    fn snapshot_json_reparses() {
+        let mut s = QuantileSnapshot::default();
+        for v in [3u64, 47, 4097] {
+            s.record_nanos(v);
+        }
+        let text = s.to_json().to_string();
+        assert!(text.contains("\"p50\""), "{text}");
+        assert!(text.contains("\"overflow\":0"), "{text}");
+        arc_core::json::parse(&text).expect("quantile JSON must reparse");
+    }
+
+    #[test]
+    fn recording_gate_stops_the_hot_path() {
+        // Owned snapshots ignore the gate; only the atomic handle honors
+        // it (exercised via the registry in registry tests). Here: the
+        // gate itself flips and restores.
+        let was = recording();
+        set_recording(false);
+        assert!(!recording());
+        set_recording(true);
+        assert!(recording());
+        set_recording(was);
+    }
+}

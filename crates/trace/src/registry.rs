@@ -27,6 +27,7 @@
 //! [`Snapshot::diff`] is saturating, so a reset racing a reader never
 //! underflows.
 
+use crate::quantile::{QuantileCell, QuantileHistogram, QuantileSnapshot};
 use arc_core::json::Json;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -182,6 +183,7 @@ impl Histogram {
 struct Registry {
     counters: BTreeMap<&'static str, &'static AtomicU64>,
     histograms: BTreeMap<&'static str, &'static HistogramCell>,
+    quantiles: BTreeMap<&'static str, &'static QuantileCell>,
 }
 
 static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
@@ -191,6 +193,7 @@ fn registry() -> &'static Mutex<Registry> {
         Mutex::new(Registry {
             counters: BTreeMap::new(),
             histograms: BTreeMap::new(),
+            quantiles: BTreeMap::new(),
         })
     })
 }
@@ -217,6 +220,20 @@ pub fn histogram(name: &'static str) -> Histogram {
     Histogram(cell)
 }
 
+/// Get (registering on first use) the latency quantile histogram named
+/// `name`. Unlike duration [`Histogram`]s these are **always on** (no
+/// `ARC_TRACE` gate) — they are the p50/p99 surface the exposition
+/// endpoint scrapes — so attach them only at coarse seams (per query,
+/// per morsel).
+pub fn quantile_histogram(name: &'static str) -> QuantileHistogram {
+    let mut reg = registry().lock().unwrap();
+    let cell = reg
+        .quantiles
+        .entry(name)
+        .or_insert_with(|| Box::leak(Box::new(QuantileCell::new())));
+    QuantileHistogram(cell)
+}
+
 // ---------------------------------------------------------------------------
 // Snapshot / reset / diff
 // ---------------------------------------------------------------------------
@@ -241,6 +258,9 @@ pub struct Snapshot {
     pub counters: BTreeMap<String, u64>,
     /// Histogram name → (count, sum, max).
     pub histograms: BTreeMap<String, HistStats>,
+    /// Quantile histogram name → full bucket state (mergeable,
+    /// quantile-queryable; overflow drops included).
+    pub quantiles: BTreeMap<String, QuantileSnapshot>,
 }
 
 impl Snapshot {
@@ -272,9 +292,18 @@ impl Snapshot {
                 )
             })
             .collect();
+        let quantiles = self
+            .quantiles
+            .iter()
+            .map(|(k, v)| {
+                let before = earlier.quantiles.get(k).cloned().unwrap_or_default();
+                (k.clone(), v.diff(&before))
+            })
+            .collect();
         Snapshot {
             counters,
             histograms,
+            quantiles,
         }
     }
 
@@ -287,6 +316,11 @@ impl Snapshot {
     /// Histogram stats by name (zeros if absent).
     pub fn hist(&self, name: &str) -> HistStats {
         self.histograms.get(name).copied().unwrap_or_default()
+    }
+
+    /// Quantile histogram state by name (empty if absent).
+    pub fn quantile(&self, name: &str) -> QuantileSnapshot {
+        self.quantiles.get(name).cloned().unwrap_or_default()
     }
 
     /// Serialize as a canonical JSON object:
@@ -314,7 +348,56 @@ impl Snapshot {
                 })
                 .collect(),
         );
-        Json::obj([("counters", counters), ("histograms", histograms)])
+        let quantiles = Json::Obj(
+            self.quantiles
+                .iter()
+                .map(|(k, v)| (k.clone(), v.to_json()))
+                .collect(),
+        );
+        Json::obj([
+            ("counters", counters),
+            ("histograms", histograms),
+            ("quantiles", quantiles),
+        ])
+    }
+
+    /// Render every metric in Prometheus text exposition format. Metric
+    /// names are the registry's dot-namespaced names with dots mapped to
+    /// underscores under an `arc_` prefix (`plan.cache.hit` →
+    /// `arc_plan_cache_hit`); quantile histograms export as summaries
+    /// with `quantile="0.5"/"0.95"/"0.99"` labels. Deterministic order
+    /// (the underlying maps are sorted).
+    pub fn metrics_text(&self) -> String {
+        fn mangle(name: &str) -> String {
+            format!("arc_{}", name.replace('.', "_"))
+        }
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let m = mangle(name);
+            out.push_str(&format!("# TYPE {m} counter\n{m} {v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            let m = mangle(name);
+            out.push_str(&format!(
+                "# TYPE {m} summary\n{m}_count {}\n{m}_sum_nanos {}\n{m}_max_nanos {}\n",
+                h.count, h.sum_nanos, h.max_nanos
+            ));
+        }
+        for (name, q) in &self.quantiles {
+            let m = mangle(name);
+            out.push_str(&format!("# TYPE {m} summary\n"));
+            for quant in [0.5, 0.95, 0.99] {
+                out.push_str(&format!(
+                    "{m}{{quantile=\"{quant}\"}} {}\n",
+                    q.quantile(quant)
+                ));
+            }
+            out.push_str(&format!(
+                "{m}_count {}\n{m}_sum_nanos {}\n{m}_max_nanos {}\n{m}_overflow {}\n",
+                q.count, q.sum_nanos, q.max_nanos, q.overflow
+            ));
+        }
+        out
     }
 }
 
@@ -340,9 +423,15 @@ pub fn snapshot() -> Snapshot {
             )
         })
         .collect();
+    let quantiles = reg
+        .quantiles
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.snapshot()))
+        .collect();
     Snapshot {
         counters,
         histograms,
+        quantiles,
     }
 }
 
@@ -362,6 +451,60 @@ pub fn reset() {
             b.store(0, Ordering::Relaxed);
         }
     }
+    for v in reg.quantiles.values() {
+        v.reset();
+    }
+}
+
+/// Render every registered metric in Prometheus text exposition format
+/// (a live-registry shorthand for [`Snapshot::metrics_text`]).
+pub fn metrics_text() -> String {
+    snapshot().metrics_text()
+}
+
+/// Lint every registered metric name: dot-namespaced (at least two
+/// segments), snake_case segments (`[a-z][a-z0-9_]*`), and unique across
+/// metric kinds — the contract that keeps [`metrics_text`] output
+/// machine-scrapable (names mangle injectively to `arc_*`). Returns a
+/// message naming every offender. CI runs this as a unit test after the
+/// full workspace vocabulary has registered.
+pub fn validate_metric_names() -> Result<(), String> {
+    let reg = registry().lock().unwrap();
+    let mut problems = Vec::new();
+    let mut seen: BTreeMap<&'static str, &'static str> = BTreeMap::new();
+    let all = reg
+        .counters
+        .keys()
+        .map(|k| (*k, "counter"))
+        .chain(reg.histograms.keys().map(|k| (*k, "histogram")))
+        .chain(reg.quantiles.keys().map(|k| (*k, "quantile")));
+    for (name, kind) in all {
+        if !name_well_formed(name) {
+            problems.push(format!(
+                "`{name}` ({kind}) is not dot-namespaced snake_case"
+            ));
+        }
+        if let Some(prior) = seen.insert(name, kind) {
+            problems.push(format!("`{name}` registered as both {prior} and {kind}"));
+        }
+    }
+    if problems.is_empty() {
+        Ok(())
+    } else {
+        Err(problems.join("; "))
+    }
+}
+
+/// Is `name` dot-namespaced snake_case (`seg.seg[.seg...]`, each segment
+/// `[a-z][a-z0-9_]*`)?
+fn name_well_formed(name: &str) -> bool {
+    let segments: Vec<&str> = name.split('.').collect();
+    segments.len() >= 2
+        && segments.iter().all(|s| {
+            s.chars().next().is_some_and(|c| c.is_ascii_lowercase())
+                && s.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        })
 }
 
 #[cfg(test)]
@@ -424,13 +567,102 @@ mod tests {
     #[test]
     fn snapshot_serializes_to_canonical_json() {
         counter("test.registry.json").add(7);
-        histogram("test.registry.json-hist").record_nanos(42);
+        histogram("test.registry.json_hist").record_nanos(42);
+        quantile_histogram("test.registry.json_quant").record_nanos(42);
         let j = snapshot().to_json();
         let text = j.to_string();
         assert!(text.contains("\"test.registry.json\":"), "{text}");
-        assert!(text.contains("\"test.registry.json-hist\":"), "{text}");
+        assert!(text.contains("\"test.registry.json_hist\":"), "{text}");
+        assert!(text.contains("\"test.registry.json_quant\":"), "{text}");
         assert!(text.contains("\"sum_nanos\":"), "{text}");
+        assert!(text.contains("\"p99\":"), "{text}");
         // Round-trips through the arc-core parser.
         arc_core::json::parse(&text).expect("snapshot JSON must reparse");
+    }
+
+    #[test]
+    fn quantile_histograms_snapshot_and_diff() {
+        let q = quantile_histogram("test.registry.quant_diff");
+        let before = snapshot();
+        q.record_nanos(100);
+        q.record_nanos(200);
+        let d = snapshot()
+            .diff(&before)
+            .quantile("test.registry.quant_diff");
+        assert_eq!(d.count, 2);
+        assert_eq!(d.sum_nanos, 300);
+    }
+
+    #[test]
+    fn quantile_recording_gate_is_honored() {
+        let q = quantile_histogram("test.registry.quant_gate");
+        let was = crate::quantile::recording();
+        crate::quantile::set_recording(false);
+        let before = q.count();
+        q.record_nanos(5);
+        assert_eq!(q.count(), before);
+        crate::quantile::set_recording(true);
+        q.record_nanos(5);
+        assert_eq!(q.count(), before + 1);
+        crate::quantile::set_recording(was);
+    }
+
+    #[test]
+    fn metrics_text_exposes_quantiles_against_a_known_distribution() {
+        // Uniform 1..=1000 µs in nanoseconds: p50 ≈ 500µs, p95 ≈ 950µs,
+        // p99 ≈ 990µs — each reported as its bucket floor, within one
+        // half-octave bucket (≤ 25% below) of the exact rank value.
+        let q = quantile_histogram("test.registry.exposition");
+        for v in 1..=1000u64 {
+            q.record_nanos(v * 1000);
+        }
+        let snap = q.snapshot();
+        for (quant, exact) in [(0.5, 500_000u64), (0.95, 950_000), (0.99, 990_000)] {
+            let got = snap.quantile(quant);
+            assert!(got <= exact, "q={quant}: {got} > {exact}");
+            assert!(
+                got as f64 >= exact as f64 * 0.75,
+                "q={quant}: {got} more than one bucket below {exact}"
+            );
+        }
+        let text = metrics_text();
+        assert!(
+            text.contains("# TYPE arc_test_registry_exposition summary"),
+            "{text}"
+        );
+        for quant in ["0.5", "0.95", "0.99"] {
+            let needle = format!("arc_test_registry_exposition{{quantile=\"{quant}\"}} ");
+            assert!(text.contains(&needle), "missing {needle} in:\n{text}");
+        }
+        assert!(
+            text.contains("arc_test_registry_exposition_count 1000"),
+            "{text}"
+        );
+        assert!(
+            text.contains("arc_test_registry_exposition_overflow 0"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn metric_name_lint_accepts_the_catalog_shape_only() {
+        // Shape rules, exercised directly (bad names never reach the
+        // live registry — that would poison the registry-wide lint).
+        assert!(name_well_formed("plan.cache.hit"));
+        assert!(name_well_formed("engine.index.hash.builds"));
+        assert!(name_well_formed("exec.morsel.latency"));
+        assert!(!name_well_formed("flat")); // not namespaced
+        assert!(!name_well_formed("has-hyphen.segment"));
+        assert!(!name_well_formed("Upper.case"));
+        assert!(!name_well_formed("trailing.dot."));
+        assert!(!name_well_formed(".leading.dot"));
+        assert!(!name_well_formed("digit.1leading"));
+        assert!(!name_well_formed("has space.x"));
+    }
+
+    #[test]
+    fn registered_metric_names_pass_the_lint() {
+        counter("test.registry.lint_ok");
+        validate_metric_names().expect("every registered name is clean");
     }
 }

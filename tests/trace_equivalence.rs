@@ -213,6 +213,68 @@ fn explain_analyze_renders_actuals() {
     );
 }
 
+/// The `EXPLAIN ANALYZE` misestimates footer: exact estimates render the
+/// one-line all-clear (golden-pinned on the ANALYZEd skewed range-join,
+/// where the histogram nails both steps), while a heavy-key join whose
+/// per-probe average overshoots the actual bucket renders the offender —
+/// worst first, joinable to its inline `q=` annotation.
+#[test]
+fn explain_analyze_footer_reports_misestimates() {
+    // All-clear: the ANALYZEd skew fixture estimates exactly.
+    let n = 1024;
+    let mut catalog = fx::stats_skew_catalog(n);
+    catalog.analyze();
+    let analyzed = Engine::new(&catalog, Conventions::sql())
+        .with_strategy(EvalStrategy::Planned)
+        .with_threads(1)
+        .with_indexes(true)
+        .explain_analyze_collection(&fx::eq1_range(n))
+        .unwrap();
+    assert!(
+        analyzed.ends_with("misestimates: none (worst q=1.0)\n"),
+        "exact estimates must render the all-clear footer:\n{analyzed}"
+    );
+    // Plain EXPLAIN carries no footer (no actuals — nothing ran).
+    let plain = Engine::new(&catalog, Conventions::sql())
+        .with_indexes(true)
+        .explain_collection(&fx::eq1_range(n))
+        .unwrap();
+    assert!(
+        !plain.contains("misestimates"),
+        "EXPLAIN must not run:\n{plain}"
+    );
+
+    // Heavy-key skew: R's 4 rows all probe S's key 7, whose bucket holds
+    // 24 rows — but the per-probe estimate is the average bucket
+    // (1024 rows / 2 distinct keys = 512), a q-error of 21.3.
+    let mut r = arc_engine::Relation::new("R", &["A", "B"]);
+    for i in 0..4i64 {
+        r.push(vec![i.into(), 7i64.into()]);
+    }
+    let mut s = arc_engine::Relation::new("S", &["B", "C"]);
+    for i in 0..1024i64 {
+        s.push(vec![(if i < 1000 { 0i64 } else { 7 }).into(), i.into()]);
+    }
+    let skewed = arc_engine::Catalog::new().with(r).with(s);
+    let analyzed = Engine::new(&skewed, Conventions::sql())
+        .with_strategy(EvalStrategy::Planned)
+        .with_threads(1)
+        .explain_analyze_collection(&fx::q("{Q(A) | ∃r ∈ R, s ∈ S [Q.A = r.A ∧ r.B = s.B]}"))
+        .unwrap();
+    assert!(
+        analyzed.contains("misestimates (top 3 by q-error):"),
+        "footer header missing:\n{analyzed}"
+    );
+    assert!(
+        analyzed.contains("  hash-probe on [r.B = s.B] S as s: q=21.3 (est=512, act=96, calls=4)"),
+        "offending probe missing from footer:\n{analyzed}"
+    );
+    assert!(
+        !analyzed.contains("scan R as r: q="),
+        "exact steps (q=1.0) must stay out of the footer:\n{analyzed}"
+    );
+}
+
 /// Semi-join probe actuals live on their own pseudo-operator (they
 /// share the scope id with the build pipeline): `rows_in` = built keys,
 /// `calls` = probes, `rows_out` = hits — all hand-countable on the
