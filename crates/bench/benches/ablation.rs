@@ -432,9 +432,73 @@ fn spans_on_vs_off(c: &mut Criterion) {
     g.finish();
 }
 
+/// The guard off vs. armed (`arc-guard`, PR 10) on two shapes: the
+/// sequential equi-join and the partitioned skewed range-join. Three
+/// legs per shape: guard-off is the default engine (`make_guard`
+/// returns `None`; the only cost is one `Option` check per seam);
+/// guard-on-deadline arms a generous never-hit deadline (every
+/// enumeration tick and morsel claim reads the clock at the check
+/// cadence); guard-on-limits adds a generous memory budget, so every
+/// build admission also charges the atomic accountant. The acceptance
+/// bar is guard-on ≤ 5% over guard-off on both shapes (hard bar 10%).
+fn guard_on_vs_off(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_guard");
+    let generous = std::time::Duration::from_secs(3600);
+    let budget = 1usize << 30;
+    let q1 = fx::eq1();
+    for n in [1024usize, 4096] {
+        let catalog = fx::rs_catalog(n);
+        for (name, deadline, limits) in [
+            ("eq1_guard_off", false, false),
+            ("eq1_guard_deadline", true, false),
+            ("eq1_guard_limits", true, true),
+        ] {
+            g.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                let mut engine = Engine::new(&catalog, Conventions::sql());
+                if deadline {
+                    engine = engine.with_timeout(generous);
+                }
+                if limits {
+                    engine = engine.with_mem_budget(budget);
+                }
+                b.iter(|| black_box(engine.eval_collection(&q1).unwrap().len()));
+            });
+        }
+    }
+    for n in [4096usize, 16384] {
+        // Same widened range-join as the span series: the filtered `R`
+        // scan stays above the partition gate, so the guard is checked
+        // per morsel claim across 4 workers and charged per shared build.
+        let q = fx::q(&format!(
+            "{{Q(A) | ∃r ∈ R, s ∈ S [Q.A = r.A ∧ r.B = s.B ∧ r.A > {}]}}",
+            n - 33
+        ));
+        let catalog = fx::stats_skew_catalog(n);
+        for (name, deadline, limits) in [
+            ("range_join_guard_off", false, false),
+            ("range_join_guard_deadline", true, false),
+            ("range_join_guard_limits", true, true),
+        ] {
+            g.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                let mut engine = Engine::new(&catalog, Conventions::sql())
+                    .with_threads(4)
+                    .with_indexes(false);
+                if deadline {
+                    engine = engine.with_timeout(generous);
+                }
+                if limits {
+                    engine = engine.with_mem_budget(budget);
+                }
+                b.iter(|| black_box(engine.eval_collection(&q).unwrap().len()));
+            });
+        }
+    }
+    g.finish();
+}
+
 criterion_group! {
     name = ablation;
     config = configured();
-    targets = nested_loop_vs_hash_join, naive_vs_semi_naive, fio_vs_foi_cost, inline_vs_reified, set_vs_bag, sequential_vs_parallel, stats_on_vs_off, semijoin_on_vs_off, vectorized_vs_row_path, index_vs_scan, trace_on_vs_off, spans_on_vs_off
+    targets = nested_loop_vs_hash_join, naive_vs_semi_naive, fio_vs_foi_cost, inline_vs_reified, set_vs_bag, sequential_vs_parallel, stats_on_vs_off, semijoin_on_vs_off, vectorized_vs_row_path, index_vs_scan, trace_on_vs_off, spans_on_vs_off, guard_on_vs_off
 }
 criterion_main!(ablation);

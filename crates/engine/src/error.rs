@@ -51,6 +51,22 @@ pub enum EvalError {
         /// The range variable of the stuck binding.
         var: String,
     },
+    /// The caller tripped the query's `CancelHandle`
+    /// ([`Engine::cancel_handle`](crate::Engine::cancel_handle)).
+    Cancelled,
+    /// The query ran past its deadline (`ARC_TIMEOUT_MS` /
+    /// [`Engine::with_timeout`](crate::Engine::with_timeout)).
+    DeadlineExceeded,
+    /// A non-degradable allocation exceeded the memory budget
+    /// (`ARC_MEM_BUDGET` /
+    /// [`Engine::with_mem_budget`](crate::Engine::with_mem_budget)).
+    /// Degradable builds fall back to streaming paths instead of
+    /// raising this; only hard exhaustion aborts.
+    MemoryBudget,
+    /// A worker panicked mid-query. The panic was contained at the
+    /// engine boundary: caches recover and the same engine and worker
+    /// pool answer the next query.
+    WorkerPanic(String),
     /// Internal invariant violation (a bug in the engine).
     Internal(String),
 }
@@ -103,6 +119,10 @@ impl fmt::Display for EvalError {
                 write!(f, "join annotation does not cover the quantifier's bindings")
             }
             EvalError::Config(msg) => write!(f, "engine configuration error: {msg}"),
+            EvalError::Cancelled => write!(f, "query cancelled"),
+            EvalError::DeadlineExceeded => write!(f, "query deadline exceeded"),
+            EvalError::MemoryBudget => write!(f, "query memory budget exceeded"),
+            EvalError::WorkerPanic(msg) => write!(f, "worker panicked: {msg}"),
             EvalError::Unplannable { var } => {
                 write!(f, "binding `{var}` cannot be placed in any join order")
             }

@@ -231,6 +231,33 @@ impl IndexPlan {
                 .collect(),
         })
     }
+
+    /// Row-wise equivalent of this plan's consumed filters — the
+    /// **degraded** scan path when the memory budget denies the
+    /// ordered-index (or selection) build. Keeps exactly the rows
+    /// [`OrderedIndex::search`] would select: the equality prefix under
+    /// hash-probe (key) semantics, the range bounds under
+    /// [`cmp_truth`](arc_core::value::cmp_truth).
+    pub(crate) fn row_matches(&self, row: &[Value]) -> bool {
+        if self.probe.empty {
+            return false;
+        }
+        let (&range_col, eq_cols) = self
+            .cols
+            .split_last()
+            .expect("an index plan always has columns");
+        for (k, &c) in self.probe.eq.iter().zip(eq_cols) {
+            match row[c].join_key() {
+                Some(rk) if rk == *k => {}
+                _ => return false,
+            }
+        }
+        let in_bound = |b: &Option<(CmpOp, Value)>| {
+            b.iter()
+                .all(|(op, v)| arc_core::value::cmp_truth(&row[range_col], *op, v).is_true())
+        };
+        in_bound(&self.probe.lo) && in_bound(&self.probe.hi)
+    }
 }
 
 /// An ordered secondary index over one or more columns of a relation:

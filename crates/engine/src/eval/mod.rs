@@ -95,15 +95,67 @@ pub(crate) type PlanCacheKey = (usize, u64, u64, bool);
 pub(crate) type SelectionCache = RefCell<HashMap<(usize, Vec<usize>), Arc<Vec<u32>>>>;
 
 use crate::catalog::Catalog;
-use crate::error::Result;
+use crate::error::{EvalError, Result};
 use crate::relation::Relation;
 use arc_core::ast::{Collection, Formula};
 use arc_core::conventions::Conventions;
 use arc_core::value::Truth;
+use arc_guard::{seam, CancelHandle, CancelState, FaultKind, FaultPlan, QueryGuard, Trip};
 use arc_plan::ScopePlan;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Duration;
+
+/// How many enumeration steps ([`Ctx::guard_step`]) between guard
+/// checks: amortizes the cancel-flag load and deadline clock read so the
+/// per-environment cost of an armed guard stays one `Cell` bump.
+const GUARD_TICK: u32 = 256;
+
+/// Map a guard trip onto its structured engine error.
+pub(crate) fn trip_error(t: Trip) -> EvalError {
+    match t {
+        Trip::Cancelled => EvalError::Cancelled,
+        Trip::DeadlineExceeded => EvalError::DeadlineExceeded,
+        Trip::MemoryBudget => EvalError::MemoryBudget,
+    }
+}
+
+/// Guard plumbing shared by code that holds a guard but no [`Ctx`] (the
+/// fixpoint driver): fault injection at a named check seam, then the
+/// cooperative check. A `Panic` fault panics (containment is the entry
+/// points' `catch_unwind`); a `Budget` fault at a check seam trips the
+/// budget; a `Cancel` fault trips cancellation.
+pub(crate) fn guard_check_at(guard: Option<&Arc<QueryGuard>>, at: &'static str) -> Result<()> {
+    let Some(g) = guard else { return Ok(()) };
+    if g.fault_armed() {
+        match g.fire_fault(at) {
+            Some(FaultKind::Panic) => {
+                crate::metrics::guard_faults().inc();
+                panic!("injected fault at seam `{at}`")
+            }
+            Some(FaultKind::Budget) => {
+                crate::metrics::guard_faults().inc();
+                g.trip(Trip::MemoryBudget);
+            }
+            Some(FaultKind::Cancel) => {
+                crate::metrics::guard_faults().inc();
+                g.trip(Trip::Cancelled);
+            }
+            None => {}
+        }
+    }
+    g.check().map_err(trip_error)
+}
+
+/// Hard reservation against a guard without a [`Ctx`] (fixpoint deltas):
+/// denial trips the guard and surfaces `EvalError::MemoryBudget`.
+pub(crate) fn guard_reserve_hard(guard: Option<&Arc<QueryGuard>>, bytes: usize) -> Result<()> {
+    match guard {
+        Some(g) => g.reserve_hard(bytes).map_err(trip_error),
+        None => Ok(()),
+    }
+}
 
 /// The evaluation engine: a catalog plus a convention profile plus an
 /// evaluation strategy plus a parallelism budget.
@@ -138,6 +190,23 @@ pub struct Engine<'c> {
     /// query/plan/scope/step/morsel seams record begin/end timestamps
     /// into it; same deferred-error story.
     spans: std::result::Result<bool, crate::error::EvalError>,
+    /// Per-query deadline (`ARC_TIMEOUT_MS` / [`Engine::with_timeout`]);
+    /// `None` means unbounded. Same deferred-error story as `strategy`.
+    timeout: std::result::Result<Option<Duration>, crate::error::EvalError>,
+    /// Per-query memory budget in bytes (`ARC_MEM_BUDGET` /
+    /// [`Engine::with_mem_budget`]); `None` means unbounded. Builds that
+    /// would exceed the budget degrade to streaming paths; only hard
+    /// exhaustion aborts. Same deferred-error story.
+    mem_budget: std::result::Result<Option<usize>, crate::error::EvalError>,
+    /// Deterministic fault-injection plan (`ARC_FAULT` /
+    /// [`Engine::with_fault`]); `None` (the default) injects nothing.
+    /// Same deferred-error story.
+    fault: std::result::Result<Option<FaultPlan>, crate::error::EvalError>,
+    /// Cooperative cancellation state shared with every
+    /// [`CancelHandle`] this engine hands out. Guards are only built
+    /// when a handle was requested (or a deadline/budget/fault is
+    /// configured), so engines that never cancel pay nothing.
+    cancel: Arc<CancelState>,
     /// When set, every evaluation context this engine creates records
     /// per-operator actuals into the sink (the `EXPLAIN ANALYZE` /
     /// [`Engine::profile_collection`] path; `None` for ordinary
@@ -181,6 +250,10 @@ impl<'c> Engine<'c> {
             indexes: strategy::indexes_from_env(),
             trace: strategy::trace_from_env(),
             spans: strategy::spans_from_env(),
+            timeout: strategy::timeout_from_env(),
+            mem_budget: strategy::mem_budget_from_env(),
+            fault: strategy::fault_from_env(),
+            cancel: Arc::new(CancelState::default()),
             profile: None,
             span_sink: None,
             knob_sink: std::sync::OnceLock::new(),
@@ -297,6 +370,98 @@ impl<'c> Engine<'c> {
         self.spans.clone()
     }
 
+    /// Set a per-query deadline (builder style): every evaluation on this
+    /// engine must finish within `timeout` of its start or it surfaces
+    /// [`EvalError::DeadlineExceeded`] — cooperatively, within one morsel
+    /// of work of the deadline passing. Exactly like running under
+    /// `ARC_TIMEOUT_MS=<millis>`.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Ok(Some(timeout));
+        self
+    }
+
+    /// The per-query deadline this engine evaluates under.
+    pub fn timeout(&self) -> Result<Option<Duration>> {
+        self.timeout.clone()
+    }
+
+    /// Set a per-query memory budget in bytes (builder style): an
+    /// allocation-heavy build (hash index, semi-join key set, column
+    /// chunks, ordered index, scan selection) that would exceed the
+    /// budget releases its claim and **degrades** to the corresponding
+    /// streaming/nested path instead of failing (counted in
+    /// `guard.degradations`); only hard exhaustion — fixpoint deltas,
+    /// result growth that no fallback can avoid — surfaces
+    /// [`EvalError::MemoryBudget`]. Exactly like running under
+    /// `ARC_MEM_BUDGET=<bytes>` (suffixes `k`/`m`/`g` accepted).
+    pub fn with_mem_budget(mut self, bytes: usize) -> Self {
+        self.mem_budget = Ok((bytes > 0).then_some(bytes));
+        self
+    }
+
+    /// The per-query memory budget this engine evaluates under.
+    pub fn mem_budget(&self) -> Result<Option<usize>> {
+        self.mem_budget.clone()
+    }
+
+    /// Arm a deterministic fault-injection plan (builder style): the
+    /// `plan.at`-th visit to seam `plan.seam` fires `plan.kind` (a panic,
+    /// a budget trip, or a cancellation). Exactly like running under
+    /// `ARC_FAULT=<seam>:<n>[:<kind>]`; tests and the CI smoke leg use it
+    /// to prove every error path leaves the engine reusable.
+    pub fn with_fault(mut self, plan: FaultPlan) -> Self {
+        self.fault = Ok(Some(plan));
+        self
+    }
+
+    /// A handle that cancels queries on this engine from another thread:
+    /// evaluations observe the flag at the enumeration/morsel/fixpoint
+    /// seams and surface [`EvalError::Cancelled`] within one morsel of
+    /// work. The flag is sticky until [`CancelHandle::reset`]; requesting
+    /// a handle arms guard construction for subsequent evaluations.
+    pub fn cancel_handle(&self) -> CancelHandle {
+        self.cancel.arm();
+        CancelHandle::new(self.cancel.clone())
+    }
+
+    /// Build the per-query guard for one engine entry — `None` when no
+    /// deadline, budget, fault plan, or cancel handle is configured, so
+    /// unguarded evaluation stays a handful of `Option` checks.
+    pub(crate) fn make_guard(&self) -> Result<Option<Arc<QueryGuard>>> {
+        let timeout = self.timeout.clone()?;
+        let budget = self.mem_budget.clone()?;
+        let fault = self.fault.clone()?;
+        if timeout.is_none() && budget.is_none() && fault.is_none() && !self.cancel.armed() {
+            return Ok(None);
+        }
+        Ok(Some(Arc::new(QueryGuard::new(
+            timeout.map(|d| std::time::Instant::now() + d),
+            budget,
+            fault,
+            self.cancel.armed().then(|| self.cancel.clone()),
+        ))))
+    }
+
+    /// Panic containment at the engine boundary: run `f` under
+    /// `catch_unwind` so a worker (or injected) panic surfaces as
+    /// [`EvalError::WorkerPanic`] instead of unwinding through the
+    /// caller, and count terminal guard trips into the metrics registry.
+    /// The engine and its pool stay usable afterwards — per-engine caches
+    /// recover via their poison-clearing locks.
+    pub(crate) fn contained<T>(&self, f: impl FnOnce() -> Result<T>) -> Result<T> {
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).unwrap_or_else(|p| {
+            Err(crate::error::EvalError::WorkerPanic(
+                arc_guard::panic_message(p.as_ref()),
+            ))
+        });
+        match &out {
+            Err(crate::error::EvalError::Cancelled) => crate::metrics::query_cancelled().inc(),
+            Err(crate::error::EvalError::DeadlineExceeded) => crate::metrics::query_timeout().inc(),
+            _ => {}
+        }
+        out
+    }
+
     /// A shallow copy of this engine with a profile sink attached: every
     /// evaluation context it creates records per-operator actuals into
     /// `sink`. The `EXPLAIN ANALYZE` entry points evaluate through this
@@ -312,6 +477,10 @@ impl<'c> Engine<'c> {
             indexes: self.indexes.clone(),
             trace: self.trace.clone(),
             spans: self.spans.clone(),
+            timeout: self.timeout.clone(),
+            mem_budget: self.mem_budget.clone(),
+            fault: self.fault.clone(),
+            cancel: self.cancel.clone(),
             profile: Some(sink),
             span_sink: self.span_sink.clone(),
             knob_sink: std::sync::OnceLock::new(),
@@ -332,6 +501,10 @@ impl<'c> Engine<'c> {
             indexes: self.indexes.clone(),
             trace: self.trace.clone(),
             spans: Ok(true),
+            timeout: self.timeout.clone(),
+            mem_budget: self.mem_budget.clone(),
+            fault: self.fault.clone(),
+            cancel: self.cancel.clone(),
             profile: self.profile.clone(),
             span_sink: Some(sink),
             knob_sink: std::sync::OnceLock::new(),
@@ -364,6 +537,7 @@ impl<'c> Engine<'c> {
         defined: &'a HashMap<String, Relation>,
         abstracts: &'a HashMap<String, Collection>,
         program: u64,
+        guard: Option<Arc<QueryGuard>>,
     ) -> Result<Ctx<'a>> {
         let threads = self.threads.clone()?;
         // An explicit sink (the span_trace_* path) wins; the bare knob
@@ -394,6 +568,8 @@ impl<'c> Engine<'c> {
             trace: self.trace.clone()?,
             spans,
             lane: 0,
+            guard,
+            guard_tick: Cell::new(0),
             profile: self.profile.clone(),
             program,
             defined,
@@ -409,34 +585,47 @@ impl<'c> Engine<'c> {
 
     /// Evaluate a standalone query collection (no definitions).
     pub fn eval_collection(&self, c: &Collection) -> Result<Relation> {
-        let (defined, abstracts) = (HashMap::new(), HashMap::new());
-        let ctx = self.ctx(&defined, &abstracts, arc_plan::program_hash(c))?;
-        let timer = QueryTimer::start(ctx.spans.as_ref());
-        let out = ctx.collection_relation(c, &mut Env::default());
-        timer.finish(ctx.spans.as_ref());
-        out
+        self.contained(|| {
+            let guard = self.make_guard()?;
+            let (defined, abstracts) = (HashMap::new(), HashMap::new());
+            let ctx = self.ctx(&defined, &abstracts, arc_plan::program_hash(c), guard)?;
+            let timer = QueryTimer::start(ctx.spans.as_ref());
+            let out = ctx.collection_relation(c, &mut Env::default());
+            timer.finish(ctx.spans.as_ref());
+            out
+        })
     }
 
     /// Evaluate a boolean sentence (paper Fig 9).
     pub fn eval_sentence(&self, f: &Formula) -> Result<Truth> {
-        let (defined, abstracts) = (HashMap::new(), HashMap::new());
-        let ctx = self.ctx(&defined, &abstracts, arc_plan::formula_hash(f))?;
-        let timer = QueryTimer::start(ctx.spans.as_ref());
-        let out = ctx.formula_truth(f, &mut Env::default());
-        timer.finish(ctx.spans.as_ref());
-        out
+        self.contained(|| {
+            let guard = self.make_guard()?;
+            let (defined, abstracts) = (HashMap::new(), HashMap::new());
+            let ctx = self.ctx(&defined, &abstracts, arc_plan::formula_hash(f), guard)?;
+            let timer = QueryTimer::start(ctx.spans.as_ref());
+            let out = ctx.formula_truth(f, &mut Env::default());
+            timer.finish(ctx.spans.as_ref());
+            out
+        })
     }
 
     /// Evaluate a collection with pre-materialized definitions and abstract
-    /// relations in scope (used by the fixpoint driver).
+    /// relations in scope (used by the fixpoint driver). The guard is the
+    /// **program-level** one: deadline and budget span all strata.
     pub(crate) fn eval_with(
         &self,
         c: &Collection,
         defined: &HashMap<String, Relation>,
         abstracts: &HashMap<String, Collection>,
+        guard: Option<&Arc<QueryGuard>>,
     ) -> Result<Relation> {
-        self.ctx(defined, abstracts, arc_plan::program_hash(c))?
-            .collection_relation(c, &mut Env::default())
+        self.ctx(
+            defined,
+            abstracts,
+            arc_plan::program_hash(c),
+            guard.cloned(),
+        )?
+        .collection_relation(c, &mut Env::default())
     }
 
     /// Evaluate a sentence with definitions in scope.
@@ -445,9 +634,15 @@ impl<'c> Engine<'c> {
         f: &Formula,
         defined: &HashMap<String, Relation>,
         abstracts: &HashMap<String, Collection>,
+        guard: Option<&Arc<QueryGuard>>,
     ) -> Result<Truth> {
-        self.ctx(defined, abstracts, arc_plan::formula_hash(f))?
-            .formula_truth(f, &mut Env::default())
+        self.ctx(
+            defined,
+            abstracts,
+            arc_plan::formula_hash(f),
+            guard.cloned(),
+        )?
+        .formula_truth(f, &mut Env::default())
     }
 }
 
@@ -514,6 +709,14 @@ pub(crate) struct Ctx<'a> {
     /// all sequential evaluation), the worker's lane id inside a
     /// partitioned scope. Stamps spans and morsel events.
     pub(crate) lane: usize,
+    /// The per-query resource guard (deadline, budget, cancellation,
+    /// fault plan); `None` on unguarded evaluation, which then pays one
+    /// `Option` check per seam. Shared (`Arc`) with every worker context
+    /// so trips and memory charges are query-global.
+    pub(crate) guard: Option<Arc<QueryGuard>>,
+    /// Amortization tick for [`Ctx::guard_step`]: the cooperative check
+    /// runs every [`GUARD_TICK`] enumeration steps, not every step.
+    pub(crate) guard_tick: Cell<u32>,
     /// Per-operator actuals sink, when this evaluation is profiled (see
     /// [`profile`]); `None` on ordinary evaluation. Cloned into every
     /// worker context the parallel executor forks — all tallies merge
@@ -558,4 +761,82 @@ pub(crate) struct Ctx<'a> {
     /// eligibility/plan work after the first bail (see
     /// [`Ctx::semijoin_truth`]).
     pub(crate) semi_bailed: RefCell<std::collections::HashSet<usize>>,
+}
+
+/// Guard seams: how the evaluation pipeline observes the per-query
+/// [`QueryGuard`]. Three shapes, by cost profile:
+///
+/// * **tick seams** ([`Ctx::guard_step`]) — per-environment, so the
+///   check is amortized over [`GUARD_TICK`] steps;
+/// * **check seams** ([`Ctx::guard_at`]) — per-morsel / per-round, so
+///   the full check (and any armed fault) runs every time;
+/// * **admission seams** ([`Ctx::guard_admit`]) — before an
+///   allocation-heavy build, charging the estimate against the budget;
+///   denial is *graceful*: the caller degrades to its streaming path.
+impl Ctx<'_> {
+    /// Full cooperative check at a named seam (morsel claim, fixpoint
+    /// round): fires any armed fault for this seam, then surfaces a
+    /// tripped/expired/cancelled guard as its structured error.
+    pub(crate) fn guard_at(&self, at: &'static str) -> Result<()> {
+        guard_check_at(self.guard.as_ref(), at)
+    }
+
+    /// Amortized cooperative check on the enumeration hot path: one
+    /// `Option` check when unguarded; a `Cell` bump plus a check every
+    /// [`GUARD_TICK`] environments when guarded (every step while a
+    /// fault plan is armed, so injection offsets stay deterministic).
+    #[inline]
+    pub(crate) fn guard_step(&self) -> Result<()> {
+        let Some(g) = self.guard.as_ref() else {
+            return Ok(());
+        };
+        if g.fault_armed() {
+            return guard_check_at(self.guard.as_ref(), seam::ENUMERATE);
+        }
+        let t = self.guard_tick.get().wrapping_add(1);
+        self.guard_tick.set(t);
+        if !t.is_multiple_of(GUARD_TICK) {
+            return Ok(());
+        }
+        g.check().map_err(trip_error)
+    }
+
+    /// Admission control for an allocation-heavy build at seam `at`,
+    /// charging `bytes` (a coarse deterministic estimate) against the
+    /// memory budget. Returns `true` when the build may proceed; `false`
+    /// when the budget denies it — the caller **degrades** to its
+    /// streaming path (counted in `guard.degradations`), it does not
+    /// fail. An armed `Panic` fault at this seam panics (contained at
+    /// the engine boundary); a `Budget` fault denies this admission; a
+    /// `Cancel` fault trips cancellation (observed at the next check).
+    pub(crate) fn guard_admit(&self, at: &'static str, bytes: usize) -> bool {
+        let Some(g) = self.guard.as_ref() else {
+            return true;
+        };
+        if g.fault_armed() {
+            match g.fire_fault(at) {
+                Some(FaultKind::Panic) => {
+                    crate::metrics::guard_faults().inc();
+                    panic!("injected fault at seam `{at}`")
+                }
+                Some(FaultKind::Budget) => {
+                    crate::metrics::guard_faults().inc();
+                    g.note_degradation();
+                    crate::metrics::guard_degradations().inc();
+                    return false;
+                }
+                Some(FaultKind::Cancel) => {
+                    crate::metrics::guard_faults().inc();
+                    g.trip(Trip::Cancelled);
+                }
+                None => {}
+            }
+        }
+        if g.try_reserve(bytes) {
+            return true;
+        }
+        g.note_degradation();
+        crate::metrics::guard_degradations().inc();
+        false
+    }
 }

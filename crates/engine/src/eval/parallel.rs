@@ -33,9 +33,10 @@ use crate::error::Result;
 use crate::relation::Relation;
 use arc_core::ast::{Binding, Collection, JoinTree, Predicate};
 use arc_core::conventions::Conventions;
-use arc_exec::{run_morsels_with, Morsels, WorkerPool};
+use arc_exec::{run_morsels_guarded, Morsels, WorkerPool};
+use arc_guard::QueryGuard;
 use arc_plan::ScopePlan;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -74,6 +75,9 @@ pub(crate) struct WorkerSeed<'a> {
     /// Shared span sink: workers append morsel spans into their own lane
     /// ring buffers (lane = pool claim order, assigned at worker init).
     spans: Option<arc_trace::SpanSink>,
+    /// Shared query guard: workers observe the same trip flag and charge
+    /// the same memory accountant as the coordinator.
+    guard: Option<Arc<QueryGuard>>,
 }
 
 impl<'a> WorkerSeed<'a> {
@@ -102,6 +106,8 @@ impl<'a> WorkerSeed<'a> {
             profile: self.profile.clone(),
             spans: self.spans.clone(),
             lane: 0,
+            guard: self.guard.clone(),
+            guard_tick: Cell::new(0),
         }
     }
 }
@@ -162,6 +168,7 @@ impl<'a> Ctx<'a> {
             trace: self.trace,
             profile: self.profile.clone(),
             spans: self.spans.clone(),
+            guard: self.guard.clone(),
         }
     }
 
@@ -291,10 +298,11 @@ impl<'a> Ctx<'a> {
             t.call(0); // the axis scan starts once, morsels notwithstanding
         }
         let lanes = AtomicUsize::new(0);
-        let results: Vec<Result<Vec<T>>> = run_morsels_with(
+        let results = run_morsels_guarded(
             WorkerPool::global(),
             self.threads,
             morsels,
+            self.guard.as_deref(),
             || {
                 let lane = lanes.fetch_add(1, Ordering::Relaxed);
                 let mut ctx = seed.ctx();
@@ -365,9 +373,28 @@ impl<'a> Ctx<'a> {
         }
         // Merge in morsel order: errors surface from the earliest morsel
         // (what the sequential loop would hit first), outputs concatenate
-        // into the exact sequential emission order.
-        for r in results {
-            out.extend(r?);
+        // into the exact sequential emission order. A contained worker
+        // panic becomes the structured `WorkerPanic` error (the pool
+        // itself survives); a morsel skipped because the guard tripped
+        // surfaces the trip's own error — never a partial result.
+        let results = results.map_err(|p| crate::error::EvalError::WorkerPanic(p.message))?;
+        for slot in results {
+            match slot {
+                Some(r) => out.extend(r?),
+                None => {
+                    let trip = self
+                        .guard
+                        .as_ref()
+                        .and_then(|g| g.trip_cause())
+                        .map(super::trip_error)
+                        .unwrap_or_else(|| {
+                            crate::error::EvalError::Internal(
+                                "unclaimed morsel without a tripped guard".into(),
+                            )
+                        });
+                    return Err(trip);
+                }
+            }
         }
         Ok(true)
     }

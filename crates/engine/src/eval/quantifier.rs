@@ -52,7 +52,8 @@ use crate::external::{AccessPattern, ExternalRelation};
 use crate::metrics;
 use crate::relation::Relation;
 use arc_core::ast::*;
-use arc_core::value::Key;
+use arc_core::value::{Key, Value};
+use arc_guard::seam;
 use arc_plan::analysis::free_vars;
 use arc_plan::logical::other_side;
 use arc_plan::{
@@ -187,6 +188,28 @@ impl Ordered<'_> {
             }
             None => self.vec_key.clone(),
         }
+    }
+
+    /// Row-wise equivalent of everything this step's selection vector
+    /// encodes — the **degraded** check when the memory budget denies
+    /// the selection build: the consumed index-range bounds (if any)
+    /// and the vectorized constant-filter prefix, applied per row.
+    fn row_survives(&self, row: &[Value]) -> bool {
+        self.index_plan
+            .as_ref()
+            .is_none_or(|ip| ip.row_matches(row))
+            && (self.vec_filters.is_empty() || super::vector::row_passes(row, &self.vec_filters))
+    }
+
+    /// Compute the selection without touching the column chunks (the
+    /// budget denied the chunk build): the same ascending row order,
+    /// via the row-path kernels. Only reachable for pure
+    /// constant-filter selections — the index-range path never needs
+    /// chunks.
+    fn compute_selection_rows(&self, rel: &Relation) -> Vec<u32> {
+        (0..rel.rows.len() as u32)
+            .filter(|&r| super::vector::row_passes(&rel.rows[r as usize], &self.vec_filters))
+            .collect()
     }
 
     /// Compute this step's selection vector: the index-range probe when
@@ -392,13 +415,28 @@ impl<'a> Ctx<'a> {
     /// outer row. Under vectorized execution the build runs over column
     /// chunks ([`super::vector::build_index`]) — same index, computed
     /// with per-chunk key extraction instead of per-row allocation.
-    pub(crate) fn join_index(&self, plan: &HashPlan<'_>, rel: &Relation) -> Arc<HashIndex> {
+    /// `None` means the memory budget denied the build — the caller
+    /// degrades to a streaming probe over the base rows (identical
+    /// matches, identical ascending row order) instead of failing.
+    pub(crate) fn join_index(&self, plan: &HashPlan<'_>, rel: &Relation) -> Option<Arc<HashIndex>> {
         let key = (rel as *const Relation as usize, plan.key_cols.clone());
         if let Some(index) = self.join_indexes.borrow().get(&key) {
-            return index.clone();
+            return Some(index.clone());
+        }
+        // Admission: the hash table (entry + key overhead per row).
+        if !self.guard_admit(
+            seam::HASH_BUILD,
+            rel.len() * (48 + 24 * plan.key_cols.len()),
+        ) {
+            return None;
         }
         let start = self.trace.then(std::time::Instant::now);
-        let index = if self.vectorize && rel.len() >= super::vector::VECTOR_MIN_ROWS {
+        // The vectorized build reads the column chunks — its own
+        // admission; denied only downgrades the build to the row loop.
+        let index = if self.vectorize
+            && rel.len() >= super::vector::VECTOR_MIN_ROWS
+            && self.guard_admit(seam::CHUNK_BUILD, rel.len() * rel.schema.len().max(1) * 24)
+        {
             Arc::new(super::vector::build_index(&rel.columns(), &plan.key_cols))
         } else {
             Arc::new(plan.build_index(rel))
@@ -408,7 +446,7 @@ impl<'a> Ctx<'a> {
             metrics::hash_build_time().record_nanos(s.elapsed().as_nanos() as u64);
         }
         self.join_indexes.borrow_mut().insert(key, index.clone());
-        index
+        Some(index)
     }
 
     /// The selection vector of a selection-backed scan step (index-range
@@ -416,20 +454,43 @@ impl<'a> Ctx<'a> {
     /// per-query cache, so correlated scopes that re-enter `enumerate`
     /// per outer row compute it once (the consumed filters are constant,
     /// hence outer-independent).
-    pub(crate) fn scan_selection(&self, rel: &Relation, ob: &Ordered<'_>) -> Arc<Vec<u32>> {
+    /// `None` means the memory budget denied the build — the caller
+    /// degrades to row-checking [`Ordered::row_survives`] during its
+    /// scan instead of failing.
+    pub(crate) fn scan_selection(&self, rel: &Relation, ob: &Ordered<'_>) -> Option<Arc<Vec<u32>>> {
         let key = (rel as *const Relation as usize, ob.selection_key());
         if let Some(sel) = self.selections.borrow().get(&key) {
             metrics::selection_cache_hits().inc();
-            return sel.clone();
+            return Some(sel.clone());
         }
+        // Admission: the selection vector itself, then what computing it
+        // materializes — the ordered index for an index-range probe, the
+        // column chunks for the vectorized kernels. A denied chunk build
+        // only downgrades the computation to the row loop; a denied
+        // selection or ordered-index build degrades the whole scan.
+        if !self.guard_admit(seam::SELECTION_BUILD, rel.len() * 8) {
+            return None;
+        }
+        let columnar = if ob.index_plan.is_some() {
+            if !self.guard_admit(seam::ORDERED_BUILD, rel.len() * 16) {
+                return None;
+            }
+            true
+        } else {
+            self.guard_admit(seam::CHUNK_BUILD, rel.len() * rel.schema.len().max(1) * 24)
+        };
         let start = self.trace.then(std::time::Instant::now);
-        let sel = Arc::new(ob.compute_selection(rel));
+        let sel = Arc::new(if columnar {
+            ob.compute_selection(rel)
+        } else {
+            ob.compute_selection_rows(rel)
+        });
         metrics::selection_builds().inc();
         if let Some(s) = start {
             metrics::selection_build_time().record_nanos(s.elapsed().as_nanos() as u64);
         }
         self.selections.borrow_mut().insert(key, sel.clone());
-        sel
+        Some(sel)
     }
 
     /// Step `i`'s memoized hash index, timing the first (and only) build
@@ -443,16 +504,17 @@ impl<'a> Ctx<'a> {
         rel: &Relation,
         i: usize,
         tally: Option<&ScopeTally>,
-    ) -> &'o Arc<HashIndex> {
+    ) -> Option<&'o Arc<HashIndex>> {
         if let Some(index) = ob.index.get() {
-            return index;
+            return Some(index);
         }
         let start = (self.trace && tally.is_some()).then(std::time::Instant::now);
-        let index = ob.index.get_or_init(|| self.join_index(plan, rel));
+        let built = self.join_index(plan, rel)?;
+        let index = ob.index.get_or_init(|| built);
         if let (Some(s), Some(t)) = (start, tally) {
             t.add_step_nanos(i, s.elapsed().as_nanos() as u64);
         }
-        index
+        Some(index)
     }
 
     /// Step `i`'s memoized selection vector; same shape as
@@ -463,16 +525,17 @@ impl<'a> Ctx<'a> {
         rel: &Relation,
         i: usize,
         tally: Option<&ScopeTally>,
-    ) -> &'o Arc<Vec<u32>> {
+    ) -> Option<&'o Arc<Vec<u32>>> {
         if let Some(sel) = ob.selection.get() {
-            return sel;
+            return Some(sel);
         }
         let start = (self.trace && tally.is_some()).then(std::time::Instant::now);
-        let sel = ob.selection.get_or_init(|| self.scan_selection(rel, ob));
+        let built = self.scan_selection(rel, ob)?;
+        let sel = ob.selection.get_or_init(|| built);
         if let (Some(s), Some(t)) = (start, tally) {
             t.add_step_nanos(i, s.elapsed().as_nanos() as u64);
         }
-        sel
+        Some(sel)
     }
 
     /// Pushed-down filters of step `i`, then descend one level.
@@ -490,6 +553,9 @@ impl<'a> Ctx<'a> {
         if let Some(t) = tally {
             t.row(i);
         }
+        // Guard tick seam: one amortized cooperative check per
+        // environment entering a step.
+        self.guard_step()?;
         for p in &order[i].step_filters {
             if !self.pred_truth(p, env)?.is_true() {
                 return Ok(true); // this environment is filtered out
@@ -521,6 +587,9 @@ impl<'a> Ctx<'a> {
         tally: Option<&ScopeTally>,
         cb: &mut dyn FnMut(&Ctx<'a>, &mut Env) -> Result<bool>,
     ) -> Result<()> {
+        // Guard check seam: every morsel begins with a full cooperative
+        // check, so a tripped guard stops within one morsel of work.
+        self.guard_at(seam::MORSEL)?;
         let Some(first) = order.first() else {
             return Err(EvalError::Internal(
                 "partitioned scope with no steps".into(),
@@ -537,9 +606,28 @@ impl<'a> Ctx<'a> {
             // prefix): walk the (ascending) selection restricted to this
             // morsel's row range — concatenation over consecutive
             // ranges still reproduces the sequential order.
-            let sel = first
-                .selection
-                .get_or_init(|| self.scan_selection(rel, first));
+            let sel = match first.selection.get() {
+                Some(sel) => Some(sel),
+                None => self
+                    .scan_selection(rel, first)
+                    .map(|built| first.selection.get_or_init(|| built)),
+            };
+            let Some(sel) = sel else {
+                // Degraded morsel scan (budget denied the selection):
+                // row-check the same predicates over this range.
+                for row in &rel.rows[range] {
+                    if !first.row_survives(row) {
+                        continue;
+                    }
+                    env.push(first.var.clone(), attrs.clone(), row.clone());
+                    let cont = self.step_into(order, 0, leaf, env, scope, tally, cb)?;
+                    env.pop();
+                    if !cont {
+                        return Ok(());
+                    }
+                }
+                return Ok(());
+            };
             let start = sel.partition_point(|&r| (r as usize) < range.start);
             for &ridx in &sel[start..] {
                 if ridx as usize >= range.end {
@@ -642,7 +730,25 @@ impl<'a> Ctx<'a> {
                     let Some(key) = plan.probe_key(self, env)? else {
                         return Ok(true); // NULL/NaN probe: no row can match
                     };
-                    let index = self.step_index(ob, plan, rel, i, tally);
+                    let Some(index) = self.step_index(ob, plan, rel, i, tally) else {
+                        // Degraded streaming probe (budget denied the
+                        // hash build): key-compare every base row —
+                        // identical matches, identical ascending order.
+                        for row in &rel.rows {
+                            if Relation::key_for(row, &plan.key_cols).as_deref()
+                                != Some(key.as_slice())
+                            {
+                                continue;
+                            }
+                            env.push(ob.var.clone(), attrs.clone(), row.clone());
+                            let cont = self.step_into(order, i, leaf, env, scope, tally, cb)?;
+                            env.pop();
+                            if !cont {
+                                return Ok(false);
+                            }
+                        }
+                        return Ok(true);
+                    };
                     if let Some(matches) = index.get(&key) {
                         for &ridx in matches {
                             let row = &rel.rows[ridx as usize];
@@ -662,7 +768,22 @@ impl<'a> Ctx<'a> {
                     // selection (in ascending row order, so emission
                     // order is identical to the row path) and row-check
                     // only the residue.
-                    let sel = self.step_selection(ob, rel, i, tally);
+                    let Some(sel) = self.step_selection(ob, rel, i, tally) else {
+                        // Degraded scan (budget denied the selection):
+                        // row-check the same predicates in row order.
+                        for row in &rel.rows {
+                            if !ob.row_survives(row) {
+                                continue;
+                            }
+                            env.push(ob.var.clone(), attrs.clone(), row.clone());
+                            let cont = self.step_into(order, i, leaf, env, scope, tally, cb)?;
+                            env.pop();
+                            if !cont {
+                                return Ok(false);
+                            }
+                        }
+                        return Ok(true);
+                    };
                     for &ridx in sel.iter() {
                         env.push(
                             ob.var.clone(),

@@ -89,6 +89,23 @@ pub(crate) struct SemiEntry {
 #[derive(Clone, Default)]
 pub(crate) struct SemiBuildCache(Arc<Mutex<HashMap<usize, SemiEntry>>>);
 
+impl SemiBuildCache {
+    /// Lock the cache, **recovering** from a poisoned mutex (a worker
+    /// panicked mid-insert): the poison is cleared — so later locks take
+    /// the fast path again — and the map is emptied, because a build
+    /// interrupted by a panic may have published nothing or anything.
+    /// Build-once is an optimization; dropping entries costs a rebuild,
+    /// never correctness.
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<usize, SemiEntry>> {
+        self.0.lock().unwrap_or_else(|poisoned| {
+            self.0.clear_poison();
+            let mut map = poisoned.into_inner();
+            map.clear();
+            map
+        })
+    }
+}
+
 /// Total decorrelated-scope builds so far in this process — a read of
 /// the `engine.semijoin.builds` registry counter (see
 /// [`crate::metrics`]). `tests/semijoin_build.rs` asserts a correlated
@@ -199,14 +216,34 @@ impl<'a> Ctx<'a> {
         env: &mut Env,
     ) -> Result<Option<Arc<KeySet>>> {
         let cache_key = Arc::as_ptr(plan) as usize;
-        if let Some(entry) = self
-            .semi_builds
-            .0
-            .lock()
-            .expect("semi-build cache")
-            .get(&cache_key)
-        {
+        if let Some(entry) = self.semi_builds.lock().get(&cache_key) {
             return Ok(entry.set.clone());
+        }
+        // Admission: the key set, estimated from the largest source
+        // relation. Denied → record a *failed* build, so the nested
+        // per-outer-row path answers this scope for the rest of the
+        // evaluation instead of re-attempting the build per outer row.
+        let est_rows = resolved
+            .iter()
+            .map(|r| match r {
+                super::quantifier::Resolved::Rel(rel) => rel.len(),
+                _ => 0,
+            })
+            .max()
+            .unwrap_or(0);
+        let key_width = plan.decorrelation.as_ref().map_or(0, |d| d.keys.len());
+        if !self.guard_admit(
+            arc_guard::seam::SEMI_BUILD,
+            est_rows * (48 + 24 * key_width),
+        ) {
+            self.semi_builds
+                .lock()
+                .entry(cache_key)
+                .or_insert(SemiEntry {
+                    _plan: plan.clone(),
+                    set: None,
+                });
+            return Ok(None);
         }
         metrics::semi_builds().inc();
         let base = env.len();
@@ -246,7 +283,7 @@ impl<'a> Ctx<'a> {
                 },
             );
         }
-        let mut map = self.semi_builds.0.lock().expect("semi-build cache");
+        let mut map = self.semi_builds.lock();
         Ok(map
             .entry(cache_key)
             .or_insert(SemiEntry {
@@ -385,7 +422,12 @@ impl<'a> Ctx<'a> {
             }
             key_cols.push(rel.schema.iter().position(|s| s == &a.attr)?);
         }
-        let sel = ob.uses_selection().then(|| self.scan_selection(rel, ob));
+        let sel = match ob.uses_selection() {
+            // A budget-denied selection bails the columnar fast path —
+            // the row pipeline repeats the degradation decision per row.
+            true => Some(self.scan_selection(rel, ob)?),
+            false => None,
+        };
         if key_cols.is_empty() {
             // Keyless build: a pure non-emptiness check over the
             // selection — the row path would stop at the first survivor.
@@ -396,10 +438,40 @@ impl<'a> Ctx<'a> {
             }
             return Some(set);
         }
+        // Admission for the column chunks the key extraction reads;
+        // denied → the row-at-a-time build runs instead.
+        if !self.guard_admit(
+            arc_guard::seam::CHUNK_BUILD,
+            rel.len() * rel.schema.len().max(1) * 24,
+        ) {
+            return None;
+        }
         Some(super::vector::build_key_set(
             &rel.columns(),
             &key_cols,
             sel.as_deref().map(Vec::as_slice),
         ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisoned_semi_build_cache_recovers_empty() {
+        let cache = SemiBuildCache::default();
+        let clone = cache.clone();
+        std::thread::spawn(move || {
+            let _guard = clone.0.lock().unwrap();
+            panic!("worker panicked mid-insert");
+        })
+        .join()
+        .unwrap_err();
+        assert!(cache.0.is_poisoned());
+        // Recovery empties the map (builds re-run — an optimization
+        // loss, never a correctness one) and clears the poison bit.
+        assert!(cache.lock().is_empty());
+        assert!(!cache.0.is_poisoned(), "recovery clears the poison");
     }
 }

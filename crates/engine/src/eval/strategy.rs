@@ -3,7 +3,103 @@
 //! `ARC_THREADS` parallelism knob for the partitioned executor.
 
 use crate::error::EvalError;
+use arc_guard::FaultPlan;
 use arc_plan::PlanMode;
+use std::time::Duration;
+
+/// One registered on/off engine knob: its environment variable, its
+/// default, extra affirmative tokens (`ARC_PLAN` also accepts
+/// `planned`), and whether unknown values are tolerated as the default
+/// (`ARC_STATS` is an *off*-switch: anything that isn't explicitly off
+/// keeps statistics on) instead of surfacing a config error.
+pub struct OnOffKnob {
+    /// Environment variable name.
+    pub var: &'static str,
+    /// Value when the variable is unset or empty.
+    pub default: bool,
+    /// Extra tokens that read as `on` for this knob.
+    pub extra_on: &'static [&'static str],
+    /// `true`: unknown tokens fall back to the default instead of
+    /// erroring.
+    pub lenient: bool,
+}
+
+/// The single registry behind every on/off `ARC_*` knob — one grammar,
+/// one normalization (`lowercase`, `_` → `-`), one error shape — instead
+/// of the per-knob copies this module used to carry.
+pub const ONOFF_KNOBS: &[OnOffKnob] = &[
+    OnOffKnob {
+        var: "ARC_PLAN",
+        default: true,
+        extra_on: &["planned"],
+        lenient: false,
+    },
+    OnOffKnob {
+        var: "ARC_STATS",
+        default: true,
+        extra_on: &[],
+        lenient: true,
+    },
+    OnOffKnob {
+        var: "ARC_DECORRELATE",
+        default: true,
+        extra_on: &[],
+        lenient: false,
+    },
+    OnOffKnob {
+        var: "ARC_VECTOR",
+        default: true,
+        extra_on: &[],
+        lenient: false,
+    },
+    OnOffKnob {
+        var: "ARC_INDEX",
+        default: true,
+        extra_on: &[],
+        lenient: false,
+    },
+    OnOffKnob {
+        var: "ARC_TRACE",
+        default: false,
+        extra_on: &[],
+        lenient: false,
+    },
+    OnOffKnob {
+        var: "ARC_SPANS",
+        default: false,
+        extra_on: &[],
+        lenient: false,
+    },
+];
+
+/// Interpret `value` for the registered knob `var`. Unset and empty mean
+/// the knob's default; `on`/`1`/`true`/`auto` (plus any `extra_on`
+/// token) affirm; `off`/`0`/`false`/`no` negate; anything else is a
+/// descriptive error naming the variable (or the default, for lenient
+/// knobs).
+pub fn parse_onoff(var: &str, value: Option<&str>) -> Result<bool, String> {
+    let knob = ONOFF_KNOBS
+        .iter()
+        .find(|k| k.var == var)
+        .unwrap_or_else(|| panic!("`{var}` is not a registered on/off knob"));
+    let Some(v) = value.map(|v| v.to_lowercase().replace('_', "-")) else {
+        return Ok(knob.default);
+    };
+    match v.as_str() {
+        "" => Ok(knob.default),
+        "on" | "1" | "true" | "auto" => Ok(true),
+        "off" | "0" | "false" | "no" => Ok(false),
+        other if knob.extra_on.contains(&other) => Ok(true),
+        _ if knob.lenient => Ok(knob.default),
+        other => Err(format!("unknown {var} `{other}` (expected `on` or `off`)")),
+    }
+}
+
+/// [`parse_onoff`] over the live environment, with the error deferred
+/// into [`EvalError::Config`] like every other engine knob.
+fn onoff_from_env(var: &str) -> Result<bool, EvalError> {
+    parse_onoff(var, std::env::var(var).ok().as_deref()).map_err(EvalError::Config)
+}
 
 /// Parallelism for partitioned scope execution, from `ARC_THREADS`:
 /// unset/empty means sequential, `auto` (or `0`) means the machine's
@@ -25,22 +121,21 @@ pub fn threads_from_env() -> Result<usize, EvalError> {
 /// (mirroring the `ARC_PLAN`/`ARC_STATS` escape hatches). A malformed
 /// value surfaces as [`EvalError::Config`] on the first evaluation.
 pub fn decorrelate_from_env() -> Result<bool, EvalError> {
-    parse_decorrelate(std::env::var("ARC_DECORRELATE").ok().as_deref()).map_err(EvalError::Config)
+    onoff_from_env("ARC_DECORRELATE")
 }
 
 /// Pure core of [`decorrelate_from_env`] (unit-testable without touching
 /// the process environment, which is racy under parallel tests).
 pub fn parse_decorrelate(value: Option<&str>) -> Result<bool, String> {
-    match value.map(|v| v.to_lowercase().replace('_', "-")) {
-        None => Ok(true),
-        Some(v) => match v.as_str() {
-            "" | "on" | "1" | "true" | "auto" => Ok(true),
-            "off" | "0" | "false" | "no" => Ok(false),
-            other => Err(format!(
-                "unknown ARC_DECORRELATE `{other}` (expected `on` or `off`)"
-            )),
-        },
-    }
+    parse_onoff("ARC_DECORRELATE", value)
+}
+
+/// Automatic statistics collection, from `ARC_STATS` (see
+/// [`arc_stats::stats_enabled`] for the subsystem semantics): the knob
+/// is an off-switch, so unknown values keep statistics on and this
+/// parse is infallible.
+pub fn stats_from_env() -> bool {
+    parse_onoff("ARC_STATS", std::env::var("ARC_STATS").ok().as_deref()).unwrap_or(true)
 }
 
 /// Execution tracing, from `ARC_TRACE`: unset/`off` (the **default** —
@@ -53,7 +148,7 @@ pub fn parse_decorrelate(value: Option<&str>) -> Result<bool, String> {
 /// surfaces as [`EvalError::Config`] on the first evaluation, exactly
 /// like the other `ARC_*` variables.
 pub fn trace_from_env() -> Result<bool, EvalError> {
-    arc_trace::trace_env().map_err(EvalError::Config)
+    onoff_from_env("ARC_TRACE")
 }
 
 /// Hierarchical span recording, from `ARC_SPANS`: unset/`off` (the
@@ -65,7 +160,66 @@ pub fn trace_from_env() -> Result<bool, EvalError> {
 /// [`EvalError::Config`] on the first evaluation, exactly like the
 /// other `ARC_*` variables.
 pub fn spans_from_env() -> Result<bool, EvalError> {
-    arc_trace::spans_env().map_err(EvalError::Config)
+    onoff_from_env("ARC_SPANS")
+}
+
+/// Query deadline, from `ARC_TIMEOUT_MS` (milliseconds): unset, empty,
+/// and `0` mean no deadline. A malformed value surfaces as
+/// [`EvalError::Config`] on the first evaluation, exactly like the
+/// on/off knobs.
+pub fn timeout_from_env() -> Result<Option<Duration>, EvalError> {
+    parse_timeout(std::env::var("ARC_TIMEOUT_MS").ok().as_deref()).map_err(EvalError::Config)
+}
+
+/// Pure core of [`timeout_from_env`].
+pub fn parse_timeout(value: Option<&str>) -> Result<Option<Duration>, String> {
+    let Some(v) = value.map(str::trim) else {
+        return Ok(None);
+    };
+    if v.is_empty() {
+        return Ok(None);
+    }
+    let ms: u64 = v.parse().map_err(|_| {
+        format!("unparseable ARC_TIMEOUT_MS `{v}` (expected milliseconds, e.g. `5000`)")
+    })?;
+    Ok((ms > 0).then(|| Duration::from_millis(ms)))
+}
+
+/// Per-query memory budget, from `ARC_MEM_BUDGET` (bytes, with optional
+/// `k`/`m`/`g` suffix): unset, empty, and `0` mean no budget. Builds
+/// that would exceed the budget degrade to streaming paths; only hard
+/// exhaustion aborts with `EvalError::MemoryBudget`. Parsing lives in
+/// [`arc_guard::parse_mem_budget`]; a malformed value surfaces as
+/// [`EvalError::Config`] on the first evaluation.
+pub fn mem_budget_from_env() -> Result<Option<usize>, EvalError> {
+    parse_mem_budget(std::env::var("ARC_MEM_BUDGET").ok().as_deref()).map_err(EvalError::Config)
+}
+
+/// Pure core of [`mem_budget_from_env`].
+pub fn parse_mem_budget(value: Option<&str>) -> Result<Option<usize>, String> {
+    match value {
+        None => Ok(None),
+        Some(v) => {
+            arc_guard::parse_mem_budget(v).map_err(|e| format!("unparseable ARC_MEM_BUDGET: {e}"))
+        }
+    }
+}
+
+/// Deterministic fault injection, from `ARC_FAULT=seam:N[:kind]` (see
+/// [`arc_guard::FaultPlan`]): fire a panic, budget denial, or
+/// cancellation at the Nth visit of a named guard seam. Test/CI
+/// machinery — unset means no fault; a malformed spec surfaces as
+/// [`EvalError::Config`] on the first evaluation.
+pub fn fault_from_env() -> Result<Option<FaultPlan>, EvalError> {
+    parse_fault(std::env::var("ARC_FAULT").ok().as_deref()).map_err(EvalError::Config)
+}
+
+/// Pure core of [`fault_from_env`].
+pub fn parse_fault(value: Option<&str>) -> Result<Option<FaultPlan>, String> {
+    match value {
+        None => Ok(None),
+        Some(v) => FaultPlan::parse(v).map_err(|e| format!("unparseable ARC_FAULT: {e}")),
+    }
 }
 
 /// Vectorized columnar execution, from `ARC_VECTOR`: unset/`on` (the
@@ -78,22 +232,13 @@ pub fn spans_from_env() -> Result<bool, EvalError> {
 /// [`EvalError::Config`] on the first evaluation, exactly like
 /// `ARC_PLAN`/`ARC_DECORRELATE`.
 pub fn vectorize_from_env() -> Result<bool, EvalError> {
-    parse_vectorize(std::env::var("ARC_VECTOR").ok().as_deref()).map_err(EvalError::Config)
+    onoff_from_env("ARC_VECTOR")
 }
 
 /// Pure core of [`vectorize_from_env`] (unit-testable without touching
 /// the process environment, which is racy under parallel tests).
 pub fn parse_vectorize(value: Option<&str>) -> Result<bool, String> {
-    match value.map(|v| v.to_lowercase().replace('_', "-")) {
-        None => Ok(true),
-        Some(v) => match v.as_str() {
-            "" | "on" | "1" | "true" | "auto" => Ok(true),
-            "off" | "0" | "false" | "no" => Ok(false),
-            other => Err(format!(
-                "unknown ARC_VECTOR `{other}` (expected `on` or `off`)"
-            )),
-        },
-    }
+    parse_onoff("ARC_VECTOR", value)
 }
 
 /// Ordered secondary indexes, from `ARC_INDEX`: unset/`on` (the default)
@@ -106,22 +251,13 @@ pub fn parse_vectorize(value: Option<&str>) -> Result<bool, String> {
 /// value surfaces as [`EvalError::Config`] on the first evaluation,
 /// exactly like `ARC_PLAN`/`ARC_DECORRELATE`/`ARC_VECTOR`.
 pub fn indexes_from_env() -> Result<bool, EvalError> {
-    parse_indexes(std::env::var("ARC_INDEX").ok().as_deref()).map_err(EvalError::Config)
+    onoff_from_env("ARC_INDEX")
 }
 
 /// Pure core of [`indexes_from_env`] (unit-testable without touching the
 /// process environment, which is racy under parallel tests).
 pub fn parse_indexes(value: Option<&str>) -> Result<bool, String> {
-    match value.map(|v| v.to_lowercase().replace('_', "-")) {
-        None => Ok(true),
-        Some(v) => match v.as_str() {
-            "" | "on" | "1" | "true" | "auto" => Ok(true),
-            "off" | "0" | "false" | "no" => Ok(false),
-            other => Err(format!(
-                "unknown ARC_INDEX `{other}` (expected `on` or `off`)"
-            )),
-        },
-    }
+    parse_onoff("ARC_INDEX", value)
 }
 
 /// How quantifier scopes are planned and enumerated.
@@ -184,18 +320,7 @@ impl EvalStrategy {
     /// environment values (unit-testable without touching process
     /// environment, which is racy under parallel tests).
     pub fn parse(strategy: Option<&str>, plan: Option<&str>) -> Result<Self, String> {
-        let planner_on = match plan.map(|v| v.to_lowercase().replace('_', "-")) {
-            None => true,
-            Some(v) => match v.as_str() {
-                "" | "on" | "1" | "true" | "auto" | "planned" => true,
-                "off" | "0" | "false" | "no" => false,
-                other => {
-                    return Err(format!(
-                        "unknown ARC_PLAN `{other}` (expected `on` or `off`)"
-                    ))
-                }
-            },
-        };
+        let planner_on = parse_onoff("ARC_PLAN", plan)?;
         match strategy.map(|v| v.to_lowercase().replace('_', "-")) {
             None => Ok(if planner_on {
                 EvalStrategy::Planned
@@ -321,5 +446,107 @@ mod tests {
         let err = parse_decorrelate(Some("nope")).unwrap_err();
         assert!(err.contains("nope"), "{err}");
         assert!(err.contains("ARC_DECORRELATE"), "{err}");
+    }
+
+    /// The consolidation contract: every registered knob — the seven
+    /// on/off switches and the three guard knobs — accepts its
+    /// affirmative and negative forms and reports garbage as a
+    /// descriptive error naming the variable (except the deliberately
+    /// lenient `ARC_STATS` off-switch, which keeps its subsystem on).
+    #[test]
+    fn every_knob_parses_on_off_and_garbage() {
+        for knob in ONOFF_KNOBS {
+            assert_eq!(
+                parse_onoff(knob.var, None),
+                Ok(knob.default),
+                "{}",
+                knob.var
+            );
+            assert_eq!(
+                parse_onoff(knob.var, Some("")),
+                Ok(knob.default),
+                "{}",
+                knob.var
+            );
+            assert_eq!(parse_onoff(knob.var, Some("on")), Ok(true), "{}", knob.var);
+            assert_eq!(
+                parse_onoff(knob.var, Some("TRUE")),
+                Ok(true),
+                "{}",
+                knob.var
+            );
+            assert_eq!(
+                parse_onoff(knob.var, Some("off")),
+                Ok(false),
+                "{}",
+                knob.var
+            );
+            assert_eq!(parse_onoff(knob.var, Some("0")), Ok(false), "{}", knob.var);
+            for tok in knob.extra_on {
+                assert_eq!(parse_onoff(knob.var, Some(tok)), Ok(true), "{}", knob.var);
+            }
+            let garbage = parse_onoff(knob.var, Some("garbage"));
+            if knob.lenient {
+                assert_eq!(garbage, Ok(knob.default), "{} is lenient", knob.var);
+            } else {
+                let err = garbage.unwrap_err();
+                assert!(err.contains(knob.var), "{err}");
+                assert!(err.contains("garbage"), "{err}");
+            }
+        }
+        // ARC_STATS keeps arc-stats' off-switch semantics exactly.
+        assert_eq!(parse_onoff("ARC_STATS", Some("anything")), Ok(true));
+        assert!(!arc_stats::stats_enabled(Some("off")));
+
+        // Guard knobs: on (a valid value), off (unset/empty), garbage.
+        assert_eq!(parse_timeout(None), Ok(None));
+        assert_eq!(parse_timeout(Some("")), Ok(None));
+        assert_eq!(parse_timeout(Some("0")), Ok(None));
+        assert_eq!(
+            parse_timeout(Some("250")),
+            Ok(Some(Duration::from_millis(250)))
+        );
+        let err = parse_timeout(Some("soon")).unwrap_err();
+        assert!(err.contains("ARC_TIMEOUT_MS"), "{err}");
+
+        assert_eq!(parse_mem_budget(None), Ok(None));
+        assert_eq!(parse_mem_budget(Some("")), Ok(None));
+        assert_eq!(parse_mem_budget(Some("64m")), Ok(Some(64 << 20)));
+        let err = parse_mem_budget(Some("lots")).unwrap_err();
+        assert!(err.contains("ARC_MEM_BUDGET"), "{err}");
+
+        assert_eq!(parse_fault(None), Ok(None));
+        assert_eq!(parse_fault(Some("")), Ok(None));
+        let plan = parse_fault(Some("hash-build:2:budget")).unwrap().unwrap();
+        assert_eq!(plan.seam, arc_guard::seam::HASH_BUILD);
+        let err = parse_fault(Some("nowhere:1")).unwrap_err();
+        assert!(err.contains("ARC_FAULT"), "{err}");
+    }
+
+    /// The trace/spans knobs keep their opt-in default through the
+    /// consolidated table, byte-identical to the arc-trace parsers they
+    /// used to delegate to.
+    #[test]
+    fn consolidated_trace_knobs_match_the_arc_trace_parsers() {
+        for v in [
+            None,
+            Some(""),
+            Some("on"),
+            Some("OFF"),
+            Some("1"),
+            Some("no"),
+        ] {
+            assert_eq!(
+                parse_onoff("ARC_TRACE", v),
+                arc_trace::parse_trace(v),
+                "{v:?}"
+            );
+            assert_eq!(
+                parse_onoff("ARC_SPANS", v),
+                arc_trace::parse_spans(v),
+                "{v:?}"
+            );
+        }
+        assert!(parse_onoff("ARC_TRACE", Some("nope")).is_err());
     }
 }

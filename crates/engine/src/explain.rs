@@ -116,9 +116,17 @@ impl Engine<'_> {
     /// engine running parallel (`ARC_THREADS > 1` /
     /// [`Engine::with_threads`]) renders the `partition(n)` operator on
     /// each scope's partition-axis step.
+    /// An engine running under a memory budget (`ARC_MEM_BUDGET` /
+    /// [`Engine::with_mem_budget`]) appends a `governance:` note: the
+    /// build-side operators above it may degrade to streaming fallbacks
+    /// at run time.
     pub fn explain_collection(&self, c: &Collection) -> Result<String> {
         let (plan, threads) = self.lowered_collection(c)?;
-        Ok(arc_plan::render_with_threads(&plan, threads))
+        Ok(arc_plan::render_governed(
+            &plan,
+            threads,
+            self.mem_budget()?,
+        ))
     }
 
     /// Lower a standalone collection exactly as [`Self::explain_collection`]
@@ -141,9 +149,15 @@ impl Engine<'_> {
     /// Render the physical plan of a whole program as text: definitions in
     /// declaration order (mutually recursive groups fused into `fixpoint`
     /// nodes), then the query.
+    /// Like [`Engine::explain_collection`], a memory budget appends the
+    /// `governance:` degradation note.
     pub fn explain_program(&self, p: &Program) -> Result<String> {
         let (plan, threads) = self.lowered_program(p)?;
-        Ok(arc_plan::render_with_threads(&plan, threads))
+        Ok(arc_plan::render_governed(
+            &plan,
+            threads,
+            self.mem_budget()?,
+        ))
     }
 
     /// Lower a whole program exactly as [`Self::explain_program`] would,

@@ -20,7 +20,9 @@ use crate::relation::Relation;
 use arc_core::ast::*;
 use arc_core::binder::Binder;
 use arc_core::conventions::Semantics;
+use arc_guard::{seam, QueryGuard};
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
 
 /// Fixpoint iteration cap (each iteration must add at least one tuple, so
 /// this bounds derivable-set growth, not wall-clock time).
@@ -61,33 +63,44 @@ impl Engine<'_> {
         // One latency sample — and, when a span sink is attached, one
         // enclosing `query` span — for the whole program: definitions,
         // fixpoints, and the final query count as a single engine entry.
-        let timer = crate::eval::QueryTimer::start(self.span_sink.as_ref());
-        let out = (|| {
-            let (defined, abstracts) = self.materialize_definitions(p, strategy)?;
-            let query = match &p.query {
-                Some(q) => Some(self.eval_with(q, &defined, &abstracts)?),
-                None => None,
-            };
-            Ok(ProgramOutput {
-                defined: defined.into_iter().collect(),
-                query,
-            })
-        })();
-        timer.finish(self.span_sink.as_ref());
-        out
+        // The guard is likewise program-scoped: one deadline and one
+        // budget cover every stratum and fixpoint round.
+        self.contained(|| {
+            let guard = self.make_guard()?;
+            let timer = crate::eval::QueryTimer::start(self.span_sink.as_ref());
+            let out = (|| {
+                let (defined, abstracts) =
+                    self.materialize_definitions(p, strategy, guard.as_ref())?;
+                let query = match &p.query {
+                    Some(q) => Some(self.eval_with(q, &defined, &abstracts, guard.as_ref())?),
+                    None => None,
+                };
+                Ok(ProgramOutput {
+                    defined: defined.into_iter().collect(),
+                    query,
+                })
+            })();
+            timer.finish(self.span_sink.as_ref());
+            out
+        })
     }
 
     /// Evaluate a boolean sentence in the context of a program's
     /// definitions.
     pub fn eval_sentence_in(&self, p: &Program, f: &Formula) -> Result<arc_core::value::Truth> {
-        let (defined, abstracts) = self.materialize_definitions(p, FixpointStrategy::default())?;
-        self.eval_sentence_with(f, &defined, &abstracts)
+        self.contained(|| {
+            let guard = self.make_guard()?;
+            let (defined, abstracts) =
+                self.materialize_definitions(p, FixpointStrategy::default(), guard.as_ref())?;
+            self.eval_sentence_with(f, &defined, &abstracts, guard.as_ref())
+        })
     }
 
     fn materialize_definitions(
         &self,
         p: &Program,
         strategy: FixpointStrategy,
+        guard: Option<&Arc<QueryGuard>>,
     ) -> Result<(HashMap<String, Relation>, HashMap<String, Collection>)> {
         // Classify abstract definitions via the binder (open world: the
         // catalog may hold relations the binder does not know about).
@@ -141,11 +154,11 @@ impl Engine<'_> {
             let recursive = scc.len() > 1 || (scc.len() == 1 && deps[scc[0]].contains(&scc[0]));
             if !recursive {
                 let def = safe[scc[0]];
-                let rel = self.eval_with(&def.collection, &defined, &abstracts)?;
+                let rel = self.eval_with(&def.collection, &defined, &abstracts, guard)?;
                 defined.insert(def.name().to_string(), rel);
                 continue;
             }
-            self.solve_recursive_scc(&scc, &safe, &mut defined, &abstracts, strategy)?;
+            self.solve_recursive_scc(&scc, &safe, &mut defined, &abstracts, strategy, guard)?;
         }
         Ok((defined, abstracts))
     }
@@ -157,6 +170,7 @@ impl Engine<'_> {
         defined: &mut HashMap<String, Relation>,
         abstracts: &HashMap<String, Collection>,
         strategy: FixpointStrategy,
+        guard: Option<&Arc<QueryGuard>>,
     ) -> Result<()> {
         let member_names: HashSet<String> =
             scc.iter().map(|&i| safe[i].name().to_string()).collect();
@@ -186,6 +200,10 @@ impl Engine<'_> {
         match strategy {
             FixpointStrategy::Naive => {
                 for iteration in 0.. {
+                    // Guard seam: one cooperative check (and fault
+                    // window) per fixpoint round, so a runaway recursion
+                    // observes its deadline/cancellation between rounds.
+                    crate::eval::guard_check_at(guard, seam::FIXPOINT_ROUND)?;
                     if iteration >= MAX_ITERATIONS {
                         return Err(EvalError::FixpointLimit {
                             relation: first_name,
@@ -196,11 +214,18 @@ impl Engine<'_> {
                     for &i in scc {
                         let def = safe[i];
                         let new = self
-                            .eval_with(&def.collection, defined, abstracts)?
+                            .eval_with(&def.collection, defined, abstracts, guard)?
                             .union(&defined[def.name()])
                             .deduped();
-                        if new.len() != defined[def.name()].len() {
+                        let grown = new.len().saturating_sub(defined[def.name()].len());
+                        if grown > 0 {
                             changed = true;
+                            // Derived-set growth has no streaming
+                            // fallback: hard-charge it, trip on denial.
+                            crate::eval::guard_reserve_hard(
+                                guard,
+                                grown * new.schema.len().max(1) * 24,
+                            )?;
                         }
                         defined.insert(def.name().to_string(), new);
                     }
@@ -215,7 +240,7 @@ impl Engine<'_> {
                 for &i in scc {
                     let def = safe[i];
                     let seed = self
-                        .eval_with(&def.collection, defined, abstracts)?
+                        .eval_with(&def.collection, defined, abstracts, guard)?
                         .deduped();
                     deltas.insert(def.name().to_string(), seed.clone());
                     defined.insert(def.name().to_string(), seed);
@@ -227,6 +252,9 @@ impl Engine<'_> {
                     .collect();
 
                 for iteration in 0.. {
+                    // Guard seam: one cooperative check (and fault
+                    // window) per semi-naive round.
+                    crate::eval::guard_check_at(guard, seam::FIXPOINT_ROUND)?;
                     if iteration >= MAX_ITERATIONS {
                         return Err(EvalError::FixpointLimit {
                             relation: first_name,
@@ -246,10 +274,16 @@ impl Engine<'_> {
                         let mut fresh = Relation::new(def.name().to_string(), &[]);
                         fresh.schema = def.collection.head.attrs.clone();
                         for variant in &variants[&i] {
-                            let rows = self.eval_with(variant, defined, abstracts)?;
+                            let rows = self.eval_with(variant, defined, abstracts, guard)?;
                             fresh = fresh.union(&rows);
                         }
                         let fresh = fresh.deduped().minus_set(&defined[def.name()]);
+                        // Delta growth has no streaming fallback:
+                        // hard-charge it, trip on denial.
+                        crate::eval::guard_reserve_hard(
+                            guard,
+                            fresh.len() * fresh.schema.len().max(1) * 24,
+                        )?;
                         new_deltas.insert(def.name().to_string(), fresh);
                     }
                     for (name, delta) in &new_deltas {

@@ -68,6 +68,9 @@ pub use catalog::Catalog;
 pub use error::{EvalError, Result};
 pub use eval::semijoin::semi_build_runs;
 pub use eval::{Engine, EvalStrategy};
+// Guard vocabulary callers need to drive `Engine::with_fault` /
+// `Engine::cancel_handle` without depending on `arc-guard` directly.
+pub use arc_guard::{seam, CancelHandle, FaultKind, FaultPlan};
 pub use external::{AccessPattern, ExternalRelation};
 pub use fixpoint::{FixpointStrategy, ProgramOutput};
 pub use relation::{Relation, Tuple};

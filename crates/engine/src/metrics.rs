@@ -93,6 +93,30 @@ counter_fn!(
     semi_hits,
     "engine.semijoin.hits"
 );
+counter_fn!(
+    /// `guard.degradations`: builds denied by the memory budget that
+    /// fell back to their streaming/nested path instead of failing.
+    guard_degradations,
+    "guard.degradations"
+);
+counter_fn!(
+    /// `guard.faults`: injected faults fired (`ARC_FAULT` /
+    /// [`Engine::with_fault`](crate::eval::Engine::with_fault)).
+    guard_faults,
+    "guard.faults"
+);
+counter_fn!(
+    /// `engine.query.cancelled`: evaluations that surfaced
+    /// `EvalError::Cancelled` at the engine boundary.
+    query_cancelled,
+    "engine.query.cancelled"
+);
+counter_fn!(
+    /// `engine.query.timeout`: evaluations that surfaced
+    /// `EvalError::DeadlineExceeded` at the engine boundary.
+    query_timeout,
+    "engine.query.timeout"
+);
 
 histogram_fn!(
     /// `engine.index.hash.build`: wall time of hash-index builds.

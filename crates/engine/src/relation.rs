@@ -47,6 +47,20 @@ impl ColCache {
     fn empty() -> ColCache {
         ColCache(Mutex::new(None))
     }
+
+    /// Lock the cache, **recovering** from a poisoned mutex (a worker
+    /// panicked while this relation was encoding): the poison is cleared
+    /// — so later locks take the fast path again — and the cached view
+    /// dropped, because a panic mid-encode may have published a partial
+    /// one. Re-encoding on demand is always safe.
+    fn lock(&self) -> std::sync::MutexGuard<'_, Option<Arc<ColumnSet>>> {
+        self.0.lock().unwrap_or_else(|poisoned| {
+            self.0.clear_poison();
+            let mut cached = poisoned.into_inner();
+            *cached = None;
+            cached
+        })
+    }
 }
 
 impl Clone for ColCache {
@@ -82,6 +96,21 @@ struct IndexCache(Mutex<HashMap<Vec<usize>, Arc<crate::eval::index::OrderedIndex
 impl IndexCache {
     fn empty() -> IndexCache {
         IndexCache(Mutex::new(HashMap::new()))
+    }
+
+    /// Lock the cache, recovering from a poisoned mutex the same way
+    /// [`ColCache::lock`] does: clear the poison, drop the cached
+    /// indexes, rebuild on demand.
+    #[allow(clippy::type_complexity)]
+    fn lock(
+        &self,
+    ) -> std::sync::MutexGuard<'_, HashMap<Vec<usize>, Arc<crate::eval::index::OrderedIndex>>> {
+        self.0.lock().unwrap_or_else(|poisoned| {
+            self.0.clear_poison();
+            let mut cached = poisoned.into_inner();
+            cached.clear();
+            cached
+        })
     }
 }
 
@@ -127,7 +156,7 @@ impl Relation {
     /// code that overwrites rows in place at constant cardinality must not
     /// hold on to a previously obtained view.
     pub fn columns(&self) -> Arc<ColumnSet> {
-        let mut cached = self.columns.0.lock().expect("column cache");
+        let mut cached = self.columns.lock();
         if let Some(set) = cached.as_ref() {
             if set.rows() == self.rows.len() {
                 return Arc::clone(set);
@@ -149,7 +178,7 @@ impl Relation {
     /// cache invalidates on row-count changes, exactly like
     /// [`Relation::columns`].
     pub(crate) fn ordered_index(&self, cols: &[usize]) -> Arc<crate::eval::index::OrderedIndex> {
-        let mut cached = self.indexes.0.lock().expect("index cache");
+        let mut cached = self.indexes.lock();
         if let Some(idx) = cached.get(cols) {
             if idx.rows() == self.rows.len() {
                 return Arc::clone(idx);
@@ -512,6 +541,46 @@ mod tests {
         let second = rel.columns();
         assert_eq!(second.rows(), 3);
         assert_eq!(second.value(2, 0), Value::Int(5));
+    }
+
+    #[test]
+    fn poisoned_column_cache_recovers_by_re_encoding() {
+        let rel = Arc::new(r(&[&[1, 2], &[3, 4]]));
+        let _ = rel.columns();
+        let clone = Arc::clone(&rel);
+        std::thread::spawn(move || {
+            let _guard = clone.columns.0.lock().unwrap();
+            panic!("worker panicked mid-encode");
+        })
+        .join()
+        .unwrap_err();
+        assert!(rel.columns.0.is_poisoned());
+        // Recovery drops the possibly-partial view and re-encodes.
+        let cols = rel.columns();
+        assert_eq!(cols.rows(), 2);
+        assert_eq!(cols.value(1, 0), Value::Int(3));
+        assert!(!rel.columns.0.is_poisoned(), "recovery clears the poison");
+    }
+
+    #[test]
+    fn poisoned_index_cache_recovers_by_rebuilding() {
+        let rel = Arc::new(r(&[&[2, 20], &[1, 10]]));
+        let before = rel.ordered_index(&[0]);
+        let clone = Arc::clone(&rel);
+        std::thread::spawn(move || {
+            let _guard = clone.indexes.0.lock().unwrap();
+            panic!("worker panicked mid-build");
+        })
+        .join()
+        .unwrap_err();
+        assert!(rel.indexes.0.is_poisoned());
+        let after = rel.ordered_index(&[0]);
+        assert!(
+            !Arc::ptr_eq(&before, &after),
+            "poisoned entries are evicted, not reused"
+        );
+        assert_eq!(after.rows(), before.rows());
+        assert!(!rel.indexes.0.is_poisoned(), "recovery clears the poison");
     }
 
     #[test]

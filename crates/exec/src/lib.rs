@@ -32,6 +32,6 @@ pub mod morsel;
 pub mod pool;
 pub mod threads;
 
-pub use morsel::{run_morsels, run_morsels_with, Morsels};
-pub use pool::WorkerPool;
+pub use morsel::{run_morsels, run_morsels_guarded, run_morsels_with, Morsels};
+pub use pool::{BroadcastPanic, WorkerPool};
 pub use threads::{available_parallelism, parse_threads, MAX_THREADS};

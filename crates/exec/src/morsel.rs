@@ -5,7 +5,8 @@
 //! scan of the same rows would produce, regardless of which worker ran
 //! which morsel or in what real-time order they finished.
 
-use crate::pool::WorkerPool;
+use crate::pool::{BroadcastPanic, WorkerPool};
+use arc_guard::QueryGuard;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -95,9 +96,44 @@ where
     I: Fn() -> S + Sync,
     F: Fn(&mut S, usize, Range<usize>) -> T + Sync,
 {
+    match run_morsels_guarded(pool, parallelism, morsels, None, init, work) {
+        Ok(slots) => slots
+            .into_iter()
+            .map(|s| s.expect("no guard: the barrier guarantees every morsel ran"))
+            .collect(),
+        // Legacy infallible surface: re-raise the contained panic.
+        Err(p) => panic!("{p}"),
+    }
+}
+
+/// [`run_morsels_with`] under a [`QueryGuard`]: workers stop claiming
+/// morsels as soon as the guard trips (checked **before every claim**,
+/// so a tripped guard stops within one morsel of work per worker), and a
+/// panicking morsel is contained by the pool barrier instead of
+/// unwinding through the caller.
+///
+/// * `Ok(slots)` — per-morsel results in morsel order. A slot is `None`
+///   only when the guard tripped before that morsel was claimed; with no
+///   guard (or an untripped one) every slot is `Some`.
+/// * `Err(panic)` — some morsel panicked. All other claimed morsels
+///   still completed (the barrier drains everything) and the pool stays
+///   usable; the host converts this into its structured error.
+pub fn run_morsels_guarded<S, T, I, F>(
+    pool: &WorkerPool,
+    parallelism: usize,
+    morsels: Morsels,
+    guard: Option<&QueryGuard>,
+    init: I,
+    work: F,
+) -> Result<Vec<Option<T>>, BroadcastPanic>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, Range<usize>) -> T + Sync,
+{
     let n = morsels.count();
     if n == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     // Registry accounting: every executed morsel counts (per-worker
     // lane attribution is the host's job — it owns the worker state).
@@ -107,6 +143,11 @@ where
     pool.broadcast(parallelism.min(n).max(1), &|| {
         let mut state = init();
         loop {
+            // Cooperative stop: a tripped guard ends this worker's
+            // claiming before the next morsel starts.
+            if guard.is_some_and(|g| g.check().is_err()) {
+                break;
+            }
             let i = next.fetch_add(1, Ordering::Relaxed);
             if i >= n {
                 break;
@@ -121,15 +162,11 @@ where
             }
             *slots[i].lock().expect("morsel slot") = Some(out);
         }
-    });
-    slots
+    })?;
+    Ok(slots
         .into_iter()
-        .map(|s| {
-            s.into_inner()
-                .expect("morsel slot")
-                .expect("barrier guarantees every morsel ran")
-        })
-        .collect()
+        .map(|s| s.into_inner().expect("morsel slot"))
+        .collect())
 }
 
 /// The `exec.morsels` registry counter: morsels executed process-wide.
@@ -226,5 +263,57 @@ mod tests {
         let pool = WorkerPool::new(1);
         let out: Vec<Vec<usize>> = run_morsels(&pool, 4, Morsels::new(0, 4), |_, _| Vec::new());
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn tripped_guard_stops_claims_and_leaves_unclaimed_slots_none() {
+        let pool = WorkerPool::new(0); // inline: deterministic claim order
+        let guard = QueryGuard::new(None, Some(64), None, None);
+        let m = Morsels::new(100, 1);
+        let done = AtomicUsize::new(0);
+        let out = run_morsels_guarded(
+            &pool,
+            1,
+            m,
+            Some(&guard),
+            || (),
+            |(), i, _| {
+                if i == 2 {
+                    // Hard exhaustion mid-query: the guard trips…
+                    let _ = guard.reserve_hard(1 << 20);
+                }
+                done.fetch_add(1, Ordering::SeqCst)
+            },
+        )
+        .unwrap();
+        // …and no later morsel is claimed (inline worker, so exactly the
+        // first three slots filled).
+        assert_eq!(done.load(Ordering::SeqCst), 3);
+        assert!(out[..3].iter().all(Option::is_some));
+        assert!(out[3..].iter().all(Option::is_none));
+        assert_eq!(guard.trip_cause(), Some(arc_guard::Trip::MemoryBudget));
+    }
+
+    #[test]
+    fn morsel_panics_surface_as_errors_and_the_pool_survives() {
+        let pool = WorkerPool::new(2);
+        let err = run_morsels_guarded(
+            &pool,
+            3,
+            Morsels::new(50, 3),
+            None,
+            || (),
+            |(), i, _| {
+                if i == 1 {
+                    panic!("morsel 1 dies");
+                }
+                i
+            },
+        )
+        .expect_err("the panicking morsel must be reported");
+        assert_eq!(err.message, "morsel 1 dies");
+        // Same pool, next query: fully functional.
+        let out = run_morsels(&pool, 3, Morsels::new(10, 3), |i, _| i);
+        assert_eq!(out.len(), Morsels::new(10, 3).count());
     }
 }

@@ -22,9 +22,28 @@
 //! can persist across queries while the *borrows* stay scoped.
 
 use std::collections::VecDeque;
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, TryRecvError};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// A worker (or inline) instance of a [`WorkerPool::broadcast`] task
+/// panicked. The panic was caught **after** the completion barrier — all
+/// borrows stayed sound, the pool is still usable — and is reported as a
+/// value so callers can convert it into a structured error instead of
+/// unwinding through the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BroadcastPanic {
+    /// Best-effort text of the first panic payload observed.
+    pub message: String,
+}
+
+impl std::fmt::Display for BroadcastPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "broadcast task panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for BroadcastPanic {}
 
 /// A type-erased unit of work queued on the pool.
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -125,15 +144,21 @@ impl WorkerPool {
 
     /// Run `task` `parallelism` times concurrently — once inline on the
     /// calling thread, the rest on pool workers — and return only when
-    /// every instance has finished. A panic in any instance is re-raised
-    /// on the caller *after* the barrier (so borrows stay sound even on
-    /// unwind). The calling thread steals queued jobs while it waits, so
-    /// nested broadcasts cannot deadlock a fully-busy pool.
-    pub fn broadcast(&self, parallelism: usize, task: &(dyn Fn() + Sync)) {
+    /// every instance has finished. A panic in any instance is caught and
+    /// reported as `Err(BroadcastPanic)` *after* the barrier (so borrows
+    /// stay sound and the pool stays alive for the next broadcast). The
+    /// calling thread steals queued jobs while it waits, so nested
+    /// broadcasts cannot deadlock a fully-busy pool.
+    pub fn broadcast(
+        &self,
+        parallelism: usize,
+        task: &(dyn Fn() + Sync),
+    ) -> Result<(), BroadcastPanic> {
         let helpers = parallelism.saturating_sub(1);
         if helpers == 0 {
-            task();
-            return;
+            return catch_unwind(AssertUnwindSafe(task)).map_err(|p| BroadcastPanic {
+                message: arc_guard::panic_message(p.as_ref()),
+            });
         }
         self.ensure_workers(helpers);
 
@@ -194,8 +219,11 @@ impl WorkerPool {
                 }
             }
         }
-        if let Some(p) = panic {
-            resume_unwind(p);
+        match panic {
+            Some(p) => Err(BroadcastPanic {
+                message: arc_guard::panic_message(p.as_ref()),
+            }),
+            None => Ok(()),
         }
     }
 }
@@ -256,7 +284,8 @@ mod tests {
         let hits = AtomicUsize::new(0);
         pool.broadcast(4, &|| {
             hits.fetch_add(1, Ordering::SeqCst);
-        });
+        })
+        .unwrap();
         assert_eq!(hits.load(Ordering::SeqCst), 4);
     }
 
@@ -267,7 +296,8 @@ mod tests {
         let cell = std::sync::Mutex::new(&mut side);
         pool.broadcast(1, &|| {
             **cell.lock().unwrap() += 1;
-        });
+        })
+        .unwrap();
         assert_eq!(side, 1);
         assert_eq!(pool.workers(), 0, "no worker needed for parallelism 1");
     }
@@ -275,29 +305,43 @@ mod tests {
     #[test]
     fn broadcast_grows_the_pool_on_demand() {
         let pool = WorkerPool::new(0);
-        pool.broadcast(3, &|| {});
+        pool.broadcast(3, &|| {}).unwrap();
         assert!(pool.workers() >= 2);
     }
 
     #[test]
-    fn panics_propagate_after_the_barrier() {
+    fn panics_surface_as_values_after_the_barrier() {
         let pool = WorkerPool::new(2);
         let hits = AtomicUsize::new(0);
-        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            pool.broadcast(3, &|| {
-                if hits.fetch_add(1, Ordering::SeqCst) == 0 {
-                    panic!("first instance dies");
-                }
-            });
-        }));
-        assert!(outcome.is_err());
+        let outcome = pool.broadcast(3, &|| {
+            if hits.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("first instance dies");
+            }
+        });
+        let err = outcome.expect_err("a panicking instance must be reported");
+        assert_eq!(err.message, "first instance dies");
         // Every instance ran (the barrier drains all of them).
         assert_eq!(hits.load(Ordering::SeqCst), 3);
         // The pool survives the panic.
         pool.broadcast(3, &|| {
             hits.fetch_add(1, Ordering::SeqCst);
-        });
+        })
+        .unwrap();
         assert_eq!(hits.load(Ordering::SeqCst), 6);
+    }
+
+    #[test]
+    fn inline_panics_surface_as_values_too() {
+        let pool = WorkerPool::new(0);
+        let err = pool
+            .broadcast(1, &|| panic!("inline instance dies"))
+            .expect_err("the inline instance panicked");
+        assert_eq!(err.message, "inline instance dies");
+        let mut ran = false;
+        let cell = std::sync::Mutex::new(&mut ran);
+        pool.broadcast(1, &|| **cell.lock().unwrap() = true)
+            .unwrap();
+        assert!(ran);
     }
 
     #[test]
@@ -307,10 +351,13 @@ mod tests {
         pool.broadcast(2, &|| {
             // Each outer instance broadcasts again: the stealing barrier
             // must drain the nested jobs even with one worker.
-            WorkerPool::global().broadcast(2, &|| {
-                hits.fetch_add(1, Ordering::SeqCst);
-            });
-        });
+            WorkerPool::global()
+                .broadcast(2, &|| {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                })
+                .unwrap();
+        })
+        .unwrap();
         assert_eq!(hits.load(Ordering::SeqCst), 4);
     }
 
@@ -320,7 +367,8 @@ mod tests {
         let hits = AtomicUsize::new(0);
         pool.broadcast(3, &|| {
             hits.fetch_add(1, Ordering::SeqCst);
-        });
+        })
+        .unwrap();
         let shared = Arc::downgrade(&pool.shared);
         let before = arc_trace::snapshot();
         drop(pool);
@@ -368,7 +416,8 @@ mod tests {
                 break;
             }
             sum.fetch_add(data[i], Ordering::Relaxed);
-        });
+        })
+        .unwrap();
         assert_eq!(sum.load(Ordering::Relaxed), 1000 * 999 / 2);
     }
 }

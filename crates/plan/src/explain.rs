@@ -38,6 +38,27 @@ pub fn render_with_threads(node: &PlanNode, threads: usize) -> String {
     out
 }
 
+/// Render a plan tree for an engine running under a memory budget:
+/// exactly [`render_with_threads`], followed by a one-line governance
+/// note stating the budget and the degradation contract. The note makes
+/// `EXPLAIN` honest under `ARC_MEM_BUDGET`: every `hash-join` /
+/// `index-range` / `semi-join` line above it is an *intent* the guard
+/// may demote to the streaming / nested fallback at run time — same
+/// rows, different cost — and only hard exhaustion aborts.
+pub fn render_governed(node: &PlanNode, threads: usize, mem_budget: Option<usize>) -> String {
+    let mut out = render_with_threads(node, threads);
+    if let Some(budget) = mem_budget {
+        line(
+            &mut out,
+            0,
+            &format!(
+                "governance: memory budget {budget} B — builds over budget degrade to streaming fallbacks (guard.degradations counts them)"
+            ),
+        );
+    }
+    out
+}
+
 /// Render a plan tree annotated with execution actuals (`EXPLAIN
 /// ANALYZE`). Operators the profile has no record of render exactly as
 /// in [`render_with_threads`], so `render_analyze(n, t, &|_| None)`

@@ -54,7 +54,9 @@ pub mod scope;
 
 pub use cache::{formula_hash, program_hash, PlanKey};
 pub use estimator::TableStatsEstimator;
-pub use explain::{q_error, render, render_analyze, render_with_threads, span_names, Actuals};
+pub use explain::{
+    q_error, render, render_analyze, render_governed, render_with_threads, span_names, Actuals,
+};
 pub use logical::const_cmp;
 pub use normalize::{normalize_collection, normalize_formula};
 pub use physical::{

@@ -190,26 +190,31 @@ impl ProfileSink {
         ProfileSink::default()
     }
 
+    /// Lock the profile, recovering from a poisoned mutex. A worker that
+    /// panicked mid-merge leaves the profile with, at worst, one partial
+    /// tally — counters only ever add, so the gathered numbers stay
+    /// usable. The poison is cleared so later locks take the fast path.
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueryProfile> {
+        self.0.lock().unwrap_or_else(|poisoned| {
+            self.0.clear_poison();
+            poisoned.into_inner()
+        })
+    }
+
     /// Fold a locally-accumulated partial profile in. Called once per
     /// enumeration call / per morsel — never per row.
     pub fn merge(&self, partial: &QueryProfile) {
-        self.0.lock().unwrap().merge(partial);
+        self.lock().merge(partial);
     }
 
     /// Fold actuals for a single operator in.
     pub fn merge_op(&self, id: OpId, stats: OpStats) {
-        self.0
-            .lock()
-            .unwrap()
-            .ops
-            .entry(id)
-            .or_default()
-            .merge(&stats);
+        self.lock().ops.entry(id).or_default().merge(&stats);
     }
 
     /// Record morsel/busy accounting for a worker lane.
     pub fn record_lane(&self, lane: usize, morsels: u64, busy_nanos: u64) {
-        let mut p = self.0.lock().unwrap();
+        let mut p = self.lock();
         if p.workers.len() <= lane {
             p.workers.resize(lane + 1, WorkerLane::default());
         }
@@ -219,7 +224,7 @@ impl ProfileSink {
 
     /// Copy out the profile as gathered so far.
     pub fn finish(&self) -> QueryProfile {
-        self.0.lock().unwrap().clone()
+        self.lock().clone()
     }
 }
 
@@ -258,6 +263,44 @@ mod tests {
         assert_eq!(p.workers.len(), 2);
         assert_eq!(p.workers[1].morsels, 4);
         assert_eq!(p.workers[0].busy_nanos, 500);
+    }
+
+    #[test]
+    fn poisoned_sink_recovers_and_keeps_tallies() {
+        let sink = ProfileSink::new();
+        let id = OpId::step(1, 0);
+        sink.merge_op(
+            id,
+            OpStats {
+                calls: 1,
+                rows_in: 2,
+                rows_out: 2,
+                nanos: 10,
+            },
+        );
+        // Poison the mutex: a worker panics while holding the lock.
+        let clone = sink.clone();
+        std::thread::spawn(move || {
+            let _guard = clone.0.lock().unwrap();
+            panic!("worker panicked mid-merge");
+        })
+        .join()
+        .unwrap_err();
+        assert!(sink.0.is_poisoned());
+        // The sink keeps working and the pre-panic tallies survive.
+        sink.merge_op(
+            id,
+            OpStats {
+                calls: 1,
+                rows_in: 3,
+                rows_out: 1,
+                nanos: 5,
+            },
+        );
+        let p = sink.finish();
+        let s = p.op(id).unwrap();
+        assert_eq!((s.calls, s.rows_in, s.rows_out, s.nanos), (2, 5, 3, 15));
+        assert!(!sink.0.is_poisoned(), "recovery clears the poison bit");
     }
 
     #[test]

@@ -1,0 +1,486 @@
+//! Workspace invariant 16 — **the guard is invisible**: for any program
+//! and instance, an engine running under `arc-guard` governance with
+//! limits it never hits (a generous deadline, a generous memory budget)
+//! returns exactly the rows — same order, same multiplicities — of the
+//! unguarded engine, across:
+//!
+//! * all three evaluation strategies (planned / nested-loop / hash-join),
+//! * `ARC_THREADS` 1 and 4 (the guard is checked per morsel claim),
+//! * the vector and index knobs (admission seams sit on both paths),
+//! * fixpoint programs (the guard spans every stratum and round).
+//!
+//! A *tight* budget must degrade, not diverge: with every build
+//! admission denied, the streaming/nested fallbacks still produce
+//! row-identical output — only hard exhaustion (fixpoint growth)
+//! aborts, with a structured error.
+//!
+//! Cancellation is **all-or-nothing**: a query tripped at any seam
+//! either completes with the full answer or returns
+//! `EvalError::Cancelled` — never a partial relation — and the same
+//! engine answers the next query correctly.
+//!
+//! The fault-injection matrix drives an injected panic or budget denial
+//! through every registered seam and asserts the structured outcome:
+//! never a process panic, caches evicted-or-recovered, worker pool
+//! alive for the next query on the same catalog.
+
+use arc_analysis::{chain_catalog, random_catalog, random_conjunctive_query, InstanceSpec};
+use arc_bench::fixtures as fx;
+use arc_core::ast::Collection;
+use arc_core::conventions::Conventions;
+use arc_engine::{seam, Catalog, Engine, EvalError, EvalStrategy, FaultKind, FaultPlan};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+/// Limits the workload never reaches: the guard runs every check and
+/// charges every seam, but nothing trips.
+const GENEROUS_DEADLINE: Duration = Duration::from_secs(3600);
+const GENEROUS_BUDGET: usize = 1 << 30;
+
+/// Evaluate `q` unguarded (the reference) and under never-hit limits,
+/// across every strategy × thread count × vector/index knob point,
+/// asserting row-identical output.
+fn assert_guard_invisible(catalog: &Catalog, q: &Collection, conv: Conventions) {
+    for strategy in [
+        EvalStrategy::Planned,
+        EvalStrategy::NestedLoop,
+        EvalStrategy::HashJoin,
+    ] {
+        let reference = Engine::new(catalog, conv)
+            .with_strategy(strategy)
+            .with_threads(1)
+            .eval_collection(q)
+            .unwrap();
+        for threads in [1usize, 4] {
+            for (vectorize, indexes) in [(true, true), (true, false), (false, false)] {
+                let base = || {
+                    Engine::new(catalog, conv)
+                        .with_strategy(strategy)
+                        .with_threads(threads)
+                        .with_vectorize(vectorize)
+                        .with_indexes(indexes)
+                };
+                let off = base().eval_collection(q).unwrap();
+                let on = base()
+                    .with_timeout(GENEROUS_DEADLINE)
+                    .with_mem_budget(GENEROUS_BUDGET)
+                    .eval_collection(q)
+                    .unwrap();
+                assert_eq!(
+                    off.rows, on.rows,
+                    "guard drift: strategy {strategy:?} threads {threads} \
+                     vectorize {vectorize} indexes {indexes} conv {conv:?}"
+                );
+                assert_eq!(
+                    reference.rows, on.rows,
+                    "knob drift: strategy {strategy:?} threads {threads} \
+                     vectorize {vectorize} indexes {indexes} conv {conv:?}"
+                );
+                // A budget too small for ANY build: every admission is
+                // denied, every optimized build degrades to its
+                // streaming / nested / row-at-a-time fallback — and the
+                // rows must not move.
+                let degraded = base().with_mem_budget(1).eval_collection(q).unwrap();
+                assert_eq!(
+                    reference.rows, degraded.rows,
+                    "degradation drift: strategy {strategy:?} threads {threads} \
+                     vectorize {vectorize} indexes {indexes} conv {conv:?}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Invariant 16 over generated conjunctive queries (joins plus
+    /// constant selections), with and without NULLs, both conventions,
+    /// on `ANALYZE`d catalogs.
+    #[test]
+    fn guarded_identical_on_conjunctive_queries(
+        seed in 0u64..300,
+        joins in 1usize..4,
+        sels in 0usize..3,
+        with_nulls in any::<bool>(),
+    ) {
+        let spec = if with_nulls {
+            InstanceSpec::rs_with_nulls(0.25)
+        } else {
+            InstanceSpec::rs()
+        };
+        let q = random_conjunctive_query(&spec, joins, sels, seed);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(9973));
+        let mut catalog = random_catalog(&spec, &mut rng);
+        catalog.analyze();
+        for conv in [Conventions::sql(), Conventions::set()] {
+            assert_guard_invisible(&catalog, &q, conv);
+        }
+    }
+
+    /// Cancellation is all-or-nothing: trip `Cancel` at a random visit
+    /// of a random seam — the result is either the complete answer (the
+    /// fault never fired: that visit count was never reached) or
+    /// `EvalError::Cancelled`; never a partial relation. Either way the
+    /// same catalog answers the next, unguarded query identically —
+    /// caches and the worker pool survive the aborted run.
+    #[test]
+    fn cancellation_is_all_or_nothing(
+        seam_ix in 0usize..8,
+        at in 1u64..48,
+        seed in 0u64..200,
+        threads in prop::sample::select(vec![1usize, 4]),
+    ) {
+        let spec = InstanceSpec::rs();
+        let q = random_conjunctive_query(&spec, 2, 1, seed);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(31));
+        let mut catalog = random_catalog(&spec, &mut rng);
+        catalog.analyze();
+        let reference = Engine::new(&catalog, Conventions::sql())
+            .with_threads(1)
+            .eval_collection(&q)
+            .unwrap();
+        let tripped = Engine::new(&catalog, Conventions::sql())
+            .with_threads(threads)
+            .with_fault(FaultPlan {
+                seam: seam::ALL[seam_ix],
+                at,
+                kind: FaultKind::Cancel,
+            })
+            .eval_collection(&q);
+        match tripped {
+            Ok(rows) => prop_assert_eq!(&rows.rows, &reference.rows, "partial result"),
+            Err(EvalError::Cancelled) => {}
+            Err(other) => prop_assert!(false, "expected Cancelled, got {other:?}"),
+        }
+        let rerun = Engine::new(&catalog, Conventions::sql())
+            .with_threads(threads)
+            .eval_collection(&q)
+            .unwrap();
+        prop_assert_eq!(&rerun.rows, &reference.rows, "post-cancel rerun drifted");
+    }
+}
+
+/// Fixpoint programs under the guard: generous limits are invisible for
+/// both fixpoint strategies, and the recursive growth charge is the one
+/// hard (non-degrading) budget consumer — a tiny budget aborts with
+/// `MemoryBudget`, structured.
+#[test]
+fn fixpoint_guarded_identical_and_tight_budget_aborts_structured() {
+    let catalog = chain_catalog(24, 0, 3);
+    let p = fx::eq16();
+    for strategy in [
+        arc_engine::FixpointStrategy::Naive,
+        arc_engine::FixpointStrategy::SemiNaive,
+    ] {
+        let reference = Engine::new(&catalog, Conventions::set())
+            .eval_program_with(&p, strategy)
+            .unwrap();
+        let guarded = Engine::new(&catalog, Conventions::set())
+            .with_timeout(GENEROUS_DEADLINE)
+            .with_mem_budget(GENEROUS_BUDGET)
+            .eval_program_with(&p, strategy)
+            .unwrap();
+        assert_eq!(
+            reference.defined["A"].rows, guarded.defined["A"].rows,
+            "guarded fixpoint drifted under {strategy:?}"
+        );
+        let starved = Engine::new(&catalog, Conventions::set())
+            .with_mem_budget(1)
+            .eval_program_with(&p, strategy);
+        assert!(
+            matches!(starved, Err(EvalError::MemoryBudget)),
+            "starved fixpoint must abort structured, got {starved:?}"
+        );
+    }
+    // The same catalog still answers after the aborted fixpoint.
+    let after = Engine::new(&catalog, Conventions::set())
+        .eval_program(&p)
+        .unwrap();
+    assert!(!after.defined["A"].rows.is_empty());
+}
+
+/// A pre-cancelled handle trips before any work; `reset` re-arms the
+/// same engine, which then answers correctly — the documented
+/// cancel-from-another-thread lifecycle, compressed.
+#[test]
+fn cancel_handle_trips_and_resets_the_same_engine() {
+    let catalog = fx::rs_catalog(256);
+    let engine = Engine::new(&catalog, Conventions::sql()).with_threads(1);
+    let handle = engine.cancel_handle();
+    handle.cancel();
+    assert!(handle.is_cancelled());
+    let cancelled = engine.eval_collection(&fx::eq1());
+    assert!(
+        matches!(cancelled, Err(EvalError::Cancelled)),
+        "pre-cancelled engine must return Cancelled, got {cancelled:?}"
+    );
+    handle.reset();
+    let rows = engine.eval_collection(&fx::eq1()).unwrap();
+    let reference = Engine::new(&catalog, Conventions::sql())
+        .with_threads(1)
+        .eval_collection(&fx::eq1())
+        .unwrap();
+    assert_eq!(rows.rows, reference.rows, "post-reset rerun drifted");
+}
+
+/// A zero deadline trips within one morsel of work on a scan big enough
+/// to cross the cooperative check cadence.
+#[test]
+fn zero_deadline_surfaces_as_deadline_exceeded() {
+    let catalog = fx::rs_catalog(4096);
+    for threads in [1usize, 4] {
+        let out = Engine::new(&catalog, Conventions::sql())
+            .with_threads(threads)
+            .with_timeout(Duration::ZERO)
+            .eval_collection(&fx::eq1());
+        assert!(
+            matches!(out, Err(EvalError::DeadlineExceeded)),
+            "threads {threads}: expected DeadlineExceeded, got {out:?}"
+        );
+    }
+}
+
+/// One canonical workload per registered seam: a (catalog, query) pair
+/// known to visit the seam on its very first opportunity, so
+/// `FaultPlan { at: 1 }` deterministically fires.
+struct SeamCase {
+    seam: &'static str,
+    /// Build the catalog; queries are built per-run.
+    catalog: fn() -> Catalog,
+    query: fn() -> Collection,
+    threads: usize,
+    /// What an injected budget denial does at this seam: admission
+    /// seams degrade (complete, row-identical); check seams trip
+    /// (`EvalError::MemoryBudget`).
+    budget_degrades: bool,
+}
+
+fn skew_analyzed() -> Catalog {
+    let mut c = fx::stats_skew_catalog(4096);
+    c.analyze();
+    c
+}
+
+fn semijoin_analyzed() -> Catalog {
+    let mut c = fx::semijoin_catalog(64, 64);
+    c.analyze();
+    c
+}
+
+fn seam_cases() -> Vec<SeamCase> {
+    vec![
+        SeamCase {
+            seam: seam::ENUMERATE,
+            catalog: || fx::rs_catalog(256),
+            query: fx::eq1,
+            threads: 1,
+            budget_degrades: false,
+        },
+        SeamCase {
+            // The partition axis needs an un-probed scan at step 0:
+            // eq3's grouped single-relation scan scatters into morsels.
+            seam: seam::MORSEL,
+            catalog: || fx::grouped_catalog(1024, 17),
+            query: fx::eq3,
+            threads: 4,
+            budget_degrades: false,
+        },
+        SeamCase {
+            seam: seam::HASH_BUILD,
+            catalog: || fx::rs_catalog(256),
+            query: fx::eq1,
+            threads: 1,
+            budget_degrades: true,
+        },
+        SeamCase {
+            seam: seam::SEMI_BUILD,
+            catalog: semijoin_analyzed,
+            query: || fx::exists_corr(64),
+            threads: 1,
+            budget_degrades: true,
+        },
+        SeamCase {
+            seam: seam::CHUNK_BUILD,
+            catalog: || fx::rs_catalog(4096),
+            query: fx::eq1,
+            threads: 1,
+            budget_degrades: true,
+        },
+        SeamCase {
+            seam: seam::ORDERED_BUILD,
+            catalog: skew_analyzed,
+            query: || fx::eq1_range(4096),
+            threads: 1,
+            budget_degrades: true,
+        },
+        SeamCase {
+            seam: seam::SELECTION_BUILD,
+            catalog: skew_analyzed,
+            query: || fx::eq1_range(4096),
+            threads: 1,
+            budget_degrades: true,
+        },
+    ]
+}
+
+/// The fault-injection matrix (tentpole acceptance): for every
+/// registered seam, an injected **panic** surfaces as
+/// `EvalError::WorkerPanic` and an injected **budget denial** either
+/// degrades to the row-identical fallback (admission seams) or
+/// surfaces as `EvalError::MemoryBudget` (check seams) — never a
+/// process panic — and the same catalog (shared relation caches,
+/// global worker pool) answers the next, unguarded query correctly.
+#[test]
+fn fault_matrix_structured_errors_and_survival() {
+    for case in seam_cases() {
+        let catalog = (case.catalog)();
+        let q = (case.query)();
+        let reference = Engine::new(&catalog, Conventions::sql())
+            .with_threads(case.threads)
+            .eval_collection(&q)
+            .unwrap();
+
+        let panicked = Engine::new(&catalog, Conventions::sql())
+            .with_threads(case.threads)
+            .with_fault(FaultPlan {
+                seam: case.seam,
+                at: 1,
+                kind: FaultKind::Panic,
+            })
+            .eval_collection(&q);
+        match panicked {
+            Err(EvalError::WorkerPanic(msg)) => assert!(
+                msg.contains(case.seam),
+                "seam {}: panic message should name the seam, got `{msg}`",
+                case.seam
+            ),
+            other => panic!(
+                "seam {}: injected panic must surface as WorkerPanic, got {other:?}",
+                case.seam
+            ),
+        }
+
+        let denied = Engine::new(&catalog, Conventions::sql())
+            .with_threads(case.threads)
+            .with_fault(FaultPlan {
+                seam: case.seam,
+                at: 1,
+                kind: FaultKind::Budget,
+            })
+            .eval_collection(&q);
+        if case.budget_degrades {
+            let rows = denied.unwrap_or_else(|e| {
+                panic!(
+                    "seam {}: a denied build must degrade, not fail: {e:?}",
+                    case.seam
+                )
+            });
+            assert_eq!(
+                rows.rows, reference.rows,
+                "seam {}: degraded fallback drifted",
+                case.seam
+            );
+        } else {
+            assert!(
+                matches!(denied, Err(EvalError::MemoryBudget)),
+                "seam {}: a budget trip at a check seam must surface structured, got {denied:?}",
+                case.seam
+            );
+        }
+
+        // Survival: the same catalog — shared relation-level caches,
+        // the global worker pool — answers unguarded, identically.
+        let after = Engine::new(&catalog, Conventions::sql())
+            .with_threads(case.threads)
+            .eval_collection(&q)
+            .unwrap();
+        assert_eq!(
+            after.rows, reference.rows,
+            "seam {}: post-fault rerun drifted",
+            case.seam
+        );
+    }
+
+    // The fixpoint-round seam needs a recursive program.
+    let catalog = chain_catalog(24, 0, 3);
+    let p = fx::eq16();
+    let reference = Engine::new(&catalog, Conventions::set())
+        .eval_program(&p)
+        .unwrap();
+    for (kind, expect) in [
+        (FaultKind::Panic, "WorkerPanic"),
+        (FaultKind::Budget, "MemoryBudget"),
+    ] {
+        let out = Engine::new(&catalog, Conventions::set())
+            .with_fault(FaultPlan {
+                seam: seam::FIXPOINT_ROUND,
+                at: 1,
+                kind,
+            })
+            .eval_program(&p);
+        let structured = matches!(
+            (&out, expect),
+            (Err(EvalError::WorkerPanic(_)), "WorkerPanic")
+                | (Err(EvalError::MemoryBudget), "MemoryBudget")
+        );
+        assert!(
+            structured,
+            "fixpoint-round {kind:?}: expected {expect}, got {out:?}"
+        );
+    }
+    let after = Engine::new(&catalog, Conventions::set())
+        .eval_program(&p)
+        .unwrap();
+    assert_eq!(
+        after.defined["A"].rows, reference.defined["A"].rows,
+        "fixpoint-round: post-fault rerun drifted"
+    );
+}
+
+/// CI smoke, env-armed: with `ARC_FAULT=seam:N[:kind]` in the
+/// environment, drive the per-seam battery through env-configured
+/// engines and assert every outcome is either complete or a structured
+/// guard error — never a process panic — and that a second run of the
+/// same spec produces the identical outcome (the harness is
+/// deterministic). Trivially passes when `ARC_FAULT` is unset, so the
+/// plain test suite is unaffected.
+#[test]
+fn arc_fault_smoke() {
+    if std::env::var("ARC_FAULT")
+        .unwrap_or_default()
+        .trim()
+        .is_empty()
+    {
+        return;
+    }
+    for case in seam_cases() {
+        let catalog = (case.catalog)();
+        let q = (case.query)();
+        let run = || {
+            Engine::new(&catalog, Conventions::sql())
+                .with_threads(case.threads)
+                .eval_collection(&q)
+        };
+        let first = run();
+        match &first {
+            Ok(_)
+            | Err(EvalError::WorkerPanic(_))
+            | Err(EvalError::MemoryBudget)
+            | Err(EvalError::Cancelled)
+            | Err(EvalError::DeadlineExceeded) => {}
+            Err(other) => panic!(
+                "battery {}: ARC_FAULT produced a non-guard error: {other:?}",
+                case.seam
+            ),
+        }
+        let second = run();
+        assert_eq!(
+            first, second,
+            "battery {}: fault injection must be deterministic",
+            case.seam
+        );
+    }
+}

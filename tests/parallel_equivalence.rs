@@ -204,7 +204,10 @@ fn explain_partition_golden() {
     let catalog = fx::grouped_catalog(64, 8);
     let engine = Engine::new(&catalog, Conventions::set())
         .with_strategy(EvalStrategy::Planned)
-        .with_threads(4);
+        .with_threads(4)
+        // Pin the ambient guard knob too: a memory budget appends the
+        // `governance:` note, and the goldens must not depend on it.
+        .with_mem_budget(0);
     let plan = engine.explain_collection(&fx::eq3()).unwrap();
     let expected = "\
 project Q(A, sm)

@@ -74,7 +74,10 @@ fn explain_eq1_golden() {
     // goldens must not depend on the ambient `ARC_THREADS`.
     let engine = Engine::new(&catalog, Conventions::sql())
         .with_strategy(EvalStrategy::Planned)
-        .with_threads(1);
+        .with_threads(1)
+        // Pin the ambient guard knob too: a memory budget appends the
+        // `governance:` note, and the goldens must not depend on it.
+        .with_mem_budget(0);
     let plan = engine.explain_collection(&fx::eq1()).unwrap();
     let expected = "\
 project Q(A)
@@ -94,7 +97,10 @@ fn explain_eq1_unanalyzed_golden() {
     catalog.clear_stats();
     let engine = Engine::new(&catalog, Conventions::sql())
         .with_strategy(EvalStrategy::Planned)
-        .with_threads(1);
+        .with_threads(1)
+        // Pin the ambient guard knob too: a memory budget appends the
+        // `governance:` note, and the goldens must not depend on it.
+        .with_mem_budget(0);
     let plan = engine.explain_collection(&fx::eq1()).unwrap();
     let expected = "\
 project Q(A)
@@ -113,7 +119,10 @@ fn explain_eq3_golden() {
     let catalog = fx::grouped_catalog(64, 8);
     let engine = Engine::new(&catalog, Conventions::set())
         .with_strategy(EvalStrategy::Planned)
-        .with_threads(1);
+        .with_threads(1)
+        // Pin the ambient guard knob too: a memory budget appends the
+        // `governance:` note, and the goldens must not depend on it.
+        .with_mem_budget(0);
     let plan = engine.explain_collection(&fx::eq3()).unwrap();
     let expected = "\
 project Q(A, sm)
@@ -133,7 +142,10 @@ fn explain_eq16_golden() {
     let catalog = arc_analysis::chain_catalog(16, 0, 3);
     let engine = Engine::new(&catalog, Conventions::set())
         .with_strategy(EvalStrategy::Planned)
-        .with_threads(1);
+        .with_threads(1)
+        // Pin the ambient guard knob too: a memory budget appends the
+        // `governance:` note, and the goldens must not depend on it.
+        .with_mem_budget(0);
     let plan = engine.explain_program(&fx::eq16()).unwrap();
     let expected = "\
 program

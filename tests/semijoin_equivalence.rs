@@ -175,7 +175,10 @@ fn explain_semijoin_golden() {
         .with_strategy(EvalStrategy::Planned)
         .with_threads(1)
         .with_decorrelate(true)
-        .with_indexes(true);
+        .with_indexes(true)
+        // Pin the ambient guard knob too: a memory budget appends the
+        // `governance:` note, and the goldens must not depend on it.
+        .with_mem_budget(0);
     let plan = engine.explain_collection(&fx::exists_corr(64)).unwrap();
     let expected = "\
 project Q(A)
@@ -203,6 +206,7 @@ fn explain_antijoin_and_escape_hatch_golden() {
         .with_threads(1)
         .with_decorrelate(true)
         .with_indexes(true)
+        .with_mem_budget(0)
         .explain_collection(&q)
         .unwrap();
     let expected = "\
